@@ -1,0 +1,110 @@
+//! Criterion micro-benchmarks for the SQLancer++ core components:
+//! statement generation throughput, Bayesian feedback updates, oracle
+//! checking against a simulated dialect, and bug prioritization.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbms_sim::preset_by_name;
+use sqlancer_core::{
+    check_tlp, AdaptiveGenerator, BugPrioritizer, DbmsConnection, Feature, FeatureKind,
+    FeatureSet, FeatureStats, GeneratorConfig, StatsConfig,
+};
+
+fn generator_with_schema() -> AdaptiveGenerator {
+    let mut generator = AdaptiveGenerator::new(7, GeneratorConfig::default());
+    for sql in [
+        "CREATE TABLE t0 (c0 INTEGER PRIMARY KEY, c1 TEXT, c2 BOOLEAN)",
+        "CREATE TABLE t1 (c0 INTEGER, c3 INTEGER)",
+    ] {
+        generator.apply_success(&sql_parser::parse_statement(sql).unwrap());
+    }
+    generator
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generation");
+    group.sample_size(20);
+    group.bench_function("generate_query", |b| {
+        let mut generator = generator_with_schema();
+        b.iter(|| std::hint::black_box(generator.generate_query()));
+    });
+    group.bench_function("generate_ddl", |b| {
+        let mut generator = generator_with_schema();
+        b.iter(|| std::hint::black_box(generator.generate_ddl_statement()));
+    });
+    group.finish();
+}
+
+fn bench_feedback(c: &mut Criterion) {
+    let mut group = c.benchmark_group("feedback");
+    group.sample_size(20);
+    let features: FeatureSet = ["OP_EQ", "FN_SIN", "JOIN_LEFT", "CLAUSE_WHERE"]
+        .iter()
+        .map(|n| Feature::new(*n))
+        .collect();
+    group.bench_function("record_and_query_posterior", |b| {
+        let mut stats = FeatureStats::new();
+        let config = StatsConfig::default();
+        b.iter(|| {
+            stats.record(&features, FeatureKind::Query, true);
+            std::hint::black_box(stats.is_unsupported(
+                &Feature::new("FN_SIN"),
+                FeatureKind::Query,
+                &config,
+            ))
+        });
+    });
+    group.finish();
+}
+
+fn bench_oracle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle");
+    group.sample_size(20);
+    group.bench_function("tlp_check_on_sqlite_dialect", |b| {
+        let mut dbms = preset_by_name("sqlite").unwrap().instantiate();
+        dbms.execute("CREATE TABLE t0 (c0 INTEGER, c1 TEXT)");
+        dbms.execute("INSERT INTO t0 (c0, c1) VALUES (1, 'a'), (2, 'b'), (NULL, 'c')");
+        let mut generator = generator_with_schema();
+        let query = generator.generate_query().unwrap();
+        b.iter(|| {
+            std::hint::black_box(check_tlp(
+                &mut dbms,
+                &query.select,
+                &query.predicate,
+                &query.features,
+                &[],
+            ))
+        });
+    });
+    group.finish();
+}
+
+fn bench_prioritizer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prioritizer");
+    group.sample_size(20);
+    let sets: Vec<FeatureSet> = (0..200)
+        .map(|i| {
+            [format!("F{}", i % 17), format!("G{}", i % 5), "OP_EQ".to_string()]
+                .iter()
+                .map(|n| Feature::new(n.clone()))
+                .collect()
+        })
+        .collect();
+    group.bench_function("classify_200_cases", |b| {
+        b.iter(|| {
+            let mut prioritizer = BugPrioritizer::new();
+            for set in &sets {
+                std::hint::black_box(prioritizer.classify(set));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_generation,
+    bench_feedback,
+    bench_oracle,
+    bench_prioritizer
+);
+criterion_main!(benches);

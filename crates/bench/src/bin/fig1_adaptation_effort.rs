@@ -1,0 +1,53 @@
+//! Figure 1 reproduction: per-DBMS adaptation effort.
+//!
+//! The paper contrasts the thousands of lines of DBMS-specific generator
+//! code that SQLancer/Squirrel/SQLsmith/EET require with the ~16 lines per
+//! DBMS that SQLancer++ needs. In this reproduction the analogue is:
+//!
+//! * "hand-written generator size" — the number of dialect-specific feature
+//!   decisions a hand-written generator must encode (the size of the
+//!   dialect's supported feature universe), and
+//! * "SQLancer++ adaptation size" — the number of per-dialect configuration
+//!   items (connection parameters + behavioural quirks).
+
+use dbms_sim::fleet;
+
+fn main() {
+    println!("# Figure 1 — per-DBMS adaptation effort (reproduction proxy)");
+    println!();
+    println!("| dialect | hand-written generator decisions | SQLancer++ adaptation items |");
+    println!("|---|---|---|");
+    let mut handwritten_total = 0usize;
+    let mut adaptive_total = 0usize;
+    for preset in fleet() {
+        let handwritten = preset.profile.supported_universe().len();
+        // Connection parameters (host, port, user, password) plus quirks.
+        let adaptation = 4
+            + usize::from(preset.profile.requires_refresh)
+            + usize::from(preset.profile.requires_commit);
+        handwritten_total += handwritten;
+        adaptive_total += adaptation;
+        println!("| {} | {} | {} |", preset.profile.name, handwritten, adaptation);
+    }
+    let n = fleet().len();
+    println!();
+    println!(
+        "Average hand-written generator decisions per DBMS: {:.1}",
+        handwritten_total as f64 / n as f64
+    );
+    println!(
+        "Average SQLancer++ adaptation items per DBMS:      {:.1}",
+        adaptive_total as f64 / n as f64
+    );
+    println!(
+        "Reduction factor: {:.0}x",
+        handwritten_total as f64 / adaptive_total as f64
+    );
+    println!();
+    println!(
+        "(Paper: SQLancer needs a median of ~3.7K LoC per DBMS-specific generator; \
+         SQLancer++ needs ~16 LoC per DBMS. The reproduction preserves the shape: \
+         a two-orders-of-magnitude gap between hand-written dialect knowledge and \
+         per-DBMS adaptation.)"
+    );
+}

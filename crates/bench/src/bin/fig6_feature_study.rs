@@ -1,0 +1,87 @@
+//! Figure 6 reproduction: cross-dialect validity of bug-inducing test cases.
+//!
+//! For each source dialect the harness collects the prioritized bug-inducing
+//! cases of a campaign, then replays every case's statements on every target
+//! dialect and reports the average fraction that executes successfully — the
+//! heatmap of the paper's SQL feature study.
+
+use bench::{experiment_campaign_config, run_campaign, GeneratorArm};
+use dbms_sim::fleet;
+use sqlancer_core::replay_validity;
+
+fn main() {
+    let queries: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(120);
+    let presets = fleet();
+    println!("# Figure 6 — cross-dialect validity of bug-inducing test cases (reproduction)");
+    println!();
+
+    // Collect prioritized cases per source dialect.
+    let mut cases_per_source = Vec::new();
+    for preset in &presets {
+        let config = experiment_campaign_config(0xFEED, queries, GeneratorArm::Adaptive);
+        let outcome = run_campaign(preset, config, GeneratorArm::Adaptive);
+        cases_per_source.push((preset.profile.name.clone(), outcome.report.prioritized_cases));
+    }
+
+    // Header.
+    let names: Vec<String> = presets.iter().map(|p| p.profile.name.clone()).collect();
+    println!("| source \\ target | {} |", names.join(" | "));
+    println!("|---{}|", "|---".repeat(names.len()));
+
+    let mut grand_total = 0.0;
+    let mut grand_count = 0usize;
+    let mut universal_cases = 0usize;
+    let mut total_cases = 0usize;
+    for (source, cases) in &cases_per_source {
+        let mut cells = Vec::new();
+        for target_preset in &presets {
+            if cases.is_empty() {
+                cells.push("-".to_string());
+                continue;
+            }
+            let mut target = target_preset.instantiate();
+            let avg: f64 = cases
+                .iter()
+                .map(|c| replay_validity(&mut target, c))
+                .sum::<f64>()
+                / cases.len() as f64;
+            grand_total += avg;
+            grand_count += 1;
+            cells.push(format!("{:.2}", avg));
+        }
+        // Count cases valid on every dialect.
+        total_cases += cases.len();
+        for case in cases {
+            let everywhere = presets.iter().all(|p| {
+                let mut target = p.instantiate();
+                (replay_validity(&mut target, case) - 1.0).abs() < 1e-9
+            });
+            if everywhere {
+                universal_cases += 1;
+            }
+        }
+        println!("| {} | {} |", source, cells.join(" | "));
+    }
+    println!();
+    if grand_count > 0 {
+        println!(
+            "Overall average cross-dialect validity: {:.1}%",
+            100.0 * grand_total / grand_count as f64
+        );
+    }
+    println!(
+        "Bug-inducing cases valid on all {} dialects: {} of {}",
+        presets.len(),
+        universal_cases,
+        total_cases
+    );
+    println!();
+    println!(
+        "(Paper shape to check: overall cross-dialect validity is around 48%, and \
+         essentially no bug-inducing case runs unchanged on every DBMS — dialects \
+         genuinely differ even for 'common' SQL.)"
+    );
+}

@@ -1,0 +1,57 @@
+//! Figure 7 reproduction: overlap of scalar functions and operators between
+//! the SQLancer++ generator universe and two dialects' supported sets
+//! (SQLite-like and strictly-typed PostgreSQL-like).
+
+use dbms_sim::preset_by_name;
+use std::collections::BTreeSet;
+
+fn filtered(set: &BTreeSet<String>, prefix: &str) -> BTreeSet<String> {
+    set.iter().filter(|f| f.starts_with(prefix)).cloned().collect()
+}
+
+fn venn(label: &str, generator: &BTreeSet<String>, a: &BTreeSet<String>, b: &BTreeSet<String>) {
+    let only_gen = generator
+        .iter()
+        .filter(|f| !a.contains(*f) && !b.contains(*f))
+        .count();
+    let gen_and_a = generator.iter().filter(|f| a.contains(*f) && !b.contains(*f)).count();
+    let gen_and_b = generator.iter().filter(|f| !a.contains(*f) && b.contains(*f)).count();
+    let all_three = generator.iter().filter(|f| a.contains(*f) && b.contains(*f)).count();
+    println!("## {label}");
+    println!("| region | count |");
+    println!("|---|---|");
+    println!("| generator only | {only_gen} |");
+    println!("| generator ∩ sqlite only | {gen_and_a} |");
+    println!("| generator ∩ postgres-like only | {gen_and_b} |");
+    println!("| shared by all three | {all_three} |");
+    println!();
+}
+
+fn main() {
+    let universe: BTreeSet<String> = sqlancer_core::feature_universe()
+        .into_iter()
+        .map(|f| f.name().to_string())
+        .collect();
+    let sqlite = preset_by_name("sqlite").unwrap().profile.supported_universe();
+    let postgres_like = preset_by_name("umbra").unwrap().profile.supported_universe();
+
+    println!("# Figure 7 — feature overlap between the generator and dialect generators (reproduction)");
+    println!();
+    venn(
+        "Scalar functions",
+        &filtered(&universe, "FN_"),
+        &filtered(&sqlite, "FN_"),
+        &filtered(&postgres_like, "FN_"),
+    );
+    venn(
+        "Operators",
+        &filtered(&universe, "OP_"),
+        &filtered(&sqlite, "OP_"),
+        &filtered(&postgres_like, "OP_"),
+    );
+    println!(
+        "(Paper shape to check: the three sets overlap substantially but none subsumes \
+         the others — the generator covers common features while each dialect also has \
+         gaps the generator must learn to avoid.)"
+    );
+}

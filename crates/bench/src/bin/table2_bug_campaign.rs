@@ -1,0 +1,50 @@
+//! Table 2 reproduction: bug-finding campaign across the 18-dialect fleet.
+//!
+//! For every simulated dialect the harness runs an adaptive SQLancer++
+//! campaign, prioritizes the bug-inducing test cases, resolves each kept
+//! case to its ground-truth injected bug (the stand-in for the paper's
+//! fix-commit analysis), and reports logic vs other bugs.
+
+use bench::{experiment_campaign_config, run_campaign, GeneratorArm};
+use dbms_sim::fleet;
+
+fn main() {
+    let queries: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(160);
+    println!("# Table 2 — bugs found per DBMS (reproduction)");
+    println!();
+    println!("| DBMS | detected cases | prioritized | unique bugs (ground truth) | logic | other | injected bugs |");
+    println!("|---|---|---|---|---|---|---|");
+    let mut total_unique = 0usize;
+    let mut total_logic = 0usize;
+    let mut total_other = 0usize;
+    for preset in fleet() {
+        let config = experiment_campaign_config(0xC0FFEE, queries, GeneratorArm::Adaptive);
+        let outcome = run_campaign(&preset, config, GeneratorArm::Adaptive);
+        total_unique += outcome.unique_bugs.len();
+        total_logic += outcome.logic_bugs;
+        total_other += outcome.other_bugs;
+        println!(
+            "| {} | {} | {} | {} | {} | {} | {} |",
+            outcome.dialect,
+            outcome.report.metrics.detected_bug_cases,
+            outcome.report.metrics.prioritized_bugs,
+            outcome.unique_bugs.len(),
+            outcome.logic_bugs,
+            outcome.other_bugs,
+            preset.faults.len(),
+        );
+    }
+    println!();
+    println!(
+        "Totals: {total_unique} unique bugs across the fleet ({total_logic} prioritized logic-bug cases, {total_other} other)."
+    );
+    println!();
+    println!(
+        "(Paper: 196 bugs across 18 DBMSs, 140 of them logic bugs. The reproduction's \
+         shape to check: every dialect yields bugs, logic bugs dominate, and the unique \
+         count per dialect scales with the number of injected bugs.)"
+    );
+}

@@ -1,0 +1,48 @@
+//! Table 3 reproduction: engine coverage under different generator arms.
+//!
+//! The paper measures gcov line/branch coverage of SQLite, PostgreSQL and
+//! DuckDB under SQLancer++, SQLancer++ Rand and SQLancer. The reproduction
+//! measures the simulated engine's operator/feature coverage (see
+//! `sql_engine::CoverageTracker`), which preserves the relative comparison.
+
+use bench::{experiment_campaign_config, run_campaign, GeneratorArm};
+use dbms_sim::validity_experiment_dialects;
+
+fn main() {
+    let queries: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
+    println!("# Table 3 — engine coverage by generator arm (reproduction)");
+    println!();
+    println!("| approach | dialect | feature coverage (line proxy) | category coverage (branch proxy) |");
+    println!("|---|---|---|---|");
+    for arm in [
+        GeneratorArm::Adaptive,
+        GeneratorArm::Random,
+        GeneratorArm::PerfectKnowledge,
+    ] {
+        for preset in validity_experiment_dialects() {
+            let mut config = experiment_campaign_config(7, queries, arm);
+            // A single database state per run so the coverage tracker is not
+            // reset mid-campaign.
+            config.databases = 1;
+            config.queries_per_database = queries;
+            let outcome = run_campaign(&preset, config, arm);
+            println!(
+                "| {} | {} | {:.1}% | {:.1}% |",
+                arm.label(),
+                outcome.dialect,
+                outcome.coverage_pct,
+                outcome.coverage_strict_pct
+            );
+        }
+    }
+    println!();
+    println!(
+        "(Paper shape to check: the hand-written/perfect-knowledge generator reaches the \
+         highest coverage, SQLancer++ with feedback is close behind, and disabling \
+         feedback costs a little coverage — while, per Table 2, SQLancer++ still finds \
+         bugs the baseline misses.)"
+    );
+}

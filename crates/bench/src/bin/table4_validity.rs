@@ -1,0 +1,57 @@
+//! Table 4 reproduction: query validity rate with and without feedback.
+//!
+//! The paper reports the fraction of generated test cases whose queries all
+//! execute successfully, for SQLancer++ (feedback), SQLancer++ Rand (no
+//! feedback) and SQLancer (hand-written generators), on SQLite, PostgreSQL
+//! and DuckDB. Pass `--series` to also print the convergence series
+//! (Section 5.4 observes convergence within a minute).
+
+use bench::{experiment_campaign_config, run_campaign, GeneratorArm};
+use dbms_sim::validity_experiment_dialects;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let series = args.iter().any(|a| a == "--series");
+    let queries: usize = args
+        .iter()
+        .filter_map(|s| s.parse().ok())
+        .next()
+        .unwrap_or(400);
+
+    println!("# Table 4 — validity rate by generator arm (reproduction)");
+    println!();
+    println!("| approach | dialect | validity rate | DDL validity |");
+    println!("|---|---|---|---|");
+    for arm in [
+        GeneratorArm::Adaptive,
+        GeneratorArm::Random,
+        GeneratorArm::PerfectKnowledge,
+    ] {
+        for preset in validity_experiment_dialects() {
+            let config = experiment_campaign_config(11, queries, arm);
+            let outcome = run_campaign(&preset, config, arm);
+            println!(
+                "| {} | {} | {} | {} |",
+                arm.label(),
+                outcome.dialect,
+                bench::pct(outcome.report.metrics.validity_rate()),
+                bench::pct(outcome.report.metrics.ddl_validity_rate()),
+            );
+            if series {
+                let rendered: Vec<String> = outcome
+                    .report
+                    .validity_series
+                    .iter()
+                    .map(|v| format!("{:.2}", v))
+                    .collect();
+                println!("|   (series) | {} | {} | |", outcome.dialect, rendered.join(" → "));
+            }
+        }
+    }
+    println!();
+    println!(
+        "(Paper shape to check: feedback raises the validity rate substantially over the \
+         Rand arm — by ~293% on SQLite and ~122% on PostgreSQL — with the dynamically \
+         typed dialect reaching the highest absolute rate.)"
+    );
+}

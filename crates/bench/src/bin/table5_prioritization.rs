@@ -1,0 +1,47 @@
+//! Table 5 reproduction: detected vs prioritized vs unique bugs on the
+//! CrateDB-like dialect, with and without feedback, averaged over five
+//! seeds.
+
+use bench::{experiment_campaign_config, run_campaign, GeneratorArm};
+use dbms_sim::preset_by_name;
+
+fn main() {
+    let queries: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
+    let seeds = [11u64, 23, 37, 41, 53];
+    let preset = preset_by_name("cratedb").expect("cratedb preset");
+    println!("# Table 5 — bug prioritization on the CrateDB-like dialect (reproduction)");
+    println!();
+    println!("| approach | detected cases (avg) | prioritized (avg) | unique bugs (avg) |");
+    println!("|---|---|---|---|");
+    for arm in [GeneratorArm::Adaptive, GeneratorArm::Random] {
+        let mut detected = 0.0;
+        let mut prioritized = 0.0;
+        let mut unique = 0.0;
+        for &seed in &seeds {
+            let config = experiment_campaign_config(seed, queries, arm);
+            let outcome = run_campaign(&preset, config, arm);
+            detected += outcome.report.metrics.detected_bug_cases as f64;
+            prioritized += outcome.report.metrics.prioritized_bugs as f64;
+            unique += outcome.unique_bugs.len() as f64;
+        }
+        let n = seeds.len() as f64;
+        println!(
+            "| {} | {:.1} | {:.1} | {:.1} |",
+            arm.label(),
+            detected / n,
+            prioritized / n,
+            unique / n
+        );
+    }
+    println!();
+    println!(
+        "(Paper: 67,878 detected / 35.8 prioritized / 11.4 unique with feedback vs \
+         55,412 / 28.4 / 9.8 without, in one hour. The reproduction's shape to check: \
+         prioritization collapses the detected cases by orders of magnitude, the unique \
+         count is a small fraction of the prioritized count, and the feedback arm finds \
+         at least as many detected cases and unique bugs as the Rand arm.)"
+    );
+}

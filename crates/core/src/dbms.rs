@@ -1,0 +1,131 @@
+//! The platform's only view of a DBMS under test.
+//!
+//! SQLancer++ is designed to test *any* SQL-based DBMS: the platform sends
+//! SQL text, observes whether the statement succeeded or failed, and — for
+//! queries — retrieves result rows. Nothing else (no schema metadata
+//! queries, no query plans, no DBMS-specific interfaces). The
+//! [`DbmsConnection`] trait captures exactly that interface; the paper's
+//! ~16-lines-per-DBMS "manual effort" corresponds to [`DialectQuirks`].
+
+use sql_ast::Value;
+
+/// The execution status of a non-query statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StatementOutcome {
+    /// The statement executed successfully.
+    Success,
+    /// The statement failed; the message is opaque to the platform (only
+    /// used for logging and bug reports).
+    Failure(String),
+}
+
+impl StatementOutcome {
+    /// `true` for [`StatementOutcome::Success`].
+    pub fn is_success(&self) -> bool {
+        matches!(self, StatementOutcome::Success)
+    }
+}
+
+/// A query result as observed through the driver: column names and rows of
+/// values.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QueryResult {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Output rows.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl QueryResult {
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// An order-insensitive fingerprint of the result rows, used by the
+    /// oracles to compare two queries' results as multisets.
+    pub fn multiset_fingerprint(&self) -> Vec<String> {
+        let mut keys: Vec<String> = self
+            .rows
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(Value::dedup_key)
+                    .collect::<Vec<_>>()
+                    .join("\u{1}")
+            })
+            .collect();
+        keys.sort();
+        keys
+    }
+}
+
+/// The per-DBMS adaptations the paper describes as "manual effort"
+/// (Section 6): connection parameters aside, a handful of behavioural
+/// quirks. Everything else is learned by the adaptive generator.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DialectQuirks {
+    /// The DBMS requires an explicit `REFRESH TABLE <t>` before inserted
+    /// rows become visible to queries (CrateDB-style eventual consistency).
+    pub requires_refresh: bool,
+    /// The DBMS requires an explicit `COMMIT` after DML (JDBC-autocommit-off
+    /// style).
+    pub requires_commit: bool,
+}
+
+/// A connection to a DBMS under test.
+///
+/// The platform drives the DBMS exclusively through this trait; the
+/// `dbms-sim` crate implements it for the simulated dialect fleet, and a
+/// real deployment would implement it over a wire protocol.
+pub trait DbmsConnection {
+    /// A short name identifying the DBMS (used in reports and tables).
+    fn name(&self) -> &str;
+
+    /// Executes a statement for its side effects, returning its status.
+    fn execute(&mut self, sql: &str) -> StatementOutcome;
+
+    /// Executes a query and retrieves its rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns the DBMS error message when the query is rejected or fails.
+    fn query(&mut self, sql: &str) -> Result<QueryResult, String>;
+
+    /// Drops all state so a fresh database can be generated.
+    fn reset(&mut self);
+
+    /// The dialect quirks the platform must account for.
+    fn quirks(&self) -> DialectQuirks {
+        DialectQuirks::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_is_order_insensitive_and_multiset() {
+        let a = QueryResult {
+            columns: vec!["c".into()],
+            rows: vec![vec![Value::Integer(1)], vec![Value::Integer(2)]],
+        };
+        let b = QueryResult {
+            columns: vec!["c".into()],
+            rows: vec![vec![Value::Integer(2)], vec![Value::Integer(1)]],
+        };
+        assert_eq!(a.multiset_fingerprint(), b.multiset_fingerprint());
+        let c = QueryResult {
+            columns: vec!["c".into()],
+            rows: vec![vec![Value::Integer(1)]],
+        };
+        assert_ne!(a.multiset_fingerprint(), c.multiset_fingerprint());
+    }
+
+    #[test]
+    fn outcome_helpers() {
+        assert!(StatementOutcome::Success.is_success());
+        assert!(!StatementOutcome::Failure("x".into()).is_success());
+    }
+}

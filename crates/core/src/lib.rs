@@ -1,0 +1,57 @@
+//! # sqlancer-core
+//!
+//! The Rust reproduction of **SQLancer++** — the automated DBMS-testing
+//! platform of "Scaling Automated Database System Testing" (ASPLOS 2026).
+//!
+//! The crate contains the paper's technical contributions:
+//!
+//! * [`generator`] — the **adaptive statement generator** (Section 4): it
+//!   generates SQL over its own schema model, records the *feature set* of
+//!   every statement, and learns from execution feedback which features the
+//!   DBMS under test supports, suppressing the unsupported ones.
+//! * [`schema`] — the **internal schema model** (Figure 3): schema state is
+//!   tracked by simulating successful DDL, never by querying DBMS-specific
+//!   metadata interfaces.
+//! * [`stats`] — the **Bayesian support model** (Equations 1–3): a
+//!   Beta-posterior test decides when a feature is unsupported.
+//! * [`oracle`] — the DBMS-agnostic **TLP** and **NoREC** test oracles.
+//! * [`prioritizer`] — the **feature-set subset** bug prioritizer (Figure 4).
+//! * [`reducer`] — statement- and expression-level test-case reduction.
+//! * [`campaign`] — the end-to-end loop tying everything together
+//!   (Figure 2), with the metrics reported in the paper's evaluation.
+//!
+//! The platform talks to a DBMS only through the [`DbmsConnection`] trait
+//! (SQL text in, success/failure and rows out). The `dbms-sim` crate
+//! provides a fleet of simulated dialects implementing this trait.
+//!
+//! # Examples
+//!
+//! See `examples/quickstart.rs` at the workspace root for an end-to-end
+//! campaign against a simulated DBMS.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod campaign;
+pub mod dbms;
+pub mod feature;
+pub mod generator;
+pub mod oracle;
+pub mod prioritizer;
+pub mod profile;
+pub mod reducer;
+pub mod schema;
+pub mod stats;
+
+pub use campaign::{replay_validity, Campaign, CampaignConfig, CampaignMetrics, CampaignReport};
+pub use dbms::{DbmsConnection, DialectQuirks, QueryResult, StatementOutcome};
+pub use feature::{feature_universe, Feature, FeatureSet};
+pub use generator::{AdaptiveGenerator, GeneratedQuery, GeneratedStatement, GeneratorConfig};
+pub use oracle::{check_norec, check_tlp, BugReport, OracleKind, OracleOutcome};
+pub use prioritizer::{BugPrioritizer, PrioritizerStats, PriorityDecision};
+pub use profile::{load_profile, profile_from_string, profile_to_string, save_profile};
+pub use reducer::{BugReducer, ReducibleCase, ReductionStats};
+pub use schema::{ModelColumn, ModelIndex, ModelTable, SchemaModel};
+pub use stats::{
+    regularized_incomplete_beta, FeatureCounts, FeatureKind, FeatureStats, StatsConfig,
+};

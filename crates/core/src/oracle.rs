@@ -1,0 +1,350 @@
+//! Metamorphic test oracles: Ternary Logic Partitioning (TLP) and
+//! Non-optimizing Reference Engine Construction (NoREC).
+//!
+//! Both oracles are DBMS-agnostic (Section 3, "Result validator"): they
+//! derive, from a generated query with predicate `p`, one or more equivalent
+//! queries via purely syntactic transformations and compare the results the
+//! DBMS returns for them.
+
+use crate::dbms::DbmsConnection;
+use crate::feature::FeatureSet;
+use sql_ast::{Expr, Select, SelectItem, Value};
+use std::fmt;
+
+/// Which oracle produced a verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OracleKind {
+    /// Ternary Logic Partitioning (Rigger & Su, OOPSLA 2020).
+    Tlp,
+    /// Non-optimizing Reference Engine Construction (Rigger & Su, ESEC/FSE
+    /// 2020).
+    NoRec,
+}
+
+impl OracleKind {
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OracleKind::Tlp => "TLP",
+            OracleKind::NoRec => "NoREC",
+        }
+    }
+}
+
+impl fmt::Display for OracleKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A bug-inducing test case as reported by an oracle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BugReport {
+    /// The oracle that found the discrepancy.
+    pub oracle: OracleKind,
+    /// What went wrong, in one line.
+    pub description: String,
+    /// The SQL statements that built the database state.
+    pub setup: Vec<String>,
+    /// The queries whose results disagreed.
+    pub queries: Vec<String>,
+    /// The feature set of the bug-inducing test case (used by the
+    /// prioritizer).
+    pub features: FeatureSet,
+}
+
+/// The outcome of applying an oracle to one generated query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OracleOutcome {
+    /// The derived queries agreed: no bug observed.
+    Passed,
+    /// A derived query failed to execute; the test case is invalid for this
+    /// DBMS (this feeds the validity-rate metrics, not the bug list).
+    Invalid(String),
+    /// The results disagreed: a bug-inducing test case.
+    Bug(Box<BugReport>),
+}
+
+impl OracleOutcome {
+    /// `true` when a bug was found.
+    pub fn is_bug(&self) -> bool {
+        matches!(self, OracleOutcome::Bug(_))
+    }
+
+    /// `true` when every derived query executed successfully.
+    pub fn is_valid(&self) -> bool {
+        !matches!(self, OracleOutcome::Invalid(_))
+    }
+}
+
+/// Strips clauses that would break the partitioning property (the original
+/// TLP formulation applies to plain filter queries).
+fn normalized_base(query: &Select) -> Select {
+    let mut base = query.clone();
+    base.distinct = false;
+    base.order_by.clear();
+    base.limit = None;
+    base.offset = None;
+    base.set_op = None;
+    base.group_by.clear();
+    base.having = None;
+    base
+}
+
+/// Applies the TLP oracle: `Q` without a predicate must return the same
+/// multiset of rows as the union of `Q WHERE p`, `Q WHERE NOT p` and
+/// `Q WHERE p IS NULL`.
+pub fn check_tlp(
+    conn: &mut dyn DbmsConnection,
+    query: &Select,
+    predicate: &Expr,
+    features: &FeatureSet,
+    setup: &[String],
+) -> OracleOutcome {
+    if query.is_aggregate() {
+        return OracleOutcome::Invalid("TLP base oracle skips aggregate queries".into());
+    }
+    let base = normalized_base(query);
+
+    let mut q_all = base.clone();
+    q_all.where_clause = None;
+
+    let mut q_true = base.clone();
+    q_true.where_clause = Some(predicate.clone());
+
+    let mut q_false = base.clone();
+    q_false.where_clause = Some(predicate.clone().not());
+
+    let mut q_null = base;
+    q_null.where_clause = Some(predicate.clone().is_null());
+
+    let queries = [&q_all, &q_true, &q_false, &q_null];
+    let mut fingerprints: Vec<Vec<String>> = Vec::with_capacity(4);
+    for q in queries {
+        match conn.query(&q.to_string()) {
+            Ok(rs) => fingerprints.push(rs.multiset_fingerprint()),
+            Err(err) => return OracleOutcome::Invalid(err),
+        }
+    }
+    let mut partitioned: Vec<String> = fingerprints[1]
+        .iter()
+        .chain(fingerprints[2].iter())
+        .chain(fingerprints[3].iter())
+        .cloned()
+        .collect();
+    partitioned.sort();
+    if partitioned == fingerprints[0] {
+        OracleOutcome::Passed
+    } else {
+        OracleOutcome::Bug(Box::new(BugReport {
+            oracle: OracleKind::Tlp,
+            description: format!(
+                "TLP mismatch: base query returned {} rows, the three partitions returned {} rows in total",
+                fingerprints[0].len(),
+                partitioned.len()
+            ),
+            setup: setup.to_vec(),
+            queries: queries.iter().map(|q| q.to_string()).collect(),
+            features: features.clone(),
+        }))
+    }
+}
+
+/// Applies the NoREC oracle: the number of rows returned by
+/// `SELECT * FROM ... WHERE p` (optimizable) must equal the number of rows
+/// for which the unoptimizable rewrite `SELECT (p IS TRUE) FROM ...`
+/// evaluates the predicate to true.
+pub fn check_norec(
+    conn: &mut dyn DbmsConnection,
+    query: &Select,
+    predicate: &Expr,
+    features: &FeatureSet,
+    setup: &[String],
+) -> OracleOutcome {
+    if query.is_aggregate() {
+        return OracleOutcome::Invalid("NoREC skips aggregate queries".into());
+    }
+    let base = normalized_base(query);
+
+    let mut optimized = base.clone();
+    optimized.projections = vec![SelectItem::Wildcard];
+    optimized.where_clause = Some(predicate.clone());
+
+    let mut reference = base;
+    reference.projections = vec![SelectItem::aliased(predicate.clone().is_true(), "norec")];
+    reference.where_clause = None;
+
+    let optimized_rows = match conn.query(&optimized.to_string()) {
+        Ok(rs) => rs.row_count(),
+        Err(err) => return OracleOutcome::Invalid(err),
+    };
+    let reference_rows = match conn.query(&reference.to_string()) {
+        Ok(rs) => rs
+            .rows
+            .iter()
+            .filter(|row| {
+                matches!(
+                    row.first(),
+                    Some(Value::Boolean(true)) | Some(Value::Integer(1))
+                )
+            })
+            .count(),
+        Err(err) => return OracleOutcome::Invalid(err),
+    };
+    if optimized_rows == reference_rows {
+        OracleOutcome::Passed
+    } else {
+        OracleOutcome::Bug(Box::new(BugReport {
+            oracle: OracleKind::NoRec,
+            description: format!(
+                "NoREC mismatch: optimized query returned {optimized_rows} rows, non-optimizable rewrite counted {reference_rows}"
+            ),
+            setup: setup.to_vec(),
+            queries: vec![optimized.to_string(), reference.to_string()],
+            features: features.clone(),
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbms::{QueryResult, StatementOutcome};
+    use sql_ast::TableWithJoins;
+    use std::collections::BTreeMap;
+
+    /// A scripted mock DBMS: maps SQL text to canned results.
+    struct MockDbms {
+        canned: BTreeMap<String, Result<QueryResult, String>>,
+    }
+
+    impl MockDbms {
+        fn new() -> MockDbms {
+            MockDbms {
+                canned: BTreeMap::new(),
+            }
+        }
+
+        fn with(mut self, sql: &str, rows: Vec<Vec<Value>>) -> Self {
+            self.canned.insert(
+                sql.to_string(),
+                Ok(QueryResult {
+                    columns: vec!["c0".into()],
+                    rows,
+                }),
+            );
+            self
+        }
+
+        fn with_error(mut self, sql: &str, err: &str) -> Self {
+            self.canned.insert(sql.to_string(), Err(err.to_string()));
+            self
+        }
+    }
+
+    impl DbmsConnection for MockDbms {
+        fn name(&self) -> &str {
+            "mock"
+        }
+        fn execute(&mut self, _sql: &str) -> StatementOutcome {
+            StatementOutcome::Success
+        }
+        fn query(&mut self, sql: &str) -> Result<QueryResult, String> {
+            self.canned
+                .get(sql)
+                .cloned()
+                .unwrap_or_else(|| Err(format!("unexpected query: {sql}")))
+        }
+        fn reset(&mut self) {}
+    }
+
+    fn sample_query() -> (Select, Expr, FeatureSet) {
+        let predicate = Expr::column("c0").eq(Expr::integer(1));
+        let select = Select {
+            projections: vec![SelectItem::expr(Expr::column("c0"))],
+            from: vec![TableWithJoins::table("t0")],
+            where_clause: Some(predicate.clone()),
+            ..Select::new()
+        };
+        (select, predicate, FeatureSet::new())
+    }
+
+    #[test]
+    fn tlp_passes_when_partitions_cover_base() {
+        let (query, predicate, features) = sample_query();
+        let mut mock = MockDbms::new()
+            .with("SELECT c0 FROM t0", vec![vec![Value::Integer(1)], vec![Value::Integer(2)]])
+            .with("SELECT c0 FROM t0 WHERE (c0 = 1)", vec![vec![Value::Integer(1)]])
+            .with(
+                "SELECT c0 FROM t0 WHERE (NOT (c0 = 1))",
+                vec![vec![Value::Integer(2)]],
+            )
+            .with("SELECT c0 FROM t0 WHERE ((c0 = 1) IS NULL)", vec![]);
+        let outcome = check_tlp(&mut mock, &query, &predicate, &features, &[]);
+        assert_eq!(outcome, OracleOutcome::Passed);
+    }
+
+    #[test]
+    fn tlp_reports_bug_when_row_is_lost() {
+        let (query, predicate, features) = sample_query();
+        // The NOT-partition "loses" row 2 — exactly the REPLACE-style bug
+        // shape from Listing 2.
+        let mut mock = MockDbms::new()
+            .with("SELECT c0 FROM t0", vec![vec![Value::Integer(1)], vec![Value::Integer(2)]])
+            .with("SELECT c0 FROM t0 WHERE (c0 = 1)", vec![vec![Value::Integer(1)]])
+            .with("SELECT c0 FROM t0 WHERE (NOT (c0 = 1))", vec![])
+            .with("SELECT c0 FROM t0 WHERE ((c0 = 1) IS NULL)", vec![]);
+        let outcome = check_tlp(&mut mock, &query, &predicate, &features, &[]);
+        assert!(outcome.is_bug());
+        if let OracleOutcome::Bug(report) = outcome {
+            assert_eq!(report.oracle, OracleKind::Tlp);
+            assert_eq!(report.queries.len(), 4);
+        }
+    }
+
+    #[test]
+    fn tlp_marks_invalid_when_a_partition_fails() {
+        let (query, predicate, features) = sample_query();
+        let mut mock = MockDbms::new()
+            .with("SELECT c0 FROM t0", vec![])
+            .with_error("SELECT c0 FROM t0 WHERE (c0 = 1)", "syntax error");
+        let outcome = check_tlp(&mut mock, &query, &predicate, &features, &[]);
+        assert_eq!(outcome, OracleOutcome::Invalid("syntax error".into()));
+        assert!(!outcome.is_valid());
+    }
+
+    #[test]
+    fn norec_compares_row_counts() {
+        let (query, predicate, features) = sample_query();
+        let mut mock = MockDbms::new()
+            .with("SELECT * FROM t0 WHERE (c0 = 1)", vec![vec![Value::Integer(1)]])
+            .with(
+                "SELECT ((c0 = 1) IS TRUE) AS norec FROM t0",
+                vec![vec![Value::Boolean(true)], vec![Value::Boolean(false)]],
+            );
+        assert_eq!(
+            check_norec(&mut mock, &query, &predicate, &features, &[]),
+            OracleOutcome::Passed
+        );
+        let mut buggy = MockDbms::new()
+            .with("SELECT * FROM t0 WHERE (c0 = 1)", vec![])
+            .with(
+                "SELECT ((c0 = 1) IS TRUE) AS norec FROM t0",
+                vec![vec![Value::Boolean(true)]],
+            );
+        assert!(check_norec(&mut buggy, &query, &predicate, &features, &[]).is_bug());
+    }
+
+    #[test]
+    fn aggregates_are_skipped() {
+        let (mut query, predicate, features) = sample_query();
+        query.projections = vec![SelectItem::expr(Expr::Aggregate {
+            func: sql_ast::AggregateFunction::Count,
+            arg: None,
+            distinct: false,
+        })];
+        let mut mock = MockDbms::new();
+        assert!(!check_tlp(&mut mock, &query, &predicate, &features, &[]).is_valid());
+        assert!(!check_norec(&mut mock, &query, &predicate, &features, &[]).is_valid());
+    }
+}

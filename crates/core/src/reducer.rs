@@ -1,0 +1,240 @@
+//! Bug-inducing test-case reduction.
+//!
+//! Before a bug-inducing test case is handed to a human (or counted in the
+//! experiments), SQLancer++ reduces it: statements that are not needed to
+//! reproduce the discrepancy are removed, and the predicate is shrunk by
+//! replacing sub-expressions with their children (a simple syntactic
+//! delta-debugging pass). Reduction re-validates the oracle verdict after
+//! every candidate simplification.
+
+use crate::dbms::DbmsConnection;
+use crate::feature::FeatureSet;
+use crate::oracle::{check_norec, check_tlp, OracleKind, OracleOutcome};
+use sql_ast::{Expr, Select};
+
+/// A reducible bug-inducing test case: the database-construction statements
+/// plus the query and predicate the oracle flagged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReducibleCase {
+    /// SQL statements that build the database state.
+    pub setup: Vec<String>,
+    /// The flagged query (its `where_clause` holds the predicate).
+    pub query: Select,
+    /// The predicate the oracle transformed.
+    pub predicate: Expr,
+    /// The oracle that flagged the case.
+    pub oracle: OracleKind,
+    /// The feature set recorded at generation time.
+    pub features: FeatureSet,
+}
+
+/// Statistics about a reduction run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReductionStats {
+    /// Setup statements before/after.
+    pub setup_before: usize,
+    /// Setup statements after reduction.
+    pub setup_after: usize,
+    /// Predicate AST nodes before reduction.
+    pub predicate_nodes_before: usize,
+    /// Predicate AST nodes after reduction.
+    pub predicate_nodes_after: usize,
+    /// Number of oracle re-validations performed.
+    pub checks: usize,
+}
+
+/// Reduces a bug-inducing test case against a live connection.
+pub struct BugReducer<'a> {
+    conn: &'a mut dyn DbmsConnection,
+    checks: usize,
+    max_checks: usize,
+}
+
+impl<'a> BugReducer<'a> {
+    /// Creates a reducer bounded to `max_checks` oracle re-validations.
+    pub fn new(conn: &'a mut dyn DbmsConnection, max_checks: usize) -> BugReducer<'a> {
+        BugReducer {
+            conn,
+            checks: 0,
+            max_checks,
+        }
+    }
+
+    /// Checks whether a candidate case still reproduces the bug.
+    fn reproduces(&mut self, case: &ReducibleCase) -> bool {
+        if self.checks >= self.max_checks {
+            return false;
+        }
+        self.checks += 1;
+        self.conn.reset();
+        for sql in &case.setup {
+            // Failed setup statements are tolerated: the remaining ones may
+            // still reproduce the bug.
+            let _ = self.conn.execute(sql);
+        }
+        let outcome = match case.oracle {
+            OracleKind::Tlp => check_tlp(
+                self.conn,
+                &case.query,
+                &case.predicate,
+                &case.features,
+                &case.setup,
+            ),
+            OracleKind::NoRec => check_norec(
+                self.conn,
+                &case.query,
+                &case.predicate,
+                &case.features,
+                &case.setup,
+            ),
+        };
+        matches!(outcome, OracleOutcome::Bug(_))
+    }
+
+    /// Runs the reduction. Returns the reduced case and statistics; the
+    /// returned case is guaranteed to still reproduce the bug (or, if the
+    /// budget ran out, to be the best known reproducer).
+    pub fn reduce(&mut self, case: &ReducibleCase) -> (ReducibleCase, ReductionStats) {
+        let mut current = case.clone();
+        let mut stats = ReductionStats {
+            setup_before: case.setup.len(),
+            predicate_nodes_before: case.predicate.node_count(),
+            ..ReductionStats::default()
+        };
+
+        // Phase 1: drop setup statements one at a time (last to first, so
+        // that later statements which depend on earlier ones go first).
+        let mut i = current.setup.len();
+        while i > 0 {
+            i -= 1;
+            let mut candidate = current.clone();
+            candidate.setup.remove(i);
+            if self.reproduces(&candidate) {
+                current = candidate;
+            }
+        }
+
+        // Phase 2: shrink the predicate by replacing it with each of its
+        // children (transitively) while the bug still reproduces.
+        loop {
+            let children: Vec<Expr> = current.predicate.children().into_iter().cloned().collect();
+            let mut replaced = false;
+            for child in children {
+                let mut candidate = current.clone();
+                candidate.predicate = child.clone();
+                candidate.query.where_clause = Some(child.clone());
+                if self.reproduces(&candidate) {
+                    current = candidate;
+                    replaced = true;
+                    break;
+                }
+            }
+            if !replaced {
+                break;
+            }
+        }
+
+        stats.setup_after = current.setup.len();
+        stats.predicate_nodes_after = current.predicate.node_count();
+        stats.checks = self.checks;
+        (current, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbms::{QueryResult, StatementOutcome};
+    use sql_ast::{SelectItem, TableWithJoins, Value};
+
+    /// A mock DBMS whose "bug" fires whenever the predicate SQL contains the
+    /// token `NULLIF` — regardless of the setup statements, so the reducer
+    /// should strip the setup entirely and shrink the predicate to the
+    /// NULLIF-containing subtree.
+    struct TokenBugDbms;
+
+    impl DbmsConnection for TokenBugDbms {
+        fn name(&self) -> &str {
+            "token-bug"
+        }
+        fn execute(&mut self, _sql: &str) -> StatementOutcome {
+            StatementOutcome::Success
+        }
+        fn query(&mut self, sql: &str) -> Result<QueryResult, String> {
+            // The "base" (no WHERE) query returns one row. Partition queries
+            // return one row each when they contain NULLIF (so the union has
+            // three rows — a mismatch), and behave consistently otherwise
+            // (only the NOT-partition returns the row).
+            let rows = if !sql.contains("WHERE") {
+                vec![vec![Value::Integer(1)]]
+            } else if sql.contains("NULLIF") {
+                vec![vec![Value::Integer(1)]]
+            } else if sql.contains("WHERE (NOT") {
+                vec![vec![Value::Integer(1)]]
+            } else {
+                vec![]
+            };
+            Ok(QueryResult {
+                columns: vec!["c0".into()],
+                rows,
+            })
+        }
+        fn reset(&mut self) {}
+    }
+
+    #[test]
+    fn reducer_strips_setup_and_shrinks_predicate() {
+        let predicate = Expr::Function {
+            func: sql_ast::ScalarFunction::Nullif,
+            args: vec![Expr::integer(2), Expr::column("c0")],
+        }
+        .binary(sql_ast::BinaryOp::Neq, Expr::integer(1))
+        .and(Expr::column("c0").eq(Expr::column("c0")));
+        let query = Select {
+            projections: vec![SelectItem::expr(Expr::column("c0"))],
+            from: vec![TableWithJoins::table("t0")],
+            where_clause: Some(predicate.clone()),
+            ..Select::new()
+        };
+        let case = ReducibleCase {
+            setup: vec![
+                "CREATE TABLE t0 (c0 INT)".into(),
+                "CREATE TABLE t_unused (c0 INT)".into(),
+                "INSERT INTO t0 (c0) VALUES (1)".into(),
+            ],
+            query,
+            predicate,
+            oracle: OracleKind::Tlp,
+            features: FeatureSet::new(),
+        };
+        let mut conn = TokenBugDbms;
+        let mut reducer = BugReducer::new(&mut conn, 200);
+        let (reduced, stats) = reducer.reduce(&case);
+        // The mock bug does not depend on setup at all.
+        assert!(reduced.setup.is_empty(), "{:?}", reduced.setup);
+        // The predicate shrank to (a subtree containing) the NULLIF call.
+        assert!(reduced.predicate.to_string().contains("NULLIF"));
+        assert!(stats.predicate_nodes_after < stats.predicate_nodes_before);
+        assert!(stats.checks > 0);
+    }
+
+    #[test]
+    fn reducer_respects_check_budget() {
+        let case = ReducibleCase {
+            setup: (0..50).map(|i| format!("CREATE TABLE t{i} (c0 INT)")).collect(),
+            query: Select {
+                projections: vec![SelectItem::expr(Expr::column("c0"))],
+                from: vec![TableWithJoins::table("t0")],
+                where_clause: Some(Expr::column("c0").is_null()),
+                ..Select::new()
+            },
+            predicate: Expr::column("c0").is_null(),
+            oracle: OracleKind::Tlp,
+            features: FeatureSet::new(),
+        };
+        let mut conn = TokenBugDbms;
+        let mut reducer = BugReducer::new(&mut conn, 10);
+        let (_, stats) = reducer.reduce(&case);
+        assert!(stats.checks <= 10);
+    }
+}

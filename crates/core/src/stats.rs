@@ -1,0 +1,374 @@
+//! Validity-feedback statistics and the Bayesian support model.
+//!
+//! The adaptive generator records, per feature, how many statements that
+//! contained the feature were attempted and how many succeeded. For *query*
+//! features it models the per-feature success probability θ with a binomial
+//! likelihood and a uniform prior, so that the posterior is
+//! `Beta(y + 1, N − y + 1)` (Equations 1–3 of the paper). A feature is
+//! deemed **unsupported** when at least `credible_mass` (95%) of the
+//! posterior probability lies below the user threshold `p` (default 1%).
+//! For *DDL/DML* features a simpler rule is used: a feature that fails more
+//! than a fixed number of consecutive times is deemed unsupported.
+
+use crate::feature::{Feature, FeatureSet};
+use std::collections::BTreeMap;
+
+/// Tuning knobs of the feedback mechanism.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsConfig {
+    /// Minimum acceptable success probability for a query feature (the
+    /// paper's user-specified threshold `p`, default 1%).
+    pub query_threshold: f64,
+    /// Posterior mass that must lie below the threshold before a feature is
+    /// declared unsupported (the paper uses a 95% credible interval).
+    pub credible_mass: f64,
+    /// Number of consecutive failures after which a DDL/DML feature is
+    /// deemed unsupported.
+    pub ddl_failure_limit: u64,
+    /// Minimum number of attempts before a query feature can be declared
+    /// unsupported (avoids judging on tiny samples).
+    pub min_attempts: u64,
+}
+
+impl Default for StatsConfig {
+    fn default() -> StatsConfig {
+        StatsConfig {
+            query_threshold: 0.01,
+            credible_mass: 0.95,
+            ddl_failure_limit: 10,
+            min_attempts: 20,
+        }
+    }
+}
+
+/// Per-feature execution counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FeatureCounts {
+    /// Total number of statements containing the feature.
+    pub attempts: u64,
+    /// Number of those statements that executed successfully.
+    pub successes: u64,
+    /// Current run of consecutive failures.
+    pub consecutive_failures: u64,
+}
+
+impl FeatureCounts {
+    /// Posterior mean of the success probability under the Beta posterior.
+    pub fn posterior_mean(&self) -> f64 {
+        (self.successes as f64 + 1.0) / (self.attempts as f64 + 2.0)
+    }
+
+    /// Posterior probability that the success probability is below `p`,
+    /// i.e. the regularised incomplete beta `I_p(y + 1, N − y + 1)`.
+    pub fn posterior_mass_below(&self, p: f64) -> f64 {
+        regularized_incomplete_beta(
+            p,
+            self.successes as f64 + 1.0,
+            (self.attempts - self.successes) as f64 + 1.0,
+        )
+    }
+}
+
+/// Whether a feature was used in a DDL/DML statement or a query; the two
+/// categories use different unsupported-detection rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeatureKind {
+    /// Feature observed in a DDL or DML statement.
+    DdlDml,
+    /// Feature observed in a query.
+    Query,
+}
+
+/// Aggregated validity feedback across all features.
+#[derive(Debug, Clone, Default)]
+pub struct FeatureStats {
+    query: BTreeMap<Feature, FeatureCounts>,
+    ddl: BTreeMap<Feature, FeatureCounts>,
+}
+
+impl FeatureStats {
+    /// Creates empty statistics.
+    pub fn new() -> FeatureStats {
+        FeatureStats::default()
+    }
+
+    /// Records the outcome of one statement execution for every feature in
+    /// its feature set.
+    pub fn record(&mut self, features: &FeatureSet, kind: FeatureKind, success: bool) {
+        let map = match kind {
+            FeatureKind::Query => &mut self.query,
+            FeatureKind::DdlDml => &mut self.ddl,
+        };
+        for feature in features.iter() {
+            let counts = map.entry(feature.clone()).or_default();
+            counts.attempts += 1;
+            if success {
+                counts.successes += 1;
+                counts.consecutive_failures = 0;
+            } else {
+                counts.consecutive_failures += 1;
+            }
+        }
+    }
+
+    /// The counts recorded for a feature in the given category.
+    pub fn counts(&self, feature: &Feature, kind: FeatureKind) -> FeatureCounts {
+        let map = match kind {
+            FeatureKind::Query => &self.query,
+            FeatureKind::DdlDml => &self.ddl,
+        };
+        map.get(feature).copied().unwrap_or_default()
+    }
+
+    /// Decides whether a feature is unsupported under the configured rules
+    /// (Beta-posterior test for queries, consecutive-failure rule for
+    /// DDL/DML).
+    pub fn is_unsupported(&self, feature: &Feature, kind: FeatureKind, config: &StatsConfig) -> bool {
+        let counts = self.counts(feature, kind);
+        match kind {
+            FeatureKind::DdlDml => counts.consecutive_failures >= config.ddl_failure_limit,
+            FeatureKind::Query => {
+                counts.attempts >= config.min_attempts
+                    && counts.posterior_mass_below(config.query_threshold) >= config.credible_mass
+            }
+        }
+    }
+
+    /// All features currently considered unsupported in a category.
+    pub fn unsupported_features(&self, kind: FeatureKind, config: &StatsConfig) -> Vec<Feature> {
+        let map = match kind {
+            FeatureKind::Query => &self.query,
+            FeatureKind::DdlDml => &self.ddl,
+        };
+        map.keys()
+            .filter(|f| self.is_unsupported(f, kind, config))
+            .cloned()
+            .collect()
+    }
+
+    /// Total attempts and successes across all query features (used for the
+    /// validity-rate metrics of Table 4).
+    pub fn query_totals(&self) -> (u64, u64) {
+        let attempts = self.query.values().map(|c| c.attempts).sum();
+        let successes = self.query.values().map(|c| c.successes).sum();
+        (attempts, successes)
+    }
+
+    /// Iterates over all query-feature counts (for persistence).
+    pub fn iter_query(&self) -> impl Iterator<Item = (&Feature, &FeatureCounts)> {
+        self.query.iter()
+    }
+
+    /// Iterates over all DDL/DML-feature counts (for persistence).
+    pub fn iter_ddl(&self) -> impl Iterator<Item = (&Feature, &FeatureCounts)> {
+        self.ddl.iter()
+    }
+
+    /// Inserts raw counts (used when loading a persisted profile).
+    pub fn load_counts(&mut self, feature: Feature, kind: FeatureKind, counts: FeatureCounts) {
+        match kind {
+            FeatureKind::Query => self.query.insert(feature, counts),
+            FeatureKind::DdlDml => self.ddl.insert(feature, counts),
+        };
+    }
+}
+
+/// Natural log of the gamma function (Lanczos approximation).
+fn ln_gamma(x: f64) -> f64 {
+    // Coefficients for the Lanczos approximation (g = 7, n = 9).
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Continued-fraction evaluation for the incomplete beta function
+/// (Numerical Recipes `betacf`).
+fn beta_continued_fraction(x: f64, a: f64, b: f64) -> f64 {
+    const MAX_ITER: usize = 200;
+    const EPS: f64 = 3.0e-12;
+    const FPMIN: f64 = 1.0e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// The regularised incomplete beta function `I_x(a, b)`, i.e. the CDF of a
+/// `Beta(a, b)` distribution evaluated at `x`.
+pub fn regularized_incomplete_beta(x: f64, a: f64, b: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_beta = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b);
+    let front = (ln_beta + a * x.ln() + b * (1.0 - x).ln()).exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_continued_fraction(x, a, b) / a
+    } else {
+        1.0 - front * beta_continued_fraction(1.0 - x, b, a) / b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feature_set(names: &[&str]) -> FeatureSet {
+        names.iter().map(|n| Feature::new(*n)).collect()
+    }
+
+    #[test]
+    fn incomplete_beta_matches_known_values() {
+        // I_x(1, 1) is the uniform CDF.
+        assert!((regularized_incomplete_beta(0.3, 1.0, 1.0) - 0.3).abs() < 1e-9);
+        // Symmetric case: I_0.5(2, 2) = 0.5.
+        assert!((regularized_incomplete_beta(0.5, 2.0, 2.0) - 0.5).abs() < 1e-9);
+        // Beta(1, 401) at 0.01: the paper's example says more than 95% of
+        // the mass lies below 0.01 (the 95% credible interval is roughly
+        // [6e-5, 0.009]).
+        let mass = regularized_incomplete_beta(0.01, 1.0, 401.0);
+        assert!(mass > 0.95, "mass = {mass}");
+        // Monotonic in x.
+        assert!(
+            regularized_incomplete_beta(0.2, 3.0, 5.0)
+                < regularized_incomplete_beta(0.4, 3.0, 5.0)
+        );
+    }
+
+    #[test]
+    fn paper_example_400_failures_is_unsupported() {
+        // y = 0, N = 400 with threshold 0.01 → unsupported (Section 4).
+        let mut stats = FeatureStats::new();
+        let features = feature_set(&["OP_NULLSAFE_EQ"]);
+        for _ in 0..400 {
+            stats.record(&features, FeatureKind::Query, false);
+        }
+        let config = StatsConfig::default();
+        assert!(stats.is_unsupported(&Feature::new("OP_NULLSAFE_EQ"), FeatureKind::Query, &config));
+    }
+
+    #[test]
+    fn frequently_succeeding_feature_stays_supported() {
+        let mut stats = FeatureStats::new();
+        let features = feature_set(&["OP_EQ"]);
+        for i in 0..400 {
+            stats.record(&features, FeatureKind::Query, i % 2 == 0);
+        }
+        let config = StatsConfig::default();
+        assert!(!stats.is_unsupported(&Feature::new("OP_EQ"), FeatureKind::Query, &config));
+        let counts = stats.counts(&Feature::new("OP_EQ"), FeatureKind::Query);
+        assert!((counts.posterior_mean() - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn small_samples_are_never_judged() {
+        let mut stats = FeatureStats::new();
+        let features = feature_set(&["FN_SIN"]);
+        for _ in 0..5 {
+            stats.record(&features, FeatureKind::Query, false);
+        }
+        assert!(!stats.is_unsupported(
+            &Feature::new("FN_SIN"),
+            FeatureKind::Query,
+            &StatsConfig::default()
+        ));
+    }
+
+    #[test]
+    fn ddl_rule_uses_consecutive_failures() {
+        let mut stats = FeatureStats::new();
+        let features = feature_set(&["STMT_CREATE_INDEX"]);
+        let config = StatsConfig::default();
+        for _ in 0..9 {
+            stats.record(&features, FeatureKind::DdlDml, false);
+        }
+        assert!(!stats.is_unsupported(
+            &Feature::new("STMT_CREATE_INDEX"),
+            FeatureKind::DdlDml,
+            &config
+        ));
+        stats.record(&features, FeatureKind::DdlDml, false);
+        assert!(stats.is_unsupported(
+            &Feature::new("STMT_CREATE_INDEX"),
+            FeatureKind::DdlDml,
+            &config
+        ));
+        // One success resets the run.
+        stats.record(&features, FeatureKind::DdlDml, true);
+        assert!(!stats.is_unsupported(
+            &Feature::new("STMT_CREATE_INDEX"),
+            FeatureKind::DdlDml,
+            &config
+        ));
+    }
+
+    #[test]
+    fn query_totals_track_validity_rate() {
+        let mut stats = FeatureStats::new();
+        let features = feature_set(&["OP_EQ", "FN_SIN"]);
+        stats.record(&features, FeatureKind::Query, true);
+        stats.record(&features, FeatureKind::Query, false);
+        let (attempts, successes) = stats.query_totals();
+        assert_eq!(attempts, 4);
+        assert_eq!(successes, 2);
+    }
+}

@@ -1,0 +1,282 @@
+//! The injected-bug catalog: ground truth for the fleet's logic bugs.
+//!
+//! Each entry ties one engine fault switch ([`sql_engine::FaultConfig`]) to
+//! a stable bug identifier, a human-readable description, the SQL features
+//! involved, and whether it is a *logic* bug (silently wrong results) or an
+//! *other* bug (internal error / crash) — the two classes Table 2 of the
+//! paper distinguishes.
+
+/// One injectable bug.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedBug {
+    /// Stable identifier (used as the ground truth for "unique bugs").
+    pub id: &'static str,
+    /// The engine fault switch that enables it.
+    pub fault: &'static str,
+    /// Whether this is a logic bug (vs. an internal-error/crash bug).
+    pub is_logic: bool,
+    /// Canonical names of the SQL features involved in triggering it.
+    pub features: &'static [&'static str],
+    /// One-line description.
+    pub description: &'static str,
+}
+
+/// The full catalog of injectable bugs.
+pub fn catalog() -> Vec<InjectedBug> {
+    vec![
+        InjectedBug {
+            id: "BUG-NOT-NULL-SEMANTICS",
+            fault: "bad_not_elimination",
+            is_logic: true,
+            features: &["OP_NOT", "OP_EQ"],
+            description: "NOT (a = b) rewritten to IS DISTINCT FROM, changing NULL semantics",
+        },
+        InjectedBug {
+            id: "BUG-RANGE-NEGATION",
+            fault: "bad_range_negation",
+            is_logic: true,
+            features: &["OP_NOT", "OP_LT"],
+            description: "NOT (a < b) rewritten to a > b, dropping equality",
+        },
+        InjectedBug {
+            id: "BUG-PREDICATE-PUSHDOWN",
+            fault: "bad_predicate_pushdown",
+            is_logic: true,
+            features: &["JOIN_LEFT", "CLAUSE_WHERE"],
+            description: "WHERE predicate pushed into LEFT JOIN ON clause",
+        },
+        InjectedBug {
+            id: "BUG-JOIN-FLATTENING",
+            fault: "bad_join_flattening",
+            is_logic: true,
+            features: &["JOIN_RIGHT", "JOIN_LEFT", "CLAUSE_WHERE"],
+            description: "outer-join ON term flattened into WHERE (SQLite Listing 3)",
+        },
+        InjectedBug {
+            id: "BUG-CONST-FOLD-TEXT",
+            fault: "bad_constant_folding_text",
+            is_logic: true,
+            features: &["TYPE_TEXT", "OP_EQ"],
+            description: "constant folding coerces text literals numerically",
+        },
+        InjectedBug {
+            id: "BUG-NOTNULL-ISNULL-FOLD",
+            fault: "bad_notnull_isnull_folding",
+            is_logic: true,
+            features: &["OP_IS_NULL", "KW_NOT_NULL"],
+            description: "IS NULL on NOT NULL columns folded to FALSE despite outer joins",
+        },
+        InjectedBug {
+            id: "BUG-IN-LIST-NULL",
+            fault: "bad_in_list_rewrite",
+            is_logic: true,
+            features: &["OP_IN"],
+            description: "IN-list rewrite drops NULL elements",
+        },
+        InjectedBug {
+            id: "BUG-BETWEEN-SWAP",
+            fault: "bad_between_rewrite",
+            is_logic: true,
+            features: &["OP_BETWEEN"],
+            description: "BETWEEN with reversed literal bounds gets its bounds swapped",
+        },
+        InjectedBug {
+            id: "BUG-DISTINCT-ELIM",
+            fault: "bad_distinct_elimination",
+            is_logic: true,
+            features: &["CLAUSE_DISTINCT", "OP_EQ"],
+            description: "DISTINCT dropped when an equality predicate is present",
+        },
+        InjectedBug {
+            id: "BUG-LIMIT-PUSHDOWN",
+            fault: "bad_limit_pushdown",
+            is_logic: true,
+            features: &["CLAUSE_LIMIT", "JOIN_LEFT"],
+            description: "LIMIT pushed below an outer join",
+        },
+        InjectedBug {
+            id: "BUG-NULLSAFE-EQ",
+            fault: "bad_nullsafe_eq_rewrite",
+            is_logic: true,
+            features: &["OP_NULLSAFE_EQ"],
+            description: "<=> rewritten to plain equality",
+        },
+        InjectedBug {
+            id: "BUG-CASE-FOLD",
+            fault: "bad_case_folding",
+            is_logic: true,
+            features: &["CLAUSE_CASE"],
+            description: "CASE folded on a constant-true first branch",
+        },
+        InjectedBug {
+            id: "BUG-INDEX-COERCION",
+            fault: "bad_index_lookup_coercion",
+            is_logic: true,
+            features: &["STMT_CREATE_INDEX", "OP_EQ"],
+            description: "index lookup skips text-to-numeric coercion",
+        },
+        InjectedBug {
+            id: "BUG-UNIQUE-INDEX-SHORTCUT",
+            fault: "bad_unique_index_shortcut",
+            is_logic: true,
+            features: &["STMT_CREATE_INDEX", "KW_UNIQUE_INDEX", "OP_EQ"],
+            description: "unique-index lookup stops at the first match",
+        },
+        InjectedBug {
+            id: "BUG-PARTIAL-INDEX",
+            fault: "bad_partial_index_scan",
+            is_logic: true,
+            features: &["STMT_CREATE_INDEX", "KW_PARTIAL_INDEX"],
+            description: "partial index used without checking its predicate",
+        },
+        InjectedBug {
+            id: "BUG-STALE-COUNT",
+            fault: "bad_stale_count_statistics",
+            is_logic: true,
+            features: &["STMT_ANALYZE", "AGG_COUNT"],
+            description: "COUNT(*) answered from stale ANALYZE statistics",
+        },
+        InjectedBug {
+            id: "BUG-REPLACE-AFFINITY",
+            fault: "bad_replace_type_affinity",
+            is_logic: true,
+            features: &["FN_REPLACE", "OP_EQ"],
+            description: "REPLACE returns a non-text intermediate (SQLite Listing 2, hidden ten years)",
+        },
+        InjectedBug {
+            id: "BUG-BITWISE-INVERSION",
+            fault: "bad_bitwise_inversion",
+            is_logic: true,
+            features: &["OP_BITNOT"],
+            description: "bitwise inversion mishandles negative operands (TiDB ~ bug)",
+        },
+        InjectedBug {
+            id: "BUG-NULLIF-NULL",
+            fault: "bad_nullif_null_handling",
+            is_logic: true,
+            features: &["FN_NULLIF"],
+            description: "NULLIF returns NULL when its second argument is NULL",
+        },
+        InjectedBug {
+            id: "BUG-COLLATION-COMPARE",
+            fault: "bad_collation_comparison",
+            is_logic: true,
+            features: &["TYPE_TEXT", "OP_EQ"],
+            description: "optimized text comparison is case-insensitive",
+        },
+        InjectedBug {
+            id: "BUG-LIKE-UNDERSCORE",
+            fault: "bad_like_underscore",
+            is_logic: true,
+            features: &["OP_LIKE"],
+            description: "LIKE treats _ as a literal in the optimized path",
+        },
+        InjectedBug {
+            id: "BUG-INTEGER-DIVISION",
+            fault: "bad_integer_division",
+            is_logic: true,
+            features: &["OP_DIV"],
+            description: "integer division rounds instead of truncating",
+        },
+        InjectedBug {
+            id: "BUG-TEXT-COERCION-SIGN",
+            fault: "bad_text_coercion_sign",
+            is_logic: true,
+            features: &["TYPE_TEXT", "OP_LT"],
+            description: "text-to-number coercion ignores a leading minus sign",
+        },
+        InjectedBug {
+            id: "BUG-SUM-EMPTY-GROUP",
+            fault: "bad_sum_empty_group",
+            is_logic: true,
+            features: &["AGG_SUM"],
+            description: "SUM over an empty group returns 0 instead of NULL",
+        },
+        InjectedBug {
+            id: "BUG-COUNT-NULLS",
+            fault: "bad_count_nulls",
+            is_logic: true,
+            features: &["AGG_COUNT"],
+            description: "COUNT(col) counts NULLs",
+        },
+        InjectedBug {
+            id: "BUG-VIEW-PREDICATE",
+            fault: "bad_view_predicate_drop",
+            is_logic: true,
+            features: &["STMT_CREATE_VIEW", "CLAUSE_WHERE"],
+            description: "view expansion drops the view's WHERE predicate",
+        },
+        InjectedBug {
+            id: "BUG-GROUPBY-COLLATION",
+            fault: "bad_group_by_collation",
+            is_logic: true,
+            features: &["CLAUSE_GROUP_BY", "TYPE_TEXT"],
+            description: "GROUP BY on text keys groups case-insensitively",
+        },
+        InjectedBug {
+            id: "BUG-HAVING-PUSHDOWN",
+            fault: "bad_having_pushdown",
+            is_logic: true,
+            features: &["CLAUSE_HAVING"],
+            description: "HAVING without aggregates evaluated before grouping",
+        },
+        InjectedBug {
+            id: "BUG-DEEP-EXPR-CRASH",
+            fault: "crash_on_deep_expressions",
+            is_logic: false,
+            features: &["CLAUSE_WHERE"],
+            description: "internal error on deeply nested expressions",
+        },
+        InjectedBug {
+            id: "BUG-MANY-JOINS-OOM",
+            fault: "crash_on_many_joins",
+            is_logic: false,
+            features: &["JOIN_INNER", "JOIN_LEFT"],
+            description: "out-of-memory style internal error on three-way joins",
+        },
+    ]
+}
+
+/// Looks up catalog entries by fault name.
+pub fn bugs_for_faults(faults: &[&str]) -> Vec<InjectedBug> {
+    catalog()
+        .into_iter()
+        .filter(|b| faults.contains(&b.fault))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sql_engine::FaultConfig;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn every_catalog_entry_maps_to_a_real_fault_switch() {
+        let known: BTreeSet<_> = FaultConfig::all_names().into_iter().collect();
+        for bug in catalog() {
+            assert!(known.contains(bug.fault), "unknown fault {}", bug.fault);
+        }
+    }
+
+    #[test]
+    fn ids_are_unique_and_catalog_covers_every_fault() {
+        let bugs = catalog();
+        let ids: BTreeSet<_> = bugs.iter().map(|b| b.id).collect();
+        assert_eq!(ids.len(), bugs.len());
+        assert_eq!(bugs.len(), FaultConfig::all_names().len());
+    }
+
+    #[test]
+    fn logic_and_other_bugs_are_both_present() {
+        let bugs = catalog();
+        assert!(bugs.iter().filter(|b| b.is_logic).count() >= 25);
+        assert!(bugs.iter().filter(|b| !b.is_logic).count() >= 2);
+    }
+
+    #[test]
+    fn lookup_by_fault_names() {
+        let found = bugs_for_faults(&["bad_replace_type_affinity", "bad_bitwise_inversion"]);
+        assert_eq!(found.len(), 2);
+    }
+}

@@ -1,0 +1,243 @@
+//! A simulated DBMS: engine + dialect profile + injected bugs.
+
+use crate::bugs::{bugs_for_faults, InjectedBug};
+use crate::profile::DialectProfile;
+use sql_ast::Statement;
+use sql_engine::{Database, EngineConfig, StatementResult};
+use sqlancer_core::{
+    check_norec, check_tlp, DbmsConnection, DialectQuirks, OracleKind, OracleOutcome, QueryResult,
+    ReducibleCase, StatementOutcome,
+};
+
+/// A simulated DBMS under test: a dialect profile layered over the
+/// in-memory engine, with a set of injected bugs as ground truth.
+#[derive(Debug, Clone)]
+pub struct SimulatedDbms {
+    profile: DialectProfile,
+    faults: Vec<&'static str>,
+    engine: Database,
+}
+
+impl SimulatedDbms {
+    /// Creates a simulated DBMS from a profile and a set of engine fault
+    /// names (the injected bugs).
+    pub fn new(profile: DialectProfile, faults: Vec<&'static str>) -> SimulatedDbms {
+        let engine = Database::new(Self::engine_config(&profile, &faults));
+        SimulatedDbms {
+            profile,
+            faults,
+            engine,
+        }
+    }
+
+    fn engine_config(profile: &DialectProfile, faults: &[&'static str]) -> EngineConfig {
+        let mut config = EngineConfig {
+            typing: profile.typing,
+            ..EngineConfig::default()
+        };
+        for fault in faults {
+            config.faults.enable(fault);
+        }
+        config
+    }
+
+    /// The dialect profile.
+    pub fn profile(&self) -> &DialectProfile {
+        &self.profile
+    }
+
+    /// The injected bugs, with their ground-truth metadata.
+    pub fn injected_bugs(&self) -> Vec<InjectedBug> {
+        bugs_for_faults(&self.faults)
+    }
+
+    /// The underlying engine database (for inspection in experiments, e.g.
+    /// coverage accounting for Table 3).
+    pub fn engine(&self) -> &Database {
+        &self.engine
+    }
+
+    /// A copy of this DBMS with one fault disabled — the "fixed version"
+    /// used for ground-truth bug identification.
+    fn without_fault(&self, fault: &str) -> SimulatedDbms {
+        let faults: Vec<&'static str> = self
+            .faults
+            .iter()
+            .copied()
+            .filter(|f| *f != fault)
+            .collect();
+        SimulatedDbms::new(self.profile.clone(), faults)
+    }
+
+    fn run_case(&mut self, case: &ReducibleCase) -> OracleOutcome {
+        self.reset();
+        for sql in &case.setup {
+            let _ = self.execute(sql);
+        }
+        match case.oracle {
+            OracleKind::Tlp => check_tlp(self, &case.query, &case.predicate, &case.features, &case.setup),
+            OracleKind::NoRec => {
+                check_norec(self, &case.query, &case.predicate, &case.features, &case.setup)
+            }
+        }
+    }
+
+    /// Identifies which injected bugs a reduced test case triggers, by
+    /// replaying it against variants of this DBMS with one fault disabled at
+    /// a time (the in-silico analogue of bisecting to a fix commit, which is
+    /// how the paper establishes uniqueness on CrateDB in Section 5.5).
+    pub fn ground_truth_bugs(&self, case: &ReducibleCase) -> Vec<&'static str> {
+        let mut reproducer = self.clone();
+        if !matches!(reproducer.run_case(case), OracleOutcome::Bug(_)) {
+            return Vec::new();
+        }
+        let mut causes = Vec::new();
+        for fault in &self.faults {
+            let mut fixed = self.without_fault(fault);
+            if !matches!(fixed.run_case(case), OracleOutcome::Bug(_)) {
+                if let Some(bug) = bugs_for_faults(&[fault]).first() {
+                    causes.push(bug.id);
+                }
+            }
+        }
+        causes
+    }
+}
+
+impl DbmsConnection for SimulatedDbms {
+    fn name(&self) -> &str {
+        &self.profile.name
+    }
+
+    fn execute(&mut self, sql: &str) -> StatementOutcome {
+        let stmt: Statement = match sql_parser::parse_statement(sql) {
+            Ok(stmt) => stmt,
+            Err(err) => return StatementOutcome::Failure(format!("syntax error: {err}")),
+        };
+        if let Some(feature) = self.profile.first_unsupported(&stmt) {
+            return StatementOutcome::Failure(format!(
+                "{}: unsupported feature {feature}",
+                self.profile.name
+            ));
+        }
+        match self.engine.execute(&stmt) {
+            Ok(_) => StatementOutcome::Success,
+            Err(err) => StatementOutcome::Failure(err.to_string()),
+        }
+    }
+
+    fn query(&mut self, sql: &str) -> Result<QueryResult, String> {
+        let stmt: Statement = sql_parser::parse_statement(sql).map_err(|e| format!("syntax error: {e}"))?;
+        if let Some(feature) = self.profile.first_unsupported(&stmt) {
+            return Err(format!(
+                "{}: unsupported feature {feature}",
+                self.profile.name
+            ));
+        }
+        if !stmt.is_query() {
+            return Err("not a query".to_string());
+        }
+        match self.engine.execute(&stmt) {
+            Ok(StatementResult::Rows(rs)) => Ok(QueryResult {
+                columns: rs.columns,
+                rows: rs.rows,
+            }),
+            Ok(_) => Err("statement did not produce rows".to_string()),
+            Err(err) => Err(err.to_string()),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.engine = Database::new(Self::engine_config(&self.profile, &self.faults));
+    }
+
+    fn quirks(&self) -> DialectQuirks {
+        DialectQuirks {
+            requires_refresh: self.profile.requires_refresh,
+            requires_commit: self.profile.requires_commit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sql_engine::TypingMode;
+    use sqlancer_core::FeatureSet;
+    use sql_ast::{Expr, Select, SelectItem, TableWithJoins};
+
+    fn permissive_with(faults: Vec<&'static str>) -> SimulatedDbms {
+        SimulatedDbms::new(
+            DialectProfile::permissive("testdb", TypingMode::Dynamic),
+            faults,
+        )
+    }
+
+    #[test]
+    fn executes_sql_and_answers_queries() {
+        let mut dbms = permissive_with(vec![]);
+        assert!(dbms.execute("CREATE TABLE t0 (c0 INTEGER)").is_success());
+        assert!(dbms.execute("INSERT INTO t0 (c0) VALUES (1), (2)").is_success());
+        let rs = dbms.query("SELECT c0 FROM t0 WHERE c0 = 1").unwrap();
+        assert_eq!(rs.row_count(), 1);
+        assert!(dbms.query("SELECT broken FROM").is_err());
+        dbms.reset();
+        assert!(dbms.query("SELECT c0 FROM t0").is_err(), "reset drops state");
+    }
+
+    #[test]
+    fn profile_gating_rejects_unsupported_features() {
+        let profile = DialectProfile::permissive("no-index", TypingMode::Dynamic)
+            .without(&["STMT_CREATE_INDEX", "FN_SIN"]);
+        let mut dbms = SimulatedDbms::new(profile, vec![]);
+        dbms.execute("CREATE TABLE t0 (c0 INTEGER)");
+        assert!(!dbms.execute("CREATE INDEX i0 ON t0(c0)").is_success());
+        assert!(dbms.query("SELECT SIN(c0) FROM t0").is_err());
+        assert!(dbms.query("SELECT COS(c0) FROM t0").is_ok());
+    }
+
+    #[test]
+    fn ground_truth_identifies_the_injected_bug() {
+        // A NULL-dropping NOT-elimination bug, replayed as a reducible test
+        // case against a DBMS with two injected faults: only the
+        // NOT-elimination fault is identified as the cause (the analogue of
+        // bisecting a CrateDB bug to its fix commit in Section 5.5).
+        let dbms = permissive_with(vec!["bad_not_elimination", "bad_bitwise_inversion"]);
+        let predicate = Expr::qualified_column("t0", "c0").eq(Expr::integer(1));
+        let case = ReducibleCase {
+            setup: vec![
+                "CREATE TABLE t0 (c0 INTEGER)".to_string(),
+                "INSERT INTO t0 (c0) VALUES (1), (NULL)".to_string(),
+            ],
+            query: Select {
+                projections: vec![SelectItem::Wildcard],
+                from: vec![TableWithJoins::table("t0")],
+                where_clause: Some(predicate.clone()),
+                ..Select::new()
+            },
+            predicate,
+            oracle: OracleKind::Tlp,
+            features: FeatureSet::new(),
+        };
+        let causes = dbms.ground_truth_bugs(&case);
+        assert_eq!(causes, vec!["BUG-NOT-NULL-SEMANTICS"]);
+    }
+
+    #[test]
+    fn fault_free_dbms_has_no_ground_truth_bugs() {
+        let dbms = permissive_with(vec![]);
+        let case = ReducibleCase {
+            setup: vec!["CREATE TABLE t0 (c0 INTEGER)".to_string()],
+            query: Select {
+                projections: vec![SelectItem::Wildcard],
+                from: vec![TableWithJoins::table("t0")],
+                where_clause: Some(Expr::column("c0").is_null()),
+                ..Select::new()
+            },
+            predicate: Expr::column("c0").is_null(),
+            oracle: OracleKind::Tlp,
+            features: FeatureSet::new(),
+        };
+        assert!(dbms.ground_truth_bugs(&case).is_empty());
+    }
+}

@@ -1,0 +1,40 @@
+//! # dbms-sim
+//!
+//! The simulated DBMS fleet for the SQLancer++ reproduction.
+//!
+//! The paper evaluates SQLancer++ against 18 third-party DBMSs; this crate
+//! substitutes them with simulated dialects built on the `sql-engine`
+//! substrate:
+//!
+//! * [`DialectProfile`] — which SQL features a dialect accepts, its typing
+//!   discipline and behavioural quirks (the source of the "syntax error"
+//!   feedback the adaptive generator learns from);
+//! * [`bugs`] — the injected-bug catalog providing *ground truth* for
+//!   unique-bug counting;
+//! * [`SimulatedDbms`] — a [`sqlancer_core::DbmsConnection`] implementation
+//!   combining a profile, the engine and a set of injected bugs;
+//! * [`fleet`] — 18 named presets mirroring Table 2 of the paper.
+//!
+//! # Examples
+//!
+//! ```
+//! use dbms_sim::preset_by_name;
+//! use sqlancer_core::DbmsConnection;
+//!
+//! let mut dbms = preset_by_name("sqlite").unwrap().instantiate();
+//! assert!(dbms.execute("CREATE TABLE t0 (c0 INTEGER)").is_success());
+//! assert!(dbms.query("SELECT * FROM t0").is_ok());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bugs;
+mod dbms;
+mod fleet;
+mod profile;
+
+pub use bugs::{bugs_for_faults, catalog, InjectedBug};
+pub use dbms::SimulatedDbms;
+pub use fleet::{fleet, preset_by_name, validity_experiment_dialects, DialectPreset};
+pub use profile::{collect_statement_features, DialectProfile};

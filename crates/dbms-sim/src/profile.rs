@@ -1,0 +1,325 @@
+//! Dialect profiles: which SQL features a simulated DBMS accepts.
+//!
+//! A [`DialectProfile`] is the stand-in for a real DBMS's SQL dialect. The
+//! underlying engine (`sql-engine`) implements the full feature set; the
+//! profile *rejects* statements that use features outside the dialect,
+//! producing exactly the "syntax/semantic error" feedback that the adaptive
+//! generator learns from (challenge C1 of the paper).
+
+use sql_ast::{
+    BinaryOp, DataType, Expr, JoinType, ScalarFunction, Select, SelectItem, Statement,
+    TableFactor, UnaryOp,
+};
+use sql_engine::TypingMode;
+use std::collections::BTreeSet;
+
+/// The feature-support matrix and behavioural quirks of one dialect.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DialectProfile {
+    /// Dialect name (matches the paper's Table 2 naming, lowercased).
+    pub name: String,
+    /// Typing discipline of the dialect.
+    pub typing: TypingMode,
+    /// Canonical feature names (see `sqlancer-core`'s naming convention)
+    /// this dialect does **not** accept.
+    pub unsupported: BTreeSet<String>,
+    /// Inserted rows are only visible after `REFRESH TABLE` (CrateDB-like).
+    pub requires_refresh: bool,
+    /// DML must be followed by `COMMIT` (autocommit-off JDBC style).
+    pub requires_commit: bool,
+}
+
+impl DialectProfile {
+    /// A permissive dialect that accepts every feature (used as a baseline
+    /// and in tests).
+    pub fn permissive(name: impl Into<String>, typing: TypingMode) -> DialectProfile {
+        DialectProfile {
+            name: name.into(),
+            typing,
+            unsupported: BTreeSet::new(),
+            requires_refresh: false,
+            requires_commit: false,
+        }
+    }
+
+    /// Marks a list of canonical feature names as unsupported.
+    pub fn without(mut self, features: &[&str]) -> DialectProfile {
+        for f in features {
+            self.unsupported.insert((*f).to_string());
+        }
+        self
+    }
+
+    /// Whether the dialect supports a feature by canonical name.
+    pub fn supports(&self, feature: &str) -> bool {
+        !self.unsupported.contains(feature)
+    }
+
+    /// All canonical features of the generator universe this dialect
+    /// supports (used by the perfect-knowledge baseline and Figure 7).
+    pub fn supported_universe(&self) -> BTreeSet<String> {
+        sqlancer_core::feature_universe()
+            .into_iter()
+            .map(|f| f.name().to_string())
+            .filter(|f| self.supports(f))
+            .collect()
+    }
+
+    /// Checks a parsed statement against the profile. Returns the name of
+    /// the first unsupported feature encountered, if any.
+    pub fn first_unsupported(&self, stmt: &Statement) -> Option<String> {
+        collect_statement_features(stmt)
+            .into_iter()
+            .find(|f| !self.supports(f))
+    }
+}
+
+/// Collects the canonical feature names used by a statement (statement kind,
+/// clauses, join types, operators, functions, data types).
+pub fn collect_statement_features(stmt: &Statement) -> Vec<String> {
+    let mut out = vec![stmt.feature_name().to_string()];
+    match stmt {
+        Statement::CreateTable(create) => {
+            for col in &create.columns {
+                out.push(format!("TYPE_{}", col.data_type.sql_keyword()));
+                for c in &col.constraints {
+                    match c {
+                        sql_ast::ColumnConstraint::PrimaryKey => out.push("KW_PRIMARY_KEY".into()),
+                        sql_ast::ColumnConstraint::NotNull => out.push("KW_NOT_NULL".into()),
+                        sql_ast::ColumnConstraint::Unique => out.push("KW_UNIQUE".into()),
+                        sql_ast::ColumnConstraint::Default(e) => {
+                            out.push("KW_DEFAULT".into());
+                            collect_expr_features(e, &mut out);
+                        }
+                    }
+                }
+            }
+            for c in &create.constraints {
+                match c {
+                    sql_ast::TableConstraint::PrimaryKey(_) => out.push("KW_PRIMARY_KEY".into()),
+                    sql_ast::TableConstraint::Unique(_) => out.push("KW_UNIQUE".into()),
+                }
+            }
+        }
+        Statement::CreateIndex(create) => {
+            if create.unique {
+                out.push("KW_UNIQUE_INDEX".into());
+            }
+            if let Some(w) = &create.where_clause {
+                out.push("KW_PARTIAL_INDEX".into());
+                collect_expr_features(w, &mut out);
+            }
+        }
+        Statement::CreateView(create) => collect_select_features(&create.query, &mut out),
+        Statement::Insert(insert) => {
+            if insert.or_ignore {
+                out.push("KW_OR_IGNORE".into());
+            }
+            for row in &insert.values {
+                for e in row {
+                    collect_expr_features(e, &mut out);
+                }
+            }
+        }
+        Statement::Update(update) => {
+            for (_, e) in &update.assignments {
+                collect_expr_features(e, &mut out);
+            }
+            if let Some(w) = &update.where_clause {
+                collect_expr_features(w, &mut out);
+            }
+        }
+        Statement::Delete(delete) => {
+            if let Some(w) = &delete.where_clause {
+                collect_expr_features(w, &mut out);
+            }
+        }
+        Statement::Select(select) => collect_select_features(select, &mut out),
+        _ => {}
+    }
+    out
+}
+
+fn collect_select_features(select: &Select, out: &mut Vec<String>) {
+    if select.distinct {
+        out.push("CLAUSE_DISTINCT".into());
+    }
+    for item in &select.projections {
+        if let SelectItem::Expr { expr, .. } = item {
+            collect_expr_features(expr, out);
+        }
+    }
+    for twj in &select.from {
+        collect_factor_features(&twj.relation, out);
+        for join in &twj.joins {
+            out.push(join.join_type.feature_name().to_string());
+            collect_factor_features(&join.relation, out);
+            if let Some(on) = &join.on {
+                collect_expr_features(on, out);
+            }
+        }
+    }
+    if let Some(w) = &select.where_clause {
+        out.push("CLAUSE_WHERE".into());
+        collect_expr_features(w, out);
+    }
+    if !select.group_by.is_empty() {
+        out.push("CLAUSE_GROUP_BY".into());
+        for g in &select.group_by {
+            collect_expr_features(g, out);
+        }
+    }
+    if let Some(h) = &select.having {
+        out.push("CLAUSE_HAVING".into());
+        collect_expr_features(h, out);
+    }
+    if !select.order_by.is_empty() {
+        out.push("CLAUSE_ORDER_BY".into());
+        for o in &select.order_by {
+            collect_expr_features(&o.expr, out);
+        }
+    }
+    if select.limit.is_some() {
+        out.push("CLAUSE_LIMIT".into());
+    }
+    if select.offset.is_some() {
+        out.push("CLAUSE_OFFSET".into());
+    }
+    if let Some(set_op) = &select.set_op {
+        out.push("CLAUSE_SET_OPERATION".into());
+        collect_select_features(&set_op.right, out);
+    }
+}
+
+fn collect_factor_features(factor: &TableFactor, out: &mut Vec<String>) {
+    if let TableFactor::Derived { subquery, .. } = factor {
+        out.push("CLAUSE_SUBQUERY".into());
+        collect_select_features(subquery, out);
+    }
+}
+
+fn collect_expr_features(expr: &Expr, out: &mut Vec<String>) {
+    match expr {
+        Expr::Literal(v) => {
+            let ty = v.data_type();
+            if ty != DataType::Null {
+                out.push(format!("TYPE_{}", ty.sql_keyword()));
+            }
+        }
+        Expr::Unary { op, .. } => out.push(op.feature_name().to_string()),
+        Expr::Binary { op, .. } => out.push(op.feature_name().to_string()),
+        Expr::Function { func, .. } => out.push(func.feature_name()),
+        Expr::Aggregate { func, .. } => out.push(func.feature_name()),
+        Expr::Case { .. } => out.push("CLAUSE_CASE".into()),
+        Expr::Cast { data_type, .. } => {
+            out.push("OP_CAST".into());
+            out.push(format!("TYPE_{}", data_type.sql_keyword()));
+        }
+        Expr::Between { .. } => out.push("OP_BETWEEN".into()),
+        Expr::InList { .. } => out.push("OP_IN".into()),
+        Expr::InSubquery { .. } => {
+            out.push("OP_IN".into());
+            out.push("CLAUSE_SUBQUERY".into());
+        }
+        Expr::Exists { .. } | Expr::ScalarSubquery(_) => {
+            out.push("CLAUSE_SUBQUERY".into());
+        }
+        Expr::IsNull { .. } => out.push("OP_IS_NULL".into()),
+        Expr::IsBool { .. } => out.push("OP_IS_BOOL".into()),
+        Expr::Like { .. } => out.push("OP_LIKE".into()),
+        Expr::Column(_) => {}
+    }
+    // Recurse into children and embedded subqueries.
+    for child in expr.children() {
+        collect_expr_features(child, out);
+    }
+    match expr {
+        Expr::InSubquery { subquery, .. } | Expr::ScalarSubquery(subquery) => {
+            collect_select_features(subquery, out)
+        }
+        Expr::Exists { subquery, .. } => collect_select_features(subquery, out),
+        _ => {}
+    }
+}
+
+/// Convenience constructors for the feature names of AST elements, mirroring
+/// `sqlancer-core`'s naming convention. Exposed for experiment harnesses.
+pub fn operator_feature(op: BinaryOp) -> &'static str {
+    op.feature_name()
+}
+
+/// Feature name of a unary operator.
+pub fn unary_feature(op: UnaryOp) -> &'static str {
+    op.feature_name()
+}
+
+/// Feature name of a scalar function.
+pub fn function_feature(func: ScalarFunction) -> String {
+    func.feature_name()
+}
+
+/// Feature name of a join type.
+pub fn join_feature(join: JoinType) -> &'static str {
+    join.feature_name()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sql_parser::parse_statement;
+
+    #[test]
+    fn profile_rejects_unsupported_statement_kind() {
+        let profile = DialectProfile::permissive("crate-like", TypingMode::Strict)
+            .without(&["STMT_CREATE_INDEX", "OP_NULLSAFE_EQ"]);
+        let create_index = parse_statement("CREATE INDEX i0 ON t0(c0)").unwrap();
+        assert_eq!(
+            profile.first_unsupported(&create_index),
+            Some("STMT_CREATE_INDEX".to_string())
+        );
+        let query = parse_statement("SELECT * FROM t0 WHERE c0 <=> 1").unwrap();
+        assert_eq!(
+            profile.first_unsupported(&query),
+            Some("OP_NULLSAFE_EQ".to_string())
+        );
+        let fine = parse_statement("SELECT * FROM t0 WHERE c0 = 1").unwrap();
+        assert_eq!(profile.first_unsupported(&fine), None);
+    }
+
+    #[test]
+    fn feature_collection_sees_nested_constructs() {
+        let stmt = parse_statement(
+            "SELECT NULLIF(c0, 1) FROM t0 LEFT JOIN t1 ON t0.c0 = t1.c0 \
+             WHERE (c0 IN (SELECT c0 FROM t2)) AND SIN(1) > 0 GROUP BY c0 LIMIT 3",
+        )
+        .unwrap();
+        let features = collect_statement_features(&stmt);
+        for expected in [
+            "STMT_SELECT",
+            "JOIN_LEFT",
+            "CLAUSE_WHERE",
+            "CLAUSE_GROUP_BY",
+            "CLAUSE_LIMIT",
+            "CLAUSE_SUBQUERY",
+            "FN_NULLIF",
+            "FN_SIN",
+            "OP_IN",
+            "OP_GT",
+            "OP_AND",
+        ] {
+            assert!(
+                features.iter().any(|f| f == expected),
+                "missing {expected} in {features:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn supported_universe_shrinks_with_unsupported_features() {
+        let full = DialectProfile::permissive("full", TypingMode::Dynamic).supported_universe();
+        let restricted = DialectProfile::permissive("restricted", TypingMode::Dynamic)
+            .without(&["JOIN_FULL", "FN_SIN", "OP_NULLSAFE_EQ"])
+            .supported_universe();
+        assert_eq!(full.len(), restricted.len() + 3);
+    }
+}

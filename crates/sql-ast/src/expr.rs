@@ -1,0 +1,550 @@
+//! SQL expression AST.
+
+use crate::func::{AggregateFunction, ScalarFunction};
+use crate::ops::{BinaryOp, UnaryOp};
+use crate::select::Select;
+use crate::types::DataType;
+use crate::value::Value;
+use std::fmt;
+
+/// A (possibly qualified) reference to a column, e.g. `t0.c1` or `c1`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColumnRef {
+    /// Optional table or alias qualifier.
+    pub table: Option<String>,
+    /// Column name.
+    pub column: String,
+}
+
+impl ColumnRef {
+    /// Creates an unqualified column reference.
+    pub fn unqualified(column: impl Into<String>) -> Self {
+        ColumnRef {
+            table: None,
+            column: column.into(),
+        }
+    }
+
+    /// Creates a qualified column reference.
+    pub fn qualified(table: impl Into<String>, column: impl Into<String>) -> Self {
+        ColumnRef {
+            table: Some(table.into()),
+            column: column.into(),
+        }
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.{}", self.column),
+            None => f.write_str(&self.column),
+        }
+    }
+}
+
+/// One `WHEN ... THEN ...` branch of a `CASE` expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseBranch {
+    /// Condition (or comparand when the `CASE` has an operand).
+    pub when: Expr,
+    /// Result expression.
+    pub then: Expr,
+}
+
+/// A SQL scalar expression.
+///
+/// The variants mirror the grammar productions of the paper's generator
+/// (Figure 5): constants, column references, unary/binary operators,
+/// functions, `CASE`, `CAST`, predicates (`BETWEEN`, `IN`, `LIKE`, `IS
+/// NULL`) and subqueries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal value.
+    Literal(Value),
+    /// A column reference.
+    Column(ColumnRef),
+    /// A unary operation.
+    Unary {
+        /// The operator.
+        op: UnaryOp,
+        /// The operand.
+        expr: Box<Expr>,
+    },
+    /// A binary operation.
+    Binary {
+        /// Left operand.
+        left: Box<Expr>,
+        /// The operator.
+        op: BinaryOp,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// A scalar function call.
+    Function {
+        /// The function.
+        func: ScalarFunction,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// An aggregate function call, e.g. `SUM(c0)` or `COUNT(*)`.
+    Aggregate {
+        /// The aggregate function.
+        func: AggregateFunction,
+        /// The argument; `None` means `COUNT(*)`.
+        arg: Option<Box<Expr>>,
+        /// Whether `DISTINCT` was specified.
+        distinct: bool,
+    },
+    /// A `CASE` expression, with or without an operand.
+    Case {
+        /// Optional operand (`CASE x WHEN ...`).
+        operand: Option<Box<Expr>>,
+        /// The `WHEN`/`THEN` branches.
+        branches: Vec<CaseBranch>,
+        /// Optional `ELSE` expression.
+        else_expr: Option<Box<Expr>>,
+    },
+    /// An explicit `CAST(expr AS type)`.
+    Cast {
+        /// The expression being cast.
+        expr: Box<Expr>,
+        /// Target data type.
+        data_type: DataType,
+    },
+    /// `expr [NOT] BETWEEN low AND high`.
+    Between {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Lower bound.
+        low: Box<Expr>,
+        /// Upper bound.
+        high: Box<Expr>,
+        /// Whether `NOT` was specified.
+        negated: bool,
+    },
+    /// `expr [NOT] IN (list...)`.
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// The list of candidate expressions.
+        list: Vec<Expr>,
+        /// Whether `NOT` was specified.
+        negated: bool,
+    },
+    /// `expr [NOT] IN (SELECT ...)`.
+    InSubquery {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// The subquery producing candidate values.
+        subquery: Box<Select>,
+        /// Whether `NOT` was specified.
+        negated: bool,
+    },
+    /// `[NOT] EXISTS (SELECT ...)`.
+    Exists {
+        /// The subquery.
+        subquery: Box<Select>,
+        /// Whether `NOT` was specified.
+        negated: bool,
+    },
+    /// A scalar subquery `(SELECT ...)` producing a single value.
+    ScalarSubquery(Box<Select>),
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Whether `NOT` was specified.
+        negated: bool,
+    },
+    /// `expr IS [NOT] TRUE` / `expr IS [NOT] FALSE`.
+    IsBool {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Expected truth value.
+        target: bool,
+        /// Whether `NOT` was specified.
+        negated: bool,
+    },
+    /// `expr [NOT] LIKE pattern`.
+    Like {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// The pattern (`%` and `_` wildcards).
+        pattern: Box<Expr>,
+        /// Whether `NOT` was specified.
+        negated: bool,
+    },
+}
+
+impl Expr {
+    /// Shorthand for an integer literal.
+    pub fn integer(v: i64) -> Expr {
+        Expr::Literal(Value::Integer(v))
+    }
+
+    /// Shorthand for a text literal.
+    pub fn text(s: impl Into<String>) -> Expr {
+        Expr::Literal(Value::Text(s.into()))
+    }
+
+    /// Shorthand for a boolean literal.
+    pub fn boolean(b: bool) -> Expr {
+        Expr::Literal(Value::Boolean(b))
+    }
+
+    /// Shorthand for the `NULL` literal.
+    pub fn null() -> Expr {
+        Expr::Literal(Value::Null)
+    }
+
+    /// Shorthand for an unqualified column reference.
+    pub fn column(name: impl Into<String>) -> Expr {
+        Expr::Column(ColumnRef::unqualified(name))
+    }
+
+    /// Shorthand for a qualified column reference.
+    pub fn qualified_column(table: impl Into<String>, name: impl Into<String>) -> Expr {
+        Expr::Column(ColumnRef::qualified(table, name))
+    }
+
+    /// Builds `self <op> other`.
+    pub fn binary(self, op: BinaryOp, other: Expr) -> Expr {
+        Expr::Binary {
+            left: Box::new(self),
+            op,
+            right: Box::new(other),
+        }
+    }
+
+    /// Builds `self AND other`.
+    pub fn and(self, other: Expr) -> Expr {
+        self.binary(BinaryOp::And, other)
+    }
+
+    /// Builds `self OR other`.
+    pub fn or(self, other: Expr) -> Expr {
+        self.binary(BinaryOp::Or, other)
+    }
+
+    /// Builds `NOT self`.
+    pub fn not(self) -> Expr {
+        Expr::Unary {
+            op: UnaryOp::Not,
+            expr: Box::new(self),
+        }
+    }
+
+    /// Builds `self IS NULL`.
+    pub fn is_null(self) -> Expr {
+        Expr::IsNull {
+            expr: Box::new(self),
+            negated: false,
+        }
+    }
+
+    /// Builds `self IS TRUE` — the NoREC rewrite wraps predicates this way.
+    pub fn is_true(self) -> Expr {
+        Expr::IsBool {
+            expr: Box::new(self),
+            target: true,
+            negated: false,
+        }
+    }
+
+    /// Builds `self = other`.
+    pub fn eq(self, other: Expr) -> Expr {
+        self.binary(BinaryOp::Eq, other)
+    }
+
+    /// The syntactic depth of the expression (literals and columns are depth
+    /// 1). The adaptive generator bounds this (the paper uses max depth 3).
+    pub fn depth(&self) -> usize {
+        1 + self
+            .children()
+            .into_iter()
+            .map(Expr::depth)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The number of AST nodes in the expression.
+    pub fn node_count(&self) -> usize {
+        1 + self
+            .children()
+            .into_iter()
+            .map(Expr::node_count)
+            .sum::<usize>()
+    }
+
+    /// Immediate sub-expressions (not descending into subqueries).
+    pub fn children(&self) -> Vec<&Expr> {
+        match self {
+            Expr::Literal(_) | Expr::Column(_) | Expr::ScalarSubquery(_) | Expr::Exists { .. } => {
+                Vec::new()
+            }
+            Expr::Unary { expr, .. }
+            | Expr::Cast { expr, .. }
+            | Expr::IsNull { expr, .. }
+            | Expr::IsBool { expr, .. } => vec![expr],
+            Expr::Binary { left, right, .. } => vec![left, right],
+            Expr::Function { args, .. } => args.iter().collect(),
+            Expr::Aggregate { arg, .. } => arg.iter().map(|a| a.as_ref()).collect(),
+            Expr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => {
+                let mut out: Vec<&Expr> = Vec::new();
+                if let Some(op) = operand {
+                    out.push(op);
+                }
+                for b in branches {
+                    out.push(&b.when);
+                    out.push(&b.then);
+                }
+                if let Some(e) = else_expr {
+                    out.push(e);
+                }
+                out
+            }
+            Expr::Between {
+                expr, low, high, ..
+            } => vec![expr, low, high],
+            Expr::InList { expr, list, .. } => {
+                let mut out = vec![expr.as_ref()];
+                out.extend(list.iter());
+                out
+            }
+            Expr::InSubquery { expr, .. } => vec![expr],
+            Expr::Like { expr, pattern, .. } => vec![expr, pattern],
+        }
+    }
+
+    /// Whether the expression contains an aggregate call at any depth
+    /// (not descending into subqueries, which have their own scope).
+    pub fn contains_aggregate(&self) -> bool {
+        matches!(self, Expr::Aggregate { .. })
+            || self.children().iter().any(|c| c.contains_aggregate())
+    }
+
+    /// Whether the expression contains a subquery of any form.
+    pub fn contains_subquery(&self) -> bool {
+        matches!(
+            self,
+            Expr::ScalarSubquery(_) | Expr::Exists { .. } | Expr::InSubquery { .. }
+        ) || self.children().iter().any(|c| c.contains_subquery())
+    }
+
+    /// Collects every column referenced in the expression (not descending
+    /// into subqueries).
+    pub fn referenced_columns(&self) -> Vec<&ColumnRef> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns<'a>(&'a self, out: &mut Vec<&'a ColumnRef>) {
+        if let Expr::Column(c) = self {
+            out.push(c);
+        }
+        for child in self.children() {
+            child.collect_columns(out);
+        }
+    }
+}
+
+fn negation(negated: bool) -> &'static str {
+    if negated {
+        "NOT "
+    } else {
+        ""
+    }
+}
+
+impl fmt::Display for Expr {
+    /// Renders the expression as SQL text. Compound expressions are fully
+    /// parenthesised so that the rendering is unambiguous for every dialect
+    /// and round-trips through the parser.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Column(c) => write!(f, "{c}"),
+            Expr::Unary { op, expr } => match op {
+                UnaryOp::Not => write!(f, "(NOT {expr})"),
+                // A space after `-`/`+` prevents `--` (which would start a
+                // SQL line comment) when the operand itself is negative.
+                UnaryOp::Neg | UnaryOp::Plus => write!(f, "({} {expr})", op.sql().trim()),
+                UnaryOp::BitNot => write!(f, "(~{expr})"),
+            },
+            Expr::Binary { left, op, right } => write!(f, "({left} {} {right})", op.sql()),
+            Expr::Function { func, args } => {
+                write!(f, "{}(", func.name())?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_str(")")
+            }
+            Expr::Aggregate {
+                func,
+                arg,
+                distinct,
+            } => {
+                write!(f, "{}(", func.name())?;
+                if *distinct {
+                    f.write_str("DISTINCT ")?;
+                }
+                match arg {
+                    Some(a) => write!(f, "{a}")?,
+                    None => f.write_str("*")?,
+                }
+                f.write_str(")")
+            }
+            Expr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => {
+                f.write_str("(CASE")?;
+                if let Some(op) = operand {
+                    write!(f, " {op}")?;
+                }
+                for b in branches {
+                    write!(f, " WHEN {} THEN {}", b.when, b.then)?;
+                }
+                if let Some(e) = else_expr {
+                    write!(f, " ELSE {e}")?;
+                }
+                f.write_str(" END)")
+            }
+            Expr::Cast { expr, data_type } => write!(f, "CAST({expr} AS {data_type})"),
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => write!(f, "({expr} {}BETWEEN {low} AND {high})", negation(*negated)),
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                write!(f, "({expr} {}IN (", negation(*negated))?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                f.write_str("))")
+            }
+            Expr::InSubquery {
+                expr,
+                subquery,
+                negated,
+            } => write!(f, "({expr} {}IN ({subquery}))", negation(*negated)),
+            Expr::Exists { subquery, negated } => {
+                write!(f, "({}EXISTS ({subquery}))", negation(*negated))
+            }
+            Expr::ScalarSubquery(q) => write!(f, "({q})"),
+            Expr::IsNull { expr, negated } => {
+                write!(f, "({expr} IS {}NULL)", negation(*negated))
+            }
+            Expr::IsBool {
+                expr,
+                target,
+                negated,
+            } => write!(
+                f,
+                "({expr} IS {}{})",
+                negation(*negated),
+                if *target { "TRUE" } else { "FALSE" }
+            ),
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => write!(f, "({expr} {}LIKE {pattern})", negation(*negated)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_shorthand_renders_expected_sql() {
+        let e = Expr::column("c0").eq(Expr::integer(1)).and(
+            Expr::Function {
+                func: ScalarFunction::Nullif,
+                args: vec![Expr::integer(2), Expr::column("c0")],
+            }
+            .binary(BinaryOp::Neq, Expr::integer(1)),
+        );
+        assert_eq!(e.to_string(), "((c0 = 1) AND (NULLIF(2, c0) != 1))");
+    }
+
+    #[test]
+    fn depth_and_node_count() {
+        let leaf = Expr::integer(1);
+        assert_eq!(leaf.depth(), 1);
+        assert_eq!(leaf.node_count(), 1);
+        let nested = Expr::column("c0").eq(Expr::integer(1)).not();
+        assert_eq!(nested.depth(), 3);
+        assert_eq!(nested.node_count(), 4);
+    }
+
+    #[test]
+    fn aggregate_detection() {
+        let agg = Expr::Aggregate {
+            func: AggregateFunction::Count,
+            arg: None,
+            distinct: false,
+        };
+        assert!(agg.contains_aggregate());
+        assert_eq!(agg.to_string(), "COUNT(*)");
+        let wrapped = Expr::integer(1).binary(BinaryOp::Add, agg);
+        assert!(wrapped.contains_aggregate());
+        assert!(!Expr::integer(1).contains_aggregate());
+    }
+
+    #[test]
+    fn referenced_columns_are_collected() {
+        let e = Expr::qualified_column("t0", "c0")
+            .eq(Expr::column("c1"))
+            .and(Expr::column("c1").is_null());
+        let cols = e.referenced_columns();
+        assert_eq!(cols.len(), 3);
+        assert_eq!(cols[0].table.as_deref(), Some("t0"));
+    }
+
+    #[test]
+    fn case_renders_all_parts() {
+        let e = Expr::Case {
+            operand: Some(Box::new(Expr::integer(1))),
+            branches: vec![CaseBranch {
+                when: Expr::integer(2),
+                then: Expr::column("c0"),
+            }],
+            else_expr: Some(Box::new(Expr::null())),
+        };
+        assert_eq!(e.to_string(), "(CASE 1 WHEN 2 THEN c0 ELSE NULL END)");
+    }
+
+    #[test]
+    fn is_true_and_between_render() {
+        let e = Expr::column("c0").is_true();
+        assert_eq!(e.to_string(), "(c0 IS TRUE)");
+        let b = Expr::Between {
+            expr: Box::new(Expr::column("c0")),
+            low: Box::new(Expr::integer(0)),
+            high: Box::new(Expr::integer(10)),
+            negated: true,
+        };
+        assert_eq!(b.to_string(), "(c0 NOT BETWEEN 0 AND 10)");
+    }
+}

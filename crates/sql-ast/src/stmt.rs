@@ -1,0 +1,531 @@
+//! Top-level SQL statements (DDL, DML and queries).
+
+use crate::expr::Expr;
+use crate::select::Select;
+use crate::types::DataType;
+use std::fmt;
+
+/// A constraint attached to a single column definition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnConstraint {
+    /// `PRIMARY KEY`
+    PrimaryKey,
+    /// `NOT NULL`
+    NotNull,
+    /// `UNIQUE`
+    Unique,
+    /// `DEFAULT <expr>`
+    Default(Expr),
+}
+
+impl fmt::Display for ColumnConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColumnConstraint::PrimaryKey => f.write_str("PRIMARY KEY"),
+            ColumnConstraint::NotNull => f.write_str("NOT NULL"),
+            ColumnConstraint::Unique => f.write_str("UNIQUE"),
+            ColumnConstraint::Default(e) => write!(f, "DEFAULT {e}"),
+        }
+    }
+}
+
+/// A column definition in `CREATE TABLE`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Declared type.
+    pub data_type: DataType,
+    /// Column constraints, in declaration order.
+    pub constraints: Vec<ColumnConstraint>,
+}
+
+impl ColumnDef {
+    /// A plain column with no constraints.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> ColumnDef {
+        ColumnDef {
+            name: name.into(),
+            data_type,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Whether the column definition carries a given constraint kind.
+    pub fn has_primary_key(&self) -> bool {
+        self.constraints
+            .iter()
+            .any(|c| matches!(c, ColumnConstraint::PrimaryKey))
+    }
+
+    /// Whether the column is declared `NOT NULL` (directly or via PK).
+    pub fn is_not_null(&self) -> bool {
+        self.constraints
+            .iter()
+            .any(|c| matches!(c, ColumnConstraint::NotNull | ColumnConstraint::PrimaryKey))
+    }
+
+    /// Whether the column is declared `UNIQUE` (directly or via PK).
+    pub fn is_unique(&self) -> bool {
+        self.constraints
+            .iter()
+            .any(|c| matches!(c, ColumnConstraint::Unique | ColumnConstraint::PrimaryKey))
+    }
+}
+
+impl fmt::Display for ColumnDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.name, self.data_type)?;
+        for c in &self.constraints {
+            write!(f, " {c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A table-level constraint in `CREATE TABLE`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableConstraint {
+    /// `PRIMARY KEY (cols...)`
+    PrimaryKey(Vec<String>),
+    /// `UNIQUE (cols...)`
+    Unique(Vec<String>),
+}
+
+impl fmt::Display for TableConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (kw, cols) = match self {
+            TableConstraint::PrimaryKey(c) => ("PRIMARY KEY", c),
+            TableConstraint::Unique(c) => ("UNIQUE", c),
+        };
+        write!(f, "{kw} ({})", cols.join(", "))
+    }
+}
+
+/// `CREATE TABLE`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateTable {
+    /// Table name.
+    pub name: String,
+    /// `IF NOT EXISTS` flag.
+    pub if_not_exists: bool,
+    /// Column definitions.
+    pub columns: Vec<ColumnDef>,
+    /// Table-level constraints.
+    pub constraints: Vec<TableConstraint>,
+}
+
+impl fmt::Display for CreateTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CREATE TABLE ")?;
+        if self.if_not_exists {
+            f.write_str("IF NOT EXISTS ")?;
+        }
+        write!(f, "{} (", self.name)?;
+        let mut first = true;
+        for c in &self.columns {
+            if !first {
+                f.write_str(", ")?;
+            }
+            first = false;
+            write!(f, "{c}")?;
+        }
+        for c in &self.constraints {
+            if !first {
+                f.write_str(", ")?;
+            }
+            first = false;
+            write!(f, "{c}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// `CREATE [UNIQUE] INDEX`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateIndex {
+    /// Index name.
+    pub name: String,
+    /// Table being indexed.
+    pub table: String,
+    /// Indexed columns.
+    pub columns: Vec<String>,
+    /// `UNIQUE` flag.
+    pub unique: bool,
+    /// Optional partial-index predicate (`WHERE ...`).
+    pub where_clause: Option<Expr>,
+}
+
+impl fmt::Display for CreateIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("CREATE ")?;
+        if self.unique {
+            f.write_str("UNIQUE ")?;
+        }
+        write!(
+            f,
+            "INDEX {} ON {}({})",
+            self.name,
+            self.table,
+            self.columns.join(", ")
+        )?;
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        Ok(())
+    }
+}
+
+/// `CREATE VIEW`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateView {
+    /// View name.
+    pub name: String,
+    /// Optional explicit column names.
+    pub columns: Vec<String>,
+    /// The defining query.
+    pub query: Box<Select>,
+}
+
+impl fmt::Display for CreateView {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CREATE VIEW {}", self.name)?;
+        if !self.columns.is_empty() {
+            write!(f, " ({})", self.columns.join(", "))?;
+        }
+        write!(f, " AS {}", self.query)
+    }
+}
+
+/// `INSERT INTO`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Insert {
+    /// Target table.
+    pub table: String,
+    /// Optional explicit column list.
+    pub columns: Vec<String>,
+    /// Rows of value expressions.
+    pub values: Vec<Vec<Expr>>,
+    /// Whether to silently skip constraint-violating rows (`OR IGNORE`).
+    pub or_ignore: bool,
+}
+
+impl fmt::Display for Insert {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("INSERT ")?;
+        if self.or_ignore {
+            f.write_str("OR IGNORE ")?;
+        }
+        write!(f, "INTO {}", self.table)?;
+        if !self.columns.is_empty() {
+            write!(f, " ({})", self.columns.join(", "))?;
+        }
+        f.write_str(" VALUES ")?;
+        for (i, row) in self.values.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            f.write_str("(")?;
+            for (j, v) in row.iter().enumerate() {
+                if j > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{v}")?;
+            }
+            f.write_str(")")?;
+        }
+        Ok(())
+    }
+}
+
+/// `UPDATE ... SET ... [WHERE ...]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Update {
+    /// Target table.
+    pub table: String,
+    /// `SET` assignments.
+    pub assignments: Vec<(String, Expr)>,
+    /// Optional `WHERE` predicate.
+    pub where_clause: Option<Expr>,
+}
+
+impl fmt::Display for Update {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "UPDATE {} SET ", self.table)?;
+        for (i, (col, val)) in self.assignments.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{col} = {val}")?;
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        Ok(())
+    }
+}
+
+/// `DELETE FROM ... [WHERE ...]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delete {
+    /// Target table.
+    pub table: String,
+    /// Optional `WHERE` predicate.
+    pub where_clause: Option<Expr>,
+}
+
+impl fmt::Display for Delete {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DELETE FROM {}", self.table)?;
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The kind of object dropped by a `DROP` statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DropKind {
+    /// `DROP TABLE`
+    Table,
+    /// `DROP VIEW`
+    View,
+    /// `DROP INDEX`
+    Index,
+}
+
+impl DropKind {
+    /// SQL keyword.
+    pub fn sql(self) -> &'static str {
+        match self {
+            DropKind::Table => "TABLE",
+            DropKind::View => "VIEW",
+            DropKind::Index => "INDEX",
+        }
+    }
+}
+
+/// A top-level SQL statement.
+///
+/// The paper's generator implements six statements (`CREATE TABLE`,
+/// `CREATE INDEX`, `CREATE VIEW`, `INSERT`, `ANALYZE`, `SELECT`); this
+/// reproduction additionally models `UPDATE`, `DELETE`, `DROP`, `REFRESH`
+/// and `COMMIT` because several dialect quirks (Section 6, "Manual effort")
+/// involve them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `CREATE TABLE`.
+    CreateTable(CreateTable),
+    /// `CREATE INDEX`.
+    CreateIndex(CreateIndex),
+    /// `CREATE VIEW`.
+    CreateView(CreateView),
+    /// `INSERT`.
+    Insert(Insert),
+    /// `UPDATE`.
+    Update(Update),
+    /// `DELETE`.
+    Delete(Delete),
+    /// `ANALYZE [table]`.
+    Analyze(Option<String>),
+    /// A query.
+    Select(Box<Select>),
+    /// `DROP TABLE/VIEW/INDEX`.
+    Drop {
+        /// What kind of object is dropped.
+        kind: DropKind,
+        /// Object name.
+        name: String,
+        /// `IF EXISTS` flag.
+        if_exists: bool,
+    },
+    /// `REFRESH TABLE <name>` (CrateDB-style eventual-consistency flush).
+    Refresh(String),
+    /// `COMMIT`.
+    Commit,
+}
+
+impl Statement {
+    /// Is this statement DDL (schema-changing)?
+    pub fn is_ddl(&self) -> bool {
+        matches!(
+            self,
+            Statement::CreateTable(_)
+                | Statement::CreateIndex(_)
+                | Statement::CreateView(_)
+                | Statement::Drop { .. }
+        )
+    }
+
+    /// Is this statement DML (data-changing)?
+    pub fn is_dml(&self) -> bool {
+        matches!(
+            self,
+            Statement::Insert(_) | Statement::Update(_) | Statement::Delete(_)
+        )
+    }
+
+    /// Is this a query?
+    pub fn is_query(&self) -> bool {
+        matches!(self, Statement::Select(_))
+    }
+
+    /// Canonical feature name of the statement kind (`STMT_<KIND>`).
+    pub fn feature_name(&self) -> &'static str {
+        match self {
+            Statement::CreateTable(_) => "STMT_CREATE_TABLE",
+            Statement::CreateIndex(_) => "STMT_CREATE_INDEX",
+            Statement::CreateView(_) => "STMT_CREATE_VIEW",
+            Statement::Insert(_) => "STMT_INSERT",
+            Statement::Update(_) => "STMT_UPDATE",
+            Statement::Delete(_) => "STMT_DELETE",
+            Statement::Analyze(_) => "STMT_ANALYZE",
+            Statement::Select(_) => "STMT_SELECT",
+            Statement::Drop { .. } => "STMT_DROP",
+            Statement::Refresh(_) => "STMT_REFRESH",
+            Statement::Commit => "STMT_COMMIT",
+        }
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::CreateTable(s) => write!(f, "{s}"),
+            Statement::CreateIndex(s) => write!(f, "{s}"),
+            Statement::CreateView(s) => write!(f, "{s}"),
+            Statement::Insert(s) => write!(f, "{s}"),
+            Statement::Update(s) => write!(f, "{s}"),
+            Statement::Delete(s) => write!(f, "{s}"),
+            Statement::Analyze(t) => match t {
+                Some(t) => write!(f, "ANALYZE {t}"),
+                None => f.write_str("ANALYZE"),
+            },
+            Statement::Select(q) => write!(f, "{q}"),
+            Statement::Drop {
+                kind,
+                name,
+                if_exists,
+            } => {
+                write!(f, "DROP {} ", kind.sql())?;
+                if *if_exists {
+                    f.write_str("IF EXISTS ")?;
+                }
+                f.write_str(name)
+            }
+            Statement::Refresh(t) => write!(f, "REFRESH TABLE {t}"),
+            Statement::Commit => f.write_str("COMMIT"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::select::SelectItem;
+
+    #[test]
+    fn create_table_renders() {
+        let stmt = Statement::CreateTable(CreateTable {
+            name: "t0".into(),
+            if_not_exists: false,
+            columns: vec![
+                ColumnDef {
+                    name: "c0".into(),
+                    data_type: DataType::Integer,
+                    constraints: vec![ColumnConstraint::NotNull],
+                },
+                ColumnDef::new("c1", DataType::Text),
+            ],
+            constraints: vec![TableConstraint::PrimaryKey(vec!["c0".into()])],
+        });
+        assert_eq!(
+            stmt.to_string(),
+            "CREATE TABLE t0 (c0 INTEGER NOT NULL, c1 TEXT, PRIMARY KEY (c0))"
+        );
+        assert!(stmt.is_ddl());
+        assert!(!stmt.is_dml());
+    }
+
+    #[test]
+    fn create_index_renders_with_partial_predicate() {
+        let stmt = Statement::CreateIndex(CreateIndex {
+            name: "i0".into(),
+            table: "t0".into(),
+            columns: vec!["c0".into(), "c1".into()],
+            unique: true,
+            where_clause: Some(Expr::column("c0").is_null()),
+        });
+        assert_eq!(
+            stmt.to_string(),
+            "CREATE UNIQUE INDEX i0 ON t0(c0, c1) WHERE (c0 IS NULL)"
+        );
+    }
+
+    #[test]
+    fn insert_renders_multiple_rows() {
+        let stmt = Statement::Insert(Insert {
+            table: "t0".into(),
+            columns: vec!["c0".into()],
+            values: vec![vec![Expr::integer(1)], vec![Expr::null()]],
+            or_ignore: true,
+        });
+        assert_eq!(
+            stmt.to_string(),
+            "INSERT OR IGNORE INTO t0 (c0) VALUES (1), (NULL)"
+        );
+        assert!(stmt.is_dml());
+    }
+
+    #[test]
+    fn view_and_misc_statements_render() {
+        let view = Statement::CreateView(CreateView {
+            name: "v0".into(),
+            columns: vec!["c0".into()],
+            query: Box::new(Select::from_table("t0", vec![SelectItem::expr(Expr::column("c0"))])),
+        });
+        assert_eq!(
+            view.to_string(),
+            "CREATE VIEW v0 (c0) AS SELECT c0 FROM t0"
+        );
+        assert_eq!(Statement::Analyze(None).to_string(), "ANALYZE");
+        assert_eq!(
+            Statement::Analyze(Some("t0".into())).to_string(),
+            "ANALYZE t0"
+        );
+        assert_eq!(Statement::Refresh("t0".into()).to_string(), "REFRESH TABLE t0");
+        assert_eq!(Statement::Commit.to_string(), "COMMIT");
+        assert_eq!(
+            Statement::Drop {
+                kind: DropKind::Table,
+                name: "t0".into(),
+                if_exists: true
+            }
+            .to_string(),
+            "DROP TABLE IF EXISTS t0"
+        );
+    }
+
+    #[test]
+    fn column_def_constraint_queries() {
+        let mut col = ColumnDef::new("c0", DataType::Integer);
+        assert!(!col.is_not_null());
+        col.constraints.push(ColumnConstraint::PrimaryKey);
+        assert!(col.is_not_null());
+        assert!(col.is_unique());
+        assert!(col.has_primary_key());
+    }
+
+    #[test]
+    fn statement_feature_names_are_distinct() {
+        use std::collections::HashSet;
+        let stmts = [
+            Statement::Commit,
+            Statement::Analyze(None),
+            Statement::Refresh("t".into()),
+        ];
+        let names: HashSet<_> = stmts.iter().map(|s| s.feature_name()).collect();
+        assert_eq!(names.len(), stmts.len());
+    }
+}

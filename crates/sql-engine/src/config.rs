@@ -1,0 +1,80 @@
+//! Engine behaviour configuration.
+
+use crate::faults::FaultConfig;
+
+/// The typing discipline of the engine instance.
+///
+/// The paper treats "statically typed vs dynamically typed" as an *abstract
+/// property* feature of the DBMS under test (Appendix A.1): PostgreSQL
+/// rejects ill-typed expressions, SQLite coerces almost anything. The engine
+/// implements both disciplines so the simulated fleet can cover both ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TypingMode {
+    /// Dynamic typing with implicit coercions (SQLite-like).
+    #[default]
+    Dynamic,
+    /// Strict typing: type mismatches are errors (PostgreSQL-like).
+    Strict,
+}
+
+impl TypingMode {
+    /// Whether implicit coercions across type families are allowed.
+    pub fn allows_implicit_coercion(self) -> bool {
+        matches!(self, TypingMode::Dynamic)
+    }
+}
+
+/// Execution behaviour of an engine instance: typing discipline plus the
+/// injected-fault switches.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EngineConfig {
+    /// Typing discipline.
+    pub typing: TypingMode,
+    /// Injected logic bugs (all off by default).
+    pub faults: FaultConfig,
+}
+
+impl EngineConfig {
+    /// A fault-free, dynamically-typed configuration.
+    pub fn dynamic() -> EngineConfig {
+        EngineConfig {
+            typing: TypingMode::Dynamic,
+            faults: FaultConfig::none(),
+        }
+    }
+
+    /// A fault-free, strictly-typed configuration.
+    pub fn strict() -> EngineConfig {
+        EngineConfig {
+            typing: TypingMode::Strict,
+            faults: FaultConfig::none(),
+        }
+    }
+
+    /// Returns a copy with the given faults enabled by name; unknown names
+    /// are ignored.
+    pub fn with_faults(mut self, names: &[&str]) -> EngineConfig {
+        for n in names {
+            self.faults.enable(n);
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coercion_permission_follows_mode() {
+        assert!(TypingMode::Dynamic.allows_implicit_coercion());
+        assert!(!TypingMode::Strict.allows_implicit_coercion());
+    }
+
+    #[test]
+    fn with_faults_enables_known_names_only() {
+        let cfg = EngineConfig::dynamic().with_faults(&["bad_not_elimination", "bogus"]);
+        assert!(cfg.faults.bad_not_elimination);
+        assert_eq!(cfg.faults.enabled_count(), 1);
+    }
+}

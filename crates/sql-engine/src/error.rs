@@ -1,0 +1,112 @@
+//! Engine error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// The broad class of an engine error.
+///
+/// The adaptive generator never inspects these classes (it only observes
+/// "the statement failed"), but the simulated DBMS fleet uses them to shape
+/// realistic error messages, and tests use them to assert on behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorKind {
+    /// Unknown table, column, index or view; duplicate object names.
+    Catalog,
+    /// Type errors under the strict typing discipline.
+    Type,
+    /// Constraint violations (PRIMARY KEY, UNIQUE, NOT NULL).
+    Constraint,
+    /// A feature the engine itself does not implement.
+    Unsupported,
+    /// Runtime errors such as division by zero under strict semantics or a
+    /// scalar subquery returning more than one row.
+    Runtime,
+}
+
+impl ErrorKind {
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ErrorKind::Catalog => "catalog error",
+            ErrorKind::Type => "type error",
+            ErrorKind::Constraint => "constraint violation",
+            ErrorKind::Unsupported => "unsupported feature",
+            ErrorKind::Runtime => "runtime error",
+        }
+    }
+}
+
+/// An error produced while executing a statement against the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineError {
+    /// Error class.
+    pub kind: ErrorKind,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl EngineError {
+    /// Creates a new error.
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> EngineError {
+        EngineError {
+            kind,
+            message: message.into(),
+        }
+    }
+
+    /// Shorthand for a catalog error.
+    pub fn catalog(message: impl Into<String>) -> EngineError {
+        EngineError::new(ErrorKind::Catalog, message)
+    }
+
+    /// Shorthand for a type error.
+    pub fn type_error(message: impl Into<String>) -> EngineError {
+        EngineError::new(ErrorKind::Type, message)
+    }
+
+    /// Shorthand for a constraint violation.
+    pub fn constraint(message: impl Into<String>) -> EngineError {
+        EngineError::new(ErrorKind::Constraint, message)
+    }
+
+    /// Shorthand for an unsupported feature.
+    pub fn unsupported(message: impl Into<String>) -> EngineError {
+        EngineError::new(ErrorKind::Unsupported, message)
+    }
+
+    /// Shorthand for a runtime error.
+    pub fn runtime(message: impl Into<String>) -> EngineError {
+        EngineError::new(ErrorKind::Runtime, message)
+    }
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind.label(), self.message)
+    }
+}
+
+impl Error for EngineError {}
+
+/// Convenient result alias used throughout the engine.
+pub type EngineResult<T> = Result<T, EngineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_and_message() {
+        let e = EngineError::type_error("cannot add TEXT and BOOLEAN");
+        assert_eq!(e.to_string(), "type error: cannot add TEXT and BOOLEAN");
+        assert_eq!(e.kind, ErrorKind::Type);
+    }
+
+    #[test]
+    fn constructors_set_kinds() {
+        assert_eq!(EngineError::catalog("x").kind, ErrorKind::Catalog);
+        assert_eq!(EngineError::constraint("x").kind, ErrorKind::Constraint);
+        assert_eq!(EngineError::unsupported("x").kind, ErrorKind::Unsupported);
+        assert_eq!(EngineError::runtime("x").kind, ErrorKind::Runtime);
+    }
+}

@@ -1,0 +1,61 @@
+//! # sql-engine
+//!
+//! A complete in-memory relational engine built for the SQLancer++
+//! reproduction ("Scaling Automated Database System Testing", ASPLOS 2026).
+//!
+//! The paper evaluates its testing platform against 18 third-party DBMSs;
+//! this crate is the substrate that stands in for them: it parses SQL text
+//! (via `sql-parser`), maintains a catalog, stores rows, evaluates
+//! expressions under either a dynamic (SQLite-like) or strict
+//! (PostgreSQL-like) typing discipline, and executes queries through two
+//! paths:
+//!
+//! * an **optimizing** path (expression rewrites, predicate handling, index
+//!   access paths), and
+//! * a **non-optimizing reference** path that executes the query exactly as
+//!   written.
+//!
+//! Logic bugs can be *injected* via [`FaultConfig`]: each switch enables one
+//! wrong rewrite, access-path shortcut, or evaluation quirk, several of them
+//! modeled on real bugs discussed in the paper. The `dbms-sim` crate layers
+//! dialect feature-gating and bug ground truth on top of this engine to
+//! build the simulated DBMS fleet that SQLancer++ is evaluated against.
+//!
+//! # Examples
+//!
+//! ```
+//! use sql_engine::{Database, EngineConfig};
+//!
+//! let mut db = Database::new(EngineConfig::dynamic());
+//! db.execute_sql("CREATE TABLE t0 (c0 INTEGER PRIMARY KEY, c1 TEXT)").unwrap();
+//! db.execute_sql("INSERT INTO t0 (c0, c1) VALUES (1, 'a'), (2, 'b')").unwrap();
+//! let rs = db.query_sql("SELECT c1 FROM t0 WHERE c0 = 2").unwrap();
+//! assert_eq!(rs.rows, vec![vec![sql_ast::Value::text("b")]]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod catalog;
+mod config;
+mod coverage;
+mod error;
+mod eval;
+mod exec;
+mod faults;
+mod functions;
+mod optimizer;
+mod storage;
+
+pub use catalog::{Catalog, Column, IndexDef, TableSchema, ViewDef};
+pub use config::{EngineConfig, TypingMode};
+pub use coverage::{CoverageTracker, CoverageUniverse};
+pub use error::{EngineError, EngineResult, ErrorKind};
+pub use eval::{Evaluator, RelationBinding, Scope};
+pub use exec::{
+    execute_select, execute_select_in_scope, execute_statement, ExecutionMode, StatementResult,
+};
+pub use faults::FaultConfig;
+pub use functions::eval_function;
+pub use optimizer::{optimize_select, rewrite_predicate};
+pub use storage::{ColumnStats, Database, ResultSet, Row, TableStats};

@@ -1,0 +1,218 @@
+//! Row storage, table statistics and the [`Database`] instance type.
+
+use crate::catalog::Catalog;
+use crate::config::EngineConfig;
+use crate::coverage::CoverageTracker;
+use crate::error::{EngineError, EngineResult};
+use sql_ast::Value;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+/// A stored row: one [`Value`] per column, in schema order.
+pub type Row = Vec<Value>;
+
+/// A result set returned by a query: column names plus rows.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ResultSet {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Output rows.
+    pub rows: Vec<Row>,
+}
+
+impl ResultSet {
+    /// Creates an empty result set with the given column names.
+    pub fn with_columns(columns: Vec<String>) -> ResultSet {
+        ResultSet {
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// A canonical multiset fingerprint of the rows (order-insensitive).
+    /// Two result sets with the same fingerprint contain the same rows with
+    /// the same multiplicities — this is how the oracles compare results.
+    pub fn multiset_fingerprint(&self) -> Vec<String> {
+        let mut keys: Vec<String> = self
+            .rows
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(Value::dedup_key)
+                    .collect::<Vec<_>>()
+                    .join("\u{1}")
+            })
+            .collect();
+        keys.sort();
+        keys
+    }
+}
+
+/// Per-column statistics collected by `ANALYZE`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ColumnStats {
+    /// Number of distinct non-`NULL` values.
+    pub distinct: usize,
+    /// Number of `NULL`s.
+    pub nulls: usize,
+}
+
+/// Per-table statistics collected by `ANALYZE`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TableStats {
+    /// Row count at the time of `ANALYZE`.
+    pub row_count: usize,
+    /// Per-column statistics, in schema order.
+    pub columns: Vec<ColumnStats>,
+}
+
+/// An in-memory database instance: catalog, row storage, statistics,
+/// execution configuration and coverage accounting.
+///
+/// # Examples
+///
+/// ```
+/// use sql_engine::{Database, EngineConfig};
+///
+/// let mut db = Database::new(EngineConfig::dynamic());
+/// db.execute_sql("CREATE TABLE t0 (c0 INTEGER)").unwrap();
+/// db.execute_sql("INSERT INTO t0 (c0) VALUES (1), (2)").unwrap();
+/// let rs = db.query_sql("SELECT c0 FROM t0 WHERE c0 > 1").unwrap();
+/// assert_eq!(rs.row_count(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    /// The schema catalog.
+    pub catalog: Catalog,
+    /// Execution behaviour (typing discipline, injected faults).
+    pub config: EngineConfig,
+    data: BTreeMap<String, Vec<Row>>,
+    stats: BTreeMap<String, TableStats>,
+    coverage: RefCell<CoverageTracker>,
+}
+
+impl Database {
+    /// Creates an empty database with the given behaviour configuration.
+    pub fn new(config: EngineConfig) -> Database {
+        Database {
+            config,
+            ..Database::default()
+        }
+    }
+
+    fn key(name: &str) -> String {
+        name.to_ascii_lowercase()
+    }
+
+    /// Registers storage for a newly created table.
+    pub(crate) fn create_storage(&mut self, name: &str) {
+        self.data.insert(Self::key(name), Vec::new());
+    }
+
+    /// Removes storage (and stats) for a dropped table.
+    pub(crate) fn drop_storage(&mut self, name: &str) {
+        self.data.remove(&Self::key(name));
+        self.stats.remove(&Self::key(name));
+    }
+
+    /// Rows of a stored table.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the table has no storage (unknown table).
+    pub fn rows(&self, name: &str) -> EngineResult<&Vec<Row>> {
+        self.data
+            .get(&Self::key(name))
+            .ok_or_else(|| EngineError::catalog(format!("no such table: {name}")))
+    }
+
+    /// Mutable rows of a stored table.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the table has no storage (unknown table).
+    pub fn rows_mut(&mut self, name: &str) -> EngineResult<&mut Vec<Row>> {
+        self.data
+            .get_mut(&Self::key(name))
+            .ok_or_else(|| EngineError::catalog(format!("no such table: {name}")))
+    }
+
+    /// Statistics recorded for a table by the last `ANALYZE`, if any.
+    pub fn stats(&self, name: &str) -> Option<&TableStats> {
+        self.stats.get(&Self::key(name))
+    }
+
+    /// Records statistics for a table.
+    pub(crate) fn set_stats(&mut self, name: &str, stats: TableStats) {
+        self.stats.insert(Self::key(name), stats);
+    }
+
+    /// Total number of stored rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.data.values().map(Vec::len).sum()
+    }
+
+    /// Records coverage information. Execution code calls this; it is
+    /// interior-mutable because queries only hold a shared borrow of the
+    /// database.
+    pub fn record_coverage(&self, f: impl FnOnce(&mut CoverageTracker)) {
+        f(&mut self.coverage.borrow_mut());
+    }
+
+    /// A snapshot of the coverage accumulated so far.
+    pub fn coverage_snapshot(&self) -> CoverageTracker {
+        self.coverage.borrow().clone()
+    }
+
+    /// Resets coverage accounting (used between experiment runs).
+    pub fn reset_coverage(&self) {
+        *self.coverage.borrow_mut() = CoverageTracker::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn result_set_fingerprint_is_order_insensitive() {
+        let a = ResultSet {
+            columns: vec!["c0".into()],
+            rows: vec![vec![Value::Integer(1)], vec![Value::Integer(2)]],
+        };
+        let b = ResultSet {
+            columns: vec!["c0".into()],
+            rows: vec![vec![Value::Integer(2)], vec![Value::Integer(1)]],
+        };
+        assert_eq!(a.multiset_fingerprint(), b.multiset_fingerprint());
+    }
+
+    #[test]
+    fn result_set_fingerprint_respects_multiplicity() {
+        let a = ResultSet {
+            columns: vec!["c0".into()],
+            rows: vec![vec![Value::Integer(1)], vec![Value::Integer(1)]],
+        };
+        let b = ResultSet {
+            columns: vec!["c0".into()],
+            rows: vec![vec![Value::Integer(1)]],
+        };
+        assert_ne!(a.multiset_fingerprint(), b.multiset_fingerprint());
+    }
+
+    #[test]
+    fn storage_is_case_insensitive() {
+        let mut db = Database::new(EngineConfig::dynamic());
+        db.create_storage("T0");
+        assert!(db.rows("t0").is_ok());
+        db.rows_mut("t0").unwrap().push(vec![Value::Integer(1)]);
+        assert_eq!(db.total_rows(), 1);
+        db.drop_storage("t0");
+        assert!(db.rows("t0").is_err());
+    }
+}

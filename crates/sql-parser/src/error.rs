@@ -1,0 +1,48 @@
+//! Parser error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while lexing or parsing SQL text.
+///
+/// The message is deliberately close to what real DBMS drivers return for a
+/// syntax error, because the SQLancer++ feedback loop only ever observes
+/// "the statement failed" plus an error string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Byte offset in the input at which the problem was detected.
+    pub offset: usize,
+}
+
+impl ParseError {
+    /// Creates a new parse error.
+    pub fn new(message: impl Into<String>, offset: usize) -> ParseError {
+        ParseError {
+            message: message.into(),
+            offset,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "syntax error at offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_offset_and_message() {
+        let e = ParseError::new("unexpected token", 7);
+        let s = e.to_string();
+        assert!(s.contains('7'));
+        assert!(s.contains("unexpected token"));
+    }
+}

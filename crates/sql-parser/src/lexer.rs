@@ -1,0 +1,477 @@
+//! SQL tokenizer.
+
+use crate::error::ParseError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// An identifier or keyword (keywords are recognised by the parser,
+    /// case-insensitively).
+    Word(String),
+    /// An integer literal.
+    Integer(i64),
+    /// A floating-point literal.
+    Real(f64),
+    /// A single-quoted string literal (quotes removed, `''` unescaped).
+    StringLit(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semicolon,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=` (also accepts `==`)
+    Eq,
+    /// `!=`
+    Neq,
+    /// `<>`
+    NeqLtGt,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `<=>`
+    NullSafeEq,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `||`
+    DoublePipe,
+    /// `#`
+    Hash,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `~`
+    Tilde,
+}
+
+impl Token {
+    /// If the token is a word, its uppercase form (used for keyword matching).
+    pub fn keyword(&self) -> Option<String> {
+        match self {
+            Token::Word(w) => Some(w.to_ascii_uppercase()),
+            _ => None,
+        }
+    }
+}
+
+/// A token together with the byte offset at which it starts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedToken {
+    /// The token.
+    pub token: Token,
+    /// Byte offset of its first character.
+    pub offset: usize,
+}
+
+/// Tokenizes SQL text.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on unterminated string literals, malformed
+/// numbers or unexpected characters.
+pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let start = i;
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\n' | b'\r' => {
+                i += 1;
+            }
+            b'-' if bytes.get(i + 1) == Some(&b'-') => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(ParseError::new("unterminated string literal", start));
+                    }
+                    if bytes[i] == b'\'' {
+                        if bytes.get(i + 1) == Some(&b'\'') {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        // Multi-byte UTF-8 is copied byte-wise; we only split
+                        // on ASCII quote characters so this is safe.
+                        s.push(bytes[i] as char);
+                        i += 1;
+                    }
+                }
+                tokens.push(SpannedToken {
+                    token: Token::StringLit(s),
+                    offset: start,
+                });
+            }
+            b'"' => {
+                // Double-quoted identifier.
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(ParseError::new("unterminated quoted identifier", start));
+                    }
+                    if bytes[i] == b'"' {
+                        i += 1;
+                        break;
+                    }
+                    s.push(bytes[i] as char);
+                    i += 1;
+                }
+                tokens.push(SpannedToken {
+                    token: Token::Word(s),
+                    offset: start,
+                });
+            }
+            b'0'..=b'9' => {
+                let mut end = i;
+                let mut is_real = false;
+                while end < bytes.len() {
+                    match bytes[end] {
+                        b'0'..=b'9' => end += 1,
+                        b'.' if !is_real => {
+                            is_real = true;
+                            end += 1;
+                        }
+                        b'e' | b'E'
+                            if end + 1 < bytes.len()
+                                && (bytes[end + 1].is_ascii_digit()
+                                    || bytes[end + 1] == b'+'
+                                    || bytes[end + 1] == b'-') =>
+                        {
+                            is_real = true;
+                            end += 2;
+                        }
+                        _ => break,
+                    }
+                }
+                let text = &input[i..end];
+                let token = if is_real {
+                    Token::Real(text.parse::<f64>().map_err(|_| {
+                        ParseError::new(format!("malformed number '{text}'"), start)
+                    })?)
+                } else {
+                    match text.parse::<i64>() {
+                        Ok(v) => Token::Integer(v),
+                        Err(_) => Token::Real(text.parse::<f64>().map_err(|_| {
+                            ParseError::new(format!("malformed number '{text}'"), start)
+                        })?),
+                    }
+                };
+                tokens.push(SpannedToken {
+                    token,
+                    offset: start,
+                });
+                i = end;
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                let mut end = i;
+                while end < bytes.len()
+                    && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_')
+                {
+                    end += 1;
+                }
+                tokens.push(SpannedToken {
+                    token: Token::Word(input[i..end].to_string()),
+                    offset: start,
+                });
+                i = end;
+            }
+            b'(' => {
+                tokens.push(SpannedToken {
+                    token: Token::LParen,
+                    offset: start,
+                });
+                i += 1;
+            }
+            b')' => {
+                tokens.push(SpannedToken {
+                    token: Token::RParen,
+                    offset: start,
+                });
+                i += 1;
+            }
+            b',' => {
+                tokens.push(SpannedToken {
+                    token: Token::Comma,
+                    offset: start,
+                });
+                i += 1;
+            }
+            b'.' => {
+                tokens.push(SpannedToken {
+                    token: Token::Dot,
+                    offset: start,
+                });
+                i += 1;
+            }
+            b';' => {
+                tokens.push(SpannedToken {
+                    token: Token::Semicolon,
+                    offset: start,
+                });
+                i += 1;
+            }
+            b'*' => {
+                tokens.push(SpannedToken {
+                    token: Token::Star,
+                    offset: start,
+                });
+                i += 1;
+            }
+            b'+' => {
+                tokens.push(SpannedToken {
+                    token: Token::Plus,
+                    offset: start,
+                });
+                i += 1;
+            }
+            b'-' => {
+                tokens.push(SpannedToken {
+                    token: Token::Minus,
+                    offset: start,
+                });
+                i += 1;
+            }
+            b'/' => {
+                tokens.push(SpannedToken {
+                    token: Token::Slash,
+                    offset: start,
+                });
+                i += 1;
+            }
+            b'%' => {
+                tokens.push(SpannedToken {
+                    token: Token::Percent,
+                    offset: start,
+                });
+                i += 1;
+            }
+            b'~' => {
+                tokens.push(SpannedToken {
+                    token: Token::Tilde,
+                    offset: start,
+                });
+                i += 1;
+            }
+            b'#' => {
+                tokens.push(SpannedToken {
+                    token: Token::Hash,
+                    offset: start,
+                });
+                i += 1;
+            }
+            b'&' => {
+                tokens.push(SpannedToken {
+                    token: Token::Amp,
+                    offset: start,
+                });
+                i += 1;
+            }
+            b'|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    tokens.push(SpannedToken {
+                        token: Token::DoublePipe,
+                        offset: start,
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(SpannedToken {
+                        token: Token::Pipe,
+                        offset: start,
+                    });
+                    i += 1;
+                }
+            }
+            b'=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+                tokens.push(SpannedToken {
+                    token: Token::Eq,
+                    offset: start,
+                });
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(SpannedToken {
+                        token: Token::Neq,
+                        offset: start,
+                    });
+                    i += 2;
+                } else {
+                    return Err(ParseError::new("unexpected character '!'", start));
+                }
+            }
+            b'<' => {
+                if bytes.get(i + 1) == Some(&b'=') && bytes.get(i + 2) == Some(&b'>') {
+                    tokens.push(SpannedToken {
+                        token: Token::NullSafeEq,
+                        offset: start,
+                    });
+                    i += 3;
+                } else if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(SpannedToken {
+                        token: Token::Le,
+                        offset: start,
+                    });
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(SpannedToken {
+                        token: Token::NeqLtGt,
+                        offset: start,
+                    });
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'<') {
+                    tokens.push(SpannedToken {
+                        token: Token::Shl,
+                        offset: start,
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(SpannedToken {
+                        token: Token::Lt,
+                        offset: start,
+                    });
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(SpannedToken {
+                        token: Token::Ge,
+                        offset: start,
+                    });
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(SpannedToken {
+                        token: Token::Shr,
+                        offset: start,
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(SpannedToken {
+                        token: Token::Gt,
+                        offset: start,
+                    });
+                    i += 1;
+                }
+            }
+            other => {
+                return Err(ParseError::new(
+                    format!("unexpected character '{}'", other as char),
+                    start,
+                ));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(input: &str) -> Vec<Token> {
+        tokenize(input).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn lexes_basic_statement() {
+        let t = toks("SELECT c0 FROM t0 WHERE c0 = 1;");
+        assert_eq!(t[0], Token::Word("SELECT".into()));
+        assert_eq!(t[4], Token::Word("WHERE".into()));
+        assert_eq!(t[6], Token::Eq);
+        assert_eq!(t[7], Token::Integer(1));
+        assert_eq!(*t.last().unwrap(), Token::Semicolon);
+    }
+
+    #[test]
+    fn lexes_compound_operators() {
+        assert_eq!(toks("<=>"), vec![Token::NullSafeEq]);
+        assert_eq!(toks("<= >= <> != << >> ||"), vec![
+            Token::Le,
+            Token::Ge,
+            Token::NeqLtGt,
+            Token::Neq,
+            Token::Shl,
+            Token::Shr,
+            Token::DoublePipe,
+        ]);
+    }
+
+    #[test]
+    fn lexes_string_with_escaped_quote() {
+        assert_eq!(
+            toks("'it''s'"),
+            vec![Token::StringLit("it's".to_string())]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(toks("1 2.5 1e3"), vec![
+            Token::Integer(1),
+            Token::Real(2.5),
+            Token::Real(1000.0),
+        ]);
+    }
+
+    #[test]
+    fn skips_comments_and_whitespace() {
+        let t = toks("SELECT 1 -- trailing comment\n, 2");
+        assert_eq!(
+            t,
+            vec![
+                Token::Word("SELECT".into()),
+                Token::Integer(1),
+                Token::Comma,
+                Token::Integer(2)
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(tokenize("SELECT 'oops").is_err());
+    }
+
+    #[test]
+    fn rejects_lone_bang() {
+        assert!(tokenize("SELECT !x").is_err());
+    }
+}

@@ -1,0 +1,57 @@
+//! Quickstart: run a short SQLancer++ campaign against a simulated DBMS.
+//!
+//! ```bash
+//! cargo run --example quickstart
+//! ```
+
+use sqlancerpp::core::{Campaign, CampaignConfig, OracleKind};
+use sqlancerpp::sim::preset_by_name;
+
+fn main() {
+    // 1. Pick a DBMS under test. The `dolt` preset is a dynamically-typed
+    //    dialect with several injected logic bugs.
+    let preset = preset_by_name("dolt").expect("dolt preset exists");
+    let mut dbms = preset.instantiate();
+
+    // 2. Configure a campaign: how many database states to build, how many
+    //    DDL statements and oracle-checked queries to issue, which oracles
+    //    to use.
+    let mut config = CampaignConfig {
+        seed: 42,
+        databases: 2,
+        ddl_per_database: 12,
+        queries_per_database: 300,
+        oracles: vec![OracleKind::Tlp, OracleKind::NoRec],
+        ..CampaignConfig::default()
+    };
+    // Short runs use a more permissive unsupported-feature threshold than
+    // the paper's 1% (which needs hundreds of observations per feature).
+    config.generator.stats.query_threshold = 0.05;
+    config.generator.stats.min_attempts = 30;
+
+    // 3. Run it.
+    let mut campaign = Campaign::new(config);
+    let report = campaign.run(&mut dbms);
+
+    // 4. Inspect the results.
+    println!("campaign against `{}`", report.dbms_name);
+    println!("  test cases executed : {}", report.metrics.test_cases);
+    println!(
+        "  validity rate       : {:.1}%",
+        report.metrics.validity_rate() * 100.0
+    );
+    println!("  bug-inducing cases  : {}", report.metrics.detected_bug_cases);
+    println!("  prioritized bugs    : {}", report.metrics.prioritized_bugs);
+    println!();
+    for (i, bug) in report.reports.iter().enumerate() {
+        println!("bug report #{i} ({}):", bug.oracle);
+        println!("  {}", bug.description);
+        for sql in bug.setup.iter().take(4) {
+            println!("    {sql};");
+        }
+        for q in &bug.queries {
+            println!("    {q};");
+        }
+        println!();
+    }
+}

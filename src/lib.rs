@@ -1,0 +1,47 @@
+//! # sqlancerpp
+//!
+//! Facade crate for the Rust reproduction of **SQLancer++** ("Scaling
+//! Automated Database System Testing", ASPLOS 2026).
+//!
+//! The workspace is organised bottom-up; this crate re-exports the pieces a
+//! downstream user needs to run a testing campaign end to end:
+//!
+//! * [`ast`] — SQL AST, values and rendering (`sql-ast`)
+//! * [`parser`] — SQL text → AST (`sql-parser`)
+//! * [`engine`] — the in-memory relational engine (`sql-engine`)
+//! * [`sim`] — the simulated DBMS fleet with dialects and injected bugs
+//!   (`dbms-sim`)
+//! * [`core`] — the paper's contribution: adaptive generator, oracles,
+//!   prioritizer, reducer and campaign runner (`sqlancer-core`)
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// SQL AST, values and rendering (re-export of `sql-ast`).
+pub mod ast {
+    pub use sql_ast::*;
+}
+
+/// SQL text → AST (re-export of `sql-parser`).
+pub mod parser {
+    pub use sql_parser::*;
+}
+
+/// In-memory relational engine (re-export of `sql-engine`).
+pub mod engine {
+    pub use sql_engine::*;
+}
+
+/// Simulated DBMS fleet: dialect profiles and fault injection (re-export of
+/// `dbms-sim`).
+pub mod sim {
+    pub use dbms_sim::*;
+}
+
+/// The SQLancer++ core: adaptive generator, oracles, prioritizer, campaign
+/// runner (re-export of `sqlancer-core`).
+pub mod core {
+    pub use sqlancer_core::*;
+}

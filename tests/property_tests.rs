@@ -1,0 +1,146 @@
+//! Property-based tests over the whole stack: SQL rendering/parsing
+//! round-trips, three-valued-logic invariants, oracle soundness on
+//! fault-free engines, and prioritizer monotonicity.
+
+use proptest::prelude::*;
+use sqlancerpp::ast::{BinaryOp, Expr, TruthValue, Value};
+use sqlancerpp::core::{
+    regularized_incomplete_beta, AdaptiveGenerator, BugPrioritizer, Feature, FeatureSet,
+    GeneratorConfig, PriorityDecision,
+};
+use sqlancerpp::engine::{Database, EngineConfig, ExecutionMode, Evaluator, Scope};
+use sqlancerpp::parser::{parse_expression, parse_statement};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(|v| Value::Integer(v % 1000)),
+        any::<bool>().prop_map(Value::Boolean),
+        "[a-zA-Z0-9 ]{0,6}".prop_map(Value::Text),
+        (-1000.0f64..1000.0).prop_map(Value::Real),
+    ]
+}
+
+fn arb_leaf() -> impl Strategy<Value = Expr> {
+    arb_value().prop_map(Expr::Literal)
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = arb_leaf();
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.binary(BinaryOp::Add, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.binary(BinaryOp::Eq, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.clone().prop_map(|a| a.not()),
+            inner.clone().prop_map(|a| a.is_null()),
+            (inner.clone(), inner.clone(), inner).prop_map(|(a, b, c)| Expr::Between {
+                expr: Box::new(a),
+                low: Box::new(b),
+                high: Box::new(c),
+                negated: false,
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every expression the AST can express renders to SQL that the parser
+    /// accepts and that renders back to the same text (idempotent
+    /// round-trip).
+    #[test]
+    fn expression_rendering_round_trips(expr in arb_expr()) {
+        let sql = expr.to_string();
+        let reparsed = parse_expression(&sql).expect("rendered SQL must parse");
+        prop_assert_eq!(reparsed.to_string(), sql);
+    }
+
+    /// Three-valued logic: double negation is the identity, and AND/OR are
+    /// commutative.
+    #[test]
+    fn three_valued_logic_invariants(a in 0..3u8, b in 0..3u8) {
+        let t = |x: u8| match x { 0 => TruthValue::True, 1 => TruthValue::False, _ => TruthValue::Unknown };
+        let (a, b) = (t(a), t(b));
+        prop_assert_eq!(a.not().not(), a);
+        prop_assert_eq!(a.and(b), b.and(a));
+        prop_assert_eq!(a.or(b), b.or(a));
+        // De Morgan.
+        prop_assert_eq!(a.and(b).not(), a.not().or(b.not()));
+    }
+
+    /// Constant predicates keep their truth value across the optimizer's
+    /// predicate rewrites on a fault-free engine (the NoREC soundness
+    /// property at expression granularity). The rewriter is only ever
+    /// applied in predicate positions, so truth-value equivalence — not
+    /// value equality — is the preserved property.
+    #[test]
+    fn optimizer_is_semantics_preserving_without_faults(expr in arb_expr()) {
+        let db = Database::new(EngineConfig::dynamic());
+        let evaluator = Evaluator::new(&db, ExecutionMode::Reference);
+        let reference = evaluator.eval(&expr, &Scope::EMPTY);
+        let rewritten = sqlancerpp::engine::rewrite_predicate(&db, expr);
+        let optimized_eval = Evaluator::new(&db, ExecutionMode::Optimized);
+        let optimized = optimized_eval.eval(&rewritten, &Scope::EMPTY);
+        match (reference, optimized) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(
+                    evaluator.truthiness(&a).unwrap(),
+                    optimized_eval.truthiness(&b).unwrap()
+                );
+            }
+            (Err(_), _) | (_, Err(_)) => {
+                // Domain errors (e.g. ASIN out of range) may be hit by one
+                // side only when folding reorders evaluation; both sides
+                // failing or one failing is acceptable, silent wrong values
+                // are not.
+            }
+        }
+    }
+
+    /// The regularised incomplete beta function is a CDF: bounded by [0, 1]
+    /// and monotone in x.
+    #[test]
+    fn incomplete_beta_is_a_cdf(x in 0.0f64..1.0, y in 0.0f64..1.0, a in 1.0f64..50.0, b in 1.0f64..50.0) {
+        let lo = x.min(y);
+        let hi = x.max(y);
+        let f_lo = regularized_incomplete_beta(lo, a, b);
+        let f_hi = regularized_incomplete_beta(hi, a, b);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&f_lo));
+        prop_assert!(f_lo <= f_hi + 1e-9);
+    }
+
+    /// Prioritizer invariant: a feature set identical to an already-kept one
+    /// is always classified as a duplicate, and adding features to a kept
+    /// set never makes it "new".
+    #[test]
+    fn prioritizer_subset_rule_is_monotone(names in proptest::collection::vec("[A-F]", 1..6), extra in "[G-K]") {
+        let base: FeatureSet = names.iter().map(|n| Feature::new(n.clone())).collect();
+        let mut superset = base.clone();
+        superset.insert(Feature::new(extra));
+        let mut prioritizer = BugPrioritizer::new();
+        prop_assert_eq!(prioritizer.classify(&base), PriorityDecision::New);
+        prop_assert_eq!(prioritizer.classify(&base), PriorityDecision::PotentialDuplicate);
+        prop_assert_eq!(prioritizer.classify(&superset), PriorityDecision::PotentialDuplicate);
+    }
+
+    /// Every statement the adaptive generator emits is parseable SQL — the
+    /// platform never sends garbage to the DBMS under test.
+    #[test]
+    fn generated_statements_always_parse(seed in 0u64..500) {
+        let mut generator = AdaptiveGenerator::new(seed, GeneratorConfig::default());
+        for _ in 0..6 {
+            let stmt = generator.generate_ddl_statement();
+            prop_assert!(parse_statement(&stmt.sql).is_ok(), "unparseable: {}", stmt.sql);
+            generator.apply_success(&stmt.statement);
+        }
+        for _ in 0..6 {
+            if let Some(query) = generator.generate_query() {
+                let sql = query.select.to_string();
+                prop_assert!(parse_statement(&sql).is_ok(), "unparseable: {sql}");
+            }
+        }
+    }
+}
