@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# CI gate for the SQLancer++ reproduction workspace.
+#
+#   ./ci.sh          # full gate: fmt, clippy, release build, tests, smoke
+#
+# Every step must pass; the script stops at the first failure.
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test -q"
+cargo test --workspace -q
+
+echo "==> smoke campaign (~5s)"
+# A quick fixed-seed fleet campaign through the throughput harness; writes
+# to a scratch path so the committed BENCH_campaign.json is not clobbered.
+./target/release/campaign_throughput 40 /tmp/ci_smoke_bench.json
+grep -q '"speedup_ast_over_text"' /tmp/ci_smoke_bench.json
+
+echo "CI OK"

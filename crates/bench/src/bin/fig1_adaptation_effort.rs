@@ -27,7 +27,10 @@ fn main() {
             + usize::from(preset.profile.requires_commit);
         handwritten_total += handwritten;
         adaptive_total += adaptation;
-        println!("| {} | {} | {} |", preset.profile.name, handwritten, adaptation);
+        println!(
+            "| {} | {} | {} |",
+            preset.profile.name, handwritten, adaptation
+        );
     }
     let n = fleet().len();
     println!();

@@ -23,7 +23,10 @@ fn main() {
     for preset in &presets {
         let config = experiment_campaign_config(0xFEED, queries, GeneratorArm::Adaptive);
         let outcome = run_campaign(preset, config, GeneratorArm::Adaptive);
-        cases_per_source.push((preset.profile.name.clone(), outcome.report.prioritized_cases));
+        cases_per_source.push((
+            preset.profile.name.clone(),
+            outcome.report.prioritized_cases,
+        ));
     }
 
     // Header.

@@ -6,7 +6,10 @@ use dbms_sim::preset_by_name;
 use std::collections::BTreeSet;
 
 fn filtered(set: &BTreeSet<String>, prefix: &str) -> BTreeSet<String> {
-    set.iter().filter(|f| f.starts_with(prefix)).cloned().collect()
+    set.iter()
+        .filter(|f| f.starts_with(prefix))
+        .cloned()
+        .collect()
 }
 
 fn venn(label: &str, generator: &BTreeSet<String>, a: &BTreeSet<String>, b: &BTreeSet<String>) {
@@ -14,9 +17,18 @@ fn venn(label: &str, generator: &BTreeSet<String>, a: &BTreeSet<String>, b: &BTr
         .iter()
         .filter(|f| !a.contains(*f) && !b.contains(*f))
         .count();
-    let gen_and_a = generator.iter().filter(|f| a.contains(*f) && !b.contains(*f)).count();
-    let gen_and_b = generator.iter().filter(|f| !a.contains(*f) && b.contains(*f)).count();
-    let all_three = generator.iter().filter(|f| a.contains(*f) && b.contains(*f)).count();
+    let gen_and_a = generator
+        .iter()
+        .filter(|f| a.contains(*f) && !b.contains(*f))
+        .count();
+    let gen_and_b = generator
+        .iter()
+        .filter(|f| !a.contains(*f) && b.contains(*f))
+        .count();
+    let all_three = generator
+        .iter()
+        .filter(|f| a.contains(*f) && b.contains(*f))
+        .count();
     println!("## {label}");
     println!("| region | count |");
     println!("|---|---|");
@@ -32,10 +44,18 @@ fn main() {
         .into_iter()
         .map(|f| f.name().to_string())
         .collect();
-    let sqlite = preset_by_name("sqlite").unwrap().profile.supported_universe();
-    let postgres_like = preset_by_name("umbra").unwrap().profile.supported_universe();
+    let sqlite = preset_by_name("sqlite")
+        .unwrap()
+        .profile
+        .supported_universe();
+    let postgres_like = preset_by_name("umbra")
+        .unwrap()
+        .profile
+        .supported_universe();
 
-    println!("# Figure 7 — feature overlap between the generator and dialect generators (reproduction)");
+    println!(
+        "# Figure 7 — feature overlap between the generator and dialect generators (reproduction)"
+    );
     println!();
     venn(
         "Scalar functions",

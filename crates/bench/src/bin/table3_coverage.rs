@@ -15,7 +15,9 @@ fn main() {
         .unwrap_or(300);
     println!("# Table 3 — engine coverage by generator arm (reproduction)");
     println!();
-    println!("| approach | dialect | feature coverage (line proxy) | category coverage (branch proxy) |");
+    println!(
+        "| approach | dialect | feature coverage (line proxy) | category coverage (branch proxy) |"
+    );
     println!("|---|---|---|---|");
     for arm in [
         GeneratorArm::Adaptive,

@@ -44,7 +44,11 @@ fn main() {
                     .iter()
                     .map(|v| format!("{:.2}", v))
                     .collect();
-                println!("|   (series) | {} | {} | |", outcome.dialect, rendered.join(" → "));
+                println!(
+                    "|   (series) | {} | {} | |",
+                    outcome.dialect,
+                    rendered.join(" → ")
+                );
             }
         }
     }

@@ -110,7 +110,11 @@ pub struct RunOutcome {
 
 /// Runs one campaign against a fresh instance of the preset and resolves the
 /// ground truth of every prioritized bug-inducing case.
-pub fn run_campaign(preset: &DialectPreset, config: CampaignConfig, arm: GeneratorArm) -> RunOutcome {
+pub fn run_campaign(
+    preset: &DialectPreset,
+    config: CampaignConfig,
+    arm: GeneratorArm,
+) -> RunOutcome {
     let mut campaign = campaign_for(preset, config, arm);
     let mut dbms: SimulatedDbms = preset.instantiate();
     let report = campaign.run(&mut dbms);

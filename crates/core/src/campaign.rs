@@ -80,6 +80,18 @@ impl CampaignMetrics {
         self.valid_test_cases as f64 / self.test_cases as f64
     }
 
+    /// Accumulates another campaign's metrics into this one (used by the
+    /// fleet runner to report fleet-wide totals).
+    pub fn merge(&mut self, other: &CampaignMetrics) {
+        self.ddl_statements += other.ddl_statements;
+        self.ddl_successes += other.ddl_successes;
+        self.test_cases += other.test_cases;
+        self.valid_test_cases += other.valid_test_cases;
+        self.detected_bug_cases += other.detected_bug_cases;
+        self.prioritized_bugs += other.prioritized_bugs;
+        self.deduplicated_bugs += other.deduplicated_bugs;
+    }
+
     /// Validity rate of DDL/DML statements.
     pub fn ddl_validity_rate(&self) -> f64 {
         if self.ddl_statements == 0 {
@@ -143,7 +155,7 @@ impl Campaign {
             ..CampaignReport::default()
         };
         let quirks = conn.quirks();
-        let sample_every = 50u64.max(1);
+        let sample_every = 50u64;
         let mut oracle_index = 0usize;
 
         for _ in 0..self.config.databases {
@@ -154,7 +166,11 @@ impl Campaign {
             // Phase 1: build the database state.
             for _ in 0..self.config.ddl_per_database {
                 let generated = self.generator.generate_ddl_statement();
-                let outcome = conn.execute(&generated.sql);
+                // AST fast path: the generator already holds the typed
+                // statement, so backends that can consume it skip the
+                // render→lex→parse round-trip. `generated.sql` is still used
+                // for the replayable setup log.
+                let outcome = conn.execute_ast(&generated.statement);
                 let success = outcome.is_success();
                 report.metrics.ddl_statements += 1;
                 if success {
@@ -207,14 +223,20 @@ impl Campaign {
                 }
                 self.generator
                     .record_outcome(&query.features, FeatureKind::Query, valid);
-                if report.metrics.test_cases % sample_every == 0 {
-                    report
-                        .validity_series
-                        .push(report.metrics.validity_rate());
+                if report.metrics.test_cases.is_multiple_of(sample_every) {
+                    report.validity_series.push(report.metrics.validity_rate());
                 }
                 if let OracleOutcome::Bug(bug) = outcome {
                     report.metrics.detected_bug_cases += 1;
-                    self.handle_bug(conn, *bug, &query.features, &setup_log, &query, oracle, &mut report);
+                    self.handle_bug(
+                        conn,
+                        *bug,
+                        &query.features,
+                        &setup_log,
+                        &query,
+                        oracle,
+                        &mut report,
+                    );
                 }
             }
         }
@@ -223,6 +245,7 @@ impl Campaign {
         report
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn handle_bug(
         &mut self,
         conn: &mut dyn DbmsConnection,
@@ -246,8 +269,7 @@ impl Campaign {
                 let mut final_bug = bug;
                 if self.config.reduce_bugs {
                     let (reduced, _stats) = {
-                        let mut reducer =
-                            BugReducer::new(conn, self.config.max_reduction_checks);
+                        let mut reducer = BugReducer::new(conn, self.config.max_reduction_checks);
                         reducer.reduce(&case)
                     };
                     case = reduced;
@@ -282,7 +304,7 @@ pub fn replay_validity(conn: &mut dyn DbmsConnection, case: &ReducibleCase) -> f
         }
     }
     total += 1;
-    if conn.query(&case.query.to_string()).is_ok() {
+    if conn.query_ast(&case.query).is_ok() {
         ok += 1;
     }
     if total == 0 {

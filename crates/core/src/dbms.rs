@@ -7,7 +7,7 @@
 //! [`DbmsConnection`] trait captures exactly that interface; the paper's
 //! ~16-lines-per-DBMS "manual effort" corresponds to [`DialectQuirks`].
 
-use sql_ast::Value;
+use sql_ast::{row_fingerprint, Select, Statement, Value};
 
 /// The execution status of a non-query statement.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,18 +44,16 @@ impl QueryResult {
 
     /// An order-insensitive fingerprint of the result rows, used by the
     /// oracles to compare two queries' results as multisets.
-    pub fn multiset_fingerprint(&self) -> Vec<String> {
-        let mut keys: Vec<String> = self
-            .rows
-            .iter()
-            .map(|row| {
-                row.iter()
-                    .map(Value::dedup_key)
-                    .collect::<Vec<_>>()
-                    .join("\u{1}")
-            })
-            .collect();
-        keys.sort();
+    ///
+    /// Each row collapses to a 128-bit hash of its canonical dedup identity
+    /// (integral-real and boolean normalisation included, see
+    /// [`Value::fingerprint_into`](sql_ast::Value::fingerprint_into)); the
+    /// sorted hashes form the multiset key. This is allocation-free per row,
+    /// unlike the legacy `Vec<String>` fingerprint it replaced — result
+    /// strings are only ever rendered on the bug-report path.
+    pub fn multiset_fingerprint(&self) -> Vec<u128> {
+        let mut keys: Vec<u128> = self.rows.iter().map(|row| row_fingerprint(row)).collect();
+        keys.sort_unstable();
         keys
     }
 }
@@ -99,6 +97,85 @@ pub trait DbmsConnection {
     fn quirks(&self) -> DialectQuirks {
         DialectQuirks::default()
     }
+
+    /// Executes an already-built statement for its side effects.
+    ///
+    /// This is the AST fast path: backends that can consume the AST
+    /// directly (the simulated fleet) override it to skip SQL rendering,
+    /// lexing and parsing entirely. The default renders the statement to
+    /// text and goes through [`DbmsConnection::execute`], preserving the
+    /// paper's SQL-text-only contract for real wire-protocol backends.
+    fn execute_ast(&mut self, stmt: &Statement) -> StatementOutcome {
+        self.execute(&stmt.to_string())
+    }
+
+    /// Executes an already-built query and retrieves its rows.
+    ///
+    /// AST fast path analogue of [`DbmsConnection::query`]; the default
+    /// renders to SQL text. Overrides must behave exactly like rendering
+    /// followed by [`DbmsConnection::query`] — the parity test suite holds
+    /// the simulated fleet to that contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns the DBMS error message when the query is rejected or fails.
+    fn query_ast(&mut self, select: &Select) -> Result<QueryResult, String> {
+        self.query(&select.to_string())
+    }
+}
+
+/// Forces the text path of a connection: the AST fast-path methods are
+/// routed through SQL rendering and the wrapped connection's text entry
+/// points, exactly as a real wire-protocol backend would behave.
+///
+/// Used by the parity tests (text path and AST path must agree verdict for
+/// verdict) and by the throughput benchmark as the baseline arm.
+#[derive(Debug, Clone)]
+pub struct TextOnlyConnection<C> {
+    inner: C,
+}
+
+impl<C: DbmsConnection> TextOnlyConnection<C> {
+    /// Wraps a connection.
+    pub fn new(inner: C) -> TextOnlyConnection<C> {
+        TextOnlyConnection { inner }
+    }
+
+    /// Consumes the wrapper and returns the underlying connection.
+    pub fn into_inner(self) -> C {
+        self.inner
+    }
+
+    /// The underlying connection.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+}
+
+impl<C: DbmsConnection> DbmsConnection for TextOnlyConnection<C> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn execute(&mut self, sql: &str) -> StatementOutcome {
+        self.inner.execute(sql)
+    }
+
+    fn query(&mut self, sql: &str) -> Result<QueryResult, String> {
+        self.inner.query(sql)
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+
+    fn quirks(&self) -> DialectQuirks {
+        self.inner.quirks()
+    }
+
+    // `execute_ast` and `query_ast` are deliberately NOT overridden: the
+    // trait defaults render to SQL text, which is the whole point of this
+    // wrapper.
 }
 
 #[cfg(test)]

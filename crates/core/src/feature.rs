@@ -15,6 +15,7 @@
 //! as `SIN1INT` ("the first argument of `SIN` had type INTEGER").
 
 use sql_ast::{AggregateFunction, BinaryOp, DataType, JoinType, ScalarFunction, UnaryOp};
+use std::borrow::Cow;
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -22,14 +23,23 @@ use std::fmt;
 ///
 /// Features are interned as strings so that composite features (which are
 /// data-dependent, e.g. `FN_SIN_ARG1_INTEGER`) and structural features share
-/// one representation.
+/// one representation. Structural features with fixed names (operators,
+/// join types, clauses, data types) are borrowed `'static` strings, so
+/// constructing and cloning them on the generation hot path never
+/// allocates; only data-dependent names are owned.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Feature(String);
+pub struct Feature(Cow<'static, str>);
 
 impl Feature {
     /// Creates a feature from its canonical name.
     pub fn new(name: impl Into<String>) -> Feature {
-        Feature(name.into())
+        Feature(Cow::Owned(name.into()))
+    }
+
+    /// Creates a feature from a `'static` canonical name, without
+    /// allocating.
+    pub const fn from_static(name: &'static str) -> Feature {
+        Feature(Cow::Borrowed(name))
     }
 
     /// The canonical name.
@@ -38,65 +48,103 @@ impl Feature {
     }
 
     /// Statement-kind feature (e.g. `STMT_CREATE_INDEX`).
-    pub fn statement(name: &str) -> Feature {
-        Feature(name.to_string())
+    pub fn statement(name: &'static str) -> Feature {
+        Feature(Cow::Borrowed(name))
     }
 
     /// Clause/keyword feature (e.g. `CLAUSE_WHERE`, `KW_UNIQUE`).
     pub fn clause(name: &str) -> Feature {
-        Feature(format!("CLAUSE_{name}"))
+        match clause_feature_static(name) {
+            Some(feature) => Feature(Cow::Borrowed(feature)),
+            None => Feature(Cow::Owned(format!("CLAUSE_{name}"))),
+        }
     }
 
     /// Keyword feature.
     pub fn keyword(name: &str) -> Feature {
-        Feature(format!("KW_{name}"))
+        match keyword_feature_static(name) {
+            Some(feature) => Feature(Cow::Borrowed(feature)),
+            None => Feature(Cow::Owned(format!("KW_{name}"))),
+        }
     }
 
     /// Binary operator feature.
     pub fn binary_op(op: BinaryOp) -> Feature {
-        Feature(op.feature_name().to_string())
+        Feature(Cow::Borrowed(op.feature_name()))
     }
 
     /// Unary operator feature.
     pub fn unary_op(op: UnaryOp) -> Feature {
-        Feature(op.feature_name().to_string())
+        Feature(Cow::Borrowed(op.feature_name()))
     }
 
     /// Scalar function feature.
     pub fn function(func: ScalarFunction) -> Feature {
-        Feature(func.feature_name())
+        Feature(Cow::Borrowed(func.feature_name()))
     }
 
     /// Aggregate function feature.
     pub fn aggregate(func: AggregateFunction) -> Feature {
-        Feature(func.feature_name())
+        Feature(Cow::Borrowed(func.feature_name()))
     }
 
     /// Join type feature.
     pub fn join(join: JoinType) -> Feature {
-        Feature(join.feature_name().to_string())
+        Feature(Cow::Borrowed(join.feature_name()))
     }
 
     /// Data type feature (for column definitions).
     pub fn data_type(ty: DataType) -> Feature {
-        Feature(format!("TYPE_{}", ty.sql_keyword()))
+        Feature(Cow::Borrowed(ty.feature_name()))
     }
 
     /// Composite function-argument-type feature, e.g. `FN_SIN_ARG1_INTEGER`
     /// (the paper's `SIN1INT`).
     pub fn function_arg_type(func: ScalarFunction, arg_index: usize, ty: DataType) -> Feature {
-        Feature(format!(
+        Feature(Cow::Owned(format!(
             "FN_{}_ARG{}_{}",
             func.name(),
             arg_index + 1,
             ty.sql_keyword()
-        ))
+        )))
     }
 
     /// Abstract property feature (e.g. `PROP_DYNAMIC_TYPING`).
     pub fn property(name: &str) -> Feature {
-        Feature(format!("PROP_{name}"))
+        Feature(Cow::Owned(format!("PROP_{name}")))
     }
+}
+
+/// Static names for the clauses the generator emits, so the hot path avoids
+/// `format!`. Unknown names fall back to an owned string.
+fn clause_feature_static(name: &str) -> Option<&'static str> {
+    Some(match name {
+        "WHERE" => "CLAUSE_WHERE",
+        "DISTINCT" => "CLAUSE_DISTINCT",
+        "GROUP_BY" => "CLAUSE_GROUP_BY",
+        "HAVING" => "CLAUSE_HAVING",
+        "ORDER_BY" => "CLAUSE_ORDER_BY",
+        "LIMIT" => "CLAUSE_LIMIT",
+        "OFFSET" => "CLAUSE_OFFSET",
+        "CASE" => "CLAUSE_CASE",
+        "SUBQUERY" => "CLAUSE_SUBQUERY",
+        "SET_OPERATION" => "CLAUSE_SET_OPERATION",
+        _ => return None,
+    })
+}
+
+/// Static names for the keywords the generator emits.
+fn keyword_feature_static(name: &str) -> Option<&'static str> {
+    Some(match name {
+        "PRIMARY_KEY" => "KW_PRIMARY_KEY",
+        "NOT_NULL" => "KW_NOT_NULL",
+        "UNIQUE" => "KW_UNIQUE",
+        "UNIQUE_INDEX" => "KW_UNIQUE_INDEX",
+        "DEFAULT" => "KW_DEFAULT",
+        "OR_IGNORE" => "KW_OR_IGNORE",
+        "PARTIAL_INDEX" => "KW_PARTIAL_INDEX",
+        _ => return None,
+    })
 }
 
 impl fmt::Display for Feature {
@@ -203,12 +251,27 @@ pub fn feature_universe() -> Vec<Feature> {
         out.push(Feature::statement(stmt));
     }
     for clause in [
-        "WHERE", "GROUP_BY", "HAVING", "ORDER_BY", "LIMIT", "OFFSET", "DISTINCT", "SUBQUERY",
-        "SET_OPERATION", "CASE",
+        "WHERE",
+        "GROUP_BY",
+        "HAVING",
+        "ORDER_BY",
+        "LIMIT",
+        "OFFSET",
+        "DISTINCT",
+        "SUBQUERY",
+        "SET_OPERATION",
+        "CASE",
     ] {
         out.push(Feature::clause(clause));
     }
-    for kw in ["UNIQUE_INDEX", "PARTIAL_INDEX", "PRIMARY_KEY", "NOT_NULL", "DEFAULT", "OR_IGNORE"] {
+    for kw in [
+        "UNIQUE_INDEX",
+        "PARTIAL_INDEX",
+        "PRIMARY_KEY",
+        "NOT_NULL",
+        "DEFAULT",
+        "OR_IGNORE",
+    ] {
         out.push(Feature::keyword(kw));
     }
     for op in BinaryOp::ALL {
@@ -255,12 +318,9 @@ mod tests {
         ]
         .into_iter()
         .collect();
-        let with_case: FeatureSet = [
-            Feature::binary_op(BinaryOp::Neq),
-            Feature::clause("CASE"),
-        ]
-        .into_iter()
-        .collect();
+        let with_case: FeatureSet = [Feature::binary_op(BinaryOp::Neq), Feature::clause("CASE")]
+            .into_iter()
+            .collect();
         assert!(prior.is_subset_of(&with_plus));
         assert!(!prior.is_subset_of(&with_case));
     }

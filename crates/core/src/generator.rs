@@ -22,10 +22,9 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use sql_ast::{
-    BinaryOp, CaseBranch, ColumnConstraint, ColumnDef, CreateIndex,
-    CreateTable, CreateView, DataType, Expr, Insert, Join, JoinType, OrderByItem, ScalarFunction,
-    Select, SelectItem, SortOrder, Statement, TableConstraint, TableFactor, TableWithJoins,
-    UnaryOp,
+    BinaryOp, CaseBranch, ColumnConstraint, ColumnDef, CreateIndex, CreateTable, CreateView,
+    DataType, Expr, Insert, Join, JoinType, OrderByItem, ScalarFunction, Select, SelectItem,
+    SortOrder, Statement, TableConstraint, TableFactor, TableWithJoins, UnaryOp,
 };
 use std::collections::BTreeSet;
 
@@ -188,10 +187,13 @@ impl AdaptiveGenerator {
     pub fn record_outcome(&mut self, features: &FeatureSet, kind: FeatureKind, success: bool) {
         self.stats.record(features, kind, success);
         self.recorded += 1;
-        if self.config.feedback_enabled && self.recorded % self.config.update_interval == 0 {
+        if self.config.feedback_enabled && self.recorded.is_multiple_of(self.config.update_interval)
+        {
             self.refresh_suppression();
         }
-        if self.recorded % self.config.depth_schedule_interval == 0
+        if self
+            .recorded
+            .is_multiple_of(self.config.depth_schedule_interval)
             && self.current_depth < self.config.max_expr_depth
         {
             self.current_depth += 1;
@@ -225,7 +227,11 @@ impl AdaptiveGenerator {
 
     // ------------------------------------------------------- choices ----
 
-    fn pick<'a, T>(&mut self, options: &'a [(T, Feature)], kind: FeatureKind) -> Option<&'a (T, Feature)> {
+    fn pick<'a, T>(
+        &mut self,
+        options: &'a [(T, Feature)],
+        kind: FeatureKind,
+    ) -> Option<&'a (T, Feature)> {
         let allowed: Vec<&(T, Feature)> = options
             .iter()
             .filter(|(_, f)| self.should_generate(f, kind))
@@ -261,7 +267,10 @@ impl AdaptiveGenerator {
         if views < self.config.max_views {
             options.push((2, Feature::statement("STMT_CREATE_VIEW")));
         }
-        let choice = self.pick(&options, FeatureKind::DdlDml).map(|(c, _)| *c).unwrap_or(0);
+        let choice = self
+            .pick(&options, FeatureKind::DdlDml)
+            .map(|(c, _)| *c)
+            .unwrap_or(0);
         match choice {
             1 => self.generate_create_index(),
             2 => self.generate_create_view(),
@@ -288,18 +297,24 @@ impl AdaptiveGenerator {
                 .unwrap_or((DataType::Integer, Feature::data_type(DataType::Integer)));
             features.insert(feature);
             let mut def = ColumnDef::new(format!("c{i}"), data_type);
-            if self.bool_with(0.2) && self.should_generate(&Feature::keyword("NOT_NULL"), FeatureKind::DdlDml) {
+            if self.bool_with(0.2)
+                && self.should_generate(&Feature::keyword("NOT_NULL"), FeatureKind::DdlDml)
+            {
                 def.constraints.push(ColumnConstraint::NotNull);
                 features.insert(Feature::keyword("NOT_NULL"));
             }
-            if self.bool_with(0.1) && self.should_generate(&Feature::keyword("DEFAULT"), FeatureKind::DdlDml) {
+            if self.bool_with(0.1)
+                && self.should_generate(&Feature::keyword("DEFAULT"), FeatureKind::DdlDml)
+            {
                 def.constraints
                     .push(ColumnConstraint::Default(self.literal_of(data_type)));
                 features.insert(Feature::keyword("DEFAULT"));
             }
             columns.push(def);
         }
-        if self.bool_with(0.5) && self.should_generate(&Feature::keyword("PRIMARY_KEY"), FeatureKind::DdlDml) {
+        if self.bool_with(0.5)
+            && self.should_generate(&Feature::keyword("PRIMARY_KEY"), FeatureKind::DdlDml)
+        {
             let pk_col = columns[self.rng.gen_range(0..columns.len())].name.clone();
             constraints.push(TableConstraint::PrimaryKey(vec![pk_col]));
             features.insert(Feature::keyword("PRIMARY_KEY"));
@@ -316,7 +331,11 @@ impl AdaptiveGenerator {
     fn generate_create_index(&mut self) -> GeneratedStatement {
         let mut features = FeatureSet::new();
         features.insert(Feature::statement("STMT_CREATE_INDEX"));
-        let Some(table) = self.schema.random_base_table(&mut self.rng.clone()).cloned() else {
+        let Some(table) = self
+            .schema
+            .random_base_table(&mut self.rng.clone())
+            .cloned()
+        else {
             return self.generate_create_table();
         };
         let name = self.schema.free_name("i");
@@ -333,7 +352,7 @@ impl AdaptiveGenerator {
             && self.should_generate(&Feature::keyword("PARTIAL_INDEX"), FeatureKind::DdlDml)
         {
             features.insert(Feature::keyword("PARTIAL_INDEX"));
-            let (pred, pred_features) = self.generate_predicate(&[table.clone()], 2);
+            let (pred, pred_features) = self.generate_predicate(std::slice::from_ref(&table), 2);
             features.extend(&pred_features);
             Some(pred)
         } else {
@@ -352,20 +371,24 @@ impl AdaptiveGenerator {
     fn generate_create_view(&mut self) -> GeneratedStatement {
         let mut features = FeatureSet::new();
         features.insert(Feature::statement("STMT_CREATE_VIEW"));
-        let Some(table) = self.schema.random_base_table(&mut self.rng.clone()).cloned() else {
+        let Some(table) = self
+            .schema
+            .random_base_table(&mut self.rng.clone())
+            .cloned()
+        else {
             return self.generate_create_table();
         };
         let name = self.schema.free_name("v");
         let n_proj = self.rng.gen_range(1..=2usize);
         let mut projections = Vec::new();
         for _ in 0..n_proj {
-            let (expr, expr_features) = self.generate_expr(&[table.clone()], 2);
+            let (expr, expr_features) = self.generate_expr(std::slice::from_ref(&table), 2);
             features.extend(&expr_features);
             projections.push(SelectItem::expr(expr));
         }
         let mut query = Select::from_table(table.name.clone(), projections);
         if self.bool_with(0.4) {
-            let (pred, pred_features) = self.generate_predicate(&[table.clone()], 2);
+            let (pred, pred_features) = self.generate_predicate(std::slice::from_ref(&table), 2);
             features.extend(&pred_features);
             features.insert(Feature::clause("WHERE"));
             query.where_clause = Some(pred);
@@ -382,7 +405,11 @@ impl AdaptiveGenerator {
     fn generate_insert(&mut self) -> GeneratedStatement {
         let mut features = FeatureSet::new();
         features.insert(Feature::statement("STMT_INSERT"));
-        let Some(table) = self.schema.random_base_table(&mut self.rng.clone()).cloned() else {
+        let Some(table) = self
+            .schema
+            .random_base_table(&mut self.rng.clone())
+            .cloned()
+        else {
             return self.generate_create_table();
         };
         let n_rows = self.rng.gen_range(1..=self.config.max_insert_rows);
@@ -394,7 +421,8 @@ impl AdaptiveGenerator {
                 let value = if self.bool_with(0.1) && !col.not_null {
                     Expr::null()
                 } else if self.bool_with(0.12)
-                    && self.should_generate(&Feature::property("IMPLICIT_CAST"), FeatureKind::DdlDml)
+                    && self
+                        .should_generate(&Feature::property("IMPLICIT_CAST"), FeatureKind::DdlDml)
                 {
                     // Deliberately ill-typed literal: learns the abstract
                     // implicit-cast property of the dialect.
@@ -458,26 +486,30 @@ impl AdaptiveGenerator {
     pub fn generate_query(&mut self) -> Option<GeneratedQuery> {
         let mut features = FeatureSet::new();
         features.insert(Feature::statement("STMT_SELECT"));
-        let all_tables: Vec<ModelTable> = self.schema.tables().to_vec();
-        if all_tables.is_empty() {
+        // Only the (up to three) tables actually referenced are cloned out
+        // of the schema model — copying the whole model per query dominated
+        // generation cost as schemas grew.
+        let table_count = self.schema.tables().len();
+        if table_count == 0 {
             return None;
         }
         // FROM: one base relation, optionally joined with another.
-        let first = all_tables[self.rng.gen_range(0..all_tables.len())].clone();
-        let mut in_scope = vec![first.clone()];
-        let mut from = TableWithJoins::table(first.name.clone());
-        if all_tables.len() > 1 && self.bool_with(0.45) {
+        let first_index = self.rng.gen_range(0..table_count);
+        let mut in_scope = vec![self.schema.tables()[first_index].clone()];
+        let mut from = TableWithJoins::table(in_scope[0].name.clone());
+        if table_count > 1 && self.bool_with(0.45) {
             let join_options: Vec<(JoinType, Feature)> = JoinType::ALL
                 .iter()
                 .map(|&j| (j, Feature::join(j)))
                 .collect();
-            if let Some((join_type, feature)) = self.pick(&join_options, FeatureKind::Query).cloned()
+            if let Some((join_type, feature)) =
+                self.pick(&join_options, FeatureKind::Query).cloned()
             {
                 features.insert(feature);
-                let second = all_tables[self.rng.gen_range(0..all_tables.len())].clone();
+                let second_index = self.rng.gen_range(0..table_count);
+                in_scope.push(self.schema.tables()[second_index].clone());
                 let on = if join_type.takes_constraint() {
-                    let (pred, pred_features) =
-                        self.generate_predicate(&[first.clone(), second.clone()], 2);
+                    let (pred, pred_features) = self.generate_predicate(&in_scope, 2);
                     features.extend(&pred_features);
                     Some(pred)
                 } else {
@@ -485,10 +517,9 @@ impl AdaptiveGenerator {
                 };
                 from.joins.push(Join {
                     join_type,
-                    relation: TableFactor::table(second.name.clone()),
+                    relation: TableFactor::table(in_scope[1].name.clone()),
                     on,
                 });
-                in_scope.push(second);
             }
         }
         // Optional derived-table subquery as an extra FROM item.
@@ -497,11 +528,13 @@ impl AdaptiveGenerator {
             && self.should_generate(&Feature::clause("SUBQUERY"), FeatureKind::Query)
         {
             features.insert(Feature::clause("SUBQUERY"));
-            let inner_table = all_tables[self.rng.gen_range(0..all_tables.len())].clone();
-            let (inner_expr, inner_features) = self.generate_expr(&[inner_table.clone()], 2);
+            let inner_index = self.rng.gen_range(0..table_count);
+            let inner_table = self.schema.tables()[inner_index].clone();
+            let (inner_expr, inner_features) =
+                self.generate_expr(std::slice::from_ref(&inner_table), 2);
             features.extend(&inner_features);
             let sub = Select::from_table(
-                inner_table.name.clone(),
+                inner_table.name,
                 vec![SelectItem::aliased(inner_expr, "sc0")],
             );
             let alias = self.schema.free_name("sub");
@@ -573,7 +606,8 @@ impl AdaptiveGenerator {
                 }
             }
         }
-        if self.bool_with(0.1) && self.should_generate(&Feature::clause("LIMIT"), FeatureKind::Query)
+        if self.bool_with(0.1)
+            && self.should_generate(&Feature::clause("LIMIT"), FeatureKind::Query)
         {
             features.insert(Feature::clause("LIMIT"));
             select.limit = Some(self.rng.gen_range(1..=10));
@@ -605,7 +639,12 @@ impl AdaptiveGenerator {
         (expr, features)
     }
 
-    fn gen_bool_expr(&mut self, tables: &[ModelTable], depth: usize, features: &mut FeatureSet) -> Expr {
+    fn gen_bool_expr(
+        &mut self,
+        tables: &[ModelTable],
+        depth: usize,
+        features: &mut FeatureSet,
+    ) -> Expr {
         if depth <= 1 {
             return self.gen_comparison(tables, 1, features);
         }
@@ -666,7 +705,9 @@ impl AdaptiveGenerator {
                 // IN list.
                 let expr = self.gen_value_expr(tables, depth - 1, features);
                 let n = self.rng.gen_range(1..=3usize);
-                let list = (0..n).map(|_| self.gen_value_expr(tables, 1, features)).collect();
+                let list = (0..n)
+                    .map(|_| self.gen_value_expr(tables, 1, features))
+                    .collect();
                 Expr::InList {
                     expr: Box::new(expr),
                     list,
@@ -688,7 +729,12 @@ impl AdaptiveGenerator {
         }
     }
 
-    fn gen_comparison(&mut self, tables: &[ModelTable], depth: usize, features: &mut FeatureSet) -> Expr {
+    fn gen_comparison(
+        &mut self,
+        tables: &[ModelTable],
+        depth: usize,
+        features: &mut FeatureSet,
+    ) -> Expr {
         let comparison_ops: Vec<(BinaryOp, Feature)> = BinaryOp::COMPARISONS
             .iter()
             .map(|&op| (op, Feature::binary_op(op)))
@@ -703,7 +749,12 @@ impl AdaptiveGenerator {
         left.binary(op, right)
     }
 
-    fn gen_value_expr(&mut self, tables: &[ModelTable], depth: usize, features: &mut FeatureSet) -> Expr {
+    fn gen_value_expr(
+        &mut self,
+        tables: &[ModelTable],
+        depth: usize,
+        features: &mut FeatureSet,
+    ) -> Expr {
         if depth <= 1 || tables.is_empty() {
             return self.gen_leaf(tables, features);
         }
@@ -790,13 +841,12 @@ impl AdaptiveGenerator {
             .iter()
             .map(|&f| (f, Feature::function(f)))
             .collect();
-        let Some((func, feature)) = self.pick(&function_options, FeatureKind::Query).cloned() else {
+        let Some((func, feature)) = self.pick(&function_options, FeatureKind::Query).cloned()
+        else {
             return self.gen_leaf(tables, features);
         };
         features.insert(feature);
-        let arity = self
-            .rng
-            .gen_range(func.min_args()..=func.max_args());
+        let arity = self.rng.gen_range(func.min_args()..=func.max_args());
         let mut args = Vec::with_capacity(arity);
         for i in 0..arity {
             let arg = self.gen_value_expr(tables, (depth - 1).max(1), features);
@@ -895,7 +945,9 @@ mod tests {
         let mut generator = AdaptiveGenerator::new(1, GeneratorConfig::default());
         let first = generator.generate_ddl_statement();
         assert!(matches!(first.statement, Statement::CreateTable(_)));
-        assert!(first.features.contains(&Feature::statement("STMT_CREATE_TABLE")));
+        assert!(first
+            .features
+            .contains(&Feature::statement("STMT_CREATE_TABLE")));
         // Until tables exist, the generator keeps proposing CREATE TABLE.
         let second = generator.generate_ddl_statement();
         assert!(matches!(second.statement, Statement::CreateTable(_)));
@@ -913,7 +965,10 @@ mod tests {
         for _ in 0..200 {
             let query = generator.generate_query().unwrap();
             let sql = query.select.to_string();
-            assert!(sql_parser::parse_statement(&sql).is_ok(), "unparseable SQL: {sql}");
+            assert!(
+                sql_parser::parse_statement(&sql).is_ok(),
+                "unparseable SQL: {sql}"
+            );
             assert!(!query.features.is_empty());
         }
     }
@@ -975,7 +1030,8 @@ mod tests {
         .collect();
         let mut generator =
             AdaptiveGenerator::with_knowledge(7, GeneratorConfig::default(), supported.clone());
-        for sql in ["CREATE TABLE t0 (c0 INTEGER, c1 TEXT)"] {
+        {
+            let sql = "CREATE TABLE t0 (c0 INTEGER, c1 TEXT)";
             generator.apply_success(&sql_parser::parse_statement(sql).unwrap());
         }
         for _ in 0..100 {

@@ -44,7 +44,7 @@ pub mod schema;
 pub mod stats;
 
 pub use campaign::{replay_validity, Campaign, CampaignConfig, CampaignMetrics, CampaignReport};
-pub use dbms::{DbmsConnection, DialectQuirks, QueryResult, StatementOutcome};
+pub use dbms::{DbmsConnection, DialectQuirks, QueryResult, StatementOutcome, TextOnlyConnection};
 pub use feature::{feature_universe, Feature, FeatureSet};
 pub use generator::{AdaptiveGenerator, GeneratedQuery, GeneratedStatement, GeneratorConfig};
 pub use oracle::{check_norec, check_tlp, BugReport, OracleKind, OracleOutcome};

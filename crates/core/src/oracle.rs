@@ -104,35 +104,35 @@ pub fn check_tlp(
     if query.is_aggregate() {
         return OracleOutcome::Invalid("TLP base oracle skips aggregate queries".into());
     }
-    let base = normalized_base(query);
-
-    let mut q_all = base.clone();
-    q_all.where_clause = None;
-
-    let mut q_true = base.clone();
-    q_true.where_clause = Some(predicate.clone());
-
-    let mut q_false = base.clone();
-    q_false.where_clause = Some(predicate.clone().not());
-
-    let mut q_null = base;
-    q_null.where_clause = Some(predicate.clone().is_null());
-
-    let queries = [&q_all, &q_true, &q_false, &q_null];
-    let mut fingerprints: Vec<Vec<String>> = Vec::with_capacity(4);
-    for q in queries {
-        match conn.query(&q.to_string()) {
+    // One reusable query: the four TLP variants only differ in their WHERE
+    // clause, so the hot loop mutates it in place instead of cloning the
+    // whole `Select` four times. SQL text is only rendered on the (cold)
+    // bug path.
+    let mut work = normalized_base(query);
+    let mut fingerprints: Vec<Vec<u128>> = Vec::with_capacity(4);
+    // The partition predicates are derived by rewrapping ONE clone of the
+    // predicate in place (`p` → `NOT p` → `p IS NULL`), so the hot loop
+    // costs a single predicate clone per check.
+    for step in 0..4u8 {
+        work.where_clause = match (step, work.where_clause.take()) {
+            (0, _) => None,
+            (1, _) => Some(predicate.clone()),
+            (2, Some(p)) => Some(p.not()),
+            (3, Some(Expr::Unary { expr, .. })) => Some(expr.is_null()),
+            _ => unreachable!("TLP partition rotation"),
+        };
+        match conn.query_ast(&work) {
             Ok(rs) => fingerprints.push(rs.multiset_fingerprint()),
             Err(err) => return OracleOutcome::Invalid(err),
         }
     }
-    let mut partitioned: Vec<String> = fingerprints[1]
+    let mut partitioned: Vec<u128> = fingerprints[1]
         .iter()
         .chain(fingerprints[2].iter())
         .chain(fingerprints[3].iter())
-        .cloned()
+        .copied()
         .collect();
-    partitioned.sort();
+    partitioned.sort_unstable();
     if partitioned == fingerprints[0] {
         OracleOutcome::Passed
     } else {
@@ -144,7 +144,22 @@ pub fn check_tlp(
                 partitioned.len()
             ),
             setup: setup.to_vec(),
-            queries: queries.iter().map(|q| q.to_string()).collect(),
+            queries: {
+                // Cold path: rebuild and render the four variants.
+                let variants = [
+                    None,
+                    Some(predicate.clone()),
+                    Some(predicate.clone().not()),
+                    Some(predicate.clone().is_null()),
+                ];
+                variants
+                    .into_iter()
+                    .map(|where_clause| {
+                        work.where_clause = where_clause;
+                        work.to_string()
+                    })
+                    .collect()
+            },
             features: features.clone(),
         }))
     }
@@ -164,21 +179,20 @@ pub fn check_norec(
     if query.is_aggregate() {
         return OracleOutcome::Invalid("NoREC skips aggregate queries".into());
     }
-    let base = normalized_base(query);
+    // One reusable query, as in `check_tlp`: the optimized arm and the
+    // non-optimizable rewrite share everything but projections and WHERE.
+    let mut work = normalized_base(query);
+    work.projections = vec![SelectItem::Wildcard];
+    work.where_clause = Some(predicate.clone());
 
-    let mut optimized = base.clone();
-    optimized.projections = vec![SelectItem::Wildcard];
-    optimized.where_clause = Some(predicate.clone());
-
-    let mut reference = base;
-    reference.projections = vec![SelectItem::aliased(predicate.clone().is_true(), "norec")];
-    reference.where_clause = None;
-
-    let optimized_rows = match conn.query(&optimized.to_string()) {
+    let optimized_rows = match conn.query_ast(&work) {
         Ok(rs) => rs.row_count(),
         Err(err) => return OracleOutcome::Invalid(err),
     };
-    let reference_rows = match conn.query(&reference.to_string()) {
+    let optimized_pred = work.where_clause.take().expect("predicate still in place");
+    work.projections = vec![SelectItem::aliased(optimized_pred.is_true(), "norec")];
+
+    let reference_rows = match conn.query_ast(&work) {
         Ok(rs) => rs
             .rows
             .iter()
@@ -200,7 +214,13 @@ pub fn check_norec(
                 "NoREC mismatch: optimized query returned {optimized_rows} rows, non-optimizable rewrite counted {reference_rows}"
             ),
             setup: setup.to_vec(),
-            queries: vec![optimized.to_string(), reference.to_string()],
+            queries: {
+                // Cold path: rebuild and render both arms.
+                let reference_sql = work.to_string();
+                work.projections = vec![SelectItem::Wildcard];
+                work.where_clause = Some(predicate.clone());
+                vec![work.to_string(), reference_sql]
+            },
             features: features.clone(),
         }))
     }
@@ -273,8 +293,14 @@ mod tests {
     fn tlp_passes_when_partitions_cover_base() {
         let (query, predicate, features) = sample_query();
         let mut mock = MockDbms::new()
-            .with("SELECT c0 FROM t0", vec![vec![Value::Integer(1)], vec![Value::Integer(2)]])
-            .with("SELECT c0 FROM t0 WHERE (c0 = 1)", vec![vec![Value::Integer(1)]])
+            .with(
+                "SELECT c0 FROM t0",
+                vec![vec![Value::Integer(1)], vec![Value::Integer(2)]],
+            )
+            .with(
+                "SELECT c0 FROM t0 WHERE (c0 = 1)",
+                vec![vec![Value::Integer(1)]],
+            )
             .with(
                 "SELECT c0 FROM t0 WHERE (NOT (c0 = 1))",
                 vec![vec![Value::Integer(2)]],
@@ -290,8 +316,14 @@ mod tests {
         // The NOT-partition "loses" row 2 — exactly the REPLACE-style bug
         // shape from Listing 2.
         let mut mock = MockDbms::new()
-            .with("SELECT c0 FROM t0", vec![vec![Value::Integer(1)], vec![Value::Integer(2)]])
-            .with("SELECT c0 FROM t0 WHERE (c0 = 1)", vec![vec![Value::Integer(1)]])
+            .with(
+                "SELECT c0 FROM t0",
+                vec![vec![Value::Integer(1)], vec![Value::Integer(2)]],
+            )
+            .with(
+                "SELECT c0 FROM t0 WHERE (c0 = 1)",
+                vec![vec![Value::Integer(1)]],
+            )
             .with("SELECT c0 FROM t0 WHERE (NOT (c0 = 1))", vec![])
             .with("SELECT c0 FROM t0 WHERE ((c0 = 1) IS NULL)", vec![]);
         let outcome = check_tlp(&mut mock, &query, &predicate, &features, &[]);
@@ -317,7 +349,10 @@ mod tests {
     fn norec_compares_row_counts() {
         let (query, predicate, features) = sample_query();
         let mut mock = MockDbms::new()
-            .with("SELECT * FROM t0 WHERE (c0 = 1)", vec![vec![Value::Integer(1)]])
+            .with(
+                "SELECT * FROM t0 WHERE (c0 = 1)",
+                vec![vec![Value::Integer(1)]],
+            )
             .with(
                 "SELECT ((c0 = 1) IS TRUE) AS norec FROM t0",
                 vec![vec![Value::Boolean(true)], vec![Value::Boolean(false)]],

@@ -156,7 +156,10 @@ mod tests {
     #[test]
     fn empty_feature_set_matches_everything_afterwards() {
         let mut prioritizer = BugPrioritizer::new();
-        assert_eq!(prioritizer.classify(&FeatureSet::new()), PriorityDecision::New);
+        assert_eq!(
+            prioritizer.classify(&FeatureSet::new()),
+            PriorityDecision::New
+        );
         assert_eq!(
             prioritizer.classify(&set(&["ANYTHING"])),
             PriorityDecision::PotentialDuplicate

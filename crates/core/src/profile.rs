@@ -50,7 +50,11 @@ pub fn profile_from_string(text: &str) -> Result<FeatureStats, String> {
         }
         let parts: Vec<&str> = line.split_whitespace().collect();
         if parts.len() != 5 {
-            return Err(format!("line {}: expected 5 fields, got {}", line_no + 1, parts.len()));
+            return Err(format!(
+                "line {}: expected 5 fields, got {}",
+                line_no + 1,
+                parts.len()
+            ));
         }
         let kind = match parts[0] {
             "Q" => FeatureKind::Query,
@@ -125,7 +129,10 @@ mod tests {
         assert!(profile_from_string("Q OP_EQ 1 2").is_err());
         assert!(profile_from_string("X OP_EQ 1 1 0").is_err());
         assert!(profile_from_string("Q OP_EQ one 1 0").is_err());
-        assert!(profile_from_string("Q OP_EQ 1 2 0").is_err(), "successes > attempts");
+        assert!(
+            profile_from_string("Q OP_EQ 1 2 0").is_err(),
+            "successes > attempts"
+        );
         assert!(profile_from_string("# only a comment\n").is_ok());
     }
 }

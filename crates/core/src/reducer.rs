@@ -165,15 +165,12 @@ mod tests {
             // return one row each when they contain NULLIF (so the union has
             // three rows — a mismatch), and behave consistently otherwise
             // (only the NOT-partition returns the row).
-            let rows = if !sql.contains("WHERE") {
-                vec![vec![Value::Integer(1)]]
-            } else if sql.contains("NULLIF") {
-                vec![vec![Value::Integer(1)]]
-            } else if sql.contains("WHERE (NOT") {
-                vec![vec![Value::Integer(1)]]
-            } else {
-                vec![]
-            };
+            let rows =
+                if !sql.contains("WHERE") || sql.contains("NULLIF") || sql.contains("WHERE (NOT") {
+                    vec![vec![Value::Integer(1)]]
+                } else {
+                    vec![]
+                };
             Ok(QueryResult {
                 columns: vec!["c0".into()],
                 rows,
@@ -221,7 +218,9 @@ mod tests {
     #[test]
     fn reducer_respects_check_budget() {
         let case = ReducibleCase {
-            setup: (0..50).map(|i| format!("CREATE TABLE t{i} (c0 INT)")).collect(),
+            setup: (0..50)
+                .map(|i| format!("CREATE TABLE t{i} (c0 INT)"))
+                .collect(),
             query: Select {
                 projections: vec![SelectItem::expr(Expr::column("c0"))],
                 from: vec![TableWithJoins::table("t0")],

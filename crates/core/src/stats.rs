@@ -123,7 +123,12 @@ impl FeatureStats {
     /// Decides whether a feature is unsupported under the configured rules
     /// (Beta-posterior test for queries, consecutive-failure rule for
     /// DDL/DML).
-    pub fn is_unsupported(&self, feature: &Feature, kind: FeatureKind, config: &StatsConfig) -> bool {
+    pub fn is_unsupported(
+        &self,
+        feature: &Feature,
+        kind: FeatureKind,
+        config: &StatsConfig,
+    ) -> bool {
         let counts = self.counts(feature, kind);
         match kind {
             FeatureKind::DdlDml => counts.consecutive_failures >= config.ddl_failure_limit,
@@ -177,14 +182,14 @@ impl FeatureStats {
 fn ln_gamma(x: f64) -> f64 {
     // Coefficients for the Lanczos approximation (g = 7, n = 9).
     const COEFFS: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
         -1_259.139_216_722_402_8,
-        771.323_428_777_653_13,
+        771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
         -0.138_571_095_265_720_12,
-        9.984_369_578_019_571_6e-6,
+        9.984_369_578_019_572e-6,
         1.505_632_735_149_311_6e-7,
     ];
     if x < 0.5 {
@@ -289,8 +294,7 @@ mod tests {
         assert!(mass > 0.95, "mass = {mass}");
         // Monotonic in x.
         assert!(
-            regularized_incomplete_beta(0.2, 3.0, 5.0)
-                < regularized_incomplete_beta(0.4, 3.0, 5.0)
+            regularized_incomplete_beta(0.2, 3.0, 5.0) < regularized_incomplete_beta(0.4, 3.0, 5.0)
         );
     }
 

@@ -1,12 +1,12 @@
 //! Integration tests for the sqlancer-core pipeline components working
 //! together against scripted mock DBMSs (no simulated engine needed).
 
+use sql_ast::{Expr, Select, SelectItem, TableWithJoins, Value};
 use sqlancer_core::{
     check_norec, check_tlp, profile_from_string, profile_to_string, AdaptiveGenerator,
     BugPrioritizer, DbmsConnection, Feature, FeatureKind, FeatureSet, GeneratorConfig, OracleKind,
     PriorityDecision, QueryResult, ReducibleCase, StatementOutcome,
 };
-use sql_ast::{Expr, Select, SelectItem, TableWithJoins, Value};
 
 /// A mock DBMS whose tables are always empty and that rejects a configurable
 /// list of SQL substrings — enough to exercise generator learning, oracles
@@ -58,9 +58,21 @@ fn generator_oracle_loop_learns_rejected_functions() {
         rejected_tokens: vec!["SIN("],
     };
     let mut generator = seeded_generator();
-    for _ in 0..1500 {
-        let Some(query) = generator.generate_query() else { break };
-        let outcome = check_tlp(&mut dbms, &query.select, &query.predicate, &query.features, &[]);
+    // 3000 test cases give the SIN feature comfortably more observations
+    // than `min_attempts` under the workspace's deterministic RNG (function
+    // calls only appear once the depth schedule opens up, so the feature is
+    // rare early in the run).
+    for _ in 0..3000 {
+        let Some(query) = generator.generate_query() else {
+            break;
+        };
+        let outcome = check_tlp(
+            &mut dbms,
+            &query.select,
+            &query.predicate,
+            &query.features,
+            &[],
+        );
         generator.record_outcome(&query.features, FeatureKind::Query, outcome.is_valid());
     }
     generator.refresh_suppression();
@@ -69,9 +81,18 @@ fn generator_oracle_loop_learns_rejected_functions() {
         .iter()
         .map(|f| f.name())
         .collect();
-    assert!(suppressed.contains(&"FN_SIN"), "suppressed = {suppressed:?}");
-    assert!(!suppressed.contains(&"FN_ABS"), "suppressed = {suppressed:?}");
-    assert!(!suppressed.contains(&"OP_EQ"), "suppressed = {suppressed:?}");
+    assert!(
+        suppressed.contains(&"FN_SIN"),
+        "suppressed = {suppressed:?}"
+    );
+    assert!(
+        !suppressed.contains(&"FN_ABS"),
+        "suppressed = {suppressed:?}"
+    );
+    assert!(
+        !suppressed.contains(&"OP_EQ"),
+        "suppressed = {suppressed:?}"
+    );
 }
 
 #[test]
@@ -81,8 +102,16 @@ fn learned_profile_survives_persistence_and_keeps_decisions() {
     };
     let mut generator = seeded_generator();
     for _ in 0..800 {
-        let Some(query) = generator.generate_query() else { break };
-        let outcome = check_norec(&mut dbms, &query.select, &query.predicate, &query.features, &[]);
+        let Some(query) = generator.generate_query() else {
+            break;
+        };
+        let outcome = check_norec(
+            &mut dbms,
+            &query.select,
+            &query.predicate,
+            &query.features,
+            &[],
+        );
         generator.record_outcome(&query.features, FeatureKind::Query, outcome.is_valid());
     }
     let text = profile_to_string(&generator.stats);
@@ -140,8 +169,15 @@ fn reducible_case_round_trips_through_sql_text() {
         oracle: OracleKind::Tlp,
         features: FeatureSet::new(),
     };
-    for sql in case.setup.iter().chain(std::iter::once(&case.query.to_string())) {
-        assert!(sql_parser::parse_statement(sql).is_ok(), "unparseable: {sql}");
+    for sql in case
+        .setup
+        .iter()
+        .chain(std::iter::once(&case.query.to_string()))
+    {
+        assert!(
+            sql_parser::parse_statement(sql).is_ok(),
+            "unparseable: {sql}"
+        );
     }
     assert_eq!(
         case.query.where_clause.as_ref().map(|w| w.to_string()),

@@ -141,7 +141,8 @@ pub fn catalog() -> Vec<InjectedBug> {
             fault: "bad_replace_type_affinity",
             is_logic: true,
             features: &["FN_REPLACE", "OP_EQ"],
-            description: "REPLACE returns a non-text intermediate (SQLite Listing 2, hidden ten years)",
+            description:
+                "REPLACE returns a non-text intermediate (SQLite Listing 2, hidden ten years)",
         },
         InjectedBug {
             id: "BUG-BITWISE-INVERSION",

@@ -2,8 +2,8 @@
 
 use crate::bugs::{bugs_for_faults, InjectedBug};
 use crate::profile::DialectProfile;
-use sql_ast::Statement;
-use sql_engine::{Database, EngineConfig, StatementResult};
+use sql_ast::{Select, Statement};
+use sql_engine::{Database, EngineConfig, ExecutionMode};
 use sqlancer_core::{
     check_norec, check_tlp, DbmsConnection, DialectQuirks, OracleKind, OracleOutcome, QueryResult,
     ReducibleCase, StatementOutcome,
@@ -69,16 +69,42 @@ impl SimulatedDbms {
         SimulatedDbms::new(self.profile.clone(), faults)
     }
 
+    /// Executes a profile-gated query through the engine — the shared tail
+    /// of the text path and the AST fast path. Mirrors what
+    /// `Statement::Select` execution does in the engine (statement coverage
+    /// plus the optimized pipeline) without constructing a [`Statement`].
+    fn run_query(&mut self, select: &Select) -> Result<QueryResult, String> {
+        self.engine
+            .record_coverage(|cov| cov.statement("STMT_SELECT"));
+        match self.engine.query(select, ExecutionMode::Optimized) {
+            Ok(rs) => Ok(QueryResult {
+                columns: rs.columns,
+                rows: rs.rows,
+            }),
+            Err(err) => Err(err.to_string()),
+        }
+    }
+
     fn run_case(&mut self, case: &ReducibleCase) -> OracleOutcome {
         self.reset();
         for sql in &case.setup {
             let _ = self.execute(sql);
         }
         match case.oracle {
-            OracleKind::Tlp => check_tlp(self, &case.query, &case.predicate, &case.features, &case.setup),
-            OracleKind::NoRec => {
-                check_norec(self, &case.query, &case.predicate, &case.features, &case.setup)
-            }
+            OracleKind::Tlp => check_tlp(
+                self,
+                &case.query,
+                &case.predicate,
+                &case.features,
+                &case.setup,
+            ),
+            OracleKind::NoRec => check_norec(
+                self,
+                &case.query,
+                &case.predicate,
+                &case.features,
+                &case.setup,
+            ),
         }
     }
 
@@ -114,37 +140,49 @@ impl DbmsConnection for SimulatedDbms {
             Ok(stmt) => stmt,
             Err(err) => return StatementOutcome::Failure(format!("syntax error: {err}")),
         };
-        if let Some(feature) = self.profile.first_unsupported(&stmt) {
-            return StatementOutcome::Failure(format!(
-                "{}: unsupported feature {feature}",
-                self.profile.name
-            ));
-        }
-        match self.engine.execute(&stmt) {
-            Ok(_) => StatementOutcome::Success,
-            Err(err) => StatementOutcome::Failure(err.to_string()),
-        }
+        self.execute_ast(&stmt)
     }
 
     fn query(&mut self, sql: &str) -> Result<QueryResult, String> {
-        let stmt: Statement = sql_parser::parse_statement(sql).map_err(|e| format!("syntax error: {e}"))?;
+        let stmt: Statement =
+            sql_parser::parse_statement(sql).map_err(|e| format!("syntax error: {e}"))?;
         if let Some(feature) = self.profile.first_unsupported(&stmt) {
             return Err(format!(
                 "{}: unsupported feature {feature}",
                 self.profile.name
             ));
         }
-        if !stmt.is_query() {
-            return Err("not a query".to_string());
+        match &stmt {
+            Statement::Select(select) => self.run_query(select),
+            _ => Err("not a query".to_string()),
         }
-        match self.engine.execute(&stmt) {
-            Ok(StatementResult::Rows(rs)) => Ok(QueryResult {
-                columns: rs.columns,
-                rows: rs.rows,
-            }),
-            Ok(_) => Err("statement did not produce rows".to_string()),
-            Err(err) => Err(err.to_string()),
+    }
+
+    fn execute_ast(&mut self, stmt: &Statement) -> StatementOutcome {
+        // AST fast path: no lexing or parsing — the statement goes straight
+        // into profile gating and the engine.
+        if let Some(feature) = self.profile.first_unsupported(stmt) {
+            return StatementOutcome::Failure(format!(
+                "{}: unsupported feature {feature}",
+                self.profile.name
+            ));
         }
+        match self.engine.execute(stmt) {
+            Ok(_) => StatementOutcome::Success,
+            Err(err) => StatementOutcome::Failure(err.to_string()),
+        }
+    }
+
+    fn query_ast(&mut self, select: &Select) -> Result<QueryResult, String> {
+        // Gating traverses features in the same order as the text path, so
+        // rejected queries produce byte-identical error messages.
+        if let Some(feature) = self.profile.first_unsupported_select(select) {
+            return Err(format!(
+                "{}: unsupported feature {feature}",
+                self.profile.name
+            ));
+        }
+        self.run_query(select)
     }
 
     fn reset(&mut self) {
@@ -162,9 +200,9 @@ impl DbmsConnection for SimulatedDbms {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sql_ast::{Expr, Select, SelectItem, TableWithJoins};
     use sql_engine::TypingMode;
     use sqlancer_core::FeatureSet;
-    use sql_ast::{Expr, Select, SelectItem, TableWithJoins};
 
     fn permissive_with(faults: Vec<&'static str>) -> SimulatedDbms {
         SimulatedDbms::new(
@@ -177,12 +215,17 @@ mod tests {
     fn executes_sql_and_answers_queries() {
         let mut dbms = permissive_with(vec![]);
         assert!(dbms.execute("CREATE TABLE t0 (c0 INTEGER)").is_success());
-        assert!(dbms.execute("INSERT INTO t0 (c0) VALUES (1), (2)").is_success());
+        assert!(dbms
+            .execute("INSERT INTO t0 (c0) VALUES (1), (2)")
+            .is_success());
         let rs = dbms.query("SELECT c0 FROM t0 WHERE c0 = 1").unwrap();
         assert_eq!(rs.row_count(), 1);
         assert!(dbms.query("SELECT broken FROM").is_err());
         dbms.reset();
-        assert!(dbms.query("SELECT c0 FROM t0").is_err(), "reset drops state");
+        assert!(
+            dbms.query("SELECT c0 FROM t0").is_err(),
+            "reset drops state"
+        );
     }
 
     #[test]

@@ -50,7 +50,13 @@ pub fn fleet() -> Vec<DialectPreset> {
         preset(
             "cedardb",
             TypingMode::Strict,
-            &["OP_NULLSAFE_EQ", "FN_IIF", "FN_IF", "JOIN_NATURAL", "STMT_ANALYZE"],
+            &[
+                "OP_NULLSAFE_EQ",
+                "FN_IIF",
+                "FN_IF",
+                "JOIN_NATURAL",
+                "STMT_ANALYZE",
+            ],
             &["bad_case_folding", "crash_on_deep_expressions"],
             false,
         ),
@@ -80,7 +86,12 @@ pub fn fleet() -> Vec<DialectPreset> {
         preset(
             "cubrid",
             TypingMode::Strict,
-            &["JOIN_FULL", "FN_CONCAT_WS", "OP_IS_DISTINCT", "OP_IS_NOT_DISTINCT"],
+            &[
+                "JOIN_FULL",
+                "FN_CONCAT_WS",
+                "OP_IS_DISTINCT",
+                "OP_IS_NOT_DISTINCT",
+            ],
             &["bad_between_rewrite"],
             false,
         ),
@@ -123,8 +134,18 @@ pub fn fleet() -> Vec<DialectPreset> {
         preset(
             "firebird",
             TypingMode::Strict,
-            &["OP_NULLSAFE_EQ", "OP_BITXOR", "FN_GREATEST", "FN_LEAST", "KW_PARTIAL_INDEX"],
-            &["bad_notnull_isnull_folding", "bad_having_pushdown", "crash_on_deep_expressions"],
+            &[
+                "OP_NULLSAFE_EQ",
+                "OP_BITXOR",
+                "FN_GREATEST",
+                "FN_LEAST",
+                "KW_PARTIAL_INDEX",
+            ],
+            &[
+                "bad_notnull_isnull_folding",
+                "bad_having_pushdown",
+                "crash_on_deep_expressions",
+            ],
             false,
         ),
         preset(
@@ -137,14 +158,24 @@ pub fn fleet() -> Vec<DialectPreset> {
         preset(
             "mariadb",
             TypingMode::Dynamic,
-            &["JOIN_FULL", "OP_IS_DISTINCT", "OP_IS_NOT_DISTINCT", "FN_GREATEST"],
+            &[
+                "JOIN_FULL",
+                "OP_IS_DISTINCT",
+                "OP_IS_NOT_DISTINCT",
+                "FN_GREATEST",
+            ],
             &["bad_collation_comparison"],
             false,
         ),
         preset(
             "monetdb",
             TypingMode::Strict,
-            &["OP_NULLSAFE_EQ", "FN_IIF", "KW_PARTIAL_INDEX", "KW_OR_IGNORE"],
+            &[
+                "OP_NULLSAFE_EQ",
+                "FN_IIF",
+                "KW_PARTIAL_INDEX",
+                "KW_OR_IGNORE",
+            ],
             &[
                 "bad_predicate_pushdown",
                 "bad_distinct_elimination",
@@ -159,14 +190,25 @@ pub fn fleet() -> Vec<DialectPreset> {
         preset(
             "mysql",
             TypingMode::Dynamic,
-            &["JOIN_FULL", "OP_IS_DISTINCT", "OP_IS_NOT_DISTINCT", "FN_TOTAL"],
+            &[
+                "JOIN_FULL",
+                "OP_IS_DISTINCT",
+                "OP_IS_NOT_DISTINCT",
+                "FN_TOTAL",
+            ],
             &["bad_bitwise_inversion"],
             false,
         ),
         preset(
             "oracle",
             TypingMode::Strict,
-            &["TYPE_BOOLEAN", "OP_NULLSAFE_EQ", "FN_IF", "KW_OR_IGNORE", "CLAUSE_LIMIT"],
+            &[
+                "TYPE_BOOLEAN",
+                "OP_NULLSAFE_EQ",
+                "FN_IF",
+                "KW_OR_IGNORE",
+                "CLAUSE_LIMIT",
+            ],
             &["bad_constant_folding_text"],
             false,
         ),
@@ -180,8 +222,17 @@ pub fn fleet() -> Vec<DialectPreset> {
         preset(
             "risingwave",
             TypingMode::Strict,
-            &["STMT_CREATE_INDEX", "OP_NULLSAFE_EQ", "STMT_ANALYZE", "FN_IIF"],
-            &["bad_predicate_pushdown", "bad_sum_empty_group", "crash_on_many_joins"],
+            &[
+                "STMT_CREATE_INDEX",
+                "OP_NULLSAFE_EQ",
+                "STMT_ANALYZE",
+                "FN_IIF",
+            ],
+            &[
+                "bad_predicate_pushdown",
+                "bad_sum_empty_group",
+                "crash_on_many_joins",
+            ],
             true,
         ),
         preset(
@@ -238,13 +289,22 @@ pub fn fleet() -> Vec<DialectPreset> {
             "virtuoso",
             TypingMode::Dynamic,
             &["JOIN_FULL", "FN_CONCAT_WS", "FN_STRPOS", "KW_PARTIAL_INDEX"],
-            &["bad_view_predicate_drop", "bad_group_by_collation", "crash_on_deep_expressions"],
+            &[
+                "bad_view_predicate_drop",
+                "bad_group_by_collation",
+                "crash_on_deep_expressions",
+            ],
             false,
         ),
         preset(
             "vitess",
             TypingMode::Dynamic,
-            &["JOIN_FULL", "OP_IS_DISTINCT", "OP_IS_NOT_DISTINCT", "STMT_CREATE_VIEW"],
+            &[
+                "JOIN_FULL",
+                "OP_IS_DISTINCT",
+                "OP_IS_NOT_DISTINCT",
+                "STMT_CREATE_VIEW",
+            ],
             &["bad_index_lookup_coercion"],
             false,
         ),
@@ -307,18 +367,24 @@ mod tests {
 
     #[test]
     fn most_presets_inject_at_least_one_logic_bug() {
-        let with_bugs = fleet()
-            .iter()
-            .filter(|p| !p.faults.is_empty())
-            .count();
+        let with_bugs = fleet().iter().filter(|p| !p.faults.is_empty()).count();
         assert_eq!(with_bugs, 18, "every dialect carries injected bugs");
     }
 
     #[test]
     fn dialects_differ_in_supported_features() {
-        let sqlite = preset_by_name("sqlite").unwrap().profile.supported_universe();
-        let mysql = preset_by_name("mysql").unwrap().profile.supported_universe();
-        let cratedb = preset_by_name("cratedb").unwrap().profile.supported_universe();
+        let sqlite = preset_by_name("sqlite")
+            .unwrap()
+            .profile
+            .supported_universe();
+        let mysql = preset_by_name("mysql")
+            .unwrap()
+            .profile
+            .supported_universe();
+        let cratedb = preset_by_name("cratedb")
+            .unwrap()
+            .profile
+            .supported_universe();
         assert!(mysql.len() > cratedb.len());
         assert_ne!(sqlite, mysql);
     }

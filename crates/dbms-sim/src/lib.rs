@@ -33,8 +33,16 @@ pub mod bugs;
 mod dbms;
 mod fleet;
 mod profile;
+mod runner;
 
 pub use bugs::{bugs_for_faults, catalog, InjectedBug};
 pub use dbms::SimulatedDbms;
 pub use fleet::{fleet, preset_by_name, validity_experiment_dialects, DialectPreset};
-pub use profile::{collect_statement_features, DialectProfile};
+pub use profile::{
+    collect_query_features, collect_statement_features, function_feature, join_feature,
+    operator_feature, unary_feature, DialectProfile,
+};
+pub use runner::{
+    available_threads, derive_dialect_seed, run_fleet_parallel, run_fleet_serial, ExecutionPath,
+    FleetReport,
+};

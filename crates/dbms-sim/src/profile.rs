@@ -7,8 +7,8 @@
 //! generator learns from (challenge C1 of the paper).
 
 use sql_ast::{
-    BinaryOp, DataType, Expr, JoinType, ScalarFunction, Select, SelectItem, Statement,
-    TableFactor, UnaryOp,
+    BinaryOp, DataType, Expr, JoinType, ScalarFunction, Select, SelectItem, Statement, TableFactor,
+    UnaryOp,
 };
 use sql_engine::TypingMode;
 use std::collections::BTreeSet;
@@ -67,178 +67,269 @@ impl DialectProfile {
 
     /// Checks a parsed statement against the profile. Returns the name of
     /// the first unsupported feature encountered, if any.
+    ///
+    /// This runs for every statement on the campaign hot path, so it walks
+    /// the AST with an early-exit visitor instead of materialising the
+    /// feature list: nothing is allocated unless a feature is rejected or a
+    /// data-dependent name (function, aggregate) must be formatted.
     pub fn first_unsupported(&self, stmt: &Statement) -> Option<String> {
-        collect_statement_features(stmt)
-            .into_iter()
-            .find(|f| !self.supports(f))
+        let mut found = None;
+        walk_statement_features(stmt, &mut |feature| {
+            if self.supports(feature) {
+                true
+            } else {
+                found = Some(feature.to_string());
+                false
+            }
+        });
+        found
     }
+
+    /// [`DialectProfile::first_unsupported`] for a bare query, without
+    /// wrapping it in a [`Statement`]. Feature traversal order is identical
+    /// to the statement path, so the reported feature (and therefore the
+    /// error message) is byte-identical between the text path and the AST
+    /// fast path.
+    pub fn first_unsupported_select(&self, select: &Select) -> Option<String> {
+        let mut found = None;
+        walk_query_features(select, &mut |feature| {
+            if self.supports(feature) {
+                true
+            } else {
+                found = Some(feature.to_string());
+                false
+            }
+        });
+        found
+    }
+}
+
+/// Collects the canonical feature names of a bare query, in the same order
+/// as [`collect_statement_features`] applied to `Statement::Select`.
+pub fn collect_query_features(select: &Select) -> Vec<String> {
+    let mut out = Vec::new();
+    walk_query_features(select, &mut |feature| {
+        out.push(feature.to_string());
+        true
+    });
+    out
 }
 
 /// Collects the canonical feature names used by a statement (statement kind,
 /// clauses, join types, operators, functions, data types).
 pub fn collect_statement_features(stmt: &Statement) -> Vec<String> {
-    let mut out = vec![stmt.feature_name().to_string()];
+    let mut out = Vec::new();
+    walk_statement_features(stmt, &mut |feature| {
+        out.push(feature.to_string());
+        true
+    });
+    out
+}
+
+/// Walks every canonical feature name of a statement in collection order,
+/// calling `f` for each; `f` returns `false` to stop the walk early. The
+/// walker returns `false` when the walk was stopped.
+fn walk_statement_features(stmt: &Statement, f: &mut impl FnMut(&str) -> bool) -> bool {
+    if !f(stmt.feature_name()) {
+        return false;
+    }
     match stmt {
         Statement::CreateTable(create) => {
             for col in &create.columns {
-                out.push(format!("TYPE_{}", col.data_type.sql_keyword()));
+                if !f(col.data_type.feature_name()) {
+                    return false;
+                }
                 for c in &col.constraints {
-                    match c {
-                        sql_ast::ColumnConstraint::PrimaryKey => out.push("KW_PRIMARY_KEY".into()),
-                        sql_ast::ColumnConstraint::NotNull => out.push("KW_NOT_NULL".into()),
-                        sql_ast::ColumnConstraint::Unique => out.push("KW_UNIQUE".into()),
+                    let ok = match c {
+                        sql_ast::ColumnConstraint::PrimaryKey => f("KW_PRIMARY_KEY"),
+                        sql_ast::ColumnConstraint::NotNull => f("KW_NOT_NULL"),
+                        sql_ast::ColumnConstraint::Unique => f("KW_UNIQUE"),
                         sql_ast::ColumnConstraint::Default(e) => {
-                            out.push("KW_DEFAULT".into());
-                            collect_expr_features(e, &mut out);
+                            f("KW_DEFAULT") && walk_expr_features(e, f)
                         }
+                    };
+                    if !ok {
+                        return false;
                     }
                 }
             }
             for c in &create.constraints {
-                match c {
-                    sql_ast::TableConstraint::PrimaryKey(_) => out.push("KW_PRIMARY_KEY".into()),
-                    sql_ast::TableConstraint::Unique(_) => out.push("KW_UNIQUE".into()),
+                let ok = match c {
+                    sql_ast::TableConstraint::PrimaryKey(_) => f("KW_PRIMARY_KEY"),
+                    sql_ast::TableConstraint::Unique(_) => f("KW_UNIQUE"),
+                };
+                if !ok {
+                    return false;
                 }
             }
+            true
         }
         Statement::CreateIndex(create) => {
-            if create.unique {
-                out.push("KW_UNIQUE_INDEX".into());
+            if create.unique && !f("KW_UNIQUE_INDEX") {
+                return false;
             }
-            if let Some(w) = &create.where_clause {
-                out.push("KW_PARTIAL_INDEX".into());
-                collect_expr_features(w, &mut out);
+            match &create.where_clause {
+                Some(w) => f("KW_PARTIAL_INDEX") && walk_expr_features(w, f),
+                None => true,
             }
         }
-        Statement::CreateView(create) => collect_select_features(&create.query, &mut out),
+        Statement::CreateView(create) => walk_select_features(&create.query, f),
         Statement::Insert(insert) => {
-            if insert.or_ignore {
-                out.push("KW_OR_IGNORE".into());
+            if insert.or_ignore && !f("KW_OR_IGNORE") {
+                return false;
             }
             for row in &insert.values {
                 for e in row {
-                    collect_expr_features(e, &mut out);
+                    if !walk_expr_features(e, f) {
+                        return false;
+                    }
                 }
             }
+            true
         }
         Statement::Update(update) => {
             for (_, e) in &update.assignments {
-                collect_expr_features(e, &mut out);
+                if !walk_expr_features(e, f) {
+                    return false;
+                }
             }
-            if let Some(w) = &update.where_clause {
-                collect_expr_features(w, &mut out);
-            }
-        }
-        Statement::Delete(delete) => {
-            if let Some(w) = &delete.where_clause {
-                collect_expr_features(w, &mut out);
+            match &update.where_clause {
+                Some(w) => walk_expr_features(w, f),
+                None => true,
             }
         }
-        Statement::Select(select) => collect_select_features(select, &mut out),
-        _ => {}
+        Statement::Delete(delete) => match &delete.where_clause {
+            Some(w) => walk_expr_features(w, f),
+            None => true,
+        },
+        Statement::Select(select) => walk_select_features(select, f),
+        _ => true,
     }
-    out
 }
 
-fn collect_select_features(select: &Select, out: &mut Vec<String>) {
-    if select.distinct {
-        out.push("CLAUSE_DISTINCT".into());
+/// Walks the features of a bare query: `STMT_SELECT` plus the select
+/// features, in the statement walk's order.
+fn walk_query_features(select: &Select, f: &mut impl FnMut(&str) -> bool) -> bool {
+    f("STMT_SELECT") && walk_select_features(select, f)
+}
+
+fn walk_select_features(select: &Select, f: &mut impl FnMut(&str) -> bool) -> bool {
+    if select.distinct && !f("CLAUSE_DISTINCT") {
+        return false;
     }
     for item in &select.projections {
         if let SelectItem::Expr { expr, .. } = item {
-            collect_expr_features(expr, out);
+            if !walk_expr_features(expr, f) {
+                return false;
+            }
         }
     }
     for twj in &select.from {
-        collect_factor_features(&twj.relation, out);
+        if !walk_factor_features(&twj.relation, f) {
+            return false;
+        }
         for join in &twj.joins {
-            out.push(join.join_type.feature_name().to_string());
-            collect_factor_features(&join.relation, out);
+            if !f(join.join_type.feature_name()) || !walk_factor_features(&join.relation, f) {
+                return false;
+            }
             if let Some(on) = &join.on {
-                collect_expr_features(on, out);
+                if !walk_expr_features(on, f) {
+                    return false;
+                }
             }
         }
     }
     if let Some(w) = &select.where_clause {
-        out.push("CLAUSE_WHERE".into());
-        collect_expr_features(w, out);
+        if !f("CLAUSE_WHERE") || !walk_expr_features(w, f) {
+            return false;
+        }
     }
     if !select.group_by.is_empty() {
-        out.push("CLAUSE_GROUP_BY".into());
+        if !f("CLAUSE_GROUP_BY") {
+            return false;
+        }
         for g in &select.group_by {
-            collect_expr_features(g, out);
+            if !walk_expr_features(g, f) {
+                return false;
+            }
         }
     }
     if let Some(h) = &select.having {
-        out.push("CLAUSE_HAVING".into());
-        collect_expr_features(h, out);
+        if !f("CLAUSE_HAVING") || !walk_expr_features(h, f) {
+            return false;
+        }
     }
     if !select.order_by.is_empty() {
-        out.push("CLAUSE_ORDER_BY".into());
-        for o in &select.order_by {
-            collect_expr_features(&o.expr, out);
+        if !f("CLAUSE_ORDER_BY") {
+            return false;
         }
-    }
-    if select.limit.is_some() {
-        out.push("CLAUSE_LIMIT".into());
-    }
-    if select.offset.is_some() {
-        out.push("CLAUSE_OFFSET".into());
-    }
-    if let Some(set_op) = &select.set_op {
-        out.push("CLAUSE_SET_OPERATION".into());
-        collect_select_features(&set_op.right, out);
-    }
-}
-
-fn collect_factor_features(factor: &TableFactor, out: &mut Vec<String>) {
-    if let TableFactor::Derived { subquery, .. } = factor {
-        out.push("CLAUSE_SUBQUERY".into());
-        collect_select_features(subquery, out);
-    }
-}
-
-fn collect_expr_features(expr: &Expr, out: &mut Vec<String>) {
-    match expr {
-        Expr::Literal(v) => {
-            let ty = v.data_type();
-            if ty != DataType::Null {
-                out.push(format!("TYPE_{}", ty.sql_keyword()));
+        for o in &select.order_by {
+            if !walk_expr_features(&o.expr, f) {
+                return false;
             }
         }
-        Expr::Unary { op, .. } => out.push(op.feature_name().to_string()),
-        Expr::Binary { op, .. } => out.push(op.feature_name().to_string()),
-        Expr::Function { func, .. } => out.push(func.feature_name()),
-        Expr::Aggregate { func, .. } => out.push(func.feature_name()),
-        Expr::Case { .. } => out.push("CLAUSE_CASE".into()),
-        Expr::Cast { data_type, .. } => {
-            out.push("OP_CAST".into());
-            out.push(format!("TYPE_{}", data_type.sql_keyword()));
-        }
-        Expr::Between { .. } => out.push("OP_BETWEEN".into()),
-        Expr::InList { .. } => out.push("OP_IN".into()),
-        Expr::InSubquery { .. } => {
-            out.push("OP_IN".into());
-            out.push("CLAUSE_SUBQUERY".into());
-        }
-        Expr::Exists { .. } | Expr::ScalarSubquery(_) => {
-            out.push("CLAUSE_SUBQUERY".into());
-        }
-        Expr::IsNull { .. } => out.push("OP_IS_NULL".into()),
-        Expr::IsBool { .. } => out.push("OP_IS_BOOL".into()),
-        Expr::Like { .. } => out.push("OP_LIKE".into()),
-        Expr::Column(_) => {}
     }
-    // Recurse into children and embedded subqueries.
-    for child in expr.children() {
-        collect_expr_features(child, out);
+    if select.limit.is_some() && !f("CLAUSE_LIMIT") {
+        return false;
+    }
+    if select.offset.is_some() && !f("CLAUSE_OFFSET") {
+        return false;
+    }
+    match &select.set_op {
+        Some(set_op) => f("CLAUSE_SET_OPERATION") && walk_select_features(&set_op.right, f),
+        None => true,
+    }
+}
+
+fn walk_factor_features(factor: &TableFactor, f: &mut impl FnMut(&str) -> bool) -> bool {
+    match factor {
+        TableFactor::Derived { subquery, .. } => {
+            f("CLAUSE_SUBQUERY") && walk_select_features(subquery, f)
+        }
+        _ => true,
+    }
+}
+
+fn walk_expr_features(expr: &Expr, f: &mut impl FnMut(&str) -> bool) -> bool {
+    let ok = match expr {
+        Expr::Literal(v) => {
+            let ty = v.data_type();
+            ty == DataType::Null || f(ty.feature_name())
+        }
+        Expr::Unary { op, .. } => f(op.feature_name()),
+        Expr::Binary { op, .. } => f(op.feature_name()),
+        Expr::Function { func, .. } => f(func.feature_name()),
+        Expr::Aggregate { func, .. } => f(func.feature_name()),
+        Expr::Case { .. } => f("CLAUSE_CASE"),
+        Expr::Cast { data_type, .. } => f("OP_CAST") && f(data_type.feature_name()),
+        Expr::Between { .. } => f("OP_BETWEEN"),
+        Expr::InList { .. } => f("OP_IN"),
+        Expr::InSubquery { .. } => f("OP_IN") && f("CLAUSE_SUBQUERY"),
+        Expr::Exists { .. } | Expr::ScalarSubquery(_) => f("CLAUSE_SUBQUERY"),
+        Expr::IsNull { .. } => f("OP_IS_NULL"),
+        Expr::IsBool { .. } => f("OP_IS_BOOL"),
+        Expr::Like { .. } => f("OP_LIKE"),
+        Expr::Column(_) => true,
+    };
+    if !ok {
+        return false;
+    }
+    // Recurse into children (allocation-free) and embedded subqueries.
+    let mut keep_going = true;
+    expr.for_each_child(&mut |child| {
+        if keep_going && !walk_expr_features(child, f) {
+            keep_going = false;
+        }
+    });
+    if !keep_going {
+        return false;
     }
     match expr {
         Expr::InSubquery { subquery, .. } | Expr::ScalarSubquery(subquery) => {
-            collect_select_features(subquery, out)
+            walk_select_features(subquery, f)
         }
-        Expr::Exists { subquery, .. } => collect_select_features(subquery, out),
-        _ => {}
+        Expr::Exists { subquery, .. } => walk_select_features(subquery, f),
+        _ => true,
     }
 }
 
@@ -254,7 +345,7 @@ pub fn unary_feature(op: UnaryOp) -> &'static str {
 }
 
 /// Feature name of a scalar function.
-pub fn function_feature(func: ScalarFunction) -> String {
+pub fn function_feature(func: ScalarFunction) -> &'static str {
     func.feature_name()
 }
 

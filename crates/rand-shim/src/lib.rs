@@ -1,0 +1,279 @@
+//! A minimal, dependency-free stand-in for the subset of the `rand` crate
+//! API this workspace uses.
+//!
+//! The build environment is fully offline, so the workspace cannot pull the
+//! real `rand` from a registry. This shim provides source-compatible
+//! replacements for exactly the items the generator and schema model import:
+//!
+//! * [`Rng`] with `gen_range` (integer and float ranges, half-open and
+//!   inclusive) and `gen_bool`,
+//! * [`SeedableRng`] with `seed_from_u64`,
+//! * [`rngs::StdRng`] — here a SplitMix64 generator (deterministic, `Clone`),
+//! * [`rngs::mock::StepRng`] — a fixed-stride mock for tests,
+//! * [`seq::SliceRandom`] with `choose` and `shuffle`.
+//!
+//! Statistical quality matters less than determinism here: the platform's
+//! experiments fix seeds and compare runs, they do not need cryptographic or
+//! even high-grade statistical randomness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// The core source of randomness: a stream of `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// A range that values of type `T` can be uniformly sampled from.
+///
+/// `T` is a trait parameter (not an associated type) so that integer
+/// literals in a range expression unify with the type the call site
+/// expects, exactly as with the real `rand` crate
+/// (`let i: usize = rng.gen_range(0..3);`).
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// A type that can be drawn uniformly between two bounds.
+pub trait SampleUniform: Sized + Copy {
+    /// Draws one value in `[start, end)` (or `[start, end]` when
+    /// `inclusive`).
+    fn sample_one<R: RngCore + ?Sized>(
+        start: Self,
+        end: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_one<R: RngCore + ?Sized>(
+                start: $t,
+                end: $t,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> $t {
+                let span = (end as i128 - start as i128) as u128 + u128::from(inclusive);
+                assert!(span > 0, "cannot sample empty range");
+                let offset = (rng.next_u64() as u128) % span;
+                (start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl SampleUniform for f64 {
+    fn sample_one<R: RngCore + ?Sized>(start: f64, end: f64, _inclusive: bool, rng: &mut R) -> f64 {
+        assert!(start < end, "cannot sample empty range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        start + unit * (end - start)
+    }
+}
+
+// Single blanket impls (rather than per-type ones) so that an integer
+// literal's type in e.g. `rng.gen_range(0..3)` unifies with the expected
+// output type at the call site — the same inference behaviour as `rand`.
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_one(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        assert!(start <= end, "cannot sample empty range");
+        T::sample_one(start, end, true, rng)
+    }
+}
+
+/// Convenience sampling methods layered over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws one value uniformly from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generator types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: SplitMix64.
+    ///
+    /// SplitMix64 passes BigCrush for the output sizes used here and has a
+    /// one-word state, which keeps the generator (and everything that embeds
+    /// it, such as the adaptive generator) cheap to clone.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+
+    /// Mock generators for tests.
+    pub mod mock {
+        use super::super::RngCore;
+
+        /// A generator that returns `initial`, `initial + increment`, ... —
+        /// useful for deterministic unit tests.
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        pub struct StepRng {
+            value: u64,
+            increment: u64,
+        }
+
+        impl StepRng {
+            /// Creates a stepping generator.
+            pub fn new(initial: u64, increment: u64) -> StepRng {
+                StepRng {
+                    value: initial,
+                    increment,
+                }
+            }
+        }
+
+        impl RngCore for StepRng {
+            fn next_u64(&mut self) -> u64 {
+                let out = self.value;
+                self.value = self.value.wrapping_add(self.increment);
+                out
+            }
+        }
+    }
+}
+
+/// Random selection from slices.
+pub mod seq {
+    use super::{Rng, SampleRange};
+
+    /// Extension methods for random selection from slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Picks one element uniformly, or `None` when the slice is empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(SampleRange::<usize>::sample(0..self.len(), rng))
+            }
+        }
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = SampleRange::<usize>::sample(0..=i, rng);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::mock::StepRng;
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn std_rng_is_deterministic_and_clonable() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = a.clone();
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1_000_000u64), b.gen_range(0..1_000_000u64));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-3i64..=9);
+            assert!((-3..=9).contains(&v));
+            let u = rng.gen_range(1..=4usize);
+            assert!((1..=4).contains(&u));
+            let f = rng.gen_range(-1.5f64..2.5);
+            assert!((-1.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_extremes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn slice_helpers_work() {
+        let mut rng = StepRng::new(0, 7);
+        let items = [10, 20, 30];
+        assert!(items.choose(&mut rng).is_some());
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let mut to_shuffle: Vec<i32> = (0..10).collect();
+        let mut std_rng = StdRng::seed_from_u64(1);
+        to_shuffle.shuffle(&mut std_rng);
+        let mut sorted = to_shuffle.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..10).collect::<Vec<_>>());
+    }
+}

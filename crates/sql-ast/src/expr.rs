@@ -228,6 +228,7 @@ impl Expr {
     }
 
     /// Builds `NOT self`.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Expr {
         Expr::Unary {
             op: UnaryOp::Not,
@@ -260,21 +261,71 @@ impl Expr {
     /// The syntactic depth of the expression (literals and columns are depth
     /// 1). The adaptive generator bounds this (the paper uses max depth 3).
     pub fn depth(&self) -> usize {
-        1 + self
-            .children()
-            .into_iter()
-            .map(Expr::depth)
-            .max()
-            .unwrap_or(0)
+        let mut max_child = 0;
+        self.for_each_child(&mut |c| max_child = max_child.max(c.depth()));
+        1 + max_child
     }
 
     /// The number of AST nodes in the expression.
     pub fn node_count(&self) -> usize {
-        1 + self
-            .children()
-            .into_iter()
-            .map(Expr::node_count)
-            .sum::<usize>()
+        let mut count = 1;
+        self.for_each_child(&mut |c| count += c.node_count());
+        count
+    }
+
+    /// Visits every direct child expression without allocating (the
+    /// `Vec`-returning [`Expr::children`] is kept for call sites that need
+    /// to collect).
+    pub fn for_each_child<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        match self {
+            Expr::Literal(_) | Expr::Column(_) | Expr::ScalarSubquery(_) | Expr::Exists { .. } => {}
+            Expr::Unary { expr, .. }
+            | Expr::Cast { expr, .. }
+            | Expr::IsNull { expr, .. }
+            | Expr::IsBool { expr, .. } => f(expr),
+            Expr::Binary { left, right, .. } => {
+                f(left);
+                f(right);
+            }
+            Expr::Function { args, .. } => args.iter().for_each(f),
+            Expr::Aggregate { arg, .. } => {
+                if let Some(a) = arg {
+                    f(a);
+                }
+            }
+            Expr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => {
+                if let Some(op) = operand {
+                    f(op);
+                }
+                for b in branches {
+                    f(&b.when);
+                    f(&b.then);
+                }
+                if let Some(e) = else_expr {
+                    f(e);
+                }
+            }
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                f(expr);
+                f(low);
+                f(high);
+            }
+            Expr::InList { expr, list, .. } => {
+                f(expr);
+                list.iter().for_each(f);
+            }
+            Expr::InSubquery { expr, .. } => f(expr),
+            Expr::Like { expr, pattern, .. } => {
+                f(expr);
+                f(pattern);
+            }
+        }
     }
 
     /// Immediate sub-expressions (not descending into subqueries).
@@ -324,16 +375,25 @@ impl Expr {
     /// Whether the expression contains an aggregate call at any depth
     /// (not descending into subqueries, which have their own scope).
     pub fn contains_aggregate(&self) -> bool {
-        matches!(self, Expr::Aggregate { .. })
-            || self.children().iter().any(|c| c.contains_aggregate())
+        if matches!(self, Expr::Aggregate { .. }) {
+            return true;
+        }
+        let mut found = false;
+        self.for_each_child(&mut |c| found = found || c.contains_aggregate());
+        found
     }
 
     /// Whether the expression contains a subquery of any form.
     pub fn contains_subquery(&self) -> bool {
-        matches!(
+        if matches!(
             self,
             Expr::ScalarSubquery(_) | Expr::Exists { .. } | Expr::InSubquery { .. }
-        ) || self.children().iter().any(|c| c.contains_subquery())
+        ) {
+            return true;
+        }
+        let mut found = false;
+        self.for_each_child(&mut |c| found = found || c.contains_subquery());
+        found
     }
 
     /// Collects every column referenced in the expression (not descending

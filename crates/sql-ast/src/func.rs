@@ -47,6 +47,16 @@ macro_rules! scalar_functions {
                 }
             }
 
+            /// Canonical feature name used by the feature model
+            /// (`FN_<NAME>`), as a static string — the generator consults
+            /// the whole function universe per generated function call, so
+            /// this must not allocate.
+            pub fn feature_name(self) -> &'static str {
+                match self {
+                    $(ScalarFunction::$variant => concat!("FN_", $name),)+
+                }
+            }
+
             /// Minimum number of arguments.
             pub fn min_args(self) -> usize {
                 match self {
@@ -148,13 +158,6 @@ scalar_functions! {
     Unhexable => ("BIT_LENGTH", 1, 1, Type),
 }
 
-impl ScalarFunction {
-    /// Canonical feature name used by the feature model (`FN_<NAME>`).
-    pub fn feature_name(self) -> String {
-        format!("FN_{}", self.name())
-    }
-}
-
 impl fmt::Display for ScalarFunction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.name())
@@ -201,9 +204,17 @@ impl AggregateFunction {
         }
     }
 
-    /// Canonical feature name (`AGG_<NAME>`).
-    pub fn feature_name(self) -> String {
-        format!("AGG_{}", self.name())
+    /// Canonical feature name (`AGG_<NAME>`), static like
+    /// [`ScalarFunction::feature_name`].
+    pub fn feature_name(self) -> &'static str {
+        match self {
+            AggregateFunction::Count => "AGG_COUNT",
+            AggregateFunction::Sum => "AGG_SUM",
+            AggregateFunction::Avg => "AGG_AVG",
+            AggregateFunction::Min => "AGG_MIN",
+            AggregateFunction::Max => "AGG_MAX",
+            AggregateFunction::Total => "AGG_TOTAL",
+        }
     }
 
     /// Looks an aggregate up by its (case-insensitive) SQL name.
@@ -228,7 +239,11 @@ mod tests {
     fn function_universe_has_paper_scale() {
         // The paper reports 58 scalar functions; we implement the same order
         // of magnitude (>= 55) so feature-learning behaves comparably.
-        assert!(ScalarFunction::ALL.len() >= 55, "{}", ScalarFunction::ALL.len());
+        assert!(
+            ScalarFunction::ALL.len() >= 55,
+            "{}",
+            ScalarFunction::ALL.len()
+        );
     }
 
     #[test]
@@ -255,7 +270,10 @@ mod tests {
         for agg in AggregateFunction::ALL {
             assert_eq!(AggregateFunction::from_name(agg.name()), Some(agg));
         }
-        assert_eq!(AggregateFunction::from_name("count"), Some(AggregateFunction::Count));
+        assert_eq!(
+            AggregateFunction::from_name("count"),
+            Some(AggregateFunction::Count)
+        );
         assert_eq!(AggregateFunction::from_name("median"), None);
     }
 

@@ -47,4 +47,6 @@ pub use stmt::{
     Statement, TableConstraint, Update,
 };
 pub use types::DataType;
-pub use value::{format_real, parse_numeric_prefix, TruthValue, Value};
+pub use value::{
+    format_real, parse_numeric_prefix, row_fingerprint, Fingerprint128, TruthValue, Value,
+};

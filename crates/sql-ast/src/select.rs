@@ -430,16 +430,16 @@ mod tests {
 
     #[test]
     fn join_select_renders() {
-        let mut q = Select::from_table("t0", vec![SelectItem::expr(Expr::qualified_column("t0", "c0"))]);
+        let mut q = Select::from_table(
+            "t0",
+            vec![SelectItem::expr(Expr::qualified_column("t0", "c0"))],
+        );
         q.from[0].joins.push(Join {
             join_type: JoinType::Left,
             relation: TableFactor::table("t1"),
             on: Some(Expr::boolean(true)),
         });
-        assert_eq!(
-            q.to_string(),
-            "SELECT t0.c0 FROM t0 LEFT JOIN t1 ON TRUE"
-        );
+        assert_eq!(q.to_string(), "SELECT t0.c0 FROM t0 LEFT JOIN t1 ON TRUE");
     }
 
     #[test]

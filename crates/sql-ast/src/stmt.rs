@@ -483,18 +483,21 @@ mod tests {
         let view = Statement::CreateView(CreateView {
             name: "v0".into(),
             columns: vec!["c0".into()],
-            query: Box::new(Select::from_table("t0", vec![SelectItem::expr(Expr::column("c0"))])),
+            query: Box::new(Select::from_table(
+                "t0",
+                vec![SelectItem::expr(Expr::column("c0"))],
+            )),
         });
-        assert_eq!(
-            view.to_string(),
-            "CREATE VIEW v0 (c0) AS SELECT c0 FROM t0"
-        );
+        assert_eq!(view.to_string(), "CREATE VIEW v0 (c0) AS SELECT c0 FROM t0");
         assert_eq!(Statement::Analyze(None).to_string(), "ANALYZE");
         assert_eq!(
             Statement::Analyze(Some("t0".into())).to_string(),
             "ANALYZE t0"
         );
-        assert_eq!(Statement::Refresh("t0".into()).to_string(), "REFRESH TABLE t0");
+        assert_eq!(
+            Statement::Refresh("t0".into()).to_string(),
+            "REFRESH TABLE t0"
+        );
         assert_eq!(Statement::Commit.to_string(), "COMMIT");
         assert_eq!(
             Statement::Drop {

@@ -60,6 +60,18 @@ impl DataType {
         }
     }
 
+    /// Canonical feature name of the type (`TYPE_<KEYWORD>`), shared by the
+    /// feature model and dialect profile gating so the two can never drift.
+    pub fn feature_name(self) -> &'static str {
+        match self {
+            DataType::Integer => "TYPE_INTEGER",
+            DataType::Real => "TYPE_REAL",
+            DataType::Text => "TYPE_TEXT",
+            DataType::Boolean => "TYPE_BOOLEAN",
+            DataType::Null => "TYPE_NULL",
+        }
+    }
+
     /// Parses a type keyword as it appears in SQL text.
     ///
     /// Accepts the common dialect synonyms (`INT`, `BIGINT`, `VARCHAR`,

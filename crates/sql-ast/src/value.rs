@@ -70,6 +70,7 @@ impl TruthValue {
     }
 
     /// Three-valued `NOT`.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> TruthValue {
         match self {
             TruthValue::True => TruthValue::False,
@@ -230,8 +231,56 @@ impl Value {
         Some(self.total_cmp(other))
     }
 
+    /// Feeds this value's canonical dedup identity into a fingerprint
+    /// hasher, without allocating.
+    ///
+    /// The identity matches [`Value::dedup_key`] exactly: integral reals and
+    /// booleans collapse onto the integer encoding (so `1`, `1.0` and `TRUE`
+    /// fingerprint identically, as SQL equality demands), every `NaN` is
+    /// canonicalised to one bit pattern, and each variant is tagged so that
+    /// e.g. `1` and `'1'` stay distinct.
+    pub fn fingerprint_into(&self, hasher: &mut Fingerprint128) {
+        match self {
+            Value::Null => hasher.write_u8(0),
+            Value::Integer(i) => {
+                hasher.write_u8(1);
+                hasher.write_u64(*i as u64);
+            }
+            Value::Real(r) => {
+                if r.fract() == 0.0 && r.is_finite() && r.abs() < 9.0e15 {
+                    // Integral reals compare equal to integers in SQL;
+                    // normalise them exactly as `dedup_key` does.
+                    hasher.write_u8(1);
+                    hasher.write_u64(*r as i64 as u64);
+                } else {
+                    hasher.write_u8(2);
+                    let bits = if r.is_nan() {
+                        f64::NAN.to_bits()
+                    } else {
+                        r.to_bits()
+                    };
+                    hasher.write_u64(bits);
+                }
+            }
+            Value::Text(s) => {
+                hasher.write_u8(3);
+                hasher.write_u64(s.len() as u64);
+                hasher.write_bytes(s.as_bytes());
+            }
+            Value::Boolean(b) => {
+                hasher.write_u8(1);
+                hasher.write_u64(i64::from(*b) as u64);
+            }
+        }
+    }
+
     /// A stable key usable for hashing/dedup in result multisets. Reals are
     /// rendered with full precision; `NULL` has a dedicated tag.
+    ///
+    /// This is the legacy string form of the row identity; the execution hot
+    /// path uses the allocation-free [`row_fingerprint`] /
+    /// [`Value::fingerprint_into`] instead, and property tests assert the
+    /// two agree.
     pub fn dedup_key(&self) -> String {
         match self {
             Value::Null => "\u{0}N".to_string(),
@@ -249,6 +298,78 @@ impl Value {
             Value::Boolean(b) => format!("I{}", i64::from(*b)),
         }
     }
+}
+
+/// A 128-bit FNV-1a hasher used to fingerprint result rows without
+/// allocating.
+///
+/// The oracles compare query results as multisets of rows; fingerprinting a
+/// row to a single `u128` replaces the per-row `String` keys of the legacy
+/// path, so the campaign hot loop sorts and compares machine words instead
+/// of heap-allocated strings. 128 bits make accidental collisions
+/// statistically irrelevant at fleet scale (billions of rows would give a
+/// collision probability below 10⁻²⁰).
+#[derive(Debug, Clone)]
+pub struct Fingerprint128 {
+    state: u128,
+}
+
+impl Fingerprint128 {
+    const OFFSET_BASIS: u128 = 0x6c62272e07bb014262b821756295c58d;
+    const PRIME: u128 = 0x0000000001000000000000000000013B;
+
+    /// Creates a hasher in its initial state.
+    pub fn new() -> Fingerprint128 {
+        Fingerprint128 {
+            state: Self::OFFSET_BASIS,
+        }
+    }
+
+    /// Absorbs one byte.
+    pub fn write_u8(&mut self, byte: u8) {
+        self.state ^= u128::from(byte);
+        self.state = self.state.wrapping_mul(Self::PRIME);
+    }
+
+    /// Absorbs eight bytes (little-endian).
+    pub fn write_u64(&mut self, word: u64) {
+        for byte in word.to_le_bytes() {
+            self.write_u8(byte);
+        }
+    }
+
+    /// Absorbs a byte slice.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.write_u8(byte);
+        }
+    }
+
+    /// The accumulated 128-bit hash.
+    pub fn finish(&self) -> u128 {
+        self.state
+    }
+}
+
+impl Default for Fingerprint128 {
+    fn default() -> Fingerprint128 {
+        Fingerprint128::new()
+    }
+}
+
+/// Fingerprints one result row to a 128-bit hash of its canonical dedup
+/// identity (see [`Value::fingerprint_into`]). Two rows receive the same
+/// fingerprint when their legacy [`Value::dedup_key`] strings match; the
+/// hash additionally *refines* the legacy joined-string key by
+/// length-prefixing text, eliminating its concatenation ambiguity (e.g.
+/// `["a\u{1}Tb"]` vs `["a", "b"]` collide as joined strings but not as
+/// fingerprints).
+pub fn row_fingerprint(row: &[Value]) -> u128 {
+    let mut hasher = Fingerprint128::new();
+    for value in row {
+        value.fingerprint_into(&mut hasher);
+    }
+    hasher.finish()
 }
 
 /// Parses the longest numeric prefix of a string, as SQLite does when
@@ -396,8 +517,47 @@ mod tests {
     }
 
     #[test]
+    fn row_fingerprint_matches_dedup_key_identity() {
+        let samples = [
+            Value::Null,
+            Value::Integer(1),
+            Value::Real(1.0),
+            Value::Real(1.5),
+            Value::Real(-0.0),
+            Value::Real(f64::INFINITY),
+            Value::Boolean(true),
+            Value::Boolean(false),
+            Value::text("1"),
+            Value::text(""),
+            Value::text("a'b"),
+        ];
+        for a in &samples {
+            for b in &samples {
+                assert_eq!(
+                    a.dedup_key() == b.dedup_key(),
+                    row_fingerprint(std::slice::from_ref(a))
+                        == row_fingerprint(std::slice::from_ref(b)),
+                    "fingerprint disagreement: {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn row_fingerprint_distinguishes_row_shapes() {
+        // Concatenation ambiguity: ["ab"] vs ["a", "b"] must differ.
+        let joined = row_fingerprint(&[Value::text("ab")]);
+        let split = row_fingerprint(&[Value::text("a"), Value::text("b")]);
+        assert_ne!(joined, split);
+        assert_ne!(
+            row_fingerprint(&[Value::Null]),
+            row_fingerprint(&[Value::Null, Value::Null])
+        );
+    }
+
+    #[test]
     fn total_order_is_stable_across_types() {
-        let mut values = vec![
+        let mut values = [
             Value::text("a"),
             Value::Integer(5),
             Value::Null,
@@ -412,10 +572,7 @@ mod tests {
 
     #[test]
     fn truthiness_modes_differ_on_text() {
-        assert_eq!(
-            Value::text("1").truthiness_dynamic(),
-            TruthValue::True
-        );
+        assert_eq!(Value::text("1").truthiness_dynamic(), TruthValue::True);
         assert_eq!(Value::text("1").truthiness_strict(), None);
         assert_eq!(
             Value::Boolean(false).truthiness_strict(),

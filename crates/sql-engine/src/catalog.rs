@@ -3,6 +3,7 @@
 use crate::error::{EngineError, EngineResult};
 use sql_ast::{ColumnDef, CreateIndex, CreateTable, CreateView, DataType, Expr, Select};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A column of a stored table.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,6 +34,9 @@ pub struct TableSchema {
     pub primary_key: Vec<String>,
     /// Additional unique constraints (each a list of column names).
     pub unique_constraints: Vec<Vec<String>>,
+    /// Cached shared view of the column names, built once at creation and
+    /// handed to every scan's [`crate::RelationBinding`] without cloning.
+    shared_column_names: Arc<Vec<String>>,
 }
 
 impl TableSchema {
@@ -45,7 +49,10 @@ impl TableSchema {
     pub fn from_create(create: &CreateTable) -> EngineResult<TableSchema> {
         let mut columns: Vec<Column> = Vec::new();
         for def in &create.columns {
-            if columns.iter().any(|c| c.name.eq_ignore_ascii_case(&def.name)) {
+            if columns
+                .iter()
+                .any(|c| c.name.eq_ignore_ascii_case(&def.name))
+            {
                 return Err(EngineError::catalog(format!(
                     "duplicate column name '{}'",
                     def.name
@@ -103,11 +110,13 @@ impl TableSchema {
                 }
             }
         }
+        let shared_column_names = Arc::new(columns.iter().map(|c| c.name.clone()).collect());
         Ok(TableSchema {
             name: create.name.clone(),
             columns,
             primary_key,
             unique_constraints,
+            shared_column_names,
         })
     }
 
@@ -126,6 +135,22 @@ impl TableSchema {
     /// Names of all columns, in order.
     pub fn column_names(&self) -> Vec<String> {
         self.columns.iter().map(|c| c.name.clone()).collect()
+    }
+
+    /// Shared view of the column names (no per-call allocation).
+    pub fn shared_column_names(&self) -> Arc<Vec<String>> {
+        Arc::clone(&self.shared_column_names)
+    }
+}
+
+/// Case-insensitive map key shared by the catalog and row storage.
+/// Generated identifiers are already lowercase, so the common case borrows;
+/// only mixed-case names allocate.
+pub(crate) fn lowercase_key(name: &str) -> std::borrow::Cow<'_, str> {
+    if name.bytes().any(|b| b.is_ascii_uppercase()) {
+        std::borrow::Cow::Owned(name.to_ascii_lowercase())
+    } else {
+        std::borrow::Cow::Borrowed(name)
     }
 }
 
@@ -211,14 +236,16 @@ impl Catalog {
         Catalog::default()
     }
 
-    fn key(name: &str) -> String {
-        name.to_ascii_lowercase()
+    fn key(name: &str) -> std::borrow::Cow<'_, str> {
+        lowercase_key(name)
     }
 
     /// Is any object (table, view or index) with this name present?
     pub fn name_in_use(&self, name: &str) -> bool {
         let k = Self::key(name);
-        self.tables.contains_key(&k) || self.views.contains_key(&k) || self.indexes.contains_key(&k)
+        self.tables.contains_key(k.as_ref())
+            || self.views.contains_key(k.as_ref())
+            || self.indexes.contains_key(k.as_ref())
     }
 
     /// Adds a table schema.
@@ -233,7 +260,8 @@ impl Catalog {
                 schema.name
             )));
         }
-        self.tables.insert(Self::key(&schema.name), schema);
+        self.tables
+            .insert(Self::key(&schema.name).into_owned(), schema);
         Ok(())
     }
 
@@ -249,7 +277,7 @@ impl Catalog {
                 view.name
             )));
         }
-        self.views.insert(Self::key(&view.name), view);
+        self.views.insert(Self::key(&view.name).into_owned(), view);
         Ok(())
     }
 
@@ -272,23 +300,24 @@ impl Catalog {
                 index.table
             )));
         }
-        self.indexes.insert(Self::key(&index.name), index);
+        self.indexes
+            .insert(Self::key(&index.name).into_owned(), index);
         Ok(())
     }
 
     /// Looks up a table schema.
     pub fn table(&self, name: &str) -> Option<&TableSchema> {
-        self.tables.get(&Self::key(name))
+        self.tables.get(Self::key(name).as_ref())
     }
 
     /// Looks up a view.
     pub fn view(&self, name: &str) -> Option<&ViewDef> {
-        self.views.get(&Self::key(name))
+        self.views.get(Self::key(name).as_ref())
     }
 
     /// Looks up an index.
     pub fn index(&self, name: &str) -> Option<&IndexDef> {
-        self.indexes.get(&Self::key(name))
+        self.indexes.get(Self::key(name).as_ref())
     }
 
     /// All indexes on a table.
@@ -301,21 +330,22 @@ impl Catalog {
 
     /// Removes a table (and its indexes). Returns `false` if absent.
     pub fn drop_table(&mut self, name: &str) -> bool {
-        let removed = self.tables.remove(&Self::key(name)).is_some();
+        let removed = self.tables.remove(Self::key(name).as_ref()).is_some();
         if removed {
-            self.indexes.retain(|_, i| !i.table.eq_ignore_ascii_case(name));
+            self.indexes
+                .retain(|_, i| !i.table.eq_ignore_ascii_case(name));
         }
         removed
     }
 
     /// Removes a view. Returns `false` if absent.
     pub fn drop_view(&mut self, name: &str) -> bool {
-        self.views.remove(&Self::key(name)).is_some()
+        self.views.remove(Self::key(name).as_ref()).is_some()
     }
 
     /// Removes an index. Returns `false` if absent.
     pub fn drop_index(&mut self, name: &str) -> bool {
-        self.indexes.remove(&Self::key(name)).is_some()
+        self.indexes.remove(Self::key(name).as_ref()).is_some()
     }
 
     /// Names of all tables, sorted.
@@ -347,8 +377,8 @@ impl Catalog {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sql_parser::parse_statement;
     use sql_ast::Statement;
+    use sql_parser::parse_statement;
 
     fn create_table(sql: &str) -> TableSchema {
         match parse_statement(sql).unwrap() {
@@ -359,7 +389,8 @@ mod tests {
 
     #[test]
     fn table_constraints_are_propagated_to_columns() {
-        let schema = create_table("CREATE TABLE t0 (c0 INT, c1 TEXT, PRIMARY KEY (c0), UNIQUE (c1))");
+        let schema =
+            create_table("CREATE TABLE t0 (c0 INT, c1 TEXT, PRIMARY KEY (c0), UNIQUE (c1))");
         assert_eq!(schema.primary_key, vec!["c0"]);
         assert!(schema.column("c0").unwrap().not_null);
         assert!(schema.column("c0").unwrap().unique);
@@ -379,7 +410,8 @@ mod tests {
     #[test]
     fn catalog_prevents_name_collisions_across_kinds() {
         let mut cat = Catalog::new();
-        cat.add_table(create_table("CREATE TABLE t0 (c0 INT)")).unwrap();
+        cat.add_table(create_table("CREATE TABLE t0 (c0 INT)"))
+            .unwrap();
         let view = ViewDef {
             name: "T0".into(),
             columns: vec![],
@@ -392,7 +424,8 @@ mod tests {
     #[test]
     fn dropping_a_table_drops_its_indexes() {
         let mut cat = Catalog::new();
-        cat.add_table(create_table("CREATE TABLE t0 (c0 INT)")).unwrap();
+        cat.add_table(create_table("CREATE TABLE t0 (c0 INT)"))
+            .unwrap();
         cat.add_index(IndexDef {
             name: "i0".into(),
             table: "t0".into(),

@@ -66,29 +66,49 @@ impl CoverageTracker {
         CoverageTracker::default()
     }
 
+    /// Inserts without allocating when the point was already recorded — the
+    /// common case on the campaign hot path, where the same few coverage
+    /// points are hit millions of times.
+    fn record(set: &mut BTreeSet<String>, name: &str) {
+        if !set.contains(name) {
+            set.insert(name.to_string());
+        }
+    }
+
     /// Records a plan operator.
     pub fn plan_operator(&mut self, name: &str) {
-        self.plan_operators.insert(name.to_string());
+        Self::record(&mut self.plan_operators, name);
     }
 
     /// Records a scalar or aggregate function evaluation.
     pub fn function(&mut self, name: &str) {
-        self.functions.insert(name.to_string());
+        Self::record(&mut self.functions, name);
     }
 
     /// Records an operator evaluation.
     pub fn operator(&mut self, name: &str) {
-        self.operators.insert(name.to_string());
+        Self::record(&mut self.operators, name);
     }
 
     /// Records a coercion path.
+    ///
+    /// The dynamic-typing comparison path records a coercion per evaluated
+    /// row, so the already-recorded case must not allocate; the set stays
+    /// tiny (bounded by the handful of type-keyword pairs), making a linear
+    /// pre-check cheaper than building the composite key.
     pub fn coercion(&mut self, from: &str, to: &str) {
-        self.coercions.insert(format!("{from}->{to}"));
+        let exists = self
+            .coercions
+            .iter()
+            .any(|c| c.strip_prefix(from).and_then(|r| r.strip_prefix("->")) == Some(to));
+        if !exists {
+            self.coercions.insert(format!("{from}->{to}"));
+        }
     }
 
     /// Records a statement kind.
     pub fn statement(&mut self, name: &str) {
-        self.statements.insert(name.to_string());
+        Self::record(&mut self.statements, name);
     }
 
     /// Number of distinct coverage points hit.

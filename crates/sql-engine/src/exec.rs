@@ -21,6 +21,7 @@ use sql_ast::{
     AggregateFunction, BinaryOp, DataType, Expr, Insert, JoinType, Select, SelectItem, SetOperator,
     SortOrder, Statement, TableFactor, Value,
 };
+use std::borrow::Cow;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Whether a query runs through the optimizer or as written.
@@ -323,7 +324,11 @@ fn unique_key_sets(db: &Database, schema: &TableSchema) -> Vec<Vec<usize>> {
         sets.push(schema.primary_key.clone());
     }
     for c in &schema.columns {
-        if c.unique && !sets.iter().any(|s| s.len() == 1 && s[0].eq_ignore_ascii_case(&c.name)) {
+        if c.unique
+            && !sets
+                .iter()
+                .any(|s| s.len() == 1 && s[0].eq_ignore_ascii_case(&c.name))
+        {
             sets.push(vec![c.name.clone()]);
         }
     }
@@ -403,7 +408,12 @@ fn execute_insert(db: &mut Database, insert: &Insert) -> EngineResult<StatementR
         let mut provided = vec![false; schema.columns.len()];
         for (expr, &pos) in value_row.iter().zip(&positions) {
             let raw = evaluator.eval(expr, &Scope::EMPTY)?;
-            let coerced = coerce_for_column(db, raw, schema.columns[pos].data_type, &schema.columns[pos].name)?;
+            let coerced = coerce_for_column(
+                db,
+                raw,
+                schema.columns[pos].data_type,
+                &schema.columns[pos].name,
+            )?;
             row[pos] = coerced;
             provided[pos] = true;
         }
@@ -486,8 +496,7 @@ fn execute_update(db: &mut Database, update: &sql_ast::Update) -> EngineResult<S
                     .column_index(col)
                     .ok_or_else(|| EngineError::catalog(format!("no such column: {col}")))?;
                 let raw = evaluator.eval(expr, &scope)?;
-                let coerced =
-                    coerce_for_column(db, raw, schema.columns[idx].data_type, col)?;
+                let coerced = coerce_for_column(db, raw, schema.columns[idx].data_type, col)?;
                 if schema.columns[idx].not_null && coerced.is_null() {
                     return Err(EngineError::constraint(format!(
                         "NOT NULL constraint failed: {}.{}",
@@ -554,14 +563,17 @@ fn execute_delete(db: &mut Database, delete: &sql_ast::Delete) -> EngineResult<S
 
 // ------------------------------------------------------------- queries ----
 
-/// A materialised relation during query processing.
+/// A relation during query processing. Base-table scans *borrow* the
+/// stored rows (the common case on the oracle hot path — a full scan with
+/// no surviving WHERE clause never copies a row); joins, views and derived
+/// tables own their materialised rows.
 #[derive(Debug, Clone)]
-struct Relation {
+struct Relation<'a> {
     bindings: Vec<RelationBinding>,
-    rows: Vec<Row>,
+    rows: Cow<'a, [Row]>,
 }
 
-impl Relation {
+impl Relation<'_> {
     fn width(&self) -> usize {
         self.bindings.iter().map(|b| b.columns.len()).sum()
     }
@@ -619,7 +631,11 @@ pub fn execute_select_in_scope(
         db.record_coverage(|cov| cov.plan_operator("distinct"));
         let mut seen = BTreeSet::new();
         produced.rows.retain(|(row, _)| {
-            let key = row.iter().map(Value::dedup_key).collect::<Vec<_>>().join("\u{1}");
+            let key = row
+                .iter()
+                .map(Value::dedup_key)
+                .collect::<Vec<_>>()
+                .join("\u{1}");
             seen.insert(key)
         });
     }
@@ -680,11 +696,7 @@ fn check_crash_faults(db: &Database, select: &Select) -> EngineResult<()> {
         }
     }
     if faults.crash_on_many_joins {
-        let relations: usize = select
-            .from
-            .iter()
-            .map(|t| 1 + t.joins.len())
-            .sum();
+        let relations: usize = select.from.iter().map(|t| 1 + t.joins.len()).sum();
         if relations >= 3 {
             return Err(EngineError::runtime(
                 "internal error: circuit breaker tripped (out of memory)",
@@ -695,22 +707,27 @@ fn check_crash_faults(db: &Database, select: &Select) -> EngineResult<()> {
 }
 
 fn is_aggregate_query(select: &Select) -> bool {
-    select.is_aggregate() || select.having.as_ref().map(Expr::contains_aggregate).unwrap_or(false)
+    select.is_aggregate()
+        || select
+            .having
+            .as_ref()
+            .map(Expr::contains_aggregate)
+            .unwrap_or(false)
 }
 
-fn build_from(
-    db: &Database,
+fn build_from<'a>(
+    db: &'a Database,
     select: &Select,
     mode: ExecutionMode,
     outer: Option<&Scope<'_>>,
-) -> EngineResult<Relation> {
+) -> EngineResult<Relation<'a>> {
     if select.from.is_empty() {
         return Ok(Relation {
             bindings: Vec::new(),
-            rows: vec![Vec::new()],
+            rows: Cow::Owned(vec![Vec::new()]),
         });
     }
-    let mut combined: Option<Relation> = None;
+    let mut combined: Option<Relation<'a>> = None;
     for twj in &select.from {
         let mut current = resolve_factor(db, &twj.relation, mode, outer)?;
         for join in &twj.joins {
@@ -728,12 +745,12 @@ fn build_from(
     Ok(combined.expect("non-empty FROM"))
 }
 
-fn resolve_factor(
-    db: &Database,
+fn resolve_factor<'a>(
+    db: &'a Database,
     factor: &TableFactor,
     mode: ExecutionMode,
     outer: Option<&Scope<'_>>,
-) -> EngineResult<Relation> {
+) -> EngineResult<Relation<'a>> {
     match factor {
         TableFactor::Table { name, alias } => {
             let visible = alias.clone().unwrap_or_else(|| name.clone());
@@ -753,7 +770,7 @@ fn resolve_factor(
                 };
                 return Ok(Relation {
                     bindings: vec![RelationBinding::new(visible, columns)],
-                    rows: rs.rows,
+                    rows: Cow::Owned(rs.rows),
                 });
             }
             let schema = db
@@ -762,8 +779,8 @@ fn resolve_factor(
                 .ok_or_else(|| EngineError::catalog(format!("no such table: {name}")))?;
             db.record_coverage(|cov| cov.plan_operator("seq_scan"));
             Ok(Relation {
-                bindings: vec![RelationBinding::new(visible, schema.column_names())],
-                rows: db.rows(name)?.clone(),
+                bindings: vec![RelationBinding::new(visible, schema.shared_column_names())],
+                rows: Cow::Borrowed(db.rows(name)?),
             })
         }
         TableFactor::Derived { subquery, alias } => {
@@ -771,34 +788,37 @@ fn resolve_factor(
             let rs = execute_select_in_scope(db, subquery, mode, outer)?;
             Ok(Relation {
                 bindings: vec![RelationBinding::new(alias.clone(), rs.columns)],
-                rows: rs.rows,
+                rows: Cow::Owned(rs.rows),
             })
         }
     }
 }
 
-fn cross_product(left: Relation, right: Relation) -> Relation {
+fn cross_product<'a>(left: Relation<'_>, right: Relation<'_>) -> Relation<'a> {
     let mut bindings = left.bindings;
     bindings.extend(right.bindings);
     let mut rows = Vec::with_capacity(left.rows.len() * right.rows.len());
-    for l in &left.rows {
-        for r in &right.rows {
+    for l in left.rows.iter() {
+        for r in right.rows.iter() {
             let mut row = l.clone();
             row.extend(r.iter().cloned());
             rows.push(row);
         }
     }
-    Relation { bindings, rows }
+    Relation {
+        bindings,
+        rows: Cow::Owned(rows),
+    }
 }
 
-fn join_relations(
+fn join_relations<'a>(
     db: &Database,
     mode: ExecutionMode,
-    left: Relation,
-    right: Relation,
+    left: Relation<'_>,
+    right: Relation<'_>,
     join: &sql_ast::Join,
     outer: Option<&Scope<'_>>,
-) -> EngineResult<Relation> {
+) -> EngineResult<Relation<'a>> {
     db.record_coverage(|cov| cov.plan_operator(join.join_type.feature_name()));
     let left_width = left.width();
     let right_width = right.width();
@@ -845,8 +865,8 @@ fn join_relations(
     let mut rows: Vec<Row> = Vec::new();
     match join.join_type {
         JoinType::Cross => {
-            for l in &left.rows {
-                for r in &right.rows {
+            for l in left.rows.iter() {
+                for r in right.rows.iter() {
                     let mut row = l.clone();
                     row.extend(r.iter().cloned());
                     rows.push(row);
@@ -854,8 +874,8 @@ fn join_relations(
             }
         }
         JoinType::Inner | JoinType::Natural => {
-            for l in &left.rows {
-                for r in &right.rows {
+            for l in left.rows.iter() {
+                for r in right.rows.iter() {
                     let mut row = l.clone();
                     row.extend(r.iter().cloned());
                     if join_condition_holds(&evaluator, condition, &bindings, &row, outer)? {
@@ -866,7 +886,7 @@ fn join_relations(
         }
         JoinType::Left | JoinType::Full => {
             let mut matched_right = vec![false; right.rows.len()];
-            for l in &left.rows {
+            for l in left.rows.iter() {
                 let mut matched = false;
                 for (ri, r) in right.rows.iter().enumerate() {
                     let mut row = l.clone();
@@ -879,15 +899,14 @@ fn join_relations(
                 }
                 if !matched {
                     let mut row = l.clone();
-                    row.extend(std::iter::repeat(Value::Null).take(right_width));
+                    row.extend(std::iter::repeat_n(Value::Null, right_width));
                     rows.push(row);
                 }
             }
             if join.join_type == JoinType::Full {
                 for (ri, r) in right.rows.iter().enumerate() {
                     if !matched_right[ri] {
-                        let mut row: Row =
-                            std::iter::repeat(Value::Null).take(left_width).collect();
+                        let mut row: Row = std::iter::repeat_n(Value::Null, left_width).collect();
                         row.extend(r.iter().cloned());
                         rows.push(row);
                     }
@@ -895,9 +914,9 @@ fn join_relations(
             }
         }
         JoinType::Right => {
-            for r in &right.rows {
+            for r in right.rows.iter() {
                 let mut matched = false;
-                for l in &left.rows {
+                for l in left.rows.iter() {
                     let mut row = l.clone();
                     row.extend(r.iter().cloned());
                     if join_condition_holds(&evaluator, condition, &bindings, &row, outer)? {
@@ -906,14 +925,17 @@ fn join_relations(
                     }
                 }
                 if !matched {
-                    let mut row: Row = std::iter::repeat(Value::Null).take(left_width).collect();
+                    let mut row: Row = std::iter::repeat_n(Value::Null, left_width).collect();
                     row.extend(r.iter().cloned());
                     rows.push(row);
                 }
             }
         }
     }
-    Ok(Relation { bindings, rows })
+    Ok(Relation {
+        bindings,
+        rows: Cow::Owned(rows),
+    })
 }
 
 fn join_condition_holds(
@@ -952,13 +974,13 @@ fn conjuncts(expr: &Expr) -> Vec<&Expr> {
     }
 }
 
-fn apply_where(
+fn apply_where<'a>(
     db: &Database,
     select: &Select,
     mode: ExecutionMode,
-    relation: Relation,
+    relation: Relation<'a>,
     outer: Option<&Scope<'_>>,
-) -> EngineResult<Relation> {
+) -> EngineResult<Relation<'a>> {
     let Some(pred) = &select.where_clause else {
         return Ok(relation);
     };
@@ -973,7 +995,7 @@ fn apply_where(
             let evaluator = Evaluator::new(db, mode);
             let faults = &db.config.faults;
             let mut rows = Vec::new();
-            for row in &relation.rows {
+            for row in relation.rows.iter() {
                 let value = row.get(col_idx).cloned().unwrap_or(Value::Null);
                 let matches = if faults.bad_index_lookup_coercion {
                     // Injected fault: raw key comparison, skipping the
@@ -995,7 +1017,11 @@ fn apply_where(
                             row,
                             parent: outer,
                         };
-                        if !evaluator.eval_truth(ipred, &scope).unwrap_or(sql_ast::TruthValue::False).is_true() {
+                        if !evaluator
+                            .eval_truth(ipred, &scope)
+                            .unwrap_or(sql_ast::TruthValue::False)
+                            .is_true()
+                        {
                             continue;
                         }
                     }
@@ -1011,22 +1037,45 @@ fn apply_where(
         }
     }
 
-    let rows_in = candidate_rows.unwrap_or(relation.rows);
+    let rows_in = match candidate_rows {
+        Some(rows) => Cow::Owned(rows),
+        None => relation.rows,
+    };
     let evaluator = Evaluator::new(db, mode);
-    let mut rows = Vec::new();
-    for row in rows_in {
-        let scope = Scope {
-            relations: &relation.bindings,
-            row: &row,
-            parent: outer,
-        };
-        if evaluator.eval_truth(pred, &scope)?.is_true() {
-            rows.push(row);
+    // Owned rows are filtered by move; borrowed rows clone survivors only.
+    let rows: Vec<Row> = match rows_in {
+        Cow::Owned(owned) => {
+            let mut rows = Vec::new();
+            for row in owned {
+                let scope = Scope {
+                    relations: &relation.bindings,
+                    row: &row,
+                    parent: outer,
+                };
+                if evaluator.eval_truth(pred, &scope)?.is_true() {
+                    rows.push(row);
+                }
+            }
+            rows
         }
-    }
+        Cow::Borrowed(borrowed) => {
+            let mut rows = Vec::new();
+            for row in borrowed {
+                let scope = Scope {
+                    relations: &relation.bindings,
+                    row,
+                    parent: outer,
+                };
+                if evaluator.eval_truth(pred, &scope)?.is_true() {
+                    rows.push(row.clone());
+                }
+            }
+            rows
+        }
+    };
     Ok(Relation {
         bindings: relation.bindings,
-        rows,
+        rows: Cow::Owned(rows),
     })
 }
 
@@ -1035,7 +1084,7 @@ fn apply_where(
 fn find_index_access(
     db: &Database,
     select: &Select,
-    relation: &Relation,
+    relation: &Relation<'_>,
     pred: &Expr,
 ) -> Option<(IndexDef, usize, Value)> {
     // Only simple single-table scans (not views/derived tables) qualify.
@@ -1087,13 +1136,18 @@ fn find_index_access(
 
 // ----------------------------------------------------------- projection ----
 
-fn output_name(item: &SelectItem) -> Option<String> {
+/// The output column name of a projection item: its alias, the column name
+/// for plain column references, or a positional `exprN` name otherwise.
+/// Unaliased complex expressions are deliberately NOT named by rendering
+/// their SQL — naming runs for every executed query, and text rendering is
+/// a serialization concern that stays off the execution path.
+fn output_name(item: &SelectItem, index: usize) -> Option<String> {
     match item {
         SelectItem::Expr { expr, alias } => Some(match alias {
             Some(a) => a.clone(),
             None => match expr {
                 Expr::Column(c) => c.column.clone(),
-                other => other.to_string(),
+                _ => format!("expr{index}"),
             },
         }),
         _ => None,
@@ -1105,7 +1159,7 @@ fn expand_projections(
     bindings: &[RelationBinding],
 ) -> EngineResult<Vec<(String, ProjectionSource)>> {
     let mut out = Vec::new();
-    for item in &select.projections {
+    for (index, item) in select.projections.iter().enumerate() {
         match item {
             SelectItem::Wildcard => {
                 let mut offset = 0;
@@ -1137,7 +1191,7 @@ fn expand_projections(
             }
             SelectItem::Expr { expr, .. } => {
                 out.push((
-                    output_name(item).unwrap_or_default(),
+                    output_name(item, index).unwrap_or_default(),
                     ProjectionSource::Expr(expr.clone()),
                 ));
             }
@@ -1155,7 +1209,7 @@ fn project_rows(
     db: &Database,
     select: &Select,
     mode: ExecutionMode,
-    relation: &Relation,
+    relation: &Relation<'_>,
     outer: Option<&Scope<'_>>,
 ) -> EngineResult<Produced> {
     db.record_coverage(|cov| cov.plan_operator("projection"));
@@ -1163,7 +1217,7 @@ fn project_rows(
     let columns: Vec<String> = projections.iter().map(|(n, _)| n.clone()).collect();
     let evaluator = Evaluator::new(db, mode);
     let mut rows = Vec::with_capacity(relation.rows.len());
-    for row in &relation.rows {
+    for row in relation.rows.iter() {
         let scope = Scope {
             relations: &relation.bindings,
             row,
@@ -1319,7 +1373,7 @@ fn aggregate_and_project(
     db: &Database,
     select: &Select,
     mode: ExecutionMode,
-    relation: &Relation,
+    relation: &Relation<'_>,
     outer: Option<&Scope<'_>>,
 ) -> EngineResult<Produced> {
     db.record_coverage(|cov| cov.plan_operator("group_by"));
@@ -1355,9 +1409,9 @@ fn aggregate_and_project(
     // Group rows.
     let mut groups: BTreeMap<Vec<String>, Vec<Row>> = BTreeMap::new();
     if select.group_by.is_empty() {
-        groups.insert(Vec::new(), relation.rows.clone());
+        groups.insert(Vec::new(), relation.rows.to_vec());
     } else {
-        for row in &relation.rows {
+        for row in relation.rows.iter() {
             let scope = Scope {
                 relations: &relation.bindings,
                 row,
@@ -1382,7 +1436,7 @@ fn aggregate_and_project(
     if optimized && faults.bad_stale_count_statistics {
         if let Some(stale) = stale_count_shortcut(db, select) {
             return Ok(Produced {
-                columns: vec![output_name(&select.projections[0]).unwrap_or_default()],
+                columns: vec![output_name(&select.projections[0], 0).unwrap_or_default()],
                 rows: vec![(vec![Value::Integer(stale as i64)], Vec::new())],
             });
         }
@@ -1401,17 +1455,16 @@ fn aggregate_and_project(
             let v = compute_aggregate(db, mode, agg, &relation.bindings, &group_rows, outer)?;
             agg_values.insert(agg.to_string(), v);
         }
-        let representative = group_rows.first().cloned().unwrap_or_else(|| empty_row.clone());
+        let representative = group_rows
+            .first()
+            .cloned()
+            .unwrap_or_else(|| empty_row.clone());
         let scope = Scope {
             relations: &relation.bindings,
             row: &representative,
             parent: outer,
         };
-        let group_evaluator = Evaluator {
-            db,
-            mode,
-            aggregates: Some(&agg_values),
-        };
+        let group_evaluator = Evaluator::with_aggregates(db, mode, Some(&agg_values));
         // HAVING filter.
         if let Some(having) = &select.having {
             if !group_evaluator.eval_truth(having, &scope)?.is_true() {
@@ -1488,11 +1541,7 @@ fn order_keys_for_row(
     if select.order_by.is_empty() || select.set_op.is_some() {
         return Ok(Vec::new());
     }
-    let evaluator = Evaluator {
-        db,
-        mode,
-        aggregates,
-    };
+    let evaluator = Evaluator::with_aggregates(db, mode, aggregates);
     let mut keys = Vec::with_capacity(select.order_by.len());
     for item in &select.order_by {
         let v = match &item.expr {
@@ -1500,7 +1549,10 @@ fn order_keys_for_row(
                 out_row[(*n - 1) as usize].clone()
             }
             Expr::Column(c) if c.table.is_none() => {
-                match columns.iter().position(|name| name.eq_ignore_ascii_case(&c.column)) {
+                match columns
+                    .iter()
+                    .position(|name| name.eq_ignore_ascii_case(&c.column))
+                {
                     Some(i) => out_row[i].clone(),
                     None => evaluator.eval(&item.expr, scope)?,
                 }
@@ -1515,7 +1567,11 @@ fn order_keys_for_row(
 fn sort_rows(db: &Database, select: &Select, produced: &mut Produced) -> EngineResult<()> {
     // When keys were not computed per row (set operations), resolve them
     // from the output row by ordinal or column name.
-    if produced.rows.iter().any(|(_, k)| k.len() != select.order_by.len()) {
+    if produced
+        .rows
+        .iter()
+        .any(|(_, k)| k.len() != select.order_by.len())
+    {
         let columns = produced.columns.clone();
         for (row, keys) in &mut produced.rows {
             keys.clear();
@@ -1525,7 +1581,10 @@ fn sort_rows(db: &Database, select: &Select, produced: &mut Produced) -> EngineR
                         row[(*n - 1) as usize].clone()
                     }
                     Expr::Column(c) if c.table.is_none() => {
-                        match columns.iter().position(|name| name.eq_ignore_ascii_case(&c.column)) {
+                        match columns
+                            .iter()
+                            .position(|name| name.eq_ignore_ascii_case(&c.column))
+                        {
                             Some(i) => row[i].clone(),
                             None => {
                                 return Err(EngineError::catalog(format!(
@@ -1535,11 +1594,9 @@ fn sort_rows(db: &Database, select: &Select, produced: &mut Produced) -> EngineR
                             }
                         }
                     }
-                    _ => {
-                        return Err(EngineError::unsupported(
-                            "ORDER BY expression must reference an output column in a compound query",
-                        ))
-                    }
+                    _ => return Err(EngineError::unsupported(
+                        "ORDER BY expression must reference an output column in a compound query",
+                    )),
                 };
                 keys.push(v);
             }
@@ -1569,7 +1626,10 @@ fn sort_rows(db: &Database, select: &Select, produced: &mut Produced) -> EngineR
 
 fn combine_set_op(left: Produced, right: ResultSet, op: SetOperator, all: bool) -> Produced {
     let key = |row: &Row| -> String {
-        row.iter().map(Value::dedup_key).collect::<Vec<_>>().join("\u{1}")
+        row.iter()
+            .map(Value::dedup_key)
+            .collect::<Vec<_>>()
+            .join("\u{1}")
     };
     let left_rows: Vec<Row> = left.rows.into_iter().map(|(r, _)| r).collect();
     let mut out: Vec<Row> = Vec::new();
@@ -1583,16 +1643,22 @@ fn combine_set_op(left: Produced, right: ResultSet, op: SetOperator, all: bool) 
             }
         }
         SetOperator::Intersect => {
-            let right_keys: BTreeSet<String> = right.rows.iter().map(|r| key(r)).collect();
-            out = left_rows.into_iter().filter(|r| right_keys.contains(&key(r))).collect();
+            let right_keys: BTreeSet<String> = right.rows.iter().map(&key).collect();
+            out = left_rows
+                .into_iter()
+                .filter(|r| right_keys.contains(&key(r)))
+                .collect();
             if !all {
                 let mut seen = BTreeSet::new();
                 out.retain(|r| seen.insert(key(r)));
             }
         }
         SetOperator::Except => {
-            let right_keys: BTreeSet<String> = right.rows.iter().map(|r| key(r)).collect();
-            out = left_rows.into_iter().filter(|r| !right_keys.contains(&key(r))).collect();
+            let right_keys: BTreeSet<String> = right.rows.iter().map(&key).collect();
+            out = left_rows
+                .into_iter()
+                .filter(|r| !right_keys.contains(&key(r)))
+                .collect();
             if !all {
                 let mut seen = BTreeSet::new();
                 out.retain(|r| seen.insert(key(r)));

@@ -125,6 +125,17 @@ impl FaultConfig {
         FaultConfig::default()
     }
 
+    /// Whether any fault that [`crate::optimizer`]'s
+    /// `apply_structural_faults` can apply is enabled — the gate for
+    /// `optimize_select`'s clone-free fast path. Keep in sync with the
+    /// faults that function reads.
+    pub fn has_structural_rewrite(&self) -> bool {
+        self.bad_predicate_pushdown
+            || self.bad_join_flattening
+            || self.bad_distinct_elimination
+            || self.bad_having_pushdown
+    }
+
     /// Returns the number of enabled faults.
     pub fn enabled_count(&self) -> usize {
         self.enabled_names().len()
@@ -149,7 +160,10 @@ impl FaultConfig {
             ("bad_predicate_pushdown", self.bad_predicate_pushdown),
             ("bad_join_flattening", self.bad_join_flattening),
             ("bad_constant_folding_text", self.bad_constant_folding_text),
-            ("bad_notnull_isnull_folding", self.bad_notnull_isnull_folding),
+            (
+                "bad_notnull_isnull_folding",
+                self.bad_notnull_isnull_folding,
+            ),
             ("bad_in_list_rewrite", self.bad_in_list_rewrite),
             ("bad_between_rewrite", self.bad_between_rewrite),
             ("bad_distinct_elimination", self.bad_distinct_elimination),
@@ -159,7 +173,10 @@ impl FaultConfig {
             ("bad_index_lookup_coercion", self.bad_index_lookup_coercion),
             ("bad_unique_index_shortcut", self.bad_unique_index_shortcut),
             ("bad_partial_index_scan", self.bad_partial_index_scan),
-            ("bad_stale_count_statistics", self.bad_stale_count_statistics),
+            (
+                "bad_stale_count_statistics",
+                self.bad_stale_count_statistics,
+            ),
             ("bad_replace_type_affinity", self.bad_replace_type_affinity),
             ("bad_bitwise_inversion", self.bad_bitwise_inversion),
             ("bad_nullif_null_handling", self.bad_nullif_null_handling),
@@ -250,6 +267,10 @@ mod tests {
         let names = FaultConfig::all_names();
         let set: HashSet<_> = names.iter().collect();
         assert_eq!(set.len(), names.len());
-        assert!(names.len() >= 30, "need a rich bug catalog, got {}", names.len());
+        assert!(
+            names.len() >= 30,
+            "need a rich bug catalog, got {}",
+            names.len()
+        );
     }
 }

@@ -62,7 +62,9 @@ fn real(v: f64) -> Value {
 
 fn finite(v: f64, what: &str) -> EngineResult<Value> {
     if v.is_nan() || v.is_infinite() {
-        Err(EngineError::runtime(format!("{what}: argument out of range")))
+        Err(EngineError::runtime(format!(
+            "{what}: argument out of range"
+        )))
     } else {
         Ok(real(v))
     }
@@ -157,14 +159,18 @@ pub fn eval_function(
         Least => fold_extreme(args, typing, false),
         Trunc => Ok(Value::Integer(num(&args[0], typing)?.trunc() as i64)),
         // ---- string ----
-        Length | CharLength => Ok(Value::Integer(text(&args[0], typing)?.chars().count() as i64)),
+        Length | CharLength => Ok(Value::Integer(
+            text(&args[0], typing)?.chars().count() as i64
+        )),
         Unhexable => Ok(Value::Integer(
             (text(&args[0], typing)?.chars().count() * 8) as i64,
         )),
         Upper => Ok(Value::Text(text(&args[0], typing)?.to_uppercase())),
         Lower => Ok(Value::Text(text(&args[0], typing)?.to_lowercase())),
         Trim => Ok(Value::Text(text(&args[0], typing)?.trim().to_string())),
-        Ltrim => Ok(Value::Text(text(&args[0], typing)?.trim_start().to_string())),
+        Ltrim => Ok(Value::Text(
+            text(&args[0], typing)?.trim_start().to_string(),
+        )),
         Rtrim => Ok(Value::Text(text(&args[0], typing)?.trim_end().to_string())),
         Substr | Substring => {
             let s = text(&args[0], typing)?;
@@ -201,7 +207,9 @@ pub fn eval_function(
             let pos = if needle.is_empty() {
                 1
             } else {
-                s.find(&needle).map(|i| s[..i].chars().count() + 1).unwrap_or(0)
+                s.find(&needle)
+                    .map(|i| s[..i].chars().count() + 1)
+                    .unwrap_or(0)
             };
             Ok(Value::Integer(pos as i64))
         }
@@ -294,7 +302,10 @@ pub fn eval_function(
             let n = int(&args[0], typing)?.clamp(0, 10_000) as usize;
             Ok(Value::Text(" ".repeat(n)))
         }
-        Md5Stub => Ok(Value::Text(format!("'{}'", text_lossy(&args[0]).replace('\'', "''")))),
+        Md5Stub => Ok(Value::Text(format!(
+            "'{}'",
+            text_lossy(&args[0]).replace('\'', "''")
+        ))),
         // ---- conditional ----
         Coalesce => Ok(args
             .iter()
@@ -321,9 +332,9 @@ pub fn eval_function(
         Iif | IfFn => {
             let cond = match typing {
                 TypingMode::Dynamic => args[0].truthiness_dynamic(),
-                TypingMode::Strict => args[0].truthiness_strict().ok_or_else(|| {
-                    EngineError::type_error("IIF condition must be BOOLEAN")
-                })?,
+                TypingMode::Strict => args[0]
+                    .truthiness_strict()
+                    .ok_or_else(|| EngineError::type_error("IIF condition must be BOOLEAN"))?,
             };
             Ok(if cond.is_true() {
                 args[1].clone()
@@ -366,8 +377,10 @@ fn loose_equal(a: &Value, b: &Value, typing: TypingMode) -> EngineResult<Option<
             // rejects cross-family comparisons.
             let compatible = matches!(
                 (a, b),
-                (Value::Integer(_) | Value::Real(_), Value::Integer(_) | Value::Real(_))
-                    | (Value::Text(_), Value::Text(_))
+                (
+                    Value::Integer(_) | Value::Real(_),
+                    Value::Integer(_) | Value::Real(_)
+                ) | (Value::Text(_), Value::Text(_))
                     | (Value::Boolean(_), Value::Boolean(_))
             );
             if !compatible {
@@ -453,22 +466,35 @@ mod tests {
             Value::text("ABC")
         );
         assert_eq!(
-            f(ScalarFunction::Substr, &[Value::text("hello"), Value::Integer(2), Value::Integer(3)])
-                .unwrap(),
+            f(
+                ScalarFunction::Substr,
+                &[Value::text("hello"), Value::Integer(2), Value::Integer(3)]
+            )
+            .unwrap(),
             Value::text("ell")
         );
         assert_eq!(
-            f(ScalarFunction::Replace, &[Value::text("a b"), Value::text(" "), Value::text("0")])
-                .unwrap(),
+            f(
+                ScalarFunction::Replace,
+                &[Value::text("a b"), Value::text(" "), Value::text("0")]
+            )
+            .unwrap(),
             Value::text("a0b")
         );
         assert_eq!(
-            f(ScalarFunction::Instr, &[Value::text("hello"), Value::text("ll")]).unwrap(),
+            f(
+                ScalarFunction::Instr,
+                &[Value::text("hello"), Value::text("ll")]
+            )
+            .unwrap(),
             Value::Integer(3)
         );
         assert_eq!(
-            f(ScalarFunction::Lpad, &[Value::text("7"), Value::Integer(3), Value::text("0")])
-                .unwrap(),
+            f(
+                ScalarFunction::Lpad,
+                &[Value::text("7"), Value::Integer(3), Value::text("0")]
+            )
+            .unwrap(),
             Value::text("007")
         );
         assert_eq!(
@@ -523,11 +549,19 @@ mod tests {
     #[test]
     fn conditional_functions() {
         assert_eq!(
-            f(ScalarFunction::Nullif, &[Value::Integer(2), Value::Integer(2)]).unwrap(),
+            f(
+                ScalarFunction::Nullif,
+                &[Value::Integer(2), Value::Integer(2)]
+            )
+            .unwrap(),
             Value::Null
         );
         assert_eq!(
-            f(ScalarFunction::Nullif, &[Value::Integer(2), Value::Integer(3)]).unwrap(),
+            f(
+                ScalarFunction::Nullif,
+                &[Value::Integer(2), Value::Integer(3)]
+            )
+            .unwrap(),
             Value::Integer(2)
         );
         assert_eq!(
@@ -539,11 +573,19 @@ mod tests {
             Value::Integer(2)
         );
         assert_eq!(
-            f(ScalarFunction::Greatest, &[Value::Integer(3), Value::Integer(9)]).unwrap(),
+            f(
+                ScalarFunction::Greatest,
+                &[Value::Integer(3), Value::Integer(9)]
+            )
+            .unwrap(),
             Value::Integer(9)
         );
         assert_eq!(
-            f(ScalarFunction::Least, &[Value::Integer(3), Value::Integer(9)]).unwrap(),
+            f(
+                ScalarFunction::Least,
+                &[Value::Integer(3), Value::Integer(9)]
+            )
+            .unwrap(),
             Value::Integer(3)
         );
     }
@@ -565,7 +607,9 @@ mod tests {
         // Smoke test: no function panics on plain integer arguments in
         // dynamic mode (errors are fine, panics are not).
         for func in ScalarFunction::ALL {
-            let args: Vec<Value> = (0..func.min_args()).map(|i| Value::Integer(i as i64 + 1)).collect();
+            let args: Vec<Value> = (0..func.min_args())
+                .map(|i| Value::Integer(i as i64 + 1))
+                .collect();
             let _ = f(func, &args);
         }
     }

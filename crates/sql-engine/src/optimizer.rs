@@ -22,8 +22,24 @@ use crate::exec::ExecutionMode;
 use crate::storage::Database;
 use sql_ast::{BinaryOp, Expr, JoinType, Select, UnaryOp, Value};
 
-/// Rewrites a query for optimized execution. Returns a new [`Select`].
-pub fn optimize_select(db: &Database, select: &Select) -> Select {
+/// Rewrites a query for optimized execution.
+///
+/// Returns the input query unchanged (borrowed, no clone) when no rewrite
+/// can apply: no WHERE/HAVING/ON predicates to rewrite and no structural
+/// fault enabled. The TLP base query (`SELECT ... FROM t` with no
+/// predicate) takes this fast path on every oracle check.
+pub fn optimize_select<'a>(db: &Database, select: &'a Select) -> std::borrow::Cow<'a, Select> {
+    let faults = &db.config.faults;
+    let has_predicates = select.where_clause.is_some()
+        || select.having.is_some()
+        || select
+            .from
+            .iter()
+            .any(|twj| twj.joins.iter().any(|j| j.on.is_some()));
+    let structural_faults = faults.has_structural_rewrite();
+    if !has_predicates && !structural_faults {
+        return std::borrow::Cow::Borrowed(select);
+    }
     let mut out = select.clone();
     let config = &db.config;
 
@@ -49,7 +65,7 @@ pub fn optimize_select(db: &Database, select: &Select) -> Select {
     if let Some(Expr::Literal(Value::Boolean(true))) = out.where_clause {
         out.where_clause = None;
     }
-    out
+    std::borrow::Cow::Owned(out)
 }
 
 /// Structural (plan-level) faulty rewrites: predicate pushdown, join
@@ -65,10 +81,7 @@ fn apply_structural_faults(config: &EngineConfig, select: &mut Select) {
         if let Some(pred) = select.where_clause.clone() {
             if !pred.contains_aggregate() && !pred.contains_subquery() {
                 for twj in &mut select.from {
-                    if let Some(join) = twj
-                        .joins
-                        .iter_mut()
-                        .find(|j| j.join_type == JoinType::Left)
+                    if let Some(join) = twj.joins.iter_mut().find(|j| j.join_type == JoinType::Left)
                     {
                         let existing = join.on.take();
                         join.on = Some(match existing {
@@ -136,7 +149,10 @@ fn contains_equality_on_column(expr: &Expr) -> bool {
                 || contains_equality_on_column(left)
                 || contains_equality_on_column(right)
         }
-        _ => expr.children().iter().any(|c| contains_equality_on_column(c)),
+        _ => expr
+            .children()
+            .iter()
+            .any(|c| contains_equality_on_column(c)),
     }
 }
 
@@ -473,31 +489,34 @@ mod tests {
     #[test]
     fn predicate_pushdown_fault_moves_where_into_left_join() {
         let db = db_with(&["bad_predicate_pushdown"]);
-        let select = match parse_statement(
-            "SELECT * FROM t0 LEFT JOIN t1 ON t0.c0 = t1.c0 WHERE t0.c0 > 5",
-        )
-        .unwrap()
-        {
-            sql_ast::Statement::Select(s) => *s,
-            _ => unreachable!(),
-        };
+        let select =
+            match parse_statement("SELECT * FROM t0 LEFT JOIN t1 ON t0.c0 = t1.c0 WHERE t0.c0 > 5")
+                .unwrap()
+            {
+                sql_ast::Statement::Select(s) => *s,
+                _ => unreachable!(),
+            };
         let optimized = optimize_select(&db, &select);
         assert!(optimized.where_clause.is_none());
-        assert!(optimized.from[0].joins[0].on.as_ref().unwrap().to_string().contains("> 5"));
+        assert!(optimized.from[0].joins[0]
+            .on
+            .as_ref()
+            .unwrap()
+            .to_string()
+            .contains("> 5"));
     }
 
     #[test]
     fn join_flattening_fault_moves_on_into_where() {
         let db = db_with(&["bad_join_flattening"]);
-        let select = match parse_statement(
-            "SELECT * FROM t0 RIGHT JOIN t1 ON t0.c0 WHERE t1.c0 = 2",
-        )
-        .unwrap()
-        {
-            sql_ast::Statement::Select(s) => *s,
-            _ => unreachable!(),
-        };
-        let optimized = optimize_select(&db, &select);
+        let select =
+            match parse_statement("SELECT * FROM t0 RIGHT JOIN t1 ON t0.c0 WHERE t1.c0 = 2")
+                .unwrap()
+            {
+                sql_ast::Statement::Select(s) => *s,
+                _ => unreachable!(),
+            };
+        let optimized = optimize_select(&db, &select).into_owned();
         let where_sql = optimized.where_clause.unwrap().to_string();
         assert!(where_sql.contains("t0.c0"), "{where_sql}");
         assert_eq!(

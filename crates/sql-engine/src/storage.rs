@@ -37,18 +37,17 @@ impl ResultSet {
     /// A canonical multiset fingerprint of the rows (order-insensitive).
     /// Two result sets with the same fingerprint contain the same rows with
     /// the same multiplicities — this is how the oracles compare results.
-    pub fn multiset_fingerprint(&self) -> Vec<String> {
-        let mut keys: Vec<String> = self
+    ///
+    /// Rows collapse to allocation-free 128-bit hashes of their canonical
+    /// dedup identity (see [`sql_ast::row_fingerprint`]); string rendering
+    /// is reserved for the bug-report path.
+    pub fn multiset_fingerprint(&self) -> Vec<u128> {
+        let mut keys: Vec<u128> = self
             .rows
             .iter()
-            .map(|row| {
-                row.iter()
-                    .map(Value::dedup_key)
-                    .collect::<Vec<_>>()
-                    .join("\u{1}")
-            })
+            .map(|row| sql_ast::row_fingerprint(row))
             .collect();
-        keys.sort();
+        keys.sort_unstable();
         keys
     }
 }
@@ -105,19 +104,19 @@ impl Database {
         }
     }
 
-    fn key(name: &str) -> String {
-        name.to_ascii_lowercase()
+    fn key(name: &str) -> std::borrow::Cow<'_, str> {
+        crate::catalog::lowercase_key(name)
     }
 
     /// Registers storage for a newly created table.
     pub(crate) fn create_storage(&mut self, name: &str) {
-        self.data.insert(Self::key(name), Vec::new());
+        self.data.insert(Self::key(name).into_owned(), Vec::new());
     }
 
     /// Removes storage (and stats) for a dropped table.
     pub(crate) fn drop_storage(&mut self, name: &str) {
-        self.data.remove(&Self::key(name));
-        self.stats.remove(&Self::key(name));
+        self.data.remove(Self::key(name).as_ref());
+        self.stats.remove(Self::key(name).as_ref());
     }
 
     /// Rows of a stored table.
@@ -127,7 +126,7 @@ impl Database {
     /// Fails when the table has no storage (unknown table).
     pub fn rows(&self, name: &str) -> EngineResult<&Vec<Row>> {
         self.data
-            .get(&Self::key(name))
+            .get(Self::key(name).as_ref())
             .ok_or_else(|| EngineError::catalog(format!("no such table: {name}")))
     }
 
@@ -138,18 +137,18 @@ impl Database {
     /// Fails when the table has no storage (unknown table).
     pub fn rows_mut(&mut self, name: &str) -> EngineResult<&mut Vec<Row>> {
         self.data
-            .get_mut(&Self::key(name))
+            .get_mut(Self::key(name).as_ref())
             .ok_or_else(|| EngineError::catalog(format!("no such table: {name}")))
     }
 
     /// Statistics recorded for a table by the last `ANALYZE`, if any.
     pub fn stats(&self, name: &str) -> Option<&TableStats> {
-        self.stats.get(&Self::key(name))
+        self.stats.get(Self::key(name).as_ref())
     }
 
     /// Records statistics for a table.
     pub(crate) fn set_stats(&mut self, name: &str, stats: TableStats) {
-        self.stats.insert(Self::key(name), stats);
+        self.stats.insert(Self::key(name).into_owned(), stats);
     }
 
     /// Total number of stored rows across all tables.

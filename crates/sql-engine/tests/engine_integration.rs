@@ -33,7 +33,10 @@ fn sample_db(config: EngineConfig) -> Database {
 #[test]
 fn basic_select_and_filter() {
     let mut db = sample_db(EngineConfig::dynamic());
-    assert_eq!(query(&mut db, "SELECT COUNT(*) FROM t0"), vec![vec![Value::Integer(3)]]);
+    assert_eq!(
+        query(&mut db, "SELECT COUNT(*) FROM t0"),
+        vec![vec![Value::Integer(3)]]
+    );
     assert_eq!(
         query(&mut db, "SELECT c1 FROM t0 WHERE c0 > 1 ORDER BY c0"),
         vec![vec![Value::text("beta")], vec![Value::Null]]
@@ -44,7 +47,10 @@ fn basic_select_and_filter() {
 fn where_clause_excludes_unknown_rows() {
     let mut db = sample_db(EngineConfig::dynamic());
     // c1 = 'alpha' is unknown for the NULL row, so only one row survives.
-    assert_eq!(query(&mut db, "SELECT c0 FROM t0 WHERE c1 = 'alpha'").len(), 1);
+    assert_eq!(
+        query(&mut db, "SELECT c0 FROM t0 WHERE c1 = 'alpha'").len(),
+        1
+    );
     // The negation also excludes the NULL row.
     assert_eq!(
         query(&mut db, "SELECT c0 FROM t0 WHERE NOT (c1 = 'alpha')").len(),
@@ -61,22 +67,38 @@ fn where_clause_excludes_unknown_rows() {
 fn inner_and_outer_joins() {
     let mut db = sample_db(EngineConfig::dynamic());
     assert_eq!(
-        query(&mut db, "SELECT t0.c0, t1.c3 FROM t0 INNER JOIN t1 ON t0.c0 = t1.c0").len(),
+        query(
+            &mut db,
+            "SELECT t0.c0, t1.c3 FROM t0 INNER JOIN t1 ON t0.c0 = t1.c0"
+        )
+        .len(),
         3
     );
     // LEFT JOIN preserves the unmatched t0 row (c0 = 2).
     assert_eq!(
-        query(&mut db, "SELECT t0.c0, t1.c3 FROM t0 LEFT JOIN t1 ON t0.c0 = t1.c0").len(),
+        query(
+            &mut db,
+            "SELECT t0.c0, t1.c3 FROM t0 LEFT JOIN t1 ON t0.c0 = t1.c0"
+        )
+        .len(),
         4
     );
     // RIGHT JOIN preserves the unmatched t1 row (c0 IS NULL).
     assert_eq!(
-        query(&mut db, "SELECT t0.c0, t1.c3 FROM t0 RIGHT JOIN t1 ON t0.c0 = t1.c0").len(),
+        query(
+            &mut db,
+            "SELECT t0.c0, t1.c3 FROM t0 RIGHT JOIN t1 ON t0.c0 = t1.c0"
+        )
+        .len(),
         4
     );
     // FULL JOIN preserves both.
     assert_eq!(
-        query(&mut db, "SELECT t0.c0, t1.c3 FROM t0 FULL JOIN t1 ON t0.c0 = t1.c0").len(),
+        query(
+            &mut db,
+            "SELECT t0.c0, t1.c3 FROM t0 FULL JOIN t1 ON t0.c0 = t1.c0"
+        )
+        .len(),
         5
     );
     // CROSS JOIN is the full product.
@@ -124,15 +146,25 @@ fn views_expand_with_their_predicates() {
 fn subqueries_scalar_exists_and_in() {
     let mut db = sample_db(EngineConfig::dynamic());
     assert_eq!(
-        query(&mut db, "SELECT c0 FROM t0 WHERE c0 IN (SELECT c0 FROM t1) ORDER BY c0"),
+        query(
+            &mut db,
+            "SELECT c0 FROM t0 WHERE c0 IN (SELECT c0 FROM t1) ORDER BY c0"
+        ),
         vec![vec![Value::Integer(1)], vec![Value::Integer(3)]]
     );
     assert_eq!(
-        query(&mut db, "SELECT (SELECT MAX(c3) FROM t1) FROM t0 WHERE c0 = 1"),
+        query(
+            &mut db,
+            "SELECT (SELECT MAX(c3) FROM t1) FROM t0 WHERE c0 = 1"
+        ),
         vec![vec![Value::Integer(40)]]
     );
     assert_eq!(
-        query(&mut db, "SELECT c0 FROM t0 WHERE EXISTS (SELECT 1 FROM t1 WHERE t1.c0 = t0.c0)").len(),
+        query(
+            &mut db,
+            "SELECT c0 FROM t0 WHERE EXISTS (SELECT 1 FROM t1 WHERE t1.c0 = t0.c0)"
+        )
+        .len(),
         2
     );
 }
@@ -167,7 +199,9 @@ fn constraints_are_enforced() {
         .is_err());
     // OR IGNORE skips the bad row.
     let res = db
-        .execute_sql("INSERT OR IGNORE INTO t0 (c0, c1, c2) VALUES (1, 'dup', TRUE), (9, 'ok', FALSE)")
+        .execute_sql(
+            "INSERT OR IGNORE INTO t0 (c0, c1, c2) VALUES (1, 'dup', TRUE), (9, 'ok', FALSE)",
+        )
         .unwrap();
     assert_eq!(res, sql_engine::StatementResult::RowsAffected(1));
     // NOT NULL via primary key.
@@ -175,7 +209,9 @@ fn constraints_are_enforced() {
         .execute_sql("INSERT INTO t0 (c0, c1, c2) VALUES (NULL, 'x', TRUE)")
         .is_err());
     // Unique index creation fails when data already violates it.
-    assert!(db.execute_sql("CREATE UNIQUE INDEX i_bad ON t1(c0)").is_err());
+    assert!(db
+        .execute_sql("CREATE UNIQUE INDEX i_bad ON t1(c0)")
+        .is_err());
     assert!(db.execute_sql("CREATE INDEX i_ok ON t1(c0)").is_ok());
 }
 
@@ -194,7 +230,10 @@ fn update_delete_and_analyze() {
     assert_eq!(db.stats("t1").unwrap().row_count, 4);
     let res = db.execute_sql("DELETE FROM t1 WHERE c0 IS NULL").unwrap();
     assert_eq!(res, sql_engine::StatementResult::RowsAffected(1));
-    assert_eq!(query(&mut db, "SELECT COUNT(*) FROM t1"), vec![vec![Value::Integer(3)]]);
+    assert_eq!(
+        query(&mut db, "SELECT COUNT(*) FROM t1"),
+        vec![vec![Value::Integer(3)]]
+    );
 }
 
 #[test]
@@ -227,7 +266,10 @@ fn index_lookup_matches_seq_scan_when_fault_free() {
     };
     let optimized = db.query(&select, ExecutionMode::Optimized).unwrap();
     let reference = db.query(&select, ExecutionMode::Reference).unwrap();
-    assert_eq!(optimized.multiset_fingerprint(), reference.multiset_fingerprint());
+    assert_eq!(
+        optimized.multiset_fingerprint(),
+        reference.multiset_fingerprint()
+    );
     assert_eq!(optimized.row_count(), 1);
 }
 
@@ -283,7 +325,10 @@ fn injected_faults_make_paths_disagree() {
             // every t1 row; flattening the ON term into WHERE loses them all.
             "SELECT * FROM t0 RIGHT JOIN t1 ON t0.c0 = t1.c3 WHERE t1.c3 IS NOT NULL",
         ),
-        ("bad_in_list_rewrite", "SELECT * FROM t0 WHERE NOT (c0 IN (5, NULL))"),
+        (
+            "bad_in_list_rewrite",
+            "SELECT * FROM t0 WHERE NOT (c0 IN (5, NULL))",
+        ),
         (
             "bad_index_lookup_coercion",
             "SELECT c1 FROM t0 WHERE c0 = '2'",
@@ -310,7 +355,10 @@ fn injected_faults_make_paths_disagree() {
 fn coverage_accumulates_during_execution() {
     let mut db = sample_db(EngineConfig::dynamic());
     db.reset_coverage();
-    let _ = query(&mut db, "SELECT SIN(c0), UPPER(c1) FROM t0 WHERE c0 + 1 > 0");
+    let _ = query(
+        &mut db,
+        "SELECT SIN(c0), UPPER(c1) FROM t0 WHERE c0 + 1 > 0",
+    );
     let cov = db.coverage_snapshot();
     assert!(cov.functions.contains("SIN"));
     assert!(cov.functions.contains("UPPER"));
@@ -333,14 +381,18 @@ fn typing_mode_affects_strictness_of_functions() {
 #[test]
 fn limit_offset_and_order() {
     let mut db = sample_db(EngineConfig::dynamic());
-    let rows = query(&mut db, "SELECT c0 FROM t0 ORDER BY c0 DESC LIMIT 2 OFFSET 1");
+    let rows = query(
+        &mut db,
+        "SELECT c0 FROM t0 ORDER BY c0 DESC LIMIT 2 OFFSET 1",
+    );
     assert_eq!(rows, vec![vec![Value::Integer(2)], vec![Value::Integer(1)]]);
 }
 
 #[test]
 fn drop_and_recreate_objects() {
     let mut db = sample_db(EngineConfig::dynamic());
-    db.execute_sql("CREATE VIEW v0 AS SELECT c0 FROM t0").unwrap();
+    db.execute_sql("CREATE VIEW v0 AS SELECT c0 FROM t0")
+        .unwrap();
     db.execute_sql("DROP VIEW v0").unwrap();
     db.execute_sql("DROP TABLE t1").unwrap();
     assert!(db.query_sql("SELECT * FROM t1").is_err());
@@ -348,5 +400,8 @@ fn drop_and_recreate_objects() {
     assert!(db.execute_sql("DROP TABLE IF EXISTS t1").is_ok());
     // Recreating under the old name works.
     db.execute_sql("CREATE TABLE t1 (c0 INTEGER)").unwrap();
-    assert_eq!(query(&mut db, "SELECT COUNT(*) FROM t1"), vec![vec![Value::Integer(0)]]);
+    assert_eq!(
+        query(&mut db, "SELECT COUNT(*) FROM t1"),
+        vec![vec![Value::Integer(0)]]
+    );
 }

@@ -407,7 +407,11 @@ mod tests {
     use super::*;
 
     fn toks(input: &str) -> Vec<Token> {
-        tokenize(input).unwrap().into_iter().map(|t| t.token).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.token)
+            .collect()
     }
 
     #[test]
@@ -423,32 +427,31 @@ mod tests {
     #[test]
     fn lexes_compound_operators() {
         assert_eq!(toks("<=>"), vec![Token::NullSafeEq]);
-        assert_eq!(toks("<= >= <> != << >> ||"), vec![
-            Token::Le,
-            Token::Ge,
-            Token::NeqLtGt,
-            Token::Neq,
-            Token::Shl,
-            Token::Shr,
-            Token::DoublePipe,
-        ]);
-    }
-
-    #[test]
-    fn lexes_string_with_escaped_quote() {
         assert_eq!(
-            toks("'it''s'"),
-            vec![Token::StringLit("it's".to_string())]
+            toks("<= >= <> != << >> ||"),
+            vec![
+                Token::Le,
+                Token::Ge,
+                Token::NeqLtGt,
+                Token::Neq,
+                Token::Shl,
+                Token::Shr,
+                Token::DoublePipe,
+            ]
         );
     }
 
     #[test]
+    fn lexes_string_with_escaped_quote() {
+        assert_eq!(toks("'it''s'"), vec![Token::StringLit("it's".to_string())]);
+    }
+
+    #[test]
     fn lexes_numbers() {
-        assert_eq!(toks("1 2.5 1e3"), vec![
-            Token::Integer(1),
-            Token::Real(2.5),
-            Token::Real(1000.0),
-        ]);
+        assert_eq!(
+            toks("1 2.5 1e3"),
+            vec![Token::Integer(1), Token::Real(2.5), Token::Real(1000.0),]
+        );
     }
 
     #[test]

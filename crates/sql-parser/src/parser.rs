@@ -10,9 +10,9 @@ use crate::error::ParseError;
 use crate::lexer::{tokenize, SpannedToken, Token};
 use sql_ast::{
     AggregateFunction, BinaryOp, CaseBranch, ColumnConstraint, ColumnDef, ColumnRef, CreateIndex,
-    CreateTable, CreateView, DataType, Delete, DropKind, Expr, Insert, Join, JoinType,
-    OrderByItem, ScalarFunction, Select, SelectItem, SetOperation, SetOperator, SortOrder,
-    Statement, TableConstraint, TableFactor, TableWithJoins, UnaryOp, Update, Value,
+    CreateTable, CreateView, DataType, Delete, DropKind, Expr, Insert, Join, JoinType, OrderByItem,
+    ScalarFunction, Select, SelectItem, SetOperation, SetOperator, SortOrder, Statement,
+    TableConstraint, TableFactor, TableWithJoins, UnaryOp, Update, Value,
 };
 
 /// A recursive-descent parser over a token stream.
@@ -512,9 +512,7 @@ impl Parser {
         if self.consume_keyword("OFFSET") {
             match self.advance() {
                 Some(Token::Integer(n)) if n >= 0 => select.offset = Some(n as u64),
-                other => {
-                    return Err(self.error(format!("expected OFFSET count, found {other:?}")))
-                }
+                other => return Err(self.error(format!("expected OFFSET count, found {other:?}"))),
             }
         }
         Ok(select)

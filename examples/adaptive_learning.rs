@@ -41,8 +41,16 @@ fn main() {
     let mut valid = 0u64;
     for batch in 1..=8 {
         for _ in 0..100 {
-            let Some(query) = generator.generate_query() else { break };
-            let outcome = check_tlp(&mut dbms, &query.select, &query.predicate, &query.features, &setup);
+            let Some(query) = generator.generate_query() else {
+                break;
+            };
+            let outcome = check_tlp(
+                &mut dbms,
+                &query.select,
+                &query.predicate,
+                &query.features,
+                &setup,
+            );
             attempted += 1;
             if outcome.is_valid() {
                 valid += 1;
@@ -62,7 +70,10 @@ fn main() {
             suppressed.len()
         );
         if batch == 8 {
-            println!("\nfeatures the generator learned to avoid on `{}`:", dbms.name());
+            println!(
+                "\nfeatures the generator learned to avoid on `{}`:",
+                dbms.name()
+            );
             for name in suppressed {
                 println!("  - {name}");
             }

@@ -40,8 +40,14 @@ fn main() {
         "  validity rate       : {:.1}%",
         report.metrics.validity_rate() * 100.0
     );
-    println!("  bug-inducing cases  : {}", report.metrics.detected_bug_cases);
-    println!("  prioritized bugs    : {}", report.metrics.prioritized_bugs);
+    println!(
+        "  bug-inducing cases  : {}",
+        report.metrics.detected_bug_cases
+    );
+    println!(
+        "  prioritized bugs    : {}",
+        report.metrics.prioritized_bugs
+    );
     println!();
     for (i, bug) in report.reports.iter().enumerate() {
         println!("bug report #{i} ({}):", bug.oracle);

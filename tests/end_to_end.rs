@@ -2,8 +2,8 @@
 //! against the simulated DBMS fleet.
 
 use sqlancerpp::core::{
-    check_norec, check_tlp, replay_validity, Campaign, CampaignConfig, DbmsConnection,
-    FeatureKind, GeneratorConfig, OracleKind,
+    check_norec, check_tlp, replay_validity, Campaign, CampaignConfig, DbmsConnection, FeatureKind,
+    GeneratorConfig, OracleKind,
 };
 use sqlancerpp::sim::{fleet, preset_by_name};
 
@@ -165,12 +165,38 @@ fn oracle_checks_are_deterministic_for_a_fixed_state() {
         &sqlancerpp::parser::parse_statement("CREATE TABLE t0 (c0 INTEGER, c1 TEXT)").unwrap(),
     );
     for _ in 0..50 {
-        let Some(query) = generator.generate_query() else { break };
-        let a = check_tlp(&mut dbms, &query.select, &query.predicate, &query.features, &[]);
-        let b = check_tlp(&mut dbms, &query.select, &query.predicate, &query.features, &[]);
+        let Some(query) = generator.generate_query() else {
+            break;
+        };
+        let a = check_tlp(
+            &mut dbms,
+            &query.select,
+            &query.predicate,
+            &query.features,
+            &[],
+        );
+        let b = check_tlp(
+            &mut dbms,
+            &query.select,
+            &query.predicate,
+            &query.features,
+            &[],
+        );
         assert_eq!(a, b);
-        let c = check_norec(&mut dbms, &query.select, &query.predicate, &query.features, &[]);
-        let d = check_norec(&mut dbms, &query.select, &query.predicate, &query.features, &[]);
+        let c = check_norec(
+            &mut dbms,
+            &query.select,
+            &query.predicate,
+            &query.features,
+            &[],
+        );
+        let d = check_norec(
+            &mut dbms,
+            &query.select,
+            &query.predicate,
+            &query.features,
+            &[],
+        );
         assert_eq!(c, d);
         generator.record_outcome(&query.features, FeatureKind::Query, a.is_valid());
     }

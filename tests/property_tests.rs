@@ -1,94 +1,124 @@
-//! Property-based tests over the whole stack: SQL rendering/parsing
-//! round-trips, three-valued-logic invariants, oracle soundness on
-//! fault-free engines, and prioritizer monotonicity.
+//! Randomized property tests over the whole stack: SQL rendering/parsing
+//! round-trips, three-valued-logic invariants, optimizer semantics
+//! preservation, result-fingerprint equivalence, and prioritizer
+//! monotonicity.
+//!
+//! The offline build environment has no `proptest`, so these tests drive the
+//! same properties with a seeded RNG and explicit case loops: every run
+//! checks the same deterministic case set, and a failing case prints enough
+//! context to be replayed.
 
-use proptest::prelude::*;
-use sqlancerpp::ast::{BinaryOp, Expr, TruthValue, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sqlancerpp::ast::{row_fingerprint, BinaryOp, Expr, TruthValue, Value};
 use sqlancerpp::core::{
     regularized_incomplete_beta, AdaptiveGenerator, BugPrioritizer, Feature, FeatureSet,
     GeneratorConfig, PriorityDecision,
 };
-use sqlancerpp::engine::{Database, EngineConfig, ExecutionMode, Evaluator, Scope};
+use sqlancerpp::engine::{Database, EngineConfig, Evaluator, ExecutionMode, Scope};
 use sqlancerpp::parser::{parse_expression, parse_statement};
 
-fn arb_value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        Just(Value::Null),
-        any::<i64>().prop_map(|v| Value::Integer(v % 1000)),
-        any::<bool>().prop_map(Value::Boolean),
-        "[a-zA-Z0-9 ]{0,6}".prop_map(Value::Text),
-        (-1000.0f64..1000.0).prop_map(Value::Real),
-    ]
+fn arb_value(rng: &mut StdRng) -> Value {
+    match rng.gen_range(0..5u8) {
+        0 => Value::Null,
+        1 => Value::Integer(rng.gen_range(-1000i64..1000)),
+        2 => Value::Boolean(rng.gen_bool(0.5)),
+        3 => {
+            let len = rng.gen_range(0..=6usize);
+            let alphabet: Vec<char> = ('a'..='z')
+                .chain('A'..='Z')
+                .chain('0'..='9')
+                .chain([' '])
+                .collect();
+            Value::Text(
+                (0..len)
+                    .map(|_| alphabet[rng.gen_range(0..alphabet.len())])
+                    .collect(),
+            )
+        }
+        _ => {
+            // Mix integral and fractional reals so fingerprint normalisation
+            // (1 vs 1.0) is exercised often.
+            if rng.gen_bool(0.4) {
+                Value::Real(rng.gen_range(-1000i64..1000) as f64)
+            } else {
+                Value::Real(rng.gen_range(-1000.0f64..1000.0))
+            }
+        }
+    }
 }
 
-fn arb_leaf() -> impl Strategy<Value = Expr> {
-    arb_value().prop_map(Expr::Literal)
+fn arb_expr(rng: &mut StdRng, depth: usize) -> Expr {
+    if depth == 0 || rng.gen_bool(0.3) {
+        return Expr::Literal(arb_value(rng));
+    }
+    match rng.gen_range(0..7u8) {
+        0 => arb_expr(rng, depth - 1).binary(BinaryOp::Add, arb_expr(rng, depth - 1)),
+        1 => arb_expr(rng, depth - 1).binary(BinaryOp::Eq, arb_expr(rng, depth - 1)),
+        2 => arb_expr(rng, depth - 1).and(arb_expr(rng, depth - 1)),
+        3 => arb_expr(rng, depth - 1).or(arb_expr(rng, depth - 1)),
+        4 => arb_expr(rng, depth - 1).not(),
+        5 => arb_expr(rng, depth - 1).is_null(),
+        _ => Expr::Between {
+            expr: Box::new(arb_expr(rng, depth - 1)),
+            low: Box::new(arb_expr(rng, depth - 1)),
+            high: Box::new(arb_expr(rng, depth - 1)),
+            negated: false,
+        },
+    }
 }
 
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = arb_leaf();
-    leaf.prop_recursive(3, 24, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.binary(BinaryOp::Add, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.binary(BinaryOp::Eq, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
-            inner.clone().prop_map(|a| a.not()),
-            inner.clone().prop_map(|a| a.is_null()),
-            (inner.clone(), inner.clone(), inner).prop_map(|(a, b, c)| Expr::Between {
-                expr: Box::new(a),
-                low: Box::new(b),
-                high: Box::new(c),
-                negated: false,
-            }),
-        ]
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Every expression the AST can express renders to SQL that the parser
-    /// accepts and that renders back to the same text (idempotent
-    /// round-trip).
-    #[test]
-    fn expression_rendering_round_trips(expr in arb_expr()) {
+/// Every expression the AST can express renders to SQL that the parser
+/// accepts and that renders back to the same text (idempotent round-trip).
+#[test]
+fn expression_rendering_round_trips() {
+    let mut rng = StdRng::seed_from_u64(0xA57);
+    for case in 0..256 {
+        let expr = arb_expr(&mut rng, 3);
         let sql = expr.to_string();
-        let reparsed = parse_expression(&sql).expect("rendered SQL must parse");
-        prop_assert_eq!(reparsed.to_string(), sql);
+        let reparsed = parse_expression(&sql)
+            .unwrap_or_else(|e| panic!("case {case}: rendered SQL must parse: {sql} ({e})"));
+        assert_eq!(reparsed.to_string(), sql, "case {case}");
     }
+}
 
-    /// Three-valued logic: double negation is the identity, and AND/OR are
-    /// commutative.
-    #[test]
-    fn three_valued_logic_invariants(a in 0..3u8, b in 0..3u8) {
-        let t = |x: u8| match x { 0 => TruthValue::True, 1 => TruthValue::False, _ => TruthValue::Unknown };
-        let (a, b) = (t(a), t(b));
-        prop_assert_eq!(a.not().not(), a);
-        prop_assert_eq!(a.and(b), b.and(a));
-        prop_assert_eq!(a.or(b), b.or(a));
-        // De Morgan.
-        prop_assert_eq!(a.and(b).not(), a.not().or(b.not()));
+/// Three-valued logic: double negation is the identity, AND/OR are
+/// commutative, and De Morgan's law holds.
+#[test]
+fn three_valued_logic_invariants() {
+    let truths = [TruthValue::True, TruthValue::False, TruthValue::Unknown];
+    for a in truths {
+        for b in truths {
+            assert_eq!(a.not().not(), a);
+            assert_eq!(a.and(b), b.and(a));
+            assert_eq!(a.or(b), b.or(a));
+            assert_eq!(a.and(b).not(), a.not().or(b.not()));
+        }
     }
+}
 
-    /// Constant predicates keep their truth value across the optimizer's
-    /// predicate rewrites on a fault-free engine (the NoREC soundness
-    /// property at expression granularity). The rewriter is only ever
-    /// applied in predicate positions, so truth-value equivalence — not
-    /// value equality — is the preserved property.
-    #[test]
-    fn optimizer_is_semantics_preserving_without_faults(expr in arb_expr()) {
-        let db = Database::new(EngineConfig::dynamic());
-        let evaluator = Evaluator::new(&db, ExecutionMode::Reference);
+/// Constant predicates keep their truth value across the optimizer's
+/// predicate rewrites on a fault-free engine (the NoREC soundness property
+/// at expression granularity). The rewriter is only ever applied in
+/// predicate positions, so truth-value equivalence — not value equality —
+/// is the preserved property.
+#[test]
+fn optimizer_is_semantics_preserving_without_faults() {
+    let mut rng = StdRng::seed_from_u64(0x0B7);
+    let db = Database::new(EngineConfig::dynamic());
+    let evaluator = Evaluator::new(&db, ExecutionMode::Reference);
+    let optimized_eval = Evaluator::new(&db, ExecutionMode::Optimized);
+    for case in 0..256 {
+        let expr = arb_expr(&mut rng, 3);
         let reference = evaluator.eval(&expr, &Scope::EMPTY);
-        let rewritten = sqlancerpp::engine::rewrite_predicate(&db, expr);
-        let optimized_eval = Evaluator::new(&db, ExecutionMode::Optimized);
+        let rewritten = sqlancerpp::engine::rewrite_predicate(&db, expr.clone());
         let optimized = optimized_eval.eval(&rewritten, &Scope::EMPTY);
         match (reference, optimized) {
             (Ok(a), Ok(b)) => {
-                prop_assert_eq!(
+                assert_eq!(
                     evaluator.truthiness(&a).unwrap(),
-                    optimized_eval.truthiness(&b).unwrap()
+                    optimized_eval.truthiness(&b).unwrap(),
+                    "case {case}: {expr}"
                 );
             }
             (Err(_), _) | (_, Err(_)) => {
@@ -99,47 +129,171 @@ proptest! {
             }
         }
     }
+}
 
-    /// The regularised incomplete beta function is a CDF: bounded by [0, 1]
-    /// and monotone in x.
-    #[test]
-    fn incomplete_beta_is_a_cdf(x in 0.0f64..1.0, y in 0.0f64..1.0, a in 1.0f64..50.0, b in 1.0f64..50.0) {
+/// The hashed 128-bit row fingerprint agrees with the legacy string-based
+/// `dedup_key` fingerprint on equality *and* inequality across randomized
+/// rows — including the `1` vs `1.0` vs `true` normalisation the oracles
+/// rely on.
+#[test]
+fn hashed_fingerprint_agrees_with_legacy_dedup_key() {
+    let mut rng = StdRng::seed_from_u64(0xF1B);
+    let legacy = |row: &[Value]| -> String {
+        row.iter()
+            .map(Value::dedup_key)
+            .collect::<Vec<_>>()
+            .join("\u{1}")
+    };
+    let mut equal_pairs = 0usize;
+    for case in 0..4096 {
+        let len = rng.gen_range(1..=3usize);
+        let row_a: Vec<Value> = (0..len).map(|_| arb_value(&mut rng)).collect();
+        // Half the time derive row_b from row_a (often equal under
+        // normalisation), otherwise draw it independently.
+        let row_b: Vec<Value> = if rng.gen_bool(0.5) {
+            row_a
+                .iter()
+                .map(|v| match v {
+                    // Swap equivalent representations to stress normalisation.
+                    Value::Integer(i) if rng.gen_bool(0.5) => Value::Real(*i as f64),
+                    Value::Boolean(b) if rng.gen_bool(0.5) => Value::Integer(i64::from(*b)),
+                    other => other.clone(),
+                })
+                .collect()
+        } else {
+            (0..len).map(|_| arb_value(&mut rng)).collect()
+        };
+        let legacy_equal = legacy(&row_a) == legacy(&row_b);
+        let hashed_equal = row_fingerprint(&row_a) == row_fingerprint(&row_b);
+        assert_eq!(
+            legacy_equal, hashed_equal,
+            "case {case}: fingerprint disagreement on {row_a:?} vs {row_b:?}"
+        );
+        if legacy_equal {
+            equal_pairs += 1;
+        }
+    }
+    // Sanity: the generator actually produced a healthy mix of equal and
+    // unequal rows, otherwise the property is vacuous.
+    assert!(equal_pairs > 100, "too few equal pairs: {equal_pairs}");
+}
+
+/// Explicit normalisation cases: `1`, `1.0` and `true` fingerprint
+/// identically; `1.5`, `'1'` and `NULL` do not.
+#[test]
+fn fingerprint_normalises_integral_reals_and_booleans() {
+    let one = row_fingerprint(&[Value::Integer(1)]);
+    assert_eq!(row_fingerprint(&[Value::Real(1.0)]), one);
+    assert_eq!(row_fingerprint(&[Value::Boolean(true)]), one);
+    assert_ne!(row_fingerprint(&[Value::Real(1.5)]), one);
+    assert_ne!(row_fingerprint(&[Value::Text("1".into())]), one);
+    assert_ne!(row_fingerprint(&[Value::Null]), one);
+    assert_eq!(
+        row_fingerprint(&[Value::Real(f64::NAN)]),
+        row_fingerprint(&[Value::Real(-f64::NAN)]),
+        "all NaNs fingerprint identically, as in the legacy key"
+    );
+}
+
+/// The regularised incomplete beta function is a CDF: bounded by [0, 1] and
+/// monotone in x.
+#[test]
+fn incomplete_beta_is_a_cdf() {
+    let mut rng = StdRng::seed_from_u64(0xBE7A);
+    for _ in 0..256 {
+        let x = rng.gen_range(0.0f64..1.0);
+        let y = rng.gen_range(0.0f64..1.0);
+        let a = rng.gen_range(1.0f64..50.0);
+        let b = rng.gen_range(1.0f64..50.0);
         let lo = x.min(y);
         let hi = x.max(y);
         let f_lo = regularized_incomplete_beta(lo, a, b);
         let f_hi = regularized_incomplete_beta(hi, a, b);
-        prop_assert!((0.0..=1.0 + 1e-9).contains(&f_lo));
-        prop_assert!(f_lo <= f_hi + 1e-9);
+        assert!((0.0..=1.0 + 1e-9).contains(&f_lo));
+        assert!(f_lo <= f_hi + 1e-9);
     }
+}
 
-    /// Prioritizer invariant: a feature set identical to an already-kept one
-    /// is always classified as a duplicate, and adding features to a kept
-    /// set never makes it "new".
-    #[test]
-    fn prioritizer_subset_rule_is_monotone(names in proptest::collection::vec("[A-F]", 1..6), extra in "[G-K]") {
-        let base: FeatureSet = names.iter().map(|n| Feature::new(n.clone())).collect();
+/// Prioritizer invariant: a feature set identical to an already-kept one is
+/// always classified as a duplicate, and adding features to a kept set never
+/// makes it "new".
+#[test]
+fn prioritizer_subset_rule_is_monotone() {
+    let mut rng = StdRng::seed_from_u64(0x9817);
+    for _ in 0..128 {
+        let n = rng.gen_range(1..6usize);
+        let base: FeatureSet = (0..n)
+            .map(|_| {
+                let c = (b'A' + rng.gen_range(0..6u8)) as char;
+                Feature::new(c.to_string())
+            })
+            .collect();
+        let extra = (b'G' + rng.gen_range(0..5u8)) as char;
         let mut superset = base.clone();
-        superset.insert(Feature::new(extra));
+        superset.insert(Feature::new(extra.to_string()));
         let mut prioritizer = BugPrioritizer::new();
-        prop_assert_eq!(prioritizer.classify(&base), PriorityDecision::New);
-        prop_assert_eq!(prioritizer.classify(&base), PriorityDecision::PotentialDuplicate);
-        prop_assert_eq!(prioritizer.classify(&superset), PriorityDecision::PotentialDuplicate);
+        assert_eq!(prioritizer.classify(&base), PriorityDecision::New);
+        assert_eq!(
+            prioritizer.classify(&base),
+            PriorityDecision::PotentialDuplicate
+        );
+        assert_eq!(
+            prioritizer.classify(&superset),
+            PriorityDecision::PotentialDuplicate
+        );
     }
+}
 
-    /// Every statement the adaptive generator emits is parseable SQL — the
-    /// platform never sends garbage to the DBMS under test.
-    #[test]
-    fn generated_statements_always_parse(seed in 0u64..500) {
+/// Every statement the adaptive generator emits is parseable SQL — the
+/// platform never sends garbage to the DBMS under test.
+#[test]
+fn generated_statements_always_parse() {
+    for seed in 0..64u64 {
         let mut generator = AdaptiveGenerator::new(seed, GeneratorConfig::default());
         for _ in 0..6 {
             let stmt = generator.generate_ddl_statement();
-            prop_assert!(parse_statement(&stmt.sql).is_ok(), "unparseable: {}", stmt.sql);
+            assert!(
+                parse_statement(&stmt.sql).is_ok(),
+                "unparseable: {}",
+                stmt.sql
+            );
             generator.apply_success(&stmt.statement);
         }
         for _ in 0..6 {
             if let Some(query) = generator.generate_query() {
                 let sql = query.select.to_string();
-                prop_assert!(parse_statement(&sql).is_ok(), "unparseable: {sql}");
+                assert!(parse_statement(&sql).is_ok(), "unparseable: {sql}");
+            }
+        }
+    }
+}
+
+/// The render → parse round-trip reaches a fixpoint after one iteration for
+/// generated queries: the first parse may normalise (e.g. `(- 7)` folds into
+/// the literal `-7`), but from then on render and parse are exact inverses.
+/// Together with the execution parity suite this is what makes the text
+/// path and the AST fast path interchangeable on the simulated fleet.
+#[test]
+fn generated_queries_round_trip_to_a_fixpoint() {
+    for seed in 0..32u64 {
+        let mut generator = AdaptiveGenerator::new(seed, GeneratorConfig::default());
+        for _ in 0..8 {
+            let stmt = generator.generate_ddl_statement();
+            generator.apply_success(&stmt.statement);
+        }
+        for _ in 0..8 {
+            if let Some(query) = generator.generate_query() {
+                let sql = query.select.to_string();
+                let normalized = parse_statement(&sql)
+                    .expect("generated SQL parses")
+                    .to_string();
+                let reparsed = parse_statement(&normalized)
+                    .expect("normalised SQL parses")
+                    .to_string();
+                assert_eq!(
+                    reparsed, normalized,
+                    "round-trip not a fixpoint for seed {seed}: {sql}"
+                );
             }
         }
     }
