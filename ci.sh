@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
 # CI gate for the SQLancer++ reproduction workspace.
 #
-#   ./ci.sh          # full gate: fmt, clippy, release build, tests, smoke
+#   ./ci.sh          # full gate: fmt, clippy, release build, tests, smoke,
+#                    # bench-shape validation, perf-regression gate
 #
-# Every step must pass; the script stops at the first failure.
+# Every step must pass; the script stops at the first failure. The perf
+# gate compares the smoke run's speedup ratios against the floors committed
+# in BENCH_campaign.json (ci_floors), so a change that silently loses the
+# AST fast path or the compiled evaluator fails CI.
 
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -20,10 +24,39 @@ cargo build --release --workspace
 echo "==> cargo test -q"
 cargo test --workspace -q
 
-echo "==> smoke campaign (~5s)"
+echo "==> smoke campaign (~20s)"
 # A quick fixed-seed fleet campaign through the throughput harness; writes
 # to a scratch path so the committed BENCH_campaign.json is not clobbered.
-./target/release/campaign_throughput 40 /tmp/ci_smoke_bench.json
-grep -q '"speedup_ast_over_text"' /tmp/ci_smoke_bench.json
+# The binary validates the JSON it wrote and exits non-zero on malformed or
+# partial output — set -e makes either failure fatal here. 100 queries/db
+# is the smallest budget whose speedup ratios are stable enough to gate on
+# (40 was observed within noise of the compiled-evaluator floor).
+SMOKE_JSON=/tmp/ci_smoke_bench.json
+./target/release/campaign_throughput 100 "$SMOKE_JSON"
+./target/release/campaign_throughput --validate "$SMOKE_JSON"
+
+echo "==> perf-regression gate"
+# Extract a numeric value for "key" from a JSON file (first occurrence).
+json_number() {
+  sed -n "s/.*\"$2\": *\([0-9][0-9.eE+-]*\).*/\1/p" "$1" | head -n 1
+}
+gate() { # gate <name> <actual> <floor>
+  local name=$1 actual=$2 floor=$3
+  if [ -z "$actual" ] || [ -z "$floor" ]; then
+    echo "FAIL: could not extract $name (actual='$actual', floor='$floor')" >&2
+    exit 1
+  fi
+  if ! awk -v a="$actual" -v f="$floor" 'BEGIN { exit !(a >= f) }'; then
+    echo "FAIL: $name regressed: $actual < floor $floor" >&2
+    exit 1
+  fi
+  echo "    $name: $actual >= $floor"
+}
+floor_ast=$(json_number BENCH_campaign.json min_speedup_ast_over_text)
+floor_compiled=$(json_number BENCH_campaign.json min_speedup_compiled_over_tree)
+actual_ast=$(json_number "$SMOKE_JSON" speedup_ast_over_text)
+actual_compiled=$(json_number "$SMOKE_JSON" speedup_compiled_over_tree)
+gate speedup_ast_over_text "$actual_ast" "$floor_ast"
+gate speedup_compiled_over_tree "$actual_compiled" "$floor_compiled"
 
 echo "CI OK"

@@ -1,19 +1,42 @@
 //! Campaign-throughput benchmark: the same fixed-seed fleet campaign run
-//! through the legacy text path (render → lex → parse per statement) and
-//! the AST fast path, plus serial vs parallel fleet sharding.
+//! through two paired comparisons, each isolating one variable —
 //!
-//! Writes `BENCH_campaign.json` with queries/sec per mode, statement counts
-//! (the allocations proxy: every statement on the text path costs at least
-//! one rendered `String` plus a parse), the AST/text speedup ratio and the
-//! parallel/serial speedup.
+//! * **dispatch** (tiny 1-row tables, so per-statement cost dominates):
+//!   the legacy `text` path (render → lex → parse per statement) vs the
+//!   `ast` fast path — the PR 1 measurement, unchanged;
+//! * **eval** (row-heavy tables, so per-row cost dominates): the AST path
+//!   with the tree-walking expression evaluator (`ast_tree`, the PR 1
+//!   configuration) vs the closure-compiled evaluator (`ast`, the
+//!   default);
 //!
-//! Usage: `campaign_throughput [queries_per_database] [output_path]`
+//! plus serial vs parallel fleet sharding on the eval workload.
+//!
+//! Writes `BENCH_campaign.json` (`schema_version` 2) with queries/sec per
+//! arm, the AST/text and compiled/tree speedup ratios, the parallel/serial
+//! speedup, and the committed `ci_floors` that `ci.sh` gates regressions
+//! against. The written file is validated before the process exits:
+//! malformed or partial output is a non-zero exit, which CI checks.
+//!
+//! Usage:
+//!   `campaign_throughput [queries_per_database] [output_path]`
+//!   `campaign_throughput --validate <path>`
 
 use dbms_sim::{fleet, run_fleet_parallel, run_fleet_serial, ExecutionPath, FleetReport};
 use sqlancer_core::{CampaignConfig, OracleKind};
 use std::time::Instant;
 
-fn bench_config(queries_per_database: usize) -> CampaignConfig {
+/// The version of the JSON layout this binary writes. Bump when keys are
+/// added or renamed so the CI gate can evolve without breaking old files.
+const SCHEMA_VERSION: u32 = 2;
+
+/// Committed regression floors, written into the benchmark artifact and
+/// enforced by `ci.sh` against the smoke run. Deliberately conservative:
+/// the smoke run is short and the CI machine is shared, so the floors sit
+/// well below the steady-state ratios recorded in `BENCH_campaign.json`.
+const FLOOR_AST_OVER_TEXT: f64 = 1.4;
+const FLOOR_COMPILED_OVER_TREE: f64 = 1.02;
+
+fn base_config(queries_per_database: usize) -> CampaignConfig {
     let mut config = CampaignConfig {
         seed: 0xBE,
         databases: 2,
@@ -26,9 +49,24 @@ fn bench_config(queries_per_database: usize) -> CampaignConfig {
     };
     config.generator.stats.query_threshold = 0.05;
     config.generator.stats.min_attempts = 30;
-    // Small database states: the benchmark measures platform dispatch
-    // overhead (render/lex/parse vs direct AST), not engine scan cost.
+    config
+}
+
+/// The dispatch workload: 1-row tables, so each statement's cost is
+/// dominated by how it reaches the engine (render/lex/parse vs direct
+/// AST). Identical to the PR 1 benchmark configuration.
+fn dispatch_config(queries_per_database: usize) -> CampaignConfig {
+    let mut config = base_config(queries_per_database);
     config.generator.max_insert_rows = 1;
+    config
+}
+
+/// The eval workload: row-heavy tables, so each statement's cost is
+/// dominated by per-row expression evaluation — the regime the compiled
+/// evaluator targets (and the realistic one: real tables have rows).
+fn eval_config(queries_per_database: usize) -> CampaignConfig {
+    let mut config = base_config(queries_per_database);
+    config.generator.max_insert_rows = 24;
     config
 }
 
@@ -70,22 +108,19 @@ impl Arm {
     }
 }
 
-/// Runs both arms five times in alternation and keeps each arm's fastest
-/// run. The minimum is the standard noise filter on a shared machine
-/// (scheduler interference only ever adds time, never removes it), and
-/// interleaving exposes both arms to the same machine conditions. All
-/// repetitions produce identical reports (the campaign is deterministic),
-/// so only the timing differs.
-fn run_arms(config: &CampaignConfig) -> (Arm, Arm) {
+/// Runs the given arms several times in alternation over one workload and
+/// keeps each arm's fastest run. The minimum is the standard noise filter
+/// on a shared machine (scheduler interference only ever adds time, never
+/// removes it), and interleaving exposes every arm to the same machine
+/// conditions. All repetitions produce identical reports (the campaign is
+/// deterministic), so only the timing differs.
+fn run_arms(config: &CampaignConfig, arms: &[(&'static str, ExecutionPath)]) -> Vec<Arm> {
     let presets = fleet();
-    let mut best: [Option<Arm>; 2] = [None, None];
-    for _ in 0..5 {
-        for (slot, (label, path)) in [("text", ExecutionPath::Text), ("ast", ExecutionPath::Ast)]
-            .into_iter()
-            .enumerate()
-        {
+    let mut best: Vec<Option<Arm>> = arms.iter().map(|_| None).collect();
+    for _ in 0..3 {
+        for (slot, (label, path)) in arms.iter().enumerate() {
             let start = Instant::now();
-            let report = run_fleet_serial(&presets, config, path);
+            let report = run_fleet_serial(&presets, config, *path);
             let elapsed_s = start.elapsed().as_secs_f64();
             if best[slot].as_ref().is_none_or(|b| elapsed_s < b.elapsed_s) {
                 best[slot] = Some(Arm {
@@ -96,54 +131,194 @@ fn run_arms(config: &CampaignConfig) -> (Arm, Arm) {
             }
         }
     }
-    let [text, ast] = best;
-    (
-        text.expect("five repetitions produce a best"),
-        ast.expect("five repetitions produce a best"),
-    )
+    best.into_iter()
+        .map(|arm| arm.expect("three repetitions produce a best"))
+        .collect()
+}
+
+// ------------------------------------------------------------ validation ----
+
+/// Extracts the number following `"key": ` (top-level or nested).
+fn number_after(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| {
+            !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E')
+        })
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Validates the shape of a benchmark artifact: all expected keys present,
+/// braces balanced, and the headline numbers parse to sane values.
+///
+/// # Errors
+///
+/// Returns a description of the first problem found.
+fn validate_bench_json(json: &str) -> Result<(), String> {
+    let opens = json.matches('{').count();
+    let closes = json.matches('}').count();
+    if opens == 0 || opens != closes {
+        return Err(format!("unbalanced braces ({opens} open, {closes} close)"));
+    }
+    for key in [
+        "schema_version",
+        "seed",
+        "dialects",
+        "queries_per_database",
+        "dispatch",
+        "eval",
+        "text",
+        "ast_tree",
+        "ast",
+        "speedup_ast_over_text",
+        "speedup_compiled_over_tree",
+        "parallel",
+        "ci_floors",
+        "min_speedup_ast_over_text",
+        "min_speedup_compiled_over_tree",
+    ] {
+        if !json.contains(&format!("\"{key}\":")) {
+            return Err(format!("missing key \"{key}\""));
+        }
+    }
+    let schema = number_after(json, "schema_version")
+        .ok_or_else(|| "schema_version is not a number".to_string())?;
+    if schema < 2.0 {
+        return Err(format!("schema_version {schema} predates the CI gate"));
+    }
+    for key in ["speedup_ast_over_text", "speedup_compiled_over_tree"] {
+        let v = number_after(json, key).ok_or_else(|| format!("\"{key}\" is not a number"))?;
+        if !v.is_finite() || v <= 0.0 {
+            return Err(format!("\"{key}\" has implausible value {v}"));
+        }
+    }
+    // Every arm (dispatch text/ast, eval ast_tree/ast) must have run a
+    // nonzero campaign — check all occurrences, not just the first.
+    let mut arm_count = 0usize;
+    let mut scan = json;
+    while let Some(at) = scan.find("\"test_cases\":") {
+        let tail = &scan[at..];
+        match number_after(tail, "test_cases") {
+            Some(v) if v > 0.0 => arm_count += 1,
+            Some(v) => return Err(format!("an arm has test_cases {v}, campaign ran nothing")),
+            None => return Err("test_cases is not a number".to_string()),
+        }
+        scan = &scan[at + "\"test_cases\":".len()..];
+    }
+    if arm_count < 4 {
+        return Err(format!(
+            "expected test_cases in all 4 arms, found {arm_count}"
+        ));
+    }
+    Ok(())
+}
+
+fn validate_file(path: &str) -> ! {
+    match std::fs::read_to_string(path) {
+        Ok(json) => match validate_bench_json(&json) {
+            Ok(()) => {
+                println!("{path}: OK (schema_version >= {SCHEMA_VERSION})");
+                std::process::exit(0);
+            }
+            Err(why) => {
+                eprintln!("{path}: INVALID: {why}");
+                std::process::exit(1);
+            }
+        },
+        Err(err) => {
+            eprintln!("{path}: unreadable: {err}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn main() {
-    let queries: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(400);
-    let output = std::env::args()
-        .nth(2)
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("--validate") {
+        match args.get(2) {
+            Some(path) => validate_file(path),
+            None => {
+                eprintln!("usage: campaign_throughput --validate <path>");
+                std::process::exit(1);
+            }
+        }
+    }
+    let queries: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(400);
+    let output = args
+        .get(2)
+        .cloned()
         .unwrap_or_else(|| "BENCH_campaign.json".to_string());
-    let config = bench_config(queries);
+    let dispatch = dispatch_config(queries);
+    let eval = eval_config(queries);
     let threads = dbms_sim::available_threads();
 
     // Warm-up: touch every preset once so first-run effects (page faults,
     // lazy allocations) don't land on the first measured arm.
-    let mut warm = config.clone();
+    let mut warm = dispatch.clone();
     warm.databases = 1;
     warm.queries_per_database = 5;
     let _ = run_fleet_serial(&fleet(), &warm, ExecutionPath::Ast);
 
-    let (text, ast) = run_arms(&config);
+    let dispatch_arms = run_arms(
+        &dispatch,
+        &[("text", ExecutionPath::Text), ("ast", ExecutionPath::Ast)],
+    );
+    let [text, ast_small] = dispatch_arms
+        .try_into()
+        .unwrap_or_else(|_| unreachable!("run_arms returns one Arm per input"));
+    let eval_arms = run_arms(
+        &eval,
+        &[
+            ("ast_tree", ExecutionPath::AstTreeWalk),
+            ("ast", ExecutionPath::Ast),
+        ],
+    );
+    let [ast_tree, ast] = eval_arms
+        .try_into()
+        .unwrap_or_else(|_| unreachable!("run_arms returns one Arm per input"));
 
     let par_start = Instant::now();
-    let par_report = run_fleet_parallel(&fleet(), &config, ExecutionPath::Ast, threads);
+    let par_report = run_fleet_parallel(&fleet(), &eval, ExecutionPath::Ast, threads);
     let par_elapsed = par_start.elapsed().as_secs_f64();
 
-    // Consistency checks: the arms must have run the same campaign, and the
-    // parallel run must reproduce the serial AST run exactly.
+    // Consistency checks: arms sharing a workload must have run the same
+    // campaign, and the parallel run must reproduce the serial AST run
+    // exactly. A divergence means the compiled evaluator (or the parallel
+    // runner) changed semantics, not just speed.
     assert_eq!(
-        text.report.totals, ast.report.totals,
+        text.report.totals, ast_small.report.totals,
         "text and AST arms diverged — parity broken"
+    );
+    assert_eq!(
+        ast_tree.report.totals, ast.report.totals,
+        "tree-walk and compiled arms diverged — compiled-evaluator parity broken"
     );
     assert_eq!(
         ast.report.totals, par_report.totals,
         "parallel run diverged from serial — determinism broken"
     );
 
-    let speedup = text.elapsed_s / ast.elapsed_s;
+    let speedup = text.elapsed_s / ast_small.elapsed_s;
+    let compiled_speedup = ast_tree.elapsed_s / ast.elapsed_s;
     let parallel_speedup = ast.elapsed_s / par_elapsed;
 
-    for arm in [&text, &ast] {
+    println!("dispatch workload (1-row tables):");
+    for arm in [&text, &ast_small] {
         println!(
-            "{:<6} {:>8.3}s  {:>10.0} queries/s  ({} statements)",
+            "  {:<9} {:>8.3}s  {:>10.0} queries/s  ({} statements)",
+            arm.label,
+            arm.elapsed_s,
+            arm.queries_per_sec(),
+            arm.statements(),
+        );
+    }
+    println!("eval workload (row-heavy tables):");
+    for arm in [&ast_tree, &ast] {
+        println!(
+            "  {:<9} {:>8.3}s  {:>10.0} queries/s  ({} statements)",
             arm.label,
             arm.elapsed_s,
             arm.queries_per_sec(),
@@ -153,23 +328,37 @@ fn main() {
     println!(
         "parallel({threads} threads) {par_elapsed:>8.3}s  (x{parallel_speedup:.2} over serial AST)"
     );
-    println!("AST-path speedup over text path: x{speedup:.2}");
+    println!("AST-path speedup over text path:        x{speedup:.2}");
+    println!("compiled-evaluator speedup over tree:   x{compiled_speedup:.2}");
 
-    let json = format!
-(
-        "{{\n  \"seed\": {},\n  \"dialects\": {},\n  \"queries_per_database\": {},\n  \
-         \"text\": {},\n  \"ast\": {},\n  \"speedup_ast_over_text\": {:.3},\n  \
-         \"parallel\": {{\"threads\": {}, \"elapsed_s\": {:.4}, \"speedup_over_serial_ast\": {:.3}}}\n}}\n",
-        config.seed,
+    let json = format!(
+        "{{\n  \"schema_version\": {SCHEMA_VERSION},\n  \"seed\": {},\n  \"dialects\": {},\n  \
+         \"queries_per_database\": {},\n  \
+         \"dispatch\": {{\"max_insert_rows\": 1, \"text\": {}, \"ast\": {}}},\n  \
+         \"eval\": {{\"max_insert_rows\": {}, \"ast_tree\": {}, \"ast\": {}}},\n  \
+         \"speedup_ast_over_text\": {speedup:.3},\n  \
+         \"speedup_compiled_over_tree\": {compiled_speedup:.3},\n  \
+         \"parallel\": {{\"threads\": {threads}, \"elapsed_s\": {par_elapsed:.4}, \
+         \"speedup_over_serial_ast\": {parallel_speedup:.3}}},\n  \
+         \"ci_floors\": {{\"min_speedup_ast_over_text\": {FLOOR_AST_OVER_TEXT}, \
+         \"min_speedup_compiled_over_tree\": {FLOOR_COMPILED_OVER_TREE}}}\n}}\n",
+        dispatch.seed,
         fleet().len(),
         queries,
         text.json(),
+        ast_small.json(),
+        eval.generator.max_insert_rows,
+        ast_tree.json(),
         ast.json(),
-        speedup,
-        threads,
-        par_elapsed,
-        parallel_speedup,
     );
-    std::fs::write(&output, json).expect("write benchmark output");
+    std::fs::write(&output, &json).expect("write benchmark output");
+
+    // Self-check: a malformed or partial artifact must fail the process,
+    // not silently pass a later grep. Read back what actually hit disk.
+    let written = std::fs::read_to_string(&output).expect("read back benchmark output");
+    if let Err(why) = validate_bench_json(&written) {
+        eprintln!("{output}: written artifact failed validation: {why}");
+        std::process::exit(2);
+    }
     println!("wrote {output}");
 }

@@ -107,7 +107,10 @@ pub fn check_tlp(
     // One reusable query: the four TLP variants only differ in their WHERE
     // clause, so the hot loop mutates it in place instead of cloning the
     // whole `Select` four times. SQL text is only rendered on the (cold)
-    // bug path.
+    // bug path. The partition predicates `p`, `NOT p` and `p IS NULL` are
+    // also exactly the root shapes the engine's compiled-plan cache shares:
+    // the predicate `p` is closure-compiled once on the first partition and
+    // reused — not recompiled, not re-walked — by the remaining ones.
     let mut work = normalized_base(query);
     let mut fingerprints: Vec<Vec<u128>> = Vec::with_capacity(4);
     // The partition predicates are derived by rewrapping ONE clone of the
@@ -181,6 +184,10 @@ pub fn check_norec(
     }
     // One reusable query, as in `check_tlp`: the optimized arm and the
     // non-optimizable rewrite share everything but projections and WHERE.
+    // The rewrite projects `(p) IS TRUE`, another root shape the engine's
+    // compiled-plan cache unwraps, so the reference arm reuses the plan
+    // compiled for `p` whenever the optimizer's predicate rewrite left the
+    // optimized arm's WHERE clause unchanged.
     let mut work = normalized_base(query);
     work.projections = vec![SelectItem::Wildcard];
     work.where_clause = Some(predicate.clone());

@@ -3,7 +3,7 @@
 use crate::bugs::{bugs_for_faults, InjectedBug};
 use crate::profile::DialectProfile;
 use sql_ast::{Select, Statement};
-use sql_engine::{Database, EngineConfig, ExecutionMode};
+use sql_engine::{Database, EngineConfig, EvalStrategy, ExecutionMode};
 use sqlancer_core::{
     check_norec, check_tlp, DbmsConnection, DialectQuirks, OracleKind, OracleOutcome, QueryResult,
     ReducibleCase, StatementOutcome,
@@ -20,9 +20,21 @@ pub struct SimulatedDbms {
 
 impl SimulatedDbms {
     /// Creates a simulated DBMS from a profile and a set of engine fault
-    /// names (the injected bugs).
+    /// names (the injected bugs), using the default (compiled) expression
+    /// evaluator.
     pub fn new(profile: DialectProfile, faults: Vec<&'static str>) -> SimulatedDbms {
-        let engine = Database::new(Self::engine_config(&profile, &faults));
+        SimulatedDbms::with_eval(profile, faults, EvalStrategy::default())
+    }
+
+    /// Creates a simulated DBMS with an explicit expression evaluation
+    /// strategy — [`EvalStrategy::TreeWalk`] is the reference arm of the
+    /// compiled↔tree parity suite and the throughput benchmark.
+    pub fn with_eval(
+        profile: DialectProfile,
+        faults: Vec<&'static str>,
+        eval: EvalStrategy,
+    ) -> SimulatedDbms {
+        let engine = Database::new(Self::engine_config(&profile, &faults, eval));
         SimulatedDbms {
             profile,
             faults,
@@ -30,9 +42,21 @@ impl SimulatedDbms {
         }
     }
 
-    fn engine_config(profile: &DialectProfile, faults: &[&'static str]) -> EngineConfig {
+    /// The evaluation strategy this DBMS's engine runs with. Read from the
+    /// engine configuration (the single source of truth) so rebuilds in
+    /// [`DbmsConnection::reset`] can never drift from it.
+    fn eval(&self) -> EvalStrategy {
+        self.engine.config.eval
+    }
+
+    fn engine_config(
+        profile: &DialectProfile,
+        faults: &[&'static str],
+        eval: EvalStrategy,
+    ) -> EngineConfig {
         let mut config = EngineConfig {
             typing: profile.typing,
+            eval,
             ..EngineConfig::default()
         };
         for fault in faults {
@@ -66,7 +90,7 @@ impl SimulatedDbms {
             .copied()
             .filter(|f| *f != fault)
             .collect();
-        SimulatedDbms::new(self.profile.clone(), faults)
+        SimulatedDbms::with_eval(self.profile.clone(), faults, self.eval())
     }
 
     /// Executes a profile-gated query through the engine — the shared tail
@@ -186,7 +210,11 @@ impl DbmsConnection for SimulatedDbms {
     }
 
     fn reset(&mut self) {
-        self.engine = Database::new(Self::engine_config(&self.profile, &self.faults));
+        self.engine = Database::new(Self::engine_config(
+            &self.profile,
+            &self.faults,
+            self.eval(),
+        ));
     }
 
     fn quirks(&self) -> DialectQuirks {

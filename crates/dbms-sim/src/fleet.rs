@@ -11,7 +11,7 @@
 
 use crate::dbms::SimulatedDbms;
 use crate::profile::DialectProfile;
-use sql_engine::TypingMode;
+use sql_engine::{EvalStrategy, TypingMode};
 
 /// A named preset of the fleet.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,6 +26,13 @@ impl DialectPreset {
     /// Instantiates a fresh simulated DBMS from the preset.
     pub fn instantiate(&self) -> SimulatedDbms {
         SimulatedDbms::new(self.profile.clone(), self.faults.clone())
+    }
+
+    /// Instantiates a fresh simulated DBMS with an explicit expression
+    /// evaluation strategy (the tree walker is the benchmark baseline and
+    /// parity reference arm).
+    pub fn instantiate_with_eval(&self, eval: EvalStrategy) -> SimulatedDbms {
+        SimulatedDbms::with_eval(self.profile.clone(), self.faults.clone(), eval)
     }
 }
 

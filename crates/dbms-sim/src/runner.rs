@@ -22,8 +22,14 @@ use std::sync::Mutex;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecutionPath {
     /// The AST fast path: statements flow into the simulated engines as
-    /// typed ASTs, skipping rendering, lexing and parsing (the default).
+    /// typed ASTs, skipping rendering, lexing and parsing, and expressions
+    /// run through the closure-compiled evaluator (the default).
     Ast,
+    /// The AST fast path with the tree-walking expression evaluator: the
+    /// engine re-walks each expression AST per row. This is the
+    /// pre-compilation configuration, kept as the baseline arm of the
+    /// compiled-vs-tree benchmark and the parity reference.
+    AstTreeWalk,
     /// The text path: every statement is rendered to SQL and re-parsed, as
     /// a real wire-protocol backend would require. Used as the baseline arm
     /// in benchmarks and parity tests.
@@ -65,6 +71,9 @@ fn run_one(preset: &DialectPreset, base: &CampaignConfig, path: ExecutionPath) -
     let mut campaign = Campaign::new(config);
     match path {
         ExecutionPath::Ast => campaign.run(&mut preset.instantiate()),
+        ExecutionPath::AstTreeWalk => {
+            campaign.run(&mut preset.instantiate_with_eval(sql_engine::EvalStrategy::TreeWalk))
+        }
         ExecutionPath::Text => campaign.run(&mut TextOnlyConnection::new(preset.instantiate())),
     }
 }

@@ -396,6 +396,172 @@ impl Expr {
         found
     }
 
+    /// Feeds an exact structural fingerprint of the expression into a
+    /// 128-bit hasher. Used as a compiled-plan cache key by the engine.
+    ///
+    /// Unlike [`crate::row_fingerprint`], which canonicalises values the way
+    /// SQL equality does (`1` = `1.0` = `TRUE`), this fingerprint is
+    /// *exact*: two expressions hash identically only when they would
+    /// compile to the same plan, so `1` and `1.0` — which produce different
+    /// output values — stay distinct.
+    ///
+    /// The encoding is word-based ([`crate::Fingerprint128::write_word`])
+    /// and identifies operators and functions by enum discriminant — this
+    /// runs on the engine's per-statement hot path, so a node costs one or
+    /// two multiply steps, not a name's worth of byte hashing.
+    ///
+    /// Subquery bodies are **not** descended into (only a variant tag is
+    /// hashed); callers that key caches on this fingerprint must skip
+    /// expressions for which [`Expr::contains_subquery`] is true.
+    pub fn fingerprint_into(&self, hasher: &mut crate::Fingerprint128) {
+        /// Packs a variant tag with up to two small payload fields into one
+        /// hashed word.
+        fn tag(h: &mut crate::Fingerprint128, t: u64, a: u64, b: u64) {
+            h.write_word(t | (a << 8) | (b << 32));
+        }
+        fn value_exact(v: &Value, h: &mut crate::Fingerprint128) {
+            match v {
+                Value::Null => h.write_word(0),
+                Value::Integer(i) => {
+                    h.write_word(1);
+                    h.write_word(*i as u64);
+                }
+                Value::Real(r) => {
+                    h.write_word(2);
+                    h.write_word(r.to_bits());
+                }
+                Value::Text(s) => {
+                    h.write_word(3);
+                    h.write_str_words(s);
+                }
+                Value::Boolean(b) => h.write_word(4 | (u64::from(*b) << 8)),
+            }
+        }
+        match self {
+            Expr::Literal(v) => {
+                tag(hasher, 1, 0, 0);
+                value_exact(v, hasher);
+            }
+            Expr::Column(c) => {
+                tag(hasher, 2, u64::from(c.table.is_some()), 0);
+                if let Some(t) = &c.table {
+                    hasher.write_str_words(t);
+                }
+                hasher.write_str_words(&c.column);
+            }
+            Expr::Unary { op, expr } => {
+                tag(hasher, 3, *op as u64, 0);
+                expr.fingerprint_into(hasher);
+            }
+            Expr::Binary { left, op, right } => {
+                tag(hasher, 4, *op as u64, 0);
+                left.fingerprint_into(hasher);
+                right.fingerprint_into(hasher);
+            }
+            Expr::Function { func, args } => {
+                tag(hasher, 5, *func as u64, args.len() as u64);
+                for a in args {
+                    a.fingerprint_into(hasher);
+                }
+            }
+            Expr::Aggregate {
+                func,
+                arg,
+                distinct,
+            } => {
+                tag(
+                    hasher,
+                    6,
+                    (*func as u64) | (u64::from(*distinct) << 7),
+                    u64::from(arg.is_some()),
+                );
+                if let Some(a) = arg {
+                    a.fingerprint_into(hasher);
+                }
+            }
+            Expr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => {
+                tag(
+                    hasher,
+                    7,
+                    u64::from(operand.is_some()) | (u64::from(else_expr.is_some()) << 1),
+                    branches.len() as u64,
+                );
+                if let Some(o) = operand {
+                    o.fingerprint_into(hasher);
+                }
+                for b in branches {
+                    b.when.fingerprint_into(hasher);
+                    b.then.fingerprint_into(hasher);
+                }
+                if let Some(e) = else_expr {
+                    e.fingerprint_into(hasher);
+                }
+            }
+            Expr::Cast { expr, data_type } => {
+                tag(hasher, 8, *data_type as u64, 0);
+                expr.fingerprint_into(hasher);
+            }
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
+                tag(hasher, 9, u64::from(*negated), 0);
+                expr.fingerprint_into(hasher);
+                low.fingerprint_into(hasher);
+                high.fingerprint_into(hasher);
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                tag(hasher, 10, u64::from(*negated), list.len() as u64);
+                expr.fingerprint_into(hasher);
+                for e in list {
+                    e.fingerprint_into(hasher);
+                }
+            }
+            Expr::InSubquery { expr, negated, .. } => {
+                tag(hasher, 11, u64::from(*negated), 0);
+                expr.fingerprint_into(hasher);
+            }
+            Expr::Exists { negated, .. } => tag(hasher, 12, u64::from(*negated), 0),
+            Expr::ScalarSubquery(_) => tag(hasher, 13, 0, 0),
+            Expr::IsNull { expr, negated } => {
+                tag(hasher, 14, u64::from(*negated), 0);
+                expr.fingerprint_into(hasher);
+            }
+            Expr::IsBool {
+                expr,
+                target,
+                negated,
+            } => {
+                tag(
+                    hasher,
+                    15,
+                    u64::from(*target) | (u64::from(*negated) << 1),
+                    0,
+                );
+                expr.fingerprint_into(hasher);
+            }
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                tag(hasher, 16, u64::from(*negated), 0);
+                expr.fingerprint_into(hasher);
+                pattern.fingerprint_into(hasher);
+            }
+        }
+    }
+
     /// Collects every column referenced in the expression (not descending
     /// into subqueries).
     pub fn referenced_columns(&self) -> Vec<&ColumnRef> {

@@ -24,6 +24,25 @@ impl TypingMode {
     }
 }
 
+/// How the engine evaluates expressions against rows.
+///
+/// Both strategies are observationally identical — same values, same
+/// errors, same coverage sets — which the compiled↔tree differential
+/// property suite and the fleet-level parity test enforce. The tree walker
+/// is kept as the reference arm: it is the executable specification the
+/// compiled plans are checked against, and the baseline arm of the
+/// `campaign_throughput` benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EvalStrategy {
+    /// Compile each expression once per statement into a reusable closure
+    /// tree (pre-resolved column offsets, pre-validated function arity,
+    /// memoized constant subtrees), cached per database. The default.
+    #[default]
+    Compiled,
+    /// Re-walk the AST for every row (the pre-compilation evaluator).
+    TreeWalk,
+}
+
 /// Execution behaviour of an engine instance: typing discipline plus the
 /// injected-fault switches.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -32,6 +51,8 @@ pub struct EngineConfig {
     pub typing: TypingMode,
     /// Injected logic bugs (all off by default).
     pub faults: FaultConfig,
+    /// Expression evaluation strategy.
+    pub eval: EvalStrategy,
 }
 
 impl EngineConfig {
@@ -39,7 +60,7 @@ impl EngineConfig {
     pub fn dynamic() -> EngineConfig {
         EngineConfig {
             typing: TypingMode::Dynamic,
-            faults: FaultConfig::none(),
+            ..EngineConfig::default()
         }
     }
 
@@ -47,8 +68,14 @@ impl EngineConfig {
     pub fn strict() -> EngineConfig {
         EngineConfig {
             typing: TypingMode::Strict,
-            faults: FaultConfig::none(),
+            ..EngineConfig::default()
         }
+    }
+
+    /// Returns a copy using the given evaluation strategy.
+    pub fn with_eval(mut self, eval: EvalStrategy) -> EngineConfig {
+        self.eval = eval;
+        self
     }
 
     /// Returns a copy with the given faults enabled by name; unknown names

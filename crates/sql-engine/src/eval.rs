@@ -394,7 +394,7 @@ impl<'a> Evaluator<'a> {
         }
     }
 
-    fn eval_unary(&self, op: UnaryOp, v: Value) -> EngineResult<Value> {
+    pub(crate) fn eval_unary(&self, op: UnaryOp, v: Value) -> EngineResult<Value> {
         match op {
             UnaryOp::Not => Ok(self.truthiness(&v)?.not().to_value()),
             UnaryOp::Neg | UnaryOp::Plus => {
@@ -766,7 +766,7 @@ fn number_value(n: f64, integral: bool) -> Value {
 }
 
 /// SQL `LIKE` matching with `%` and `_` wildcards.
-fn like_match(text: &str, pattern: &str, underscore_is_literal: bool) -> bool {
+pub(crate) fn like_match(text: &str, pattern: &str, underscore_is_literal: bool) -> bool {
     fn rec(t: &[char], p: &[char], underscore_literal: bool) -> bool {
         if p.is_empty() {
             return t.is_empty();

@@ -12,6 +12,7 @@
 //!   relies on; the engine itself uses it as its ground truth in tests.
 
 use crate::catalog::{IndexDef, TableSchema, ViewDef};
+use crate::compile::SiteExpr;
 use crate::config::TypingMode;
 use crate::error::{EngineError, EngineResult};
 use crate::eval::{Evaluator, RelationBinding, Scope};
@@ -480,10 +481,21 @@ fn execute_update(db: &mut Database, update: &sql_ast::Update) -> EngineResult<S
     let mut affected = 0usize;
     {
         let evaluator = Evaluator::new(db, ExecutionMode::Reference);
+        // Per-statement plans: the WHERE predicate and the assignment value
+        // expressions are compiled once, then run per row.
+        let pred_plan = update
+            .where_clause
+            .as_ref()
+            .map(|p| SiteExpr::new(db, ExecutionMode::Reference, &bindings, None, p));
+        let value_plans: Vec<SiteExpr<'_>> = update
+            .assignments
+            .iter()
+            .map(|(_, e)| SiteExpr::new(db, ExecutionMode::Reference, &bindings, None, e))
+            .collect();
         for row in &rows {
             let scope = Scope::new(&bindings, row);
-            let matches = match &update.where_clause {
-                Some(pred) => evaluator.eval_truth(pred, &scope)?.is_true(),
+            let matches = match &pred_plan {
+                Some(pred) => pred.eval_truth(&evaluator, &scope)?.is_true(),
                 None => true,
             };
             if !matches {
@@ -491,11 +503,11 @@ fn execute_update(db: &mut Database, update: &sql_ast::Update) -> EngineResult<S
                 continue;
             }
             let mut new_row = row.clone();
-            for (col, expr) in &update.assignments {
+            for ((col, _), plan) in update.assignments.iter().zip(&value_plans) {
                 let idx = schema
                     .column_index(col)
                     .ok_or_else(|| EngineError::catalog(format!("no such column: {col}")))?;
-                let raw = evaluator.eval(expr, &scope)?;
+                let raw = plan.eval(&evaluator, &scope)?;
                 let coerced = coerce_for_column(db, raw, schema.columns[idx].data_type, col)?;
                 if schema.columns[idx].not_null && coerced.is_null() {
                     return Err(EngineError::constraint(format!(
@@ -544,10 +556,14 @@ fn execute_delete(db: &mut Database, delete: &sql_ast::Delete) -> EngineResult<S
     let mut removed = 0usize;
     {
         let evaluator = Evaluator::new(db, ExecutionMode::Reference);
+        let pred_plan = delete
+            .where_clause
+            .as_ref()
+            .map(|p| SiteExpr::new(db, ExecutionMode::Reference, &bindings, None, p));
         for row in &rows {
             let scope = Scope::new(&bindings, row);
-            let matches = match &delete.where_clause {
-                Some(pred) => evaluator.eval_truth(pred, &scope)?.is_true(),
+            let matches = match &pred_plan {
+                Some(pred) => pred.eval_truth(&evaluator, &scope)?.is_true(),
                 None => true,
             };
             if matches {
@@ -861,6 +877,10 @@ fn join_relations<'a>(
         JoinType::Natural => natural_condition.as_ref(),
         _ => join.on.as_ref(),
     };
+    // The join condition is compiled once and evaluated per row pair.
+    let condition: Option<SiteExpr<'_>> =
+        condition.map(|c| SiteExpr::new(db, mode, &bindings, outer, c));
+    let condition = condition.as_ref();
 
     let mut rows: Vec<Row> = Vec::new();
     match join.join_type {
@@ -940,7 +960,7 @@ fn join_relations<'a>(
 
 fn join_condition_holds(
     evaluator: &Evaluator<'_>,
-    condition: Option<&Expr>,
+    condition: Option<&SiteExpr<'_>>,
     bindings: &[RelationBinding],
     row: &[Value],
     outer: Option<&Scope<'_>>,
@@ -953,7 +973,7 @@ fn join_condition_holds(
                 row,
                 parent: outer,
             };
-            Ok(evaluator.eval_truth(cond, &scope)?.is_true())
+            Ok(cond.eval_truth(evaluator, &scope)?.is_true())
         }
     }
 }
@@ -1042,6 +1062,8 @@ fn apply_where<'a>(
         None => relation.rows,
     };
     let evaluator = Evaluator::new(db, mode);
+    // The predicate is compiled once per statement and run per row.
+    let plan = SiteExpr::new(db, mode, &relation.bindings, outer, pred);
     // Owned rows are filtered by move; borrowed rows clone survivors only.
     let rows: Vec<Row> = match rows_in {
         Cow::Owned(owned) => {
@@ -1052,7 +1074,7 @@ fn apply_where<'a>(
                     row: &row,
                     parent: outer,
                 };
-                if evaluator.eval_truth(pred, &scope)?.is_true() {
+                if plan.eval_truth(&evaluator, &scope)?.is_true() {
                     rows.push(row);
                 }
             }
@@ -1066,7 +1088,7 @@ fn apply_where<'a>(
                     row,
                     parent: outer,
                 };
-                if evaluator.eval_truth(pred, &scope)?.is_true() {
+                if plan.eval_truth(&evaluator, &scope)?.is_true() {
                     rows.push(row.clone());
                 }
             }
@@ -1205,6 +1227,42 @@ enum ProjectionSource {
     Expr(Expr),
 }
 
+/// A projection item's per-statement plan: a flat input position or a
+/// compiled expression.
+enum ProjPlan<'e> {
+    Position(usize),
+    Expr(SiteExpr<'e>),
+}
+
+fn projection_plans<'e>(
+    db: &Database,
+    mode: ExecutionMode,
+    bindings: &[RelationBinding],
+    outer: Option<&Scope<'_>>,
+    projections: &'e [(String, ProjectionSource)],
+) -> Vec<ProjPlan<'e>> {
+    let compiled = db.config.eval == crate::config::EvalStrategy::Compiled;
+    projections
+        .iter()
+        .map(|(_, source)| match source {
+            ProjectionSource::Position(i) => ProjPlan::Position(*i),
+            ProjectionSource::Expr(e) => {
+                // Plain column projections that bind locally need no closure
+                // at all: a pre-resolved offset copy is exactly what the
+                // compiled column plan would do per row.
+                if compiled && outer.is_none() {
+                    if let Expr::Column(c) = e {
+                        if let Some(i) = crate::compile::local_column_offset(bindings, c) {
+                            return ProjPlan::Position(i);
+                        }
+                    }
+                }
+                ProjPlan::Expr(SiteExpr::new(db, mode, bindings, outer, e))
+            }
+        })
+        .collect()
+}
+
 fn project_rows(
     db: &Database,
     select: &Select,
@@ -1216,6 +1274,10 @@ fn project_rows(
     let projections = expand_projections(select, &relation.bindings)?;
     let columns: Vec<String> = projections.iter().map(|(n, _)| n.clone()).collect();
     let evaluator = Evaluator::new(db, mode);
+    // Per-statement plans: projection expressions and ORDER BY keys are
+    // compiled once, then run per row.
+    let plans = projection_plans(db, mode, &relation.bindings, outer, &projections);
+    let order_plan = OrderPlan::new(db, select, mode, &relation.bindings, outer, &columns);
     let mut rows = Vec::with_capacity(relation.rows.len());
     for row in relation.rows.iter() {
         let scope = Scope {
@@ -1223,15 +1285,15 @@ fn project_rows(
             row,
             parent: outer,
         };
-        let mut out_row = Vec::with_capacity(projections.len());
-        for (_, source) in &projections {
-            let v = match source {
-                ProjectionSource::Position(i) => row.get(*i).cloned().unwrap_or(Value::Null),
-                ProjectionSource::Expr(e) => evaluator.eval(e, &scope)?,
+        let mut out_row = Vec::with_capacity(plans.len());
+        for plan in &plans {
+            let v = match plan {
+                ProjPlan::Position(i) => row.get(*i).cloned().unwrap_or(Value::Null),
+                ProjPlan::Expr(e) => e.eval(&evaluator, &scope)?,
             };
             out_row.push(v);
         }
-        let order_keys = order_keys_for_row(db, select, mode, &scope, &columns, &out_row, None)?;
+        let order_keys = order_plan.keys(&evaluator, &scope, &out_row)?;
         rows.push((out_row, order_keys));
     }
     Ok(Produced { columns, rows })
@@ -1264,27 +1326,57 @@ fn collect_aggregate_exprs(select: &Select) -> Vec<Expr> {
     out
 }
 
+/// One aggregate expression's per-statement plan: its pre-rendered lookup
+/// key (the tree walker re-renders this per row; here it is rendered once)
+/// and its compiled argument.
+struct AggPlan<'e> {
+    key: String,
+    func: AggregateFunction,
+    arg: Option<SiteExpr<'e>>,
+    distinct: bool,
+}
+
+impl<'e> AggPlan<'e> {
+    fn new(
+        db: &Database,
+        mode: ExecutionMode,
+        bindings: &[RelationBinding],
+        outer: Option<&Scope<'_>>,
+        agg: &'e Expr,
+    ) -> EngineResult<AggPlan<'e>> {
+        let Expr::Aggregate {
+            func,
+            arg,
+            distinct,
+        } = agg
+        else {
+            return Err(EngineError::runtime("not an aggregate expression"));
+        };
+        Ok(AggPlan {
+            key: agg.to_string(),
+            func: *func,
+            arg: arg
+                .as_deref()
+                .map(|a| SiteExpr::new(db, mode, bindings, outer, a)),
+            distinct: *distinct,
+        })
+    }
+}
+
 fn compute_aggregate(
     db: &Database,
     mode: ExecutionMode,
-    agg: &Expr,
+    evaluator: &Evaluator<'_>,
+    plan: &AggPlan<'_>,
     bindings: &[RelationBinding],
     group_rows: &[Row],
     outer: Option<&Scope<'_>>,
 ) -> EngineResult<Value> {
-    let Expr::Aggregate {
-        func,
-        arg,
-        distinct,
-    } = agg
-    else {
-        return Err(EngineError::runtime("not an aggregate expression"));
-    };
+    let func = plan.func;
     db.record_coverage(|cov| {
         cov.plan_operator("aggregate");
         cov.function(func.name());
     });
-    let evaluator = Evaluator::new(db, mode);
     let faults = &db.config.faults;
     let optimized = mode == ExecutionMode::Optimized;
 
@@ -1296,19 +1388,19 @@ fn compute_aggregate(
             row,
             parent: outer,
         };
-        match arg {
+        match &plan.arg {
             None => values.push(Value::Integer(1)),
-            Some(a) => values.push(evaluator.eval(a, &scope)?),
+            Some(a) => values.push(a.eval(evaluator, &scope)?),
         }
     }
-    if *distinct {
+    if plan.distinct {
         let mut seen = BTreeSet::new();
         values.retain(|v| seen.insert(v.dedup_key()));
     }
     let non_null: Vec<&Value> = values.iter().filter(|v| !v.is_null()).collect();
     Ok(match func {
         AggregateFunction::Count => {
-            if arg.is_none() {
+            if plan.arg.is_none() {
                 Value::Integer(group_rows.len() as i64)
             } else if optimized && faults.bad_count_nulls {
                 // Injected fault: COUNT(col) counts NULLs.
@@ -1406,20 +1498,25 @@ fn aggregate_and_project(
         }
     }
 
-    // Group rows.
+    // Group rows. Grouping keys are compiled once and evaluated per row.
     let mut groups: BTreeMap<Vec<String>, Vec<Row>> = BTreeMap::new();
     if select.group_by.is_empty() {
         groups.insert(Vec::new(), relation.rows.to_vec());
     } else {
+        let group_plans: Vec<SiteExpr<'_>> = select
+            .group_by
+            .iter()
+            .map(|g| SiteExpr::new(db, mode, &relation.bindings, outer, g))
+            .collect();
         for row in relation.rows.iter() {
             let scope = Scope {
                 relations: &relation.bindings,
                 row,
                 parent: outer,
             };
-            let mut key = Vec::with_capacity(select.group_by.len());
-            for g in &select.group_by {
-                let v = evaluator.eval(g, &scope)?;
+            let mut key = Vec::with_capacity(group_plans.len());
+            for g in &group_plans {
+                let v = g.eval(&evaluator, &scope)?;
                 let mut k = v.dedup_key();
                 if optimized && faults.bad_group_by_collation {
                     // Injected fault: text grouping keys compare
@@ -1447,13 +1544,34 @@ fn aggregate_and_project(
     let columns: Vec<String> = projections.iter().map(|(n, _)| n.clone()).collect();
     let empty_row: Row = vec![Value::Null; relation.width()];
 
+    // Per-statement plans shared by every group: aggregate arguments, the
+    // HAVING predicate, projection expressions and ORDER BY keys.
+    let agg_plans: Vec<AggPlan<'_>> = aggregate_exprs
+        .iter()
+        .map(|agg| AggPlan::new(db, mode, &relation.bindings, outer, agg))
+        .collect::<EngineResult<_>>()?;
+    let having_plan = select
+        .having
+        .as_ref()
+        .map(|h| SiteExpr::new(db, mode, &relation.bindings, outer, h));
+    let proj_plans = projection_plans(db, mode, &relation.bindings, outer, &projections);
+    let order_plan = OrderPlan::new(db, select, mode, &relation.bindings, outer, &columns);
+
     let mut rows = Vec::new();
     for (_, group_rows) in groups {
         // Aggregate values for this group.
         let mut agg_values: BTreeMap<String, Value> = BTreeMap::new();
-        for agg in &aggregate_exprs {
-            let v = compute_aggregate(db, mode, agg, &relation.bindings, &group_rows, outer)?;
-            agg_values.insert(agg.to_string(), v);
+        for plan in &agg_plans {
+            let v = compute_aggregate(
+                db,
+                mode,
+                &evaluator,
+                plan,
+                &relation.bindings,
+                &group_rows,
+                outer,
+            )?;
+            agg_values.insert(plan.key.clone(), v);
         }
         let representative = group_rows
             .first()
@@ -1466,30 +1584,20 @@ fn aggregate_and_project(
         };
         let group_evaluator = Evaluator::with_aggregates(db, mode, Some(&agg_values));
         // HAVING filter.
-        if let Some(having) = &select.having {
-            if !group_evaluator.eval_truth(having, &scope)?.is_true() {
+        if let Some(having) = &having_plan {
+            if !having.eval_truth(&group_evaluator, &scope)?.is_true() {
                 continue;
             }
         }
-        let mut out_row = Vec::with_capacity(projections.len());
-        for (_, source) in &projections {
-            let v = match source {
-                ProjectionSource::Position(i) => {
-                    representative.get(*i).cloned().unwrap_or(Value::Null)
-                }
-                ProjectionSource::Expr(e) => group_evaluator.eval(e, &scope)?,
+        let mut out_row = Vec::with_capacity(proj_plans.len());
+        for plan in &proj_plans {
+            let v = match plan {
+                ProjPlan::Position(i) => representative.get(*i).cloned().unwrap_or(Value::Null),
+                ProjPlan::Expr(e) => e.eval(&group_evaluator, &scope)?,
             };
             out_row.push(v);
         }
-        let order_keys = order_keys_for_row(
-            db,
-            select,
-            mode,
-            &scope,
-            &columns,
-            &out_row,
-            Some(&agg_values),
-        )?;
+        let order_keys = order_plan.keys(&group_evaluator, &scope, &out_row)?;
         rows.push((out_row, order_keys));
     }
     Ok(Produced { columns, rows })
@@ -1529,39 +1637,72 @@ fn stale_count_shortcut(db: &Database, select: &Select) -> Option<usize> {
 
 // ---------------------------------------------------------------- sorting ----
 
-fn order_keys_for_row(
-    db: &Database,
-    select: &Select,
-    mode: ExecutionMode,
-    scope: &Scope<'_>,
-    columns: &[String],
-    out_row: &[Value],
-    aggregates: Option<&BTreeMap<String, Value>>,
-) -> EngineResult<Vec<Value>> {
-    if select.order_by.is_empty() || select.set_op.is_some() {
-        return Ok(Vec::new());
-    }
-    let evaluator = Evaluator::with_aggregates(db, mode, aggregates);
-    let mut keys = Vec::with_capacity(select.order_by.len());
-    for item in &select.order_by {
-        let v = match &item.expr {
-            Expr::Literal(Value::Integer(n)) if *n >= 1 && (*n as usize) <= out_row.len() => {
-                out_row[(*n - 1) as usize].clone()
-            }
-            Expr::Column(c) if c.table.is_none() => {
-                match columns
-                    .iter()
-                    .position(|name| name.eq_ignore_ascii_case(&c.column))
-                {
-                    Some(i) => out_row[i].clone(),
-                    None => evaluator.eval(&item.expr, scope)?,
+/// Per-statement plan for a row's ORDER BY keys. Ordinal and output-column
+/// references are resolved to output positions once; everything else is a
+/// compiled expression evaluated against the input scope — the tree walker
+/// re-ran this whole resolution (and built a fresh evaluator) per row.
+struct OrderPlan<'e> {
+    items: Vec<OrderKeySource<'e>>,
+}
+
+enum OrderKeySource<'e> {
+    /// The key is a copy of an output column.
+    Output(usize),
+    /// The key is computed from the input row.
+    Eval(SiteExpr<'e>),
+}
+
+impl<'e> OrderPlan<'e> {
+    fn new(
+        db: &Database,
+        select: &'e Select,
+        mode: ExecutionMode,
+        bindings: &[RelationBinding],
+        outer: Option<&Scope<'_>>,
+        columns: &[String],
+    ) -> OrderPlan<'e> {
+        if select.order_by.is_empty() || select.set_op.is_some() {
+            return OrderPlan { items: Vec::new() };
+        }
+        let items = select
+            .order_by
+            .iter()
+            .map(|item| match &item.expr {
+                Expr::Literal(Value::Integer(n)) if *n >= 1 && (*n as usize) <= columns.len() => {
+                    OrderKeySource::Output((*n - 1) as usize)
                 }
-            }
-            other => evaluator.eval(other, scope)?,
-        };
-        keys.push(v);
+                Expr::Column(c) if c.table.is_none() => {
+                    match columns
+                        .iter()
+                        .position(|name| name.eq_ignore_ascii_case(&c.column))
+                    {
+                        Some(i) => OrderKeySource::Output(i),
+                        None => OrderKeySource::Eval(SiteExpr::new(
+                            db, mode, bindings, outer, &item.expr,
+                        )),
+                    }
+                }
+                _ => OrderKeySource::Eval(SiteExpr::new(db, mode, bindings, outer, &item.expr)),
+            })
+            .collect();
+        OrderPlan { items }
     }
-    Ok(keys)
+
+    fn keys(
+        &self,
+        evaluator: &Evaluator<'_>,
+        scope: &Scope<'_>,
+        out_row: &[Value],
+    ) -> EngineResult<Vec<Value>> {
+        let mut keys = Vec::with_capacity(self.items.len());
+        for item in &self.items {
+            keys.push(match item {
+                OrderKeySource::Output(i) => out_row[*i].clone(),
+                OrderKeySource::Eval(plan) => plan.eval(evaluator, scope)?,
+            });
+        }
+        Ok(keys)
+    }
 }
 
 fn sort_rows(db: &Database, select: &Select, produced: &mut Produced) -> EngineResult<()> {

@@ -152,6 +152,49 @@ impl FaultConfig {
         out
     }
 
+    /// Packs every fault flag into a bitset, in the stable order of
+    /// [`FaultConfig::iter_flags`] (a unit test keeps the two in sync).
+    /// Allocation-free; the compiled-plan cache key mixes this in so an
+    /// in-place configuration change can never serve a stale plan.
+    pub fn bits(&self) -> u64 {
+        let flags = [
+            self.bad_not_elimination,
+            self.bad_range_negation,
+            self.bad_predicate_pushdown,
+            self.bad_join_flattening,
+            self.bad_constant_folding_text,
+            self.bad_notnull_isnull_folding,
+            self.bad_in_list_rewrite,
+            self.bad_between_rewrite,
+            self.bad_distinct_elimination,
+            self.bad_limit_pushdown,
+            self.bad_nullsafe_eq_rewrite,
+            self.bad_case_folding,
+            self.bad_index_lookup_coercion,
+            self.bad_unique_index_shortcut,
+            self.bad_partial_index_scan,
+            self.bad_stale_count_statistics,
+            self.bad_replace_type_affinity,
+            self.bad_bitwise_inversion,
+            self.bad_nullif_null_handling,
+            self.bad_collation_comparison,
+            self.bad_like_underscore,
+            self.bad_integer_division,
+            self.bad_text_coercion_sign,
+            self.bad_sum_empty_group,
+            self.bad_count_nulls,
+            self.bad_view_predicate_drop,
+            self.bad_group_by_collation,
+            self.bad_having_pushdown,
+            self.crash_on_deep_expressions,
+            self.crash_on_many_joins,
+        ];
+        flags
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &on)| acc | (u64::from(on) << i))
+    }
+
     /// Iterates over `(name, enabled)` pairs for every fault flag.
     pub fn iter_flags(&self) -> Vec<(&'static str, bool)> {
         vec![
@@ -272,5 +315,17 @@ mod tests {
             "need a rich bug catalog, got {}",
             names.len()
         );
+    }
+
+    #[test]
+    fn bits_agree_with_iter_flags_for_every_single_fault() {
+        assert_eq!(FaultConfig::none().bits(), 0);
+        for (i, name) in FaultConfig::all_names().into_iter().enumerate() {
+            let mut cfg = FaultConfig::none();
+            cfg.enable(name);
+            assert_eq!(cfg.bits(), 1u64 << i, "bit order diverges at {name}");
+            let flagged = cfg.iter_flags().iter().position(|(_, on)| *on);
+            assert_eq!(flagged, Some(i), "iter_flags order diverges at {name}");
+        }
     }
 }

@@ -70,6 +70,32 @@ fn finite(v: f64, what: &str) -> EngineResult<Value> {
     }
 }
 
+/// Builds the arity error for calling `func` with `got` arguments.
+///
+/// Shared between the per-call arity check of [`eval_function`] and the
+/// compiled evaluator, which performs the check once at compile time and
+/// bakes the resulting error into the plan.
+pub fn arity_error(func: ScalarFunction, got: usize) -> EngineError {
+    EngineError::type_error(format!(
+        "wrong number of arguments to {} (got {}, expected {}..={})",
+        func.name(),
+        got,
+        func.min_args(),
+        func.max_args()
+    ))
+}
+
+/// Whether a function handles `NULL` arguments itself instead of
+/// propagating `NULL` (a per-function constant; the compiled evaluator
+/// hoists it out of the per-row path).
+pub fn handles_nulls(func: ScalarFunction) -> bool {
+    use ScalarFunction::*;
+    matches!(
+        func,
+        Coalesce | Nullif | Ifnull | Nvl | Iif | IfFn | Concat | ConcatWs | Typeof
+    )
+}
+
 /// Evaluates a scalar function on already-evaluated arguments.
 ///
 /// # Errors
@@ -82,25 +108,32 @@ pub fn eval_function(
     typing: TypingMode,
     faults: &FaultConfig,
 ) -> EngineResult<Value> {
-    use ScalarFunction::*;
     if args.len() < func.min_args() || args.len() > func.max_args() {
-        return Err(EngineError::type_error(format!(
-            "wrong number of arguments to {} (got {}, expected {}..={})",
-            func.name(),
-            args.len(),
-            func.min_args(),
-            func.max_args()
-        )));
+        return Err(arity_error(func, args.len()));
     }
     // Conditional functions have their own NULL handling; everything else
     // propagates NULL.
-    let conditional = matches!(
-        func,
-        Coalesce | Nullif | Ifnull | Nvl | Iif | IfFn | Concat | ConcatWs | Typeof
-    );
-    if !conditional && null_in(args) {
+    if !handles_nulls(func) && null_in(args) {
         return Ok(Value::Null);
     }
+    eval_function_unchecked(func, args, typing, faults)
+}
+
+/// Evaluates a scalar function whose arity and NULL-propagation class have
+/// already been checked — the direct entry the compiled evaluator dispatches
+/// to after hoisting both checks to compile time.
+///
+/// # Errors
+///
+/// Returns an error for ill-typed arguments under strict typing or domain
+/// errors (e.g. `SQRT(-1)`, `ASIN(2)`).
+pub fn eval_function_unchecked(
+    func: ScalarFunction,
+    args: &[Value],
+    typing: TypingMode,
+    faults: &FaultConfig,
+) -> EngineResult<Value> {
+    use ScalarFunction::*;
     match func {
         // ---- numeric ----
         Abs => Ok(match &args[0] {

@@ -15,6 +15,11 @@
 //! * a **non-optimizing reference** path that executes the query exactly as
 //!   written.
 //!
+//! On both paths, expressions are evaluated by a **closure-compiled**
+//! evaluator by default ([`compile_expr`]; plans are cached per
+//! [`Database`]), with the tree-walking [`Evaluator`] kept as the
+//! observationally-identical reference arm ([`EvalStrategy::TreeWalk`]).
+//!
 //! Logic bugs can be *injected* via [`FaultConfig`]: each switch enables one
 //! wrong rewrite, access-path shortcut, or evaluation quirk, several of them
 //! modeled on real bugs discussed in the paper. The `dbms-sim` crate layers
@@ -37,6 +42,7 @@
 #![forbid(unsafe_code)]
 
 mod catalog;
+mod compile;
 mod config;
 mod coverage;
 mod error;
@@ -48,7 +54,8 @@ mod optimizer;
 mod storage;
 
 pub use catalog::{Catalog, Column, IndexDef, TableSchema, ViewDef};
-pub use config::{EngineConfig, TypingMode};
+pub use compile::{compile_expr, CompiledExpr, SiteExpr};
+pub use config::{EngineConfig, EvalStrategy, TypingMode};
 pub use coverage::{CoverageTracker, CoverageUniverse};
 pub use error::{EngineError, EngineResult, ErrorKind};
 pub use eval::{Evaluator, RelationBinding, Scope};
@@ -56,6 +63,6 @@ pub use exec::{
     execute_select, execute_select_in_scope, execute_statement, ExecutionMode, StatementResult,
 };
 pub use faults::FaultConfig;
-pub use functions::eval_function;
+pub use functions::{eval_function, eval_function_unchecked};
 pub use optimizer::{optimize_select, rewrite_predicate};
 pub use storage::{ColumnStats, Database, ResultSet, Row, TableStats};

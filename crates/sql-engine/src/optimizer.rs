@@ -160,7 +160,11 @@ fn contains_equality_on_column(expr: &Expr) -> bool {
 /// faulty rewrites.
 pub fn rewrite_predicate(db: &Database, expr: Expr) -> Expr {
     let rewritten = rewrite_expr(db, expr);
-    constant_fold(db, rewritten)
+    // One evaluator for the whole fold: the previous code built a fresh
+    // `Evaluator` per foldable binary node, which showed up in profiles once
+    // per-row evaluation was compiled away.
+    let evaluator = Evaluator::new(db, ExecutionMode::Optimized);
+    constant_fold(db, &evaluator, rewritten)
 }
 
 fn rewrite_expr(db: &Database, expr: Expr) -> Expr {
@@ -291,9 +295,9 @@ fn column_is_not_null(db: &Database, col: &sql_ast::ColumnRef) -> bool {
 
 /// Folds literal-only subexpressions to literals. Correct except where the
 /// constant-folding faults are enabled.
-fn constant_fold(db: &Database, expr: Expr) -> Expr {
+fn constant_fold(db: &Database, evaluator: &Evaluator<'_>, expr: Expr) -> Expr {
     let faults = &db.config.faults;
-    let expr = map_children(expr, &mut |child| constant_fold(db, child));
+    let expr = map_children(expr, &mut |child| constant_fold(db, evaluator, child));
     match &expr {
         Expr::Binary { left, op, right } => {
             if let (Expr::Literal(lv), Expr::Literal(rv)) = (left.as_ref(), right.as_ref()) {
@@ -316,7 +320,6 @@ fn constant_fold(db: &Database, expr: Expr) -> Expr {
                     };
                     return Expr::Literal(Value::Boolean(out));
                 }
-                let evaluator = Evaluator::new(db, ExecutionMode::Optimized);
                 if let Ok(v) = evaluator.apply_binary(*op, lv, rv) {
                     return Expr::Literal(v);
                 }

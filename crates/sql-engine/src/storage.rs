@@ -93,6 +93,7 @@ pub struct Database {
     data: BTreeMap<String, Vec<Row>>,
     stats: BTreeMap<String, TableStats>,
     coverage: RefCell<CoverageTracker>,
+    plans: crate::compile::PlanCache,
 }
 
 impl Database {
@@ -156,6 +157,11 @@ impl Database {
         self.data.values().map(Vec::len).sum()
     }
 
+    /// The compiled-plan cache for this database instance.
+    pub(crate) fn plan_cache(&self) -> &crate::compile::PlanCache {
+        &self.plans
+    }
+
     /// Records coverage information. Execution code calls this; it is
     /// interior-mutable because queries only hold a shared borrow of the
     /// database.
@@ -168,9 +174,13 @@ impl Database {
         self.coverage.borrow().clone()
     }
 
-    /// Resets coverage accounting (used between experiment runs).
+    /// Resets coverage accounting (used between experiment runs). Also
+    /// drops cached compiled plans: a plan records each coverage point only
+    /// on its first evaluation, so plans from before the reset would never
+    /// re-record their features.
     pub fn reset_coverage(&self) {
         *self.coverage.borrow_mut() = CoverageTracker::new();
+        self.plans.clear();
     }
 }
 

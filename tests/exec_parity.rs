@@ -141,6 +141,46 @@ fn oracle_verdicts_identical_per_query() {
     }
 }
 
+/// The closure-compiled expression evaluator (the default engine
+/// configuration, `ExecutionPath::Ast`) is observationally identical to
+/// the tree-walking reference evaluator (`ExecutionPath::AstTreeWalk`) on
+/// the full 18-dialect fleet: same metrics, same bug reports, same
+/// prioritized cases, same validity series. This is the end-to-end arm of
+/// the compiled↔tree parity contract (the expression-level arm lives in
+/// `tests/compile_parity.rs`).
+#[test]
+fn campaign_outcomes_identical_between_compiled_and_treewalk_evaluators() {
+    let presets = fleet();
+    let config = parity_config(31);
+    let compiled = run_fleet_serial(&presets, &config, ExecutionPath::Ast);
+    let tree = run_fleet_serial(&presets, &config, ExecutionPath::AstTreeWalk);
+    assert_eq!(compiled.reports.len(), tree.reports.len());
+    for (c, t) in compiled.reports.iter().zip(&tree.reports) {
+        assert_eq!(c.dbms_name, t.dbms_name, "dialect order diverges");
+        assert_eq!(
+            c.metrics, t.metrics,
+            "metrics diverge on {} — compiled evaluator changed semantics",
+            c.dbms_name
+        );
+        assert_eq!(
+            c.reports, t.reports,
+            "bug reports diverge on {}",
+            c.dbms_name
+        );
+        assert_eq!(
+            c.prioritized_cases, t.prioritized_cases,
+            "prioritized cases diverge on {}",
+            c.dbms_name
+        );
+        assert_eq!(
+            c.validity_series, t.validity_series,
+            "validity series diverge on {}",
+            c.dbms_name
+        );
+    }
+    assert_eq!(compiled.totals, tree.totals);
+}
+
 /// The parallel fleet runner produces exactly the serial runner's output on
 /// the full 18-dialect fleet: same dialect order, same metrics, same bug
 /// reports, same totals.
