@@ -8,14 +8,20 @@
 //!   with the tree-walking expression evaluator (`ast_tree`, the PR 1
 //!   configuration) vs the closure-compiled evaluator (`ast`, the
 //!   default);
+//! * **txn** (the eval workload with the rollback oracle in the schedule):
+//!   measures the cost of the transactional tier — every third test case is
+//!   a multi-statement `BEGIN…ROLLBACK`/`BEGIN…COMMIT` session with
+//!   setup-replay rebuilds — reported as a `txn_overhead` ratio against the
+//!   eval workload's compiled arm;
 //!
 //! plus serial vs parallel fleet sharding on the eval workload.
 //!
-//! Writes `BENCH_campaign.json` (`schema_version` 2) with queries/sec per
-//! arm, the AST/text and compiled/tree speedup ratios, the parallel/serial
-//! speedup, and the committed `ci_floors` that `ci.sh` gates regressions
-//! against. The written file is validated before the process exits:
-//! malformed or partial output is a non-zero exit, which CI checks.
+//! Writes `BENCH_campaign.json` (`schema_version` 3) with queries/sec per
+//! arm, the AST/text, compiled/tree and txn-overhead ratios, the
+//! parallel/serial speedup, and the committed `ci_floors` that `ci.sh`
+//! gates regressions against. The written file is validated before the
+//! process exits: malformed or partial output is a non-zero exit, which CI
+//! checks.
 //!
 //! Usage:
 //!   `campaign_throughput [queries_per_database] [output_path]`
@@ -27,7 +33,7 @@ use std::time::Instant;
 
 /// The version of the JSON layout this binary writes. Bump when keys are
 /// added or renamed so the CI gate can evolve without breaking old files.
-const SCHEMA_VERSION: u32 = 2;
+const SCHEMA_VERSION: u32 = 3;
 
 /// Committed regression floors, written into the benchmark artifact and
 /// enforced by `ci.sh` against the smoke run. Deliberately conservative:
@@ -35,6 +41,11 @@ const SCHEMA_VERSION: u32 = 2;
 /// well below the steady-state ratios recorded in `BENCH_campaign.json`.
 const FLOOR_AST_OVER_TEXT: f64 = 1.4;
 const FLOOR_COMPILED_OVER_TREE: f64 = 1.02;
+/// The txn workload (rollback oracle every third case, with its
+/// reset-and-replay arms) must keep at least this fraction of the eval
+/// workload's test-case throughput. Catching a runaway regression is the
+/// point; the steady-state ratio sits far above this.
+const FLOOR_TXN_THROUGHPUT_RATIO: f64 = 0.05;
 
 fn base_config(queries_per_database: usize) -> CampaignConfig {
     let mut config = CampaignConfig {
@@ -70,18 +81,42 @@ fn eval_config(queries_per_database: usize) -> CampaignConfig {
     config
 }
 
+/// The txn workload: the eval workload with the rollback oracle added to
+/// the schedule, so every third test case is a transactional session (the
+/// first genuinely stateful workload the campaign loop drives).
+fn txn_config(queries_per_database: usize) -> CampaignConfig {
+    let mut config = eval_config(queries_per_database);
+    config.oracles = vec![OracleKind::Tlp, OracleKind::NoRec, OracleKind::Rollback];
+    config
+}
+
+/// Estimated DBMS-visible statements per oracle test case, per workload.
+///
+/// TLP issues 4 derived queries per case and NoREC 2, so the alternating
+/// dispatch/eval schedule averages 3. A rollback-oracle case is far
+/// heavier: three setup-replay rebuilds (12 statements each with this
+/// configuration), four fingerprint probes, the session body executed
+/// three times (~2.5 statements per execution) and six transaction-control
+/// statements — roughly 54 — so the three-oracle txn schedule averages
+/// about (4 + 2 + 54) / 3 = 20. These are estimates for the reported
+/// throughput numbers, not measured counts.
+const STMTS_PER_CASE_TLP_NOREC: f64 = 3.0;
+const STMTS_PER_CASE_TXN_MIX: f64 = 20.0;
+
 struct Arm {
     label: &'static str,
     elapsed_s: f64,
+    /// Estimated statements per test case for this arm's oracle schedule.
+    stmts_per_case: f64,
     report: FleetReport,
 }
 
 impl Arm {
-    /// DBMS-visible statements issued: DDL/DML plus the derived oracle
-    /// queries (TLP issues 4 per test case, NoREC 2, so 3 on average with
-    /// the alternating schedule).
+    /// Estimated DBMS-visible statements issued: DDL/DML plus the derived
+    /// oracle statements (see the `STMTS_PER_CASE_*` constants).
     fn statements(&self) -> u64 {
-        self.report.totals.ddl_statements + 3 * self.report.totals.test_cases
+        self.report.totals.ddl_statements
+            + (self.stmts_per_case * self.report.totals.test_cases as f64) as u64
     }
 
     fn test_cases_per_sec(&self) -> f64 {
@@ -89,7 +124,7 @@ impl Arm {
     }
 
     fn queries_per_sec(&self) -> f64 {
-        3.0 * self.report.totals.test_cases as f64 / self.elapsed_s
+        self.stmts_per_case * self.report.totals.test_cases as f64 / self.elapsed_s
     }
 
     fn json(&self) -> String {
@@ -114,7 +149,11 @@ impl Arm {
 /// removes it), and interleaving exposes every arm to the same machine
 /// conditions. All repetitions produce identical reports (the campaign is
 /// deterministic), so only the timing differs.
-fn run_arms(config: &CampaignConfig, arms: &[(&'static str, ExecutionPath)]) -> Vec<Arm> {
+fn run_arms(
+    config: &CampaignConfig,
+    arms: &[(&'static str, ExecutionPath)],
+    stmts_per_case: f64,
+) -> Vec<Arm> {
     let presets = fleet();
     let mut best: Vec<Option<Arm>> = arms.iter().map(|_| None).collect();
     for _ in 0..3 {
@@ -126,6 +165,7 @@ fn run_arms(config: &CampaignConfig, arms: &[(&'static str, ExecutionPath)]) -> 
                 best[slot] = Some(Arm {
                     label,
                     elapsed_s,
+                    stmts_per_case,
                     report,
                 });
             }
@@ -170,15 +210,19 @@ fn validate_bench_json(json: &str) -> Result<(), String> {
         "queries_per_database",
         "dispatch",
         "eval",
+        "txn",
         "text",
         "ast_tree",
         "ast",
         "speedup_ast_over_text",
         "speedup_compiled_over_tree",
+        "txn_overhead",
+        "txn_throughput_ratio",
         "parallel",
         "ci_floors",
         "min_speedup_ast_over_text",
         "min_speedup_compiled_over_tree",
+        "min_txn_throughput_ratio",
     ] {
         if !json.contains(&format!("\"{key}\":")) {
             return Err(format!("missing key \"{key}\""));
@@ -186,17 +230,22 @@ fn validate_bench_json(json: &str) -> Result<(), String> {
     }
     let schema = number_after(json, "schema_version")
         .ok_or_else(|| "schema_version is not a number".to_string())?;
-    if schema < 2.0 {
-        return Err(format!("schema_version {schema} predates the CI gate"));
+    if schema < 3.0 {
+        return Err(format!("schema_version {schema} predates the txn gate"));
     }
-    for key in ["speedup_ast_over_text", "speedup_compiled_over_tree"] {
+    for key in [
+        "speedup_ast_over_text",
+        "speedup_compiled_over_tree",
+        "txn_overhead",
+        "txn_throughput_ratio",
+    ] {
         let v = number_after(json, key).ok_or_else(|| format!("\"{key}\" is not a number"))?;
         if !v.is_finite() || v <= 0.0 {
             return Err(format!("\"{key}\" has implausible value {v}"));
         }
     }
-    // Every arm (dispatch text/ast, eval ast_tree/ast) must have run a
-    // nonzero campaign — check all occurrences, not just the first.
+    // Every arm (dispatch text/ast, eval ast_tree/ast, txn ast) must have
+    // run a nonzero campaign — check all occurrences, not just the first.
     let mut arm_count = 0usize;
     let mut scan = json;
     while let Some(at) = scan.find("\"test_cases\":") {
@@ -208,9 +257,9 @@ fn validate_bench_json(json: &str) -> Result<(), String> {
         }
         scan = &scan[at + "\"test_cases\":".len()..];
     }
-    if arm_count < 4 {
+    if arm_count < 5 {
         return Err(format!(
-            "expected test_cases in all 4 arms, found {arm_count}"
+            "expected test_cases in all 5 arms, found {arm_count}"
         ));
     }
     Ok(())
@@ -253,6 +302,7 @@ fn main() {
         .unwrap_or_else(|| "BENCH_campaign.json".to_string());
     let dispatch = dispatch_config(queries);
     let eval = eval_config(queries);
+    let txn = txn_config(queries);
     let threads = dbms_sim::available_threads();
 
     // Warm-up: touch every preset once so first-run effects (page faults,
@@ -265,6 +315,7 @@ fn main() {
     let dispatch_arms = run_arms(
         &dispatch,
         &[("text", ExecutionPath::Text), ("ast", ExecutionPath::Ast)],
+        STMTS_PER_CASE_TLP_NOREC,
     );
     let [text, ast_small] = dispatch_arms
         .try_into()
@@ -275,8 +326,13 @@ fn main() {
             ("ast_tree", ExecutionPath::AstTreeWalk),
             ("ast", ExecutionPath::Ast),
         ],
+        STMTS_PER_CASE_TLP_NOREC,
     );
     let [ast_tree, ast] = eval_arms
+        .try_into()
+        .unwrap_or_else(|_| unreachable!("run_arms returns one Arm per input"));
+    let txn_arms = run_arms(&txn, &[("txn", ExecutionPath::Ast)], STMTS_PER_CASE_TXN_MIX);
+    let [txn_arm] = txn_arms
         .try_into()
         .unwrap_or_else(|_| unreachable!("run_arms returns one Arm per input"));
 
@@ -304,6 +360,10 @@ fn main() {
     let speedup = text.elapsed_s / ast_small.elapsed_s;
     let compiled_speedup = ast_tree.elapsed_s / ast.elapsed_s;
     let parallel_speedup = ast.elapsed_s / par_elapsed;
+    // Per-test-case cost ratio of the transactional schedule vs the plain
+    // eval schedule (the rollback oracle's reset-and-replay arms dominate).
+    let txn_ratio = txn_arm.test_cases_per_sec() / ast.test_cases_per_sec();
+    let txn_overhead = 1.0 / txn_ratio;
 
     println!("dispatch workload (1-row tables):");
     for arm in [&text, &ast_small] {
@@ -325,23 +385,36 @@ fn main() {
             arm.statements(),
         );
     }
+    println!("txn workload (eval + rollback oracle):");
+    println!(
+        "  {:<9} {:>8.3}s  {:>10.1} cases/s  ({} statements)",
+        txn_arm.label,
+        txn_arm.elapsed_s,
+        txn_arm.test_cases_per_sec(),
+        txn_arm.statements(),
+    );
     println!(
         "parallel({threads} threads) {par_elapsed:>8.3}s  (x{parallel_speedup:.2} over serial AST)"
     );
     println!("AST-path speedup over text path:        x{speedup:.2}");
     println!("compiled-evaluator speedup over tree:   x{compiled_speedup:.2}");
+    println!("txn-workload overhead over eval:        x{txn_overhead:.2}");
 
     let json = format!(
         "{{\n  \"schema_version\": {SCHEMA_VERSION},\n  \"seed\": {},\n  \"dialects\": {},\n  \
          \"queries_per_database\": {},\n  \
          \"dispatch\": {{\"max_insert_rows\": 1, \"text\": {}, \"ast\": {}}},\n  \
          \"eval\": {{\"max_insert_rows\": {}, \"ast_tree\": {}, \"ast\": {}}},\n  \
+         \"txn\": {{\"oracles\": \"tlp+norec+rollback\", \"ast\": {}}},\n  \
          \"speedup_ast_over_text\": {speedup:.3},\n  \
          \"speedup_compiled_over_tree\": {compiled_speedup:.3},\n  \
+         \"txn_overhead\": {txn_overhead:.3},\n  \
+         \"txn_throughput_ratio\": {txn_ratio:.3},\n  \
          \"parallel\": {{\"threads\": {threads}, \"elapsed_s\": {par_elapsed:.4}, \
          \"speedup_over_serial_ast\": {parallel_speedup:.3}}},\n  \
          \"ci_floors\": {{\"min_speedup_ast_over_text\": {FLOOR_AST_OVER_TEXT}, \
-         \"min_speedup_compiled_over_tree\": {FLOOR_COMPILED_OVER_TREE}}}\n}}\n",
+         \"min_speedup_compiled_over_tree\": {FLOOR_COMPILED_OVER_TREE}, \
+         \"min_txn_throughput_ratio\": {FLOOR_TXN_THROUGHPUT_RATIO}}}\n}}\n",
         dispatch.seed,
         fleet().len(),
         queries,
@@ -350,6 +423,7 @@ fn main() {
         eval.generator.max_insert_rows,
         ast_tree.json(),
         ast.json(),
+        txn_arm.json(),
     );
     std::fs::write(&output, &json).expect("write benchmark output");
 

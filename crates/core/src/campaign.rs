@@ -8,10 +8,10 @@
 
 use crate::dbms::DbmsConnection;
 use crate::feature::FeatureSet;
-use crate::generator::{AdaptiveGenerator, GeneratorConfig};
-use crate::oracle::{check_norec, check_tlp, BugReport, OracleKind, OracleOutcome};
+use crate::generator::{AdaptiveGenerator, GeneratedTxnSession, GeneratorConfig};
+use crate::oracle::{check_norec, check_rollback, check_tlp, BugReport, OracleKind, OracleOutcome};
 use crate::prioritizer::{BugPrioritizer, PriorityDecision};
-use crate::reducer::{BugReducer, ReducibleCase};
+use crate::reducer::{BugReducer, ReducibleCase, TxnCase};
 use crate::stats::FeatureKind;
 use sql_ast::Statement;
 
@@ -112,6 +112,9 @@ pub struct CampaignReport {
     pub reports: Vec<BugReport>,
     /// The prioritized bug-inducing cases in replayable form.
     pub prioritized_cases: Vec<ReducibleCase>,
+    /// The prioritized transactional cases flagged by the rollback oracle,
+    /// in replayable form.
+    pub txn_cases: Vec<TxnCase>,
     /// Validity-rate series sampled every `sample_every` test cases (used to
     /// show the convergence behaviour described in Section 5.4).
     pub validity_series: Vec<f64>,
@@ -193,13 +196,24 @@ impl Campaign {
                     .record_outcome(&generated.features, FeatureKind::DdlDml, success);
             }
 
-            // Phase 2: issue oracle-checked queries.
+            // Phase 2: issue oracle-checked test cases.
             for _ in 0..self.config.queries_per_database {
+                let mut oracle = self.config.oracles[oracle_index % self.config.oracles.len()];
+                oracle_index += 1;
+                if oracle == OracleKind::Rollback {
+                    if let Some(session) = self.generator.generate_txn_session() {
+                        self.run_txn_case(conn, &session, &setup_log, &mut report, sample_every);
+                        continue;
+                    }
+                    // No transactional session available (no base table yet,
+                    // or the learned profile says the dialect rejects
+                    // transactions): fall back to a TLP-checked query so the
+                    // slot is not wasted.
+                    oracle = OracleKind::Tlp;
+                }
                 let Some(query) = self.generator.generate_query() else {
                     break;
                 };
-                let oracle = self.config.oracles[oracle_index % self.config.oracles.len()];
-                oracle_index += 1;
                 let outcome = match oracle {
                     OracleKind::Tlp => check_tlp(
                         conn,
@@ -215,6 +229,8 @@ impl Campaign {
                         &query.features,
                         &setup_log,
                     ),
+                    // Rollback slots either ran above or degraded to TLP.
+                    OracleKind::Rollback => unreachable!("rollback slots are handled above"),
                 };
                 report.metrics.test_cases += 1;
                 let valid = outcome.is_valid();
@@ -243,6 +259,73 @@ impl Campaign {
         report.metrics.prioritized_bugs = self.prioritizer.stats().prioritized as u64;
         report.metrics.deduplicated_bugs = self.prioritizer.stats().deduplicated as u64;
         report
+    }
+
+    /// Runs one rollback-oracle test case: a generated transactional
+    /// session checked for the rollback/commit identities, with the same
+    /// metrics, feedback, prioritization and reduction treatment the
+    /// single-query oracles get.
+    fn run_txn_case(
+        &mut self,
+        conn: &mut dyn DbmsConnection,
+        session: &GeneratedTxnSession,
+        setup_log: &[String],
+        report: &mut CampaignReport,
+        sample_every: u64,
+    ) {
+        let outcome = check_rollback(
+            conn,
+            &session.table,
+            &session.statements,
+            &session.features,
+            setup_log,
+        );
+        report.metrics.test_cases += 1;
+        let valid = outcome.is_valid();
+        if valid {
+            report.metrics.valid_test_cases += 1;
+        }
+        self.generator
+            .record_outcome(&session.features, FeatureKind::Query, valid);
+        if report.metrics.test_cases.is_multiple_of(sample_every) {
+            report.validity_series.push(report.metrics.validity_rate());
+        }
+        let OracleOutcome::Bug(bug) = outcome else {
+            return;
+        };
+        report.metrics.detected_bug_cases += 1;
+        match self.prioritizer.classify(&session.features) {
+            PriorityDecision::PotentialDuplicate => {}
+            PriorityDecision::New => {
+                let mut case = TxnCase {
+                    setup: setup_log.to_vec(),
+                    table: session.table.clone(),
+                    statements: session.statements.clone(),
+                    features: session.features.clone(),
+                };
+                let mut final_bug = *bug;
+                if self.config.reduce_bugs {
+                    let (reduced, _stats) = {
+                        let mut reducer = BugReducer::new(conn, self.config.max_reduction_checks);
+                        reducer.reduce_txn(&case)
+                    };
+                    case = reduced;
+                    final_bug.setup = case.setup.clone();
+                    // Re-render the reduced session with the oracle's
+                    // transaction bracketing and probes, so the report stays
+                    // replayable verbatim.
+                    final_bug.queries = case.replay_script();
+                    // Reduction left the DBMS in a reduced-setup state;
+                    // rebuild the campaign's current state.
+                    conn.reset();
+                    for sql in setup_log {
+                        let _ = conn.execute(sql);
+                    }
+                }
+                report.reports.push(final_bug);
+                report.txn_cases.push(case);
+            }
+        }
     }
 
     #[allow(clippy::too_many_arguments)]

@@ -247,6 +247,13 @@ pub fn feature_universe() -> Vec<Feature> {
         "STMT_SELECT",
         "STMT_UPDATE",
         "STMT_DELETE",
+        // Transaction control — the `transactions` capability the rollback
+        // oracle exercises and the support model learns per dialect.
+        "STMT_BEGIN",
+        "STMT_COMMIT",
+        "STMT_ROLLBACK",
+        "STMT_SAVEPOINT",
+        "STMT_ROLLBACK_TO",
     ] {
         out.push(Feature::statement(stmt));
     }

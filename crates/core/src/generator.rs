@@ -101,6 +101,22 @@ pub struct GeneratedQuery {
     pub features: FeatureSet,
 }
 
+/// A generated multi-statement transactional session for the rollback
+/// oracle: mutations (and optional savepoint regions) against one table.
+/// The oracle supplies the outer `BEGIN`/`COMMIT`/`ROLLBACK` bracketing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratedTxnSession {
+    /// The table the mutations target (and the oracle fingerprints).
+    pub table: String,
+    /// The session body: DML, possibly interleaved with
+    /// `SAVEPOINT`/`ROLLBACK TO` pairs.
+    pub statements: Vec<Statement>,
+    /// The features enabled while generating it — always includes the
+    /// transaction-control statement features, which is how the Bayesian
+    /// support model learns per-dialect transaction support.
+    pub features: FeatureSet,
+}
+
 /// The adaptive statement generator.
 #[derive(Debug, Clone)]
 pub struct AdaptiveGenerator {
@@ -476,6 +492,124 @@ impl AdaptiveGenerator {
             sql,
             features,
             kind,
+        }
+    }
+
+    // ----------------------------------------------- transactional DML ----
+
+    /// Generates a transactional session for the rollback oracle: 1–4
+    /// mutations against one base table, optionally wrapped in a
+    /// `SAVEPOINT … ROLLBACK TO` region. Returns `None` when there is no
+    /// base table yet or when the learned profile says the dialect does not
+    /// support transactions (the `STMT_BEGIN`/`STMT_ROLLBACK`/`STMT_COMMIT`
+    /// features are suppressed) — the campaign then falls back to a
+    /// single-query oracle.
+    pub fn generate_txn_session(&mut self) -> Option<GeneratedTxnSession> {
+        for name in ["STMT_BEGIN", "STMT_ROLLBACK", "STMT_COMMIT"] {
+            if !self.should_generate(&Feature::statement(name), FeatureKind::Query) {
+                return None;
+            }
+        }
+        let table = self
+            .schema
+            .random_base_table(&mut self.rng.clone())?
+            .clone();
+        let mut features = FeatureSet::new();
+        // The bracketing statements the oracle will issue are part of the
+        // test case's feature set even though the generator does not emit
+        // them itself: a dialect rejecting BEGIN fails the whole session,
+        // and that evidence must land on the right features.
+        features.insert(Feature::statement("STMT_BEGIN"));
+        features.insert(Feature::statement("STMT_COMMIT"));
+        features.insert(Feature::statement("STMT_ROLLBACK"));
+        let mut statements = Vec::new();
+        for _ in 0..self.rng.gen_range(1..=2usize) {
+            let stmt = self.generate_mutation(&table, &mut features);
+            statements.push(stmt);
+        }
+        if self.bool_with(0.5)
+            && self.should_generate(&Feature::statement("STMT_SAVEPOINT"), FeatureKind::Query)
+            && self.should_generate(&Feature::statement("STMT_ROLLBACK_TO"), FeatureKind::Query)
+        {
+            features.insert(Feature::statement("STMT_SAVEPOINT"));
+            features.insert(Feature::statement("STMT_ROLLBACK_TO"));
+            statements.push(Statement::Savepoint("sp1".into()));
+            for _ in 0..self.rng.gen_range(1..=2usize) {
+                let stmt = self.generate_mutation(&table, &mut features);
+                statements.push(stmt);
+            }
+            statements.push(Statement::RollbackTo("sp1".into()));
+            if self.bool_with(0.4) {
+                let stmt = self.generate_mutation(&table, &mut features);
+                statements.push(stmt);
+            }
+        }
+        Some(GeneratedTxnSession {
+            table: table.name.clone(),
+            statements,
+            features,
+        })
+    }
+
+    /// Generates one mutation statement against `table`: mostly `INSERT`,
+    /// sometimes `UPDATE` or `DELETE` (which only transactional sessions
+    /// exercise — the database-construction phase never destroys state).
+    fn generate_mutation(&mut self, table: &ModelTable, features: &mut FeatureSet) -> Statement {
+        let choice = self.rng.gen_range(0..5u8);
+        match choice {
+            0 if self.should_generate(&Feature::statement("STMT_UPDATE"), FeatureKind::Query)
+                && !table.columns.is_empty() =>
+            {
+                features.insert(Feature::statement("STMT_UPDATE"));
+                let col = &table.columns[self.rng.gen_range(0..table.columns.len())];
+                let value = self.literal_of(col.data_type);
+                let (pred, pred_features) = self.generate_predicate(std::slice::from_ref(table), 2);
+                features.extend(&pred_features);
+                Statement::Update(sql_ast::Update {
+                    table: table.name.clone(),
+                    assignments: vec![(col.name.clone(), value)],
+                    where_clause: Some(pred),
+                })
+            }
+            1 if self.should_generate(&Feature::statement("STMT_DELETE"), FeatureKind::Query) => {
+                features.insert(Feature::statement("STMT_DELETE"));
+                let where_clause = if self.bool_with(0.8) {
+                    let (pred, pred_features) =
+                        self.generate_predicate(std::slice::from_ref(table), 2);
+                    features.extend(&pred_features);
+                    Some(pred)
+                } else {
+                    None
+                };
+                Statement::Delete(sql_ast::Delete {
+                    table: table.name.clone(),
+                    where_clause,
+                })
+            }
+            _ => {
+                features.insert(Feature::statement("STMT_INSERT"));
+                let mut values = Vec::new();
+                for _ in 0..self.rng.gen_range(1..=2usize) {
+                    let row: Vec<Expr> = table
+                        .columns
+                        .iter()
+                        .map(|col| {
+                            if self.bool_with(0.1) && !col.not_null {
+                                Expr::null()
+                            } else {
+                                self.literal_of(col.data_type)
+                            }
+                        })
+                        .collect();
+                    values.push(row);
+                }
+                Statement::Insert(Insert {
+                    table: table.name.clone(),
+                    columns: table.column_names(),
+                    values,
+                    or_ignore: false,
+                })
+            }
         }
     }
 

@@ -1,14 +1,20 @@
-//! Metamorphic test oracles: Ternary Logic Partitioning (TLP) and
-//! Non-optimizing Reference Engine Construction (NoREC).
+//! Metamorphic test oracles: Ternary Logic Partitioning (TLP),
+//! Non-optimizing Reference Engine Construction (NoREC), and the
+//! transaction-rollback oracle.
 //!
-//! Both oracles are DBMS-agnostic (Section 3, "Result validator"): they
-//! derive, from a generated query with predicate `p`, one or more equivalent
-//! queries via purely syntactic transformations and compare the results the
-//! DBMS returns for them.
+//! All oracles are DBMS-agnostic (Section 3, "Result validator"): they
+//! derive, from a generated test case, equivalent workloads via purely
+//! syntactic transformations and compare the results the DBMS returns for
+//! them. TLP and NoREC transform a single query; the rollback oracle
+//! transforms a multi-statement *session* — the same mutations bracketed by
+//! `BEGIN…ROLLBACK`, `BEGIN…COMMIT` and plain autocommit must leave
+//! observably identical (respectively: unchanged, identical, identical)
+//! table states, measured through ordinary `SELECT *` probes so the
+//! SQL-text-only contract is preserved.
 
 use crate::dbms::DbmsConnection;
 use crate::feature::FeatureSet;
-use sql_ast::{Expr, Select, SelectItem, Value};
+use sql_ast::{Expr, Select, SelectItem, Statement, TableWithJoins, Value};
 use std::fmt;
 
 /// Which oracle produced a verdict.
@@ -19,6 +25,10 @@ pub enum OracleKind {
     /// Non-optimizing Reference Engine Construction (Rigger & Su, ESEC/FSE
     /// 2020).
     NoRec,
+    /// Transaction-rollback oracle: `BEGIN…ROLLBACK` must be a no-op and
+    /// `BEGIN…COMMIT` must match the auto-commit run, compared via 128-bit
+    /// table fingerprints.
+    Rollback,
 }
 
 impl OracleKind {
@@ -27,6 +37,7 @@ impl OracleKind {
         match self {
             OracleKind::Tlp => "TLP",
             OracleKind::NoRec => "NoREC",
+            OracleKind::Rollback => "ROLLBACK",
         }
     }
 }
@@ -233,11 +244,204 @@ pub fn check_norec(
     }
 }
 
+// ------------------------------------------------------ rollback oracle ----
+
+/// The wildcard probe query the rollback oracle fingerprints a table with.
+fn probe_query(table: &str) -> Select {
+    Select {
+        projections: vec![SelectItem::Wildcard],
+        from: vec![TableWithJoins::table(table)],
+        ..Select::new()
+    }
+}
+
+/// The session's *net effect* under sound savepoint semantics: the
+/// statements that survive once every `SAVEPOINT s … ROLLBACK TO s` region
+/// is rewound. This is the auto-commit reference workload the committed
+/// transaction is compared against. Returns `None` for malformed sessions
+/// (a `ROLLBACK TO` without its savepoint, or stray `BEGIN`/`COMMIT`/
+/// `ROLLBACK` — the oracle adds the outer bracketing itself).
+fn net_effect(session: &[Statement]) -> Option<Vec<&Statement>> {
+    let mut out: Vec<&Statement> = Vec::new();
+    // Active savepoints: name (lowercased) plus the length of `out` when
+    // the savepoint was taken.
+    let mut savepoints: Vec<(String, usize)> = Vec::new();
+    for stmt in session {
+        match stmt {
+            Statement::Savepoint(name) => {
+                savepoints.push((name.to_ascii_lowercase(), out.len()));
+            }
+            Statement::RollbackTo(name) => {
+                let key = name.to_ascii_lowercase();
+                let at = savepoints.iter().rposition(|(n, _)| *n == key)?;
+                out.truncate(savepoints[at].1);
+                // The savepoint survives its own ROLLBACK TO; later ones do
+                // not.
+                savepoints.truncate(at + 1);
+            }
+            Statement::Begin | Statement::Commit | Statement::Rollback => return None,
+            other => out.push(other),
+        }
+    }
+    Some(out)
+}
+
+/// Executes one statement of a transactional session. Transaction-control
+/// rejections abort the check as *invalid* (that is the feedback the
+/// adaptive generator learns dialect transaction support from); ordinary
+/// DML failures are tolerated — the engine is deterministic, so the same
+/// statement fails identically in every arm.
+fn run_session_statement(conn: &mut dyn DbmsConnection, stmt: &Statement) -> Result<(), String> {
+    let outcome = conn.execute_ast(stmt);
+    if stmt.is_txn_control() {
+        if let crate::dbms::StatementOutcome::Failure(msg) = outcome {
+            return Err(msg);
+        }
+    }
+    Ok(())
+}
+
+/// Rebuilds the database state the campaign's setup log describes.
+fn rebuild(conn: &mut dyn DbmsConnection, setup: &[String]) {
+    conn.reset();
+    for sql in setup {
+        let _ = conn.execute(sql);
+    }
+}
+
+/// Applies the transaction-rollback oracle to a mutation session against
+/// `table`.
+///
+/// Three arms run from the identical rebuilt state:
+///
+/// 1. **auto-commit** — the session's net-effect statements, no transaction:
+///    the reference state `A`;
+/// 2. **`BEGIN` … session … `ROLLBACK`** — must leave the table fingerprint
+///    exactly where it started (a violated identity is a *lost rollback*);
+/// 3. **`BEGIN` … session … `COMMIT`** — must reproduce `A` (a divergence is
+///    a *phantom commit* or mis-scoped savepoint rewind).
+///
+/// Fingerprints are the oracles' usual order-insensitive 128-bit row-hash
+/// multisets, obtained through plain `SELECT *` probes — the platform never
+/// reads engine state directly, preserving the SQL-text-only contract.
+pub fn check_rollback(
+    conn: &mut dyn DbmsConnection,
+    table: &str,
+    session: &[Statement],
+    features: &FeatureSet,
+    setup: &[String],
+) -> OracleOutcome {
+    let outcome = check_rollback_arms(conn, table, session, features, setup);
+    // The campaign's invariant is that between test cases the connection
+    // reflects exactly the setup log; the arms above committed mutations,
+    // so rebuild before handing the connection back.
+    rebuild(conn, setup);
+    outcome
+}
+
+fn check_rollback_arms(
+    conn: &mut dyn DbmsConnection,
+    table: &str,
+    session: &[Statement],
+    features: &FeatureSet,
+    setup: &[String],
+) -> OracleOutcome {
+    let Some(reference) = net_effect(session) else {
+        return OracleOutcome::Invalid("malformed transactional session".into());
+    };
+    let probe = probe_query(table);
+    let fingerprint =
+        |conn: &mut dyn DbmsConnection| conn.query_ast(&probe).map(|rs| rs.multiset_fingerprint());
+
+    // Arm 1: auto-commit reference.
+    rebuild(conn, setup);
+    let base = match fingerprint(conn) {
+        Ok(fp) => fp,
+        Err(err) => return OracleOutcome::Invalid(err),
+    };
+    for stmt in &reference {
+        if let Err(err) = run_session_statement(conn, stmt) {
+            return OracleOutcome::Invalid(err);
+        }
+    }
+    let auto_commit = match fingerprint(conn) {
+        Ok(fp) => fp,
+        Err(err) => return OracleOutcome::Invalid(err),
+    };
+
+    // Arm 2: BEGIN … ROLLBACK must be a no-op.
+    rebuild(conn, setup);
+    for stmt in std::iter::once(&Statement::Begin)
+        .chain(session.iter())
+        .chain(std::iter::once(&Statement::Rollback))
+    {
+        if let Err(err) = run_session_statement(conn, stmt) {
+            return OracleOutcome::Invalid(err);
+        }
+    }
+    let rolled_back = match fingerprint(conn) {
+        Ok(fp) => fp,
+        Err(err) => return OracleOutcome::Invalid(err),
+    };
+    if rolled_back != base {
+        return OracleOutcome::Bug(Box::new(BugReport {
+            oracle: OracleKind::Rollback,
+            description: format!(
+                "rollback oracle: BEGIN…ROLLBACK changed {table} ({} rows before, {} after)",
+                base.len(),
+                rolled_back.len()
+            ),
+            setup: setup.to_vec(),
+            queries: render_session(table, session, Statement::Rollback),
+            features: features.clone(),
+        }));
+    }
+
+    // Arm 3: BEGIN … COMMIT must match the auto-commit reference.
+    for stmt in std::iter::once(&Statement::Begin)
+        .chain(session.iter())
+        .chain(std::iter::once(&Statement::Commit))
+    {
+        if let Err(err) = run_session_statement(conn, stmt) {
+            return OracleOutcome::Invalid(err);
+        }
+    }
+    let committed = match fingerprint(conn) {
+        Ok(fp) => fp,
+        Err(err) => return OracleOutcome::Invalid(err),
+    };
+    if committed != auto_commit {
+        return OracleOutcome::Bug(Box::new(BugReport {
+            oracle: OracleKind::Rollback,
+            description: format!(
+                "rollback oracle: BEGIN…COMMIT diverged from auto-commit on {table} \
+                 ({} rows committed, {} rows expected)",
+                committed.len(),
+                auto_commit.len()
+            ),
+            setup: setup.to_vec(),
+            queries: render_session(table, session, Statement::Commit),
+            features: features.clone(),
+        }));
+    }
+    OracleOutcome::Passed
+}
+
+/// Cold path: renders the bracketed session (plus the probe) for a bug
+/// report.
+fn render_session(table: &str, session: &[Statement], closer: Statement) -> Vec<String> {
+    let mut out = Vec::with_capacity(session.len() + 3);
+    out.push(Statement::Begin.to_string());
+    out.extend(session.iter().map(Statement::to_string));
+    out.push(closer.to_string());
+    out.push(probe_query(table).to_string());
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::dbms::{QueryResult, StatementOutcome};
-    use sql_ast::TableWithJoins;
     use std::collections::BTreeMap;
 
     /// A scripted mock DBMS: maps SQL text to canned results.
@@ -375,6 +579,46 @@ mod tests {
                 vec![vec![Value::Boolean(true)]],
             );
         assert!(check_norec(&mut buggy, &query, &predicate, &features, &[]).is_bug());
+    }
+
+    #[test]
+    fn net_effect_rewinds_savepoint_regions() {
+        let ins = |v: i64| {
+            Statement::Insert(sql_ast::Insert {
+                table: "t0".into(),
+                columns: vec!["c0".into()],
+                values: vec![vec![Expr::integer(v)]],
+                or_ignore: false,
+            })
+        };
+        let session = vec![
+            ins(1),
+            Statement::Savepoint("sp1".into()),
+            ins(2),
+            Statement::RollbackTo("sp1".into()),
+            ins(3),
+        ];
+        let net = net_effect(&session).unwrap();
+        let rendered: Vec<String> = net.iter().map(|s| s.to_string()).collect();
+        assert_eq!(
+            rendered,
+            vec![
+                "INSERT INTO t0 (c0) VALUES (1)",
+                "INSERT INTO t0 (c0) VALUES (3)"
+            ]
+        );
+        // A savepoint survives its own ROLLBACK TO.
+        let twice = vec![
+            Statement::Savepoint("s".into()),
+            ins(1),
+            Statement::RollbackTo("s".into()),
+            ins(2),
+            Statement::RollbackTo("s".into()),
+        ];
+        assert!(net_effect(&twice).unwrap().is_empty());
+        // Malformed sessions are rejected.
+        assert!(net_effect(&[Statement::RollbackTo("ghost".into())]).is_none());
+        assert!(net_effect(&[Statement::Begin]).is_none());
     }
 
     #[test]

@@ -6,11 +6,20 @@
 //! replacing sub-expressions with their children (a simple syntactic
 //! delta-debugging pass). Reduction re-validates the oracle verdict after
 //! every candidate simplification.
+//!
+//! Transactional test cases ([`TxnCase`]) get their own pass
+//! ([`BugReducer::reduce_txn`]): setup statements and session mutations are
+//! dropped one at a time while the rollback oracle still flags the session.
+//! The `BEGIN`/`COMMIT`/`ROLLBACK` bracketing is supplied by the oracle
+//! itself and therefore can never be reduced away, and `SAVEPOINT` /
+//! `ROLLBACK TO` pairs are kept consistent: a candidate that would orphan a
+//! `ROLLBACK TO` is never proposed, and dropping a `SAVEPOINT` drops its
+//! `ROLLBACK TO`s in the same candidate.
 
 use crate::dbms::DbmsConnection;
 use crate::feature::FeatureSet;
-use crate::oracle::{check_norec, check_tlp, OracleKind, OracleOutcome};
-use sql_ast::{Expr, Select};
+use crate::oracle::{check_norec, check_rollback, check_tlp, OracleKind, OracleOutcome};
+use sql_ast::{Expr, Select, Statement};
 
 /// A reducible bug-inducing test case: the database-construction statements
 /// plus the query and predicate the oracle flagged.
@@ -26,6 +35,40 @@ pub struct ReducibleCase {
     pub oracle: OracleKind,
     /// The feature set recorded at generation time.
     pub features: FeatureSet,
+}
+
+/// A reducible transactional test case: the setup plus the mutation session
+/// the rollback oracle flagged (the oracle re-adds the outer transaction
+/// bracketing on every re-validation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TxnCase {
+    /// SQL statements that build the database state.
+    pub setup: Vec<String>,
+    /// The table the session mutates (and the oracle fingerprints).
+    pub table: String,
+    /// The session body: DML and `SAVEPOINT`/`ROLLBACK TO` statements.
+    pub statements: Vec<Statement>,
+    /// The feature set recorded at generation time.
+    pub features: FeatureSet,
+}
+
+impl TxnCase {
+    /// Renders the full replay script of the rollback oracle's transactional
+    /// arms: the session bracketed by `BEGIN…ROLLBACK` and by
+    /// `BEGIN…COMMIT`, each followed by the `SELECT *` probe whose
+    /// fingerprint the oracle compares. This is what a bug report's
+    /// `queries` carry so a human can reproduce the discrepancy verbatim.
+    pub fn replay_script(&self) -> Vec<String> {
+        let probe = format!("SELECT * FROM {}", self.table);
+        let mut out = Vec::with_capacity(2 * (self.statements.len() + 3));
+        for closer in [Statement::Rollback, Statement::Commit] {
+            out.push(Statement::Begin.to_string());
+            out.extend(self.statements.iter().map(Statement::to_string));
+            out.push(closer.to_string());
+            out.push(probe.clone());
+        }
+        out
+    }
 }
 
 /// Statistics about a reduction run.
@@ -87,6 +130,10 @@ impl<'a> BugReducer<'a> {
                 &case.features,
                 &case.setup,
             ),
+            // Rollback-oracle cases are transactional sessions, reduced via
+            // [`BugReducer::reduce_txn`] on a [`TxnCase`]; a single-query
+            // `ReducibleCase` cannot carry one.
+            OracleKind::Rollback => return false,
         };
         matches!(outcome, OracleOutcome::Bug(_))
     }
@@ -136,6 +183,93 @@ impl<'a> BugReducer<'a> {
 
         stats.setup_after = current.setup.len();
         stats.predicate_nodes_after = current.predicate.node_count();
+        stats.checks = self.checks;
+        (current, stats)
+    }
+
+    /// Checks whether a candidate transactional case still reproduces the
+    /// bug under the rollback oracle.
+    fn reproduces_txn(&mut self, case: &TxnCase) -> bool {
+        if self.checks >= self.max_checks {
+            return false;
+        }
+        self.checks += 1;
+        let outcome = check_rollback(
+            self.conn,
+            &case.table,
+            &case.statements,
+            &case.features,
+            &case.setup,
+        );
+        matches!(outcome, OracleOutcome::Bug(_))
+    }
+
+    /// Whether every `ROLLBACK TO` in the session still has a matching
+    /// earlier `SAVEPOINT` — candidates violating this would turn the bug
+    /// into an unrelated "no such savepoint" error, so they are never
+    /// proposed.
+    fn savepoints_consistent(statements: &[Statement]) -> bool {
+        let mut names: Vec<String> = Vec::new();
+        for stmt in statements {
+            match stmt {
+                Statement::Savepoint(n) => names.push(n.to_ascii_lowercase()),
+                Statement::RollbackTo(n) if !names.contains(&n.to_ascii_lowercase()) => {
+                    return false;
+                }
+                _ => {}
+            }
+        }
+        true
+    }
+
+    /// Reduces a transactional test case: setup statements first, then
+    /// session statements, preserving the oracle-supplied transaction
+    /// bracketing and the savepoint pairing throughout. The statistics
+    /// reuse the predicate-node fields for the session statement counts.
+    pub fn reduce_txn(&mut self, case: &TxnCase) -> (TxnCase, ReductionStats) {
+        let mut current = case.clone();
+        let mut stats = ReductionStats {
+            setup_before: case.setup.len(),
+            predicate_nodes_before: case.statements.len(),
+            ..ReductionStats::default()
+        };
+
+        // Phase 1: drop setup statements (last to first).
+        let mut i = current.setup.len();
+        while i > 0 {
+            i -= 1;
+            let mut candidate = current.clone();
+            candidate.setup.remove(i);
+            if self.reproduces_txn(&candidate) {
+                current = candidate;
+            }
+        }
+
+        // Phase 2: drop session statements (last to first). Dropping a
+        // SAVEPOINT also drops every ROLLBACK TO that names it, so a
+        // candidate is always a well-formed session.
+        let mut i = current.statements.len();
+        while i > 0 {
+            i -= 1;
+            let mut candidate = current.clone();
+            let removed = candidate.statements.remove(i);
+            if let Statement::Savepoint(name) = &removed {
+                let key = name.to_ascii_lowercase();
+                candidate.statements.retain(
+                    |s| !matches!(s, Statement::RollbackTo(n) if n.to_ascii_lowercase() == key),
+                );
+            }
+            if !Self::savepoints_consistent(&candidate.statements) {
+                continue;
+            }
+            if self.reproduces_txn(&candidate) {
+                i = i.min(candidate.statements.len());
+                current = candidate;
+            }
+        }
+
+        stats.setup_after = current.setup.len();
+        stats.predicate_nodes_after = current.statements.len();
         stats.checks = self.checks;
         (current, stats)
     }

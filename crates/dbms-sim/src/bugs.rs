@@ -222,6 +222,30 @@ pub fn catalog() -> Vec<InjectedBug> {
             description: "HAVING without aggregates evaluated before grouping",
         },
         InjectedBug {
+            id: "BUG-LOST-ROLLBACK",
+            fault: "txn_lost_rollback",
+            is_logic: true,
+            features: &["STMT_BEGIN", "STMT_ROLLBACK"],
+            description:
+                "ROLLBACK discards the undo log, leaving the transaction's writes in place",
+        },
+        InjectedBug {
+            id: "BUG-PHANTOM-COMMIT",
+            fault: "txn_phantom_commit",
+            is_logic: true,
+            features: &["STMT_BEGIN", "STMT_COMMIT"],
+            description:
+                "COMMIT applies the undo log, silently discarding the transaction's writes",
+        },
+        InjectedBug {
+            id: "BUG-SAVEPOINT-COLLAPSE",
+            fault: "txn_savepoint_collapse",
+            is_logic: true,
+            features: &["STMT_SAVEPOINT", "STMT_ROLLBACK_TO"],
+            description:
+                "ROLLBACK TO SAVEPOINT rewinds to transaction start, collapsing the savepoint stack",
+        },
+        InjectedBug {
             id: "BUG-DEEP-EXPR-CRASH",
             fault: "crash_on_deep_expressions",
             is_logic: false,

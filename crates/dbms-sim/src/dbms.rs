@@ -5,8 +5,8 @@ use crate::profile::DialectProfile;
 use sql_ast::{Select, Statement};
 use sql_engine::{Database, EngineConfig, EvalStrategy, ExecutionMode};
 use sqlancer_core::{
-    check_norec, check_tlp, DbmsConnection, DialectQuirks, OracleKind, OracleOutcome, QueryResult,
-    ReducibleCase, StatementOutcome,
+    check_norec, check_rollback, check_tlp, DbmsConnection, DialectQuirks, OracleKind,
+    OracleOutcome, QueryResult, ReducibleCase, StatementOutcome, TxnCase,
 };
 
 /// A simulated DBMS under test: a dialect profile layered over the
@@ -129,7 +129,22 @@ impl SimulatedDbms {
                 &case.features,
                 &case.setup,
             ),
+            // Rollback-oracle cases are transactional sessions
+            // ([`TxnCase`]), replayed via [`SimulatedDbms::run_txn_case`].
+            OracleKind::Rollback => {
+                OracleOutcome::Invalid("rollback cases replay as TxnCase".into())
+            }
         }
+    }
+
+    fn run_txn_case(&mut self, case: &TxnCase) -> OracleOutcome {
+        check_rollback(
+            self,
+            &case.table,
+            &case.statements,
+            &case.features,
+            &case.setup,
+        )
     }
 
     /// Identifies which injected bugs a reduced test case triggers, by
@@ -145,6 +160,26 @@ impl SimulatedDbms {
         for fault in &self.faults {
             let mut fixed = self.without_fault(fault);
             if !matches!(fixed.run_case(case), OracleOutcome::Bug(_)) {
+                if let Some(bug) = bugs_for_faults(&[fault]).first() {
+                    causes.push(bug.id);
+                }
+            }
+        }
+        causes
+    }
+
+    /// [`SimulatedDbms::ground_truth_bugs`] for a transactional test case
+    /// flagged by the rollback oracle: the case is replayed against variants
+    /// of this DBMS with one fault disabled at a time.
+    pub fn ground_truth_txn_bugs(&self, case: &TxnCase) -> Vec<&'static str> {
+        let mut reproducer = self.clone();
+        if !matches!(reproducer.run_txn_case(case), OracleOutcome::Bug(_)) {
+            return Vec::new();
+        }
+        let mut causes = Vec::new();
+        for fault in &self.faults {
+            let mut fixed = self.without_fault(fault);
+            if !matches!(fixed.run_txn_case(case), OracleOutcome::Bug(_)) {
                 if let Some(bug) = bugs_for_faults(&[fault]).first() {
                     causes.push(bug.id);
                 }

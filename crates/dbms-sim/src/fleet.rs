@@ -70,8 +70,15 @@ pub fn fleet() -> Vec<DialectPreset> {
         preset(
             "cratedb",
             TypingMode::Strict,
+            // CrateDB has no multi-statement transactions: every
+            // transaction-control statement is rejected, which is what the
+            // adaptive generator's `transactions` feature learns.
             &[
                 "STMT_CREATE_INDEX",
+                "STMT_BEGIN",
+                "STMT_ROLLBACK",
+                "STMT_SAVEPOINT",
+                "STMT_ROLLBACK_TO",
                 "OP_NULLSAFE_EQ",
                 "FN_IIF",
                 "FN_IF",
@@ -111,6 +118,7 @@ pub fn fleet() -> Vec<DialectPreset> {
                 "bad_group_by_collation",
                 "bad_like_underscore",
                 "bad_count_nulls",
+                "txn_lost_rollback",
                 "crash_on_deep_expressions",
                 "crash_on_many_joins",
             ],
@@ -151,6 +159,7 @@ pub fn fleet() -> Vec<DialectPreset> {
             &[
                 "bad_notnull_isnull_folding",
                 "bad_having_pushdown",
+                "txn_savepoint_collapse",
                 "crash_on_deep_expressions",
             ],
             false,
@@ -190,6 +199,7 @@ pub fn fleet() -> Vec<DialectPreset> {
                 "bad_case_folding",
                 "bad_sum_empty_group",
                 "bad_having_pushdown",
+                "txn_phantom_commit",
                 "crash_on_many_joins",
             ],
             false,
@@ -229,8 +239,13 @@ pub fn fleet() -> Vec<DialectPreset> {
         preset(
             "risingwave",
             TypingMode::Strict,
+            // Streaming system: no interactive transactions.
             &[
                 "STMT_CREATE_INDEX",
+                "STMT_BEGIN",
+                "STMT_ROLLBACK",
+                "STMT_SAVEPOINT",
+                "STMT_ROLLBACK_TO",
                 "OP_NULLSAFE_EQ",
                 "STMT_ANALYZE",
                 "FN_IIF",
@@ -306,11 +321,14 @@ pub fn fleet() -> Vec<DialectPreset> {
         preset(
             "vitess",
             TypingMode::Dynamic,
+            // Sharded MySQL: transactions work, savepoints do not.
             &[
                 "JOIN_FULL",
                 "OP_IS_DISTINCT",
                 "OP_IS_NOT_DISTINCT",
                 "STMT_CREATE_VIEW",
+                "STMT_SAVEPOINT",
+                "STMT_ROLLBACK_TO",
             ],
             &["bad_index_lookup_coercion"],
             false,

@@ -49,18 +49,11 @@ pub struct FleetReport {
 /// Derives the seed for one dialect's campaign from the fleet campaign
 /// seed. FNV-1a over the dialect name, mixed with the campaign seed through
 /// SplitMix64 finalisation — deterministic, order-independent and stable
-/// across runs and thread schedules.
+/// across runs and thread schedules. The hash primitives live in
+/// [`sql_ast::hash`] (shared with the row fingerprints) rather than being
+/// re-inlined here.
 pub fn derive_dialect_seed(campaign_seed: u64, dialect: &str) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for byte in dialect.as_bytes() {
-        hash ^= u64::from(*byte);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    let mut z = campaign_seed ^ hash;
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    sql_ast::mix_seed(campaign_seed, dialect)
 }
 
 /// Runs one dialect's campaign with its derived seed over the given

@@ -1,0 +1,182 @@
+//! The workspace's shared non-cryptographic hash primitives.
+//!
+//! Three families of hashing live in this one module so that no other crate
+//! carries its own copy of the constants:
+//!
+//! * [`fnv1a64`] — 64-bit FNV-1a over bytes, used for name-keyed seed
+//!   derivation (the fleet runner hashes dialect names with it);
+//! * [`splitmix64`] — the SplitMix64 finaliser, used to turn an XOR of
+//!   seed material into a well-mixed 64-bit stream seed ([`mix_seed`]
+//!   composes the two exactly the way the fleet runner derives per-dialect
+//!   seeds);
+//! * [`Fingerprint128`] / [`row_fingerprint`] — the 128-bit FNV-1a hasher
+//!   behind result-row fingerprints and compiled-plan cache keys.
+
+use crate::value::Value;
+
+/// 64-bit FNV-1a offset basis.
+pub const FNV1A64_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// 64-bit FNV-1a prime.
+pub const FNV1A64_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// Hashes a byte slice with 64-bit FNV-1a.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = FNV1A64_OFFSET;
+    for byte in bytes {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(FNV1A64_PRIME);
+    }
+    hash
+}
+
+/// The SplitMix64 finaliser: one full mixing step over a 64-bit word.
+///
+/// Exposed here so seed-derivation code shares one definition instead of
+/// inlining the constants. (The `rand` shim's `StdRng` uses the same
+/// constants but keeps its own inline copy on purpose: it emulates the
+/// external `rand` crate and stays dependency-free, and its stateful
+/// stream advance is a different function from this stateless finaliser.)
+pub fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives a stream seed from a base seed and a name:
+/// `splitmix64(seed XOR fnv1a64(name))`.
+///
+/// Deterministic, order-independent and stable across runs — the property
+/// the fleet runner relies on for byte-identical serial/parallel campaigns.
+pub fn mix_seed(seed: u64, name: &str) -> u64 {
+    splitmix64(seed ^ fnv1a64(name.as_bytes()))
+}
+
+/// A 128-bit FNV-1a hasher used to fingerprint result rows without
+/// allocating.
+///
+/// The oracles compare query results as multisets of rows; fingerprinting a
+/// row to a single `u128` replaces the per-row `String` keys of the legacy
+/// path, so the campaign hot loop sorts and compares machine words instead
+/// of heap-allocated strings. 128 bits make accidental collisions
+/// statistically irrelevant at fleet scale (billions of rows would give a
+/// collision probability below 10⁻²⁰).
+#[derive(Debug, Clone)]
+pub struct Fingerprint128 {
+    state: u128,
+}
+
+impl Fingerprint128 {
+    const OFFSET_BASIS: u128 = 0x6c62272e07bb014262b821756295c58d;
+    const PRIME: u128 = 0x0000000001000000000000000000013B;
+
+    /// Creates a hasher in its initial state.
+    pub fn new() -> Fingerprint128 {
+        Fingerprint128 {
+            state: Self::OFFSET_BASIS,
+        }
+    }
+
+    /// Absorbs one byte.
+    pub fn write_u8(&mut self, byte: u8) {
+        self.state ^= u128::from(byte);
+        self.state = self.state.wrapping_mul(Self::PRIME);
+    }
+
+    /// Absorbs eight bytes (little-endian).
+    pub fn write_u64(&mut self, word: u64) {
+        for byte in word.to_le_bytes() {
+            self.write_u8(byte);
+        }
+    }
+
+    /// Absorbs a byte slice.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.write_u8(byte);
+        }
+    }
+
+    /// Absorbs eight bytes in a **single** multiply step — roughly 8× fewer
+    /// 128-bit multiplies than [`Fingerprint128::write_u64`], at the cost of
+    /// not being byte-stream-compatible with it. Used for plan-cache keys,
+    /// which only need speed and collision resistance, never byte-level
+    /// compatibility with the row-fingerprint encoding.
+    pub fn write_word(&mut self, word: u64) {
+        self.state ^= u128::from(word);
+        self.state = self.state.wrapping_mul(Self::PRIME);
+    }
+
+    /// Absorbs a string as its length followed by 8-byte words (the tail is
+    /// zero-padded; the length prefix keeps the encoding unambiguous).
+    /// Word-based companion of [`Fingerprint128::write_bytes`].
+    pub fn write_str_words(&mut self, s: &str) {
+        let bytes = s.as_bytes();
+        self.write_word(bytes.len() as u64);
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.write_word(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.write_word(u64::from_le_bytes(word));
+        }
+    }
+
+    /// The accumulated 128-bit hash.
+    pub fn finish(&self) -> u128 {
+        self.state
+    }
+}
+
+impl Default for Fingerprint128 {
+    fn default() -> Fingerprint128 {
+        Fingerprint128::new()
+    }
+}
+
+/// Fingerprints one result row to a 128-bit hash of its canonical dedup
+/// identity (see [`Value::fingerprint_into`]). Two rows receive the same
+/// fingerprint when their legacy [`Value::dedup_key`] strings match; the
+/// hash additionally *refines* the legacy joined-string key by
+/// length-prefixing text, eliminating its concatenation ambiguity (e.g.
+/// `["a\u{1}Tb"]` vs `["a", "b"]` collide as joined strings but not as
+/// fingerprints).
+pub fn row_fingerprint(row: &[Value]) -> u128 {
+    let mut hasher = Fingerprint128::new();
+    for value in row {
+        value.fingerprint_into(&mut hasher);
+    }
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn splitmix64_is_a_permutation_step() {
+        // Distinct inputs map to distinct outputs and the function is pure.
+        assert_eq!(splitmix64(0), splitmix64(0));
+        assert_ne!(splitmix64(0), splitmix64(1));
+        // Reference value of SplitMix64 with seed 0 (first output).
+        assert_eq!(splitmix64(0), 0xE220_A839_7B1D_CDAF);
+    }
+
+    #[test]
+    fn mix_seed_depends_on_both_inputs() {
+        assert_ne!(mix_seed(1, "sqlite"), mix_seed(1, "mysql"));
+        assert_ne!(mix_seed(1, "sqlite"), mix_seed(2, "sqlite"));
+        assert_eq!(mix_seed(1, "sqlite"), mix_seed(1, "sqlite"));
+    }
+}

@@ -29,6 +29,7 @@
 
 mod expr;
 mod func;
+pub mod hash;
 mod ops;
 mod select;
 mod stmt;
@@ -37,6 +38,7 @@ mod value;
 
 pub use expr::{CaseBranch, ColumnRef, Expr};
 pub use func::{AggregateFunction, FunctionCategory, ScalarFunction};
+pub use hash::{fnv1a64, mix_seed, row_fingerprint, splitmix64, Fingerprint128};
 pub use ops::{BinaryOp, UnaryOp};
 pub use select::{
     Join, JoinType, OrderByItem, Select, SelectItem, SetOperation, SetOperator, SortOrder,
@@ -47,6 +49,4 @@ pub use stmt::{
     Statement, TableConstraint, Update,
 };
 pub use types::DataType;
-pub use value::{
-    format_real, parse_numeric_prefix, row_fingerprint, Fingerprint128, TruthValue, Value,
-};
+pub use value::{format_real, parse_numeric_prefix, TruthValue, Value};

@@ -310,8 +310,10 @@ impl DropKind {
 /// The paper's generator implements six statements (`CREATE TABLE`,
 /// `CREATE INDEX`, `CREATE VIEW`, `INSERT`, `ANALYZE`, `SELECT`); this
 /// reproduction additionally models `UPDATE`, `DELETE`, `DROP`, `REFRESH`
-/// and `COMMIT` because several dialect quirks (Section 6, "Manual effort")
-/// involve them.
+/// and the transaction-control statements (`BEGIN`, `COMMIT`, `ROLLBACK`,
+/// `SAVEPOINT`, `ROLLBACK TO`) because several dialect quirks (Section 6,
+/// "Manual effort") involve them and the rollback oracle drives
+/// multi-statement transactional sessions through them.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Statement {
     /// `CREATE TABLE`.
@@ -341,8 +343,18 @@ pub enum Statement {
     },
     /// `REFRESH TABLE <name>` (CrateDB-style eventual-consistency flush).
     Refresh(String),
-    /// `COMMIT`.
+    /// `BEGIN` — opens an explicit transaction.
+    Begin,
+    /// `COMMIT` — makes the open transaction's writes permanent (a no-op in
+    /// autocommit, which is what JDBC-autocommit-off dialects rely on).
     Commit,
+    /// `ROLLBACK` — discards the open transaction's writes.
+    Rollback,
+    /// `SAVEPOINT <name>` — marks a point within the open transaction.
+    Savepoint(String),
+    /// `ROLLBACK TO <name>` — rewinds the open transaction to a savepoint,
+    /// keeping the transaction (and the savepoint) active.
+    RollbackTo(String),
 }
 
 impl Statement {
@@ -370,6 +382,19 @@ impl Statement {
         matches!(self, Statement::Select(_))
     }
 
+    /// Is this a transaction-control statement (`BEGIN`, `COMMIT`,
+    /// `ROLLBACK`, `SAVEPOINT`, `ROLLBACK TO`)?
+    pub fn is_txn_control(&self) -> bool {
+        matches!(
+            self,
+            Statement::Begin
+                | Statement::Commit
+                | Statement::Rollback
+                | Statement::Savepoint(_)
+                | Statement::RollbackTo(_)
+        )
+    }
+
     /// Canonical feature name of the statement kind (`STMT_<KIND>`).
     pub fn feature_name(&self) -> &'static str {
         match self {
@@ -383,7 +408,11 @@ impl Statement {
             Statement::Select(_) => "STMT_SELECT",
             Statement::Drop { .. } => "STMT_DROP",
             Statement::Refresh(_) => "STMT_REFRESH",
+            Statement::Begin => "STMT_BEGIN",
             Statement::Commit => "STMT_COMMIT",
+            Statement::Rollback => "STMT_ROLLBACK",
+            Statement::Savepoint(_) => "STMT_SAVEPOINT",
+            Statement::RollbackTo(_) => "STMT_ROLLBACK_TO",
         }
     }
 }
@@ -414,7 +443,11 @@ impl fmt::Display for Statement {
                 f.write_str(name)
             }
             Statement::Refresh(t) => write!(f, "REFRESH TABLE {t}"),
+            Statement::Begin => f.write_str("BEGIN"),
             Statement::Commit => f.write_str("COMMIT"),
+            Statement::Rollback => f.write_str("ROLLBACK"),
+            Statement::Savepoint(name) => write!(f, "SAVEPOINT {name}"),
+            Statement::RollbackTo(name) => write!(f, "ROLLBACK TO {name}"),
         }
     }
 }
@@ -499,6 +532,18 @@ mod tests {
             "REFRESH TABLE t0"
         );
         assert_eq!(Statement::Commit.to_string(), "COMMIT");
+        assert_eq!(Statement::Begin.to_string(), "BEGIN");
+        assert_eq!(Statement::Rollback.to_string(), "ROLLBACK");
+        assert_eq!(
+            Statement::Savepoint("sp1".into()).to_string(),
+            "SAVEPOINT sp1"
+        );
+        assert_eq!(
+            Statement::RollbackTo("sp1".into()).to_string(),
+            "ROLLBACK TO sp1"
+        );
+        assert!(Statement::Begin.is_txn_control());
+        assert!(!Statement::Analyze(None).is_txn_control());
         assert_eq!(
             Statement::Drop {
                 kind: DropKind::Table,
@@ -524,7 +569,11 @@ mod tests {
     fn statement_feature_names_are_distinct() {
         use std::collections::HashSet;
         let stmts = [
+            Statement::Begin,
             Statement::Commit,
+            Statement::Rollback,
+            Statement::Savepoint("s".into()),
+            Statement::RollbackTo("s".into()),
             Statement::Analyze(None),
             Statement::Refresh("t".into()),
         ];

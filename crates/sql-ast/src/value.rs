@@ -4,6 +4,7 @@
 //! expressions to values, result sets are grids of values, and the oracles
 //! compare multisets of value rows.
 
+use crate::hash::Fingerprint128;
 use crate::types::DataType;
 use std::cmp::Ordering;
 use std::fmt;
@@ -238,7 +239,8 @@ impl Value {
     /// booleans collapse onto the integer encoding (so `1`, `1.0` and `TRUE`
     /// fingerprint identically, as SQL equality demands), every `NaN` is
     /// canonicalised to one bit pattern, and each variant is tagged so that
-    /// e.g. `1` and `'1'` stay distinct.
+    /// e.g. `1` and `'1'` stay distinct. The hasher itself lives in
+    /// [`crate::hash`] alongside the other shared hash primitives.
     pub fn fingerprint_into(&self, hasher: &mut Fingerprint128) {
         match self {
             Value::Null => hasher.write_u8(0),
@@ -298,106 +300,6 @@ impl Value {
             Value::Boolean(b) => format!("I{}", i64::from(*b)),
         }
     }
-}
-
-/// A 128-bit FNV-1a hasher used to fingerprint result rows without
-/// allocating.
-///
-/// The oracles compare query results as multisets of rows; fingerprinting a
-/// row to a single `u128` replaces the per-row `String` keys of the legacy
-/// path, so the campaign hot loop sorts and compares machine words instead
-/// of heap-allocated strings. 128 bits make accidental collisions
-/// statistically irrelevant at fleet scale (billions of rows would give a
-/// collision probability below 10⁻²⁰).
-#[derive(Debug, Clone)]
-pub struct Fingerprint128 {
-    state: u128,
-}
-
-impl Fingerprint128 {
-    const OFFSET_BASIS: u128 = 0x6c62272e07bb014262b821756295c58d;
-    const PRIME: u128 = 0x0000000001000000000000000000013B;
-
-    /// Creates a hasher in its initial state.
-    pub fn new() -> Fingerprint128 {
-        Fingerprint128 {
-            state: Self::OFFSET_BASIS,
-        }
-    }
-
-    /// Absorbs one byte.
-    pub fn write_u8(&mut self, byte: u8) {
-        self.state ^= u128::from(byte);
-        self.state = self.state.wrapping_mul(Self::PRIME);
-    }
-
-    /// Absorbs eight bytes (little-endian).
-    pub fn write_u64(&mut self, word: u64) {
-        for byte in word.to_le_bytes() {
-            self.write_u8(byte);
-        }
-    }
-
-    /// Absorbs a byte slice.
-    pub fn write_bytes(&mut self, bytes: &[u8]) {
-        for &byte in bytes {
-            self.write_u8(byte);
-        }
-    }
-
-    /// Absorbs eight bytes in a **single** multiply step — roughly 8× fewer
-    /// 128-bit multiplies than [`Fingerprint128::write_u64`], at the cost of
-    /// not being byte-stream-compatible with it. Used for plan-cache keys,
-    /// which only need speed and collision resistance, never byte-level
-    /// compatibility with the row-fingerprint encoding.
-    pub fn write_word(&mut self, word: u64) {
-        self.state ^= u128::from(word);
-        self.state = self.state.wrapping_mul(Self::PRIME);
-    }
-
-    /// Absorbs a string as its length followed by 8-byte words (the tail is
-    /// zero-padded; the length prefix keeps the encoding unambiguous).
-    /// Word-based companion of [`Fingerprint128::write_bytes`].
-    pub fn write_str_words(&mut self, s: &str) {
-        let bytes = s.as_bytes();
-        self.write_word(bytes.len() as u64);
-        let mut chunks = bytes.chunks_exact(8);
-        for chunk in &mut chunks {
-            self.write_word(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
-        }
-        let rest = chunks.remainder();
-        if !rest.is_empty() {
-            let mut word = [0u8; 8];
-            word[..rest.len()].copy_from_slice(rest);
-            self.write_word(u64::from_le_bytes(word));
-        }
-    }
-
-    /// The accumulated 128-bit hash.
-    pub fn finish(&self) -> u128 {
-        self.state
-    }
-}
-
-impl Default for Fingerprint128 {
-    fn default() -> Fingerprint128 {
-        Fingerprint128::new()
-    }
-}
-
-/// Fingerprints one result row to a 128-bit hash of its canonical dedup
-/// identity (see [`Value::fingerprint_into`]). Two rows receive the same
-/// fingerprint when their legacy [`Value::dedup_key`] strings match; the
-/// hash additionally *refines* the legacy joined-string key by
-/// length-prefixing text, eliminating its concatenation ambiguity (e.g.
-/// `["a\u{1}Tb"]` vs `["a", "b"]` collide as joined strings but not as
-/// fingerprints).
-pub fn row_fingerprint(row: &[Value]) -> u128 {
-    let mut hasher = Fingerprint128::new();
-    for value in row {
-        value.fingerprint_into(&mut hasher);
-    }
-    hasher.finish()
 }
 
 /// Parses the longest numeric prefix of a string, as SQLite does when
@@ -494,6 +396,7 @@ impl From<f64> for Value {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::hash::row_fingerprint;
 
     #[test]
     fn three_valued_logic_tables() {

@@ -173,22 +173,25 @@ fn plan_key(db: &Database, mode: ExecutionMode, bindings: &[RelationBinding], ex
 ///
 /// `mode` selects which plan-cache partition the result lives in (several
 /// injected faults read the mode at evaluation time, and memoized constant
-/// results must therefore never cross modes). `has_outer` must be `true`
-/// when rows will be evaluated with a parent scope attached (correlated
-/// subquery contexts); such plans — and plans containing subqueries, whose
-/// bodies the structural fingerprint does not cover — are compiled fresh
-/// instead of cached.
+/// results must therefore never cross modes). Plans are scope-polymorphic:
+/// a column that does not bind locally compiles to a closure that defers to
+/// the evaluation scope's parent chain at run time, so the same cached plan
+/// serves both correlated (outer scope attached) and top-level evaluation —
+/// this is what lets correlated-subquery sites compile **once per
+/// statement** and hit the cache on every subsequent outer row instead of
+/// falling back to the tree walker per row. Only plans containing
+/// subqueries, whose bodies the structural fingerprint does not cover, are
+/// compiled fresh instead of cached.
 pub fn compile_expr(
     db: &Database,
     mode: ExecutionMode,
     bindings: &[RelationBinding],
-    has_outer: bool,
     expr: &Expr,
 ) -> CompiledExpr {
     // Single-node expressions (plain column projections, literals) compile
     // to one closure; going through the cache would cost more than the
-    // compile. Subquery-containing and correlated plans are uncacheable.
-    if matches!(expr, Expr::Literal(_) | Expr::Column(_)) || has_outer || expr.contains_subquery() {
+    // compile. Subquery-containing plans are uncacheable.
+    if matches!(expr, Expr::Literal(_) | Expr::Column(_)) || expr.contains_subquery() {
         let env = CompileEnv { bindings };
         return CompiledExpr {
             run: compile_node(expr, &env).into_root(),
@@ -205,20 +208,17 @@ pub fn compile_expr(
         Expr::Unary {
             op: UnaryOp::Not,
             expr: inner,
-        } => unary_fn(
-            UnaryOp::Not,
-            compile_expr(db, mode, bindings, false, inner).run,
-        ),
+        } => unary_fn(UnaryOp::Not, compile_expr(db, mode, bindings, inner).run),
         Expr::IsNull {
             expr: inner,
             negated,
-        } => is_null_fn(compile_expr(db, mode, bindings, false, inner).run, *negated),
+        } => is_null_fn(compile_expr(db, mode, bindings, inner).run, *negated),
         Expr::IsBool {
             expr: inner,
             target,
             negated,
         } => is_bool_fn(
-            compile_expr(db, mode, bindings, false, inner).run,
+            compile_expr(db, mode, bindings, inner).run,
             *target,
             *negated,
         ),
@@ -246,25 +246,26 @@ impl<'e> SiteExpr<'e> {
     /// Builds the plan for one evaluation site according to the database's
     /// configured [`EvalStrategy`].
     ///
-    /// Sites with an outer scope belong to a subquery execution, which both
-    /// evaluators re-run per *outer* row — compiling there would pay the
-    /// one-time compile cost once per row instead of once per statement, so
-    /// those sites stay on the tree walker (which is also what keeps their
-    /// plans out of the cache). Subquery-*containing* expressions likewise
-    /// stay on the tree walker: their per-row cost is dominated by
-    /// re-executing the subquery (identical on both evaluators), so
-    /// compiling would only add an uncacheable closure build plus a deep
-    /// clone of each subquery body per statement.
+    /// Sites with an outer scope belong to a correlated-subquery execution,
+    /// which both evaluators re-run per *outer* row. Compiled plans are
+    /// scope-polymorphic (non-local columns defer to the parent scope at
+    /// evaluation time), so these sites go through [`compile_expr`] like any
+    /// other: the first outer row pays the compile, every later row is a
+    /// cache hit — the subquery body is effectively memoized once per
+    /// statement instead of tree-walked per outer row. Only
+    /// subquery-*containing* expressions stay on the tree walker: their
+    /// per-row cost is dominated by re-executing the subquery (identical on
+    /// both evaluators), and their plans are uncacheable because the
+    /// structural fingerprint does not descend into subquery bodies.
     pub fn new(
         db: &Database,
         mode: ExecutionMode,
         bindings: &[RelationBinding],
-        outer: Option<&Scope<'_>>,
         expr: &'e Expr,
     ) -> SiteExpr<'e> {
         match db.config.eval {
-            EvalStrategy::Compiled if outer.is_none() && !expr.contains_subquery() => {
-                SiteExpr::Compiled(compile_expr(db, mode, bindings, false, expr))
+            EvalStrategy::Compiled if !expr.contains_subquery() => {
+                SiteExpr::Compiled(compile_expr(db, mode, bindings, expr))
             }
             EvalStrategy::Compiled | EvalStrategy::TreeWalk => SiteExpr::Tree(expr),
         }
@@ -810,7 +811,7 @@ mod tests {
         let scope = Scope::new(&bindings, row);
         let evaluator = Evaluator::new(db, ExecutionMode::Reference);
         let tree = evaluator.eval(expr, &scope);
-        let compiled = compile_expr(db, ExecutionMode::Reference, &bindings, false, expr);
+        let compiled = compile_expr(db, ExecutionMode::Reference, &bindings, expr);
         let fast = compiled.eval(&evaluator, &scope);
         (tree, fast)
     }
@@ -851,7 +852,7 @@ mod tests {
         let bindings = bindings();
         let scope = Scope::new(&bindings, &[Value::Null, Value::Null]);
         let evaluator = Evaluator::new(&strict, ExecutionMode::Reference);
-        let compiled = compile_expr(&strict, ExecutionMode::Reference, &bindings, false, &expr);
+        let compiled = compile_expr(&strict, ExecutionMode::Reference, &bindings, &expr);
         for _ in 0..3 {
             let out = compiled.eval(&evaluator, &scope);
             assert_eq!(out, evaluator.eval(&expr, &scope));
@@ -863,8 +864,8 @@ mod tests {
         let db = db();
         let bindings = bindings();
         let pred = sql_parser::parse_expression("c0 = 1").unwrap();
-        let a = compile_expr(&db, ExecutionMode::Optimized, &bindings, false, &pred);
-        let b = compile_expr(&db, ExecutionMode::Optimized, &bindings, false, &pred);
+        let a = compile_expr(&db, ExecutionMode::Optimized, &bindings, &pred);
+        let b = compile_expr(&db, ExecutionMode::Optimized, &bindings, &pred);
         assert!(
             StdArc::ptr_eq(&a.run, &b.run),
             "recompiling the same predicate must hit the cache"
@@ -873,10 +874,10 @@ mod tests {
         // plan — the predicate itself is not recompiled, so the cache now
         // holds entries for `p`, `NOT p` and `p IS NULL` all sharing `p`.
         let negated = pred.clone().not();
-        let _ = compile_expr(&db, ExecutionMode::Optimized, &bindings, false, &negated);
+        let _ = compile_expr(&db, ExecutionMode::Optimized, &bindings, &negated);
         let is_null = pred.clone().is_null();
-        let _ = compile_expr(&db, ExecutionMode::Optimized, &bindings, false, &is_null);
-        let c = compile_expr(&db, ExecutionMode::Optimized, &bindings, false, &pred);
+        let _ = compile_expr(&db, ExecutionMode::Optimized, &bindings, &is_null);
+        let c = compile_expr(&db, ExecutionMode::Optimized, &bindings, &pred);
         assert!(StdArc::ptr_eq(&a.run, &c.run));
     }
 
@@ -885,8 +886,8 @@ mod tests {
         let db = db();
         let bindings = bindings();
         let pred = sql_parser::parse_expression("c0 = 1").unwrap();
-        let opt = compile_expr(&db, ExecutionMode::Optimized, &bindings, false, &pred);
-        let refe = compile_expr(&db, ExecutionMode::Reference, &bindings, false, &pred);
+        let opt = compile_expr(&db, ExecutionMode::Optimized, &bindings, &pred);
+        let refe = compile_expr(&db, ExecutionMode::Reference, &bindings, &pred);
         assert!(!StdArc::ptr_eq(&opt.run, &refe.run));
     }
 
@@ -900,7 +901,7 @@ mod tests {
         let expr = sql_parser::parse_expression("c0").unwrap();
         let scope = Scope::new(&bindings, &[Value::Integer(1), Value::Integer(2)]);
         let evaluator = Evaluator::new(&db, ExecutionMode::Reference);
-        let compiled = compile_expr(&db, ExecutionMode::Reference, &bindings, false, &expr);
+        let compiled = compile_expr(&db, ExecutionMode::Reference, &bindings, &expr);
         assert_eq!(
             compiled.eval(&evaluator, &scope),
             evaluator.eval(&expr, &scope)

@@ -230,7 +230,26 @@ pub fn execute_statement(db: &mut Database, stmt: &Statement) -> EngineResult<St
             }
             Ok(StatementResult::Ok)
         }
-        Statement::Commit => Ok(StatementResult::Ok),
+        Statement::Begin => {
+            db.txn_begin()?;
+            Ok(StatementResult::Ok)
+        }
+        Statement::Commit => {
+            db.txn_commit()?;
+            Ok(StatementResult::Ok)
+        }
+        Statement::Rollback => {
+            db.txn_rollback()?;
+            Ok(StatementResult::Ok)
+        }
+        Statement::Savepoint(name) => {
+            db.txn_savepoint(name)?;
+            Ok(StatementResult::Ok)
+        }
+        Statement::RollbackTo(name) => {
+            db.txn_rollback_to(name)?;
+            Ok(StatementResult::Ok)
+        }
     }
 }
 
@@ -486,11 +505,11 @@ fn execute_update(db: &mut Database, update: &sql_ast::Update) -> EngineResult<S
         let pred_plan = update
             .where_clause
             .as_ref()
-            .map(|p| SiteExpr::new(db, ExecutionMode::Reference, &bindings, None, p));
+            .map(|p| SiteExpr::new(db, ExecutionMode::Reference, &bindings, p));
         let value_plans: Vec<SiteExpr<'_>> = update
             .assignments
             .iter()
-            .map(|(_, e)| SiteExpr::new(db, ExecutionMode::Reference, &bindings, None, e))
+            .map(|(_, e)| SiteExpr::new(db, ExecutionMode::Reference, &bindings, e))
             .collect();
         for row in &rows {
             let scope = Scope::new(&bindings, row);
@@ -559,7 +578,7 @@ fn execute_delete(db: &mut Database, delete: &sql_ast::Delete) -> EngineResult<S
         let pred_plan = delete
             .where_clause
             .as_ref()
-            .map(|p| SiteExpr::new(db, ExecutionMode::Reference, &bindings, None, p));
+            .map(|p| SiteExpr::new(db, ExecutionMode::Reference, &bindings, p));
         for row in &rows {
             let scope = Scope::new(&bindings, row);
             let matches = match &pred_plan {
@@ -878,8 +897,7 @@ fn join_relations<'a>(
         _ => join.on.as_ref(),
     };
     // The join condition is compiled once and evaluated per row pair.
-    let condition: Option<SiteExpr<'_>> =
-        condition.map(|c| SiteExpr::new(db, mode, &bindings, outer, c));
+    let condition: Option<SiteExpr<'_>> = condition.map(|c| SiteExpr::new(db, mode, &bindings, c));
     let condition = condition.as_ref();
 
     let mut rows: Vec<Row> = Vec::new();
@@ -1063,7 +1081,7 @@ fn apply_where<'a>(
     };
     let evaluator = Evaluator::new(db, mode);
     // The predicate is compiled once per statement and run per row.
-    let plan = SiteExpr::new(db, mode, &relation.bindings, outer, pred);
+    let plan = SiteExpr::new(db, mode, &relation.bindings, pred);
     // Owned rows are filtered by move; borrowed rows clone survivors only.
     let rows: Vec<Row> = match rows_in {
         Cow::Owned(owned) => {
@@ -1238,7 +1256,6 @@ fn projection_plans<'e>(
     db: &Database,
     mode: ExecutionMode,
     bindings: &[RelationBinding],
-    outer: Option<&Scope<'_>>,
     projections: &'e [(String, ProjectionSource)],
 ) -> Vec<ProjPlan<'e>> {
     let compiled = db.config.eval == crate::config::EvalStrategy::Compiled;
@@ -1249,15 +1266,18 @@ fn projection_plans<'e>(
             ProjectionSource::Expr(e) => {
                 // Plain column projections that bind locally need no closure
                 // at all: a pre-resolved offset copy is exactly what the
-                // compiled column plan would do per row.
-                if compiled && outer.is_none() {
+                // compiled column plan would do per row. Columns that do not
+                // bind locally (correlated references) fall through to the
+                // compiled plan, which defers to the parent scope at
+                // evaluation time.
+                if compiled {
                     if let Expr::Column(c) = e {
                         if let Some(i) = crate::compile::local_column_offset(bindings, c) {
                             return ProjPlan::Position(i);
                         }
                     }
                 }
-                ProjPlan::Expr(SiteExpr::new(db, mode, bindings, outer, e))
+                ProjPlan::Expr(SiteExpr::new(db, mode, bindings, e))
             }
         })
         .collect()
@@ -1276,8 +1296,8 @@ fn project_rows(
     let evaluator = Evaluator::new(db, mode);
     // Per-statement plans: projection expressions and ORDER BY keys are
     // compiled once, then run per row.
-    let plans = projection_plans(db, mode, &relation.bindings, outer, &projections);
-    let order_plan = OrderPlan::new(db, select, mode, &relation.bindings, outer, &columns);
+    let plans = projection_plans(db, mode, &relation.bindings, &projections);
+    let order_plan = OrderPlan::new(db, select, mode, &relation.bindings, &columns);
     let mut rows = Vec::with_capacity(relation.rows.len());
     for row in relation.rows.iter() {
         let scope = Scope {
@@ -1341,7 +1361,6 @@ impl<'e> AggPlan<'e> {
         db: &Database,
         mode: ExecutionMode,
         bindings: &[RelationBinding],
-        outer: Option<&Scope<'_>>,
         agg: &'e Expr,
     ) -> EngineResult<AggPlan<'e>> {
         let Expr::Aggregate {
@@ -1355,9 +1374,7 @@ impl<'e> AggPlan<'e> {
         Ok(AggPlan {
             key: agg.to_string(),
             func: *func,
-            arg: arg
-                .as_deref()
-                .map(|a| SiteExpr::new(db, mode, bindings, outer, a)),
+            arg: arg.as_deref().map(|a| SiteExpr::new(db, mode, bindings, a)),
             distinct: *distinct,
         })
     }
@@ -1506,7 +1523,7 @@ fn aggregate_and_project(
         let group_plans: Vec<SiteExpr<'_>> = select
             .group_by
             .iter()
-            .map(|g| SiteExpr::new(db, mode, &relation.bindings, outer, g))
+            .map(|g| SiteExpr::new(db, mode, &relation.bindings, g))
             .collect();
         for row in relation.rows.iter() {
             let scope = Scope {
@@ -1548,14 +1565,14 @@ fn aggregate_and_project(
     // HAVING predicate, projection expressions and ORDER BY keys.
     let agg_plans: Vec<AggPlan<'_>> = aggregate_exprs
         .iter()
-        .map(|agg| AggPlan::new(db, mode, &relation.bindings, outer, agg))
+        .map(|agg| AggPlan::new(db, mode, &relation.bindings, agg))
         .collect::<EngineResult<_>>()?;
     let having_plan = select
         .having
         .as_ref()
-        .map(|h| SiteExpr::new(db, mode, &relation.bindings, outer, h));
-    let proj_plans = projection_plans(db, mode, &relation.bindings, outer, &projections);
-    let order_plan = OrderPlan::new(db, select, mode, &relation.bindings, outer, &columns);
+        .map(|h| SiteExpr::new(db, mode, &relation.bindings, h));
+    let proj_plans = projection_plans(db, mode, &relation.bindings, &projections);
+    let order_plan = OrderPlan::new(db, select, mode, &relation.bindings, &columns);
 
     let mut rows = Vec::new();
     for (_, group_rows) in groups {
@@ -1658,7 +1675,6 @@ impl<'e> OrderPlan<'e> {
         select: &'e Select,
         mode: ExecutionMode,
         bindings: &[RelationBinding],
-        outer: Option<&Scope<'_>>,
         columns: &[String],
     ) -> OrderPlan<'e> {
         if select.order_by.is_empty() || select.set_op.is_some() {
@@ -1677,12 +1693,10 @@ impl<'e> OrderPlan<'e> {
                         .position(|name| name.eq_ignore_ascii_case(&c.column))
                     {
                         Some(i) => OrderKeySource::Output(i),
-                        None => OrderKeySource::Eval(SiteExpr::new(
-                            db, mode, bindings, outer, &item.expr,
-                        )),
+                        None => OrderKeySource::Eval(SiteExpr::new(db, mode, bindings, &item.expr)),
                     }
                 }
-                _ => OrderKeySource::Eval(SiteExpr::new(db, mode, bindings, outer, &item.expr)),
+                _ => OrderKeySource::Eval(SiteExpr::new(db, mode, bindings, &item.expr)),
             })
             .collect();
         OrderPlan { items }

@@ -108,6 +108,20 @@ pub struct FaultConfig {
     /// path when they reference no aggregate.
     pub bad_having_pushdown: bool,
 
+    // ---- transaction faults (detected by the rollback oracle) ----
+    /// `ROLLBACK` discards the undo log without applying it, leaving every
+    /// write of the transaction in place — the transaction effectively
+    /// commits ("lost rollback").
+    pub txn_lost_rollback: bool,
+    /// `COMMIT` applies the undo log before discarding it, silently throwing
+    /// the transaction's writes away — the commit reports success but the
+    /// data never lands ("phantom commit").
+    pub txn_phantom_commit: bool,
+    /// `ROLLBACK TO SAVEPOINT` rewinds to the start of the transaction
+    /// instead of to the named savepoint, collapsing the whole savepoint
+    /// stack ("savepoint collapse").
+    pub txn_savepoint_collapse: bool,
+
     // ---- "other bug" faults (crashes / internal errors, not logic bugs) ----
     /// Deeply nested expressions (depth > 2) above a size threshold cause an
     /// internal error, modelling the paper's non-logic "unexpected error"
@@ -186,6 +200,9 @@ impl FaultConfig {
             self.bad_view_predicate_drop,
             self.bad_group_by_collation,
             self.bad_having_pushdown,
+            self.txn_lost_rollback,
+            self.txn_phantom_commit,
+            self.txn_savepoint_collapse,
             self.crash_on_deep_expressions,
             self.crash_on_many_joins,
         ];
@@ -232,6 +249,9 @@ impl FaultConfig {
             ("bad_view_predicate_drop", self.bad_view_predicate_drop),
             ("bad_group_by_collation", self.bad_group_by_collation),
             ("bad_having_pushdown", self.bad_having_pushdown),
+            ("txn_lost_rollback", self.txn_lost_rollback),
+            ("txn_phantom_commit", self.txn_phantom_commit),
+            ("txn_savepoint_collapse", self.txn_savepoint_collapse),
             ("crash_on_deep_expressions", self.crash_on_deep_expressions),
             ("crash_on_many_joins", self.crash_on_many_joins),
         ]
@@ -268,6 +288,9 @@ impl FaultConfig {
             "bad_view_predicate_drop" => self.bad_view_predicate_drop = true,
             "bad_group_by_collation" => self.bad_group_by_collation = true,
             "bad_having_pushdown" => self.bad_having_pushdown = true,
+            "txn_lost_rollback" => self.txn_lost_rollback = true,
+            "txn_phantom_commit" => self.txn_phantom_commit = true,
+            "txn_savepoint_collapse" => self.txn_savepoint_collapse = true,
             "crash_on_deep_expressions" => self.crash_on_deep_expressions = true,
             "crash_on_many_joins" => self.crash_on_many_joins = true,
             _ => return false,

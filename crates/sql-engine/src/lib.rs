@@ -20,6 +20,11 @@
 //! [`Database`]), with the tree-walking [`Evaluator`] kept as the
 //! observationally-identical reference arm ([`EvalStrategy::TreeWalk`]).
 //!
+//! The engine is transactional: `BEGIN`/`COMMIT`/`ROLLBACK`/`SAVEPOINT`/
+//! `ROLLBACK TO` run against a per-table undo log (see the `txn` module),
+//! giving explicit transactions snapshot semantics over the in-memory
+//! storage while autocommit remains the default.
+//!
 //! Logic bugs can be *injected* via [`FaultConfig`]: each switch enables one
 //! wrong rewrite, access-path shortcut, or evaluation quirk, several of them
 //! modeled on real bugs discussed in the paper. The `dbms-sim` crate layers
@@ -52,6 +57,7 @@ mod faults;
 mod functions;
 mod optimizer;
 mod storage;
+mod txn;
 
 pub use catalog::{Catalog, Column, IndexDef, TableSchema, ViewDef};
 pub use compile::{compile_expr, CompiledExpr, SiteExpr};

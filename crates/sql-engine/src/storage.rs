@@ -90,8 +90,11 @@ pub struct Database {
     pub catalog: Catalog,
     /// Execution behaviour (typing discipline, injected faults).
     pub config: EngineConfig,
-    data: BTreeMap<String, Vec<Row>>,
-    stats: BTreeMap<String, TableStats>,
+    pub(crate) data: BTreeMap<String, Vec<Row>>,
+    pub(crate) stats: BTreeMap<String, TableStats>,
+    /// Open-transaction state: empty in autocommit, one frame per
+    /// `BEGIN`/`SAVEPOINT` otherwise (see [`crate::txn`]).
+    pub(crate) txn: crate::txn::TxnStack,
     coverage: RefCell<CoverageTracker>,
     plans: crate::compile::PlanCache,
 }
@@ -111,11 +114,13 @@ impl Database {
 
     /// Registers storage for a newly created table.
     pub(crate) fn create_storage(&mut self, name: &str) {
+        self.txn_touch(name);
         self.data.insert(Self::key(name).into_owned(), Vec::new());
     }
 
     /// Removes storage (and stats) for a dropped table.
     pub(crate) fn drop_storage(&mut self, name: &str) {
+        self.txn_touch(name);
         self.data.remove(Self::key(name).as_ref());
         self.stats.remove(Self::key(name).as_ref());
     }
@@ -131,12 +136,15 @@ impl Database {
             .ok_or_else(|| EngineError::catalog(format!("no such table: {name}")))
     }
 
-    /// Mutable rows of a stored table.
+    /// Mutable rows of a stored table. Inside a transaction, the table's
+    /// pre-image is captured into the innermost undo frame before the
+    /// mutable borrow is handed out.
     ///
     /// # Errors
     ///
     /// Fails when the table has no storage (unknown table).
     pub fn rows_mut(&mut self, name: &str) -> EngineResult<&mut Vec<Row>> {
+        self.txn_touch(name);
         self.data
             .get_mut(Self::key(name).as_ref())
             .ok_or_else(|| EngineError::catalog(format!("no such table: {name}")))
@@ -149,6 +157,7 @@ impl Database {
 
     /// Records statistics for a table.
     pub(crate) fn set_stats(&mut self, name: &str, stats: TableStats) {
+        self.txn_touch(name);
         self.stats.insert(Self::key(name).into_owned(), stats);
     }
 

@@ -67,4 +67,36 @@ mod tests {
         assert!(rendered.contains("RIGHT JOIN"));
         assert!(rendered.contains("WHERE t0.c0"));
     }
+
+    #[test]
+    fn round_trips_transaction_control_statements() {
+        use sql_ast::Statement;
+        let script = "
+            BEGIN;
+            INSERT INTO t0 (c0) VALUES (1);
+            SAVEPOINT sp1;
+            DELETE FROM t0;
+            ROLLBACK TO sp1;
+            COMMIT;
+            BEGIN TRANSACTION;
+            ROLLBACK;
+        ";
+        let stmts = parse_statements(script).unwrap();
+        assert_eq!(stmts[0], Statement::Begin);
+        assert_eq!(stmts[2], Statement::Savepoint("sp1".into()));
+        assert_eq!(stmts[4], Statement::RollbackTo("sp1".into()));
+        assert_eq!(stmts[5], Statement::Commit);
+        assert_eq!(stmts[6], Statement::Begin);
+        assert_eq!(stmts[7], Statement::Rollback);
+        // Rendered forms parse back to the same AST.
+        for stmt in &stmts {
+            assert_eq!(&parse_statement(&stmt.to_string()).unwrap(), stmt);
+        }
+        // Noise words are accepted.
+        assert_eq!(parse_statement("BEGIN WORK").unwrap(), Statement::Begin);
+        assert_eq!(
+            parse_statement("ROLLBACK TO SAVEPOINT a").unwrap(),
+            Statement::RollbackTo("a".into())
+        );
+    }
 }

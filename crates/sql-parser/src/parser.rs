@@ -144,9 +144,26 @@ impl Parser {
             Some("SELECT") => Ok(Statement::Select(Box::new(self.parse_select()?))),
             Some("DROP") => self.parse_drop(),
             Some("REFRESH") => self.parse_refresh(),
+            Some("BEGIN") => {
+                self.pos += 1;
+                // Optional `TRANSACTION` / `WORK` noise word.
+                if !self.consume_keyword("TRANSACTION") {
+                    self.consume_keyword("WORK");
+                }
+                Ok(Statement::Begin)
+            }
             Some("COMMIT") => {
                 self.pos += 1;
+                if !self.consume_keyword("TRANSACTION") {
+                    self.consume_keyword("WORK");
+                }
                 Ok(Statement::Commit)
+            }
+            Some("ROLLBACK") => self.parse_rollback(),
+            Some("SAVEPOINT") => {
+                self.pos += 1;
+                let name = self.expect_identifier("savepoint name")?;
+                Ok(Statement::Savepoint(name))
             }
             other => Err(self.error(format!("expected a statement, found {other:?}"))),
         }
@@ -421,6 +438,20 @@ impl Parser {
         self.expect_keyword("TABLE")?;
         let table = self.expect_identifier("table name")?;
         Ok(Statement::Refresh(table))
+    }
+
+    fn parse_rollback(&mut self) -> Result<Statement, ParseError> {
+        self.expect_keyword("ROLLBACK")?;
+        if !self.consume_keyword("TRANSACTION") {
+            self.consume_keyword("WORK");
+        }
+        if self.consume_keyword("TO") {
+            // Optional `SAVEPOINT` noise word before the name.
+            self.consume_keyword("SAVEPOINT");
+            let name = self.expect_identifier("savepoint name")?;
+            return Ok(Statement::RollbackTo(name));
+        }
+        Ok(Statement::Rollback)
     }
 
     /// Parses a `SELECT` query (including compound queries).

@@ -196,7 +196,7 @@ fn run_differential(seed: u64, config: &EngineConfig, mode: ExecutionMode, cases
     let bindings = bindings();
     for case in 0..cases {
         let expr = arb_expr(&mut rng, 3);
-        let compiled = compile_expr(&compiled_db, mode, &bindings, false, &expr);
+        let compiled = compile_expr(&compiled_db, mode, &bindings, &expr);
         for _ in 0..4 {
             let row: Vec<Value> = (0..4).map(|_| arb_value(&mut rng)).collect();
             let scope = Scope::new(&bindings, &row);
