@@ -55,11 +55,14 @@ gate() { # gate <name> <actual> <floor>
 floor_ast=$(json_number BENCH_campaign.json min_speedup_ast_over_text)
 floor_compiled=$(json_number BENCH_campaign.json min_speedup_compiled_over_tree)
 floor_txn=$(json_number BENCH_campaign.json min_txn_throughput_ratio)
+floor_iso=$(json_number BENCH_campaign.json min_isolation_throughput_ratio)
 actual_ast=$(json_number "$SMOKE_JSON" speedup_ast_over_text)
 actual_compiled=$(json_number "$SMOKE_JSON" speedup_compiled_over_tree)
 actual_txn=$(json_number "$SMOKE_JSON" txn_throughput_ratio)
+actual_iso=$(json_number "$SMOKE_JSON" isolation_throughput_ratio)
 gate speedup_ast_over_text "$actual_ast" "$floor_ast"
 gate speedup_compiled_over_tree "$actual_compiled" "$floor_compiled"
 gate txn_throughput_ratio "$actual_txn" "$floor_txn"
+gate isolation_throughput_ratio "$actual_iso" "$floor_iso"
 
 echo "CI OK"

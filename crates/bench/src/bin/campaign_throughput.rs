@@ -13,12 +13,18 @@
 //!   a multi-statement `BEGIN…ROLLBACK`/`BEGIN…COMMIT` session with
 //!   setup-replay rebuilds — reported as a `txn_overhead` ratio against the
 //!   eval workload's compiled arm;
+//! * **concurrency** (the eval workload with the isolation oracle in the
+//!   schedule): every third test case is a two-session concurrent schedule
+//!   replayed serially in both commit orders — reported as sessions/sec
+//!   (two concurrent sessions per schedule) and the fleet-wide
+//!   conflict-abort rate, with an `isolation_throughput_ratio` against the
+//!   eval workload's compiled arm;
 //!
 //! plus serial vs parallel fleet sharding on the eval workload.
 //!
-//! Writes `BENCH_campaign.json` (`schema_version` 3) with queries/sec per
-//! arm, the AST/text, compiled/tree and txn-overhead ratios, the
-//! parallel/serial speedup, and the committed `ci_floors` that `ci.sh`
+//! Writes `BENCH_campaign.json` (`schema_version` 4) with queries/sec per
+//! arm, the AST/text, compiled/tree, txn-overhead and isolation ratios,
+//! the parallel/serial speedup, and the committed `ci_floors` that `ci.sh`
 //! gates regressions against. The written file is validated before the
 //! process exits: malformed or partial output is a non-zero exit, which CI
 //! checks.
@@ -33,7 +39,7 @@ use std::time::Instant;
 
 /// The version of the JSON layout this binary writes. Bump when keys are
 /// added or renamed so the CI gate can evolve without breaking old files.
-const SCHEMA_VERSION: u32 = 3;
+const SCHEMA_VERSION: u32 = 4;
 
 /// Committed regression floors, written into the benchmark artifact and
 /// enforced by `ci.sh` against the smoke run. Deliberately conservative:
@@ -46,6 +52,12 @@ const FLOOR_COMPILED_OVER_TREE: f64 = 1.02;
 /// workload's test-case throughput. Catching a runaway regression is the
 /// point; the steady-state ratio sits far above this.
 const FLOOR_TXN_THROUGHPUT_RATIO: f64 = 0.05;
+/// The concurrency workload (isolation oracle every third case: two
+/// concurrent sessions plus up to two serial replays, each with a
+/// setup-replay rebuild) must keep at least this fraction of the eval
+/// workload's test-case throughput. Deliberately conservative — the
+/// schedule machinery clones the committed database per `BEGIN`.
+const FLOOR_ISOLATION_THROUGHPUT_RATIO: f64 = 0.02;
 
 fn base_config(queries_per_database: usize) -> CampaignConfig {
     let mut config = CampaignConfig {
@@ -90,6 +102,15 @@ fn txn_config(queries_per_database: usize) -> CampaignConfig {
     config
 }
 
+/// The concurrency workload: the eval workload with the isolation oracle
+/// added, so every third test case is a two-session concurrent schedule
+/// (snapshot workspaces, first-committer-wins validation, serial replays).
+fn concurrency_config(queries_per_database: usize) -> CampaignConfig {
+    let mut config = eval_config(queries_per_database);
+    config.oracles = vec![OracleKind::Tlp, OracleKind::NoRec, OracleKind::Isolation];
+    config
+}
+
 /// Estimated DBMS-visible statements per oracle test case, per workload.
 ///
 /// TLP issues 4 derived queries per case and NoREC 2, so the alternating
@@ -98,10 +119,14 @@ fn txn_config(queries_per_database: usize) -> CampaignConfig {
 /// configuration), four fingerprint probes, the session body executed
 /// three times (~2.5 statements per execution) and six transaction-control
 /// statements — roughly 54 — so the three-oracle txn schedule averages
-/// about (4 + 2 + 54) / 3 = 20. These are estimates for the reported
-/// throughput numbers, not measured counts.
+/// about (4 + 2 + 54) / 3 = 20. An isolation-oracle schedule is of the
+/// same order (three rebuilds, two concurrent sessions' scripts, up to two
+/// serial replays, per-table probes), so the concurrency mix reuses the
+/// estimate. These are estimates for the reported throughput numbers, not
+/// measured counts.
 const STMTS_PER_CASE_TLP_NOREC: f64 = 3.0;
 const STMTS_PER_CASE_TXN_MIX: f64 = 20.0;
+const STMTS_PER_CASE_ISOLATION_MIX: f64 = 20.0;
 
 struct Arm {
     label: &'static str,
@@ -121,6 +146,13 @@ impl Arm {
 
     fn test_cases_per_sec(&self) -> f64 {
         self.report.totals.test_cases as f64 / self.elapsed_s
+    }
+
+    /// Concurrent sessions opened per second: every isolation schedule
+    /// drives two live sessions over one engine (the serial-replay sessions
+    /// are the oracle's bookkeeping, not the workload).
+    fn sessions_per_sec(&self) -> f64 {
+        2.0 * self.report.totals.isolation_schedules as f64 / self.elapsed_s
     }
 
     fn queries_per_sec(&self) -> f64 {
@@ -211,6 +243,7 @@ fn validate_bench_json(json: &str) -> Result<(), String> {
         "dispatch",
         "eval",
         "txn",
+        "concurrency",
         "text",
         "ast_tree",
         "ast",
@@ -218,11 +251,15 @@ fn validate_bench_json(json: &str) -> Result<(), String> {
         "speedup_compiled_over_tree",
         "txn_overhead",
         "txn_throughput_ratio",
+        "isolation_throughput_ratio",
+        "sessions_per_sec",
+        "conflict_abort_rate",
         "parallel",
         "ci_floors",
         "min_speedup_ast_over_text",
         "min_speedup_compiled_over_tree",
         "min_txn_throughput_ratio",
+        "min_isolation_throughput_ratio",
     ] {
         if !json.contains(&format!("\"{key}\":")) {
             return Err(format!("missing key \"{key}\""));
@@ -230,22 +267,26 @@ fn validate_bench_json(json: &str) -> Result<(), String> {
     }
     let schema = number_after(json, "schema_version")
         .ok_or_else(|| "schema_version is not a number".to_string())?;
-    if schema < 3.0 {
-        return Err(format!("schema_version {schema} predates the txn gate"));
+    if schema < 4.0 {
+        return Err(format!(
+            "schema_version {schema} predates the concurrency gate"
+        ));
     }
     for key in [
         "speedup_ast_over_text",
         "speedup_compiled_over_tree",
         "txn_overhead",
         "txn_throughput_ratio",
+        "isolation_throughput_ratio",
     ] {
         let v = number_after(json, key).ok_or_else(|| format!("\"{key}\" is not a number"))?;
         if !v.is_finite() || v <= 0.0 {
             return Err(format!("\"{key}\" has implausible value {v}"));
         }
     }
-    // Every arm (dispatch text/ast, eval ast_tree/ast, txn ast) must have
-    // run a nonzero campaign — check all occurrences, not just the first.
+    // Every arm (dispatch text/ast, eval ast_tree/ast, txn ast,
+    // concurrency ast) must have run a nonzero campaign — check all
+    // occurrences, not just the first.
     let mut arm_count = 0usize;
     let mut scan = json;
     while let Some(at) = scan.find("\"test_cases\":") {
@@ -257,9 +298,9 @@ fn validate_bench_json(json: &str) -> Result<(), String> {
         }
         scan = &scan[at + "\"test_cases\":".len()..];
     }
-    if arm_count < 5 {
+    if arm_count < 6 {
         return Err(format!(
-            "expected test_cases in all 5 arms, found {arm_count}"
+            "expected test_cases in all 6 arms, found {arm_count}"
         ));
     }
     Ok(())
@@ -303,6 +344,7 @@ fn main() {
     let dispatch = dispatch_config(queries);
     let eval = eval_config(queries);
     let txn = txn_config(queries);
+    let concurrency = concurrency_config(queries);
     let threads = dbms_sim::available_threads();
 
     // Warm-up: touch every preset once so first-run effects (page faults,
@@ -335,6 +377,14 @@ fn main() {
     let [txn_arm] = txn_arms
         .try_into()
         .unwrap_or_else(|_| unreachable!("run_arms returns one Arm per input"));
+    let concurrency_arms = run_arms(
+        &concurrency,
+        &[("concurrency", ExecutionPath::Ast)],
+        STMTS_PER_CASE_ISOLATION_MIX,
+    );
+    let [concurrency_arm] = concurrency_arms
+        .try_into()
+        .unwrap_or_else(|_| unreachable!("run_arms returns one Arm per input"));
 
     let par_start = Instant::now();
     let par_report = run_fleet_parallel(&fleet(), &eval, ExecutionPath::Ast, threads);
@@ -364,6 +414,10 @@ fn main() {
     // eval schedule (the rollback oracle's reset-and-replay arms dominate).
     let txn_ratio = txn_arm.test_cases_per_sec() / ast.test_cases_per_sec();
     let txn_overhead = 1.0 / txn_ratio;
+    // Same ratio for the concurrency schedule (per-BEGIN database clones
+    // plus serial replays dominate).
+    let isolation_ratio = concurrency_arm.test_cases_per_sec() / ast.test_cases_per_sec();
+    let conflict_abort_rate = concurrency_arm.report.totals.conflict_abort_rate();
 
     println!("dispatch workload (1-row tables):");
     for arm in [&text, &ast_small] {
@@ -393,12 +447,22 @@ fn main() {
         txn_arm.test_cases_per_sec(),
         txn_arm.statements(),
     );
+    println!("concurrency workload (eval + isolation oracle):");
+    println!(
+        "  {:<9} {:>8.3}s  {:>10.1} cases/s  {:>8.1} sessions/s  ({:.0}% conflict aborts)",
+        concurrency_arm.label,
+        concurrency_arm.elapsed_s,
+        concurrency_arm.test_cases_per_sec(),
+        concurrency_arm.sessions_per_sec(),
+        conflict_abort_rate * 100.0,
+    );
     println!(
         "parallel({threads} threads) {par_elapsed:>8.3}s  (x{parallel_speedup:.2} over serial AST)"
     );
     println!("AST-path speedup over text path:        x{speedup:.2}");
     println!("compiled-evaluator speedup over tree:   x{compiled_speedup:.2}");
     println!("txn-workload overhead over eval:        x{txn_overhead:.2}");
+    println!("concurrency-workload throughput ratio:  {isolation_ratio:.3}");
 
     let json = format!(
         "{{\n  \"schema_version\": {SCHEMA_VERSION},\n  \"seed\": {},\n  \"dialects\": {},\n  \
@@ -406,15 +470,21 @@ fn main() {
          \"dispatch\": {{\"max_insert_rows\": 1, \"text\": {}, \"ast\": {}}},\n  \
          \"eval\": {{\"max_insert_rows\": {}, \"ast_tree\": {}, \"ast\": {}}},\n  \
          \"txn\": {{\"oracles\": \"tlp+norec+rollback\", \"ast\": {}}},\n  \
+         \"concurrency\": {{\"oracles\": \"tlp+norec+isolation\", \"ast\": {}, \
+         \"sessions_per_sec\": {sessions_per_sec:.1}, \
+         \"isolation_schedules\": {isolation_schedules}, \
+         \"conflict_abort_rate\": {conflict_abort_rate:.3}}},\n  \
          \"speedup_ast_over_text\": {speedup:.3},\n  \
          \"speedup_compiled_over_tree\": {compiled_speedup:.3},\n  \
          \"txn_overhead\": {txn_overhead:.3},\n  \
          \"txn_throughput_ratio\": {txn_ratio:.3},\n  \
+         \"isolation_throughput_ratio\": {isolation_ratio:.3},\n  \
          \"parallel\": {{\"threads\": {threads}, \"elapsed_s\": {par_elapsed:.4}, \
          \"speedup_over_serial_ast\": {parallel_speedup:.3}}},\n  \
          \"ci_floors\": {{\"min_speedup_ast_over_text\": {FLOOR_AST_OVER_TEXT}, \
          \"min_speedup_compiled_over_tree\": {FLOOR_COMPILED_OVER_TREE}, \
-         \"min_txn_throughput_ratio\": {FLOOR_TXN_THROUGHPUT_RATIO}}}\n}}\n",
+         \"min_txn_throughput_ratio\": {FLOOR_TXN_THROUGHPUT_RATIO}, \
+         \"min_isolation_throughput_ratio\": {FLOOR_ISOLATION_THROUGHPUT_RATIO}}}\n}}\n",
         dispatch.seed,
         fleet().len(),
         queries,
@@ -424,6 +494,9 @@ fn main() {
         ast_tree.json(),
         ast.json(),
         txn_arm.json(),
+        concurrency_arm.json(),
+        sessions_per_sec = concurrency_arm.sessions_per_sec(),
+        isolation_schedules = concurrency_arm.report.totals.isolation_schedules,
     );
     std::fs::write(&output, &json).expect("write benchmark output");
 

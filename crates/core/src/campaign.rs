@@ -8,10 +8,14 @@
 
 use crate::dbms::DbmsConnection;
 use crate::feature::FeatureSet;
-use crate::generator::{AdaptiveGenerator, GeneratedTxnSession, GeneratorConfig};
-use crate::oracle::{check_norec, check_rollback, check_tlp, BugReport, OracleKind, OracleOutcome};
+use crate::generator::{
+    AdaptiveGenerator, GeneratedSchedule, GeneratedTxnSession, GeneratorConfig,
+};
+use crate::oracle::{
+    check_isolation, check_norec, check_rollback, check_tlp, BugReport, OracleKind, OracleOutcome,
+};
 use crate::prioritizer::{BugPrioritizer, PriorityDecision};
-use crate::reducer::{BugReducer, ReducibleCase, TxnCase};
+use crate::reducer::{BugReducer, ReducibleCase, ScheduleCase, TxnCase};
 use crate::stats::FeatureKind;
 use sql_ast::Statement;
 
@@ -69,6 +73,12 @@ pub struct CampaignMetrics {
     pub prioritized_bugs: u64,
     /// Bug-inducing test cases marked as potential duplicates.
     pub deduplicated_bugs: u64,
+    /// Concurrent schedules executed by the isolation oracle.
+    pub isolation_schedules: u64,
+    /// Commits rejected by the DBMS's write-write conflict detection during
+    /// isolation-oracle schedules (first-committer-wins aborts — a
+    /// legitimate outcome, reported as the conflict-abort rate).
+    pub conflict_aborts: u64,
 }
 
 impl CampaignMetrics {
@@ -90,6 +100,19 @@ impl CampaignMetrics {
         self.detected_bug_cases += other.detected_bug_cases;
         self.prioritized_bugs += other.prioritized_bugs;
         self.deduplicated_bugs += other.deduplicated_bugs;
+        self.isolation_schedules += other.isolation_schedules;
+        self.conflict_aborts += other.conflict_aborts;
+    }
+
+    /// Fraction of isolation-oracle schedules in which at least one commit
+    /// was rejected by conflict detection. (Schedules can abort more than
+    /// once only with more than two sessions, so this is a rate in
+    /// practice.)
+    pub fn conflict_abort_rate(&self) -> f64 {
+        if self.isolation_schedules == 0 {
+            return 0.0;
+        }
+        self.conflict_aborts as f64 / self.isolation_schedules as f64
     }
 
     /// Validity rate of DDL/DML statements.
@@ -115,6 +138,9 @@ pub struct CampaignReport {
     /// The prioritized transactional cases flagged by the rollback oracle,
     /// in replayable form.
     pub txn_cases: Vec<TxnCase>,
+    /// The prioritized concurrent schedules flagged by the isolation
+    /// oracle, in replayable form (deterministic interleavings included).
+    pub schedule_cases: Vec<ScheduleCase>,
     /// Validity-rate series sampled every `sample_every` test cases (used to
     /// show the convergence behaviour described in Section 5.4).
     pub validity_series: Vec<f64>,
@@ -211,6 +237,20 @@ impl Campaign {
                     // slot is not wasted.
                     oracle = OracleKind::Tlp;
                 }
+                if oracle == OracleKind::Isolation {
+                    if let Some(schedule) = self.generator.generate_schedule() {
+                        self.run_schedule_case(
+                            conn,
+                            &schedule,
+                            &setup_log,
+                            &mut report,
+                            sample_every,
+                        );
+                        continue;
+                    }
+                    // Same degradation rule as the rollback oracle.
+                    oracle = OracleKind::Tlp;
+                }
                 let Some(query) = self.generator.generate_query() else {
                     break;
                 };
@@ -229,8 +269,11 @@ impl Campaign {
                         &query.features,
                         &setup_log,
                     ),
-                    // Rollback slots either ran above or degraded to TLP.
-                    OracleKind::Rollback => unreachable!("rollback slots are handled above"),
+                    // Rollback/isolation slots either ran above or degraded
+                    // to TLP.
+                    OracleKind::Rollback | OracleKind::Isolation => {
+                        unreachable!("stateful oracle slots are handled above")
+                    }
                 };
                 report.metrics.test_cases += 1;
                 let valid = outcome.is_valid();
@@ -324,6 +367,66 @@ impl Campaign {
                 }
                 report.reports.push(final_bug);
                 report.txn_cases.push(case);
+            }
+        }
+    }
+
+    /// Runs one isolation-oracle test case: a generated concurrent schedule
+    /// checked against its serial replays, with the same metrics, feedback,
+    /// prioritization and reduction treatment the other oracles get.
+    /// Conflict-aborted commits count toward the conflict-abort rate, never
+    /// toward invalidity or bugs.
+    fn run_schedule_case(
+        &mut self,
+        conn: &mut dyn DbmsConnection,
+        schedule: &GeneratedSchedule,
+        setup_log: &[String],
+        report: &mut CampaignReport,
+        sample_every: u64,
+    ) {
+        let verdict = check_isolation(conn, &schedule.schedule, &schedule.features, setup_log);
+        report.metrics.test_cases += 1;
+        report.metrics.isolation_schedules += 1;
+        report.metrics.conflict_aborts += verdict.conflict_aborts;
+        let valid = verdict.outcome.is_valid();
+        if valid {
+            report.metrics.valid_test_cases += 1;
+        }
+        self.generator
+            .record_outcome(&schedule.features, FeatureKind::Query, valid);
+        if report.metrics.test_cases.is_multiple_of(sample_every) {
+            report.validity_series.push(report.metrics.validity_rate());
+        }
+        let OracleOutcome::Bug(bug) = verdict.outcome else {
+            return;
+        };
+        report.metrics.detected_bug_cases += 1;
+        match self.prioritizer.classify(&schedule.features) {
+            PriorityDecision::PotentialDuplicate => {}
+            PriorityDecision::New => {
+                let mut case = ScheduleCase {
+                    setup: setup_log.to_vec(),
+                    schedule: schedule.schedule.clone(),
+                    features: schedule.features.clone(),
+                };
+                let mut final_bug = *bug;
+                if self.config.reduce_bugs {
+                    let (reduced, _stats) = {
+                        let mut reducer = BugReducer::new(conn, self.config.max_reduction_checks);
+                        reducer.reduce_schedule(&case)
+                    };
+                    case = reduced;
+                    final_bug.setup = case.setup.clone();
+                    final_bug.queries = case.schedule.replay_script();
+                    // Reduction left the DBMS in a reduced-setup state;
+                    // rebuild the campaign's current state.
+                    conn.reset();
+                    for sql in setup_log {
+                        let _ = conn.execute(sql);
+                    }
+                }
+                report.reports.push(final_bug);
+                report.schedule_cases.push(case);
             }
         }
     }

@@ -9,6 +9,15 @@
 
 use sql_ast::{row_fingerprint, Select, Statement, Value};
 
+/// The marker substring by which the platform recognises a commit rejected
+/// by the DBMS's write-write conflict detection (first-committer-wins under
+/// snapshot isolation). The platform sees only SQL text and error strings —
+/// this convention is the whole interface: a `COMMIT` failure whose message
+/// contains this marker is a *conflict abort* (the transaction was rewound;
+/// a legitimate, learnable outcome), not a dialect rejection and never a
+/// bug.
+pub const SERIALIZATION_FAILURE_MARKER: &str = "serialization failure";
+
 /// The execution status of a non-query statement.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StatementOutcome {
@@ -122,6 +131,57 @@ pub trait DbmsConnection {
     fn query_ast(&mut self, select: &Select) -> Result<QueryResult, String> {
         self.query(&select.to_string())
     }
+
+    /// Opens an **additional concurrent session** over the same engine, for
+    /// oracles that interleave statements across connections (the isolation
+    /// oracle). The returned connection shares the committed database with
+    /// this one but holds its own transaction state; `reset` on a session
+    /// is a no-op (only the owning connection may wipe shared state).
+    ///
+    /// The default returns `None`: a single-connection backend. Campaigns
+    /// treat that as "multi-session workloads unsupported" (validity
+    /// feedback, not a bug).
+    fn open_session(&mut self) -> Option<Box<dyn DbmsConnection>> {
+        None
+    }
+}
+
+/// Boxed trait objects forward every method — including the AST fast path
+/// and session opening — so a `Box<dyn DbmsConnection>` (what
+/// [`DbmsConnection::open_session`] yields) behaves exactly like the
+/// concrete connection it wraps.
+impl DbmsConnection for Box<dyn DbmsConnection> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn execute(&mut self, sql: &str) -> StatementOutcome {
+        (**self).execute(sql)
+    }
+
+    fn query(&mut self, sql: &str) -> Result<QueryResult, String> {
+        (**self).query(sql)
+    }
+
+    fn reset(&mut self) {
+        (**self).reset();
+    }
+
+    fn quirks(&self) -> DialectQuirks {
+        (**self).quirks()
+    }
+
+    fn execute_ast(&mut self, stmt: &Statement) -> StatementOutcome {
+        (**self).execute_ast(stmt)
+    }
+
+    fn query_ast(&mut self, select: &Select) -> Result<QueryResult, String> {
+        (**self).query_ast(select)
+    }
+
+    fn open_session(&mut self) -> Option<Box<dyn DbmsConnection>> {
+        (**self).open_session()
+    }
 }
 
 /// Forces the text path of a connection: the AST fast-path methods are
@@ -171,6 +231,14 @@ impl<C: DbmsConnection> DbmsConnection for TextOnlyConnection<C> {
 
     fn quirks(&self) -> DialectQuirks {
         self.inner.quirks()
+    }
+
+    fn open_session(&mut self) -> Option<Box<dyn DbmsConnection>> {
+        // Sessions opened through a text-only connection are text-only too:
+        // their AST entry points must also render to SQL.
+        self.inner
+            .open_session()
+            .map(|session| Box::new(TextOnlyConnection::new(session)) as Box<dyn DbmsConnection>)
     }
 
     // `execute_ast` and `query_ast` are deliberately NOT overridden: the

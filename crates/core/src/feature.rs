@@ -248,12 +248,14 @@ pub fn feature_universe() -> Vec<Feature> {
         "STMT_UPDATE",
         "STMT_DELETE",
         // Transaction control — the `transactions` capability the rollback
-        // oracle exercises and the support model learns per dialect.
+        // and isolation oracles exercise and the support model learns per
+        // dialect.
         "STMT_BEGIN",
         "STMT_COMMIT",
         "STMT_ROLLBACK",
         "STMT_SAVEPOINT",
         "STMT_ROLLBACK_TO",
+        "STMT_RELEASE_SAVEPOINT",
     ] {
         out.push(Feature::statement(stmt));
     }

@@ -16,15 +16,17 @@
 //!   generators of *SQLancer*.
 
 use crate::feature::{Feature, FeatureSet};
+use crate::oracle::{Schedule, SessionScript};
 use crate::schema::{ModelTable, SchemaModel};
 use crate::stats::{FeatureKind, FeatureStats, StatsConfig};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use sql_ast::{
-    BinaryOp, CaseBranch, ColumnConstraint, ColumnDef, CreateIndex, CreateTable, CreateView,
-    DataType, Expr, Insert, Join, JoinType, OrderByItem, ScalarFunction, Select, SelectItem,
-    SortOrder, Statement, TableConstraint, TableFactor, TableWithJoins, UnaryOp,
+    AggregateFunction, BeginMode, BinaryOp, CaseBranch, ColumnConstraint, ColumnDef, CreateIndex,
+    CreateTable, CreateView, DataType, Expr, Insert, Join, JoinType, OrderByItem, ScalarFunction,
+    Select, SelectItem, SortOrder, Statement, TableConstraint, TableFactor, TableWithJoins,
+    UnaryOp,
 };
 use std::collections::BTreeSet;
 
@@ -114,6 +116,20 @@ pub struct GeneratedTxnSession {
     /// The features enabled while generating it — always includes the
     /// transaction-control statement features, which is how the Bayesian
     /// support model learns per-dialect transaction support.
+    pub features: FeatureSet,
+}
+
+/// A generated two-session concurrent schedule for the isolation oracle:
+/// per-session mutation scripts plus an explicit, seed-derived interleaving
+/// (a deterministic step list — campaigns stay byte-reproducible, no real
+/// threads involved).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratedSchedule {
+    /// The schedule: session scripts, closers, begin modes, interleaving.
+    pub schedule: Schedule,
+    /// The features enabled while generating it (transaction-control
+    /// features included, so dialect transaction support is learned from
+    /// schedule outcomes too).
     pub features: FeatureSet,
 }
 
@@ -543,11 +559,216 @@ impl AdaptiveGenerator {
                 let stmt = self.generate_mutation(&table, &mut features);
                 statements.push(stmt);
             }
+            // Sometimes retire the savepoint with RELEASE — the frame-merge
+            // path, learnable per dialect like the rest of txn control.
+            if self.bool_with(0.35)
+                && self.should_generate(
+                    &Feature::statement("STMT_RELEASE_SAVEPOINT"),
+                    FeatureKind::Query,
+                )
+            {
+                features.insert(Feature::statement("STMT_RELEASE_SAVEPOINT"));
+                statements.push(Statement::ReleaseSavepoint("sp1".into()));
+            }
         }
         Some(GeneratedTxnSession {
             table: table.name.clone(),
             statements,
             features,
+        })
+    }
+
+    // ------------------------------------------------ concurrent schedules ----
+
+    /// Generates a two-session concurrent schedule for the isolation
+    /// oracle, or `None` when no base table exists yet or the learned
+    /// profile says the dialect rejects transactions (the campaign then
+    /// falls back to a single-query oracle).
+    ///
+    /// Session 1 is a plain writer: every statement targets one table and
+    /// reads nothing else. Session 0 may additionally carry **observer
+    /// inserts** — `INSERT … VALUES ((SELECT COUNT(*) FROM <other>))` —
+    /// which deposit a cross-table read into its own table. Restricting
+    /// foreign reads to one session keeps the oracle sound: under correct
+    /// snapshot isolation with first-committer-wins, the concurrent outcome
+    /// always equals one of the serial replays (write skew needs *both*
+    /// sessions to read tables the other writes), so every mismatch is a
+    /// genuine isolation bug.
+    pub fn generate_schedule(&mut self) -> Option<GeneratedSchedule> {
+        for name in ["STMT_BEGIN", "STMT_COMMIT", "STMT_ROLLBACK"] {
+            if !self.should_generate(&Feature::statement(name), FeatureKind::Query) {
+                return None;
+            }
+        }
+        let table_a = self
+            .schema
+            .random_base_table(&mut self.rng.clone())?
+            .clone();
+        // Half the schedules contend on one table (conflict pressure), half
+        // run on distinct tables when the schema has them.
+        let table_b = if self.bool_with(0.5) {
+            table_a.clone()
+        } else {
+            self.schema
+                .random_base_table(&mut self.rng.clone())?
+                .clone()
+        };
+        let mut features = FeatureSet::new();
+        features.insert(Feature::statement("STMT_BEGIN"));
+        features.insert(Feature::statement("STMT_COMMIT"));
+        features.insert(Feature::statement("STMT_ROLLBACK"));
+
+        // Session 1: plain writer on `table_b`.
+        let mut body1 = Vec::new();
+        for _ in 0..self.rng.gen_range(1..=2usize) {
+            body1.push(self.generate_mutation(&table_b, &mut features));
+        }
+
+        // Session 0: writer on `table_a`, usually sandwiching observer
+        // inserts around the other session's steps so visibility faults
+        // (dirty read, non-repeatable read) leave a committed trace.
+        let observing = self.bool_with(0.65)
+            && self.should_generate(&Feature::clause("SUBQUERY"), FeatureKind::Query);
+        let mut body0 = Vec::new();
+        if observing {
+            body0.push(self.generate_observer_insert(&table_a, &table_b.name, &mut features));
+        }
+        for _ in 0..self.rng.gen_range(1..=2usize) {
+            body0.push(self.generate_mutation(&table_a, &mut features));
+        }
+        if observing {
+            body0.push(self.generate_observer_insert(&table_a, &table_b.name, &mut features));
+        }
+
+        let begin_mode = |generator: &mut Self| {
+            if generator.bool_with(0.12) {
+                BeginMode::Immediate
+            } else if generator.bool_with(0.2) {
+                BeginMode::Deferred
+            } else {
+                BeginMode::Plain
+            }
+        };
+        let sessions = vec![
+            SessionScript {
+                begin: begin_mode(self),
+                statements: body0,
+                commit: self.bool_with(0.85),
+            },
+            SessionScript {
+                begin: begin_mode(self),
+                statements: body1,
+                commit: self.bool_with(0.85),
+            },
+        ];
+
+        // The interleaving: mostly a "sandwich" (session 1 runs to
+        // completion strictly inside session 0's span — the shape that
+        // exposes visibility anomalies), otherwise a random merge.
+        let steps0 = sessions[0].step_count();
+        let steps1 = sessions[1].step_count();
+        let interleaving = if self.bool_with(0.55) {
+            let split = self.rng.gen_range(1..steps0);
+            let mut steps = Vec::with_capacity(steps0 + steps1);
+            steps.extend(std::iter::repeat_n(0u8, split));
+            steps.extend(std::iter::repeat_n(1u8, steps1));
+            steps.extend(std::iter::repeat_n(0u8, steps0 - split));
+            steps
+        } else {
+            let mut remaining = [steps0, steps1];
+            let mut steps = Vec::with_capacity(steps0 + steps1);
+            while remaining[0] + remaining[1] > 0 {
+                let pick = if remaining[0] == 0 {
+                    1
+                } else if remaining[1] == 0 {
+                    0
+                } else {
+                    usize::from(self.bool_with(0.5))
+                };
+                remaining[pick] -= 1;
+                steps.push(pick as u8);
+            }
+            steps
+        };
+
+        let mut tables = vec![table_a.name.clone(), table_b.name.clone()];
+        tables.sort();
+        tables.dedup();
+        Some(GeneratedSchedule {
+            schedule: Schedule {
+                tables,
+                sessions,
+                interleaving,
+            },
+            features,
+        })
+    }
+
+    /// An "observer" insert: deposits `(SELECT COUNT(*) FROM <observed>)`
+    /// into one column of `target`, turning a cross-table read into
+    /// committed, fingerprintable state.
+    fn generate_observer_insert(
+        &mut self,
+        target: &ModelTable,
+        observed: &str,
+        features: &mut FeatureSet,
+    ) -> Statement {
+        features.insert(Feature::statement("STMT_INSERT"));
+        features.insert(Feature::clause("SUBQUERY"));
+        features.insert(Feature::aggregate(AggregateFunction::Count));
+        let count = Expr::ScalarSubquery(Box::new(Select {
+            projections: vec![SelectItem::expr(Expr::Aggregate {
+                func: AggregateFunction::Count,
+                arg: None,
+                distinct: false,
+            })],
+            from: vec![TableWithJoins::table(observed.to_string())],
+            ..Select::new()
+        }));
+        // Deposit the count into a numeric column when one exists; other
+        // columns get plain literals.
+        let slot = target
+            .columns
+            .iter()
+            .position(|c| c.data_type == DataType::Integer)
+            .or_else(|| {
+                target
+                    .columns
+                    .iter()
+                    .position(|c| c.data_type == DataType::Real)
+            })
+            .or_else(|| {
+                target
+                    .columns
+                    .iter()
+                    .position(|c| c.data_type == DataType::Text)
+            })
+            .unwrap_or(0);
+        let row: Vec<Expr> = target
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, col)| {
+                if i == slot {
+                    if col.data_type == DataType::Integer {
+                        count.clone()
+                    } else {
+                        features.insert(Feature::new("OP_CAST"));
+                        Expr::Cast {
+                            expr: Box::new(count.clone()),
+                            data_type: col.data_type,
+                        }
+                    }
+                } else {
+                    self.literal_of(col.data_type)
+                }
+            })
+            .collect();
+        Statement::Insert(Insert {
+            table: target.name.clone(),
+            columns: target.column_names(),
+            values: vec![row],
+            or_ignore: false,
         })
     }
 

@@ -44,15 +44,22 @@ pub mod schema;
 pub mod stats;
 
 pub use campaign::{replay_validity, Campaign, CampaignConfig, CampaignMetrics, CampaignReport};
-pub use dbms::{DbmsConnection, DialectQuirks, QueryResult, StatementOutcome, TextOnlyConnection};
+pub use dbms::{
+    DbmsConnection, DialectQuirks, QueryResult, StatementOutcome, TextOnlyConnection,
+    SERIALIZATION_FAILURE_MARKER,
+};
 pub use feature::{feature_universe, Feature, FeatureSet};
 pub use generator::{
-    AdaptiveGenerator, GeneratedQuery, GeneratedStatement, GeneratedTxnSession, GeneratorConfig,
+    AdaptiveGenerator, GeneratedQuery, GeneratedSchedule, GeneratedStatement, GeneratedTxnSession,
+    GeneratorConfig,
 };
-pub use oracle::{check_norec, check_rollback, check_tlp, BugReport, OracleKind, OracleOutcome};
+pub use oracle::{
+    check_isolation, check_norec, check_rollback, check_tlp, BugReport, IsolationVerdict,
+    OracleKind, OracleOutcome, Schedule, SessionScript,
+};
 pub use prioritizer::{BugPrioritizer, PrioritizerStats, PriorityDecision};
 pub use profile::{load_profile, profile_from_string, profile_to_string, save_profile};
-pub use reducer::{BugReducer, ReducibleCase, ReductionStats, TxnCase};
+pub use reducer::{BugReducer, ReducibleCase, ReductionStats, ScheduleCase, TxnCase};
 pub use schema::{ModelColumn, ModelIndex, ModelTable, SchemaModel};
 pub use stats::{
     regularized_incomplete_beta, FeatureCounts, FeatureKind, FeatureStats, StatsConfig,

@@ -1,6 +1,6 @@
 //! Metamorphic test oracles: Ternary Logic Partitioning (TLP),
-//! Non-optimizing Reference Engine Construction (NoREC), and the
-//! transaction-rollback oracle.
+//! Non-optimizing Reference Engine Construction (NoREC), the
+//! transaction-rollback oracle, and the snapshot-isolation oracle.
 //!
 //! All oracles are DBMS-agnostic (Section 3, "Result validator"): they
 //! derive, from a generated test case, equivalent workloads via purely
@@ -9,12 +9,15 @@
 //! transforms a multi-statement *session* — the same mutations bracketed by
 //! `BEGIN…ROLLBACK`, `BEGIN…COMMIT` and plain autocommit must leave
 //! observably identical (respectively: unchanged, identical, identical)
-//! table states, measured through ordinary `SELECT *` probes so the
+//! table states; the isolation oracle transforms a two-session concurrent
+//! *schedule* — replaying its committed sessions serially in both commit
+//! orders, the concurrent outcome must match at least one serial outcome.
+//! Everything is measured through ordinary `SELECT *` probes so the
 //! SQL-text-only contract is preserved.
 
-use crate::dbms::DbmsConnection;
+use crate::dbms::{DbmsConnection, SERIALIZATION_FAILURE_MARKER};
 use crate::feature::FeatureSet;
-use sql_ast::{Expr, Select, SelectItem, Statement, TableWithJoins, Value};
+use sql_ast::{BeginMode, Expr, Select, SelectItem, Statement, TableWithJoins, Value};
 use std::fmt;
 
 /// Which oracle produced a verdict.
@@ -29,6 +32,10 @@ pub enum OracleKind {
     /// `BEGIN…COMMIT` must match the auto-commit run, compared via 128-bit
     /// table fingerprints.
     Rollback,
+    /// Snapshot-isolation oracle: a concurrent two-session schedule's final
+    /// table fingerprints must match a serial replay of its committed
+    /// sessions in at least one commit order.
+    Isolation,
 }
 
 impl OracleKind {
@@ -38,6 +45,7 @@ impl OracleKind {
             OracleKind::Tlp => "TLP",
             OracleKind::NoRec => "NoREC",
             OracleKind::Rollback => "ROLLBACK",
+            OracleKind::Isolation => "ISOLATION",
         }
     }
 }
@@ -279,7 +287,14 @@ fn net_effect(session: &[Statement]) -> Option<Vec<&Statement>> {
                 // not.
                 savepoints.truncate(at + 1);
             }
-            Statement::Begin | Statement::Commit | Statement::Rollback => return None,
+            Statement::ReleaseSavepoint(name) => {
+                // RELEASE keeps the changes; the savepoint (and every later
+                // one) disappears.
+                let key = name.to_ascii_lowercase();
+                let at = savepoints.iter().rposition(|(n, _)| *n == key)?;
+                savepoints.truncate(at);
+            }
+            Statement::Begin(_) | Statement::Commit | Statement::Rollback => return None,
             other => out.push(other),
         }
     }
@@ -371,7 +386,8 @@ fn check_rollback_arms(
 
     // Arm 2: BEGIN … ROLLBACK must be a no-op.
     rebuild(conn, setup);
-    for stmt in std::iter::once(&Statement::Begin)
+    let begin = Statement::begin();
+    for stmt in std::iter::once(&begin)
         .chain(session.iter())
         .chain(std::iter::once(&Statement::Rollback))
     {
@@ -398,7 +414,7 @@ fn check_rollback_arms(
     }
 
     // Arm 3: BEGIN … COMMIT must match the auto-commit reference.
-    for stmt in std::iter::once(&Statement::Begin)
+    for stmt in std::iter::once(&begin)
         .chain(session.iter())
         .chain(std::iter::once(&Statement::Commit))
     {
@@ -431,11 +447,302 @@ fn check_rollback_arms(
 /// report.
 fn render_session(table: &str, session: &[Statement], closer: Statement) -> Vec<String> {
     let mut out = Vec::with_capacity(session.len() + 3);
-    out.push(Statement::Begin.to_string());
+    out.push(Statement::begin().to_string());
     out.extend(session.iter().map(Statement::to_string));
     out.push(closer.to_string());
     out.push(probe_query(table).to_string());
     out
+}
+
+// ----------------------------------------------------- isolation oracle ----
+
+/// One session of a concurrent schedule: its `BEGIN` mode, body statements
+/// and closing statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionScript {
+    /// The `BEGIN` mode the oracle opens the session with.
+    pub begin: BeginMode,
+    /// The session body: DML only (the oracle supplies `BEGIN` and the
+    /// closer itself, exactly like the rollback oracle's bracketing).
+    pub statements: Vec<Statement>,
+    /// `true` → the session closes with `COMMIT`; `false` → `ROLLBACK`.
+    pub commit: bool,
+}
+
+impl SessionScript {
+    /// Total steps this session contributes to an interleaving: `BEGIN`,
+    /// every body statement, and the closer.
+    pub fn step_count(&self) -> usize {
+        self.statements.len() + 2
+    }
+
+    /// The statement executed at `step` (0 = `BEGIN`, then the body, last
+    /// the closer). Returns an owned statement for the bracketing steps.
+    fn step(&self, step: usize) -> Statement {
+        if step == 0 {
+            Statement::Begin(self.begin)
+        } else if step <= self.statements.len() {
+            self.statements[step - 1].clone()
+        } else if self.commit {
+            Statement::Commit
+        } else {
+            Statement::Rollback
+        }
+    }
+}
+
+/// A deterministic two-session concurrent schedule: the per-session scripts
+/// plus an explicit interleaving (one session index per step), so replaying
+/// the schedule is byte-reproducible — no timing, no real threads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    /// The tables the oracle probes (sorted, deduplicated).
+    pub tables: Vec<String>,
+    /// The session scripts (two for every generated schedule).
+    pub sessions: Vec<SessionScript>,
+    /// The step list: `interleaving[k]` names the session executing its
+    /// next pending step at position `k`. Must contain exactly
+    /// [`SessionScript::step_count`] occurrences of each session index.
+    pub interleaving: Vec<u8>,
+}
+
+impl Schedule {
+    /// Whether the interleaving covers every session's steps exactly once.
+    pub fn is_well_formed(&self) -> bool {
+        let mut counts = vec![0usize; self.sessions.len()];
+        for &s in &self.interleaving {
+            match counts.get_mut(s as usize) {
+                Some(c) => *c += 1,
+                None => return false,
+            }
+        }
+        counts
+            .iter()
+            .zip(&self.sessions)
+            .all(|(&c, script)| c == script.step_count())
+    }
+
+    /// Cold path: renders the interleaved schedule (with per-step session
+    /// labels) plus the probes, for bug reports.
+    pub fn replay_script(&self) -> Vec<String> {
+        let mut cursors = vec![0usize; self.sessions.len()];
+        let mut out = Vec::with_capacity(self.interleaving.len() + self.tables.len());
+        for &s in &self.interleaving {
+            let s = s as usize;
+            let stmt = self.sessions[s].step(cursors[s]);
+            cursors[s] += 1;
+            out.push(format!("/*session {s}*/ {stmt}"));
+        }
+        for table in &self.tables {
+            out.push(probe_query(table).to_string());
+        }
+        out
+    }
+}
+
+/// The result of one isolation check: the oracle verdict plus how many
+/// commits were rejected by the DBMS's conflict detection (reported as the
+/// campaign's conflict-abort rate; aborts are legitimate outcomes, never
+/// bugs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IsolationVerdict {
+    /// The oracle verdict.
+    pub outcome: OracleOutcome,
+    /// Commits rejected with a serialization failure during the concurrent
+    /// arm.
+    pub conflict_aborts: u64,
+}
+
+impl IsolationVerdict {
+    fn invalid(message: impl Into<String>, conflict_aborts: u64) -> IsolationVerdict {
+        IsolationVerdict {
+            outcome: OracleOutcome::Invalid(message.into()),
+            conflict_aborts,
+        }
+    }
+}
+
+/// Fingerprints every schedule table through `SELECT *` probes.
+fn probe_tables(
+    conn: &mut dyn DbmsConnection,
+    tables: &[String],
+) -> Result<Vec<Vec<u128>>, String> {
+    tables
+        .iter()
+        .map(|t| {
+            conn.query_ast(&probe_query(t))
+                .map(|rs| rs.multiset_fingerprint())
+        })
+        .collect()
+}
+
+/// Applies the snapshot-isolation oracle to a concurrent schedule.
+///
+/// **Concurrent arm.** From the rebuilt setup state, the oracle opens one
+/// extra connection per session ([`DbmsConnection::open_session`]) and
+/// executes the schedule's explicit interleaving step by step. A `COMMIT`
+/// rejected with a serialization failure marks the session *conflict
+/// aborted* — its remaining steps are skipped and the engine has already
+/// rewound it; any other transaction-control rejection makes the whole
+/// check invalid (that is the validity feedback dialect transaction support
+/// is learned from). Ordinary DML failures are tolerated, exactly as in the
+/// rollback oracle.
+///
+/// **Serial arms.** The sessions that actually committed are replayed
+/// serially — each one `BEGIN`…body…`COMMIT` to completion — in every
+/// commit order (two orders when both committed, one when one did, none
+/// when none did, in which case the reference is the untouched setup
+/// state).
+///
+/// **Verdict.** The concurrent arm's per-table 128-bit `SELECT *`
+/// fingerprint multisets must equal those of at least one serial arm;
+/// matching neither is a bug. Under sound snapshot isolation with
+/// first-committer-wins this can never fire for the schedules the generator
+/// emits (only session 0 reads tables it does not write), so every flag is
+/// a genuine isolation violation — dirty read, lost update, non-repeatable
+/// read, or a transaction fault leaking across the schedule.
+pub fn check_isolation(
+    conn: &mut dyn DbmsConnection,
+    schedule: &Schedule,
+    features: &FeatureSet,
+    setup: &[String],
+) -> IsolationVerdict {
+    let verdict = check_isolation_arms(conn, schedule, features, setup);
+    // Restore the campaign invariant: the connection reflects the setup log.
+    rebuild(conn, setup);
+    verdict
+}
+
+fn check_isolation_arms(
+    conn: &mut dyn DbmsConnection,
+    schedule: &Schedule,
+    features: &FeatureSet,
+    setup: &[String],
+) -> IsolationVerdict {
+    if !schedule.is_well_formed() {
+        return IsolationVerdict::invalid("malformed schedule interleaving", 0);
+    }
+    // Concurrent arm.
+    rebuild(conn, setup);
+    let mut sessions: Vec<Box<dyn DbmsConnection>> = Vec::with_capacity(schedule.sessions.len());
+    for _ in &schedule.sessions {
+        match conn.open_session() {
+            Some(session) => sessions.push(session),
+            None => {
+                return IsolationVerdict::invalid(
+                    "backend has a single connection: concurrent schedules unsupported",
+                    0,
+                )
+            }
+        }
+    }
+    let mut cursors = vec![0usize; schedule.sessions.len()];
+    let mut committed = vec![false; schedule.sessions.len()];
+    let mut aborted = vec![false; schedule.sessions.len()];
+    let mut conflict_aborts = 0u64;
+    for &s in &schedule.interleaving {
+        let s = s as usize;
+        let script = &schedule.sessions[s];
+        let step = cursors[s];
+        cursors[s] += 1;
+        if aborted[s] {
+            // The engine already rewound this session; the rest of its
+            // script (including the closer) is moot.
+            continue;
+        }
+        let stmt = script.step(step);
+        let outcome = sessions[s].execute_ast(&stmt);
+        if let crate::dbms::StatementOutcome::Failure(message) = outcome {
+            if matches!(stmt, Statement::Commit) && message.contains(SERIALIZATION_FAILURE_MARKER) {
+                // First-committer-wins rejected the commit: a legitimate
+                // conflict abort, not a dialect rejection and not a bug.
+                conflict_aborts += 1;
+                aborted[s] = true;
+            } else if stmt.is_txn_control() {
+                return IsolationVerdict::invalid(message, conflict_aborts);
+            }
+            // Ordinary DML failures are tolerated: the engine is
+            // deterministic, so the same statement fails identically in
+            // the serial replays.
+        } else if step == script.step_count() - 1 && script.commit {
+            committed[s] = true;
+        }
+    }
+    drop(sessions);
+    let concurrent = match probe_tables(conn, &schedule.tables) {
+        Ok(fp) => fp,
+        Err(err) => return IsolationVerdict::invalid(err, conflict_aborts),
+    };
+
+    // Serial arms: every commit order of the sessions that committed.
+    let committed_sessions: Vec<usize> = (0..schedule.sessions.len())
+        .filter(|&s| committed[s])
+        .collect();
+    let orders: Vec<Vec<usize>> = match committed_sessions.as_slice() {
+        [] => vec![Vec::new()],
+        [one] => vec![vec![*one]],
+        [a, b] => vec![vec![*a, *b], vec![*b, *a]],
+        more => {
+            // Generated schedules have two sessions; handcrafted ones with
+            // more get the two boundary orders (full permutation would be
+            // factorial).
+            let mut fwd = more.to_vec();
+            let mut rev = more.to_vec();
+            rev.reverse();
+            fwd.dedup();
+            vec![fwd, rev]
+        }
+    };
+    let mut serial_fingerprints = Vec::with_capacity(orders.len());
+    for order in &orders {
+        rebuild(conn, setup);
+        if !order.is_empty() {
+            let Some(mut serial) = conn.open_session() else {
+                return IsolationVerdict::invalid(
+                    "backend has a single connection: concurrent schedules unsupported",
+                    conflict_aborts,
+                );
+            };
+            for &s in order {
+                let script = &schedule.sessions[s];
+                for step in 0..script.step_count() {
+                    let stmt = script.step(step);
+                    let outcome = serial.execute_ast(&stmt);
+                    if let crate::dbms::StatementOutcome::Failure(message) = outcome {
+                        if stmt.is_txn_control() {
+                            return IsolationVerdict::invalid(message, conflict_aborts);
+                        }
+                    }
+                }
+            }
+        }
+        match probe_tables(conn, &schedule.tables) {
+            Ok(fp) => serial_fingerprints.push(fp),
+            Err(err) => return IsolationVerdict::invalid(err, conflict_aborts),
+        }
+    }
+    if serial_fingerprints.contains(&concurrent) {
+        return IsolationVerdict {
+            outcome: OracleOutcome::Passed,
+            conflict_aborts,
+        };
+    }
+    let order_names: Vec<String> = orders.iter().map(|order| format!("{order:?}")).collect();
+    IsolationVerdict {
+        outcome: OracleOutcome::Bug(Box::new(BugReport {
+            oracle: OracleKind::Isolation,
+            description: format!(
+                "isolation oracle: concurrent schedule over [{}] diverged from every serial \
+                 replay of its committed sessions (orders {})",
+                schedule.tables.join(", "),
+                order_names.join(", "),
+            ),
+            setup: setup.to_vec(),
+            queries: schedule.replay_script(),
+            features: features.clone(),
+        })),
+        conflict_aborts,
+    }
 }
 
 #[cfg(test)]
@@ -618,7 +925,22 @@ mod tests {
         assert!(net_effect(&twice).unwrap().is_empty());
         // Malformed sessions are rejected.
         assert!(net_effect(&[Statement::RollbackTo("ghost".into())]).is_none());
-        assert!(net_effect(&[Statement::Begin]).is_none());
+        assert!(net_effect(&[Statement::begin()]).is_none());
+        assert!(net_effect(&[Statement::ReleaseSavepoint("ghost".into())]).is_none());
+        // RELEASE keeps changes and retires the savepoint (and later ones).
+        let released = vec![
+            Statement::Savepoint("a".into()),
+            ins(1),
+            Statement::ReleaseSavepoint("a".into()),
+            ins(2),
+        ];
+        assert_eq!(net_effect(&released).unwrap().len(), 2);
+        let after_release = vec![
+            Statement::Savepoint("a".into()),
+            Statement::ReleaseSavepoint("a".into()),
+            Statement::RollbackTo("a".into()),
+        ];
+        assert!(net_effect(&after_release).is_none(), "savepoint retired");
     }
 
     #[test]

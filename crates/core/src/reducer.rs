@@ -12,13 +12,25 @@
 //! dropped one at a time while the rollback oracle still flags the session.
 //! The `BEGIN`/`COMMIT`/`ROLLBACK` bracketing is supplied by the oracle
 //! itself and therefore can never be reduced away, and `SAVEPOINT` /
-//! `ROLLBACK TO` pairs are kept consistent: a candidate that would orphan a
-//! `ROLLBACK TO` is never proposed, and dropping a `SAVEPOINT` drops its
-//! `ROLLBACK TO`s in the same candidate.
+//! `ROLLBACK TO` / `RELEASE SAVEPOINT` pairs are kept consistent: a
+//! candidate that would orphan a `ROLLBACK TO` or `RELEASE` is never
+//! proposed, and dropping a `SAVEPOINT` drops its dependents in the same
+//! candidate.
+//!
+//! Concurrent schedules ([`ScheduleCase`]) get a third pass
+//! ([`BugReducer::reduce_schedule`]): setup statements and per-session body
+//! statements are dropped one at a time while the isolation oracle still
+//! flags the schedule. Dropping a body statement removes exactly its step
+//! from the explicit interleaving, so the session bracketing (`BEGIN` and
+//! the closer, which are oracle-supplied) and the **relative order** of
+//! every surviving step are preserved — a reduced schedule is always a
+//! subsequence of the original interleaving.
 
 use crate::dbms::DbmsConnection;
 use crate::feature::FeatureSet;
-use crate::oracle::{check_norec, check_rollback, check_tlp, OracleKind, OracleOutcome};
+use crate::oracle::{
+    check_isolation, check_norec, check_rollback, check_tlp, OracleKind, OracleOutcome, Schedule,
+};
 use sql_ast::{Expr, Select, Statement};
 
 /// A reducible bug-inducing test case: the database-construction statements
@@ -62,13 +74,26 @@ impl TxnCase {
         let probe = format!("SELECT * FROM {}", self.table);
         let mut out = Vec::with_capacity(2 * (self.statements.len() + 3));
         for closer in [Statement::Rollback, Statement::Commit] {
-            out.push(Statement::Begin.to_string());
+            out.push(Statement::begin().to_string());
             out.extend(self.statements.iter().map(Statement::to_string));
             out.push(closer.to_string());
             out.push(probe.clone());
         }
         out
     }
+}
+
+/// A reducible concurrent-schedule test case: the setup plus the two-session
+/// schedule the isolation oracle flagged (the oracle re-runs the schedule's
+/// explicit interleaving on every re-validation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleCase {
+    /// SQL statements that build the database state.
+    pub setup: Vec<String>,
+    /// The concurrent schedule: session scripts plus the interleaving.
+    pub schedule: Schedule,
+    /// The feature set recorded at generation time.
+    pub features: FeatureSet,
 }
 
 /// Statistics about a reduction run.
@@ -131,9 +156,11 @@ impl<'a> BugReducer<'a> {
                 &case.setup,
             ),
             // Rollback-oracle cases are transactional sessions, reduced via
-            // [`BugReducer::reduce_txn`] on a [`TxnCase`]; a single-query
-            // `ReducibleCase` cannot carry one.
-            OracleKind::Rollback => return false,
+            // [`BugReducer::reduce_txn`] on a [`TxnCase`]; isolation cases
+            // are schedules, reduced via [`BugReducer::reduce_schedule`] on
+            // a [`ScheduleCase`]. A single-query `ReducibleCase` carries
+            // neither.
+            OracleKind::Rollback | OracleKind::Isolation => return false,
         };
         matches!(outcome, OracleOutcome::Bug(_))
     }
@@ -204,10 +231,11 @@ impl<'a> BugReducer<'a> {
         matches!(outcome, OracleOutcome::Bug(_))
     }
 
-    /// Whether every `ROLLBACK TO` in the session still has a matching
-    /// earlier `SAVEPOINT` — candidates violating this would turn the bug
-    /// into an unrelated "no such savepoint" error, so they are never
-    /// proposed.
+    /// Whether every `ROLLBACK TO` / `RELEASE SAVEPOINT` in the session
+    /// still has a matching earlier `SAVEPOINT` — candidates violating this
+    /// would turn the bug into an unrelated "no such savepoint" error, so
+    /// they are never proposed. `RELEASE` retires its savepoint (and every
+    /// later one), mirroring the engine's frame merge.
     fn savepoints_consistent(statements: &[Statement]) -> bool {
         let mut names: Vec<String> = Vec::new();
         for stmt in statements {
@@ -215,6 +243,13 @@ impl<'a> BugReducer<'a> {
                 Statement::Savepoint(n) => names.push(n.to_ascii_lowercase()),
                 Statement::RollbackTo(n) if !names.contains(&n.to_ascii_lowercase()) => {
                     return false;
+                }
+                Statement::ReleaseSavepoint(n) => {
+                    let key = n.to_ascii_lowercase();
+                    let Some(at) = names.iter().rposition(|name| *name == key) else {
+                        return false;
+                    };
+                    names.truncate(at);
                 }
                 _ => {}
             }
@@ -246,8 +281,8 @@ impl<'a> BugReducer<'a> {
         }
 
         // Phase 2: drop session statements (last to first). Dropping a
-        // SAVEPOINT also drops every ROLLBACK TO that names it, so a
-        // candidate is always a well-formed session.
+        // SAVEPOINT also drops every ROLLBACK TO and RELEASE that names it,
+        // so a candidate is always a well-formed session.
         let mut i = current.statements.len();
         while i > 0 {
             i -= 1;
@@ -255,9 +290,11 @@ impl<'a> BugReducer<'a> {
             let removed = candidate.statements.remove(i);
             if let Statement::Savepoint(name) = &removed {
                 let key = name.to_ascii_lowercase();
-                candidate.statements.retain(
-                    |s| !matches!(s, Statement::RollbackTo(n) if n.to_ascii_lowercase() == key),
-                );
+                candidate.statements.retain(|s| {
+                    !matches!(s,
+                        Statement::RollbackTo(n) | Statement::ReleaseSavepoint(n)
+                            if n.to_ascii_lowercase() == key)
+                });
             }
             if !Self::savepoints_consistent(&candidate.statements) {
                 continue;
@@ -270,6 +307,89 @@ impl<'a> BugReducer<'a> {
 
         stats.setup_after = current.setup.len();
         stats.predicate_nodes_after = current.statements.len();
+        stats.checks = self.checks;
+        (current, stats)
+    }
+
+    /// Checks whether a candidate schedule still reproduces the bug under
+    /// the isolation oracle.
+    fn reproduces_schedule(&mut self, case: &ScheduleCase) -> bool {
+        if self.checks >= self.max_checks {
+            return false;
+        }
+        self.checks += 1;
+        check_isolation(self.conn, &case.schedule, &case.features, &case.setup)
+            .outcome
+            .is_bug()
+    }
+
+    /// Removes session `session`'s body statement `index` from a schedule,
+    /// dropping exactly its step from the interleaving so the relative
+    /// order of every surviving step (and the oracle-supplied `BEGIN` /
+    /// closer bracketing) is preserved. Body statement `index` is the
+    /// `(index + 1)`-th interleaving occurrence of the session (occurrence
+    /// 0 is its `BEGIN`).
+    fn drop_schedule_statement(schedule: &mut Schedule, session: usize, index: usize) {
+        schedule.sessions[session].statements.remove(index);
+        let mut seen = 0usize;
+        let target = index + 1;
+        let position = schedule
+            .interleaving
+            .iter()
+            .position(|&s| {
+                if s as usize == session {
+                    let here = seen == target;
+                    seen += 1;
+                    here
+                } else {
+                    false
+                }
+            })
+            .expect("well-formed interleaving covers every step");
+        schedule.interleaving.remove(position);
+    }
+
+    /// Reduces a concurrent-schedule test case: setup statements first,
+    /// then each session's body statements (last to first, session by
+    /// session), preserving the bracketing and the interleaving's relative
+    /// order throughout. The statistics reuse the predicate-node fields for
+    /// the total session statement counts.
+    pub fn reduce_schedule(&mut self, case: &ScheduleCase) -> (ScheduleCase, ReductionStats) {
+        let mut current = case.clone();
+        let body_len =
+            |c: &ScheduleCase| c.schedule.sessions.iter().map(|s| s.statements.len()).sum();
+        let mut stats = ReductionStats {
+            setup_before: case.setup.len(),
+            predicate_nodes_before: body_len(case),
+            ..ReductionStats::default()
+        };
+
+        // Phase 1: drop setup statements (last to first).
+        let mut i = current.setup.len();
+        while i > 0 {
+            i -= 1;
+            let mut candidate = current.clone();
+            candidate.setup.remove(i);
+            if self.reproduces_schedule(&candidate) {
+                current = candidate;
+            }
+        }
+
+        // Phase 2: drop body statements per session (last to first).
+        for session in 0..current.schedule.sessions.len() {
+            let mut i = current.schedule.sessions[session].statements.len();
+            while i > 0 {
+                i -= 1;
+                let mut candidate = current.clone();
+                Self::drop_schedule_statement(&mut candidate.schedule, session, i);
+                if self.reproduces_schedule(&candidate) {
+                    current = candidate;
+                }
+            }
+        }
+
+        stats.setup_after = current.setup.len();
+        stats.predicate_nodes_after = body_len(&current);
         stats.checks = self.checks;
         (current, stats)
     }

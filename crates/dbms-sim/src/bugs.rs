@@ -246,6 +246,30 @@ pub fn catalog() -> Vec<InjectedBug> {
                 "ROLLBACK TO SAVEPOINT rewinds to transaction start, collapsing the savepoint stack",
         },
         InjectedBug {
+            id: "BUG-DIRTY-READ",
+            fault: "iso_dirty_read",
+            is_logic: true,
+            features: &["STMT_BEGIN", "STMT_COMMIT"],
+            description:
+                "a transaction's begin-time snapshot includes other sessions' uncommitted writes",
+        },
+        InjectedBug {
+            id: "BUG-LOST-UPDATE",
+            fault: "iso_lost_update",
+            is_logic: true,
+            features: &["STMT_BEGIN", "STMT_COMMIT"],
+            description:
+                "COMMIT skips first-committer-wins validation, clobbering concurrent committed writes",
+        },
+        InjectedBug {
+            id: "BUG-NONREPEATABLE-READ",
+            fault: "iso_nonrepeatable_read",
+            is_logic: true,
+            features: &["STMT_BEGIN", "STMT_COMMIT"],
+            description:
+                "in-transaction reads of unwritten tables see the latest committed state, not the snapshot",
+        },
+        InjectedBug {
             id: "BUG-DEEP-EXPR-CRASH",
             fault: "crash_on_deep_expressions",
             is_logic: false,

@@ -3,19 +3,41 @@
 use crate::bugs::{bugs_for_faults, InjectedBug};
 use crate::profile::DialectProfile;
 use sql_ast::{Select, Statement};
-use sql_engine::{Database, EngineConfig, EvalStrategy, ExecutionMode};
+use sql_engine::{Database, Engine, EngineConfig, EngineSession, EvalStrategy, ExecutionMode};
 use sqlancer_core::{
-    check_norec, check_rollback, check_tlp, DbmsConnection, DialectQuirks, OracleKind,
-    OracleOutcome, QueryResult, ReducibleCase, StatementOutcome, TxnCase,
+    check_isolation, check_norec, check_rollback, check_tlp, DbmsConnection, DialectQuirks,
+    OracleKind, OracleOutcome, QueryResult, ReducibleCase, ScheduleCase, StatementOutcome, TxnCase,
 };
 
 /// A simulated DBMS under test: a dialect profile layered over the
 /// in-memory engine, with a set of injected bugs as ground truth.
-#[derive(Debug, Clone)]
+///
+/// The DBMS owns a shared [`Engine`] core and drives it through a primary
+/// [`EngineSession`]; [`SimulatedDbms::connect`] opens additional sessions
+/// over the same core, which is how the isolation oracle interleaves two
+/// connections on one engine.
+#[derive(Debug)]
 pub struct SimulatedDbms {
     profile: DialectProfile,
     faults: Vec<&'static str>,
-    engine: Database,
+    engine: Engine,
+    session: EngineSession,
+}
+
+impl Clone for SimulatedDbms {
+    /// Deep-clones the committed state into an independent engine (open
+    /// transactions of other sessions are not carried over) — the semantics
+    /// ground-truth bisection relies on.
+    fn clone(&self) -> SimulatedDbms {
+        let engine = self.engine.clone();
+        let session = engine.session();
+        SimulatedDbms {
+            profile: self.profile.clone(),
+            faults: self.faults.clone(),
+            engine,
+            session,
+        }
+    }
 }
 
 impl SimulatedDbms {
@@ -34,11 +56,13 @@ impl SimulatedDbms {
         faults: Vec<&'static str>,
         eval: EvalStrategy,
     ) -> SimulatedDbms {
-        let engine = Database::new(Self::engine_config(&profile, &faults, eval));
+        let engine = Engine::new(Self::engine_config(&profile, &faults, eval));
+        let session = engine.session();
         SimulatedDbms {
             profile,
             faults,
             engine,
+            session,
         }
     }
 
@@ -46,7 +70,7 @@ impl SimulatedDbms {
     /// engine configuration (the single source of truth) so rebuilds in
     /// [`DbmsConnection::reset`] can never drift from it.
     fn eval(&self) -> EvalStrategy {
-        self.engine.config.eval
+        self.engine.config().eval
     }
 
     fn engine_config(
@@ -75,10 +99,28 @@ impl SimulatedDbms {
         bugs_for_faults(&self.faults)
     }
 
-    /// The underlying engine database (for inspection in experiments, e.g.
-    /// coverage accounting for Table 3).
-    pub fn engine(&self) -> &Database {
-        &self.engine
+    /// The committed engine database (for inspection in experiments, e.g.
+    /// coverage accounting for Table 3). Uncommitted session workspaces are
+    /// not visible here.
+    pub fn engine(&self) -> std::cell::Ref<'_, Database> {
+        self.engine.committed()
+    }
+
+    /// Number of commit attempts the engine rejected with a serialization
+    /// failure (first-committer-wins conflict aborts).
+    pub fn conflict_aborts(&self) -> u64 {
+        self.engine.conflict_aborts()
+    }
+
+    /// Opens an additional connection over the same engine. The returned
+    /// session shares the committed state with this DBMS, holds its own
+    /// transaction state, and applies the same dialect gating; its `reset`
+    /// is a no-op (only the owning DBMS may wipe shared state).
+    pub fn connect(&self) -> SimulatedSession {
+        SimulatedSession {
+            profile: self.profile.clone(),
+            session: self.engine.session(),
+        }
     }
 
     /// A copy of this DBMS with one fault disabled — the "fixed version"
@@ -98,15 +140,7 @@ impl SimulatedDbms {
     /// `Statement::Select` execution does in the engine (statement coverage
     /// plus the optimized pipeline) without constructing a [`Statement`].
     fn run_query(&mut self, select: &Select) -> Result<QueryResult, String> {
-        self.engine
-            .record_coverage(|cov| cov.statement("STMT_SELECT"));
-        match self.engine.query(select, ExecutionMode::Optimized) {
-            Ok(rs) => Ok(QueryResult {
-                columns: rs.columns,
-                rows: rs.rows,
-            }),
-            Err(err) => Err(err.to_string()),
-        }
+        run_session_query(&self.session, select)
     }
 
     fn run_case(&mut self, case: &ReducibleCase) -> OracleOutcome {
@@ -130,9 +164,13 @@ impl SimulatedDbms {
                 &case.setup,
             ),
             // Rollback-oracle cases are transactional sessions
-            // ([`TxnCase`]), replayed via [`SimulatedDbms::run_txn_case`].
+            // ([`TxnCase`]), replayed via [`SimulatedDbms::run_txn_case`];
+            // isolation cases are schedules ([`ScheduleCase`]).
             OracleKind::Rollback => {
                 OracleOutcome::Invalid("rollback cases replay as TxnCase".into())
+            }
+            OracleKind::Isolation => {
+                OracleOutcome::Invalid("isolation cases replay as ScheduleCase".into())
             }
         }
     }
@@ -145,6 +183,10 @@ impl SimulatedDbms {
             &case.features,
             &case.setup,
         )
+    }
+
+    fn run_schedule_case(&mut self, case: &ScheduleCase) -> OracleOutcome {
+        check_isolation(self, &case.schedule, &case.features, &case.setup).outcome
     }
 
     /// Identifies which injected bugs a reduced test case triggers, by
@@ -187,6 +229,112 @@ impl SimulatedDbms {
         }
         causes
     }
+
+    /// [`SimulatedDbms::ground_truth_bugs`] for a concurrent schedule
+    /// flagged by the isolation oracle: the schedule is replayed against
+    /// variants of this DBMS with one fault disabled at a time.
+    pub fn ground_truth_schedule_bugs(&self, case: &ScheduleCase) -> Vec<&'static str> {
+        let mut reproducer = self.clone();
+        if !matches!(reproducer.run_schedule_case(case), OracleOutcome::Bug(_)) {
+            return Vec::new();
+        }
+        let mut causes = Vec::new();
+        for fault in &self.faults {
+            let mut fixed = self.without_fault(fault);
+            if !matches!(fixed.run_schedule_case(case), OracleOutcome::Bug(_)) {
+                if let Some(bug) = bugs_for_faults(&[fault]).first() {
+                    causes.push(bug.id);
+                }
+            }
+        }
+        causes
+    }
+}
+
+/// Executes a profile-gated query through a session — the shared tail of
+/// the text path and the AST fast path for both the primary connection and
+/// the extra sessions [`SimulatedDbms::connect`] opens.
+fn run_session_query(session: &EngineSession, select: &Select) -> Result<QueryResult, String> {
+    session.record_coverage(|cov| cov.statement("STMT_SELECT"));
+    match session.query(select, ExecutionMode::Optimized) {
+        Ok(rs) => Ok(QueryResult {
+            columns: rs.columns,
+            rows: rs.rows,
+        }),
+        Err(err) => Err(err.to_string()),
+    }
+}
+
+/// An additional connection over a [`SimulatedDbms`]'s engine, opened with
+/// [`SimulatedDbms::connect`]: same dialect gating, same committed state,
+/// independent transaction state.
+#[derive(Debug)]
+pub struct SimulatedSession {
+    profile: DialectProfile,
+    session: EngineSession,
+}
+
+impl DbmsConnection for SimulatedSession {
+    fn name(&self) -> &str {
+        &self.profile.name
+    }
+
+    fn execute(&mut self, sql: &str) -> StatementOutcome {
+        let stmt: Statement = match sql_parser::parse_statement(sql) {
+            Ok(stmt) => stmt,
+            Err(err) => return StatementOutcome::Failure(format!("syntax error: {err}")),
+        };
+        self.execute_ast(&stmt)
+    }
+
+    fn query(&mut self, sql: &str) -> Result<QueryResult, String> {
+        let stmt: Statement =
+            sql_parser::parse_statement(sql).map_err(|e| format!("syntax error: {e}"))?;
+        if let Some(feature) = self.profile.first_unsupported(&stmt) {
+            return Err(format!(
+                "{}: unsupported feature {feature}",
+                self.profile.name
+            ));
+        }
+        match &stmt {
+            Statement::Select(select) => run_session_query(&self.session, select),
+            _ => Err("not a query".to_string()),
+        }
+    }
+
+    fn execute_ast(&mut self, stmt: &Statement) -> StatementOutcome {
+        if let Some(feature) = self.profile.first_unsupported(stmt) {
+            return StatementOutcome::Failure(format!(
+                "{}: unsupported feature {feature}",
+                self.profile.name
+            ));
+        }
+        match self.session.execute(stmt) {
+            Ok(_) => StatementOutcome::Success,
+            Err(err) => StatementOutcome::Failure(err.to_string()),
+        }
+    }
+
+    fn query_ast(&mut self, select: &Select) -> Result<QueryResult, String> {
+        if let Some(feature) = self.profile.first_unsupported_select(select) {
+            return Err(format!(
+                "{}: unsupported feature {feature}",
+                self.profile.name
+            ));
+        }
+        run_session_query(&self.session, select)
+    }
+
+    /// A no-op: only the owning [`SimulatedDbms`] may wipe the shared
+    /// engine. (Oracles never reset the extra sessions they open.)
+    fn reset(&mut self) {}
+
+    fn quirks(&self) -> DialectQuirks {
+        DialectQuirks {
+            requires_refresh: self.profile.requires_refresh,
+            requires_commit: self.profile.requires_commit,
+        }
+    }
 }
 
 impl DbmsConnection for SimulatedDbms {
@@ -226,7 +374,7 @@ impl DbmsConnection for SimulatedDbms {
                 self.profile.name
             ));
         }
-        match self.engine.execute(stmt) {
+        match self.session.execute(stmt) {
             Ok(_) => StatementOutcome::Success,
             Err(err) => StatementOutcome::Failure(err.to_string()),
         }
@@ -245,11 +393,14 @@ impl DbmsConnection for SimulatedDbms {
     }
 
     fn reset(&mut self) {
-        self.engine = Database::new(Self::engine_config(
+        // A fresh engine core: sessions opened over the previous core keep
+        // their (now detached) shared state and die with it.
+        self.engine = Engine::new(Self::engine_config(
             &self.profile,
             &self.faults,
             self.eval(),
         ));
+        self.session = self.engine.session();
     }
 
     fn quirks(&self) -> DialectQuirks {
@@ -257,6 +408,10 @@ impl DbmsConnection for SimulatedDbms {
             requires_refresh: self.profile.requires_refresh,
             requires_commit: self.profile.requires_commit,
         }
+    }
+
+    fn open_session(&mut self) -> Option<Box<dyn DbmsConnection>> {
+        Some(Box::new(self.connect()))
     }
 }
 

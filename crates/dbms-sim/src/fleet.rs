@@ -79,6 +79,7 @@ pub fn fleet() -> Vec<DialectPreset> {
                 "STMT_ROLLBACK",
                 "STMT_SAVEPOINT",
                 "STMT_ROLLBACK_TO",
+                "STMT_RELEASE_SAVEPOINT",
                 "OP_NULLSAFE_EQ",
                 "FN_IIF",
                 "FN_IF",
@@ -180,7 +181,9 @@ pub fn fleet() -> Vec<DialectPreset> {
                 "OP_IS_NOT_DISTINCT",
                 "FN_GREATEST",
             ],
-            &["bad_collation_comparison"],
+            // Isolation fault: COMMIT skips first-committer-wins
+            // validation (lost update).
+            &["bad_collation_comparison", "iso_lost_update"],
             false,
         ),
         preset(
@@ -213,7 +216,9 @@ pub fn fleet() -> Vec<DialectPreset> {
                 "OP_IS_NOT_DISTINCT",
                 "FN_TOTAL",
             ],
-            &["bad_bitwise_inversion"],
+            // Isolation fault: the begin-time snapshot leaks other
+            // sessions' uncommitted writes (dirty read).
+            &["bad_bitwise_inversion", "iso_dirty_read"],
             false,
         ),
         preset(
@@ -246,6 +251,7 @@ pub fn fleet() -> Vec<DialectPreset> {
                 "STMT_ROLLBACK",
                 "STMT_SAVEPOINT",
                 "STMT_ROLLBACK_TO",
+                "STMT_RELEASE_SAVEPOINT",
                 "OP_NULLSAFE_EQ",
                 "STMT_ANALYZE",
                 "FN_IIF",
@@ -286,7 +292,13 @@ pub fn fleet() -> Vec<DialectPreset> {
             "tidb",
             TypingMode::Dynamic,
             &["JOIN_FULL", "OP_IS_DISTINCT", "OP_IS_NOT_DISTINCT"],
-            &["bad_bitwise_inversion", "bad_index_lookup_coercion"],
+            // Isolation fault: in-transaction reads of unwritten tables
+            // see the latest committed state (non-repeatable read).
+            &[
+                "bad_bitwise_inversion",
+                "bad_index_lookup_coercion",
+                "iso_nonrepeatable_read",
+            ],
             false,
         ),
         preset(
@@ -329,6 +341,7 @@ pub fn fleet() -> Vec<DialectPreset> {
                 "STMT_CREATE_VIEW",
                 "STMT_SAVEPOINT",
                 "STMT_ROLLBACK_TO",
+                "STMT_RELEASE_SAVEPOINT",
             ],
             &["bad_index_lookup_coercion"],
             false,

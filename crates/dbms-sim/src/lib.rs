@@ -36,7 +36,7 @@ mod profile;
 mod runner;
 
 pub use bugs::{bugs_for_faults, catalog, InjectedBug};
-pub use dbms::SimulatedDbms;
+pub use dbms::{SimulatedDbms, SimulatedSession};
 pub use fleet::{fleet, preset_by_name, validity_experiment_dialects, DialectPreset};
 pub use profile::{
     collect_query_features, collect_statement_features, function_feature, join_feature,

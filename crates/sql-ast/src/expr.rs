@@ -410,9 +410,11 @@ impl Expr {
     /// runs on the engine's per-statement hot path, so a node costs one or
     /// two multiply steps, not a name's worth of byte hashing.
     ///
-    /// Subquery bodies are **not** descended into (only a variant tag is
-    /// hashed); callers that key caches on this fingerprint must skip
-    /// expressions for which [`Expr::contains_subquery`] is true.
+    /// Subquery bodies **are** descended into (via
+    /// [`Select::fingerprint_into`](crate::Select::fingerprint_into)), so
+    /// subquery-containing expressions are safe cache keys: two expressions
+    /// hash identically only when their whole trees — including every
+    /// clause of every embedded query — are structurally identical.
     pub fn fingerprint_into(&self, hasher: &mut crate::Fingerprint128) {
         /// Packs a variant tag with up to two small payload fields into one
         /// hashed word.
@@ -527,12 +529,23 @@ impl Expr {
                     e.fingerprint_into(hasher);
                 }
             }
-            Expr::InSubquery { expr, negated, .. } => {
+            Expr::InSubquery {
+                expr,
+                negated,
+                subquery,
+            } => {
                 tag(hasher, 11, u64::from(*negated), 0);
                 expr.fingerprint_into(hasher);
+                subquery.fingerprint_into(hasher);
             }
-            Expr::Exists { negated, .. } => tag(hasher, 12, u64::from(*negated), 0),
-            Expr::ScalarSubquery(_) => tag(hasher, 13, 0, 0),
+            Expr::Exists { negated, subquery } => {
+                tag(hasher, 12, u64::from(*negated), 0);
+                subquery.fingerprint_into(hasher);
+            }
+            Expr::ScalarSubquery(subquery) => {
+                tag(hasher, 13, 0, 0);
+                subquery.fingerprint_into(hasher);
+            }
             Expr::IsNull { expr, negated } => {
                 tag(hasher, 14, u64::from(*negated), 0);
                 expr.fingerprint_into(hasher);

@@ -45,8 +45,8 @@ pub use select::{
     TableFactor, TableWithJoins,
 };
 pub use stmt::{
-    ColumnConstraint, ColumnDef, CreateIndex, CreateTable, CreateView, Delete, DropKind, Insert,
-    Statement, TableConstraint, Update,
+    BeginMode, ColumnConstraint, ColumnDef, CreateIndex, CreateTable, CreateView, Delete, DropKind,
+    Insert, Statement, TableConstraint, Update,
 };
 pub use types::DataType;
 pub use value::{format_real, parse_numeric_prefix, TruthValue, Value};

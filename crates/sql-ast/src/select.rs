@@ -349,6 +349,104 @@ impl Select {
         }
         out
     }
+
+    /// Feeds an exact structural fingerprint of the query into a 128-bit
+    /// hasher, covering every clause — projections, `FROM` (including
+    /// derived tables, recursively), `WHERE`, grouping, ordering, limits and
+    /// set operations. This is what lets [`Expr::fingerprint_into`] descend
+    /// into subquery bodies, making subquery-containing expressions
+    /// plan-cacheable: two queries hash identically only when they would
+    /// compile (and execute) identically.
+    pub fn fingerprint_into(&self, hasher: &mut crate::Fingerprint128) {
+        hasher.write_word(
+            0x5E1Eu64
+                | (u64::from(self.distinct) << 16)
+                | ((self.projections.len() as u64) << 17)
+                | ((self.from.len() as u64) << 40),
+        );
+        for item in &self.projections {
+            match item {
+                SelectItem::Wildcard => hasher.write_word(1),
+                SelectItem::QualifiedWildcard(t) => {
+                    hasher.write_word(2);
+                    hasher.write_str_words(t);
+                }
+                SelectItem::Expr { expr, alias } => {
+                    hasher.write_word(3 | (u64::from(alias.is_some()) << 8));
+                    expr.fingerprint_into(hasher);
+                    if let Some(a) = alias {
+                        hasher.write_str_words(a);
+                    }
+                }
+            }
+        }
+        for twj in &self.from {
+            factor_fingerprint(&twj.relation, hasher);
+            hasher.write_word(twj.joins.len() as u64);
+            for join in &twj.joins {
+                hasher.write_word((join.join_type as u64) | (u64::from(join.on.is_some()) << 8));
+                factor_fingerprint(&join.relation, hasher);
+                if let Some(on) = &join.on {
+                    on.fingerprint_into(hasher);
+                }
+            }
+        }
+        clause_fingerprint(self.where_clause.as_ref(), hasher);
+        hasher.write_word(self.group_by.len() as u64);
+        for g in &self.group_by {
+            g.fingerprint_into(hasher);
+        }
+        clause_fingerprint(self.having.as_ref(), hasher);
+        hasher.write_word(self.order_by.len() as u64);
+        for o in &self.order_by {
+            hasher.write_word(o.order as u64);
+            o.expr.fingerprint_into(hasher);
+        }
+        hasher.write_word(match self.limit {
+            Some(l) => l | (1 << 63),
+            None => 0,
+        });
+        hasher.write_word(match self.offset {
+            Some(o) => o | (1 << 63),
+            None => 0,
+        });
+        match &self.set_op {
+            Some(set_op) => {
+                hasher.write_word(1 | ((set_op.op as u64) << 8) | (u64::from(set_op.all) << 16));
+                set_op.right.fingerprint_into(hasher);
+            }
+            None => hasher.write_word(0),
+        }
+    }
+}
+
+/// Hashes an optional clause expression with a presence tag.
+fn clause_fingerprint(clause: Option<&Expr>, hasher: &mut crate::Fingerprint128) {
+    match clause {
+        Some(e) => {
+            hasher.write_word(1);
+            e.fingerprint_into(hasher);
+        }
+        None => hasher.write_word(0),
+    }
+}
+
+/// Hashes one `FROM` relation, recursing into derived tables.
+fn factor_fingerprint(factor: &TableFactor, hasher: &mut crate::Fingerprint128) {
+    match factor {
+        TableFactor::Table { name, alias } => {
+            hasher.write_word(1 | (u64::from(alias.is_some()) << 8));
+            hasher.write_str_words(name);
+            if let Some(a) = alias {
+                hasher.write_str_words(a);
+            }
+        }
+        TableFactor::Derived { subquery, alias } => {
+            hasher.write_word(2);
+            subquery.fingerprint_into(hasher);
+            hasher.write_str_words(alias);
+        }
+    }
 }
 
 impl fmt::Display for Select {

@@ -305,15 +305,43 @@ impl DropKind {
     }
 }
 
+/// How `BEGIN` acquires its write intent.
+///
+/// SQLite's `BEGIN DEFERRED | IMMEDIATE` distinction, carried on the AST so
+/// the concurrent-session engine can honour it: `IMMEDIATE` declares eager
+/// write intent on the whole database at `BEGIN` time (its commit conflicts
+/// with *any* concurrent commit under first-committer-wins), while
+/// `DEFERRED` — and a bare `BEGIN` — accumulates write intent lazily as the
+/// transaction mutates tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BeginMode {
+    /// Bare `BEGIN`: deferred semantics, rendered without a mode keyword.
+    #[default]
+    Plain,
+    /// `BEGIN DEFERRED`: semantically identical to [`BeginMode::Plain`],
+    /// kept distinct so rendering round-trips.
+    Deferred,
+    /// `BEGIN IMMEDIATE`: eager write intent on every table.
+    Immediate,
+}
+
+impl BeginMode {
+    /// Whether the transaction declares write intent eagerly at `BEGIN`.
+    pub fn is_immediate(self) -> bool {
+        matches!(self, BeginMode::Immediate)
+    }
+}
+
 /// A top-level SQL statement.
 ///
 /// The paper's generator implements six statements (`CREATE TABLE`,
 /// `CREATE INDEX`, `CREATE VIEW`, `INSERT`, `ANALYZE`, `SELECT`); this
 /// reproduction additionally models `UPDATE`, `DELETE`, `DROP`, `REFRESH`
-/// and the transaction-control statements (`BEGIN`, `COMMIT`, `ROLLBACK`,
-/// `SAVEPOINT`, `ROLLBACK TO`) because several dialect quirks (Section 6,
-/// "Manual effort") involve them and the rollback oracle drives
-/// multi-statement transactional sessions through them.
+/// and the transaction-control statements (`BEGIN [DEFERRED | IMMEDIATE]`,
+/// `COMMIT`, `ROLLBACK`, `SAVEPOINT`, `ROLLBACK TO`, `RELEASE SAVEPOINT`)
+/// because several dialect quirks (Section 6, "Manual effort") involve them
+/// and the rollback and isolation oracles drive multi-statement
+/// transactional sessions through them.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Statement {
     /// `CREATE TABLE`.
@@ -343,10 +371,12 @@ pub enum Statement {
     },
     /// `REFRESH TABLE <name>` (CrateDB-style eventual-consistency flush).
     Refresh(String),
-    /// `BEGIN` — opens an explicit transaction.
-    Begin,
+    /// `BEGIN [DEFERRED | IMMEDIATE]` — opens an explicit transaction.
+    Begin(BeginMode),
     /// `COMMIT` — makes the open transaction's writes permanent (a no-op in
     /// autocommit, which is what JDBC-autocommit-off dialects rely on).
+    /// Under concurrent sessions a commit can fail with a serialization
+    /// error when first-committer-wins conflict detection rejects it.
     Commit,
     /// `ROLLBACK` — discards the open transaction's writes.
     Rollback,
@@ -355,6 +385,9 @@ pub enum Statement {
     /// `ROLLBACK TO <name>` — rewinds the open transaction to a savepoint,
     /// keeping the transaction (and the savepoint) active.
     RollbackTo(String),
+    /// `RELEASE SAVEPOINT <name>` — removes the savepoint (and every later
+    /// one), keeping the changes made since it was established.
+    ReleaseSavepoint(String),
 }
 
 impl Statement {
@@ -382,16 +415,22 @@ impl Statement {
         matches!(self, Statement::Select(_))
     }
 
+    /// A bare `BEGIN` ([`BeginMode::Plain`]).
+    pub fn begin() -> Statement {
+        Statement::Begin(BeginMode::Plain)
+    }
+
     /// Is this a transaction-control statement (`BEGIN`, `COMMIT`,
-    /// `ROLLBACK`, `SAVEPOINT`, `ROLLBACK TO`)?
+    /// `ROLLBACK`, `SAVEPOINT`, `ROLLBACK TO`, `RELEASE SAVEPOINT`)?
     pub fn is_txn_control(&self) -> bool {
         matches!(
             self,
-            Statement::Begin
+            Statement::Begin(_)
                 | Statement::Commit
                 | Statement::Rollback
                 | Statement::Savepoint(_)
                 | Statement::RollbackTo(_)
+                | Statement::ReleaseSavepoint(_)
         )
     }
 
@@ -408,11 +447,12 @@ impl Statement {
             Statement::Select(_) => "STMT_SELECT",
             Statement::Drop { .. } => "STMT_DROP",
             Statement::Refresh(_) => "STMT_REFRESH",
-            Statement::Begin => "STMT_BEGIN",
+            Statement::Begin(_) => "STMT_BEGIN",
             Statement::Commit => "STMT_COMMIT",
             Statement::Rollback => "STMT_ROLLBACK",
             Statement::Savepoint(_) => "STMT_SAVEPOINT",
             Statement::RollbackTo(_) => "STMT_ROLLBACK_TO",
+            Statement::ReleaseSavepoint(_) => "STMT_RELEASE_SAVEPOINT",
         }
     }
 }
@@ -443,11 +483,16 @@ impl fmt::Display for Statement {
                 f.write_str(name)
             }
             Statement::Refresh(t) => write!(f, "REFRESH TABLE {t}"),
-            Statement::Begin => f.write_str("BEGIN"),
+            Statement::Begin(mode) => match mode {
+                BeginMode::Plain => f.write_str("BEGIN"),
+                BeginMode::Deferred => f.write_str("BEGIN DEFERRED"),
+                BeginMode::Immediate => f.write_str("BEGIN IMMEDIATE"),
+            },
             Statement::Commit => f.write_str("COMMIT"),
             Statement::Rollback => f.write_str("ROLLBACK"),
             Statement::Savepoint(name) => write!(f, "SAVEPOINT {name}"),
             Statement::RollbackTo(name) => write!(f, "ROLLBACK TO {name}"),
+            Statement::ReleaseSavepoint(name) => write!(f, "RELEASE SAVEPOINT {name}"),
         }
     }
 }
@@ -532,7 +577,17 @@ mod tests {
             "REFRESH TABLE t0"
         );
         assert_eq!(Statement::Commit.to_string(), "COMMIT");
-        assert_eq!(Statement::Begin.to_string(), "BEGIN");
+        assert_eq!(Statement::begin().to_string(), "BEGIN");
+        assert_eq!(
+            Statement::Begin(BeginMode::Deferred).to_string(),
+            "BEGIN DEFERRED"
+        );
+        assert_eq!(
+            Statement::Begin(BeginMode::Immediate).to_string(),
+            "BEGIN IMMEDIATE"
+        );
+        assert!(BeginMode::Immediate.is_immediate());
+        assert!(!BeginMode::Deferred.is_immediate());
         assert_eq!(Statement::Rollback.to_string(), "ROLLBACK");
         assert_eq!(
             Statement::Savepoint("sp1".into()).to_string(),
@@ -542,7 +597,12 @@ mod tests {
             Statement::RollbackTo("sp1".into()).to_string(),
             "ROLLBACK TO sp1"
         );
-        assert!(Statement::Begin.is_txn_control());
+        assert_eq!(
+            Statement::ReleaseSavepoint("sp1".into()).to_string(),
+            "RELEASE SAVEPOINT sp1"
+        );
+        assert!(Statement::begin().is_txn_control());
+        assert!(Statement::ReleaseSavepoint("s".into()).is_txn_control());
         assert!(!Statement::Analyze(None).is_txn_control());
         assert_eq!(
             Statement::Drop {
@@ -569,11 +629,12 @@ mod tests {
     fn statement_feature_names_are_distinct() {
         use std::collections::HashSet;
         let stmts = [
-            Statement::Begin,
+            Statement::begin(),
             Statement::Commit,
             Statement::Rollback,
             Statement::Savepoint("s".into()),
             Statement::RollbackTo("s".into()),
+            Statement::ReleaseSavepoint("s".into()),
             Statement::Analyze(None),
             Statement::Refresh("t".into()),
         ];

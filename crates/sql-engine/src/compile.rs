@@ -179,9 +179,11 @@ fn plan_key(db: &Database, mode: ExecutionMode, bindings: &[RelationBinding], ex
 /// serves both correlated (outer scope attached) and top-level evaluation —
 /// this is what lets correlated-subquery sites compile **once per
 /// statement** and hit the cache on every subsequent outer row instead of
-/// falling back to the tree walker per row. Only plans containing
-/// subqueries, whose bodies the structural fingerprint does not cover, are
-/// compiled fresh instead of cached.
+/// falling back to the tree walker per row. Subquery-*containing*
+/// expressions cache too: the structural fingerprint descends into subquery
+/// bodies ([`sql_ast::Select::fingerprint_into`]), and the subquery nodes
+/// themselves compile to closures that re-execute the query per evaluation
+/// — structure lives in the cached plan, data is read at run time.
 pub fn compile_expr(
     db: &Database,
     mode: ExecutionMode,
@@ -190,8 +192,8 @@ pub fn compile_expr(
 ) -> CompiledExpr {
     // Single-node expressions (plain column projections, literals) compile
     // to one closure; going through the cache would cost more than the
-    // compile. Subquery-containing plans are uncacheable.
-    if matches!(expr, Expr::Literal(_) | Expr::Column(_)) || expr.contains_subquery() {
+    // compile.
+    if matches!(expr, Expr::Literal(_) | Expr::Column(_)) {
         let env = CompileEnv { bindings };
         return CompiledExpr {
             run: compile_node(expr, &env).into_root(),
@@ -252,11 +254,12 @@ impl<'e> SiteExpr<'e> {
     /// evaluation time), so these sites go through [`compile_expr`] like any
     /// other: the first outer row pays the compile, every later row is a
     /// cache hit — the subquery body is effectively memoized once per
-    /// statement instead of tree-walked per outer row. Only
-    /// subquery-*containing* expressions stay on the tree walker: their
-    /// per-row cost is dominated by re-executing the subquery (identical on
-    /// both evaluators), and their plans are uncacheable because the
-    /// structural fingerprint does not descend into subquery bodies.
+    /// statement instead of tree-walked per outer row.
+    /// Subquery-*containing* expressions compile and cache as well (the
+    /// structural fingerprint descends into subquery bodies); only the
+    /// subquery node itself delegates to the tree walker, so its per-row
+    /// re-execution stays identical on both evaluators while every sibling
+    /// subtree runs compiled.
     pub fn new(
         db: &Database,
         mode: ExecutionMode,
@@ -264,10 +267,8 @@ impl<'e> SiteExpr<'e> {
         expr: &'e Expr,
     ) -> SiteExpr<'e> {
         match db.config.eval {
-            EvalStrategy::Compiled if !expr.contains_subquery() => {
-                SiteExpr::Compiled(compile_expr(db, mode, bindings, expr))
-            }
-            EvalStrategy::Compiled | EvalStrategy::TreeWalk => SiteExpr::Tree(expr),
+            EvalStrategy::Compiled => SiteExpr::Compiled(compile_expr(db, mode, bindings, expr)),
+            EvalStrategy::TreeWalk => SiteExpr::Tree(expr),
         }
     }
 
@@ -722,12 +723,11 @@ fn compile_node(expr: &Expr, env: &CompileEnv<'_>) -> Node {
             // Subquery nodes delegate to the tree walker verbatim: their
             // cost is the subquery re-execution (identical on both
             // evaluators), and delegation makes parity true by
-            // construction instead of by a hand-mirrored copy. The engine's
-            // sites never reach this arm (`SiteExpr::new` routes
-            // subquery-containing expressions to the tree walker wholesale);
-            // it exists for direct `compile_expr` callers, where only the
-            // subquery node itself falls back — sibling subtrees still
-            // compile.
+            // construction instead of by a hand-mirrored copy. Sibling
+            // subtrees still compile, and the whole plan is cacheable
+            // because the structural fingerprint covers the subquery body —
+            // the closure re-executes the query against the database's
+            // *current* data on every evaluation.
             let expr = expr.clone();
             Node::plain(Arc::new(move |ev, scope| ev.eval(&expr, scope)))
         }

@@ -230,7 +230,10 @@ pub fn execute_statement(db: &mut Database, stmt: &Statement) -> EngineResult<St
             }
             Ok(StatementResult::Ok)
         }
-        Statement::Begin => {
+        // The begin mode only matters under concurrent sessions (the
+        // `session` module turns IMMEDIATE into eager write intent); a
+        // single-connection database treats every mode like a plain BEGIN.
+        Statement::Begin(_) => {
             db.txn_begin()?;
             Ok(StatementResult::Ok)
         }
@@ -248,6 +251,10 @@ pub fn execute_statement(db: &mut Database, stmt: &Statement) -> EngineResult<St
         }
         Statement::RollbackTo(name) => {
             db.txn_rollback_to(name)?;
+            Ok(StatementResult::Ok)
+        }
+        Statement::ReleaseSavepoint(name) => {
+            db.txn_release(name)?;
             Ok(StatementResult::Ok)
         }
     }

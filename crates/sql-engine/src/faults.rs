@@ -122,6 +122,23 @@ pub struct FaultConfig {
     /// stack ("savepoint collapse").
     pub txn_savepoint_collapse: bool,
 
+    // ---- isolation faults (concurrent sessions; detected by the
+    // ---- isolation oracle) ----
+    /// A transaction's begin-time snapshot includes the *uncommitted*
+    /// writes of other open sessions ("dirty read"): data another session
+    /// later rolls back can leak into a committed transaction.
+    pub iso_dirty_read: bool,
+    /// `COMMIT` skips first-committer-wins conflict validation: the later
+    /// committer blindly installs its snapshot-based writes, silently
+    /// clobbering a concurrent committed update to the same table
+    /// ("lost update").
+    pub iso_lost_update: bool,
+    /// Inside a transaction, tables the session has not itself written are
+    /// re-read from the latest *committed* state at every statement instead
+    /// of from the begin snapshot — read-committed visibility masquerading
+    /// as snapshot isolation ("non-repeatable read").
+    pub iso_nonrepeatable_read: bool,
+
     // ---- "other bug" faults (crashes / internal errors, not logic bugs) ----
     /// Deeply nested expressions (depth > 2) above a size threshold cause an
     /// internal error, modelling the paper's non-logic "unexpected error"
@@ -203,6 +220,9 @@ impl FaultConfig {
             self.txn_lost_rollback,
             self.txn_phantom_commit,
             self.txn_savepoint_collapse,
+            self.iso_dirty_read,
+            self.iso_lost_update,
+            self.iso_nonrepeatable_read,
             self.crash_on_deep_expressions,
             self.crash_on_many_joins,
         ];
@@ -252,6 +272,9 @@ impl FaultConfig {
             ("txn_lost_rollback", self.txn_lost_rollback),
             ("txn_phantom_commit", self.txn_phantom_commit),
             ("txn_savepoint_collapse", self.txn_savepoint_collapse),
+            ("iso_dirty_read", self.iso_dirty_read),
+            ("iso_lost_update", self.iso_lost_update),
+            ("iso_nonrepeatable_read", self.iso_nonrepeatable_read),
             ("crash_on_deep_expressions", self.crash_on_deep_expressions),
             ("crash_on_many_joins", self.crash_on_many_joins),
         ]
@@ -291,6 +314,9 @@ impl FaultConfig {
             "txn_lost_rollback" => self.txn_lost_rollback = true,
             "txn_phantom_commit" => self.txn_phantom_commit = true,
             "txn_savepoint_collapse" => self.txn_savepoint_collapse = true,
+            "iso_dirty_read" => self.iso_dirty_read = true,
+            "iso_lost_update" => self.iso_lost_update = true,
+            "iso_nonrepeatable_read" => self.iso_nonrepeatable_read = true,
             "crash_on_deep_expressions" => self.crash_on_deep_expressions = true,
             "crash_on_many_joins" => self.crash_on_many_joins = true,
             _ => return false,

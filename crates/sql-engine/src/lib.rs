@@ -20,10 +20,15 @@
 //! [`Database`]), with the tree-walking [`Evaluator`] kept as the
 //! observationally-identical reference arm ([`EvalStrategy::TreeWalk`]).
 //!
-//! The engine is transactional: `BEGIN`/`COMMIT`/`ROLLBACK`/`SAVEPOINT`/
-//! `ROLLBACK TO` run against a per-table undo log (see the `txn` module),
-//! giving explicit transactions snapshot semantics over the in-memory
-//! storage while autocommit remains the default.
+//! The engine is transactional: `BEGIN [DEFERRED | IMMEDIATE]`/`COMMIT`/
+//! `ROLLBACK`/`SAVEPOINT`/`ROLLBACK TO`/`RELEASE SAVEPOINT` run against a
+//! per-table undo log (see the `txn` module), giving explicit transactions
+//! snapshot semantics over the in-memory storage while autocommit remains
+//! the default. The `session` module layers **concurrent sessions** on
+//! top: [`Engine`] is a shared storage core, [`Engine::session`] hands out
+//! per-connection handles with begin-time snapshot reads and
+//! first-committer-wins conflict detection (`COMMIT` can fail with a
+//! serialization error).
 //!
 //! Logic bugs can be *injected* via [`FaultConfig`]: each switch enables one
 //! wrong rewrite, access-path shortcut, or evaluation quirk, several of them
@@ -56,6 +61,7 @@ mod exec;
 mod faults;
 mod functions;
 mod optimizer;
+mod session;
 mod storage;
 mod txn;
 
@@ -71,4 +77,5 @@ pub use exec::{
 pub use faults::FaultConfig;
 pub use functions::{eval_function, eval_function_unchecked};
 pub use optimizer::{optimize_select, rewrite_predicate};
+pub use session::{Engine, EngineSession, SERIALIZATION_FAILURE};
 pub use storage::{ColumnStats, Database, ResultSet, Row, TableStats};

@@ -195,6 +195,50 @@ impl Database {
         Ok(())
     }
 
+    /// `RELEASE SAVEPOINT <name>`.
+    ///
+    /// Removes the named savepoint and every later one while **keeping** the
+    /// changes made since: the released frames' undo logs are merged
+    /// downward into the frame below the savepoint. For each table, the
+    /// receiving frame keeps its own (older) pre-image when it has one;
+    /// otherwise it adopts the pre-image from the *lowest* released frame
+    /// that recorded the table — which is exactly the table's state as of
+    /// the receiving frame's span, because any earlier mutation would have
+    /// been recorded by the receiving frame itself.
+    ///
+    /// # Errors
+    ///
+    /// Fails outside a transaction or for an unknown savepoint name.
+    pub(crate) fn txn_release(&mut self, name: &str) -> EngineResult<()> {
+        if !self.in_transaction() {
+            return Err(EngineError::runtime("no transaction is active"));
+        }
+        let key = lowercase_key(name).into_owned();
+        let Some(target) = self
+            .txn
+            .frames
+            .iter()
+            .rposition(|f| f.savepoint.as_deref() == Some(key.as_str()))
+        else {
+            return Err(EngineError::runtime(format!("no such savepoint: {name}")));
+        };
+        // Savepoint frames always sit above the `BEGIN` frame, so a
+        // receiving frame exists.
+        let released: Vec<TxnFrame> = self.txn.frames.split_off(target);
+        let receiver = self
+            .txn
+            .frames
+            .last_mut()
+            .expect("BEGIN frame below every savepoint");
+        // Bottom-up: the lowest released frame holds the oldest pre-images.
+        for frame in released {
+            for (table, image) in frame.undo {
+                receiver.undo.entry(table).or_insert(image);
+            }
+        }
+        Ok(())
+    }
+
     /// Applies every frame's undo (newest first) and restores the bottom
     /// frame's catalog. Leaves the frame stack untouched.
     fn apply_undo_all(&mut self) {
@@ -322,6 +366,49 @@ mod tests {
         assert_eq!(count(&mut db, "t0"), 3);
         db.execute_sql("COMMIT").unwrap();
         assert_eq!(count(&mut db, "t0"), 3);
+    }
+
+    #[test]
+    fn release_savepoint_keeps_changes_and_merges_undo() {
+        let mut db = db_with_rows();
+        db.execute_sql("BEGIN").unwrap();
+        db.execute_sql("INSERT INTO t0 (c0) VALUES (3)").unwrap();
+        db.execute_sql("SAVEPOINT sp1").unwrap();
+        db.execute_sql("DELETE FROM t0 WHERE c0 = 1").unwrap();
+        db.execute_sql("SAVEPOINT sp2").unwrap();
+        db.execute_sql("INSERT INTO t0 (c0) VALUES (4)").unwrap();
+        assert_eq!(db.transaction_depth(), 3);
+        // Releasing sp1 removes sp1 and sp2, keeping every change.
+        db.execute_sql("RELEASE SAVEPOINT sp1").unwrap();
+        assert_eq!(db.transaction_depth(), 1);
+        assert_eq!(count(&mut db, "t0"), 3);
+        assert!(
+            db.execute_sql("ROLLBACK TO sp1").is_err(),
+            "released savepoint is gone"
+        );
+        // The merged undo still rewinds the whole transaction faithfully.
+        db.execute_sql("ROLLBACK").unwrap();
+        assert_eq!(count(&mut db, "t0"), 2);
+        let rs = db.query_sql("SELECT c0 FROM t0 WHERE c0 = 1").unwrap();
+        assert_eq!(rs.row_count(), 1, "pre-savepoint delete rolled back");
+    }
+
+    #[test]
+    fn release_survives_noise_words_and_reports_errors() {
+        let mut db = db_with_rows();
+        assert!(
+            db.execute_sql("RELEASE SAVEPOINT s").is_err(),
+            "outside txn"
+        );
+        db.execute_sql("BEGIN").unwrap();
+        assert!(
+            db.execute_sql("RELEASE SAVEPOINT ghost").is_err(),
+            "unknown savepoint"
+        );
+        db.execute_sql("SAVEPOINT s").unwrap();
+        // Bare `RELEASE s` (noise word omitted) works too.
+        db.execute_sql("RELEASE s").unwrap();
+        db.execute_sql("COMMIT").unwrap();
     }
 
     #[test]

@@ -77,26 +77,60 @@ mod tests {
             SAVEPOINT sp1;
             DELETE FROM t0;
             ROLLBACK TO sp1;
+            RELEASE SAVEPOINT sp1;
             COMMIT;
             BEGIN TRANSACTION;
             ROLLBACK;
         ";
         let stmts = parse_statements(script).unwrap();
-        assert_eq!(stmts[0], Statement::Begin);
+        assert_eq!(stmts[0], Statement::begin());
         assert_eq!(stmts[2], Statement::Savepoint("sp1".into()));
         assert_eq!(stmts[4], Statement::RollbackTo("sp1".into()));
-        assert_eq!(stmts[5], Statement::Commit);
-        assert_eq!(stmts[6], Statement::Begin);
-        assert_eq!(stmts[7], Statement::Rollback);
+        assert_eq!(stmts[5], Statement::ReleaseSavepoint("sp1".into()));
+        assert_eq!(stmts[6], Statement::Commit);
+        assert_eq!(stmts[7], Statement::begin());
+        assert_eq!(stmts[8], Statement::Rollback);
         // Rendered forms parse back to the same AST.
         for stmt in &stmts {
             assert_eq!(&parse_statement(&stmt.to_string()).unwrap(), stmt);
         }
         // Noise words are accepted.
-        assert_eq!(parse_statement("BEGIN WORK").unwrap(), Statement::Begin);
+        assert_eq!(parse_statement("BEGIN WORK").unwrap(), Statement::begin());
         assert_eq!(
             parse_statement("ROLLBACK TO SAVEPOINT a").unwrap(),
             Statement::RollbackTo("a".into())
         );
+        assert_eq!(
+            parse_statement("RELEASE a").unwrap(),
+            Statement::ReleaseSavepoint("a".into())
+        );
+    }
+
+    #[test]
+    fn begin_modes_parse_and_round_trip() {
+        use sql_ast::{BeginMode, Statement};
+        assert_eq!(
+            parse_statement("BEGIN DEFERRED").unwrap(),
+            Statement::Begin(BeginMode::Deferred)
+        );
+        assert_eq!(
+            parse_statement("BEGIN IMMEDIATE").unwrap(),
+            Statement::Begin(BeginMode::Immediate)
+        );
+        // Mode keywords compose with the noise words.
+        assert_eq!(
+            parse_statement("BEGIN IMMEDIATE TRANSACTION").unwrap(),
+            Statement::Begin(BeginMode::Immediate)
+        );
+        assert_eq!(
+            parse_statement("BEGIN DEFERRED WORK").unwrap(),
+            Statement::Begin(BeginMode::Deferred)
+        );
+        for stmt in [
+            Statement::Begin(BeginMode::Deferred),
+            Statement::Begin(BeginMode::Immediate),
+        ] {
+            assert_eq!(parse_statement(&stmt.to_string()).unwrap(), stmt);
+        }
     }
 }

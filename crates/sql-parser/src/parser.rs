@@ -146,11 +146,19 @@ impl Parser {
             Some("REFRESH") => self.parse_refresh(),
             Some("BEGIN") => {
                 self.pos += 1;
-                // Optional `TRANSACTION` / `WORK` noise word.
+                // Optional `DEFERRED` / `IMMEDIATE` mode keyword, then the
+                // optional `TRANSACTION` / `WORK` noise word.
+                let mode = if self.consume_keyword("DEFERRED") {
+                    sql_ast::BeginMode::Deferred
+                } else if self.consume_keyword("IMMEDIATE") {
+                    sql_ast::BeginMode::Immediate
+                } else {
+                    sql_ast::BeginMode::Plain
+                };
                 if !self.consume_keyword("TRANSACTION") {
                     self.consume_keyword("WORK");
                 }
-                Ok(Statement::Begin)
+                Ok(Statement::Begin(mode))
             }
             Some("COMMIT") => {
                 self.pos += 1;
@@ -164,6 +172,13 @@ impl Parser {
                 self.pos += 1;
                 let name = self.expect_identifier("savepoint name")?;
                 Ok(Statement::Savepoint(name))
+            }
+            Some("RELEASE") => {
+                self.pos += 1;
+                // Optional `SAVEPOINT` noise word before the name.
+                self.consume_keyword("SAVEPOINT");
+                let name = self.expect_identifier("savepoint name")?;
+                Ok(Statement::ReleaseSavepoint(name))
             }
             other => Err(self.error(format!("expected a statement, found {other:?}"))),
         }

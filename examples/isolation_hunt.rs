@@ -1,0 +1,76 @@
+//! Hunting isolation bugs with concurrent-session schedules.
+//!
+//! Walkthrough of the concurrent-session subsystem end to end: the adaptive
+//! generator emits two-session mutation scripts with an explicit,
+//! seed-derived interleaving (deterministic — no real threads), the
+//! isolation oracle runs each schedule over two connections of one engine
+//! and compares the final 128-bit table fingerprints against serial
+//! replays of the committed sessions in both commit orders, the reducer
+//! shrinks flagged schedules while preserving the bracketing and the
+//! interleaving's relative order, and ground-truth bisection names the
+//! injected fault. Commits rejected by first-committer-wins conflict
+//! detection are counted as conflict aborts — a legitimate outcome, never
+//! a bug.
+//!
+//! The three designated isolation-bug dialects are hunted here:
+//!
+//! * `mysql` — `iso_dirty_read` (snapshots leak uncommitted writes),
+//! * `mariadb` — `iso_lost_update` (COMMIT skips conflict validation),
+//! * `tidb` — `iso_nonrepeatable_read` (reads chase the committed state).
+//!
+//! ```bash
+//! cargo run --example isolation_hunt
+//! ```
+
+use sqlancerpp::core::{Campaign, CampaignConfig, OracleKind};
+use sqlancerpp::sim::preset_by_name;
+use std::collections::BTreeSet;
+
+fn main() {
+    println!("== Snapshot-isolation oracle hunt ==\n");
+    for name in ["mysql", "mariadb", "tidb", "sqlite"] {
+        let preset = preset_by_name(name).expect("known preset");
+        let mut dbms = preset.instantiate();
+        let mut config = CampaignConfig {
+            seed: 0x150,
+            databases: 2,
+            ddl_per_database: 10,
+            queries_per_database: 120,
+            // Isolation-only schedule: every test case is a concurrent
+            // two-session schedule (mixed schedules alternate it with the
+            // single-connection oracles).
+            oracles: vec![OracleKind::Isolation],
+            reduce_bugs: true,
+            max_reduction_checks: 32,
+            ..CampaignConfig::default()
+        };
+        config.generator.stats.query_threshold = 0.05;
+        config.generator.stats.min_attempts = 30;
+        let mut campaign = Campaign::new(config);
+        let report = campaign.run(&mut dbms);
+
+        let mut unique: BTreeSet<&'static str> = BTreeSet::new();
+        for case in &report.schedule_cases {
+            for id in dbms.ground_truth_schedule_bugs(case) {
+                unique.insert(id);
+            }
+        }
+        println!(
+            "{name}: {} schedules, {:.0}% conflict-abort rate, {} flagged, \
+             {} prioritized, ground truth: {:?}",
+            report.metrics.isolation_schedules,
+            report.metrics.conflict_abort_rate() * 100.0,
+            report.metrics.detected_bug_cases,
+            report.schedule_cases.len(),
+            unique
+        );
+        if let Some(case) = report.schedule_cases.first() {
+            println!("  first reduced schedule (explicit interleaving):");
+            for line in case.schedule.replay_script() {
+                println!("    {line}");
+            }
+        }
+        println!();
+    }
+    println!("(sqlite carries no isolation fault: the oracle stays silent there)");
+}
