@@ -35,6 +35,15 @@ SMOKE_JSON=/tmp/ci_smoke_bench.json
 ./target/release/campaign_throughput 100 "$SMOKE_JSON"
 ./target/release/campaign_throughput --validate "$SMOKE_JSON"
 
+echo "==> within-dialect partitioned runner"
+# Shards one dialect's campaign across worker threads and asserts the
+# merged report (metrics, bug reports, replayable cases, validity series,
+# learned profile) is byte-identical to the single-worker run. The binary
+# probes available_parallelism() itself: the speedup assertion only arms
+# on multi-CPU machines (this container reports 1 CPU), the identity
+# check always runs.
+./target/release/campaign_throughput --partitioned-check mariadb
+
 echo "==> perf-regression gate"
 # Extract a numeric value for "key" from a JSON file (first occurrence).
 json_number() {

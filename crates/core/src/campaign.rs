@@ -79,6 +79,17 @@ pub struct CampaignMetrics {
     /// isolation-oracle schedules (first-committer-wins aborts — a
     /// legitimate outcome, reported as the conflict-abort rate).
     pub conflict_aborts: u64,
+    /// `BEGIN` snapshots the backend's engine took over the campaign
+    /// (zero for backends that expose no storage metrics).
+    pub txn_begins: u64,
+    /// Table versions shared into those snapshots by pointer.
+    pub tables_snapshotted: u64,
+    /// Table versions actually deep-cloned on first write (CoW detaches) —
+    /// the snapshot work the copy-on-write storage could not avoid.
+    pub tables_cow_cloned: u64,
+    /// Commits admitted by row-range write intent that table-level
+    /// first-committer-wins validation would have aborted.
+    pub conflicts_avoided: u64,
 }
 
 impl CampaignMetrics {
@@ -102,6 +113,10 @@ impl CampaignMetrics {
         self.deduplicated_bugs += other.deduplicated_bugs;
         self.isolation_schedules += other.isolation_schedules;
         self.conflict_aborts += other.conflict_aborts;
+        self.txn_begins += other.txn_begins;
+        self.tables_snapshotted += other.tables_snapshotted;
+        self.tables_cow_cloned += other.tables_cow_cloned;
+        self.conflicts_avoided += other.conflicts_avoided;
     }
 
     /// Fraction of isolation-oracle schedules in which at least one commit
@@ -121,6 +136,16 @@ impl CampaignMetrics {
             return 0.0;
         }
         self.ddl_successes as f64 / self.ddl_statements as f64
+    }
+
+    /// Fraction of snapshotted table versions that were actually
+    /// deep-cloned (lower is better; `BEGIN` work CoW storage avoided is
+    /// `1 - rate`).
+    pub fn cow_clone_rate(&self) -> f64 {
+        if self.tables_snapshotted == 0 {
+            return 0.0;
+        }
+        self.tables_cow_cloned as f64 / self.tables_snapshotted as f64
     }
 }
 
@@ -183,6 +208,7 @@ impl Campaign {
             dbms_name: conn.name().to_string(),
             ..CampaignReport::default()
         };
+        let storage_before = conn.storage_metrics().unwrap_or_default();
         let quirks = conn.quirks();
         let sample_every = 50u64;
         let mut oracle_index = 0usize;
@@ -301,6 +327,13 @@ impl Campaign {
         }
         report.metrics.prioritized_bugs = self.prioritizer.stats().prioritized as u64;
         report.metrics.deduplicated_bugs = self.prioritizer.stats().deduplicated as u64;
+        if let Some(after) = conn.storage_metrics() {
+            let delta = after.since(&storage_before);
+            report.metrics.txn_begins = delta.txn_begins;
+            report.metrics.tables_snapshotted = delta.tables_snapshotted;
+            report.metrics.tables_cow_cloned = delta.tables_cow_cloned;
+            report.metrics.conflicts_avoided = delta.conflicts_avoided;
+        }
         report
     }
 

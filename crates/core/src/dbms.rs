@@ -80,6 +80,52 @@ pub struct DialectQuirks {
     pub requires_commit: bool,
 }
 
+/// Storage-versioning effectiveness counters a backend may expose:
+/// copy-on-write snapshot accounting plus the commits its row-range
+/// conflict detection admitted where table-level intent would have
+/// aborted. Purely observational — campaigns report them ([`crate::CampaignMetrics`])
+/// but never branch on them, so the SQL-text-only testing contract is
+/// untouched (a wire-protocol backend simply reports none).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StorageMetrics {
+    /// `BEGIN` snapshots taken by the backend's engine.
+    pub txn_begins: u64,
+    /// Table versions shared into snapshots at `BEGIN` (pointer bumps).
+    pub tables_snapshotted: u64,
+    /// Table versions actually deep-cloned on first write (CoW detaches).
+    pub tables_cow_cloned: u64,
+    /// Commits admitted by row-range write intent that table-level
+    /// first-committer-wins validation would have aborted.
+    pub conflicts_avoided: u64,
+}
+
+impl StorageMetrics {
+    /// Accumulates another counter set into this one.
+    pub fn merge(&mut self, other: &StorageMetrics) {
+        self.txn_begins += other.txn_begins;
+        self.tables_snapshotted += other.tables_snapshotted;
+        self.tables_cow_cloned += other.tables_cow_cloned;
+        self.conflicts_avoided += other.conflicts_avoided;
+    }
+
+    /// Counter-wise difference against an earlier sample of the same
+    /// backend (saturating, so a backend swap mid-run cannot underflow).
+    pub fn since(&self, earlier: &StorageMetrics) -> StorageMetrics {
+        StorageMetrics {
+            txn_begins: self.txn_begins.saturating_sub(earlier.txn_begins),
+            tables_snapshotted: self
+                .tables_snapshotted
+                .saturating_sub(earlier.tables_snapshotted),
+            tables_cow_cloned: self
+                .tables_cow_cloned
+                .saturating_sub(earlier.tables_cow_cloned),
+            conflicts_avoided: self
+                .conflicts_avoided
+                .saturating_sub(earlier.conflicts_avoided),
+        }
+    }
+}
+
 /// A connection to a DBMS under test.
 ///
 /// The platform drives the DBMS exclusively through this trait; the
@@ -144,6 +190,56 @@ pub trait DbmsConnection {
     fn open_session(&mut self) -> Option<Box<dyn DbmsConnection>> {
         None
     }
+
+    /// Cumulative storage-versioning counters for this connection's
+    /// backend, when it can observe them (the simulated fleet reads its
+    /// engine's CoW accounting; wire-protocol backends return `None`, the
+    /// default). Counters are cumulative across `reset`, so campaigns
+    /// difference two samples.
+    fn storage_metrics(&self) -> Option<StorageMetrics> {
+        None
+    }
+
+    /// Captures the backend's current committed state as an opaque
+    /// checkpoint that [`DbmsConnection::restore`] can return to, or `None`
+    /// when the backend has no cheap snapshot facility (the default).
+    ///
+    /// Oracles use this as a fast path for their reset-to-setup-state
+    /// bookkeeping: the simulated fleet backs it with an O(tables)
+    /// copy-on-write engine clone, while wire-protocol backends fall back
+    /// to the SQL-text setup replay — the testing contract itself never
+    /// depends on checkpoints, and a restored state is observably
+    /// identical to a replayed one.
+    fn checkpoint(&mut self) -> Option<StateCheckpoint> {
+        None
+    }
+
+    /// Returns the backend to a state previously captured by
+    /// [`DbmsConnection::checkpoint`] on the *same* connection. Returns
+    /// `false` when unsupported or when the checkpoint is foreign — the
+    /// caller must then rebuild by replaying SQL.
+    ///
+    /// Restoring **orphans** any session previously obtained from
+    /// [`DbmsConnection::open_session`]: such sessions may keep executing
+    /// against the discarded pre-restore state without error. Callers
+    /// must drop open sessions before restoring (the oracles do, between
+    /// arms).
+    fn restore(&mut self, checkpoint: &StateCheckpoint) -> bool {
+        let _ = checkpoint;
+        false
+    }
+}
+
+/// An opaque committed-state snapshot produced by
+/// [`DbmsConnection::checkpoint`]. The payload is backend-defined (the
+/// simulated fleet stores a CoW-shared engine clone); callers only hold
+/// and return it.
+pub struct StateCheckpoint(pub Box<dyn std::any::Any>);
+
+impl std::fmt::Debug for StateCheckpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("StateCheckpoint(..)")
+    }
 }
 
 /// Boxed trait objects forward every method — including the AST fast path
@@ -181,6 +277,18 @@ impl DbmsConnection for Box<dyn DbmsConnection> {
 
     fn open_session(&mut self) -> Option<Box<dyn DbmsConnection>> {
         (**self).open_session()
+    }
+
+    fn storage_metrics(&self) -> Option<StorageMetrics> {
+        (**self).storage_metrics()
+    }
+
+    fn checkpoint(&mut self) -> Option<StateCheckpoint> {
+        (**self).checkpoint()
+    }
+
+    fn restore(&mut self, checkpoint: &StateCheckpoint) -> bool {
+        (**self).restore(checkpoint)
     }
 }
 
@@ -239,6 +347,21 @@ impl<C: DbmsConnection> DbmsConnection for TextOnlyConnection<C> {
         self.inner
             .open_session()
             .map(|session| Box::new(TextOnlyConnection::new(session)) as Box<dyn DbmsConnection>)
+    }
+
+    fn storage_metrics(&self) -> Option<StorageMetrics> {
+        self.inner.storage_metrics()
+    }
+
+    fn checkpoint(&mut self) -> Option<StateCheckpoint> {
+        // Checkpoints capture committed state, not transport: restoring
+        // through a text-only connection is observably identical to
+        // replaying the setup SQL, so the wrapper forwards both.
+        self.inner.checkpoint()
+    }
+
+    fn restore(&mut self, checkpoint: &StateCheckpoint) -> bool {
+        self.inner.restore(checkpoint)
     }
 
     // `execute_ast` and `query_ast` are deliberately NOT overridden: the

@@ -45,8 +45,8 @@ pub mod stats;
 
 pub use campaign::{replay_validity, Campaign, CampaignConfig, CampaignMetrics, CampaignReport};
 pub use dbms::{
-    DbmsConnection, DialectQuirks, QueryResult, StatementOutcome, TextOnlyConnection,
-    SERIALIZATION_FAILURE_MARKER,
+    DbmsConnection, DialectQuirks, QueryResult, StateCheckpoint, StatementOutcome, StorageMetrics,
+    TextOnlyConnection, SERIALIZATION_FAILURE_MARKER,
 };
 pub use feature::{feature_universe, Feature, FeatureSet};
 pub use generator::{

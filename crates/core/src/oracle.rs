@@ -324,6 +324,38 @@ fn rebuild(conn: &mut dyn DbmsConnection, setup: &[String]) {
     }
 }
 
+/// The stateful oracles' reset-to-setup-state bookkeeping.
+///
+/// `capture` rebuilds the connection from the setup log once and asks the
+/// backend for a checkpoint of that state; every later `reset_to` restores
+/// the checkpoint — an O(tables) copy-on-write clone on the simulated
+/// fleet — and only falls back to the O(rows) SQL-text setup replay when
+/// the backend has no snapshot facility. Restored and replayed states are
+/// observably identical, so verdicts never depend on which path ran.
+struct SetupState<'a> {
+    setup: &'a [String],
+    checkpoint: Option<crate::dbms::StateCheckpoint>,
+}
+
+impl<'a> SetupState<'a> {
+    fn capture(conn: &mut dyn DbmsConnection, setup: &'a [String]) -> SetupState<'a> {
+        rebuild(conn, setup);
+        SetupState {
+            setup,
+            checkpoint: conn.checkpoint(),
+        }
+    }
+
+    fn reset_to(&self, conn: &mut dyn DbmsConnection) {
+        if let Some(checkpoint) = &self.checkpoint {
+            if conn.restore(checkpoint) {
+                return;
+            }
+        }
+        rebuild(conn, self.setup);
+    }
+}
+
 /// Applies the transaction-rollback oracle to a mutation session against
 /// `table`.
 ///
@@ -346,11 +378,15 @@ pub fn check_rollback(
     features: &FeatureSet,
     setup: &[String],
 ) -> OracleOutcome {
-    let outcome = check_rollback_arms(conn, table, session, features, setup);
+    // Capture the setup state once; the arms and the exit path below
+    // restore it (checkpoint-restore when the backend supports it, setup
+    // replay otherwise).
+    let state = SetupState::capture(conn, setup);
+    let outcome = check_rollback_arms(conn, table, session, features, &state);
     // The campaign's invariant is that between test cases the connection
     // reflects exactly the setup log; the arms above committed mutations,
-    // so rebuild before handing the connection back.
-    rebuild(conn, setup);
+    // so restore before handing the connection back.
+    state.reset_to(conn);
     outcome
 }
 
@@ -359,8 +395,9 @@ fn check_rollback_arms(
     table: &str,
     session: &[Statement],
     features: &FeatureSet,
-    setup: &[String],
+    state: &SetupState<'_>,
 ) -> OracleOutcome {
+    let setup = state.setup;
     let Some(reference) = net_effect(session) else {
         return OracleOutcome::Invalid("malformed transactional session".into());
     };
@@ -368,8 +405,8 @@ fn check_rollback_arms(
     let fingerprint =
         |conn: &mut dyn DbmsConnection| conn.query_ast(&probe).map(|rs| rs.multiset_fingerprint());
 
-    // Arm 1: auto-commit reference.
-    rebuild(conn, setup);
+    // Arm 1: auto-commit reference (the caller's capture just rebuilt the
+    // setup state).
     let base = match fingerprint(conn) {
         Ok(fp) => fp,
         Err(err) => return OracleOutcome::Invalid(err),
@@ -385,7 +422,7 @@ fn check_rollback_arms(
     };
 
     // Arm 2: BEGIN … ROLLBACK must be a no-op.
-    rebuild(conn, setup);
+    state.reset_to(conn);
     let begin = Statement::begin();
     for stmt in std::iter::once(&begin)
         .chain(session.iter())
@@ -607,9 +644,13 @@ pub fn check_isolation(
     features: &FeatureSet,
     setup: &[String],
 ) -> IsolationVerdict {
-    let verdict = check_isolation_arms(conn, schedule, features, setup);
+    // Capture the setup state once; the serial arms and the exit path
+    // restore it (checkpoint-restore when the backend supports it, setup
+    // replay otherwise).
+    let state = SetupState::capture(conn, setup);
+    let verdict = check_isolation_arms(conn, schedule, features, &state);
     // Restore the campaign invariant: the connection reflects the setup log.
-    rebuild(conn, setup);
+    state.reset_to(conn);
     verdict
 }
 
@@ -617,13 +658,13 @@ fn check_isolation_arms(
     conn: &mut dyn DbmsConnection,
     schedule: &Schedule,
     features: &FeatureSet,
-    setup: &[String],
+    state: &SetupState<'_>,
 ) -> IsolationVerdict {
+    let setup = state.setup;
     if !schedule.is_well_formed() {
         return IsolationVerdict::invalid("malformed schedule interleaving", 0);
     }
-    // Concurrent arm.
-    rebuild(conn, setup);
+    // Concurrent arm (the caller's capture just rebuilt the setup state).
     let mut sessions: Vec<Box<dyn DbmsConnection>> = Vec::with_capacity(schedule.sessions.len());
     for _ in &schedule.sessions {
         match conn.open_session() {
@@ -695,7 +736,7 @@ fn check_isolation_arms(
     };
     let mut serial_fingerprints = Vec::with_capacity(orders.len());
     for order in &orders {
-        rebuild(conn, setup);
+        state.reset_to(conn);
         if !order.is_empty() {
             let Some(mut serial) = conn.open_session() else {
                 return IsolationVerdict::invalid(

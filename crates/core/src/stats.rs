@@ -176,6 +176,28 @@ impl FeatureStats {
             FeatureKind::DdlDml => self.ddl.insert(feature, counts),
         };
     }
+
+    /// Merges another profile's observations into this one, reading as if
+    /// `other`'s statements were executed *after* this profile's: attempts
+    /// and successes add, and the consecutive-failure run is taken from
+    /// `other` for every feature it observed (the later run supersedes the
+    /// earlier one). This is how the partitioned campaign runner folds
+    /// per-database learned profiles together in database order, keeping
+    /// the merged result independent of worker scheduling.
+    pub fn merge(&mut self, other: &FeatureStats) {
+        for (feature, counts) in &other.query {
+            let entry = self.query.entry(feature.clone()).or_default();
+            entry.attempts += counts.attempts;
+            entry.successes += counts.successes;
+            entry.consecutive_failures = counts.consecutive_failures;
+        }
+        for (feature, counts) in &other.ddl {
+            let entry = self.ddl.entry(feature.clone()).or_default();
+            entry.attempts += counts.attempts;
+            entry.successes += counts.successes;
+            entry.consecutive_failures = counts.consecutive_failures;
+        }
+    }
 }
 
 /// Natural log of the gamma function (Lanczos approximation).

@@ -3,10 +3,13 @@
 use crate::bugs::{bugs_for_faults, InjectedBug};
 use crate::profile::DialectProfile;
 use sql_ast::{Select, Statement};
-use sql_engine::{Database, Engine, EngineConfig, EngineSession, EvalStrategy, ExecutionMode};
+use sql_engine::{
+    CowStats, Database, Engine, EngineConfig, EngineSession, EvalStrategy, ExecutionMode,
+};
 use sqlancer_core::{
     check_isolation, check_norec, check_rollback, check_tlp, DbmsConnection, DialectQuirks,
-    OracleKind, OracleOutcome, QueryResult, ReducibleCase, ScheduleCase, StatementOutcome, TxnCase,
+    OracleKind, OracleOutcome, QueryResult, ReducibleCase, ScheduleCase, StateCheckpoint,
+    StatementOutcome, StorageMetrics, TxnCase,
 };
 
 /// A simulated DBMS under test: a dialect profile layered over the
@@ -22,12 +25,18 @@ pub struct SimulatedDbms {
     faults: Vec<&'static str>,
     engine: Engine,
     session: EngineSession,
+    /// Storage counters accumulated from engines already retired by
+    /// [`DbmsConnection::reset`]; the live engine's counters are added on
+    /// read, so [`DbmsConnection::storage_metrics`] is cumulative for the
+    /// connection's lifetime.
+    retired_cow: CowStats,
 }
 
 impl Clone for SimulatedDbms {
-    /// Deep-clones the committed state into an independent engine (open
-    /// transactions of other sessions are not carried over) — the semantics
-    /// ground-truth bisection relies on.
+    /// Clones the committed state into an independent engine (open
+    /// transactions of other sessions are not carried over) — the
+    /// semantics ground-truth bisection relies on. With CoW storage the
+    /// clone shares table versions until either side writes.
     fn clone(&self) -> SimulatedDbms {
         let engine = self.engine.clone();
         let session = engine.session();
@@ -36,6 +45,7 @@ impl Clone for SimulatedDbms {
             faults: self.faults.clone(),
             engine,
             session,
+            retired_cow: self.retired_cow,
         }
     }
 }
@@ -63,6 +73,7 @@ impl SimulatedDbms {
             faults,
             engine,
             session,
+            retired_cow: CowStats::default(),
         }
     }
 
@@ -394,7 +405,9 @@ impl DbmsConnection for SimulatedDbms {
 
     fn reset(&mut self) {
         // A fresh engine core: sessions opened over the previous core keep
-        // their (now detached) shared state and die with it.
+        // their (now detached) shared state and die with it. The retired
+        // engine's storage counters fold into the cumulative total first.
+        self.retired_cow.merge(&self.engine.cow_stats());
         self.engine = Engine::new(Self::engine_config(
             &self.profile,
             &self.faults,
@@ -412,6 +425,35 @@ impl DbmsConnection for SimulatedDbms {
 
     fn open_session(&mut self) -> Option<Box<dyn DbmsConnection>> {
         Some(Box::new(self.connect()))
+    }
+
+    fn storage_metrics(&self) -> Option<StorageMetrics> {
+        let mut cow = self.retired_cow;
+        cow.merge(&self.engine.cow_stats());
+        Some(StorageMetrics {
+            txn_begins: cow.txn_begins,
+            tables_snapshotted: cow.tables_snapshotted,
+            tables_cow_cloned: cow.tables_cow_cloned,
+            conflicts_avoided: cow.conflicts_avoided,
+        })
+    }
+
+    fn checkpoint(&mut self) -> Option<StateCheckpoint> {
+        // An O(tables) CoW engine clone with zeroed counters: restoring
+        // must not re-report storage work the live engine already counted.
+        Some(StateCheckpoint(Box::new(self.engine.checkpoint_clone())))
+    }
+
+    fn restore(&mut self, checkpoint: &StateCheckpoint) -> bool {
+        let Some(engine) = checkpoint.0.downcast_ref::<Engine>() else {
+            return false;
+        };
+        // The replaced engine's counters fold into the cumulative total,
+        // exactly like `reset`; the restored clone starts from zero.
+        self.retired_cow.merge(&self.engine.cow_stats());
+        self.engine = engine.clone();
+        self.session = self.engine.session();
+        true
     }
 }
 

@@ -34,6 +34,25 @@ impl DialectPreset {
     pub fn instantiate_with_eval(&self, eval: EvalStrategy) -> SimulatedDbms {
         SimulatedDbms::with_eval(self.profile.clone(), self.faults.clone(), eval)
     }
+
+    /// Instantiates a fresh connection configured for the given execution
+    /// path — the shared setup of the serial, fleet-parallel and
+    /// within-dialect partitioned campaign runners.
+    pub fn instantiate_for_path(
+        &self,
+        path: crate::runner::ExecutionPath,
+    ) -> Box<dyn sqlancer_core::DbmsConnection> {
+        use crate::runner::ExecutionPath;
+        match path {
+            ExecutionPath::Ast => Box::new(self.instantiate()),
+            ExecutionPath::AstTreeWalk => {
+                Box::new(self.instantiate_with_eval(EvalStrategy::TreeWalk))
+            }
+            ExecutionPath::Text => {
+                Box::new(sqlancer_core::TextOnlyConnection::new(self.instantiate()))
+            }
+        }
+    }
 }
 
 fn preset(

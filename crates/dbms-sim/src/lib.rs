@@ -43,6 +43,6 @@ pub use profile::{
     operator_feature, unary_feature, DialectProfile,
 };
 pub use runner::{
-    available_threads, derive_dialect_seed, run_fleet_parallel, run_fleet_serial, ExecutionPath,
-    FleetReport,
+    available_threads, derive_dialect_seed, derive_shard_seed, run_campaign_partitioned,
+    run_fleet_parallel, run_fleet_serial, ExecutionPath, FleetReport, PartitionedCampaign,
 };

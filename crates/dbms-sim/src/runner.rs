@@ -11,8 +11,10 @@
 //! * adding or removing dialects never perturbs the seeds of the others.
 
 use crate::fleet::DialectPreset;
+use sqlancer_core::stats::FeatureStats;
 use sqlancer_core::{
-    Campaign, CampaignConfig, CampaignMetrics, CampaignReport, TextOnlyConnection,
+    BugPrioritizer, Campaign, CampaignConfig, CampaignMetrics, CampaignReport, OracleKind,
+    PriorityDecision,
 };
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -62,13 +64,8 @@ fn run_one(preset: &DialectPreset, base: &CampaignConfig, path: ExecutionPath) -
     let mut config = base.clone();
     config.seed = derive_dialect_seed(base.seed, &preset.profile.name);
     let mut campaign = Campaign::new(config);
-    match path {
-        ExecutionPath::Ast => campaign.run(&mut preset.instantiate()),
-        ExecutionPath::AstTreeWalk => {
-            campaign.run(&mut preset.instantiate_with_eval(sql_engine::EvalStrategy::TreeWalk))
-        }
-        ExecutionPath::Text => campaign.run(&mut TextOnlyConnection::new(preset.instantiate())),
-    }
+    let mut conn = preset.instantiate_for_path(path);
+    campaign.run(&mut conn)
 }
 
 fn merge(reports: Vec<CampaignReport>) -> FleetReport {
@@ -152,6 +149,159 @@ pub fn available_threads() -> usize {
         .unwrap_or(1)
 }
 
+// ------------------------------------------------ within-dialect sharding ----
+
+/// The result of a partitioned single-dialect campaign: the merged report
+/// plus the learned profile folded together in database order.
+#[derive(Debug, Clone)]
+pub struct PartitionedCampaign {
+    /// The merged campaign report (metrics summed, bug reports deduplicated
+    /// across shards in database order).
+    pub report: CampaignReport,
+    /// The validity-feedback profile, merged shard by shard in database
+    /// order ([`FeatureStats::merge`]).
+    pub profile: FeatureStats,
+}
+
+/// Derives the generator seed for one database shard of a partitioned
+/// campaign. Like [`derive_dialect_seed`], but over the shard index, so
+/// every database's generator stream is independent of how many shards run
+/// and on which worker.
+pub fn derive_shard_seed(campaign_seed: u64, database_index: usize) -> u64 {
+    sql_ast::splitmix64(campaign_seed ^ sql_ast::fnv1a64(&database_index.to_le_bytes()))
+}
+
+/// Runs one dialect's campaign **sharded by database** across `threads`
+/// scoped workers and merges the results in database order.
+///
+/// Each of the configured `databases` becomes an independent
+/// single-database campaign: its generator is seeded by
+/// [`derive_shard_seed`] and starts from the base configuration (no state
+/// chains from earlier databases, which is what makes the shards
+/// embarrassingly parallel — the cheap `Engine::clone`/setup path keeps
+/// per-shard instantiation negligible). Workers claim shards from a shared
+/// counter; results are merged **in database order**:
+///
+/// * metrics sum; the validity series concatenates shard series in order;
+/// * bug reports are re-prioritized by a merge-time [`BugPrioritizer`]
+///   walking the shards in order, so duplicates across shards are dropped
+///   exactly as a serial pass over the same stream would drop them (the
+///   `prioritized + deduplicated = detected` invariant holds);
+/// * learned profiles fold with [`FeatureStats::merge`].
+///
+/// The output is byte-identical for any `threads`, including 1 — the
+/// serial reference is this same function with one worker.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics.
+pub fn run_campaign_partitioned(
+    preset: &DialectPreset,
+    base: &CampaignConfig,
+    path: ExecutionPath,
+    threads: usize,
+) -> PartitionedCampaign {
+    let shards = base.databases;
+    let run_shard = |index: usize| -> (CampaignReport, FeatureStats) {
+        let mut config = base.clone();
+        config.databases = 1;
+        config.seed = derive_shard_seed(base.seed, index);
+        let mut campaign = Campaign::new(config);
+        let mut conn = preset.instantiate_for_path(path);
+        let report = campaign.run(&mut conn);
+        (report, campaign.generator.stats.clone())
+    };
+    let threads = threads.max(1).min(shards.max(1));
+    let results: Vec<(CampaignReport, FeatureStats)> = if threads <= 1 || shards <= 1 {
+        (0..shards).map(run_shard).collect()
+    } else {
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<(CampaignReport, FeatureStats)>>> =
+            (0..shards).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= shards {
+                        break;
+                    }
+                    let result = run_shard(index);
+                    *slots[index].lock().expect("shard slot poisoned") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("shard slot poisoned")
+                    .expect("worker finished every claimed shard")
+            })
+            .collect()
+    };
+    merge_shards(&preset.profile.name, results)
+}
+
+/// Folds per-database shard results together in database order.
+fn merge_shards(dialect: &str, shards: Vec<(CampaignReport, FeatureStats)>) -> PartitionedCampaign {
+    let mut merged = CampaignReport {
+        dbms_name: dialect.to_string(),
+        ..CampaignReport::default()
+    };
+    let mut profile = FeatureStats::new();
+    let mut prioritizer = BugPrioritizer::new();
+    for (shard, stats) in shards {
+        merged.metrics.merge(&shard.metrics);
+        merged.validity_series.extend(shard.validity_series);
+        // Each shard pushed one replayable case per kept report, in the
+        // same order; walk them with per-kind cursors so a merge-time
+        // duplicate drops the report *and* its case together.
+        let mut cases = shard.prioritized_cases.into_iter();
+        let mut txn_cases = shard.txn_cases.into_iter();
+        let mut schedule_cases = shard.schedule_cases.into_iter();
+        for report in shard.reports {
+            let decision = prioritizer.classify(&report.features);
+            match report.oracle {
+                OracleKind::Tlp | OracleKind::NoRec => {
+                    let case = cases.next().expect("one case per single-query report");
+                    if decision == PriorityDecision::New {
+                        merged.prioritized_cases.push(case);
+                        merged.reports.push(report);
+                    }
+                }
+                OracleKind::Rollback => {
+                    let case = txn_cases.next().expect("one case per rollback report");
+                    if decision == PriorityDecision::New {
+                        merged.txn_cases.push(case);
+                        merged.reports.push(report);
+                    }
+                }
+                OracleKind::Isolation => {
+                    let case = schedule_cases
+                        .next()
+                        .expect("one case per isolation report");
+                    if decision == PriorityDecision::New {
+                        merged.schedule_cases.push(case);
+                        merged.reports.push(report);
+                    }
+                }
+            }
+        }
+        profile.merge(&stats);
+    }
+    // Cross-shard deduplication recomputes the prioritization tallies; the
+    // detected count is untouched, preserving the campaign invariant.
+    merged.metrics.prioritized_bugs = merged.reports.len() as u64;
+    merged.metrics.deduplicated_bugs = merged
+        .metrics
+        .detected_bug_cases
+        .saturating_sub(merged.metrics.prioritized_bugs);
+    PartitionedCampaign {
+        report: merged,
+        profile,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,6 +343,47 @@ mod tests {
             assert_eq!(s.validity_series, p.validity_series);
         }
         assert_eq!(serial.totals, parallel.totals);
+    }
+
+    #[test]
+    fn partitioned_run_is_identical_for_any_thread_count() {
+        let preset = crate::preset_by_name("mariadb").unwrap();
+        let mut config = small_config();
+        config.databases = 4;
+        config.oracles = vec![OracleKind::Tlp, OracleKind::Isolation];
+        let serial = run_campaign_partitioned(&preset, &config, ExecutionPath::Ast, 1);
+        let parallel = run_campaign_partitioned(&preset, &config, ExecutionPath::Ast, 4);
+        assert_eq!(serial.report.dbms_name, parallel.report.dbms_name);
+        assert_eq!(serial.report.metrics, parallel.report.metrics);
+        assert_eq!(serial.report.reports, parallel.report.reports);
+        assert_eq!(
+            serial.report.validity_series,
+            parallel.report.validity_series
+        );
+        assert_eq!(serial.report.schedule_cases, parallel.report.schedule_cases);
+        let serial_profile: Vec<_> = serial
+            .profile
+            .iter_query()
+            .map(|(f, c)| (f.clone(), *c))
+            .collect();
+        let parallel_profile: Vec<_> = parallel
+            .profile
+            .iter_query()
+            .map(|(f, c)| (f.clone(), *c))
+            .collect();
+        assert_eq!(serial_profile, parallel_profile);
+        // The invariant the merge-time prioritizer must preserve.
+        assert_eq!(
+            serial.report.metrics.prioritized_bugs + serial.report.metrics.deduplicated_bugs,
+            serial.report.metrics.detected_bug_cases
+        );
+    }
+
+    #[test]
+    fn shard_seeds_are_stable_and_distinct() {
+        assert_eq!(derive_shard_seed(7, 0), derive_shard_seed(7, 0));
+        assert_ne!(derive_shard_seed(7, 0), derive_shard_seed(7, 1));
+        assert_ne!(derive_shard_seed(7, 0), derive_shard_seed(8, 0));
     }
 
     #[test]

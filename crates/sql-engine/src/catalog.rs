@@ -223,11 +223,16 @@ impl IndexDef {
 ///
 /// Keys are stored lowercase so lookups are case-insensitive, mirroring how
 /// most DBMSs fold unquoted identifiers.
+///
+/// Object definitions are immutable once registered and live behind `Arc`s,
+/// so cloning a catalog — which every `BEGIN` frame and session snapshot
+/// does — copies one pointer per object, never a schema, view query or
+/// index predicate.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Catalog {
-    tables: BTreeMap<String, TableSchema>,
-    views: BTreeMap<String, ViewDef>,
-    indexes: BTreeMap<String, IndexDef>,
+    tables: BTreeMap<String, Arc<TableSchema>>,
+    views: BTreeMap<String, Arc<ViewDef>>,
+    indexes: BTreeMap<String, Arc<IndexDef>>,
 }
 
 impl Catalog {
@@ -261,7 +266,7 @@ impl Catalog {
             )));
         }
         self.tables
-            .insert(Self::key(&schema.name).into_owned(), schema);
+            .insert(Self::key(&schema.name).into_owned(), Arc::new(schema));
         Ok(())
     }
 
@@ -277,7 +282,8 @@ impl Catalog {
                 view.name
             )));
         }
-        self.views.insert(Self::key(&view.name).into_owned(), view);
+        self.views
+            .insert(Self::key(&view.name).into_owned(), Arc::new(view));
         Ok(())
     }
 
@@ -301,29 +307,30 @@ impl Catalog {
             )));
         }
         self.indexes
-            .insert(Self::key(&index.name).into_owned(), index);
+            .insert(Self::key(&index.name).into_owned(), Arc::new(index));
         Ok(())
     }
 
     /// Looks up a table schema.
     pub fn table(&self, name: &str) -> Option<&TableSchema> {
-        self.tables.get(Self::key(name).as_ref())
+        self.tables.get(Self::key(name).as_ref()).map(Arc::as_ref)
     }
 
     /// Looks up a view.
     pub fn view(&self, name: &str) -> Option<&ViewDef> {
-        self.views.get(Self::key(name).as_ref())
+        self.views.get(Self::key(name).as_ref()).map(Arc::as_ref)
     }
 
     /// Looks up an index.
     pub fn index(&self, name: &str) -> Option<&IndexDef> {
-        self.indexes.get(Self::key(name).as_ref())
+        self.indexes.get(Self::key(name).as_ref()).map(Arc::as_ref)
     }
 
     /// All indexes on a table.
     pub fn indexes_on(&self, table: &str) -> Vec<&IndexDef> {
         self.indexes
             .values()
+            .map(Arc::as_ref)
             .filter(|i| i.table.eq_ignore_ascii_case(table))
             .collect()
     }
@@ -365,12 +372,12 @@ impl Catalog {
 
     /// All table schemas.
     pub fn tables(&self) -> impl Iterator<Item = &TableSchema> {
-        self.tables.values()
+        self.tables.values().map(Arc::as_ref)
     }
 
     /// All views.
     pub fn views(&self) -> impl Iterator<Item = &ViewDef> {
-        self.views.values()
+        self.views.values().map(Arc::as_ref)
     }
 }
 

@@ -101,7 +101,7 @@ const PLAN_CACHE_CAP: usize = 1024;
 /// fingerprint of `(mode, bindings, expression)`.
 #[derive(Default)]
 pub(crate) struct PlanCache {
-    plans: RefCell<BTreeMap<u128, EvalFn>>,
+    plans: std::rc::Rc<RefCell<BTreeMap<u128, EvalFn>>>,
 }
 
 impl PlanCache {
@@ -127,11 +127,17 @@ impl PlanCache {
 }
 
 impl Clone for PlanCache {
-    /// A cloned database starts with an empty cache: plans are
-    /// configuration-compatible, but an empty cache is trivially correct
-    /// and clones are cold paths (fleet setup, ground-truth bisection).
+    /// A cloned database **shares** the cache: with copy-on-write storage,
+    /// clones are the hot `BEGIN` snapshot path, and a workspace that had
+    /// to recompile every plan would pay per transaction what the cache
+    /// exists to avoid. Sharing is sound because the cache key bakes in
+    /// the typing discipline and fault bits alongside the structural
+    /// fingerprint (see [`plan_key`]), and compiled plans read all
+    /// remaining behaviour from the database they are evaluated against.
     fn clone(&self) -> PlanCache {
-        PlanCache::default()
+        PlanCache {
+            plans: std::rc::Rc::clone(&self.plans),
+        }
     }
 }
 

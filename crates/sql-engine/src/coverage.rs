@@ -9,21 +9,29 @@
 //! proxy preserves.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Accumulates which engine facilities have been exercised.
+///
+/// The point sets live behind `Arc`s and detach copy-on-write: cloning a
+/// tracker — which every `BEGIN` snapshot and engine clone does through
+/// [`crate::Database`] — bumps five pointers, and a clone only copies a
+/// set when it records a point the shared version lacks. On the campaign
+/// hot path almost every statement hits already-recorded points, so
+/// snapshots never copy coverage at all.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CoverageTracker {
     /// Plan operators exercised (e.g. `seq_scan`, `index_lookup`,
     /// `hash_group_by`, `left_join`).
-    pub plan_operators: BTreeSet<String>,
+    pub plan_operators: Arc<BTreeSet<String>>,
     /// Scalar functions evaluated.
-    pub functions: BTreeSet<String>,
+    pub functions: Arc<BTreeSet<String>>,
     /// Unary/binary operators evaluated.
-    pub operators: BTreeSet<String>,
+    pub operators: Arc<BTreeSet<String>>,
     /// Coercion paths taken (e.g. `text->integer`).
-    pub coercions: BTreeSet<String>,
+    pub coercions: Arc<BTreeSet<String>>,
     /// Statement kinds executed.
-    pub statements: BTreeSet<String>,
+    pub statements: Arc<BTreeSet<String>>,
 }
 
 /// The number of distinct coverage points in each category; used to turn a
@@ -68,10 +76,11 @@ impl CoverageTracker {
 
     /// Inserts without allocating when the point was already recorded — the
     /// common case on the campaign hot path, where the same few coverage
-    /// points are hit millions of times.
-    fn record(set: &mut BTreeSet<String>, name: &str) {
+    /// points are hit millions of times. A shared set is only detached
+    /// (copied) when it actually gains a point.
+    fn record(set: &mut Arc<BTreeSet<String>>, name: &str) {
         if !set.contains(name) {
-            set.insert(name.to_string());
+            Arc::make_mut(set).insert(name.to_string());
         }
     }
 
@@ -102,7 +111,7 @@ impl CoverageTracker {
             .iter()
             .any(|c| c.strip_prefix(from).and_then(|r| r.strip_prefix("->")) == Some(to));
         if !exists {
-            self.coercions.insert(format!("{from}->{to}"));
+            Arc::make_mut(&mut self.coercions).insert(format!("{from}->{to}"));
         }
     }
 
@@ -148,14 +157,26 @@ impl CoverageTracker {
         score / cats.len() as f64 * 100.0 * 0.8
     }
 
-    /// Merges another tracker into this one.
+    /// Merges another tracker into this one. Sets that are literally the
+    /// same shared version — the common case when a snapshot workspace
+    /// recorded nothing new — or that bring no new points are skipped
+    /// without copying.
     pub fn merge(&mut self, other: &CoverageTracker) {
-        self.plan_operators
-            .extend(other.plan_operators.iter().cloned());
-        self.functions.extend(other.functions.iter().cloned());
-        self.operators.extend(other.operators.iter().cloned());
-        self.coercions.extend(other.coercions.iter().cloned());
-        self.statements.extend(other.statements.iter().cloned());
+        fn merge_set(into: &mut Arc<BTreeSet<String>>, from: &Arc<BTreeSet<String>>) {
+            if Arc::ptr_eq(into, from) {
+                return;
+            }
+            let fresh: Vec<&String> = from.iter().filter(|p| !into.contains(*p)).collect();
+            if fresh.is_empty() {
+                return;
+            }
+            Arc::make_mut(into).extend(fresh.into_iter().cloned());
+        }
+        merge_set(&mut self.plan_operators, &other.plan_operators);
+        merge_set(&mut self.functions, &other.functions);
+        merge_set(&mut self.operators, &other.operators);
+        merge_set(&mut self.coercions, &other.coercions);
+        merge_set(&mut self.statements, &other.statements);
     }
 }
 

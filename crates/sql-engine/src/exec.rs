@@ -345,7 +345,7 @@ fn coerce_for_column(
     }
 }
 
-fn unique_key_sets(db: &Database, schema: &TableSchema) -> Vec<Vec<usize>> {
+pub(crate) fn unique_key_sets(db: &Database, schema: &TableSchema) -> Vec<Vec<usize>> {
     let mut sets: Vec<Vec<String>> = Vec::new();
     if !schema.primary_key.is_empty() {
         sets.push(schema.primary_key.clone());

@@ -77,5 +77,5 @@ pub use exec::{
 pub use faults::FaultConfig;
 pub use functions::{eval_function, eval_function_unchecked};
 pub use optimizer::{optimize_select, rewrite_predicate};
-pub use session::{Engine, EngineSession, SERIALIZATION_FAILURE};
+pub use session::{CowStats, Engine, EngineSession, SERIALIZATION_FAILURE};
 pub use storage::{ColumnStats, Database, ResultSet, Row, TableStats};

@@ -6,28 +6,58 @@
 //! session a private transaction built from the PR 3 machinery plus two new
 //! concurrency guarantees:
 //!
-//! * **Begin-time snapshot reads** — `BEGIN` clones the committed state
-//!   into a private workspace; every statement of the transaction executes
-//!   against that workspace (its own writes included), so concurrent
-//!   commits by other sessions are invisible until the next transaction.
+//! * **Begin-time snapshot reads** — `BEGIN` snapshots the committed state
+//!   into a private workspace. With copy-on-write storage (see
+//!   [`crate::storage`]) the snapshot is **O(tables)**: one shared version
+//!   pointer per table, never a row copy. Every statement of the
+//!   transaction executes against that workspace (its own writes included),
+//!   so concurrent commits by other sessions are invisible until the next
+//!   transaction; the first mutation of a table inside the transaction
+//!   triggers the one clone-on-write that detaches its version.
 //!   `SAVEPOINT`/`ROLLBACK TO`/`RELEASE` run on the workspace's own frame
 //!   stack, inheriting the single-connection semantics (and injected
 //!   transaction faults) verbatim.
-//! * **First-committer-wins conflict detection** — the engine tracks a
-//!   per-table commit clock. `COMMIT` validates the session's write intent
-//!   against every commit installed since its snapshot; a conflict aborts
-//!   the transaction with a *serialization failure* error — a new,
-//!   learnable statement outcome (the platform sees only the error text,
-//!   preserving the SQL-text-only contract). `BEGIN IMMEDIATE` declares
-//!   eager write intent on every table, so its commit conflicts with any
-//!   concurrent commit; `BEGIN [DEFERRED]` accumulates intent lazily.
+//! * **First-committer-wins conflict detection over row-range write
+//!   intent** — the engine tracks per-table commit clocks. Write intent is
+//!   derived from statement shape and forms a small lattice of row-id
+//!   claims per table:
+//!
+//!   * *append* — an `INSERT` into a table with no unique key sets
+//!     occupies only **fresh row-ids allocated at install**, so two
+//!     appenders' claims are disjoint by construction;
+//!   * *keyed append* — an `INSERT` into a unique-keyed table additionally
+//!     claims the key tuples it inserts: its commit value-checks them
+//!     against rows appended concurrently (mirroring the engine's
+//!     insert-time uniqueness rule, `NULL` never colliding);
+//!   * *existing* — `UPDATE`/`DELETE`/`ANALYZE` (and `INSERT OR IGNORE`,
+//!     whose row-dropping depends on the base contents) claim the row-ids
+//!     visible in the begin snapshot, `[0, base_len)`;
+//!   * *structural* — `CREATE`/`DROP` claim every row-id including future
+//!     ones, `[0, ∞)`.
+//!
+//!   `COMMIT` validates the claims against every commit installed since
+//!   its snapshot: overlapping claims abort with a *serialization failure*
+//!   error — a learnable statement outcome (the platform sees only the
+//!   error text, preserving the SQL-text-only contract). Disjoint claims
+//!   **merge**: appenders commit over concurrent appends (fresh rows are
+//!   spliced onto the latest committed version), a *pure appender* — a
+//!   transaction that read nothing at all — serializes last and merges
+//!   even over concurrent `UPDATE`/`DELETE` commits, and an existing-rows
+//!   writer merges over concurrent appends whose replay after its
+//!   mutations stays unique. Reads performed by a transaction (queries,
+//!   observer subqueries) revoke its pure-appender status, which is what
+//!   keeps every admitted merge serializable. `BEGIN IMMEDIATE` still
+//!   declares eager whole-table intent on every table, so its commit
+//!   conflicts with any concurrent commit; `BEGIN [DEFERRED]` accumulates
+//!   intent lazily.
 //!
 //! Three injected **isolation faults** live here (see [`crate::faults`]):
 //!
 //! * `iso_dirty_read` — the begin-time snapshot overlays other sessions'
 //!   *uncommitted* workspace writes;
-//! * `iso_lost_update` — `COMMIT` skips first-committer-wins validation,
-//!   so the later committer silently clobbers concurrent committed writes;
+//! * `iso_lost_update` — `COMMIT` skips first-committer-wins validation
+//!   *and* installs whole-table snapshot clobbers instead of merges, so
+//!   the later committer silently loses concurrent committed writes;
 //! * `iso_nonrepeatable_read` — tables the session has not itself written
 //!   are refreshed from the latest committed state before every statement
 //!   (read-committed visibility masquerading as snapshot isolation).
@@ -48,77 +78,305 @@ use sql_ast::{BeginMode, Select, Statement};
 use std::cell::{Ref, RefCell};
 use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// The marker substring carried by every commit-time conflict error. The
 /// testing platform (which sees only SQL text and error strings) recognises
 /// conflict aborts by it.
 pub const SERIALIZATION_FAILURE: &str = "serialization failure";
 
+/// What part of a table's row-id space one statement claims.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WriteKind {
+    /// Fresh row-ids only (a blind `INSERT`): disjoint from every other
+    /// append and from claims on the begin-snapshot rows.
+    Append,
+    /// Fresh row-ids plus the table's unique-key space: a literal `INSERT`
+    /// into a table with unique key sets reads those keys to check
+    /// uniqueness, so its commit additionally validates that no concurrent
+    /// append occupied the same key tuples.
+    KeyedAppend,
+    /// The row-ids visible in the begin snapshot (`UPDATE`, `DELETE`,
+    /// `ANALYZE`, and inserts that must read the base relation).
+    Existing,
+    /// Every row-id, including future ones (`CREATE`/`DROP`).
+    Structural,
+}
+
+/// The accumulated claim of a transaction on one table — the join of the
+/// per-statement [`WriteKind`]s over the `{append ⊑ existing ⊑ structural}`
+/// lattice. A table is present in [`OpenTxn::writes`] as soon as any
+/// statement wrote it, so "append-only" is the default claim.
+#[derive(Debug, Clone, Copy, Default)]
+struct TableClaim {
+    /// The transaction touched rows that existed at `BEGIN`.
+    existing: bool,
+    /// The transaction created or dropped the table (installed wholesale).
+    structural: bool,
+    /// The transaction's appends occupy unique-key space (their commit
+    /// validates key disjointness against concurrent appends).
+    keyed: bool,
+}
+
+impl TableClaim {
+    fn raise(&mut self, kind: WriteKind) {
+        match kind {
+            WriteKind::Append => {}
+            WriteKind::KeyedAppend => self.keyed = true,
+            WriteKind::Existing => self.existing = true,
+            WriteKind::Structural => {
+                self.existing = true;
+                self.structural = true;
+            }
+        }
+    }
+}
+
 /// One open transaction: the session's private snapshot workspace plus the
 /// bookkeeping first-committer-wins validation needs.
 struct OpenTxn {
-    /// Clone of the committed state as of `BEGIN` (plus fault overlays),
-    /// with one PR 3 frame pushed so savepoints work unchanged.
+    /// Snapshot of the committed state as of `BEGIN` (plus fault overlays),
+    /// with one PR 3 frame pushed so savepoints work unchanged. With CoW
+    /// storage this shares every table version with the committed state
+    /// until first mutation.
     workspace: Database,
-    /// Commit clock at `BEGIN`; commits installed after it conflict.
+    /// Commit clock at `BEGIN`; commits installed after it may conflict.
     begin_clock: u64,
     /// Catalog version at `BEGIN` (DDL transactions conflict coarsely).
     begin_catalog: u64,
-    /// Eager write intent (`BEGIN IMMEDIATE`): validated like writes but
-    /// never installed.
+    /// Eager whole-table intent (`BEGIN IMMEDIATE`): validated against any
+    /// concurrent commit but never installed.
     intent: BTreeSet<String>,
-    /// Tables actually written (lowercased); validated *and* installed.
-    writes: BTreeSet<String>,
+    /// Tables actually written (lowercased), with the row-range claim the
+    /// transaction holds on each; validated *and* installed.
+    writes: BTreeMap<String, TableClaim>,
+    /// Committed row count per table as of `BEGIN` — the boundary between
+    /// the snapshot's row-ids and the fresh row-ids appends occupy.
+    begin_lens: BTreeMap<String, usize>,
+    /// Tables (lowercased) on which an `INSERT` statement *failed* inside
+    /// this transaction. A failure read the snapshot (e.g. a uniqueness
+    /// check against rows another transaction may delete), so installs
+    /// touching these tables poison existing-rows merges (`keyed_dirty`).
+    failed_inserts: BTreeSet<String>,
+    /// `true` while the transaction has read nothing at all: every
+    /// statement so far was a blind literal `INSERT`. Pure appenders
+    /// serialize last and merge over any concurrent non-structural commit.
+    pure: bool,
     /// Whether the transaction ran DDL (catalog installed wholesale).
     ddl: bool,
 }
 
+/// Per-table commit clocks: when the table was last touched at all, last
+/// touched by a transaction that read something, and last structurally
+/// replaced. The three tiers are what make row-range validation a set of
+/// integer comparisons instead of a row-id interval scan.
+#[derive(Debug, Clone, Copy, Default)]
+struct TableVersion {
+    /// Clock of the last installed commit touching the table.
+    any: u64,
+    /// Clock of the last installed commit by a non-pure transaction (one
+    /// whose writes could depend on what it read).
+    impure: u64,
+    /// Clock of the last installed commit that appended into the table's
+    /// unique-key space (existing-row claims cannot merge past it: an
+    /// update could collide with the appended keys in the serial order).
+    keyed: u64,
+    /// Clock of the last keyed install whose transaction also had a
+    /// *failed* insert on this table. That failure's verdict read the base
+    /// rows, so no existing-rows claim may merge past it — serially after
+    /// the merge the rejected insert might have succeeded.
+    keyed_dirty: u64,
+    /// Clock of the last structural (create/drop, or clobber-faulted)
+    /// install.
+    structural: u64,
+}
+
+/// Counters for copy-on-write effectiveness and row-range conflict
+/// avoidance, reported per campaign (see `CampaignMetrics`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CowStats {
+    /// `BEGIN` snapshots taken.
+    pub txn_begins: u64,
+    /// Table versions shared into snapshots at `BEGIN` (pointer bumps).
+    pub tables_snapshotted: u64,
+    /// Table versions actually deep-cloned on first write (CoW detaches),
+    /// across workspaces and the committed state.
+    pub tables_cow_cloned: u64,
+    /// Commits that row-range validation admitted (and merged) but
+    /// table-level first-committer-wins would have aborted.
+    pub conflicts_avoided: u64,
+}
+
+impl CowStats {
+    /// Accumulates another counter set into this one.
+    pub fn merge(&mut self, other: &CowStats) {
+        self.txn_begins += other.txn_begins;
+        self.tables_snapshotted += other.tables_snapshotted;
+        self.tables_cow_cloned += other.tables_cow_cloned;
+        self.conflicts_avoided += other.conflicts_avoided;
+    }
+}
+
 /// The shared core behind an [`Engine`]: the committed database plus the
-/// commit clock, per-table versions and the open-transaction registry.
+/// commit clocks, per-table versions and the open-transaction registry.
 struct EngineCore {
     committed: Database,
     /// Bumped once per installed commit (including autocommit writes).
     clock: u64,
-    /// Per-table (lowercased) clock value of the last installed commit.
-    versions: BTreeMap<String, u64>,
+    /// Per-table (lowercased) clocks of the last installed commits.
+    versions: BTreeMap<String, TableVersion>,
     /// Clock value of the last committed catalog change.
     catalog_version: u64,
     /// Open transactions, keyed by session id (deterministic iteration).
     open: BTreeMap<u64, OpenTxn>,
     next_session: u64,
     conflict_aborts: u64,
+    cow: CowStats,
 }
 
-/// Tables a statement writes (lowercased storage keys), used for both lazy
-/// write intent and autocommit version bumps. Write intent is declared by
-/// statement shape — an `UPDATE` matching zero rows still conflicts, which
-/// is deterministic and strictly conservative.
-fn write_targets(stmt: &Statement, db: &Database) -> Vec<String> {
+/// Tables a statement writes (lowercased storage keys) and the row-range
+/// claim each write takes, used for both lazy write intent and autocommit
+/// version bumps. Intent is declared by statement shape — an `UPDATE`
+/// matching zero rows still claims the snapshot rows, which is
+/// deterministic and strictly conservative.
+fn write_targets(stmt: &Statement, db: &Database) -> Vec<(String, WriteKind)> {
     let key = |name: &str| crate::catalog::lowercase_key(name).into_owned();
     match stmt {
-        Statement::Insert(i) => vec![key(&i.table)],
-        Statement::Update(u) => vec![key(&u.table)],
-        Statement::Delete(d) => vec![key(&d.table)],
-        Statement::CreateTable(c) => vec![key(&c.name)],
+        Statement::Insert(i) => vec![(key(&i.table), insert_kind(i, db))],
+        Statement::Update(u) => vec![(key(&u.table), WriteKind::Existing)],
+        Statement::Delete(d) => vec![(key(&d.table), WriteKind::Existing)],
+        Statement::CreateTable(c) => vec![(key(&c.name), WriteKind::Structural)],
         Statement::Drop {
             kind: sql_ast::DropKind::Table,
             name,
             ..
-        } => vec![key(name)],
-        Statement::Analyze(Some(t)) => vec![key(t)],
-        Statement::Analyze(None) => db.data.keys().cloned().collect(),
+        } => vec![(key(name), WriteKind::Structural)],
+        Statement::Analyze(Some(t)) => vec![(key(t), WriteKind::Existing)],
+        Statement::Analyze(None) => db
+            .data
+            .keys()
+            .map(|t| (t.clone(), WriteKind::Existing))
+            .collect(),
         _ => Vec::new(),
     }
 }
 
+/// The claim an `INSERT` takes on its target table. Inserts only ever
+/// occupy fresh row-ids, so the claim is *append*-shaped regardless of
+/// what the insert's value expressions read — reads are accounted for by
+/// transaction purity, and key-space reads by the *keyed* variant. Only
+/// `OR IGNORE` demotes to an existing-rows claim: its row-dropping effect
+/// depends on the base relation's full contents, which merging could
+/// change.
+fn insert_kind(insert: &sql_ast::Insert, db: &Database) -> WriteKind {
+    if insert.or_ignore {
+        return WriteKind::Existing;
+    }
+    match db.catalog.table(&insert.table) {
+        Some(schema) if crate::exec::unique_key_sets(db, schema).is_empty() => WriteKind::Append,
+        Some(_) => WriteKind::KeyedAppend,
+        None => WriteKind::Existing,
+    }
+}
+
+/// Whether a statement's effect can depend on state it reads arbitrarily.
+/// Blind literal inserts keep a transaction *pure* — including inserts
+/// into unique-keyed tables, whose key reads are validated separately by
+/// the keyed-append machinery; inserts evaluating subqueries (and
+/// everything that is not an insert) break purity.
+fn statement_reads_rows(stmt: &Statement, _db: &Database) -> bool {
+    match stmt {
+        Statement::Insert(i) => {
+            i.or_ignore
+                || i.values
+                    .iter()
+                    .flatten()
+                    .any(sql_ast::Expr::contains_subquery)
+        }
+        _ => true,
+    }
+}
+
+/// Do the transaction's rows on `table` collide with rows appended to the
+/// committed table since `BEGIN`, under any of the table's unique key
+/// sets? For an append claim, "our" rows are the transaction's fresh rows
+/// (`[base_len..]`) — would merging install a duplicate key? For an
+/// existing-rows claim, the *whole* workspace table is compared — would
+/// the concurrent appends, replayed after this transaction's
+/// updates/deletes, have failed their uniqueness checks? Mirrors the
+/// engine's insert-time enforcement exactly: key tuples containing `NULL`
+/// never collide, and partial unique indexes are not enforced. A missing
+/// table or schema is reported as a collision (the caller then conflicts
+/// conservatively).
+fn append_keys_collide(
+    txn: &OpenTxn,
+    committed: &Database,
+    table: &str,
+    ours_whole_table: bool,
+) -> bool {
+    let base_len = txn.begin_lens.get(table).copied().unwrap_or(0);
+    let Some(schema) = txn.workspace.catalog.table(table) else {
+        return true;
+    };
+    let key_sets = crate::exec::unique_key_sets(&txn.workspace, schema);
+    let (Some(workspace), Some(current)) =
+        (txn.workspace.data.get(table), committed.data.get(table))
+    else {
+        return true;
+    };
+    let ours = if ours_whole_table {
+        &workspace[..]
+    } else {
+        workspace.get(base_len..).unwrap_or(&[])
+    };
+    let theirs = current.get(base_len..).unwrap_or(&[]);
+    if ours.is_empty() || theirs.is_empty() {
+        return false;
+    }
+    let null_marker = sql_ast::Value::Null.dedup_key();
+    let tuple = |row: &crate::storage::Row, key: &[usize]| -> Option<Vec<String>> {
+        let parts: Vec<String> = key
+            .iter()
+            .map(|&i| {
+                row.get(i)
+                    .cloned()
+                    .unwrap_or(sql_ast::Value::Null)
+                    .dedup_key()
+            })
+            .collect();
+        // NULL never equals NULL under uniqueness.
+        if parts.contains(&null_marker) {
+            None
+        } else {
+            Some(parts)
+        }
+    };
+    for key in &key_sets {
+        let their_keys: BTreeSet<Vec<String>> =
+            theirs.iter().filter_map(|row| tuple(row, key)).collect();
+        if their_keys.is_empty() {
+            continue;
+        }
+        if ours
+            .iter()
+            .filter_map(|row| tuple(row, key))
+            .any(|k| their_keys.contains(&k))
+        {
+            return true;
+        }
+    }
+    false
+}
+
 /// `iso_nonrepeatable_read`: refresh every table the transaction has not
-/// itself written from the latest committed state.
+/// itself written from the latest committed state (version-pointer bumps
+/// under CoW storage).
 fn refresh_unwritten(committed: &Database, txn: &mut OpenTxn) {
     let tables: Vec<String> = txn
         .workspace
         .data
         .keys()
-        .filter(|t| !txn.writes.contains(*t))
+        .filter(|t| !txn.writes.contains_key(*t))
         .cloned()
         .collect();
     for t in tables {
@@ -140,34 +398,125 @@ impl EngineCore {
     fn merge_workspace_coverage(&mut self, txn: &OpenTxn) {
         let cov = txn.workspace.coverage_snapshot();
         self.committed.record_coverage(|c| c.merge(&cov));
+        // The workspace's CoW detaches happened on behalf of this engine's
+        // transactions; fold them into the engine-wide counters.
+        self.cow.tables_cow_cloned += txn.workspace.cow_clones();
     }
 
     /// Installs a transaction's written tables (and, for DDL, its catalog)
     /// into the committed state, bumping the commit clock.
+    ///
+    /// Validated claims install by their row-range shape:
+    ///
+    /// * *structural* — the workspace version replaces the committed one
+    ///   wholesale (create/drop; also every table when the
+    ///   `iso_lost_update` fault degrades installs to snapshot clobbers,
+    ///   which is that bug's observable);
+    /// * *existing* — the workspace version, with any rows appended to the
+    ///   committed table since `BEGIN` spliced back on top (those appends
+    ///   were validated disjoint);
+    /// * *append-only* — the current committed version with the
+    ///   workspace's fresh rows (`[base_len..]`) appended, so concurrent
+    ///   appenders compose instead of clobbering each other.
+    ///
+    /// In the common no-concurrent-commit case every branch degenerates to
+    /// an `Arc` pointer bump. Faulted installs (`txn_lost_rollback`,
+    /// `iso_lost_update`) skip validation, so the splice points are
+    /// saturating — deterministic even when the committed table shrank
+    /// underneath the transaction.
     fn install(&mut self, txn: &OpenTxn) {
         self.clock += 1;
+        let clobber = self.committed.config.faults.iso_lost_update;
         if txn.ddl {
             self.committed.catalog = txn.workspace.catalog.clone();
             self.catalog_version = self.clock;
         }
-        for t in &txn.writes {
-            match txn.workspace.data.get(t) {
+        for (t, claim) in &txn.writes {
+            let base_len = txn.begin_lens.get(t).copied().unwrap_or(0);
+            let workspace = txn.workspace.data.get(t);
+            let committed = self.committed.data.get(t);
+            // Was the committed table touched by any commit since this
+            // transaction's snapshot? If not, the workspace version can be
+            // installed by pointer; otherwise the disjoint row ranges are
+            // spliced. (`self.clock` was already bumped for this install.)
+            let touched_since = self
+                .versions
+                .get(t)
+                .is_some_and(|v| v.any > txn.begin_clock);
+            // `None` rows drop the table; `Some(None)` for stats keeps the
+            // committed entry untouched (append-only installs never carry
+            // new statistics — `ANALYZE` raises the claim to *existing*).
+            let (rows, stats) = match committed {
+                Some(current) if !clobber && !claim.structural && claim.existing => {
+                    let rows = match workspace {
+                        Some(workspace) if touched_since => {
+                            // Concurrent (validated: pure append) commits
+                            // grew the table past the snapshot boundary;
+                            // splice the fresh committed rows onto the
+                            // workspace version.
+                            let mut rows = workspace.as_ref().clone();
+                            rows.extend_from_slice(current.get(base_len..).unwrap_or(&[]));
+                            Some(Arc::new(rows))
+                        }
+                        Some(workspace) => Some(Arc::clone(workspace)),
+                        None => None,
+                    };
+                    (rows, Some(txn.workspace.stats.get(t).cloned()))
+                }
+                Some(current) if !clobber && !claim.structural => {
+                    let rows = match workspace {
+                        Some(workspace) if touched_since => {
+                            // Append onto whatever is committed now — the
+                            // fresh rows are this transaction's only claim.
+                            let fresh = workspace.get(base_len..).unwrap_or(&[]);
+                            let mut rows = current.as_ref().clone();
+                            rows.extend_from_slice(fresh);
+                            Some(Arc::new(rows))
+                        }
+                        Some(workspace) => Some(Arc::clone(workspace)),
+                        None => None,
+                    };
+                    (rows, None)
+                }
+                // Structural/clobber installs, and tables the committed
+                // state no longer holds, replace the version wholesale.
+                _ => (
+                    workspace.cloned(),
+                    Some(txn.workspace.stats.get(t).cloned()),
+                ),
+            };
+            match rows {
                 Some(rows) => {
-                    self.committed.data.insert(t.clone(), rows.clone());
+                    self.committed.data.insert(t.clone(), rows);
                 }
                 None => {
                     self.committed.data.remove(t);
                 }
             }
-            match txn.workspace.stats.get(t) {
-                Some(stats) => {
-                    self.committed.stats.insert(t.clone(), stats.clone());
-                }
-                None => {
-                    self.committed.stats.remove(t);
+            if let Some(stats) = stats {
+                match stats {
+                    Some(stats) => {
+                        self.committed.stats.insert(t.clone(), stats);
+                    }
+                    None => {
+                        self.committed.stats.remove(t);
+                    }
                 }
             }
-            self.versions.insert(t.clone(), self.clock);
+            let version = self.versions.entry(t.clone()).or_default();
+            version.any = self.clock;
+            if !txn.pure || clobber {
+                version.impure = self.clock;
+            }
+            if claim.keyed {
+                version.keyed = self.clock;
+                if txn.failed_inserts.contains(t) {
+                    version.keyed_dirty = self.clock;
+                }
+            }
+            if claim.structural || clobber {
+                version.structural = self.clock;
+            }
         }
     }
 
@@ -179,7 +528,21 @@ impl EngineCore {
         }
         self.committed
             .record_coverage(|cov| cov.statement("STMT_BEGIN"));
-        let mut workspace = self.committed.clone();
+        // O(tables): the snapshot shares every table's current version
+        // (one Arc bump per table), never row data. The workspace's CoW
+        // counter starts from zero so the per-transaction clone count can
+        // be merged back on close.
+        let workspace = self.committed.clone();
+        workspace.reset_cow_clones();
+        self.cow.txn_begins += 1;
+        self.cow.tables_snapshotted += workspace.data.len() as u64;
+        let begin_lens: BTreeMap<String, usize> = self
+            .committed
+            .data
+            .iter()
+            .map(|(t, rows)| (t.clone(), rows.len()))
+            .collect();
+        let mut workspace = workspace;
         if self.committed.config.faults.iso_dirty_read {
             // Injected fault: the snapshot overlays the *uncommitted*
             // workspace writes of every other open session.
@@ -187,10 +550,10 @@ impl EngineCore {
                 if *other_id == id {
                     continue;
                 }
-                for t in &other.writes {
+                for t in other.writes.keys() {
                     match other.workspace.data.get(t) {
                         Some(rows) => {
-                            workspace.data.insert(t.clone(), rows.clone());
+                            workspace.data.insert(t.clone(), Arc::clone(rows));
                         }
                         None => {
                             workspace.data.remove(t);
@@ -212,7 +575,10 @@ impl EngineCore {
                 begin_clock: self.clock,
                 begin_catalog: self.catalog_version,
                 intent,
-                writes: BTreeSet::new(),
+                writes: BTreeMap::new(),
+                begin_lens,
+                failed_inserts: BTreeSet::new(),
+                pure: true,
                 ddl: false,
             },
         );
@@ -227,13 +593,54 @@ impl EngineCore {
         self.committed
             .record_coverage(|cov| cov.statement("STMT_COMMIT"));
         if !self.committed.config.faults.iso_lost_update {
-            // First-committer-wins validation over writes and eager intent.
+            // First-committer-wins validation over row-range claims and
+            // eager intent. A claim conflicts only when a commit installed
+            // since `BEGIN` could overlap it:
+            //
+            // * eager (IMMEDIATE) intent and structural claims span the
+            //   whole table — any concurrent commit conflicts;
+            // * an existing-rows claim conflicts with concurrent impure or
+            //   structural commits, but merges over concurrent appends —
+            //   pure appends unconditionally, keyed appends when replaying
+            //   them after this transaction's updates/deletes would not
+            //   collide with its unique keys;
+            // * a keyed append read the table's unique-key space: it
+            //   conflicts with impure/structural commits outright, and
+            //   with concurrent appends only when the actually-inserted
+            //   key tuples collide;
+            // * a pure plain append occupies only fresh row-ids — it
+            //   conflicts solely with structural replacements.
+            let overlaps = |t: &String, claim: Option<&TableClaim>| -> bool {
+                let version = self.versions.get(t).copied().unwrap_or_default();
+                let since = txn.begin_clock;
+                match claim {
+                    // Eager IMMEDIATE intent: whole-table, like PR 4.
+                    None => version.any > since,
+                    Some(claim) if claim.structural => version.any > since,
+                    Some(claim) if claim.existing => {
+                        version.impure > since
+                            || version.structural > since
+                            || version.keyed_dirty > since
+                            || (version.keyed > since
+                                && append_keys_collide(&txn, &self.committed, t, true))
+                    }
+                    Some(claim) if claim.keyed => {
+                        version.impure > since
+                            || version.structural > since
+                            || (version.any > since
+                                && append_keys_collide(&txn, &self.committed, t, false))
+                    }
+                    Some(_) if txn.pure => version.structural > since,
+                    Some(_) => version.impure > since || version.structural > since,
+                }
+            };
             let conflict: Option<String> = txn
                 .writes
                 .iter()
-                .chain(txn.intent.iter())
-                .find(|t| self.versions.get(*t).copied().unwrap_or(0) > txn.begin_clock)
-                .cloned();
+                .map(|(t, claim)| (t, Some(claim)))
+                .chain(txn.intent.iter().map(|t| (t, None)))
+                .find(|(t, claim)| overlaps(t, *claim))
+                .map(|(t, _)| t.clone());
             let catalog_conflict = txn.ddl && self.catalog_version > txn.begin_catalog;
             if conflict.is_some() || catalog_conflict {
                 // The transaction is rewound: its workspace is discarded and
@@ -244,6 +651,16 @@ impl EngineCore {
                 return Err(EngineError::runtime(format!(
                     "{SERIALIZATION_FAILURE}: concurrent update to {what} (first committer wins)"
                 )));
+            }
+            // The commit stands. Record when table-level intent (the PR 4
+            // rule: any concurrent commit to a written table conflicts)
+            // would have aborted it — the throughput row-range intent buys.
+            let table_level = txn
+                .writes
+                .keys()
+                .any(|t| self.versions.get(t).copied().unwrap_or_default().any > txn.begin_clock);
+            if table_level {
+                self.cow.conflicts_avoided += 1;
             }
         }
         // Close the workspace's frame stack through its own machinery so
@@ -295,12 +712,22 @@ impl EngineCore {
                     }
                     let result = txn.workspace.execute(other);
                     if result.is_ok() {
-                        for t in write_targets(other, &txn.workspace) {
-                            txn.writes.insert(t);
+                        for (t, kind) in write_targets(other, &txn.workspace) {
+                            txn.writes.entry(t).or_default().raise(kind);
+                        }
+                        if statement_reads_rows(other, &txn.workspace) {
+                            txn.pure = false;
                         }
                         if other.is_ddl() {
                             txn.ddl = true;
+                            txn.pure = false;
                         }
+                    } else if let Statement::Insert(insert) = other {
+                        // The rejection read the snapshot (uniqueness
+                        // checks); remember it so installs touching this
+                        // table poison existing-rows merges.
+                        txn.failed_inserts
+                            .insert(crate::catalog::lowercase_key(&insert.table).into_owned());
                     }
                     result
                 }
@@ -310,8 +737,19 @@ impl EngineCore {
                         let targets = write_targets(other, &self.committed);
                         if !targets.is_empty() || other.is_ddl() {
                             self.clock += 1;
-                            for t in targets {
-                                self.versions.insert(t, self.clock);
+                            let impure = statement_reads_rows(other, &self.committed);
+                            for (t, kind) in targets {
+                                let version = self.versions.entry(t).or_default();
+                                version.any = self.clock;
+                                if impure {
+                                    version.impure = self.clock;
+                                }
+                                if kind == WriteKind::KeyedAppend {
+                                    version.keyed = self.clock;
+                                }
+                                if kind == WriteKind::Structural {
+                                    version.structural = self.clock;
+                                }
                             }
                             if other.is_ddl() {
                                 self.catalog_version = self.clock;
@@ -335,6 +773,9 @@ impl EngineCore {
                 if self.committed.config.faults.iso_nonrepeatable_read {
                     refresh_unwritten(&self.committed, txn);
                 }
+                // The transaction observed database state: its later writes
+                // may depend on it, so it loses pure-appender merging.
+                txn.pure = false;
                 txn.workspace.query(select, mode)
             }
             None => self.committed.query(select, mode),
@@ -390,6 +831,7 @@ impl Engine {
                 open: BTreeMap::new(),
                 next_session: 0,
                 conflict_aborts: 0,
+                cow: CowStats::default(),
             })),
         }
     }
@@ -417,6 +859,35 @@ impl Engine {
         self.core.borrow().conflict_aborts
     }
 
+    /// A clone whose storage counters start from zero — the shape a
+    /// *checkpoint* wants: restoring from it must not re-report work the
+    /// original engine already counted. Shares committed table versions
+    /// exactly like [`Engine::clone`].
+    pub fn checkpoint_clone(&self) -> Engine {
+        let engine = self.clone();
+        {
+            let mut core = engine.core.borrow_mut();
+            core.cow = CowStats::default();
+            core.conflict_aborts = 0;
+            core.committed.reset_cow_clones();
+        }
+        engine
+    }
+
+    /// Copy-on-write effectiveness and row-range conflict-avoidance
+    /// counters since the engine was created: `BEGIN` snapshots taken,
+    /// table versions shared vs. actually deep-cloned (workspaces and the
+    /// committed state combined), and commits that row-range intent
+    /// admitted where table-level intent would have aborted.
+    pub fn cow_stats(&self) -> CowStats {
+        let core = self.core.borrow();
+        let mut stats = core.cow;
+        // Autocommit writes detach the committed version from any open
+        // snapshot still sharing it; those clones count too.
+        stats.tables_cow_cloned += core.committed.cow_clones();
+        stats
+    }
+
     /// Number of sessions currently holding an open transaction.
     pub fn open_transactions(&self) -> usize {
         self.core.borrow().open.len()
@@ -429,10 +900,14 @@ impl Engine {
 }
 
 impl Clone for Engine {
-    /// Deep-clones the committed state and bookkeeping into an independent
-    /// core. Open transactions are **not** carried over (their session
-    /// handles would dangle); clones are cold paths — fleet setup and
-    /// ground-truth bisection — which always start from a quiescent engine.
+    /// Clones the committed state and bookkeeping into an independent core.
+    /// With CoW storage this **shares** every committed table version (one
+    /// `Arc` bump per table) instead of deep-copying rows; the first write
+    /// on either side detaches its copy, so mutations never leak between a
+    /// clone and the original. Open transactions are **not** carried over
+    /// (their session handles would dangle); clones serve fleet setup and
+    /// ground-truth bisection, which always start from a quiescent engine —
+    /// both now cost O(tables) instead of O(rows).
     fn clone(&self) -> Engine {
         let core = self.core.borrow();
         Engine {
@@ -444,6 +919,7 @@ impl Clone for Engine {
                 open: BTreeMap::new(),
                 next_session: core.next_session,
                 conflict_aborts: core.conflict_aborts,
+                cow: core.cow,
             })),
         }
     }
@@ -569,7 +1045,29 @@ mod tests {
     }
 
     #[test]
-    fn first_committer_wins_aborts_the_second_writer() {
+    fn first_committer_wins_aborts_the_second_existing_row_writer() {
+        let engine = engine_with_table(&[]);
+        let mut a = engine.session();
+        let mut b = engine.session();
+        run(&mut a, "BEGIN").unwrap();
+        run(&mut b, "BEGIN").unwrap();
+        run(&mut a, "UPDATE t0 SET c0 = 10").unwrap();
+        run(&mut b, "UPDATE t0 SET c0 = 20").unwrap();
+        run(&mut a, "COMMIT").unwrap();
+        let err = run(&mut b, "COMMIT").unwrap_err();
+        assert!(
+            err.message.contains(SERIALIZATION_FAILURE),
+            "unexpected error: {err}"
+        );
+        // B was rewound: only A's update landed, and B is back in autocommit.
+        assert!(!b.in_transaction());
+        assert_eq!(rows(&b, "t0"), vec![vec![sql_ast::Value::Integer(10)]]);
+        assert_eq!(engine.conflict_aborts(), 1);
+        assert_eq!(engine.cow_stats().conflicts_avoided, 0);
+    }
+
+    #[test]
+    fn concurrent_appends_merge_instead_of_aborting() {
         let engine = engine_with_table(&[]);
         let mut a = engine.session();
         let mut b = engine.session();
@@ -578,15 +1076,148 @@ mod tests {
         run(&mut a, "INSERT INTO t0 (c0) VALUES (10)").unwrap();
         run(&mut b, "INSERT INTO t0 (c0) VALUES (20)").unwrap();
         run(&mut a, "COMMIT").unwrap();
+        // Table-level intent would abort B here; append claims are
+        // disjoint, so B's fresh row is spliced onto A's commit.
+        run(&mut b, "COMMIT").unwrap();
+        let mut landed: Vec<i64> = rows(&b, "t0")
+            .into_iter()
+            .map(|r| match r[0] {
+                sql_ast::Value::Integer(i) => i,
+                _ => panic!("integer column"),
+            })
+            .collect();
+        landed.sort_unstable();
+        assert_eq!(landed, vec![1, 10, 20]);
+        assert_eq!(engine.conflict_aborts(), 0);
+        assert_eq!(engine.cow_stats().conflicts_avoided, 1);
+    }
+
+    #[test]
+    fn pure_appender_merges_over_concurrent_update() {
+        let engine = engine_with_table(&[]);
+        let mut a = engine.session();
+        let mut b = engine.session();
+        run(&mut a, "BEGIN").unwrap();
+        run(&mut b, "BEGIN").unwrap();
+        run(&mut a, "UPDATE t0 SET c0 = 5").unwrap();
+        run(&mut b, "INSERT INTO t0 (c0) VALUES (20)").unwrap();
+        run(&mut a, "COMMIT").unwrap();
+        // B read nothing (a blind literal insert), so it serializes after
+        // A's update and merges.
+        run(&mut b, "COMMIT").unwrap();
+        let mut landed: Vec<i64> = rows(&b, "t0")
+            .into_iter()
+            .map(|r| match r[0] {
+                sql_ast::Value::Integer(i) => i,
+                _ => panic!("integer column"),
+            })
+            .collect();
+        landed.sort_unstable();
+        assert_eq!(landed, vec![5, 20]);
+        assert_eq!(engine.conflict_aborts(), 0);
+    }
+
+    #[test]
+    fn observing_appender_conflicts_with_concurrent_update() {
+        let engine = engine_with_table(&[]);
+        let mut a = engine.session();
+        let mut b = engine.session();
+        run(&mut a, "BEGIN").unwrap();
+        run(&mut b, "BEGIN").unwrap();
+        run(&mut a, "DELETE FROM t0").unwrap();
+        // B's insert *reads* t0 through its subquery: its appended value
+        // depends on the snapshot, so it cannot serialize after A.
+        run(
+            &mut b,
+            "INSERT INTO t0 (c0) VALUES ((SELECT COUNT(*) FROM t0))",
+        )
+        .unwrap();
+        run(&mut a, "COMMIT").unwrap();
         let err = run(&mut b, "COMMIT").unwrap_err();
-        assert!(
-            err.message.contains(SERIALIZATION_FAILURE),
-            "unexpected error: {err}"
+        assert!(err.message.contains(SERIALIZATION_FAILURE));
+        assert_eq!(rows(&a, "t0").len(), 0, "only the delete landed");
+    }
+
+    #[test]
+    fn keyed_appends_merge_on_disjoint_keys_and_conflict_on_collisions() {
+        let engine = Engine::new(EngineConfig::dynamic());
+        let mut setup = engine.session();
+        run(&mut setup, "CREATE TABLE u0 (c0 INTEGER PRIMARY KEY)").unwrap();
+        // Disjoint primary keys: both appenders commit and merge.
+        let mut a = engine.session();
+        let mut b = engine.session();
+        run(&mut a, "BEGIN").unwrap();
+        run(&mut b, "BEGIN").unwrap();
+        run(&mut a, "INSERT INTO u0 (c0) VALUES (1)").unwrap();
+        run(&mut b, "INSERT INTO u0 (c0) VALUES (2)").unwrap();
+        run(&mut a, "COMMIT").unwrap();
+        run(&mut b, "COMMIT").unwrap();
+        assert_eq!(rows(&a, "u0").len(), 2);
+        assert_eq!(engine.conflict_aborts(), 0);
+        // Colliding keys: blind merging would install a duplicate primary
+        // key, so the second committer aborts.
+        run(&mut a, "BEGIN").unwrap();
+        run(&mut b, "BEGIN").unwrap();
+        run(&mut a, "INSERT INTO u0 (c0) VALUES (7)").unwrap();
+        run(&mut b, "INSERT INTO u0 (c0) VALUES (7)").unwrap();
+        run(&mut a, "COMMIT").unwrap();
+        let err = run(&mut b, "COMMIT").unwrap_err();
+        assert!(err.message.contains(SERIALIZATION_FAILURE));
+        assert_eq!(rows(&a, "u0").len(), 3);
+        // An existing-rows writer merges past a concurrent keyed append
+        // when replaying the append after its updates stays unique...
+        run(&mut a, "BEGIN").unwrap();
+        run(&mut b, "BEGIN").unwrap();
+        run(&mut a, "INSERT INTO u0 (c0) VALUES (9)").unwrap();
+        run(&mut b, "UPDATE u0 SET c0 = c0 + 100").unwrap();
+        run(&mut a, "COMMIT").unwrap();
+        run(&mut b, "COMMIT").unwrap();
+        let mut landed: Vec<i64> = rows(&a, "u0")
+            .into_iter()
+            .map(|r| match r[0] {
+                sql_ast::Value::Integer(i) => i,
+                _ => panic!("integer column"),
+            })
+            .collect();
+        landed.sort_unstable();
+        assert_eq!(landed, vec![9, 101, 102, 107]);
+        // ...but conflicts when its updates collide with the appended key
+        // (serially the append would have failed its uniqueness check).
+        run(&mut a, "BEGIN").unwrap();
+        run(&mut b, "BEGIN").unwrap();
+        run(&mut a, "INSERT INTO u0 (c0) VALUES (55)").unwrap();
+        run(&mut b, "UPDATE u0 SET c0 = 55 WHERE c0 = 9").unwrap();
+        run(&mut a, "COMMIT").unwrap();
+        let err = run(&mut b, "COMMIT").unwrap_err();
+        assert!(err.message.contains(SERIALIZATION_FAILURE));
+    }
+
+    #[test]
+    fn begin_shares_versions_and_first_write_clones_once() {
+        let engine = engine_with_table(&[]);
+        let baseline = engine.cow_stats();
+        assert_eq!(
+            baseline.tables_cow_cloned, 0,
+            "autocommit writes on a quiescent engine never clone"
         );
-        // B was rewound: only A's row landed, and B is back in autocommit.
-        assert!(!b.in_transaction());
-        assert_eq!(rows(&b, "t0").len(), 2);
-        assert_eq!(engine.conflict_aborts(), 1);
+        let mut a = engine.session();
+        run(&mut a, "BEGIN").unwrap();
+        let after_begin = engine.cow_stats();
+        assert_eq!(after_begin.txn_begins, baseline.txn_begins + 1);
+        assert_eq!(
+            after_begin.tables_snapshotted,
+            baseline.tables_snapshotted + 2,
+            "both tables snapshotted by pointer"
+        );
+        run(&mut a, "INSERT INTO t0 (c0) VALUES (2)").unwrap();
+        run(&mut a, "INSERT INTO t0 (c0) VALUES (3)").unwrap();
+        run(&mut a, "COMMIT").unwrap();
+        let after_commit = engine.cow_stats();
+        assert_eq!(
+            after_commit.tables_cow_cloned,
+            baseline.tables_cow_cloned + 1,
+            "t0 detached once, t1 never copied"
+        );
     }
 
     #[test]

@@ -1,12 +1,25 @@
 //! Row storage, table statistics and the [`Database`] instance type.
+//!
+//! Storage is **copy-on-write versioned**: each table's rows live behind an
+//! `Arc<Vec<Row>>` and its statistics behind an `Arc<TableStats>`. Cloning a
+//! [`Database`] — which is how a session snapshot, an undo-log pre-image or
+//! an [`crate::Engine`] clone is taken — therefore copies *pointers*, one
+//! per table, never row data. The first mutation of a table through
+//! [`Database::rows_mut`] triggers the one deep clone ([`Arc::make_mut`])
+//! that detaches the mutated version from every snapshot still holding the
+//! old `Arc`; unwritten tables are shared for the lifetime of the snapshot.
+//! [`Database::cow_clones`] counts those detach events, which is how the
+//! campaign reports CoW effectiveness (tables snapshotted vs. tables
+//! actually cloned).
 
 use crate::catalog::Catalog;
 use crate::config::EngineConfig;
 use crate::coverage::CoverageTracker;
 use crate::error::{EngineError, EngineResult};
 use sql_ast::Value;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A stored row: one [`Value`] per column, in schema order.
 pub type Row = Vec<Value>;
@@ -90,11 +103,14 @@ pub struct Database {
     pub catalog: Catalog,
     /// Execution behaviour (typing discipline, injected faults).
     pub config: EngineConfig,
-    pub(crate) data: BTreeMap<String, Vec<Row>>,
-    pub(crate) stats: BTreeMap<String, TableStats>,
+    pub(crate) data: BTreeMap<String, Arc<Vec<Row>>>,
+    pub(crate) stats: BTreeMap<String, Arc<TableStats>>,
     /// Open-transaction state: empty in autocommit, one frame per
     /// `BEGIN`/`SAVEPOINT` otherwise (see [`crate::txn`]).
     pub(crate) txn: crate::txn::TxnStack,
+    /// Number of copy-on-write table detaches performed by this instance
+    /// (shared `Arc` deep-cloned on first mutation).
+    cow_clones: Cell<u64>,
     coverage: RefCell<CoverageTracker>,
     plans: crate::compile::PlanCache,
 }
@@ -115,7 +131,8 @@ impl Database {
     /// Registers storage for a newly created table.
     pub(crate) fn create_storage(&mut self, name: &str) {
         self.txn_touch(name);
-        self.data.insert(Self::key(name).into_owned(), Vec::new());
+        self.data
+            .insert(Self::key(name).into_owned(), Arc::new(Vec::new()));
     }
 
     /// Removes storage (and stats) for a dropped table.
@@ -133,37 +150,73 @@ impl Database {
     pub fn rows(&self, name: &str) -> EngineResult<&Vec<Row>> {
         self.data
             .get(Self::key(name).as_ref())
+            .map(Arc::as_ref)
+            .ok_or_else(|| EngineError::catalog(format!("no such table: {name}")))
+    }
+
+    /// The shared version handle of a stored table's rows (a pointer bump,
+    /// never a row copy).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the table has no storage (unknown table).
+    pub fn shared_rows(&self, name: &str) -> EngineResult<Arc<Vec<Row>>> {
+        self.data
+            .get(Self::key(name).as_ref())
+            .cloned()
             .ok_or_else(|| EngineError::catalog(format!("no such table: {name}")))
     }
 
     /// Mutable rows of a stored table. Inside a transaction, the table's
     /// pre-image is captured into the innermost undo frame before the
-    /// mutable borrow is handed out.
+    /// mutable borrow is handed out (a pointer bump — the pre-image shares
+    /// the current version). The version is then detached copy-on-write:
+    /// shared `Arc`s are deep-cloned exactly once, private ones are mutated
+    /// in place.
     ///
     /// # Errors
     ///
     /// Fails when the table has no storage (unknown table).
     pub fn rows_mut(&mut self, name: &str) -> EngineResult<&mut Vec<Row>> {
         self.txn_touch(name);
-        self.data
+        let version = self
+            .data
             .get_mut(Self::key(name).as_ref())
-            .ok_or_else(|| EngineError::catalog(format!("no such table: {name}")))
+            .ok_or_else(|| EngineError::catalog(format!("no such table: {name}")))?;
+        if Arc::strong_count(version) > 1 {
+            self.cow_clones.set(self.cow_clones.get() + 1);
+        }
+        Ok(Arc::make_mut(version))
     }
 
     /// Statistics recorded for a table by the last `ANALYZE`, if any.
     pub fn stats(&self, name: &str) -> Option<&TableStats> {
-        self.stats.get(Self::key(name).as_ref())
+        self.stats.get(Self::key(name).as_ref()).map(Arc::as_ref)
     }
 
     /// Records statistics for a table.
     pub(crate) fn set_stats(&mut self, name: &str, stats: TableStats) {
         self.txn_touch(name);
-        self.stats.insert(Self::key(name).into_owned(), stats);
+        self.stats
+            .insert(Self::key(name).into_owned(), Arc::new(stats));
     }
 
     /// Total number of stored rows across all tables.
     pub fn total_rows(&self) -> usize {
-        self.data.values().map(Vec::len).sum()
+        self.data.values().map(|rows| rows.len()).sum()
+    }
+
+    /// Number of copy-on-write detaches this instance has performed: the
+    /// tables whose shared version actually had to be deep-cloned before a
+    /// mutation. Snapshotted-but-unwritten tables never appear here.
+    pub fn cow_clones(&self) -> u64 {
+        self.cow_clones.get()
+    }
+
+    /// Resets the copy-on-write detach counter (used when a fresh snapshot
+    /// workspace starts accounting from zero).
+    pub(crate) fn reset_cow_clones(&self) {
+        self.cow_clones.set(0);
     }
 
     /// The compiled-plan cache for this database instance.

@@ -35,12 +35,16 @@ use crate::catalog::{lowercase_key, Catalog};
 use crate::error::{EngineError, EngineResult};
 use crate::storage::{Database, Row, TableStats};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
-/// Pre-image of one table at the moment a frame first touched it.
+/// Pre-image of one table at the moment a frame first touched it. With
+/// copy-on-write storage this is a pair of shared version pointers: taking
+/// a pre-image bumps two refcounts, and applying undo swaps the pointers
+/// back — row data is never copied by the undo log itself.
 #[derive(Debug, Clone)]
 struct TableImage {
-    rows: Vec<Row>,
-    stats: Option<TableStats>,
+    rows: Arc<Vec<Row>>,
+    stats: Option<Arc<TableStats>>,
 }
 
 /// One transaction frame: the `BEGIN` frame or a savepoint frame.
@@ -291,7 +295,7 @@ impl Database {
             return;
         }
         let image = self.data.get(key.as_ref()).map(|rows| TableImage {
-            rows: rows.clone(),
+            rows: Arc::clone(rows),
             stats: self.stats.get(key.as_ref()).cloned(),
         });
         frame.undo.insert(key.into_owned(), image);

@@ -184,8 +184,10 @@ fn crafted_schedules_detect_each_isolation_fault() {
             "crafted schedules are valid on sqlite"
         );
     }
-    // First-committer-wins on the sound engine: the lost-update schedule
-    // conflict-aborts one session instead of flagging a bug.
+    // Row-range write intent on the sound engine: the lost-update schedule
+    // is two blind appenders, whose claims are disjoint — both commits
+    // merge instead of conflicting (pre-CoW table-level intent aborted one
+    // of them here).
     let case = crafted_schedule("iso_lost_update");
     let mut clean = preset_by_name("sqlite").unwrap().instantiate();
     clean.reset();
@@ -193,7 +195,36 @@ fn crafted_schedules_detect_each_isolation_fault() {
         assert!(clean.execute(sql).is_success());
     }
     let verdict = check_isolation(&mut clean, &case.schedule, &case.features, &case.setup);
+    assert_eq!(
+        verdict.conflict_aborts, 0,
+        "disjoint appends merge under row-range intent"
+    );
+    assert_eq!(verdict.outcome, sqlancerpp::core::OracleOutcome::Passed);
+
+    // Existing-row contention still aborts: the same schedule with both
+    // sessions *updating* t0 claims overlapping row ranges, so sound
+    // first-committer-wins rejects the second commit.
+    let mut update_case = crafted_schedule("iso_lost_update");
+    for session in &mut update_case.schedule.sessions {
+        session.statements = stmts(&["UPDATE t0 SET c0 = c0 + 1"]);
+    }
+    update_case
+        .setup
+        .push("INSERT INTO t0 (c0) VALUES (1)".into());
+    let mut clean = preset_by_name("sqlite").unwrap().instantiate();
+    clean.reset();
+    for sql in &update_case.setup {
+        assert!(clean.execute(sql).is_success());
+    }
+    let verdict = check_isolation(
+        &mut clean,
+        &update_case.schedule,
+        &update_case.features,
+        &update_case.setup,
+    );
     assert_eq!(verdict.conflict_aborts, 1, "sound FCW aborts one commit");
+    assert!(verdict.outcome.is_valid());
+    assert!(!verdict.outcome.is_bug());
 }
 
 /// Acceptance criterion: isolation-oracle campaigns detect all three
@@ -335,6 +366,55 @@ fn fixed_seed_reproduces_schedules_across_runners() {
     assert_eq!(serial_a.totals, parallel.totals);
 }
 
+/// Within-dialect partitioned campaigns (databases sharded across workers)
+/// are byte-identical for any worker count — reports, replayable schedule
+/// cases, validity series and the merged learned profile — and still
+/// detect the designated isolation bug with a valid ground-truth cause.
+#[test]
+fn partitioned_campaigns_are_identical_and_still_detect_bugs() {
+    use sqlancerpp::sim::run_campaign_partitioned;
+    let preset = preset_by_name("mariadb").unwrap();
+    let mut config = isolation_campaign_config(0xC0C0);
+    config.databases = 3;
+    config.queries_per_database = 90;
+    let serial = run_campaign_partitioned(&preset, &config, ExecutionPath::Ast, 1);
+    let parallel = run_campaign_partitioned(&preset, &config, ExecutionPath::Ast, 3);
+    assert_eq!(serial.report.metrics, parallel.report.metrics);
+    assert_eq!(serial.report.reports, parallel.report.reports);
+    assert_eq!(serial.report.schedule_cases, parallel.report.schedule_cases);
+    assert_eq!(
+        serial.report.validity_series,
+        parallel.report.validity_series
+    );
+    assert!(serial
+        .profile
+        .iter_query()
+        .eq(parallel.profile.iter_query()));
+    assert!(serial.profile.iter_ddl().eq(parallel.profile.iter_ddl()));
+    // The sharded campaign still finds the injected lost update, and every
+    // kept schedule bisects to a real fault.
+    let dbms = preset.instantiate();
+    assert!(
+        !serial.report.schedule_cases.is_empty(),
+        "partitioned campaign found no schedules on mariadb"
+    );
+    let causes: Vec<&str> = serial
+        .report
+        .schedule_cases
+        .iter()
+        .flat_map(|case| dbms.ground_truth_schedule_bugs(case))
+        .collect();
+    assert!(
+        causes.contains(&"BUG-LOST-UPDATE"),
+        "ground truth {causes:?} does not include BUG-LOST-UPDATE"
+    );
+    // Merged prioritization tallies keep the campaign invariant.
+    assert_eq!(
+        serial.report.metrics.prioritized_bugs + serial.report.metrics.deduplicated_bugs,
+        serial.report.metrics.detected_bug_cases
+    );
+}
+
 /// Schedule reduction drops setup and body statements while preserving the
 /// bracketing (BEGIN + closer never reducible) and the interleaving's
 /// relative order; the reduced schedule still reproduces the bug.
@@ -411,13 +491,24 @@ fn connect_opens_gated_sessions_over_one_engine() {
         }
         other => panic!("gating bypassed: {other:?}"),
     }
-    // Conflict aborts surface as failure text containing the marker.
+    // Concurrent blind appends merge under row-range intent: both commits
+    // succeed and both rows land.
     let mut a = dbms.connect();
     let mut b = dbms.connect();
     assert!(a.execute("BEGIN").is_success());
     assert!(b.execute("BEGIN").is_success());
     assert!(a.execute("INSERT INTO t0 (c0) VALUES (2)").is_success());
     assert!(b.execute("INSERT INTO t0 (c0) VALUES (3)").is_success());
+    assert!(a.execute("COMMIT").is_success());
+    assert!(b.execute("COMMIT").is_success());
+    assert_eq!(dbms.query("SELECT * FROM t0").unwrap().row_count(), 3);
+    assert_eq!(dbms.conflict_aborts(), 0);
+    // Overlapping existing-row claims still conflict-abort, surfacing as
+    // failure text containing the marker.
+    assert!(a.execute("BEGIN").is_success());
+    assert!(b.execute("BEGIN").is_success());
+    assert!(a.execute("UPDATE t0 SET c0 = 7").is_success());
+    assert!(b.execute("UPDATE t0 SET c0 = 8").is_success());
     assert!(a.execute("COMMIT").is_success());
     match b.execute("COMMIT") {
         sqlancerpp::core::StatementOutcome::Failure(msg) => assert!(

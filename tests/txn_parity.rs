@@ -13,8 +13,9 @@
 //! 3. **Soundness** — the same campaign produces zero rollback-oracle
 //!    reports on every dialect that does not carry a transaction fault.
 
+use sqlancerpp::ast::splitmix64;
 use sqlancerpp::core::{Campaign, CampaignConfig, DbmsConnection, OracleKind, TextOnlyConnection};
-use sqlancerpp::engine::{EvalStrategy, TypingMode};
+use sqlancerpp::engine::{Database, Engine, EngineConfig, EvalStrategy, ExecutionMode, TypingMode};
 use sqlancerpp::parser::parse_statement;
 use sqlancerpp::sim::{fleet, DialectProfile, SimulatedDbms};
 
@@ -156,6 +157,113 @@ fn all_execution_tiers_agree_on_transactional_scripts() {
                     reference, got_tree,
                     "AST-compiled vs tree-walk diverged: {ctx}"
                 );
+            }
+        }
+    }
+}
+
+/// Property test: copy-on-write versioned storage is semantically
+/// invisible. A pseudo-random transactional script executed through an
+/// [`Engine`] session (the CoW snapshot-workspace path) must match, error
+/// for error and row for row, the same script executed on a plain
+/// [`Database`] (the PR 3 undo-log path that predates versioned storage) —
+/// under every typing mode and every transaction/evaluation fault set.
+#[test]
+fn cow_engine_sessions_match_plain_database_semantics() {
+    let pool: Vec<&str> = vec![
+        "INSERT INTO t0 (c0, c1) VALUES (1, 'a')",
+        "INSERT INTO t0 (c0, c1) VALUES (2, 'b'), (3, 'c')",
+        "INSERT INTO t1 (c0) VALUES ((SELECT COUNT(*) FROM t0))",
+        "UPDATE t0 SET c1 = 'x' WHERE c0 > 1",
+        "UPDATE t1 SET c0 = c0 + 10",
+        "DELETE FROM t0 WHERE c0 = 2",
+        "DELETE FROM t1",
+        "BEGIN",
+        "COMMIT",
+        "ROLLBACK",
+        "SAVEPOINT sp1",
+        "ROLLBACK TO sp1",
+        "RELEASE SAVEPOINT sp1",
+        "ANALYZE t0",
+        "CREATE TABLE t2 (c0 INTEGER)",
+        "DROP TABLE t2",
+        "INSERT INTO t2 (c0) VALUES (9)",
+    ];
+    let fault_sets: Vec<Vec<&'static str>> = vec![
+        vec![],
+        vec!["txn_lost_rollback"],
+        vec!["txn_phantom_commit"],
+        vec!["txn_savepoint_collapse"],
+        vec!["bad_integer_division", "bad_text_coercion_sign"],
+    ];
+    let probe = |table: &str| -> sqlancerpp::ast::Select {
+        match parse_statement(&format!("SELECT * FROM {table}")).unwrap() {
+            sqlancerpp::ast::Statement::Select(q) => *q,
+            _ => unreachable!(),
+        }
+    };
+    for typing in [TypingMode::Dynamic, TypingMode::Strict] {
+        for faults in &fault_sets {
+            for seed in 0..24u64 {
+                let config = {
+                    let mut config = EngineConfig {
+                        typing,
+                        ..EngineConfig::default()
+                    };
+                    for fault in faults {
+                        config.faults.enable(fault);
+                    }
+                    config
+                };
+                // Draw a deterministic script from the pool.
+                let mut state = splitmix64(0xC04E_u64 ^ seed);
+                let mut script = vec![
+                    "CREATE TABLE t0 (c0 INTEGER, c1 TEXT)".to_string(),
+                    "CREATE TABLE t1 (c0 INTEGER)".to_string(),
+                ];
+                for _ in 0..14 {
+                    state = splitmix64(state);
+                    script.push(pool[(state % pool.len() as u64) as usize].to_string());
+                }
+
+                // Arm 1: the plain single-connection database (undo-log txns
+                // over storage, no engine, no sessions).
+                let mut plain = Database::new(config.clone());
+                let plain_outcomes: Vec<bool> = script
+                    .iter()
+                    .map(|sql| plain.execute_sql(sql).is_ok())
+                    .collect();
+
+                // Arm 2: an engine session over CoW versioned storage.
+                let engine = Engine::new(config);
+                let mut session = engine.session();
+                let session_outcomes: Vec<bool> = script
+                    .iter()
+                    .map(|sql| {
+                        session
+                            .execute(&parse_statement(sql).expect("script parses"))
+                            .is_ok()
+                    })
+                    .collect();
+
+                let ctx = format!("typing {typing:?}, faults {faults:?}, seed {seed}");
+                assert_eq!(plain_outcomes, session_outcomes, "outcomes diverged: {ctx}");
+                for table in ["t0", "t1", "t2"] {
+                    let plain_rows = plain
+                        .query(&probe(table), ExecutionMode::Optimized)
+                        .map(|rs| rs.multiset_fingerprint());
+                    let session_rows = session
+                        .query(&probe(table), ExecutionMode::Optimized)
+                        .map(|rs| rs.multiset_fingerprint());
+                    assert_eq!(
+                        plain_rows.is_ok(),
+                        session_rows.is_ok(),
+                        "{table} existence diverged: {ctx}"
+                    );
+                    if let (Ok(plain_rows), Ok(session_rows)) = (plain_rows, session_rows) {
+                        assert_eq!(plain_rows, session_rows, "{table} rows diverged: {ctx}");
+                    }
+                }
             }
         }
     }
