@@ -44,6 +44,16 @@ echo "==> within-dialect partitioned runner"
 # check always runs.
 ./target/release/campaign_throughput --partitioned-check mariadb
 
+echo "==> fault-storm robustness gate"
+# Arms every injected infrastructure fault (crash, hang, drop, garbled
+# result) on a backend and runs a supervised campaign. The binary asserts:
+# the campaign completes without aborting or quarantining, every infra_*
+# fault kind is observed with clean ground-truth bisection (disarming a
+# kind removes exactly its incidents), zero infrastructure faults surface
+# as logic-bug reports, and a campaign killed mid-run resumes from its
+# checkpoint file to a byte-identical report — serially and partitioned.
+./target/release/campaign_throughput --fault-storm-check sqlite
+
 echo "==> perf-regression gate"
 # Extract a numeric value for "key" from a JSON file (first occurrence).
 json_number() {

@@ -25,31 +25,42 @@
 //!   copy-on-write storage drove from O(rows) to O(1) per table (the run
 //!   also asserts that pure churn performs **zero** CoW row clones);
 //!
+//! * **robustness** (fault storm): a supervised campaign over a backend
+//!   injecting every infrastructure fault kind — crash, hang, drop,
+//!   garbled result — reporting incident/retry/watchdog counters and
+//!   asserting that the storm never surfaces as false-positive logic bugs;
+//!
 //! plus serial vs parallel fleet sharding on the eval workload.
 //!
-//! Writes `BENCH_campaign.json` (`schema_version` 5) with queries/sec per
+//! Writes `BENCH_campaign.json` (`schema_version` 6) with queries/sec per
 //! arm, the AST/text, compiled/tree, txn-overhead and isolation ratios,
 //! CoW effectiveness counters (tables snapshotted vs. actually cloned,
-//! conflicts avoided by row-range intent), the parallel/serial speedup,
-//! and the committed `ci_floors` that `ci.sh` gates regressions against.
-//! The written file is validated before the process exits: malformed or
-//! partial output is a non-zero exit, which CI checks.
+//! conflicts avoided by row-range intent), the fault-storm `robustness`
+//! block, the parallel/serial speedup, and the committed `ci_floors` that
+//! `ci.sh` gates regressions against. The written file is validated before
+//! the process exits: malformed or partial output is a non-zero exit,
+//! which CI checks.
 //!
 //! Usage:
 //!   `campaign_throughput [queries_per_database] [output_path]`
 //!   `campaign_throughput --validate <path>`
 //!   `campaign_throughput --partitioned-check [dialect]`
+//!   `campaign_throughput --fault-storm-check [dialect]`
 
 use dbms_sim::{
-    available_threads, fleet, preset_by_name, run_campaign_partitioned, run_fleet_parallel,
-    run_fleet_serial, ExecutionPath, FleetReport,
+    available_threads, fleet, observed_infra_kinds, preset_by_name, run_campaign_partitioned,
+    run_campaign_partitioned_supervised, run_fleet_parallel, run_fleet_serial, DialectPreset,
+    ExecutionPath, FaultyConfig, FleetReport, InfraFaultKind,
 };
-use sqlancer_core::{CampaignConfig, OracleKind};
+use sqlancer_core::{
+    load_checkpoint, render_report, silence_infra_panics, Campaign, CampaignConfig, CampaignReport,
+    OracleKind, SupervisorConfig, INFRA_MARKER,
+};
 use std::time::Instant;
 
 /// The version of the JSON layout this binary writes. Bump when keys are
 /// added or renamed so the CI gate can evolve without breaking old files.
-const SCHEMA_VERSION: u32 = 5;
+const SCHEMA_VERSION: u32 = 6;
 
 /// Committed regression floors, written into the benchmark artifact and
 /// enforced by `ci.sh` against the smoke run. Deliberately conservative:
@@ -343,6 +354,183 @@ fn partitioned_check(dialect: &str) -> ! {
     std::process::exit(0);
 }
 
+// ------------------------------------------------- fault-storm gate ----
+
+/// The supervised fault-storm campaign configuration: every infrastructure
+/// fault armed on the backend, the full oracle schedule on the platform.
+fn storm_campaign_config() -> CampaignConfig {
+    let mut config = base_config(120);
+    config.seed = 0x57042;
+    config.oracles = vec![OracleKind::Tlp, OracleKind::NoRec, OracleKind::Rollback];
+    config
+}
+
+fn storm_preset(dialect: &str, faults: FaultyConfig) -> DialectPreset {
+    preset_by_name(dialect)
+        .unwrap_or_else(|| {
+            eprintln!("unknown dialect {dialect}");
+            std::process::exit(1);
+        })
+        .with_infra_faults(faults)
+}
+
+fn run_storm(dialect: &str, faults: FaultyConfig) -> CampaignReport {
+    let mut conn = storm_preset(dialect, faults).instantiate_for_path(ExecutionPath::Ast);
+    Campaign::new(storm_campaign_config()).run_supervised(&mut conn, &SupervisorConfig::default())
+}
+
+/// Counts bug reports whose description carries the infrastructure marker —
+/// the false positives the supervisor must prevent. Always 0 on a healthy
+/// platform; reported (and gated on) rather than assumed.
+fn false_positive_logic_bugs(report: &CampaignReport) -> usize {
+    report
+        .reports
+        .iter()
+        .filter(|bug| bug.description.contains(INFRA_MARKER))
+        .count()
+}
+
+/// The CI fault-storm gate. A campaign with **all** infrastructure faults
+/// armed must:
+///
+/// 1. complete without aborting or quarantining (every planned fault clears
+///    within the default retry budget);
+/// 2. observe **every** injected `infra_*` fault kind, with ground-truth
+///    bisection — disarming a kind removes exactly that kind's incidents;
+/// 3. report **zero** false-positive logic bugs (no bug report carries the
+///    infrastructure marker);
+/// 4. pass the resume-identity check: the storm campaign killed at a case
+///    index and resumed from its checkpoint file produces a byte-identical
+///    final report, serially and for every partitioned worker count.
+fn fault_storm_check(dialect: &str) -> ! {
+    silence_infra_panics();
+    let all_kinds: Vec<&str> = InfraFaultKind::all().iter().map(|k| k.id()).collect();
+
+    // 1+2+3: the storm completes, observes everything, reports no
+    // false positives.
+    let storm = run_storm(dialect, FaultyConfig::storm());
+    let observed = observed_infra_kinds(&storm);
+    if observed != all_kinds {
+        eprintln!("FAIL: storm observed {observed:?}, expected {all_kinds:?}");
+        std::process::exit(1);
+    }
+    if storm.degraded || storm.robustness.quarantines > 0 || storm.robustness.infra_failures > 0 {
+        eprintln!(
+            "FAIL: storm campaign degraded (quarantines {}, infra_failures {})",
+            storm.robustness.quarantines, storm.robustness.infra_failures
+        );
+        std::process::exit(1);
+    }
+    let false_positives = false_positive_logic_bugs(&storm);
+    if false_positives > 0 {
+        eprintln!("FAIL: {false_positives} infrastructure faults surfaced as logic bugs");
+        std::process::exit(1);
+    }
+    // 2 (bisection): disarming a kind removes exactly that kind.
+    for kind in InfraFaultKind::all() {
+        let without =
+            observed_infra_kinds(&run_storm(dialect, FaultyConfig::storm().without(kind)));
+        if without.contains(&kind.id()) {
+            eprintln!("FAIL: disarming {} left its incidents behind", kind.id());
+            std::process::exit(1);
+        }
+    }
+
+    // 4: kill-at-k resume identity, serial and partitioned.
+    let reference = render_report(&storm);
+    let scratch = std::env::temp_dir().join(format!(
+        "sqlancerpp_fault_storm_{}_{dialect}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&scratch);
+    let checkpointing = SupervisorConfig {
+        checkpoint_every: 10,
+        checkpoint_path: Some(scratch.clone()),
+        ..SupervisorConfig::default()
+    };
+    let killed = SupervisorConfig {
+        stop_after_cases: Some(37),
+        ..checkpointing.clone()
+    };
+    let mut conn =
+        storm_preset(dialect, FaultyConfig::storm()).instantiate_for_path(ExecutionPath::Ast);
+    let _ = Campaign::new(storm_campaign_config()).run_supervised(&mut conn, &killed);
+    let checkpoint = match load_checkpoint(&scratch) {
+        Ok(checkpoint) => checkpoint,
+        Err(why) => {
+            eprintln!("FAIL: no checkpoint after the simulated kill: {why}");
+            std::process::exit(1);
+        }
+    };
+    let mut conn =
+        storm_preset(dialect, FaultyConfig::storm()).instantiate_for_path(ExecutionPath::Ast);
+    let resumed =
+        Campaign::new(storm_campaign_config()).resume(&mut conn, &checkpointing, checkpoint);
+    let _ = std::fs::remove_file(&scratch);
+    if render_report(&resumed) != reference {
+        eprintln!("FAIL: serial kill-at-37 resume diverged from the uninterrupted storm run");
+        std::process::exit(1);
+    }
+    for threads in [1usize, available_threads().max(2)] {
+        let preset = storm_preset(dialect, FaultyConfig::storm());
+        let mut config = storm_campaign_config();
+        config.databases = 3;
+        let uninterrupted = run_campaign_partitioned(&preset, &config, ExecutionPath::Ast, threads);
+        let base = std::env::temp_dir().join(format!(
+            "sqlancerpp_fault_storm_part_{}_{dialect}_{threads}",
+            std::process::id()
+        ));
+        let cleanup = |base: &std::path::Path| {
+            for index in 0..config.databases {
+                let _ = std::fs::remove_file(dbms_sim::shard_checkpoint_path(base, index));
+            }
+        };
+        cleanup(&base);
+        let part_checkpointing = SupervisorConfig {
+            checkpoint_every: 8,
+            checkpoint_path: Some(base.clone()),
+            ..SupervisorConfig::default()
+        };
+        let part_killed = SupervisorConfig {
+            stop_after_cases: Some(21),
+            ..part_checkpointing.clone()
+        };
+        let _ = run_campaign_partitioned_supervised(
+            &preset,
+            &config,
+            ExecutionPath::Ast,
+            threads,
+            &part_killed,
+        );
+        let resumed = run_campaign_partitioned_supervised(
+            &preset,
+            &config,
+            ExecutionPath::Ast,
+            threads,
+            &part_checkpointing,
+        );
+        cleanup(&base);
+        if render_report(&resumed.report) != render_report(&uninterrupted.report) {
+            eprintln!(
+                "FAIL: {threads}-worker partitioned kill-at-21 resume diverged from the \
+                 uninterrupted storm run"
+            );
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "fault-storm({dialect}): {} cases, {} incidents ({} retries, {} watchdog trips), \
+         all {} fault kinds observed with clean bisection, 0 false-positive logic bugs, \
+         kill/resume byte-identical (serial + partitioned)",
+        storm.metrics.test_cases,
+        storm.robustness.incidents,
+        storm.robustness.retries,
+        storm.robustness.watchdog_trips,
+        all_kinds.len(),
+    );
+    std::process::exit(0);
+}
+
 // ------------------------------------------------------------ validation ----
 
 /// Extracts the number following `"key": ` (top-level or nested).
@@ -396,6 +584,15 @@ fn validate_bench_json(json: &str) -> Result<(), String> {
         "tables_cow_cloned",
         "cow_clone_rate",
         "conflicts_avoided",
+        "robustness",
+        "storm_test_cases",
+        "incidents",
+        "retries",
+        "watchdog_trips",
+        "quarantines",
+        "infra_failures",
+        "observed_infra_kinds",
+        "false_positive_logic_bugs",
         "parallel",
         "ci_floors",
         "min_speedup_ast_over_text",
@@ -409,10 +606,24 @@ fn validate_bench_json(json: &str) -> Result<(), String> {
     }
     let schema = number_after(json, "schema_version")
         .ok_or_else(|| "schema_version is not a number".to_string())?;
-    if schema < 5.0 {
+    if schema < 6.0 {
         return Err(format!(
-            "schema_version {schema} predates the CoW snapshot gate"
+            "schema_version {schema} predates the fault-storm robustness gate"
         ));
+    }
+    match number_after(json, "false_positive_logic_bugs") {
+        Some(0.0) => {}
+        Some(v) => {
+            return Err(format!(
+                "robustness block reports {v} false-positive logic bugs, must be 0"
+            ))
+        }
+        None => return Err("false_positive_logic_bugs is not a number".to_string()),
+    }
+    match number_after(json, "storm_test_cases") {
+        Some(v) if v > 0.0 => {}
+        Some(v) => return Err(format!("fault-storm campaign ran {v} cases")),
+        None => return Err("storm_test_cases is not a number".to_string()),
     }
     for key in [
         "speedup_ast_over_text",
@@ -482,6 +693,10 @@ fn main() {
     if args.get(1).map(String::as_str) == Some("--partitioned-check") {
         partitioned_check(args.get(2).map(String::as_str).unwrap_or("mariadb"));
     }
+    if args.get(1).map(String::as_str) == Some("--fault-storm-check") {
+        fault_storm_check(args.get(2).map(String::as_str).unwrap_or("sqlite"));
+    }
+    silence_infra_panics();
     let queries: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(400);
     let output = args
         .get(2)
@@ -533,6 +748,18 @@ fn main() {
         .unwrap_or_else(|_| unreachable!("run_arms returns one Arm per input"));
 
     let snapshot = snapshot_micro();
+
+    // The robustness workload: the dispatch-sized campaign under a full
+    // fault storm, supervised. Reported for the counters, gated (much more
+    // thoroughly) by `--fault-storm-check`.
+    let storm_start = Instant::now();
+    let storm = run_storm("sqlite", FaultyConfig::storm());
+    let storm_elapsed = storm_start.elapsed().as_secs_f64();
+    let storm_false_positives = false_positive_logic_bugs(&storm);
+    assert_eq!(
+        storm_false_positives, 0,
+        "infrastructure faults surfaced as logic bugs"
+    );
 
     let par_start = Instant::now();
     let par_report = run_fleet_parallel(&fleet(), &eval, ExecutionPath::Ast, threads);
@@ -622,6 +849,17 @@ fn main() {
         snapshot.tables_cow_cloned,
     );
     println!(
+        "fault storm (sqlite, all infra faults armed): {:.3}s, {} cases, {} incidents, \
+         {} retries, {} watchdog trips, {} backoff ticks, {} false-positive logic bugs",
+        storm_elapsed,
+        storm.metrics.test_cases,
+        storm.robustness.incidents,
+        storm.robustness.retries,
+        storm.robustness.watchdog_trips,
+        storm.robustness.backoff_ticks,
+        storm_false_positives,
+    );
+    println!(
         "parallel({threads} threads) {par_elapsed:>8.3}s  (x{parallel_speedup:.2} over serial AST)"
     );
     println!("AST-path speedup over text path:        x{speedup:.2}");
@@ -629,6 +867,14 @@ fn main() {
     println!("txn-workload overhead over eval:        x{txn_overhead:.2}");
     println!("concurrency-workload throughput ratio:  {isolation_ratio:.3}");
 
+    let storm_kinds = format!(
+        "[{}]",
+        observed_infra_kinds(&storm)
+            .iter()
+            .map(|id| format!("\"{id}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
     let json = format!(
         "{{\n  \"schema_version\": {SCHEMA_VERSION},\n  \"seed\": {},\n  \"dialects\": {},\n  \
          \"queries_per_database\": {},\n  \
@@ -648,6 +894,16 @@ fn main() {
          \"tables_cow_cloned\": {cow_cloned}, \
          \"cow_clone_rate\": {cow_clone_rate:.4}, \
          \"conflicts_avoided\": {cow_avoided}}},\n  \
+         \"robustness\": {{\"dialect\": \"sqlite\", \"faults\": \"storm\", \
+         \"elapsed_s\": {storm_elapsed:.4}, \"storm_test_cases\": {storm_cases}, \
+         \"incidents\": {storm_incidents}, \"retries\": {storm_retries}, \
+         \"watchdog_trips\": {storm_watchdog}, \"backoff_ticks\": {storm_backoff}, \
+         \"quarantines\": {storm_quarantines}, \"oracle_panics\": {storm_panics}, \
+         \"infra_failures\": {storm_infra_failures}, \
+         \"storage_metric_errors\": {storm_storage_errors}, \
+         \"recovered_workers\": {storm_recovered}, \
+         \"observed_infra_kinds\": {storm_kinds}, \
+         \"false_positive_logic_bugs\": {storm_false_positives}}},\n  \
          \"speedup_ast_over_text\": {speedup:.3},\n  \
          \"speedup_compiled_over_tree\": {compiled_speedup:.3},\n  \
          \"txn_overhead\": {txn_overhead:.3},\n  \
@@ -677,6 +933,16 @@ fn main() {
         begin_ns_per_table = snapshot.begin_ns_per_table,
         snap_shared = snapshot.tables_snapshotted,
         snap_cloned = snapshot.tables_cow_cloned,
+        storm_cases = storm.metrics.test_cases,
+        storm_incidents = storm.robustness.incidents,
+        storm_retries = storm.robustness.retries,
+        storm_watchdog = storm.robustness.watchdog_trips,
+        storm_backoff = storm.robustness.backoff_ticks,
+        storm_quarantines = storm.robustness.quarantines,
+        storm_panics = storm.robustness.oracle_panics,
+        storm_infra_failures = storm.robustness.infra_failures,
+        storm_storage_errors = storm.robustness.storage_metric_errors,
+        storm_recovered = storm.robustness.recovered_workers,
         cow_begins = cow.txn_begins,
         cow_snapshotted = cow.tables_snapshotted,
         cow_cloned = cow.tables_cow_cloned,

@@ -6,18 +6,23 @@
 //! test cases, and (6) reports metrics — the same pipeline the paper runs
 //! against each DBMS.
 
-use crate::dbms::DbmsConnection;
+use crate::dbms::{DbmsConnection, StorageMetrics};
 use crate::feature::FeatureSet;
 use crate::generator::{
-    AdaptiveGenerator, GeneratedSchedule, GeneratedTxnSession, GeneratorConfig,
+    AdaptiveGenerator, GeneratedQuery, GeneratedSchedule, GeneratedTxnSession, GeneratorConfig,
 };
 use crate::oracle::{
     check_isolation, check_norec, check_rollback, check_tlp, BugReport, OracleKind, OracleOutcome,
 };
 use crate::prioritizer::{BugPrioritizer, PriorityDecision};
 use crate::reducer::{BugReducer, ReducibleCase, ScheduleCase, TxnCase};
+use crate::resume::{save_checkpoint, CampaignCheckpoint};
 use crate::stats::FeatureKind;
-use sql_ast::Statement;
+use crate::supervisor::{
+    CampaignIncident, IncidentKind, RobustnessCounters, SupervisedCase, Supervisor,
+    SupervisorConfig,
+};
+use sql_ast::{fnv1a64, splitmix64, Statement};
 
 /// Configuration of a testing campaign.
 #[derive(Debug, Clone, PartialEq)]
@@ -169,6 +174,66 @@ pub struct CampaignReport {
     /// Validity-rate series sampled every `sample_every` test cases (used to
     /// show the convergence behaviour described in Section 5.4).
     pub validity_series: Vec<f64>,
+    /// Supervision incidents recorded over the campaign (infrastructure
+    /// failures, watchdog trips, isolated panics). Incidents are operational
+    /// bookkeeping — they never appear in [`CampaignReport::reports`].
+    pub incidents: Vec<CampaignIncident>,
+    /// Aggregate robustness counters (retries, watchdog trips, quarantines,
+    /// ...). All zero for a campaign over a healthy backend.
+    pub robustness: RobustnessCounters,
+    /// `true` when the campaign was quarantined after too many consecutive
+    /// infrastructure failures and this report covers only the cases that
+    /// ran before the cut-off.
+    pub degraded: bool,
+}
+
+/// Derives the per-case fault/supervision seed from the campaign seed and
+/// the case's position. Deterministic, stable across resume (the position is
+/// the global case counter), and never zero — zero is reserved as the
+/// "safe mode" sentinel of [`DbmsConnection::begin_case`].
+pub fn derive_case_seed(campaign_seed: u64, database: u64, case_index: u64) -> u64 {
+    let mut bytes = [0u8; 16];
+    bytes[..8].copy_from_slice(&database.to_le_bytes());
+    bytes[8..].copy_from_slice(&case_index.to_le_bytes());
+    let seed = splitmix64(campaign_seed ^ fnv1a64(&bytes));
+    if seed == 0 {
+        1
+    } else {
+        seed
+    }
+}
+
+/// The generated payload of one oracle slot, produced exactly once per case
+/// so the generator's RNG position is independent of supervision retries.
+/// One payload exists at a time, so the variant size spread is irrelevant.
+#[allow(clippy::large_enum_variant)]
+enum CasePayload {
+    /// A single-query oracle case (TLP or NoREC).
+    Query(GeneratedQuery, OracleKind),
+    /// A rollback-oracle transactional session.
+    Txn(GeneratedTxnSession),
+    /// An isolation-oracle concurrent schedule.
+    Schedule(GeneratedSchedule),
+}
+
+impl CasePayload {
+    fn features(&self) -> &FeatureSet {
+        match self {
+            CasePayload::Query(query, _) => &query.features,
+            CasePayload::Txn(session) => &session.features,
+            CasePayload::Schedule(schedule) => &schedule.features,
+        }
+    }
+}
+
+/// Where to pick the campaign loop back up after a checkpoint restore.
+struct ResumePoint {
+    database: usize,
+    next_case: usize,
+    oracle_index: usize,
+    setup_log: Vec<String>,
+    storage_accum: StorageMetrics,
+    report: CampaignReport,
 }
 
 /// A running testing campaign.
@@ -203,173 +268,504 @@ impl Campaign {
     }
 
     /// Runs the campaign against a DBMS and produces a report.
+    ///
+    /// Every campaign runs under the default [`SupervisorConfig`], which is
+    /// inert for well-behaved backends: no checkpointing, and a
+    /// watchdog/retry machinery that only acts on panics, virtual-clock
+    /// overruns and [`crate::INFRA_MARKER`] messages — so this is
+    /// behaviourally identical to the historical unsupervised loop for any
+    /// backend that produces none of those.
     pub fn run(&mut self, conn: &mut dyn DbmsConnection) -> CampaignReport {
-        let mut report = CampaignReport {
-            dbms_name: conn.name().to_string(),
-            ..CampaignReport::default()
+        self.run_supervised(conn, &SupervisorConfig::default())
+    }
+
+    /// Runs the campaign under an explicit supervision policy: deadline
+    /// watchdog, bounded deterministic retry, quarantine, and (when
+    /// configured) periodic crash-safe checkpoints.
+    pub fn run_supervised(
+        &mut self,
+        conn: &mut dyn DbmsConnection,
+        supervision: &SupervisorConfig,
+    ) -> CampaignReport {
+        let mut supervisor = Supervisor::new(supervision.clone());
+        self.run_inner(conn, &mut supervisor, None)
+    }
+
+    /// Resumes a campaign from a checkpoint and runs it to completion.
+    ///
+    /// The campaign must have been created with the same
+    /// [`CampaignConfig`] that produced the checkpoint; the final report is
+    /// then byte-identical (under [`crate::resume::render_report`]) to the
+    /// report of an uninterrupted run.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the checkpoint's seed disagrees with the campaign
+    /// config's — resuming under a different configuration cannot reproduce
+    /// the original run and would silently produce garbage.
+    pub fn resume(
+        &mut self,
+        conn: &mut dyn DbmsConnection,
+        supervision: &SupervisorConfig,
+        checkpoint: CampaignCheckpoint,
+    ) -> CampaignReport {
+        assert_eq!(
+            checkpoint.config_seed, self.config.seed,
+            "resume: checkpoint was written by a campaign with a different seed"
+        );
+        // Restore the generator: schema and statistics verbatim, then the
+        // private runtime state (RNG position, schedules, suppression).
+        self.generator.schema = checkpoint.schema;
+        self.generator.stats = checkpoint.stats;
+        self.generator.restore_runtime_state(
+            checkpoint.rng_state,
+            checkpoint.recorded,
+            checkpoint.current_depth,
+            checkpoint.suppressed_query.iter().cloned().collect(),
+            checkpoint.suppressed_ddl.iter().cloned().collect(),
+        );
+        self.prioritizer =
+            BugPrioritizer::restore(checkpoint.kept_sets, checkpoint.prioritizer_stats);
+        let mut supervisor = Supervisor::with_state(
+            supervision.clone(),
+            checkpoint.report.robustness,
+            checkpoint.report.incidents.clone(),
+            checkpoint.consecutive_infra,
+        );
+        // Rebuild the backend to the state the checkpoint describes: safe
+        // mode (no fault arming), full reset, setup-log replay. The storage
+        // baseline is sampled *after* this replay inside `run_inner`, so
+        // replayed setup work never double-counts into the accumulated
+        // delta.
+        conn.begin_case(0);
+        conn.reset();
+        for sql in &checkpoint.setup_log {
+            let _ = conn.execute(sql);
+        }
+        let resume_point = ResumePoint {
+            database: checkpoint.database,
+            next_case: checkpoint.next_case,
+            oracle_index: checkpoint.oracle_index,
+            setup_log: checkpoint.setup_log,
+            storage_accum: checkpoint.storage_delta,
+            report: checkpoint.report,
         };
-        let storage_before = conn.storage_metrics().unwrap_or_default();
+        self.run_inner(conn, &mut supervisor, Some(resume_point))
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn run_inner(
+        &mut self,
+        conn: &mut dyn DbmsConnection,
+        supervisor: &mut Supervisor,
+        resume: Option<ResumePoint>,
+    ) -> CampaignReport {
+        let (mut report, start_db, resumed_case, mut oracle_index, mut resumed_setup, mut accum) =
+            match resume {
+                Some(r) => (
+                    r.report,
+                    r.database,
+                    r.next_case,
+                    r.oracle_index,
+                    Some(r.setup_log),
+                    r.storage_accum,
+                ),
+                None => (
+                    CampaignReport {
+                        dbms_name: conn.name().to_string(),
+                        ..CampaignReport::default()
+                    },
+                    0,
+                    0,
+                    0,
+                    None,
+                    StorageMetrics::default(),
+                ),
+            };
+        // Baseline for the storage-metric delta. A backend error here is an
+        // incident (satellite of the fault model: backend errors surface as
+        // incident counters, never as silently-zero metrics), and the
+        // campaign proceeds with a default baseline exactly as the legacy
+        // swallow did.
+        let mut storage_baseline = match conn.storage_metrics() {
+            Ok(Some(metrics)) => metrics,
+            Ok(None) => StorageMetrics::default(),
+            Err(message) => {
+                supervisor.counters.storage_metric_errors += 1;
+                supervisor.record(
+                    IncidentKind::StorageMetricsError,
+                    start_db,
+                    report.metrics.test_cases,
+                    0,
+                    message,
+                );
+                StorageMetrics::default()
+            }
+        };
         let quirks = conn.quirks();
         let sample_every = 50u64;
-        let mut oracle_index = 0usize;
+        let mut quarantined = false;
 
-        for _ in 0..self.config.databases {
-            conn.reset();
-            self.generator.reset_schema();
-            let mut setup_log: Vec<String> = Vec::new();
-
-            // Phase 1: build the database state.
-            for _ in 0..self.config.ddl_per_database {
-                let generated = self.generator.generate_ddl_statement();
-                // AST fast path: the generator already holds the typed
-                // statement, so backends that can consume it skip the
-                // render→lex→parse round-trip. `generated.sql` is still used
-                // for the replayable setup log.
-                let outcome = conn.execute_ast(&generated.statement);
-                let success = outcome.is_success();
-                report.metrics.ddl_statements += 1;
-                if success {
-                    report.metrics.ddl_successes += 1;
-                    self.generator.apply_success(&generated.statement);
-                    setup_log.push(generated.sql.clone());
-                    if let Statement::Insert(insert) = &generated.statement {
-                        if quirks.requires_refresh {
-                            let refresh = format!("REFRESH TABLE {}", insert.table);
-                            if conn.execute(&refresh).is_success() {
-                                setup_log.push(refresh);
+        'campaign: for db in start_db..self.config.databases {
+            // Phase 1: build the database state (skipped when resuming
+            // mid-database — the resume path already replayed the
+            // checkpointed setup log and the generator's schema model and
+            // RNG carry the phase's effects).
+            let setup_log: Vec<String> = match resumed_setup.take() {
+                Some(log) => log,
+                None => {
+                    conn.reset();
+                    self.generator.reset_schema();
+                    let mut setup_log: Vec<String> = Vec::new();
+                    for _ in 0..self.config.ddl_per_database {
+                        let generated = self.generator.generate_ddl_statement();
+                        // AST fast path: the generator already holds the
+                        // typed statement, so backends that can consume it
+                        // skip the render→lex→parse round-trip.
+                        // `generated.sql` is still used for the replayable
+                        // setup log.
+                        let outcome = conn.execute_ast(&generated.statement);
+                        let success = outcome.is_success();
+                        report.metrics.ddl_statements += 1;
+                        if success {
+                            report.metrics.ddl_successes += 1;
+                            self.generator.apply_success(&generated.statement);
+                            setup_log.push(generated.sql.clone());
+                            if let Statement::Insert(insert) = &generated.statement {
+                                if quirks.requires_refresh {
+                                    let refresh = format!("REFRESH TABLE {}", insert.table);
+                                    if conn.execute(&refresh).is_success() {
+                                        setup_log.push(refresh);
+                                    }
+                                }
+                                if quirks.requires_commit {
+                                    let _ = conn.execute("COMMIT");
+                                }
                             }
                         }
-                        if quirks.requires_commit {
-                            let _ = conn.execute("COMMIT");
+                        self.generator.record_outcome(
+                            &generated.features,
+                            FeatureKind::DdlDml,
+                            success,
+                        );
+                    }
+                    setup_log
+                }
+            };
+
+            // Phase 2: issue oracle-checked test cases under supervision.
+            let start_case = if db == start_db { resumed_case } else { 0 };
+            for case_no in start_case..self.config.queries_per_database {
+                let mut oracle = self.config.oracles[oracle_index % self.config.oracles.len()];
+                oracle_index += 1;
+                // Generate the case payload once, before supervision: the
+                // generator's RNG must advance exactly once per case
+                // regardless of how many attempts the supervisor needs.
+                let payload = match oracle {
+                    OracleKind::Rollback => match self.generator.generate_txn_session() {
+                        Some(session) => CasePayload::Txn(session),
+                        // No transactional session available (no base table
+                        // yet, or the learned profile says the dialect
+                        // rejects transactions): fall back to a TLP-checked
+                        // query so the slot is not wasted.
+                        None => {
+                            oracle = OracleKind::Tlp;
+                            match self.generator.generate_query() {
+                                Some(query) => CasePayload::Query(query, oracle),
+                                None => break,
+                            }
+                        }
+                    },
+                    OracleKind::Isolation => match self.generator.generate_schedule() {
+                        Some(schedule) => CasePayload::Schedule(schedule),
+                        // Same degradation rule as the rollback oracle.
+                        None => {
+                            oracle = OracleKind::Tlp;
+                            match self.generator.generate_query() {
+                                Some(query) => CasePayload::Query(query, oracle),
+                                None => break,
+                            }
+                        }
+                    },
+                    OracleKind::Tlp | OracleKind::NoRec => match self.generator.generate_query() {
+                        Some(query) => CasePayload::Query(query, oracle),
+                        None => break,
+                    },
+                };
+                let case_seed =
+                    derive_case_seed(self.config.seed, db as u64, report.metrics.test_cases);
+                let mut conflict_aborts = 0u64;
+                let verdict = supervisor.run_case(
+                    conn,
+                    &setup_log,
+                    db,
+                    report.metrics.test_cases,
+                    case_seed,
+                    &mut |conn| match &payload {
+                        CasePayload::Query(query, oracle) => match oracle {
+                            OracleKind::Tlp => check_tlp(
+                                conn,
+                                &query.select,
+                                &query.predicate,
+                                &query.features,
+                                &setup_log,
+                            ),
+                            OracleKind::NoRec => check_norec(
+                                conn,
+                                &query.select,
+                                &query.predicate,
+                                &query.features,
+                                &setup_log,
+                            ),
+                            OracleKind::Rollback | OracleKind::Isolation => {
+                                unreachable!("stateful oracles carry their own payloads")
+                            }
+                        },
+                        CasePayload::Txn(session) => check_rollback(
+                            conn,
+                            &session.table,
+                            &session.statements,
+                            &session.features,
+                            &setup_log,
+                        ),
+                        CasePayload::Schedule(schedule) => {
+                            let v = check_isolation(
+                                conn,
+                                &schedule.schedule,
+                                &schedule.features,
+                                &setup_log,
+                            );
+                            // Only the attempt that completes contributes
+                            // its conflict aborts (overwrite, not add):
+                            // retried attempts were rolled back wholesale.
+                            conflict_aborts = v.conflict_aborts;
+                            v.outcome
+                        }
+                    },
+                );
+                report.metrics.test_cases += 1;
+                if matches!(payload, CasePayload::Schedule(_)) {
+                    report.metrics.isolation_schedules += 1;
+                }
+                match verdict {
+                    SupervisedCase::Completed(outcome) => {
+                        if matches!(payload, CasePayload::Schedule(_)) {
+                            report.metrics.conflict_aborts += conflict_aborts;
+                        }
+                        let valid = outcome.is_valid();
+                        if valid {
+                            report.metrics.valid_test_cases += 1;
+                        }
+                        self.generator.record_outcome(
+                            payload.features(),
+                            FeatureKind::Query,
+                            valid,
+                        );
+                        if report.metrics.test_cases.is_multiple_of(sample_every) {
+                            report.validity_series.push(report.metrics.validity_rate());
+                        }
+                        if let OracleOutcome::Bug(bug) = outcome {
+                            report.metrics.detected_bug_cases += 1;
+                            match &payload {
+                                CasePayload::Query(query, oracle) => self.handle_bug(
+                                    conn,
+                                    *bug,
+                                    &query.features,
+                                    &setup_log,
+                                    query,
+                                    *oracle,
+                                    &mut report,
+                                ),
+                                CasePayload::Txn(session) => self.handle_txn_bug(
+                                    conn,
+                                    *bug,
+                                    session,
+                                    &setup_log,
+                                    &mut report,
+                                ),
+                                CasePayload::Schedule(schedule) => self.handle_schedule_bug(
+                                    conn,
+                                    *bug,
+                                    schedule,
+                                    &setup_log,
+                                    &mut report,
+                                ),
+                            }
+                        }
+                    }
+                    // Abandoned cases: counted (the slot was spent), never
+                    // valid, and never fed to the generator's learning —
+                    // an infrastructure failure says nothing about dialect
+                    // feature support.
+                    SupervisedCase::InfraFailed | SupervisedCase::Panicked => {
+                        if report.metrics.test_cases.is_multiple_of(sample_every) {
+                            report.validity_series.push(report.metrics.validity_rate());
                         }
                     }
                 }
-                self.generator
-                    .record_outcome(&generated.features, FeatureKind::DdlDml, success);
-            }
-
-            // Phase 2: issue oracle-checked test cases.
-            for _ in 0..self.config.queries_per_database {
-                let mut oracle = self.config.oracles[oracle_index % self.config.oracles.len()];
-                oracle_index += 1;
-                if oracle == OracleKind::Rollback {
-                    if let Some(session) = self.generator.generate_txn_session() {
-                        self.run_txn_case(conn, &session, &setup_log, &mut report, sample_every);
-                        continue;
-                    }
-                    // No transactional session available (no base table yet,
-                    // or the learned profile says the dialect rejects
-                    // transactions): fall back to a TLP-checked query so the
-                    // slot is not wasted.
-                    oracle = OracleKind::Tlp;
+                if supervisor.should_quarantine() {
+                    // Too many consecutive infrastructure failures: the
+                    // backend is effectively down. Mark the partial report
+                    // degraded and stop this dialect — the fleet keeps
+                    // running the others.
+                    supervisor.counters.quarantines += 1;
+                    quarantined = true;
+                    break 'campaign;
                 }
-                if oracle == OracleKind::Isolation {
-                    if let Some(schedule) = self.generator.generate_schedule() {
-                        self.run_schedule_case(
+                let supervision = supervisor.config().clone();
+                if supervision.checkpoint_every > 0
+                    && report
+                        .metrics
+                        .test_cases
+                        .is_multiple_of(supervision.checkpoint_every)
+                {
+                    if let Some(path) = &supervision.checkpoint_path {
+                        self.settle_storage(
                             conn,
-                            &schedule,
-                            &setup_log,
-                            &mut report,
-                            sample_every,
+                            supervisor,
+                            db,
+                            report.metrics.test_cases,
+                            &mut storage_baseline,
+                            &mut accum,
                         );
-                        continue;
+                        let checkpoint = self.make_checkpoint(
+                            &report,
+                            supervisor,
+                            db,
+                            case_no + 1,
+                            oracle_index,
+                            &setup_log,
+                            accum,
+                        );
+                        // A failed checkpoint write costs resumability, not
+                        // correctness: the campaign continues and the
+                        // previous checkpoint (if any) stays valid thanks to
+                        // the atomic temp-file+rename protocol.
+                        let _ = save_checkpoint(&checkpoint, path);
                     }
-                    // Same degradation rule as the rollback oracle.
-                    oracle = OracleKind::Tlp;
                 }
-                let Some(query) = self.generator.generate_query() else {
-                    break;
-                };
-                let outcome = match oracle {
-                    OracleKind::Tlp => check_tlp(
-                        conn,
-                        &query.select,
-                        &query.predicate,
-                        &query.features,
-                        &setup_log,
-                    ),
-                    OracleKind::NoRec => check_norec(
-                        conn,
-                        &query.select,
-                        &query.predicate,
-                        &query.features,
-                        &setup_log,
-                    ),
-                    // Rollback/isolation slots either ran above or degraded
-                    // to TLP.
-                    OracleKind::Rollback | OracleKind::Isolation => {
-                        unreachable!("stateful oracle slots are handled above")
+                if let Some(budget) = supervision.stop_after_cases {
+                    if report.metrics.test_cases >= budget {
+                        // Simulated kill: return the in-flight state as-is,
+                        // with no finalisation and no extra checkpoint —
+                        // exactly what a crash leaves behind. Resume re-runs
+                        // everything after the last cadence checkpoint.
+                        report.robustness = supervisor.counters;
+                        report.incidents = supervisor.incidents.clone();
+                        return report;
                     }
-                };
-                report.metrics.test_cases += 1;
-                let valid = outcome.is_valid();
-                if valid {
-                    report.metrics.valid_test_cases += 1;
-                }
-                self.generator
-                    .record_outcome(&query.features, FeatureKind::Query, valid);
-                if report.metrics.test_cases.is_multiple_of(sample_every) {
-                    report.validity_series.push(report.metrics.validity_rate());
-                }
-                if let OracleOutcome::Bug(bug) = outcome {
-                    report.metrics.detected_bug_cases += 1;
-                    self.handle_bug(
-                        conn,
-                        *bug,
-                        &query.features,
-                        &setup_log,
-                        &query,
-                        oracle,
-                        &mut report,
-                    );
                 }
             }
         }
         report.metrics.prioritized_bugs = self.prioritizer.stats().prioritized as u64;
         report.metrics.deduplicated_bugs = self.prioritizer.stats().deduplicated as u64;
-        if let Some(after) = conn.storage_metrics() {
-            let delta = after.since(&storage_before);
-            report.metrics.txn_begins = delta.txn_begins;
-            report.metrics.tables_snapshotted = delta.tables_snapshotted;
-            report.metrics.tables_cow_cloned = delta.tables_cow_cloned;
-            report.metrics.conflicts_avoided = delta.conflicts_avoided;
-        }
+        self.settle_storage(
+            conn,
+            supervisor,
+            self.config.databases.saturating_sub(1),
+            report.metrics.test_cases,
+            &mut storage_baseline,
+            &mut accum,
+        );
+        report.metrics.txn_begins = accum.txn_begins;
+        report.metrics.tables_snapshotted = accum.tables_snapshotted;
+        report.metrics.tables_cow_cloned = accum.tables_cow_cloned;
+        report.metrics.conflicts_avoided = accum.conflicts_avoided;
+        report.degraded = report.degraded || quarantined;
+        report.robustness = supervisor.counters;
+        report.incidents = supervisor.incidents.clone();
         report
     }
 
-    /// Runs one rollback-oracle test case: a generated transactional
-    /// session checked for the rollback/commit identities, with the same
-    /// metrics, feedback, prioritization and reduction treatment the
-    /// single-query oracles get.
-    fn run_txn_case(
+    /// Folds the backend's storage-counter delta since `baseline` into
+    /// `accum` and advances the baseline. A backend error becomes a
+    /// recorded incident (the legacy code swallowed it into zeros).
+    #[allow(clippy::unused_self)]
+    fn settle_storage(
+        &self,
+        conn: &mut dyn DbmsConnection,
+        supervisor: &mut Supervisor,
+        database: usize,
+        case_index: u64,
+        baseline: &mut StorageMetrics,
+        accum: &mut StorageMetrics,
+    ) {
+        match conn.storage_metrics() {
+            Ok(Some(now)) => {
+                accum.merge(&now.since(baseline));
+                *baseline = now;
+            }
+            Ok(None) => {}
+            Err(message) => {
+                supervisor.counters.storage_metric_errors += 1;
+                supervisor.record(
+                    IncidentKind::StorageMetricsError,
+                    database,
+                    case_index,
+                    0,
+                    message,
+                );
+            }
+        }
+    }
+
+    /// Builds the resume checkpoint describing the campaign's exact state:
+    /// cursor, generator, prioritizer, partial report, incident history.
+    #[allow(clippy::too_many_arguments)]
+    fn make_checkpoint(
+        &self,
+        report: &CampaignReport,
+        supervisor: &Supervisor,
+        database: usize,
+        next_case: usize,
+        oracle_index: usize,
+        setup_log: &[String],
+        storage_accum: StorageMetrics,
+    ) -> CampaignCheckpoint {
+        let mut snapshot = report.clone();
+        snapshot.robustness = supervisor.counters;
+        snapshot.incidents = supervisor.incidents.clone();
+        CampaignCheckpoint {
+            config_seed: self.config.seed,
+            database,
+            next_case,
+            oracle_index,
+            rng_state: self.generator.rng_state(),
+            recorded: self.generator.recorded_executions(),
+            current_depth: self.generator.current_depth(),
+            schema: self.generator.schema.clone(),
+            stats: self.generator.stats.clone(),
+            suppressed_query: self
+                .generator
+                .suppressed_query_features()
+                .iter()
+                .cloned()
+                .collect(),
+            suppressed_ddl: self
+                .generator
+                .suppressed_ddl_features()
+                .iter()
+                .cloned()
+                .collect(),
+            kept_sets: self.prioritizer.kept_sets().to_vec(),
+            prioritizer_stats: self.prioritizer.stats(),
+            setup_log: setup_log.to_vec(),
+            storage_delta: storage_accum,
+            consecutive_infra: supervisor.consecutive_infra(),
+            report: snapshot,
+        }
+    }
+
+    /// Handles a rollback-oracle bug: prioritization, optional reduction,
+    /// and state rebuild — the same treatment the single-query oracles get.
+    fn handle_txn_bug(
         &mut self,
         conn: &mut dyn DbmsConnection,
+        bug: BugReport,
         session: &GeneratedTxnSession,
         setup_log: &[String],
         report: &mut CampaignReport,
-        sample_every: u64,
     ) {
-        let outcome = check_rollback(
-            conn,
-            &session.table,
-            &session.statements,
-            &session.features,
-            setup_log,
-        );
-        report.metrics.test_cases += 1;
-        let valid = outcome.is_valid();
-        if valid {
-            report.metrics.valid_test_cases += 1;
-        }
-        self.generator
-            .record_outcome(&session.features, FeatureKind::Query, valid);
-        if report.metrics.test_cases.is_multiple_of(sample_every) {
-            report.validity_series.push(report.metrics.validity_rate());
-        }
-        let OracleOutcome::Bug(bug) = outcome else {
-            return;
-        };
-        report.metrics.detected_bug_cases += 1;
         match self.prioritizer.classify(&session.features) {
             PriorityDecision::PotentialDuplicate => {}
             PriorityDecision::New => {
@@ -379,7 +775,7 @@ impl Campaign {
                     statements: session.statements.clone(),
                     features: session.features.clone(),
                 };
-                let mut final_bug = *bug;
+                let mut final_bug = bug;
                 if self.config.reduce_bugs {
                     let (reduced, _stats) = {
                         let mut reducer = BugReducer::new(conn, self.config.max_reduction_checks);
@@ -404,36 +800,17 @@ impl Campaign {
         }
     }
 
-    /// Runs one isolation-oracle test case: a generated concurrent schedule
-    /// checked against its serial replays, with the same metrics, feedback,
-    /// prioritization and reduction treatment the other oracles get.
-    /// Conflict-aborted commits count toward the conflict-abort rate, never
-    /// toward invalidity or bugs.
-    fn run_schedule_case(
+    /// Handles an isolation-oracle bug: prioritization, optional reduction,
+    /// and state rebuild. Conflict-aborted commits were already folded into
+    /// the conflict-abort rate by the caller — they never reach this path.
+    fn handle_schedule_bug(
         &mut self,
         conn: &mut dyn DbmsConnection,
+        bug: BugReport,
         schedule: &GeneratedSchedule,
         setup_log: &[String],
         report: &mut CampaignReport,
-        sample_every: u64,
     ) {
-        let verdict = check_isolation(conn, &schedule.schedule, &schedule.features, setup_log);
-        report.metrics.test_cases += 1;
-        report.metrics.isolation_schedules += 1;
-        report.metrics.conflict_aborts += verdict.conflict_aborts;
-        let valid = verdict.outcome.is_valid();
-        if valid {
-            report.metrics.valid_test_cases += 1;
-        }
-        self.generator
-            .record_outcome(&schedule.features, FeatureKind::Query, valid);
-        if report.metrics.test_cases.is_multiple_of(sample_every) {
-            report.validity_series.push(report.metrics.validity_rate());
-        }
-        let OracleOutcome::Bug(bug) = verdict.outcome else {
-            return;
-        };
-        report.metrics.detected_bug_cases += 1;
         match self.prioritizer.classify(&schedule.features) {
             PriorityDecision::PotentialDuplicate => {}
             PriorityDecision::New => {
@@ -442,7 +819,7 @@ impl Campaign {
                     schedule: schedule.schedule.clone(),
                     features: schedule.features.clone(),
                 };
-                let mut final_bug = *bug;
+                let mut final_bug = bug;
                 if self.config.reduce_bugs {
                     let (reduced, _stats) = {
                         let mut reducer = BugReducer::new(conn, self.config.max_reduction_checks);

@@ -193,11 +193,39 @@ pub trait DbmsConnection {
 
     /// Cumulative storage-versioning counters for this connection's
     /// backend, when it can observe them (the simulated fleet reads its
-    /// engine's CoW accounting; wire-protocol backends return `None`, the
-    /// default). Counters are cumulative across `reset`, so campaigns
+    /// engine's CoW accounting; wire-protocol backends return `Ok(None)`,
+    /// the default). Counters are cumulative across `reset`, so campaigns
     /// difference two samples.
-    fn storage_metrics(&self) -> Option<StorageMetrics> {
-        None
+    ///
+    /// # Errors
+    ///
+    /// Returns the backend error when the counters exist but cannot be read
+    /// (e.g. the backend is down). Campaigns surface such errors as
+    /// supervision incidents — they are never silently treated as zeros.
+    fn storage_metrics(&self) -> Result<Option<StorageMetrics>, String> {
+        Ok(None)
+    }
+
+    /// Marks the start of (one attempt at) an oracle test case.
+    ///
+    /// `case_seed` is derived deterministically from the campaign seed and
+    /// the case cursor, and is **never 0**; the campaign passes `0` for
+    /// non-case work (setup replay, recovery rebuilds). Backends use this
+    /// purely as an observability/fault-injection hook — the default is a
+    /// no-op, and implementations must not let it affect query semantics.
+    fn begin_case(&mut self, case_seed: u64) {
+        let _ = case_seed;
+    }
+
+    /// The connection's **virtual clock**: a monotone tick counter advanced
+    /// by backend activity (the fault-injecting test decorator charges one
+    /// tick per statement and jumps the clock on a hang). The supervisor's
+    /// deadline watchdog samples this around each case attempt, so watchdog
+    /// decisions are deterministic — wall time never enters them. The
+    /// default (a constant `0`) makes the watchdog inert for backends that
+    /// don't model time.
+    fn virtual_ticks(&self) -> u64 {
+        0
     }
 
     /// Captures the backend's current committed state as an opaque
@@ -279,8 +307,16 @@ impl DbmsConnection for Box<dyn DbmsConnection> {
         (**self).open_session()
     }
 
-    fn storage_metrics(&self) -> Option<StorageMetrics> {
+    fn storage_metrics(&self) -> Result<Option<StorageMetrics>, String> {
         (**self).storage_metrics()
+    }
+
+    fn begin_case(&mut self, case_seed: u64) {
+        (**self).begin_case(case_seed);
+    }
+
+    fn virtual_ticks(&self) -> u64 {
+        (**self).virtual_ticks()
     }
 
     fn checkpoint(&mut self) -> Option<StateCheckpoint> {
@@ -349,8 +385,16 @@ impl<C: DbmsConnection> DbmsConnection for TextOnlyConnection<C> {
             .map(|session| Box::new(TextOnlyConnection::new(session)) as Box<dyn DbmsConnection>)
     }
 
-    fn storage_metrics(&self) -> Option<StorageMetrics> {
+    fn storage_metrics(&self) -> Result<Option<StorageMetrics>, String> {
         self.inner.storage_metrics()
+    }
+
+    fn begin_case(&mut self, case_seed: u64) {
+        self.inner.begin_case(case_seed);
+    }
+
+    fn virtual_ticks(&self) -> u64 {
+        self.inner.virtual_ticks()
     }
 
     fn checkpoint(&mut self) -> Option<StateCheckpoint> {

@@ -199,6 +199,44 @@ impl AdaptiveGenerator {
         &self.suppressed_query
     }
 
+    /// Features currently suppressed for DDL/DML generation.
+    pub fn suppressed_ddl_features(&self) -> &BTreeSet<Feature> {
+        &self.suppressed_ddl
+    }
+
+    /// The raw RNG state, for campaign checkpoints. Together with
+    /// [`AdaptiveGenerator::restore_runtime_state`] (and direct restoration
+    /// of the public `schema` and `stats` fields) this reconstructs the
+    /// generator mid-campaign exactly.
+    pub fn rng_state(&self) -> u64 {
+        self.rng.state()
+    }
+
+    /// Restores the private runtime state captured by a campaign
+    /// checkpoint: the RNG position, the execution counter driving the
+    /// update/depth schedules, the depth budget, and the suppression
+    /// tables.
+    ///
+    /// The suppression tables must be restored verbatim rather than
+    /// recomputed from `stats`: they only refresh at `update_interval`
+    /// boundaries, so between boundaries they lag the statistics by design
+    /// — recomputing them on load would make a resumed campaign diverge
+    /// from an uninterrupted one.
+    pub fn restore_runtime_state(
+        &mut self,
+        rng_state: u64,
+        recorded: u64,
+        current_depth: usize,
+        suppressed_query: BTreeSet<Feature>,
+        suppressed_ddl: BTreeSet<Feature>,
+    ) {
+        self.rng = StdRng::seed_from_u64(rng_state);
+        self.recorded = recorded;
+        self.current_depth = current_depth;
+        self.suppressed_query = suppressed_query;
+        self.suppressed_ddl = suppressed_ddl;
+    }
+
     /// Whether a feature may currently be generated (the paper's
     /// `shouldGenerate`, Listing 4).
     pub fn should_generate(&self, feature: &Feature, kind: FeatureKind) -> bool {

@@ -40,10 +40,14 @@ pub mod oracle;
 pub mod prioritizer;
 pub mod profile;
 pub mod reducer;
+pub mod resume;
 pub mod schema;
 pub mod stats;
+pub mod supervisor;
 
-pub use campaign::{replay_validity, Campaign, CampaignConfig, CampaignMetrics, CampaignReport};
+pub use campaign::{
+    derive_case_seed, replay_validity, Campaign, CampaignConfig, CampaignMetrics, CampaignReport,
+};
 pub use dbms::{
     DbmsConnection, DialectQuirks, QueryResult, StateCheckpoint, StatementOutcome, StorageMetrics,
     TextOnlyConnection, SERIALIZATION_FAILURE_MARKER,
@@ -60,7 +64,15 @@ pub use oracle::{
 pub use prioritizer::{BugPrioritizer, PrioritizerStats, PriorityDecision};
 pub use profile::{load_profile, profile_from_string, profile_to_string, save_profile};
 pub use reducer::{BugReducer, ReducibleCase, ReductionStats, ScheduleCase, TxnCase};
+pub use resume::{
+    checkpoint_from_string, checkpoint_to_string, load_checkpoint, render_report, save_checkpoint,
+    CampaignCheckpoint,
+};
 pub use schema::{ModelColumn, ModelIndex, ModelTable, SchemaModel};
 pub use stats::{
     regularized_incomplete_beta, FeatureCounts, FeatureKind, FeatureStats, StatsConfig,
+};
+pub use supervisor::{
+    classify_infra_message, silence_infra_panics, CampaignIncident, IncidentKind,
+    RobustnessCounters, SupervisedCase, Supervisor, SupervisorConfig, INFRA_MARKER,
 };

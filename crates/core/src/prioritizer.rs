@@ -73,6 +73,19 @@ impl BugPrioritizer {
         }
     }
 
+    /// Reconstructs a subset-rule prioritizer from checkpointed state.
+    ///
+    /// Both parts must be carried: the kept sets drive future
+    /// classifications, and the statistics cannot be recomputed from them
+    /// (deduplicated cases' feature sets are not retained anywhere).
+    pub fn restore(kept: Vec<FeatureSet>, stats: PrioritizerStats) -> BugPrioritizer {
+        BugPrioritizer {
+            kept,
+            stats,
+            exact_only: false,
+        }
+    }
+
     /// The feature sets currently kept for reporting.
     pub fn kept_sets(&self) -> &[FeatureSet] {
         &self.kept

@@ -71,6 +71,27 @@ impl SchemaModel {
         SchemaModel::default()
     }
 
+    /// Reconstructs a model from previously captured parts (a campaign
+    /// checkpoint). The `name_counter` must be carried verbatim: it advances
+    /// even for DDL the DBMS rejected and for query-time subquery aliases,
+    /// so it cannot be recomputed from the surviving objects.
+    pub fn restore(
+        tables: Vec<ModelTable>,
+        indexes: Vec<ModelIndex>,
+        name_counter: usize,
+    ) -> SchemaModel {
+        SchemaModel {
+            tables,
+            indexes,
+            name_counter,
+        }
+    }
+
+    /// The monotone counter behind [`SchemaModel::free_name`].
+    pub fn name_counter(&self) -> usize {
+        self.name_counter
+    }
+
     /// All tables and views.
     pub fn tables(&self) -> &[ModelTable] {
         &self.tables

@@ -1,0 +1,672 @@
+//! Fault-tolerant case supervision: deadline watchdog, bounded
+//! deterministic retry, panic isolation and dialect quarantine.
+//!
+//! The paper's platform fuzzes *opaque* backends over a text-only boundary;
+//! real backends crash, hang, drop connections and return garbage
+//! mid-campaign. The supervisor runs every oracle test case under a
+//! recovery protocol so a misbehaving backend degrades the campaign
+//! gracefully instead of killing it:
+//!
+//! * every case attempt is wrapped in [`std::panic::catch_unwind`] — a
+//!   panicking oracle (or a backend crash modelled as a panic) becomes a
+//!   recorded [`CampaignIncident`], never a dead worker or a poisoned lock;
+//! * a **deadline watchdog** samples the connection's *virtual clock*
+//!   ([`crate::DbmsConnection::virtual_ticks`]) around each attempt — no
+//!   wall time ever enters a supervision decision, which keeps supervised
+//!   campaigns byte-identical across machines and runs;
+//! * infrastructure failures (recognised by the [`INFRA_MARKER`] message
+//!   convention, the same opaque-text contract as
+//!   [`crate::SERIALIZATION_FAILURE_MARKER`]) are retried a bounded number
+//!   of times with exponential *virtual* backoff, after rebuilding the
+//!   backend state from the setup log;
+//! * a dialect that fails [`SupervisorConfig::quarantine_threshold`]
+//!   consecutive cases on infrastructure errors is **quarantined**: its
+//!   partial report is marked degraded and returned, and the rest of the
+//!   fleet keeps running.
+//!
+//! Incidents are bookkeeping, not bugs: an infrastructure failure never
+//! reaches the prioritizer or the bug reports, so injected faults cannot
+//! surface as false-positive logic bugs.
+
+use crate::dbms::DbmsConnection;
+use crate::oracle::OracleOutcome;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+/// The marker substring by which the platform recognises an
+/// *infrastructure* failure (backend crash, hang, dropped connection,
+/// garbled result frame) in an otherwise opaque error message or panic
+/// payload. Like [`crate::SERIALIZATION_FAILURE_MARKER`], this convention
+/// is the whole interface: the platform never inspects the backend, it
+/// only reads error text.
+pub const INFRA_MARKER: &str = "infra:";
+
+/// The kind of a supervision incident.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum IncidentKind {
+    /// The backend crashed mid-case (a panic carrying [`INFRA_MARKER`]).
+    BackendCrash,
+    /// A case attempt overran the virtual-clock deadline, or the backend
+    /// reported a hang.
+    WatchdogTimeout,
+    /// The connection was dropped transiently.
+    ConnectionDrop,
+    /// A result frame arrived garbled/truncated (checksum mismatch).
+    GarbledResult,
+    /// An oracle panicked without an infrastructure marker: an internal
+    /// platform error, isolated and recorded rather than retried.
+    OraclePanic,
+    /// The backend's storage counters could not be read.
+    StorageMetricsError,
+    /// A fleet/shard worker thread died and its work was re-run or
+    /// abandoned by the runner.
+    WorkerPanic,
+}
+
+impl IncidentKind {
+    /// The canonical (checkpoint-file) name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            IncidentKind::BackendCrash => "backend_crash",
+            IncidentKind::WatchdogTimeout => "watchdog_timeout",
+            IncidentKind::ConnectionDrop => "connection_drop",
+            IncidentKind::GarbledResult => "garbled_result",
+            IncidentKind::OraclePanic => "oracle_panic",
+            IncidentKind::StorageMetricsError => "storage_metrics_error",
+            IncidentKind::WorkerPanic => "worker_panic",
+        }
+    }
+
+    /// Parses a canonical name back (checkpoint loading).
+    pub fn parse(name: &str) -> Option<IncidentKind> {
+        Some(match name {
+            "backend_crash" => IncidentKind::BackendCrash,
+            "watchdog_timeout" => IncidentKind::WatchdogTimeout,
+            "connection_drop" => IncidentKind::ConnectionDrop,
+            "garbled_result" => IncidentKind::GarbledResult,
+            "oracle_panic" => IncidentKind::OraclePanic,
+            "storage_metrics_error" => IncidentKind::StorageMetricsError,
+            "worker_panic" => IncidentKind::WorkerPanic,
+            _ => return None,
+        })
+    }
+}
+
+/// Classifies an [`INFRA_MARKER`]-carrying message into an incident kind.
+///
+/// The injected fault catalog embeds its fault ids (`infra_crash`, ...) in
+/// every message it produces, so attribution is exact for injected faults;
+/// unknown infrastructure messages default to a connection drop, the most
+/// generic transient failure.
+pub fn classify_infra_message(message: &str) -> IncidentKind {
+    if message.contains("infra_crash") {
+        IncidentKind::BackendCrash
+    } else if message.contains("infra_hang") {
+        IncidentKind::WatchdogTimeout
+    } else if message.contains("infra_garble") {
+        IncidentKind::GarbledResult
+    } else {
+        IncidentKind::ConnectionDrop
+    }
+}
+
+/// One recorded supervision incident.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignIncident {
+    /// What happened.
+    pub kind: IncidentKind,
+    /// The database index the campaign was building when it happened.
+    pub database: usize,
+    /// The campaign-global test-case counter at the time.
+    pub case_index: u64,
+    /// Which attempt at the case failed (0 = first try).
+    pub attempt: u32,
+    /// The opaque backend/panic message (single line).
+    pub detail: String,
+}
+
+/// Aggregate robustness counters for a supervised campaign. Reported next
+/// to [`crate::CampaignMetrics`]; like them, they merge across shards and
+/// dialects.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RobustnessCounters {
+    /// Total incidents recorded (of any kind).
+    pub incidents: u64,
+    /// Case attempts re-run after an infrastructure failure.
+    pub retries: u64,
+    /// Case attempts that overran the virtual-clock deadline.
+    pub watchdog_trips: u64,
+    /// Virtual ticks spent in retry backoff (exponential, deterministic).
+    pub backoff_ticks: u64,
+    /// Dialect quarantines (0 or 1 per campaign).
+    pub quarantines: u64,
+    /// Oracle panics isolated by `catch_unwind`.
+    pub oracle_panics: u64,
+    /// Cases abandoned after exhausting their retry budget.
+    pub infra_failures: u64,
+    /// Failed storage-counter reads (previously swallowed as zeros).
+    pub storage_metric_errors: u64,
+    /// Worker threads whose shard was recovered after a panic or a
+    /// poisoned result lock.
+    pub recovered_workers: u64,
+}
+
+impl RobustnessCounters {
+    /// Accumulates another counter set into this one.
+    pub fn merge(&mut self, other: &RobustnessCounters) {
+        self.incidents += other.incidents;
+        self.retries += other.retries;
+        self.watchdog_trips += other.watchdog_trips;
+        self.backoff_ticks += other.backoff_ticks;
+        self.quarantines += other.quarantines;
+        self.oracle_panics += other.oracle_panics;
+        self.infra_failures += other.infra_failures;
+        self.storage_metric_errors += other.storage_metric_errors;
+        self.recovered_workers += other.recovered_workers;
+    }
+}
+
+/// Supervision policy for a campaign. The default is deliberately inert
+/// for well-behaved backends: no checkpointing, no case budget, and a
+/// watchdog/retry machinery that only ever acts on panics, virtual-clock
+/// overruns or [`INFRA_MARKER`] messages — none of which a fault-free
+/// backend produces — so a supervised campaign over a healthy backend is
+/// byte-identical to the unsupervised loop it replaced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SupervisorConfig {
+    /// Virtual-tick budget per case attempt; an attempt whose connection
+    /// clock advances further trips the watchdog and is retried.
+    pub deadline_ticks: u64,
+    /// Retries per case after the first attempt (so a case is attempted at
+    /// most `max_retries + 1` times).
+    pub max_retries: u32,
+    /// First retry's backoff in virtual ticks; doubles per attempt.
+    pub backoff_base_ticks: u64,
+    /// Consecutive retry-exhausted cases after which the dialect is
+    /// quarantined (its partial report marked degraded). `0` disables
+    /// quarantine.
+    pub quarantine_threshold: u32,
+    /// Write a resume checkpoint every N completed cases (requires
+    /// [`SupervisorConfig::checkpoint_path`]; `0` disables cadence).
+    pub checkpoint_every: u64,
+    /// Where to write resume checkpoints (atomically: temp file + rename).
+    pub checkpoint_path: Option<PathBuf>,
+    /// Abort the run (as a crash would) once this many cases completed —
+    /// the deterministic "kill at case k" used by resume tests. No final
+    /// checkpoint is written at the stop: like a real kill, progress since
+    /// the last cadence checkpoint is lost.
+    pub stop_after_cases: Option<u64>,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> SupervisorConfig {
+        SupervisorConfig {
+            deadline_ticks: 100_000,
+            max_retries: 3,
+            backoff_base_ticks: 16,
+            quarantine_threshold: 8,
+            checkpoint_every: 0,
+            checkpoint_path: None,
+            stop_after_cases: None,
+        }
+    }
+}
+
+/// The verdict of a supervised case execution.
+#[derive(Debug)]
+pub enum SupervisedCase {
+    /// The case ran to an oracle outcome (possibly after retries).
+    Completed(OracleOutcome),
+    /// Every attempt failed on infrastructure errors; the case was
+    /// abandoned and counts toward quarantine.
+    InfraFailed,
+    /// The oracle panicked without an infrastructure marker; the case was
+    /// abandoned (an internal error will not heal by retrying).
+    Panicked,
+}
+
+/// The per-campaign supervision runtime: policy plus accumulated
+/// incidents, counters and the consecutive-failure state driving
+/// quarantine. Serialized into campaign checkpoints so a resumed campaign
+/// carries its incident history.
+#[derive(Debug, Clone)]
+pub struct Supervisor {
+    config: SupervisorConfig,
+    /// Robustness counters accumulated so far.
+    pub counters: RobustnessCounters,
+    /// Incidents recorded so far, in occurrence order.
+    pub incidents: Vec<CampaignIncident>,
+    consecutive_infra: u32,
+}
+
+impl Supervisor {
+    /// Creates a supervisor with empty history.
+    pub fn new(config: SupervisorConfig) -> Supervisor {
+        Supervisor {
+            config,
+            counters: RobustnessCounters::default(),
+            incidents: Vec::new(),
+            consecutive_infra: 0,
+        }
+    }
+
+    /// Recreates a supervisor from checkpointed history.
+    pub fn with_state(
+        config: SupervisorConfig,
+        counters: RobustnessCounters,
+        incidents: Vec<CampaignIncident>,
+        consecutive_infra: u32,
+    ) -> Supervisor {
+        Supervisor {
+            config,
+            counters,
+            incidents,
+            consecutive_infra,
+        }
+    }
+
+    /// The supervision policy.
+    pub fn config(&self) -> &SupervisorConfig {
+        &self.config
+    }
+
+    /// Consecutive cases abandoned on infrastructure errors (quarantine
+    /// trigger state).
+    pub fn consecutive_infra(&self) -> u32 {
+        self.consecutive_infra
+    }
+
+    /// Whether the dialect has crossed the quarantine threshold.
+    pub fn should_quarantine(&self) -> bool {
+        self.config.quarantine_threshold > 0
+            && self.consecutive_infra >= self.config.quarantine_threshold
+    }
+
+    /// Records an incident.
+    pub fn record(
+        &mut self,
+        kind: IncidentKind,
+        database: usize,
+        case_index: u64,
+        attempt: u32,
+        detail: String,
+    ) {
+        self.counters.incidents += 1;
+        self.incidents.push(CampaignIncident {
+            kind,
+            database,
+            case_index,
+            attempt,
+            detail: single_line(&detail),
+        });
+    }
+
+    /// Runs one oracle case under supervision: panic isolation, the
+    /// virtual-clock watchdog, bounded retry with state recovery, and
+    /// quarantine accounting. `check` must be re-runnable — the campaign
+    /// generates the case data once and the closure only executes it.
+    pub fn run_case(
+        &mut self,
+        conn: &mut dyn DbmsConnection,
+        setup_log: &[String],
+        database: usize,
+        case_index: u64,
+        case_seed: u64,
+        check: &mut dyn FnMut(&mut dyn DbmsConnection) -> OracleOutcome,
+    ) -> SupervisedCase {
+        let mut attempt: u32 = 0;
+        loop {
+            conn.begin_case(case_seed);
+            let ticks_before = conn.virtual_ticks();
+            let caught = catch_unwind(AssertUnwindSafe(|| check(conn)));
+            let elapsed = conn.virtual_ticks().saturating_sub(ticks_before);
+            let failure: Option<(IncidentKind, String)> = match &caught {
+                Err(payload) => {
+                    let detail = panic_message(payload.as_ref());
+                    if detail.contains(INFRA_MARKER) {
+                        Some((classify_infra_message(&detail), detail))
+                    } else {
+                        // An internal platform error: isolate it, rebuild
+                        // the backend state and abandon the case — retrying
+                        // deterministic code cannot heal it.
+                        self.counters.oracle_panics += 1;
+                        self.record(
+                            IncidentKind::OraclePanic,
+                            database,
+                            case_index,
+                            attempt,
+                            detail,
+                        );
+                        self.consecutive_infra = 0;
+                        recover(conn, setup_log);
+                        return SupervisedCase::Panicked;
+                    }
+                }
+                Ok(outcome) if elapsed > self.config.deadline_ticks => {
+                    self.counters.watchdog_trips += 1;
+                    let mut detail = format!(
+                        "case attempt overran deadline: {elapsed} virtual ticks > {} budget",
+                        self.config.deadline_ticks
+                    );
+                    // Keep the backend's own failure text (and with it the
+                    // injected-fault attribution, e.g. `infra_hang`) when
+                    // the overrun came with one.
+                    if let Some((_, message)) = infra_failure(outcome) {
+                        detail.push_str(": ");
+                        detail.push_str(&message);
+                    }
+                    Some((IncidentKind::WatchdogTimeout, detail))
+                }
+                Ok(outcome) => infra_failure(outcome),
+            };
+            let Some((kind, detail)) = failure else {
+                self.consecutive_infra = 0;
+                // Safe mode for the post-case work (reduction, setup-log
+                // replay): a fault planned for a statement index the check
+                // never reached must not fire mid-reduction.
+                conn.begin_case(0);
+                return SupervisedCase::Completed(match caught {
+                    Ok(outcome) => outcome,
+                    Err(_) => unreachable!("non-failure verdicts come from Ok attempts"),
+                });
+            };
+            self.record(kind, database, case_index, attempt, detail);
+            recover(conn, setup_log);
+            if attempt >= self.config.max_retries {
+                self.counters.infra_failures += 1;
+                self.consecutive_infra += 1;
+                return SupervisedCase::InfraFailed;
+            }
+            // Deterministic exponential backoff on the virtual clock; no
+            // wall time is spent or consulted.
+            self.counters.retries += 1;
+            self.counters.backoff_ticks += self.config.backoff_base_ticks << attempt.min(16);
+            attempt += 1;
+        }
+    }
+}
+
+/// Rebuilds the backend state after a failed attempt: safe mode (no fault
+/// arming), full reset, setup-log replay. Mirrors the campaign's own
+/// post-reduction rebuild, so a recovered backend is observably identical
+/// to one that never failed.
+fn recover(conn: &mut dyn DbmsConnection, setup_log: &[String]) {
+    conn.begin_case(0);
+    conn.reset();
+    for sql in setup_log {
+        let _ = conn.execute(sql);
+    }
+}
+
+/// Extracts the infrastructure failure from an oracle outcome, if any. A
+/// `Bug` carrying the marker is treated as an infrastructure failure too —
+/// defence in depth for the "incidents never surface as logic bugs"
+/// guarantee.
+fn infra_failure(outcome: &OracleOutcome) -> Option<(IncidentKind, String)> {
+    let message = match outcome {
+        OracleOutcome::Invalid(message) if message.contains(INFRA_MARKER) => message.clone(),
+        OracleOutcome::Bug(bug) if bug.description.contains(INFRA_MARKER) => {
+            bug.description.clone()
+        }
+        _ => return None,
+    };
+    Some((classify_infra_message(&message), message))
+}
+
+/// Installs a process-global panic hook that silences panics carrying
+/// [`INFRA_MARKER`] — injected backend crashes that the supervisor catches,
+/// records and recovers from — while delegating every other panic to the
+/// previously installed hook. Without this, every caught crash still spews
+/// a backtrace to stderr through the default hook. Call it once at process
+/// start (examples, benches, CI gates); libraries and tests work fine
+/// without it, just noisily.
+pub fn silence_infra_panics() {
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let silenced = info
+            .payload()
+            .downcast_ref::<&str>()
+            .map(|s| s.contains(INFRA_MARKER))
+            .or_else(|| {
+                info.payload()
+                    .downcast_ref::<String>()
+                    .map(|s| s.contains(INFRA_MARKER))
+            })
+            .unwrap_or(false);
+        if !silenced {
+            previous(info);
+        }
+    }));
+}
+
+/// Renders a panic payload as a single-line string.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Collapses a message to one line (checkpoint files are line-oriented and
+/// incident details are embedded in them escaped, but keeping details
+/// single-line also keeps logs readable).
+fn single_line(message: &str) -> String {
+    if message.contains('\n') || message.contains('\r') {
+        message
+            .split(['\n', '\r'])
+            .filter(|part| !part.is_empty())
+            .collect::<Vec<_>>()
+            .join(" | ")
+    } else {
+        message.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbms::{DialectQuirks, QueryResult, StatementOutcome};
+
+    /// A bookkeeping connection for supervisor tests: the failing
+    /// behaviour itself is scripted by each test's check closure; the
+    /// connection just counts attempts, resets, ticks and replayed setup.
+    struct FlakyConn {
+        attempt: u32,
+        ticks: u64,
+        resets: u64,
+        replayed: Vec<String>,
+    }
+
+    impl FlakyConn {
+        fn new() -> FlakyConn {
+            FlakyConn {
+                attempt: 0,
+                ticks: 0,
+                resets: 0,
+                replayed: Vec::new(),
+            }
+        }
+    }
+
+    impl DbmsConnection for FlakyConn {
+        fn name(&self) -> &str {
+            "flaky"
+        }
+        fn execute(&mut self, sql: &str) -> StatementOutcome {
+            self.ticks += 1;
+            self.replayed.push(sql.to_string());
+            StatementOutcome::Success
+        }
+        fn query(&mut self, _sql: &str) -> Result<QueryResult, String> {
+            self.ticks += 1;
+            Ok(QueryResult::default())
+        }
+        fn reset(&mut self) {
+            self.resets += 1;
+        }
+        fn quirks(&self) -> DialectQuirks {
+            DialectQuirks::default()
+        }
+        fn begin_case(&mut self, case_seed: u64) {
+            if case_seed != 0 {
+                self.attempt += 1;
+            }
+        }
+        fn virtual_ticks(&self) -> u64 {
+            self.ticks
+        }
+    }
+
+    #[test]
+    fn infra_invalid_outcomes_are_retried_until_success() {
+        // Script the failure through the check closure instead: first two
+        // attempts report an infra drop, third passes.
+        let mut conn = FlakyConn::new();
+        let mut supervisor = Supervisor::new(SupervisorConfig::default());
+        let setup: Vec<String> = Vec::new();
+        let result = supervisor.run_case(&mut conn, &setup, 0, 7, 1, &mut |conn| {
+            if conn.virtual_ticks() < 2 {
+                conn.query("SELECT 1").ok();
+                OracleOutcome::Invalid(
+                    "infra: connection reset by peer (injected infra_drop)".into(),
+                )
+            } else {
+                OracleOutcome::Passed
+            }
+        });
+        assert!(matches!(
+            result,
+            SupervisedCase::Completed(OracleOutcome::Passed)
+        ));
+        assert_eq!(supervisor.counters.retries, 2);
+        assert_eq!(supervisor.counters.incidents, 2);
+        assert_eq!(supervisor.incidents[0].kind, IncidentKind::ConnectionDrop);
+        assert_eq!(supervisor.consecutive_infra(), 0);
+    }
+
+    #[test]
+    fn infra_panics_are_caught_and_retried() {
+        let mut conn = FlakyConn::new();
+        let mut supervisor = Supervisor::new(SupervisorConfig::default());
+        let setup = vec!["CREATE TABLE t0 (c0 INTEGER)".to_string()];
+        let mut attempts = 0u32;
+        let result = supervisor.run_case(&mut conn, &setup, 1, 3, 9, &mut |_conn| {
+            attempts += 1;
+            if attempts <= 2 {
+                panic!("infra: backend crashed (injected infra_crash)");
+            }
+            OracleOutcome::Passed
+        });
+        assert!(matches!(
+            result,
+            SupervisedCase::Completed(OracleOutcome::Passed)
+        ));
+        assert_eq!(supervisor.counters.incidents, 2);
+        assert_eq!(supervisor.incidents[0].kind, IncidentKind::BackendCrash);
+        // Recovery replayed the setup log after each failure.
+        assert_eq!(conn.resets, 2);
+        assert_eq!(conn.replayed.len(), 2);
+    }
+
+    #[test]
+    fn plain_panics_abandon_the_case_without_retry() {
+        let mut conn = FlakyConn::new();
+        let mut supervisor = Supervisor::new(SupervisorConfig::default());
+        let setup: Vec<String> = Vec::new();
+        let result = supervisor.run_case(&mut conn, &setup, 0, 0, 5, &mut |_conn| {
+            panic!("index out of bounds: the len is 0")
+        });
+        assert!(matches!(result, SupervisedCase::Panicked));
+        assert_eq!(supervisor.counters.oracle_panics, 1);
+        assert_eq!(supervisor.counters.retries, 0);
+        assert_eq!(supervisor.incidents[0].kind, IncidentKind::OraclePanic);
+    }
+
+    #[test]
+    fn watchdog_trips_on_virtual_clock_overrun() {
+        let mut conn = FlakyConn::new();
+        let mut supervisor = Supervisor::new(SupervisorConfig {
+            deadline_ticks: 10,
+            ..SupervisorConfig::default()
+        });
+        let setup: Vec<String> = Vec::new();
+        let mut first = true;
+        let result = supervisor.run_case(&mut conn, &setup, 0, 0, 2, &mut |conn| {
+            if first {
+                first = false;
+                for _ in 0..50 {
+                    let _ = conn.query("SELECT 1");
+                }
+            }
+            OracleOutcome::Passed
+        });
+        assert!(matches!(
+            result,
+            SupervisedCase::Completed(OracleOutcome::Passed)
+        ));
+        assert_eq!(supervisor.counters.watchdog_trips, 1);
+        assert_eq!(supervisor.incidents[0].kind, IncidentKind::WatchdogTimeout);
+    }
+
+    #[test]
+    fn exhausted_retries_count_toward_quarantine() {
+        let mut conn = FlakyConn::new();
+        let mut supervisor = Supervisor::new(SupervisorConfig {
+            max_retries: 1,
+            quarantine_threshold: 2,
+            ..SupervisorConfig::default()
+        });
+        let setup: Vec<String> = Vec::new();
+        for case in 0..2 {
+            let result = supervisor.run_case(&mut conn, &setup, 0, case, case + 1, &mut |_conn| {
+                OracleOutcome::Invalid("infra: connection reset by peer".into())
+            });
+            assert!(matches!(result, SupervisedCase::InfraFailed));
+        }
+        assert!(supervisor.should_quarantine());
+        assert_eq!(supervisor.counters.infra_failures, 2);
+        // Each case: 1 retry, 2 incidents.
+        assert_eq!(supervisor.counters.retries, 2);
+        assert_eq!(supervisor.counters.incidents, 4);
+    }
+
+    #[test]
+    fn infra_marked_bug_is_never_reported_as_a_bug() {
+        let mut conn = FlakyConn::new();
+        let mut supervisor = Supervisor::new(SupervisorConfig {
+            max_retries: 0,
+            ..SupervisorConfig::default()
+        });
+        let setup: Vec<String> = Vec::new();
+        let result = supervisor.run_case(&mut conn, &setup, 0, 0, 4, &mut |_conn| {
+            OracleOutcome::Bug(Box::new(crate::oracle::BugReport {
+                oracle: crate::oracle::OracleKind::Tlp,
+                description: "infra: garbled result frame (injected infra_garble)".into(),
+                setup: Vec::new(),
+                queries: Vec::new(),
+                features: crate::feature::FeatureSet::new(),
+            }))
+        });
+        assert!(matches!(result, SupervisedCase::InfraFailed));
+        assert_eq!(supervisor.incidents[0].kind, IncidentKind::GarbledResult);
+    }
+
+    #[test]
+    fn incident_kind_names_round_trip() {
+        for kind in [
+            IncidentKind::BackendCrash,
+            IncidentKind::WatchdogTimeout,
+            IncidentKind::ConnectionDrop,
+            IncidentKind::GarbledResult,
+            IncidentKind::OraclePanic,
+            IncidentKind::StorageMetricsError,
+            IncidentKind::WorkerPanic,
+        ] {
+            assert_eq!(IncidentKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(IncidentKind::parse("nonsense"), None);
+    }
+}

@@ -286,6 +286,49 @@ pub fn catalog() -> Vec<InjectedBug> {
     ]
 }
 
+/// The catalog of injectable **infrastructure** faults: environmental
+/// failures of the connection layer (crashes, hangs, drops, corruption),
+/// not bugs in the DBMS's query processing. They are deliberately kept out
+/// of [`catalog`] — a testing platform must *never* report them as logic
+/// bugs; the campaign supervisor turns them into incidents instead. The
+/// `fault` names here are the ids [`crate::FaultyConfig`] arms and the
+/// substrings [`sqlancer_core::classify_infra_message`] keys on.
+pub fn infra_catalog() -> Vec<InjectedBug> {
+    vec![
+        InjectedBug {
+            id: "INFRA-BACKEND-CRASH",
+            fault: "infra_crash",
+            is_logic: false,
+            features: &[],
+            description: "backend process crashes (panic) mid-statement and stays down \
+                          until the connection is re-established",
+        },
+        InjectedBug {
+            id: "INFRA-QUERY-HANG",
+            fault: "infra_hang",
+            is_logic: false,
+            features: &[],
+            description: "statement hangs past the watchdog deadline (virtual-clock overrun)",
+        },
+        InjectedBug {
+            id: "INFRA-CONNECTION-DROP",
+            fault: "infra_drop",
+            is_logic: false,
+            features: &[],
+            description: "transient connection drop: one statement fails, the next attempt \
+                          succeeds",
+        },
+        InjectedBug {
+            id: "INFRA-GARBLED-RESULT",
+            fault: "infra_garble",
+            is_logic: false,
+            features: &[],
+            description: "result set is truncated/garbled in transit and flagged by the \
+                          wire-protocol checksum",
+        },
+    ]
+}
+
 /// Looks up catalog entries by fault name.
 pub fn bugs_for_faults(faults: &[&str]) -> Vec<InjectedBug> {
     catalog()
@@ -327,5 +370,20 @@ mod tests {
     fn lookup_by_fault_names() {
         let found = bugs_for_faults(&["bad_replace_type_affinity", "bad_bitwise_inversion"]);
         assert_eq!(found.len(), 2);
+    }
+
+    #[test]
+    fn infra_catalog_is_disjoint_from_the_logic_catalog() {
+        let logic_ids: BTreeSet<_> = catalog().iter().map(|b| b.id).collect();
+        let logic_faults: BTreeSet<_> = catalog().iter().map(|b| b.fault).collect();
+        for infra in infra_catalog() {
+            assert!(!logic_ids.contains(infra.id));
+            assert!(!logic_faults.contains(infra.fault));
+            assert!(
+                !infra.is_logic,
+                "infrastructure faults are never logic bugs"
+            );
+            assert!(infra.fault.starts_with("infra_"));
+        }
     }
 }

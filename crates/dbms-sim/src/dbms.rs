@@ -427,15 +427,15 @@ impl DbmsConnection for SimulatedDbms {
         Some(Box::new(self.connect()))
     }
 
-    fn storage_metrics(&self) -> Option<StorageMetrics> {
+    fn storage_metrics(&self) -> Result<Option<StorageMetrics>, String> {
         let mut cow = self.retired_cow;
         cow.merge(&self.engine.cow_stats());
-        Some(StorageMetrics {
+        Ok(Some(StorageMetrics {
             txn_begins: cow.txn_begins,
             tables_snapshotted: cow.tables_snapshotted,
             tables_cow_cloned: cow.tables_cow_cloned,
             conflicts_avoided: cow.conflicts_avoided,
-        })
+        }))
     }
 
     fn checkpoint(&mut self) -> Option<StateCheckpoint> {

@@ -10,6 +10,7 @@
 //! (see DESIGN.md §1 for the substitution rationale).
 
 use crate::dbms::SimulatedDbms;
+use crate::faulty::{FaultyConfig, FaultyConnection};
 use crate::profile::DialectProfile;
 use sql_engine::{EvalStrategy, TypingMode};
 
@@ -20,10 +21,20 @@ pub struct DialectPreset {
     pub profile: DialectProfile,
     /// Names of the injected engine faults.
     pub faults: Vec<&'static str>,
+    /// Injected *infrastructure* faults (crashes, hangs, drops, garbled
+    /// results), layered as a [`FaultyConnection`] decorator when set.
+    /// `None` for the stock fleet — robustness experiments arm them with
+    /// [`DialectPreset::with_infra_faults`].
+    pub infra: Option<FaultyConfig>,
 }
 
 impl DialectPreset {
     /// Instantiates a fresh simulated DBMS from the preset.
+    ///
+    /// Note this is the bare engine, without the infrastructure-fault
+    /// decorator — ground-truth bisection replays cases on it directly.
+    /// The campaign runners go through [`DialectPreset::instantiate_for_path`],
+    /// which layers the decorator when [`DialectPreset::infra`] is set.
     pub fn instantiate(&self) -> SimulatedDbms {
         SimulatedDbms::new(self.profile.clone(), self.faults.clone())
     }
@@ -35,15 +46,34 @@ impl DialectPreset {
         SimulatedDbms::with_eval(self.profile.clone(), self.faults.clone(), eval)
     }
 
+    /// This preset with the given infrastructure faults armed: connections
+    /// built by [`DialectPreset::instantiate_for_path`] come wrapped in a
+    /// [`FaultyConnection`].
+    pub fn with_infra_faults(mut self, config: FaultyConfig) -> DialectPreset {
+        self.infra = Some(config);
+        self
+    }
+
+    /// This preset with every injected *engine* fault removed (the
+    /// logic-bug-free variant used by the fault-storm CI gate, where any
+    /// reported logic bug is by construction a false positive).
+    pub fn without_engine_faults(mut self) -> DialectPreset {
+        self.faults.clear();
+        self
+    }
+
     /// Instantiates a fresh connection configured for the given execution
     /// path — the shared setup of the serial, fleet-parallel and
-    /// within-dialect partitioned campaign runners.
+    /// within-dialect partitioned campaign runners. When the preset arms
+    /// infrastructure faults, the connection is wrapped in a
+    /// [`FaultyConnection`] (outermost, so faults hit the text and AST
+    /// paths alike).
     pub fn instantiate_for_path(
         &self,
         path: crate::runner::ExecutionPath,
     ) -> Box<dyn sqlancer_core::DbmsConnection> {
         use crate::runner::ExecutionPath;
-        match path {
+        let conn: Box<dyn sqlancer_core::DbmsConnection> = match path {
             ExecutionPath::Ast => Box::new(self.instantiate()),
             ExecutionPath::AstTreeWalk => {
                 Box::new(self.instantiate_with_eval(EvalStrategy::TreeWalk))
@@ -51,6 +81,10 @@ impl DialectPreset {
             ExecutionPath::Text => {
                 Box::new(sqlancer_core::TextOnlyConnection::new(self.instantiate()))
             }
+        };
+        match &self.infra {
+            Some(config) => Box::new(FaultyConnection::new(conn, config.clone())),
+            None => conn,
         }
     }
 }
@@ -67,6 +101,7 @@ fn preset(
     DialectPreset {
         profile,
         faults: faults.to_vec(),
+        infra: None,
     }
 }
 

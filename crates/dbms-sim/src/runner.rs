@@ -12,13 +12,17 @@
 
 use crate::fleet::DialectPreset;
 use sqlancer_core::stats::FeatureStats;
+use sqlancer_core::supervisor::panic_message;
 use sqlancer_core::{
-    BugPrioritizer, Campaign, CampaignConfig, CampaignMetrics, CampaignReport, OracleKind,
-    PriorityDecision,
+    load_checkpoint, BugPrioritizer, Campaign, CampaignCheckpoint, CampaignConfig,
+    CampaignIncident, CampaignMetrics, CampaignReport, IncidentKind, OracleKind, PriorityDecision,
+    RobustnessCounters, SupervisorConfig,
 };
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// Which execution path the fleet campaign drives the connections through.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,6 +50,9 @@ pub struct FleetReport {
     pub reports: Vec<CampaignReport>,
     /// Sum of all per-dialect metrics.
     pub totals: CampaignMetrics,
+    /// Sum of all per-dialect robustness counters (retries, watchdog trips,
+    /// quarantines, incidents, ...).
+    pub robustness: RobustnessCounters,
 }
 
 /// Derives the seed for one dialect's campaign from the fleet campaign
@@ -70,10 +77,38 @@ fn run_one(preset: &DialectPreset, base: &CampaignConfig, path: ExecutionPath) -
 
 fn merge(reports: Vec<CampaignReport>) -> FleetReport {
     let mut totals = CampaignMetrics::default();
+    let mut robustness = RobustnessCounters::default();
     for report in &reports {
         totals.merge(&report.metrics);
+        robustness.merge(&report.robustness);
     }
-    FleetReport { reports, totals }
+    FleetReport {
+        reports,
+        totals,
+        robustness,
+    }
+}
+
+/// The degraded placeholder report for a dialect whose worker thread died
+/// outside the supervisor's reach. The fleet keeps its slot (reports stay
+/// index-aligned with the presets) and the loss is visible as a
+/// [`IncidentKind::WorkerPanic`] incident instead of a crashed run.
+fn worker_panic_report(dialect: &str, detail: String) -> CampaignReport {
+    let mut report = CampaignReport {
+        dbms_name: dialect.to_string(),
+        ..CampaignReport::default()
+    };
+    report.degraded = true;
+    report.robustness.incidents = 1;
+    report.robustness.recovered_workers = 1;
+    report.incidents.push(CampaignIncident {
+        kind: IncidentKind::WorkerPanic,
+        database: 0,
+        case_index: 0,
+        attempt: 0,
+        detail,
+    });
+    report
 }
 
 /// Runs the fleet serially, one campaign per preset, in preset order.
@@ -98,9 +133,12 @@ pub fn run_fleet_serial(
 /// lists and totals — byte-identical to [`run_fleet_serial`] with the same
 /// seed, regardless of scheduling.
 ///
-/// # Panics
-///
-/// Panics if a worker thread panics.
+/// Worker panics are contained: a dialect whose campaign escapes the
+/// supervisor's `catch_unwind` (or whose worker dies before writing its
+/// slot) is recorded as a degraded [`worker_panic_report`] instead of
+/// taking the whole fleet down, and a poisoned result slot is recovered
+/// rather than propagated — the poisoning worker already produced the
+/// panic report, so the slot value (set or not) is still trustworthy.
 pub fn run_fleet_parallel(
     presets: &[DialectPreset],
     base: &CampaignConfig,
@@ -124,18 +162,30 @@ pub fn run_fleet_parallel(
                 let Some(preset) = presets.get(index) else {
                     break;
                 };
-                let report = run_one(preset, base, path);
-                *slots[index].lock().expect("result slot poisoned") = Some(report);
+                let report = catch_unwind(AssertUnwindSafe(|| run_one(preset, base, path)))
+                    .unwrap_or_else(|payload| {
+                        worker_panic_report(
+                            &preset.profile.name,
+                            format!("campaign worker panicked: {}", panic_message(&*payload)),
+                        )
+                    });
+                *slots[index].lock().unwrap_or_else(PoisonError::into_inner) = Some(report);
             });
         }
     });
     merge(
         slots
             .into_iter()
-            .map(|slot| {
+            .enumerate()
+            .map(|(index, slot)| {
                 slot.into_inner()
-                    .expect("result slot poisoned")
-                    .expect("worker finished every claimed dialect")
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .unwrap_or_else(|| {
+                        // The claiming worker died before writing the slot
+                        // (a panic outside the catch above, e.g. in the
+                        // slot machinery itself): run the dialect inline.
+                        run_one(&presets[index], base, path)
+                    })
             })
             .collect(),
     )
@@ -191,29 +241,83 @@ pub fn derive_shard_seed(campaign_seed: u64, database_index: usize) -> u64 {
 ///
 /// The output is byte-identical for any `threads`, including 1 — the
 /// serial reference is this same function with one worker.
-///
-/// # Panics
-///
-/// Panics if a worker thread panics.
 pub fn run_campaign_partitioned(
     preset: &DialectPreset,
     base: &CampaignConfig,
     path: ExecutionPath,
     threads: usize,
 ) -> PartitionedCampaign {
+    run_campaign_partitioned_supervised(preset, base, path, threads, &SupervisorConfig::default())
+}
+
+/// The per-shard checkpoint file for a partitioned campaign: the campaign's
+/// checkpoint path with a `.shard<index>` suffix appended, so shards never
+/// clobber each other's resume state.
+pub fn shard_checkpoint_path(base: &Path, index: usize) -> PathBuf {
+    let mut name = base.as_os_str().to_os_string();
+    name.push(format!(".shard{index}"));
+    PathBuf::from(name)
+}
+
+/// Loads the checkpoint a supervised campaign should resume from, if any:
+/// the supervision config names a checkpoint path, the file loads, and the
+/// recorded seed matches the campaign seed. A stale or foreign checkpoint
+/// (different seed) is ignored rather than trusted — the shard simply runs
+/// fresh and overwrites it at the next cadence tick.
+fn resumable_checkpoint(supervision: &SupervisorConfig, seed: u64) -> Option<CampaignCheckpoint> {
+    let path = supervision.checkpoint_path.as_deref()?;
+    let checkpoint = load_checkpoint(path).ok()?;
+    (checkpoint.config_seed == seed).then_some(checkpoint)
+}
+
+/// [`run_campaign_partitioned`] with explicit supervision: every shard runs
+/// under the watchdog/retry/quarantine supervisor, shard checkpoints write
+/// to `<checkpoint_path>.shard<index>`, and a shard whose checkpoint file
+/// already exists (same seed) **resumes** from it instead of starting over.
+/// Killing the process mid-campaign and re-invoking with the same
+/// configuration therefore converges to the same merged report as an
+/// uninterrupted run.
+///
+/// A shard worker that panics outside the supervisor's reach is recorded as
+/// a degraded [`worker_panic_report`] shard; poisoned shard slots are
+/// recovered, not propagated.
+pub fn run_campaign_partitioned_supervised(
+    preset: &DialectPreset,
+    base: &CampaignConfig,
+    path: ExecutionPath,
+    threads: usize,
+    supervision: &SupervisorConfig,
+) -> PartitionedCampaign {
     let shards = base.databases;
     let run_shard = |index: usize| -> (CampaignReport, FeatureStats) {
         let mut config = base.clone();
         config.databases = 1;
         config.seed = derive_shard_seed(base.seed, index);
+        let seed = config.seed;
+        let mut shard_sup = supervision.clone();
+        if let Some(base_path) = &supervision.checkpoint_path {
+            shard_sup.checkpoint_path = Some(shard_checkpoint_path(base_path, index));
+        }
         let mut campaign = Campaign::new(config);
         let mut conn = preset.instantiate_for_path(path);
-        let report = campaign.run(&mut conn);
+        let report = match resumable_checkpoint(&shard_sup, seed) {
+            Some(checkpoint) => campaign.resume(&mut conn, &shard_sup, checkpoint),
+            None => campaign.run_supervised(&mut conn, &shard_sup),
+        };
         (report, campaign.generator.stats.clone())
+    };
+    let run_shard_guarded = |index: usize| -> (CampaignReport, FeatureStats) {
+        catch_unwind(AssertUnwindSafe(|| run_shard(index))).unwrap_or_else(|payload| {
+            let report = worker_panic_report(
+                &preset.profile.name,
+                format!("shard worker panicked: {}", panic_message(&*payload)),
+            );
+            (report, FeatureStats::new())
+        })
     };
     let threads = threads.max(1).min(shards.max(1));
     let results: Vec<(CampaignReport, FeatureStats)> = if threads <= 1 || shards <= 1 {
-        (0..shards).map(run_shard).collect()
+        (0..shards).map(run_shard_guarded).collect()
     } else {
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<(CampaignReport, FeatureStats)>>> =
@@ -225,21 +329,33 @@ pub fn run_campaign_partitioned(
                     if index >= shards {
                         break;
                     }
-                    let result = run_shard(index);
-                    *slots[index].lock().expect("shard slot poisoned") = Some(result);
+                    let result = run_shard_guarded(index);
+                    *slots[index].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
                 });
             }
         });
         slots
             .into_iter()
-            .map(|slot| {
+            .enumerate()
+            .map(|(index, slot)| {
                 slot.into_inner()
-                    .expect("shard slot poisoned")
-                    .expect("worker finished every claimed shard")
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .unwrap_or_else(|| run_shard_guarded(index))
             })
             .collect()
     };
     merge_shards(&preset.profile.name, results)
+}
+
+/// The injected infrastructure fault ids whose incidents appear in a
+/// report, in catalog order. The ground-truth check for fault-storm
+/// campaigns: arm a fault kind, run, and its id must appear here; disarm
+/// it (bisection) and it must vanish.
+pub fn observed_infra_kinds(report: &CampaignReport) -> Vec<&'static str> {
+    ["infra_crash", "infra_hang", "infra_drop", "infra_garble"]
+        .into_iter()
+        .filter(|id| report.incidents.iter().any(|i| i.detail.contains(id)))
+        .collect()
 }
 
 /// Folds per-database shard results together in database order.
@@ -250,9 +366,20 @@ fn merge_shards(dialect: &str, shards: Vec<(CampaignReport, FeatureStats)>) -> P
     };
     let mut profile = FeatureStats::new();
     let mut prioritizer = BugPrioritizer::new();
-    for (shard, stats) in shards {
+    for (shard_index, (shard, stats)) in shards.into_iter().enumerate() {
         merged.metrics.merge(&shard.metrics);
         merged.validity_series.extend(shard.validity_series);
+        merged.robustness.merge(&shard.robustness);
+        merged.degraded |= shard.degraded;
+        // Each shard ran as database 0 of its own single-database campaign;
+        // restore the fleet-level view by stamping the shard index back
+        // into its incidents.
+        merged
+            .incidents
+            .extend(shard.incidents.into_iter().map(|mut incident| {
+                incident.database = shard_index;
+                incident
+            }));
         // Each shard pushed one replayable case per kept report, in the
         // same order; walk them with per-kind cursors so a merge-time
         // duplicate drops the report *and* its case together.

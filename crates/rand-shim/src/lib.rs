@@ -142,6 +142,18 @@ pub mod rngs {
         state: u64,
     }
 
+    impl StdRng {
+        /// The raw one-word generator state.
+        ///
+        /// [`SeedableRng::seed_from_u64`] stores the seed verbatim as the
+        /// state, so `StdRng::seed_from_u64(rng.state())` reconstructs the
+        /// generator exactly mid-stream — which is what makes campaign
+        /// checkpoint files trivial to write.
+        pub fn state(&self) -> u64 {
+            self.state
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -237,6 +249,18 @@ mod tests {
     fn std_rng_is_deterministic_and_clonable() {
         let mut a = StdRng::seed_from_u64(42);
         let mut b = a.clone();
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1_000_000u64), b.gen_range(0..1_000_000u64));
+        }
+    }
+
+    #[test]
+    fn state_round_trips_mid_stream() {
+        let mut a = StdRng::seed_from_u64(99);
+        for _ in 0..17 {
+            a.gen_range(0..1_000u64);
+        }
+        let mut b = StdRng::seed_from_u64(a.state());
         for _ in 0..100 {
             assert_eq!(a.gen_range(0..1_000_000u64), b.gen_range(0..1_000_000u64));
         }
