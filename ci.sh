@@ -54,6 +54,15 @@ echo "==> fault-storm robustness gate"
 # checkpoint file to a byte-identical report — serially and partitioned.
 ./target/release/campaign_throughput --fault-storm-check sqlite
 
+echo "==> subprocess-sqlite wire-backend gate"
+# Runs a full mixed-oracle campaign (TLP, NoREC, rollback) against the
+# system sqlite3 binary over the subprocess driver through a size-2 pool
+# and asserts it completes cleanly with zero bug reports (real sqlite is
+# self-consistent, so any divergence is a false positive in our stack).
+# The binary prints a SKIPPED notice and exits 0 when no working sqlite3
+# is on PATH, so the gate degrades visibly rather than failing CI.
+./target/release/campaign_throughput --sqlite-check
+
 echo "==> perf-regression gate"
 # Extract a numeric value for "key" from a JSON file (first occurrence).
 json_number() {

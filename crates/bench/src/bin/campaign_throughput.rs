@@ -46,16 +46,20 @@
 //!   `campaign_throughput --validate <path>`
 //!   `campaign_throughput --partitioned-check [dialect]`
 //!   `campaign_throughput --fault-storm-check [dialect]`
+//!   `campaign_throughput --sqlite-check`
 
 use dbms_sim::{
     available_threads, fleet, observed_infra_kinds, preset_by_name, run_campaign_partitioned,
     run_campaign_partitioned_supervised, run_fleet_parallel, run_fleet_serial, DialectPreset,
     ExecutionPath, FaultyConfig, FleetReport, InfraFaultKind,
 };
+use dbms_sqlite::SqliteProcDriver;
+use sqlancer_core::driver::{Driver, Pool};
 use sqlancer_core::{
     load_checkpoint, render_report, silence_infra_panics, Campaign, CampaignConfig, CampaignReport,
     OracleKind, SupervisorConfig, INFRA_MARKER,
 };
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The version of the JSON layout this binary writes. Bump when keys are
@@ -84,16 +88,15 @@ const FLOOR_TXN_THROUGHPUT_RATIO: f64 = 0.45;
 const FLOOR_ISOLATION_THROUGHPUT_RATIO: f64 = 0.45;
 
 fn base_config(queries_per_database: usize) -> CampaignConfig {
-    let mut config = CampaignConfig {
-        seed: 0xBE,
-        databases: 2,
-        ddl_per_database: 12,
-        queries_per_database,
-        oracles: vec![OracleKind::Tlp, OracleKind::NoRec],
-        reduce_bugs: false,
-        max_reduction_checks: 24,
-        ..CampaignConfig::default()
-    };
+    let mut config = CampaignConfig::builder()
+        .seed(0xBE)
+        .databases(2)
+        .ddl_per_database(12)
+        .queries_per_database(queries_per_database)
+        .oracles(vec![OracleKind::Tlp, OracleKind::NoRec])
+        .reduce_bugs(false)
+        .max_reduction_checks(24)
+        .build();
     config.generator.stats.query_threshold = 0.05;
     config.generator.stats.min_attempts = 30;
     config
@@ -679,6 +682,81 @@ fn validate_file(path: &str) -> ! {
     }
 }
 
+/// The CI wire-backend smoke gate: a full campaign (TLP + NoREC + the
+/// rollback oracle) against the real system `sqlite3` binary over the
+/// subprocess driver, through a 2-connection pool. The platform sees only
+/// SQL text and error strings; everything it cannot parse must surface as
+/// learned invalidity, never as a bug — real SQLite does not have the
+/// logic bugs this generator could expose, so **any** bug report is a
+/// false positive and fails the gate.
+///
+/// Skips with a visible notice (exit 0) when no working `sqlite3` binary
+/// is on `PATH`, so the offline build stays green.
+fn sqlite_check() -> ! {
+    silence_infra_panics();
+    let driver = SqliteProcDriver::system();
+    if !driver.available() {
+        println!("sqlite-check: SKIPPED (no working sqlite3 binary on PATH)");
+        std::process::exit(0);
+    }
+    let mut config = CampaignConfig::builder()
+        .seed(0x511E)
+        .databases(2)
+        .ddl_per_database(8)
+        .queries_per_database(45)
+        .oracles(vec![
+            OracleKind::Tlp,
+            OracleKind::NoRec,
+            OracleKind::Rollback,
+        ])
+        .reduce_bugs(true)
+        .max_reduction_checks(16)
+        .build();
+    config.generator.stats.query_threshold = 0.05;
+    config.generator.stats.min_attempts = 30;
+    let driver: Arc<dyn Driver> = Arc::new(driver);
+    let mut pool = Pool::new(driver, 2).unwrap_or_else(|err| {
+        eprintln!("FAIL: sqlite3 pool did not connect: {err}");
+        std::process::exit(1);
+    });
+    let start = Instant::now();
+    let mut campaign = Campaign::new(config);
+    let report = campaign.run_pooled(&mut pool, &SupervisorConfig::default());
+    let elapsed = start.elapsed().as_secs_f64();
+    if report.degraded || report.robustness.quarantines > 0 {
+        eprintln!(
+            "FAIL: sqlite campaign degraded (quarantines {})",
+            report.robustness.quarantines
+        );
+        std::process::exit(1);
+    }
+    if report.metrics.test_cases == 0 || report.metrics.valid_test_cases == 0 {
+        eprintln!(
+            "FAIL: sqlite campaign ran {} cases, {} valid — the wire backend did nothing",
+            report.metrics.test_cases, report.metrics.valid_test_cases
+        );
+        std::process::exit(1);
+    }
+    if !report.reports.is_empty() {
+        eprintln!(
+            "FAIL: {} bug report(s) against real sqlite3 — all false positives:",
+            report.reports.len()
+        );
+        for bug in &report.reports {
+            eprintln!("  [{:?}] {}", bug.oracle, bug.description);
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "sqlite-check: {} cases ({:.0}% valid), {} ddl statements, 0 false positives, \
+         pool size 2, {elapsed:.2}s",
+        report.metrics.test_cases,
+        report.metrics.validity_rate() * 100.0,
+        report.metrics.ddl_statements,
+    );
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.get(1).map(String::as_str) == Some("--validate") {
@@ -695,6 +773,9 @@ fn main() {
     }
     if args.get(1).map(String::as_str) == Some("--fault-storm-check") {
         fault_storm_check(args.get(2).map(String::as_str).unwrap_or("sqlite"));
+    }
+    if args.get(1).map(String::as_str) == Some("--sqlite-check") {
+        sqlite_check();
     }
     silence_infra_panics();
     let queries: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(400);

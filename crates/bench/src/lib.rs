@@ -56,16 +56,16 @@ pub fn experiment_campaign_config(seed: u64, queries: usize, arm: GeneratorArm) 
     // Denser database states make logic bugs easier to observe (more rows,
     // more NULLs) without changing the algorithms under study.
     generator.max_insert_rows = 5;
-    CampaignConfig {
-        seed,
-        generator,
-        databases: 2,
-        ddl_per_database: 14,
-        queries_per_database: queries / 2,
-        oracles: vec![OracleKind::Tlp, OracleKind::NoRec],
-        reduce_bugs: true,
-        max_reduction_checks: 24,
-    }
+    CampaignConfig::builder()
+        .seed(seed)
+        .generator(generator)
+        .databases(2)
+        .ddl_per_database(14)
+        .queries_per_database(queries / 2)
+        .oracles(vec![OracleKind::Tlp, OracleKind::NoRec])
+        .reduce_bugs(true)
+        .max_reduction_checks(24)
+        .build()
 }
 
 /// Builds a campaign for the given arm against the given dialect preset.

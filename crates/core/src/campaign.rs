@@ -25,7 +25,15 @@ use crate::supervisor::{
 use sql_ast::{fnv1a64, splitmix64, Statement};
 
 /// Configuration of a testing campaign.
+///
+/// Construct with [`CampaignConfig::builder`]: the struct is
+/// `#[non_exhaustive]`, so downstream crates cannot use struct literals
+/// (fields may be added between releases without breaking them). Existing
+/// fields remain `pub` for read/mutate access; the deprecated
+/// [`CampaignConfig::from_fields`] covers the old literal path for one
+/// release.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct CampaignConfig {
     /// Seed for the generator's RNG.
     pub seed: u64,
@@ -57,6 +65,108 @@ impl Default for CampaignConfig {
             reduce_bugs: true,
             max_reduction_checks: 64,
         }
+    }
+}
+
+impl CampaignConfig {
+    /// Starts a builder pre-loaded with the defaults.
+    pub fn builder() -> CampaignConfigBuilder {
+        CampaignConfigBuilder {
+            config: CampaignConfig::default(),
+        }
+    }
+
+    /// Constructs a config from every field positionally — the old
+    /// struct-literal path, kept for one release.
+    #[deprecated(since = "0.1.0", note = "use CampaignConfig::builder() instead")]
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_fields(
+        seed: u64,
+        generator: GeneratorConfig,
+        databases: usize,
+        ddl_per_database: usize,
+        queries_per_database: usize,
+        oracles: Vec<OracleKind>,
+        reduce_bugs: bool,
+        max_reduction_checks: usize,
+    ) -> CampaignConfig {
+        CampaignConfig {
+            seed,
+            generator,
+            databases,
+            ddl_per_database,
+            queries_per_database,
+            oracles,
+            reduce_bugs,
+            max_reduction_checks,
+        }
+    }
+}
+
+/// Builder for [`CampaignConfig`] (see [`CampaignConfig::builder`]).
+#[derive(Debug, Clone)]
+pub struct CampaignConfigBuilder {
+    config: CampaignConfig,
+}
+
+impl CampaignConfigBuilder {
+    /// Seed for the generator's RNG.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Generator configuration (feedback on/off, depth schedule, ...).
+    pub fn generator(mut self, generator: GeneratorConfig) -> Self {
+        self.config.generator = generator;
+        self
+    }
+
+    /// Database states to build over the course of the campaign.
+    pub fn databases(mut self, databases: usize) -> Self {
+        self.config.databases = databases;
+        self
+    }
+
+    /// DDL/DML statements issued per database state.
+    pub fn ddl_per_database(mut self, ddl: usize) -> Self {
+        self.config.ddl_per_database = ddl;
+        self
+    }
+
+    /// Queries (test cases) issued per database state.
+    pub fn queries_per_database(mut self, queries: usize) -> Self {
+        self.config.queries_per_database = queries;
+        self
+    }
+
+    /// Alias for [`queries_per_database`](Self::queries_per_database):
+    /// test cases per database state.
+    pub fn cases(self, cases: usize) -> Self {
+        self.queries_per_database(cases)
+    }
+
+    /// The oracles to alternate between.
+    pub fn oracles(mut self, oracles: Vec<OracleKind>) -> Self {
+        self.config.oracles = oracles;
+        self
+    }
+
+    /// Whether to reduce prioritized bug-inducing test cases.
+    pub fn reduce_bugs(mut self, reduce: bool) -> Self {
+        self.config.reduce_bugs = reduce;
+        self
+    }
+
+    /// Budget of oracle re-validations per reduction.
+    pub fn max_reduction_checks(mut self, checks: usize) -> Self {
+        self.config.max_reduction_checks = checks;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> CampaignConfig {
+        self.config
     }
 }
 
@@ -265,6 +375,42 @@ impl Campaign {
             generator,
             prioritizer: BugPrioritizer::new(),
         }
+    }
+
+    /// Applies a driver's [`Capability`](crate::driver::Capability) report
+    /// to the generator: statement features the backend rules out are
+    /// suppressed before learning starts, and concurrent-schedule
+    /// generation is disabled for single-session backends. Idempotent —
+    /// call it again with the same capability when resuming.
+    pub fn apply_capability(&mut self, capability: &crate::driver::Capability) {
+        self.generator.apply_capability(capability);
+    }
+
+    /// Runs the campaign over a connection [`Pool`](crate::driver::Pool):
+    /// applies the pool's capability report to the generator, then runs
+    /// supervised with checkout-per-case through the pool. Reports are
+    /// byte-identical for any pool size.
+    pub fn run_pooled(
+        &mut self,
+        pool: &mut crate::driver::Pool,
+        supervision: &SupervisorConfig,
+    ) -> CampaignReport {
+        self.apply_capability(&pool.capability().clone());
+        self.run_supervised(pool, supervision)
+    }
+
+    /// Resumes a checkpointed campaign over a connection
+    /// [`Pool`](crate::driver::Pool), re-applying the pool's capability
+    /// report first (capability suppression is configuration, not
+    /// checkpointed state). See [`Campaign::resume`].
+    pub fn resume_pooled(
+        &mut self,
+        pool: &mut crate::driver::Pool,
+        supervision: &SupervisorConfig,
+        checkpoint: CampaignCheckpoint,
+    ) -> CampaignReport {
+        self.apply_capability(&pool.capability().clone());
+        self.resume(pool, supervision, checkpoint)
     }
 
     /// Runs the campaign against a DBMS and produces a report.

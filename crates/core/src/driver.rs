@@ -1,0 +1,504 @@
+//! Driver / Pool / Capability: the backend-agnostic connection layer.
+//!
+//! The campaign engine historically ran against a single
+//! [`DbmsConnection`] handed to it by the caller. This module splits that
+//! contract into three pieces, following the classic driver/pool shape:
+//!
+//! * [`Driver`] — a factory for connections to one backend, plus a
+//!   [`Capability`] report describing what the backend supports. Drivers
+//!   are cheap, `Send + Sync`, and shareable (`Arc<dyn Driver>`), so a
+//!   fleet is just a `Vec<Arc<dyn Driver>>`.
+//! * [`Capability`] — the static feature report: transactions, savepoints,
+//!   multi-session support, the AST fast path, state checkpoints, storage
+//!   metrics and dialect quirks. Generator gating and oracle scheduling
+//!   consult capabilities (and the learned profile) instead of matching on
+//!   backend names.
+//! * [`Pool`] — a fixed-size, deterministic connection pool that itself
+//!   implements [`DbmsConnection`], so the whole campaign stack (generator
+//!   feedback, oracles, reducer, supervisor, resume) runs over it
+//!   unchanged.
+//!
+//! # Deterministic checkout
+//!
+//! The pool checks out one connection per test case, chosen purely from
+//! the case seed (`slot = case_seed % pool_size`). Campaign reports must
+//! stay byte-identical for any pool size, which works because of a
+//! campaign invariant: **between test cases the backend state is exactly
+//! the replayed setup log** — the stateful oracles capture setup state on
+//! entry and restore it on exit, and the read-only oracles never mutate.
+//! The pool records every safe-mode statement into a *sync log*; when a
+//! case checks out a slot that has not observed the latest log, the slot
+//! is first re-synced (reset + SQL-text replay — the same checkpoint
+//! fallback the resume path uses). Re-syncs only ever replay setup DDL/DML
+//! onto a freshly reset connection, so they contribute no storage-counter
+//! drift and no verdict-relevant state differences.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use crate::dbms::{
+    DbmsConnection, DialectQuirks, QueryResult, StateCheckpoint, StatementOutcome, StorageMetrics,
+};
+use crate::feature::Feature;
+use crate::supervisor::INFRA_MARKER;
+use sql_ast::Statement;
+
+/// Static feature report for one backend, returned by [`Driver::capability`].
+///
+/// Capabilities describe what a backend *can* do at the wire level; the
+/// adaptive generator still learns the backend's SQL dialect (which
+/// functions, operators and clauses parse) from validity feedback. The
+/// two compose: capabilities pre-suppress whole subsystems (transactions,
+/// savepoints, concurrent schedules) that the driver knows are absent,
+/// and learning handles everything else.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct Capability {
+    /// Transaction control (`BEGIN`/`COMMIT`/`ROLLBACK`) is supported.
+    pub transactions: bool,
+    /// `SAVEPOINT`/`ROLLBACK TO`/`RELEASE SAVEPOINT` are supported.
+    pub savepoints: bool,
+    /// The backend can open additional concurrent sessions
+    /// ([`DbmsConnection::open_session`]), enabling the isolation oracle.
+    pub multi_session: bool,
+    /// The backend accepts ASTs directly (`execute_ast`/`query_ast` do not
+    /// fall back to text rendering). Descriptive: the simulated fleet keeps
+    /// its AST fast path as a capability, wire backends are text-only.
+    pub ast_statements: bool,
+    /// The backend supports O(1) state checkpoints
+    /// ([`DbmsConnection::checkpoint`]). When `false` the stateful oracles
+    /// use the SQL-replay fallback.
+    pub state_checkpoints: bool,
+    /// The backend reports storage-layer metrics
+    /// ([`DbmsConnection::storage_metrics`]).
+    pub storage_metrics: bool,
+    /// Dialect quirk: reads only see writes after `REFRESH TABLE`.
+    pub requires_refresh: bool,
+    /// Dialect quirk: autocommit is off; setup writes need `COMMIT`.
+    pub requires_commit: bool,
+}
+
+impl Default for Capability {
+    /// The full-featured profile the campaign historically assumed
+    /// (everything supported, no quirks).
+    fn default() -> Capability {
+        Capability {
+            transactions: true,
+            savepoints: true,
+            multi_session: true,
+            ast_statements: true,
+            state_checkpoints: true,
+            storage_metrics: true,
+            requires_refresh: false,
+            requires_commit: false,
+        }
+    }
+}
+
+impl Capability {
+    /// The conservative profile for a text-only wire backend: SQL text in,
+    /// rows out, nothing else assumed. Transactions and savepoints stay on
+    /// (most real DBMSs have them; validity feedback suppresses them where
+    /// they fail to parse), everything engine-internal is off.
+    pub fn text_only() -> Capability {
+        Capability {
+            transactions: true,
+            savepoints: true,
+            multi_session: false,
+            ast_statements: false,
+            state_checkpoints: false,
+            storage_metrics: false,
+            requires_refresh: false,
+            requires_commit: false,
+        }
+    }
+
+    /// Returns the capability with transaction support set (chainable —
+    /// the struct is `#[non_exhaustive]`, so foreign crates build reports
+    /// from [`Capability::default`]/[`Capability::text_only`] plus these).
+    pub fn with_transactions(mut self, transactions: bool) -> Capability {
+        self.transactions = transactions;
+        self
+    }
+
+    /// Returns the capability with savepoint support set.
+    pub fn with_savepoints(mut self, savepoints: bool) -> Capability {
+        self.savepoints = savepoints;
+        self
+    }
+
+    /// Returns the capability with multi-session support set.
+    pub fn with_multi_session(mut self, multi_session: bool) -> Capability {
+        self.multi_session = multi_session;
+        self
+    }
+
+    /// Returns the capability with the AST fast path set.
+    pub fn with_ast_statements(mut self, ast_statements: bool) -> Capability {
+        self.ast_statements = ast_statements;
+        self
+    }
+
+    /// Returns the capability with checkpoint support set.
+    pub fn with_state_checkpoints(mut self, state_checkpoints: bool) -> Capability {
+        self.state_checkpoints = state_checkpoints;
+        self
+    }
+
+    /// Returns the capability with storage-metrics support set.
+    pub fn with_storage_metrics(mut self, storage_metrics: bool) -> Capability {
+        self.storage_metrics = storage_metrics;
+        self
+    }
+
+    /// Returns the capability with the `REFRESH TABLE` quirk set.
+    pub fn with_requires_refresh(mut self, requires_refresh: bool) -> Capability {
+        self.requires_refresh = requires_refresh;
+        self
+    }
+
+    /// Returns the capability with the explicit-`COMMIT` quirk set.
+    pub fn with_requires_commit(mut self, requires_commit: bool) -> Capability {
+        self.requires_commit = requires_commit;
+        self
+    }
+
+    /// The dialect quirks implied by this capability report.
+    pub fn quirks(&self) -> DialectQuirks {
+        DialectQuirks {
+            requires_refresh: self.requires_refresh,
+            requires_commit: self.requires_commit,
+        }
+    }
+
+    /// Statement features the generator should never draw against this
+    /// backend, derived from the capability flags. These seed the
+    /// generator's capability suppression set; learned suppression handles
+    /// the rest of the dialect.
+    pub fn unsupported_statement_features(&self) -> BTreeSet<Feature> {
+        let mut out = BTreeSet::new();
+        if !self.transactions {
+            for name in ["STMT_BEGIN", "STMT_COMMIT", "STMT_ROLLBACK"] {
+                out.insert(Feature::statement(name));
+            }
+        }
+        if !self.savepoints {
+            for name in [
+                "STMT_SAVEPOINT",
+                "STMT_ROLLBACK_TO",
+                "STMT_RELEASE_SAVEPOINT",
+            ] {
+                out.insert(Feature::statement(name));
+            }
+        }
+        out
+    }
+}
+
+/// A factory for connections to one backend.
+///
+/// A driver is the fleet-level handle for a backend: it knows the
+/// backend's name, reports its [`Capability`], and mints fresh
+/// connections. Drivers are shared across runner threads as
+/// `Arc<dyn Driver>`; connections themselves stay thread-local.
+pub trait Driver: Send + Sync {
+    /// Stable backend name (used in reports and checkpoints).
+    fn name(&self) -> &str;
+    /// The backend's static capability report.
+    fn capability(&self) -> Capability;
+    /// Opens a fresh connection to the backend.
+    fn connect(&self) -> Result<Box<dyn DbmsConnection>, String>;
+}
+
+/// One pooled connection slot.
+struct Slot {
+    conn: Option<Box<dyn DbmsConnection>>,
+    /// The sync-log epoch this slot last synced at.
+    epoch: u64,
+    /// How many sync-log statements this slot has observed.
+    synced: usize,
+}
+
+/// A fixed-size, deterministic connection pool over one [`Driver`].
+///
+/// The pool implements [`DbmsConnection`], so campaigns run over it
+/// unchanged. [`DbmsConnection::begin_case`] doubles as the checkout
+/// point: a non-zero case seed selects slot `seed % size` (seed-ordered
+/// checkout), re-syncing the slot from the recorded setup log first if it
+/// is stale. See the module docs for why this keeps reports byte-identical
+/// across pool sizes.
+pub struct Pool {
+    driver: Arc<dyn Driver>,
+    capability: Capability,
+    name: String,
+    slots: Vec<Slot>,
+    active: usize,
+    /// Safe-mode statement log: the SQL text that, replayed onto a fresh
+    /// connection, reproduces the between-cases backend state.
+    sync_log: Vec<String>,
+    /// Bumped on every safe-mode reset; slots with an older epoch are
+    /// stale and re-sync on checkout.
+    epoch: u64,
+    /// Whether a test case is active (between `begin_case(seed)` and the
+    /// next `begin_case(0)`). In-case statements are oracle-internal and
+    /// are not recorded: stateful oracles restore setup state on exit.
+    in_case: bool,
+}
+
+impl Pool {
+    /// Creates a pool of `size` connections over `driver`. The first slot
+    /// connects eagerly so configuration errors surface here; the rest
+    /// connect lazily on first checkout.
+    pub fn new(driver: Arc<dyn Driver>, size: usize) -> Result<Pool, String> {
+        let size = size.max(1);
+        let mut slots: Vec<Slot> = (0..size)
+            .map(|_| Slot {
+                conn: None,
+                epoch: 0,
+                synced: 0,
+            })
+            .collect();
+        slots[0].conn = Some(driver.connect()?);
+        Ok(Pool {
+            capability: driver.capability(),
+            name: driver.name().to_string(),
+            driver,
+            slots,
+            active: 0,
+            sync_log: Vec::new(),
+            epoch: 0,
+            in_case: false,
+        })
+    }
+
+    /// The pool size.
+    pub fn size(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The backend's capability report.
+    pub fn capability(&self) -> &Capability {
+        &self.capability
+    }
+
+    /// The slot index the last checkout selected.
+    pub fn active_slot(&self) -> usize {
+        self.active
+    }
+
+    /// Ensures slot `index` has a live connection and returns it.
+    fn connected(&mut self, index: usize) -> &mut Box<dyn DbmsConnection> {
+        if self.slots[index].conn.is_none() {
+            match self.driver.connect() {
+                Ok(conn) => self.slots[index].conn = Some(conn),
+                // Connection loss mid-campaign is an infra incident, not a
+                // logic bug: panic with the marker so the supervisor
+                // classifies and retries.
+                Err(err) => panic!("{INFRA_MARKER} pool connect failed: {err}"),
+            }
+        }
+        self.slots[index]
+            .conn
+            .as_mut()
+            .expect("slot connected above")
+    }
+
+    /// Brings slot `index` up to date with the sync log: reset, then
+    /// replay the recorded setup SQL (the checkpoint fallback path).
+    fn sync_slot(&mut self, index: usize) {
+        let stale = self.slots[index].epoch != self.epoch
+            || self.slots[index].synced != self.sync_log.len();
+        let fresh = self.slots[index].conn.is_none();
+        if !stale && !fresh {
+            return;
+        }
+        let log: Vec<String> = self.sync_log.clone();
+        let conn = self.connected(index);
+        conn.begin_case(0);
+        conn.reset();
+        for sql in &log {
+            // Replay outcomes mirror the original safe-mode outcomes;
+            // failures were recorded too and fail identically here.
+            let _ = conn.execute(sql);
+        }
+        self.slots[index].epoch = self.epoch;
+        self.slots[index].synced = self.sync_log.len();
+    }
+
+    /// Marks the active slot as having observed the full sync log.
+    fn mark_active_synced(&mut self) {
+        let active = self.active;
+        self.slots[active].epoch = self.epoch;
+        self.slots[active].synced = self.sync_log.len();
+    }
+}
+
+impl DbmsConnection for Pool {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn execute(&mut self, sql: &str) -> StatementOutcome {
+        let active = self.active;
+        let outcome = self.connected(active).execute(sql);
+        if !self.in_case {
+            self.sync_log.push(sql.to_string());
+            self.mark_active_synced();
+        }
+        outcome
+    }
+
+    fn query(&mut self, sql: &str) -> Result<QueryResult, String> {
+        let active = self.active;
+        self.connected(active).query(sql)
+    }
+
+    fn execute_ast(&mut self, stmt: &Statement) -> StatementOutcome {
+        let active = self.active;
+        let outcome = self.connected(active).execute_ast(stmt);
+        if !self.in_case {
+            self.sync_log.push(stmt.to_string());
+            self.mark_active_synced();
+        }
+        outcome
+    }
+
+    fn query_ast(&mut self, select: &sql_ast::Select) -> Result<QueryResult, String> {
+        let active = self.active;
+        self.connected(active).query_ast(select)
+    }
+
+    fn reset(&mut self) {
+        if self.in_case {
+            // Oracle-internal rebuild: state is restored before the case
+            // ends, so the between-cases log stays authoritative.
+            let active = self.active;
+            self.connected(active).reset();
+        } else {
+            self.epoch += 1;
+            self.sync_log.clear();
+            let active = self.active;
+            self.connected(active).reset();
+            self.mark_active_synced();
+        }
+    }
+
+    fn quirks(&self) -> DialectQuirks {
+        self.capability.quirks()
+    }
+
+    fn open_session(&mut self) -> Option<Box<dyn DbmsConnection>> {
+        let active = self.active;
+        self.connected(active).open_session()
+    }
+
+    fn storage_metrics(&self) -> Result<Option<StorageMetrics>, String> {
+        // Deterministic across pool sizes: per-case contributions land on
+        // seed-chosen slots, and re-syncs (reset + replay onto a fresh
+        // engine) contribute zero, so the sum is invariant.
+        let mut total: Option<StorageMetrics> = None;
+        for slot in &self.slots {
+            if let Some(conn) = slot.conn.as_ref() {
+                if let Some(metrics) = conn.storage_metrics()? {
+                    match total.as_mut() {
+                        Some(sum) => sum.merge(&metrics),
+                        None => total = Some(metrics),
+                    }
+                }
+            }
+        }
+        Ok(total)
+    }
+
+    fn begin_case(&mut self, case_seed: u64) {
+        if case_seed == 0 {
+            self.in_case = false;
+            let active = self.active;
+            if self.slots[active].conn.is_some() {
+                self.connected(active).begin_case(0);
+            }
+        } else {
+            // Seed-ordered checkout: the slot is a pure function of the
+            // case seed, so retries of a case land on the same connection
+            // and reports are identical for any pool size.
+            let target = (case_seed % self.slots.len() as u64) as usize;
+            self.sync_slot(target);
+            self.active = target;
+            self.in_case = true;
+            self.connected(target).begin_case(case_seed);
+        }
+    }
+
+    fn virtual_ticks(&self) -> u64 {
+        self.slots[self.active]
+            .conn
+            .as_ref()
+            .map(|conn| conn.virtual_ticks())
+            .unwrap_or(0)
+    }
+
+    fn checkpoint(&mut self) -> Option<StateCheckpoint> {
+        let active = self.active;
+        self.connected(active).checkpoint()
+    }
+
+    fn restore(&mut self, checkpoint: &StateCheckpoint) -> bool {
+        let active = self.active;
+        self.connected(active).restore(checkpoint)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_capability_is_full_featured() {
+        let cap = Capability::default();
+        assert!(cap.transactions && cap.savepoints && cap.multi_session);
+        assert!(cap.ast_statements && cap.state_checkpoints && cap.storage_metrics);
+        assert!(cap.unsupported_statement_features().is_empty());
+    }
+
+    #[test]
+    fn text_only_capability_disables_engine_internals() {
+        let cap = Capability::text_only();
+        assert!(cap.transactions && cap.savepoints);
+        assert!(!cap.multi_session && !cap.ast_statements);
+        assert!(!cap.state_checkpoints && !cap.storage_metrics);
+    }
+
+    #[test]
+    fn capability_without_transactions_suppresses_txn_statements() {
+        let cap = Capability {
+            transactions: false,
+            savepoints: false,
+            ..Capability::default()
+        };
+        let features = cap.unsupported_statement_features();
+        for name in [
+            "STMT_BEGIN",
+            "STMT_COMMIT",
+            "STMT_ROLLBACK",
+            "STMT_SAVEPOINT",
+            "STMT_ROLLBACK_TO",
+            "STMT_RELEASE_SAVEPOINT",
+        ] {
+            assert!(
+                features.contains(&Feature::statement(name)),
+                "missing {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn capability_quirks_round_trip() {
+        let cap = Capability {
+            requires_refresh: true,
+            requires_commit: true,
+            ..Capability::default()
+        };
+        let quirks = cap.quirks();
+        assert!(quirks.requires_refresh && quirks.requires_commit);
+    }
+}

@@ -145,6 +145,15 @@ pub struct AdaptiveGenerator {
     suppressed_query: BTreeSet<Feature>,
     suppressed_ddl: BTreeSet<Feature>,
     known_supported: Option<BTreeSet<Feature>>,
+    /// Features the backend's [`Capability`] report rules out up front
+    /// (e.g. a driver without transactions). Unlike the learned suppression
+    /// tables this set is configuration, not state: it is not checkpointed
+    /// and is re-applied from the driver on resume.
+    capability_suppressed: BTreeSet<Feature>,
+    /// Whether the backend can open concurrent sessions; when `false`,
+    /// schedule generation degrades to `None` (the campaign falls back to
+    /// a single-query oracle) instead of burning invalid cases.
+    multi_session: bool,
     recorded: u64,
     current_depth: usize,
 }
@@ -159,6 +168,8 @@ impl AdaptiveGenerator {
             suppressed_query: BTreeSet::new(),
             suppressed_ddl: BTreeSet::new(),
             known_supported: None,
+            capability_suppressed: BTreeSet::new(),
+            multi_session: true,
             recorded: 0,
             current_depth: 1,
             config,
@@ -182,6 +193,23 @@ impl AdaptiveGenerator {
     /// The generator configuration.
     pub fn config(&self) -> &GeneratorConfig {
         &self.config
+    }
+
+    /// Applies a driver's [`Capability`](crate::driver::Capability) report:
+    /// statement features the backend rules out up front are suppressed
+    /// before any learning happens, and schedule generation is disabled
+    /// when the backend cannot open concurrent sessions. Idempotent;
+    /// callers re-apply the same capability when resuming a campaign
+    /// (capability suppression is configuration, not checkpointed state).
+    pub fn apply_capability(&mut self, capability: &crate::driver::Capability) {
+        self.capability_suppressed = capability.unsupported_statement_features();
+        self.multi_session = capability.multi_session;
+    }
+
+    /// Features suppressed by the applied capability report (empty when no
+    /// capability has been applied).
+    pub fn capability_suppressed_features(&self) -> &BTreeSet<Feature> {
+        &self.capability_suppressed
     }
 
     /// Current expression-depth budget (grows over time).
@@ -240,6 +268,9 @@ impl AdaptiveGenerator {
     /// Whether a feature may currently be generated (the paper's
     /// `shouldGenerate`, Listing 4).
     pub fn should_generate(&self, feature: &Feature, kind: FeatureKind) -> bool {
+        if self.capability_suppressed.contains(feature) {
+            return false;
+        }
         if let Some(known) = &self.known_supported {
             return known.contains(feature);
         }
@@ -633,6 +664,9 @@ impl AdaptiveGenerator {
     /// sessions to read tables the other writes), so every mismatch is a
     /// genuine isolation bug.
     pub fn generate_schedule(&mut self) -> Option<GeneratedSchedule> {
+        if !self.multi_session {
+            return None;
+        }
         for name in ["STMT_BEGIN", "STMT_COMMIT", "STMT_ROLLBACK"] {
             if !self.should_generate(&Feature::statement(name), FeatureKind::Query) {
                 return None;

@@ -34,6 +34,7 @@
 
 pub mod campaign;
 pub mod dbms;
+pub mod driver;
 pub mod feature;
 pub mod generator;
 pub mod oracle;
@@ -46,12 +47,14 @@ pub mod stats;
 pub mod supervisor;
 
 pub use campaign::{
-    derive_case_seed, replay_validity, Campaign, CampaignConfig, CampaignMetrics, CampaignReport,
+    derive_case_seed, replay_validity, Campaign, CampaignConfig, CampaignConfigBuilder,
+    CampaignMetrics, CampaignReport,
 };
 pub use dbms::{
     DbmsConnection, DialectQuirks, QueryResult, StateCheckpoint, StatementOutcome, StorageMetrics,
     TextOnlyConnection, SERIALIZATION_FAILURE_MARKER,
 };
+pub use driver::{Capability, Driver, Pool};
 pub use feature::{feature_universe, Feature, FeatureSet};
 pub use generator::{
     AdaptiveGenerator, GeneratedQuery, GeneratedSchedule, GeneratedStatement, GeneratedTxnSession,

@@ -99,7 +99,16 @@ impl IncidentKind {
 /// unknown infrastructure messages default to a connection drop, the most
 /// generic transient failure.
 pub fn classify_infra_message(message: &str) -> IncidentKind {
-    if message.contains("infra_crash") {
+    let lower = message.to_ascii_lowercase();
+    if message.contains("infra_crash")
+        // Wire backends: a dead subprocess surfaces as an exited child or a
+        // broken stdin/stdout pipe. Always a backend crash, never a logic
+        // bug.
+        || lower.contains("process exited")
+        || lower.contains("broken pipe")
+        || lower.contains("epipe")
+        || lower.contains("unexpected eof")
+    {
         IncidentKind::BackendCrash
     } else if message.contains("infra_hang") {
         IncidentKind::WatchdogTimeout

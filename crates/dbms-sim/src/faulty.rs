@@ -596,15 +596,16 @@ mod tests {
             .unwrap()
             .with_infra_faults(FaultyConfig::storm());
         let mut conn = preset.instantiate_for_path(ExecutionPath::Ast);
-        let mut campaign = Campaign::new(CampaignConfig {
-            seed: 0xFA17,
-            databases: 2,
-            ddl_per_database: 6,
-            queries_per_database: 40,
-            oracles: vec![OracleKind::Tlp, OracleKind::NoRec],
-            reduce_bugs: false,
-            ..CampaignConfig::default()
-        });
+        let mut campaign = Campaign::new(
+            CampaignConfig::builder()
+                .seed(0xFA17)
+                .databases(2)
+                .ddl_per_database(6)
+                .queries_per_database(40)
+                .oracles(vec![OracleKind::Tlp, OracleKind::NoRec])
+                .reduce_bugs(false)
+                .build(),
+        );
         let report = campaign.run_supervised(&mut conn, &SupervisorConfig::default());
         // The storm actually hit the campaign...
         assert!(
@@ -632,15 +633,16 @@ mod tests {
                 .unwrap()
                 .with_infra_faults(FaultyConfig::storm());
             let mut conn = preset.instantiate_for_path(ExecutionPath::Ast);
-            let mut campaign = Campaign::new(CampaignConfig {
-                seed: 0xBEEF,
-                databases: 1,
-                ddl_per_database: 6,
-                queries_per_database: 30,
-                oracles: vec![OracleKind::Tlp],
-                reduce_bugs: false,
-                ..CampaignConfig::default()
-            });
+            let mut campaign = Campaign::new(
+                CampaignConfig::builder()
+                    .seed(0xBEEF)
+                    .databases(1)
+                    .ddl_per_database(6)
+                    .queries_per_database(30)
+                    .oracles(vec![OracleKind::Tlp])
+                    .reduce_bugs(false)
+                    .build(),
+            );
             campaign.run_supervised(&mut conn, &SupervisorConfig::default())
         };
         let first = run();

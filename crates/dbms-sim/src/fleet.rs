@@ -9,10 +9,14 @@
 //! of optimizer bugs — but they are simulations, not the systems themselves
 //! (see DESIGN.md §1 for the substitution rationale).
 
+use std::sync::Arc;
+
 use crate::dbms::SimulatedDbms;
 use crate::faulty::{FaultyConfig, FaultyConnection};
 use crate::profile::DialectProfile;
+use crate::runner::ExecutionPath;
 use sql_engine::{EvalStrategy, TypingMode};
+use sqlancer_core::driver::{Capability, Driver};
 
 /// A named preset of the fleet.
 #[derive(Debug, Clone, PartialEq)]
@@ -87,6 +91,70 @@ impl DialectPreset {
             None => conn,
         }
     }
+
+    /// The [`Capability`] report of this preset under the given execution
+    /// path, derived from the dialect profile: what were hardcoded
+    /// dialect-name facts (cratedb/risingwave reject transactions, vitess
+    /// rejects savepoints, CrateDB needs `REFRESH TABLE`) now flow through
+    /// capability fields. The AST fast path is a capability of the
+    /// simulated fleet, not an assumption — the `Text` path reports a
+    /// text-only wire contract for statements.
+    pub fn capability_for_path(&self, path: ExecutionPath) -> Capability {
+        let supports_all = |names: &[&str]| names.iter().all(|name| self.profile.supports(name));
+        let transactions = supports_all(&["STMT_BEGIN", "STMT_COMMIT", "STMT_ROLLBACK"]);
+        Capability::default()
+            .with_transactions(transactions)
+            .with_savepoints(
+                transactions
+                    && supports_all(&[
+                        "STMT_SAVEPOINT",
+                        "STMT_ROLLBACK_TO",
+                        "STMT_RELEASE_SAVEPOINT",
+                    ]),
+            )
+            .with_ast_statements(path != ExecutionPath::Text)
+            .with_requires_refresh(self.profile.requires_refresh)
+            .with_requires_commit(self.profile.requires_commit)
+    }
+
+    /// Re-exposes the preset through the platform's [`Driver`] interface:
+    /// a factory for connections built by
+    /// [`DialectPreset::instantiate_for_path`] (infrastructure-fault
+    /// decorator included, so `FaultyConnection`s wrap pooled connections
+    /// individually), plus the capability report.
+    pub fn driver(&self, path: ExecutionPath) -> Arc<dyn Driver> {
+        Arc::new(SimDriver {
+            preset: self.clone(),
+            path,
+        })
+    }
+}
+
+/// A [`DialectPreset`] behind the platform's [`Driver`] interface (see
+/// [`DialectPreset::driver`]).
+pub struct SimDriver {
+    preset: DialectPreset,
+    path: ExecutionPath,
+}
+
+impl Driver for SimDriver {
+    fn name(&self) -> &str {
+        &self.preset.profile.name
+    }
+
+    fn capability(&self) -> Capability {
+        self.preset.capability_for_path(self.path)
+    }
+
+    fn connect(&self) -> Result<Box<dyn sqlancer_core::DbmsConnection>, String> {
+        Ok(self.preset.instantiate_for_path(self.path))
+    }
+}
+
+/// The whole fleet as drivers, in fleet order — the fleet runners'
+/// native input.
+pub fn fleet_drivers(path: ExecutionPath) -> Vec<Arc<dyn Driver>> {
+    fleet().iter().map(|preset| preset.driver(path)).collect()
 }
 
 fn preset(

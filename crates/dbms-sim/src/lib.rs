@@ -39,13 +39,16 @@ mod runner;
 pub use bugs::{bugs_for_faults, catalog, infra_catalog, InjectedBug};
 pub use dbms::{SimulatedDbms, SimulatedSession};
 pub use faulty::{FaultPlan, FaultyConfig, FaultyConnection, InfraFaultKind};
-pub use fleet::{fleet, preset_by_name, validity_experiment_dialects, DialectPreset};
+pub use fleet::{
+    fleet, fleet_drivers, preset_by_name, validity_experiment_dialects, DialectPreset, SimDriver,
+};
 pub use profile::{
     collect_query_features, collect_statement_features, function_feature, join_feature,
     operator_feature, unary_feature, DialectProfile,
 };
 pub use runner::{
     available_threads, derive_dialect_seed, derive_shard_seed, observed_infra_kinds,
-    run_campaign_partitioned, run_campaign_partitioned_supervised, run_fleet_parallel,
-    run_fleet_serial, shard_checkpoint_path, ExecutionPath, FleetReport, PartitionedCampaign,
+    run_campaign_partitioned, run_campaign_partitioned_pooled, run_campaign_partitioned_supervised,
+    run_fleet_parallel, run_fleet_parallel_drivers, run_fleet_serial, run_fleet_serial_drivers,
+    run_one_driver, shard_checkpoint_path, ExecutionPath, FleetReport, PartitionedCampaign,
 };

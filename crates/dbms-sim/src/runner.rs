@@ -11,6 +11,7 @@
 //! * adding or removing dialects never perturbs the seeds of the others.
 
 use crate::fleet::DialectPreset;
+use sqlancer_core::driver::{Driver, Pool};
 use sqlancer_core::stats::FeatureStats;
 use sqlancer_core::supervisor::panic_message;
 use sqlancer_core::{
@@ -22,7 +23,7 @@ use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Which execution path the fleet campaign drives the connections through.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,12 +68,21 @@ pub fn derive_dialect_seed(campaign_seed: u64, dialect: &str) -> u64 {
 
 /// Runs one dialect's campaign with its derived seed over the given
 /// execution path.
-fn run_one(preset: &DialectPreset, base: &CampaignConfig, path: ExecutionPath) -> CampaignReport {
+/// Runs one backend's campaign through the Driver/Pool connection layer:
+/// per-backend seed derivation, a fixed-size pool with seed-ordered
+/// checkout, and the driver's capability report applied to the generator.
+/// Reports are byte-identical for any `pool_size`.
+pub fn run_one_driver(
+    driver: &Arc<dyn Driver>,
+    base: &CampaignConfig,
+    pool_size: usize,
+) -> CampaignReport {
     let mut config = base.clone();
-    config.seed = derive_dialect_seed(base.seed, &preset.profile.name);
+    config.seed = derive_dialect_seed(base.seed, driver.name());
     let mut campaign = Campaign::new(config);
-    let mut conn = preset.instantiate_for_path(path);
-    campaign.run(&mut conn)
+    let mut pool = Pool::new(Arc::clone(driver), pool_size)
+        .unwrap_or_else(|err| panic!("pool for {} failed to connect: {err}", driver.name()));
+    campaign.run_pooled(&mut pool, &SupervisorConfig::default())
 }
 
 fn merge(reports: Vec<CampaignReport>) -> FleetReport {
@@ -117,10 +127,25 @@ pub fn run_fleet_serial(
     base: &CampaignConfig,
     path: ExecutionPath,
 ) -> FleetReport {
+    run_fleet_serial_drivers(&presets_to_drivers(presets, path), base, 1)
+}
+
+/// The presets re-exposed through the [`Driver`] interface, in order.
+fn presets_to_drivers(presets: &[DialectPreset], path: ExecutionPath) -> Vec<Arc<dyn Driver>> {
+    presets.iter().map(|preset| preset.driver(path)).collect()
+}
+
+/// Runs a fleet of drivers serially, one pooled campaign per driver, in
+/// driver order.
+pub fn run_fleet_serial_drivers(
+    drivers: &[Arc<dyn Driver>],
+    base: &CampaignConfig,
+    pool_size: usize,
+) -> FleetReport {
     merge(
-        presets
+        drivers
             .iter()
-            .map(|preset| run_one(preset, base, path))
+            .map(|driver| run_one_driver(driver, base, pool_size))
             .collect(),
     )
 }
@@ -145,30 +170,44 @@ pub fn run_fleet_parallel(
     path: ExecutionPath,
     threads: usize,
 ) -> FleetReport {
+    run_fleet_parallel_drivers(&presets_to_drivers(presets, path), base, 1, threads)
+}
+
+/// [`run_fleet_parallel`] over a fleet of drivers: workers claim drivers
+/// from a shared counter and each runs a pooled campaign. Output is
+/// byte-identical to [`run_fleet_serial_drivers`] with the same seed and
+/// pool size, regardless of scheduling.
+pub fn run_fleet_parallel_drivers(
+    drivers: &[Arc<dyn Driver>],
+    base: &CampaignConfig,
+    pool_size: usize,
+    threads: usize,
+) -> FleetReport {
     // The explicit caller-provided count is honoured (oversubscription is
     // harmless and keeps the parallel path exercised even on 1-CPU
     // machines); only bound it by the number of dialects.
-    let threads = threads.max(1).min(presets.len().max(1));
-    if threads <= 1 || presets.len() <= 1 {
-        return run_fleet_serial(presets, base, path);
+    let threads = threads.max(1).min(drivers.len().max(1));
+    if threads <= 1 || drivers.len() <= 1 {
+        return run_fleet_serial_drivers(drivers, base, pool_size);
     }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<CampaignReport>>> =
-        presets.iter().map(|_| Mutex::new(None)).collect();
+        drivers.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
                 let index = next.fetch_add(1, Ordering::Relaxed);
-                let Some(preset) = presets.get(index) else {
+                let Some(driver) = drivers.get(index) else {
                     break;
                 };
-                let report = catch_unwind(AssertUnwindSafe(|| run_one(preset, base, path)))
-                    .unwrap_or_else(|payload| {
-                        worker_panic_report(
-                            &preset.profile.name,
-                            format!("campaign worker panicked: {}", panic_message(&*payload)),
-                        )
-                    });
+                let report =
+                    catch_unwind(AssertUnwindSafe(|| run_one_driver(driver, base, pool_size)))
+                        .unwrap_or_else(|payload| {
+                            worker_panic_report(
+                                driver.name(),
+                                format!("campaign worker panicked: {}", panic_message(&*payload)),
+                            )
+                        });
                 *slots[index].lock().unwrap_or_else(PoisonError::into_inner) = Some(report);
             });
         }
@@ -184,7 +223,7 @@ pub fn run_fleet_parallel(
                         // The claiming worker died before writing the slot
                         // (a panic outside the catch above, e.g. in the
                         // slot machinery itself): run the dialect inline.
-                        run_one(&presets[index], base, path)
+                        run_one_driver(&drivers[index], base, pool_size)
                     })
             })
             .collect(),
@@ -288,6 +327,20 @@ pub fn run_campaign_partitioned_supervised(
     threads: usize,
     supervision: &SupervisorConfig,
 ) -> PartitionedCampaign {
+    run_campaign_partitioned_pooled(&preset.driver(path), base, threads, 1, supervision)
+}
+
+/// [`run_campaign_partitioned_supervised`] over a driver: every shard runs
+/// a pooled campaign (`pool_size` connections, seed-ordered checkout) with
+/// the driver's capability report applied. The merged report is
+/// byte-identical for any shard count *and* any pool size.
+pub fn run_campaign_partitioned_pooled(
+    driver: &Arc<dyn Driver>,
+    base: &CampaignConfig,
+    threads: usize,
+    pool_size: usize,
+    supervision: &SupervisorConfig,
+) -> PartitionedCampaign {
     let shards = base.databases;
     let run_shard = |index: usize| -> (CampaignReport, FeatureStats) {
         let mut config = base.clone();
@@ -299,17 +352,18 @@ pub fn run_campaign_partitioned_supervised(
             shard_sup.checkpoint_path = Some(shard_checkpoint_path(base_path, index));
         }
         let mut campaign = Campaign::new(config);
-        let mut conn = preset.instantiate_for_path(path);
+        let mut pool = Pool::new(Arc::clone(driver), pool_size)
+            .unwrap_or_else(|err| panic!("pool for {} failed to connect: {err}", driver.name()));
         let report = match resumable_checkpoint(&shard_sup, seed) {
-            Some(checkpoint) => campaign.resume(&mut conn, &shard_sup, checkpoint),
-            None => campaign.run_supervised(&mut conn, &shard_sup),
+            Some(checkpoint) => campaign.resume_pooled(&mut pool, &shard_sup, checkpoint),
+            None => campaign.run_pooled(&mut pool, &shard_sup),
         };
         (report, campaign.generator.stats.clone())
     };
     let run_shard_guarded = |index: usize| -> (CampaignReport, FeatureStats) {
         catch_unwind(AssertUnwindSafe(|| run_shard(index))).unwrap_or_else(|payload| {
             let report = worker_panic_report(
-                &preset.profile.name,
+                driver.name(),
                 format!("shard worker panicked: {}", panic_message(&*payload)),
             );
             (report, FeatureStats::new())
@@ -344,7 +398,7 @@ pub fn run_campaign_partitioned_supervised(
             })
             .collect()
     };
-    merge_shards(&preset.profile.name, results)
+    merge_shards(driver.name(), results)
 }
 
 /// The injected infrastructure fault ids whose incidents appear in a
@@ -436,15 +490,14 @@ mod tests {
     use sqlancer_core::OracleKind;
 
     fn small_config() -> CampaignConfig {
-        CampaignConfig {
-            seed: 0xF1EE7,
-            databases: 1,
-            ddl_per_database: 6,
-            queries_per_database: 12,
-            oracles: vec![OracleKind::Tlp, OracleKind::NoRec],
-            reduce_bugs: false,
-            ..CampaignConfig::default()
-        }
+        CampaignConfig::builder()
+            .seed(0xF1EE7)
+            .databases(1)
+            .ddl_per_database(6)
+            .queries_per_database(12)
+            .oracles(vec![OracleKind::Tlp, OracleKind::NoRec])
+            .reduce_bugs(false)
+            .build()
     }
 
     #[test]

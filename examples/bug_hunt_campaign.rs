@@ -20,13 +20,12 @@ fn main() {
     for name in targets {
         let preset = preset_by_name(name).expect("known preset");
         let mut dbms = preset.instantiate();
-        let mut config = CampaignConfig {
-            seed: 99,
-            databases: 2,
-            ddl_per_database: 14,
-            queries_per_database: 250,
-            ..CampaignConfig::default()
-        };
+        let mut config = CampaignConfig::builder()
+            .seed(99)
+            .databases(2)
+            .ddl_per_database(14)
+            .queries_per_database(250)
+            .build();
         config.generator.stats.query_threshold = 0.05;
         config.generator.stats.min_attempts = 30;
         let mut campaign = Campaign::new(config);

@@ -17,13 +17,12 @@ fn main() {
 
     // Hunt for bug-inducing cases on the source dialect.
     let mut dbms = source.instantiate();
-    let mut config = CampaignConfig {
-        seed: 5,
-        databases: 2,
-        ddl_per_database: 14,
-        queries_per_database: 300,
-        ..CampaignConfig::default()
-    };
+    let mut config = CampaignConfig::builder()
+        .seed(5)
+        .databases(2)
+        .ddl_per_database(14)
+        .queries_per_database(300)
+        .build();
     config.generator.stats.query_threshold = 0.05;
     config.generator.stats.min_attempts = 30;
     let mut campaign = Campaign::new(config);

@@ -25,15 +25,18 @@ use sqlancerpp::sim::{
 };
 
 fn storm_config(seed: u64) -> CampaignConfig {
-    CampaignConfig {
-        seed,
-        databases: 2,
-        ddl_per_database: 10,
-        queries_per_database: 120,
-        oracles: vec![OracleKind::Tlp, OracleKind::NoRec, OracleKind::Rollback],
-        reduce_bugs: false,
-        ..CampaignConfig::default()
-    }
+    CampaignConfig::builder()
+        .seed(seed)
+        .databases(2)
+        .ddl_per_database(10)
+        .queries_per_database(120)
+        .oracles(vec![
+            OracleKind::Tlp,
+            OracleKind::NoRec,
+            OracleKind::Rollback,
+        ])
+        .reduce_bugs(false)
+        .build()
 }
 
 fn run_with_faults(dialect: &str, faults: FaultyConfig) -> sqlancerpp::core::CampaignReport {

@@ -31,19 +31,18 @@ fn main() {
     for name in ["mysql", "mariadb", "tidb", "sqlite"] {
         let preset = preset_by_name(name).expect("known preset");
         let mut dbms = preset.instantiate();
-        let mut config = CampaignConfig {
-            seed: 0x150,
-            databases: 2,
-            ddl_per_database: 10,
-            queries_per_database: 120,
-            // Isolation-only schedule: every test case is a concurrent
-            // two-session schedule (mixed schedules alternate it with the
-            // single-connection oracles).
-            oracles: vec![OracleKind::Isolation],
-            reduce_bugs: true,
-            max_reduction_checks: 32,
-            ..CampaignConfig::default()
-        };
+        // Isolation-only schedule: every test case is a concurrent
+        // two-session schedule (mixed schedules alternate it with the
+        // single-connection oracles).
+        let mut config = CampaignConfig::builder()
+            .seed(0x150)
+            .databases(2)
+            .ddl_per_database(10)
+            .queries_per_database(120)
+            .oracles(vec![OracleKind::Isolation])
+            .reduce_bugs(true)
+            .max_reduction_checks(32)
+            .build();
         config.generator.stats.query_threshold = 0.05;
         config.generator.stats.min_attempts = 30;
         let mut campaign = Campaign::new(config);

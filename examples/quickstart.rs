@@ -16,14 +16,13 @@ fn main() {
     // 2. Configure a campaign: how many database states to build, how many
     //    DDL statements and oracle-checked queries to issue, which oracles
     //    to use.
-    let mut config = CampaignConfig {
-        seed: 42,
-        databases: 2,
-        ddl_per_database: 12,
-        queries_per_database: 300,
-        oracles: vec![OracleKind::Tlp, OracleKind::NoRec],
-        ..CampaignConfig::default()
-    };
+    let mut config = CampaignConfig::builder()
+        .seed(42)
+        .databases(2)
+        .ddl_per_database(12)
+        .queries_per_database(300)
+        .oracles(vec![OracleKind::Tlp, OracleKind::NoRec])
+        .build();
     // Short runs use a more permissive unsupported-feature threshold than
     // the paper's 1% (which needs hundreds of observations per feature).
     config.generator.stats.query_threshold = 0.05;

@@ -26,18 +26,17 @@ fn main() {
     for name in ["dolt", "monetdb", "firebird", "sqlite"] {
         let preset = preset_by_name(name).expect("known preset");
         let mut dbms = preset.instantiate();
-        let mut config = CampaignConfig {
-            seed: 0xAC1D,
-            databases: 1,
-            ddl_per_database: 10,
-            queries_per_database: 80,
-            // Rollback-only schedule: every test case is a transactional
-            // session (mixed schedules alternate it with TLP/NoREC).
-            oracles: vec![OracleKind::Rollback],
-            reduce_bugs: true,
-            max_reduction_checks: 32,
-            ..CampaignConfig::default()
-        };
+        // Rollback-only schedule: every test case is a transactional
+        // session (mixed schedules alternate it with TLP/NoREC).
+        let mut config = CampaignConfig::builder()
+            .seed(0xAC1D)
+            .databases(1)
+            .ddl_per_database(10)
+            .queries_per_database(80)
+            .oracles(vec![OracleKind::Rollback])
+            .reduce_bugs(true)
+            .max_reduction_checks(32)
+            .build();
         config.generator.stats.query_threshold = 0.05;
         config.generator.stats.min_attempts = 30;
         let mut campaign = Campaign::new(config);

@@ -11,6 +11,8 @@
 //! * [`engine`] — the in-memory relational engine (`sql-engine`)
 //! * [`sim`] — the simulated DBMS fleet with dialects and injected bugs
 //!   (`dbms-sim`)
+//! * [`sqlite`] — the first real wire backend: the system `sqlite3` binary
+//!   driven over a subprocess pipe (`dbms-sqlite`)
 //! * [`core`] — the paper's contribution: adaptive generator, oracles,
 //!   prioritizer, reducer and campaign runner (`sqlancer-core`)
 //!
@@ -38,6 +40,12 @@ pub mod engine {
 /// `dbms-sim`).
 pub mod sim {
     pub use dbms_sim::*;
+}
+
+/// Real wire backend: the system `sqlite3` binary over a subprocess pipe
+/// (re-export of `dbms-sqlite`).
+pub mod sqlite {
+    pub use dbms_sqlite::*;
 }
 
 /// The SQLancer++ core: adaptive generator, oracles, prioritizer, campaign

@@ -8,14 +8,13 @@ use sqlancerpp::core::{
 use sqlancerpp::sim::{fleet, preset_by_name};
 
 fn quick_config(seed: u64, queries: usize) -> CampaignConfig {
-    let mut config = CampaignConfig {
-        seed,
-        databases: 1,
-        ddl_per_database: 12,
-        queries_per_database: queries,
-        oracles: vec![OracleKind::Tlp, OracleKind::NoRec],
-        ..CampaignConfig::default()
-    };
+    let mut config = CampaignConfig::builder()
+        .seed(seed)
+        .databases(1)
+        .ddl_per_database(12)
+        .queries_per_database(queries)
+        .oracles(vec![OracleKind::Tlp, OracleKind::NoRec])
+        .build();
     config.generator.stats.query_threshold = 0.05;
     config.generator.stats.min_attempts = 30;
     config

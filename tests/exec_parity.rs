@@ -15,16 +15,15 @@ use sqlancerpp::core::{
 use sqlancerpp::sim::{fleet, run_fleet_parallel, run_fleet_serial, ExecutionPath, SimulatedDbms};
 
 fn parity_config(seed: u64) -> CampaignConfig {
-    let mut config = CampaignConfig {
-        seed,
-        databases: 2,
-        ddl_per_database: 10,
-        queries_per_database: 30,
-        oracles: vec![OracleKind::Tlp, OracleKind::NoRec],
-        reduce_bugs: true,
-        max_reduction_checks: 16,
-        ..CampaignConfig::default()
-    };
+    let mut config = CampaignConfig::builder()
+        .seed(seed)
+        .databases(2)
+        .ddl_per_database(10)
+        .queries_per_database(30)
+        .oracles(vec![OracleKind::Tlp, OracleKind::NoRec])
+        .reduce_bugs(true)
+        .max_reduction_checks(16)
+        .build();
     config.generator.stats.query_threshold = 0.05;
     config.generator.stats.min_attempts = 30;
     config

@@ -34,16 +34,15 @@ fn stmts(sql: &[&str]) -> Vec<Statement> {
 }
 
 fn isolation_campaign_config(seed: u64) -> CampaignConfig {
-    let mut config = CampaignConfig {
-        seed,
-        databases: 2,
-        ddl_per_database: 10,
-        queries_per_database: 120,
-        oracles: vec![OracleKind::Isolation],
-        reduce_bugs: true,
-        max_reduction_checks: 24,
-        ..CampaignConfig::default()
-    };
+    let mut config = CampaignConfig::builder()
+        .seed(seed)
+        .databases(2)
+        .ddl_per_database(10)
+        .queries_per_database(120)
+        .oracles(vec![OracleKind::Isolation])
+        .reduce_bugs(true)
+        .max_reduction_checks(24)
+        .build();
     config.generator.stats.query_threshold = 0.05;
     config.generator.stats.min_attempts = 30;
     config

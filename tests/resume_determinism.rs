@@ -23,15 +23,18 @@ fn storm_preset(dialect: &str) -> DialectPreset {
 }
 
 fn resume_config(seed: u64) -> CampaignConfig {
-    CampaignConfig {
-        seed,
-        databases: 2,
-        ddl_per_database: 8,
-        queries_per_database: 25,
-        oracles: vec![OracleKind::Tlp, OracleKind::NoRec, OracleKind::Rollback],
-        reduce_bugs: false,
-        ..CampaignConfig::default()
-    }
+    CampaignConfig::builder()
+        .seed(seed)
+        .databases(2)
+        .ddl_per_database(8)
+        .queries_per_database(25)
+        .oracles(vec![
+            OracleKind::Tlp,
+            OracleKind::NoRec,
+            OracleKind::Rollback,
+        ])
+        .reduce_bugs(false)
+        .build()
 }
 
 /// A unique scratch path for one test's checkpoint file.
@@ -186,15 +189,14 @@ impl DbmsConnection for NoSnapshot {
 
 #[test]
 fn setup_replay_fallback_reaches_the_same_verdicts_as_snapshot_restore() {
-    let config = CampaignConfig {
-        seed: 0xAB5E,
-        databases: 2,
-        ddl_per_database: 8,
-        queries_per_database: 20,
-        oracles: vec![OracleKind::Rollback, OracleKind::Isolation],
-        reduce_bugs: false,
-        ..CampaignConfig::default()
-    };
+    let config = CampaignConfig::builder()
+        .seed(0xAB5E)
+        .databases(2)
+        .ddl_per_database(8)
+        .queries_per_database(20)
+        .oracles(vec![OracleKind::Rollback, OracleKind::Isolation])
+        .reduce_bugs(false)
+        .build();
     let run = |deny_snapshots: bool| -> CampaignReport {
         let preset = preset_by_name("sqlite").unwrap();
         let inner = preset.instantiate_for_path(ExecutionPath::Ast);

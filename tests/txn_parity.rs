@@ -270,16 +270,15 @@ fn cow_engine_sessions_match_plain_database_semantics() {
 }
 
 fn rollback_campaign_config(seed: u64) -> CampaignConfig {
-    let mut config = CampaignConfig {
-        seed,
-        databases: 1,
-        ddl_per_database: 10,
-        queries_per_database: 80,
-        oracles: vec![OracleKind::Rollback],
-        reduce_bugs: true,
-        max_reduction_checks: 24,
-        ..CampaignConfig::default()
-    };
+    let mut config = CampaignConfig::builder()
+        .seed(seed)
+        .databases(1)
+        .ddl_per_database(10)
+        .queries_per_database(80)
+        .oracles(vec![OracleKind::Rollback])
+        .reduce_bugs(true)
+        .max_reduction_checks(24)
+        .build();
     config.generator.stats.query_threshold = 0.05;
     config.generator.stats.min_attempts = 30;
     config
