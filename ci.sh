@@ -54,6 +54,17 @@ echo "==> fault-storm robustness gate"
 # checkpoint file to a byte-identical report — serially and partitioned.
 ./target/release/campaign_throughput --fault-storm-check sqlite
 
+echo "==> observability (trace) gate"
+# Attaches the full tracing stack (deterministic summary, flight recorder,
+# JSONL dump) to a supervised campaign and asserts: the traced run keeps
+# the committed fraction of the untraced throughput and produces a
+# byte-identical report (tracing observes, never perturbs); under a full
+# fault storm the partitioned runner's merged trace summary is
+# byte-identical for any worker and pool count; every detected bug case
+# has a pinned flight-recorder history; and the JSONL dump written at
+# campaign end is well-formed and matches the in-memory document.
+./target/release/campaign_throughput --trace-check dolt
+
 echo "==> subprocess-sqlite wire-backend gate"
 # Runs a full mixed-oracle campaign (TLP, NoREC, rollback) against the
 # system sqlite3 binary over the subprocess driver through a size-2 pool
@@ -84,13 +95,16 @@ floor_ast=$(json_number BENCH_campaign.json min_speedup_ast_over_text)
 floor_compiled=$(json_number BENCH_campaign.json min_speedup_compiled_over_tree)
 floor_txn=$(json_number BENCH_campaign.json min_txn_throughput_ratio)
 floor_iso=$(json_number BENCH_campaign.json min_isolation_throughput_ratio)
+floor_traced=$(json_number BENCH_campaign.json min_traced_throughput_ratio)
 actual_ast=$(json_number "$SMOKE_JSON" speedup_ast_over_text)
 actual_compiled=$(json_number "$SMOKE_JSON" speedup_compiled_over_tree)
 actual_txn=$(json_number "$SMOKE_JSON" txn_throughput_ratio)
 actual_iso=$(json_number "$SMOKE_JSON" isolation_throughput_ratio)
+actual_traced=$(json_number "$SMOKE_JSON" traced_throughput_ratio)
 gate speedup_ast_over_text "$actual_ast" "$floor_ast"
 gate speedup_compiled_over_tree "$actual_compiled" "$floor_compiled"
 gate txn_throughput_ratio "$actual_txn" "$floor_txn"
 gate isolation_throughput_ratio "$actual_iso" "$floor_iso"
+gate traced_throughput_ratio "$actual_traced" "$floor_traced"
 
 echo "CI OK"

@@ -30,41 +30,51 @@
 //!   garbled result — reporting incident/retry/watchdog counters and
 //!   asserting that the storm never surfaces as false-positive logic bugs;
 //!
+//! * **observability** (tracing overhead): the txn workload on one dialect
+//!   run untraced vs traced (summary, flight recorder, JSONL), interleaved
+//!   min-of-3 — the traced campaign must keep at least
+//!   `min_traced_throughput_ratio` of the untraced throughput and produce
+//!   a byte-identical report (tracing observes, never perturbs);
+//!
 //! plus serial vs parallel fleet sharding on the eval workload.
 //!
-//! Writes `BENCH_campaign.json` (`schema_version` 6) with queries/sec per
-//! arm, the AST/text, compiled/tree, txn-overhead and isolation ratios,
-//! CoW effectiveness counters (tables snapshotted vs. actually cloned,
-//! conflicts avoided by row-range intent), the fault-storm `robustness`
-//! block, the parallel/serial speedup, and the committed `ci_floors` that
-//! `ci.sh` gates regressions against. The written file is validated before
-//! the process exits: malformed or partial output is a non-zero exit,
-//! which CI checks.
+//! Writes `BENCH_campaign.json` (`schema_version` 7) with queries/sec per
+//! arm, the AST/text, compiled/tree, txn-overhead, isolation and tracing
+//! ratios, CoW effectiveness counters (tables snapshotted vs. actually
+//! cloned, conflicts avoided by row-range intent), the fault-storm
+//! `robustness` block, the `observability` block, the parallel/serial
+//! speedup, and the committed `ci_floors` that `ci.sh` gates regressions
+//! against. The written file is validated before the process exits:
+//! malformed or partial output is a non-zero exit, which CI checks.
 //!
 //! Usage:
 //!   `campaign_throughput [queries_per_database] [output_path]`
 //!   `campaign_throughput --validate <path>`
 //!   `campaign_throughput --partitioned-check [dialect]`
 //!   `campaign_throughput --fault-storm-check [dialect]`
+//!   `campaign_throughput --trace-check [dialect]`
 //!   `campaign_throughput --sqlite-check`
 
 use dbms_sim::{
     available_threads, fleet, observed_infra_kinds, preset_by_name, run_campaign_partitioned,
-    run_campaign_partitioned_supervised, run_fleet_parallel, run_fleet_serial, DialectPreset,
-    ExecutionPath, FaultyConfig, FleetReport, InfraFaultKind,
+    run_campaign_partitioned_supervised, run_campaign_partitioned_traced, run_fleet_parallel,
+    run_fleet_serial, DialectPreset, ExecutionPath, FaultyConfig, FleetReport, InfraFaultKind,
 };
 use dbms_sqlite::SqliteProcDriver;
 use sqlancer_core::driver::{Driver, Pool};
 use sqlancer_core::{
-    load_checkpoint, render_report, silence_infra_panics, Campaign, CampaignConfig, CampaignReport,
-    OracleKind, SupervisorConfig, INFRA_MARKER,
+    load_checkpoint, render_report, render_trace_summary, silence_infra_panics, validate_jsonl,
+    Campaign, CampaignConfig, CampaignReport, OracleKind, SupervisorConfig, TraceHandle, Tracer,
+    INFRA_MARKER,
 };
+use std::cell::RefCell;
+use std::rc::Rc;
 use std::sync::Arc;
 use std::time::Instant;
 
 /// The version of the JSON layout this binary writes. Bump when keys are
 /// added or renamed so the CI gate can evolve without breaking old files.
-const SCHEMA_VERSION: u32 = 6;
+const SCHEMA_VERSION: u32 = 7;
 
 /// Committed regression floors, written into the benchmark artifact and
 /// enforced by `ci.sh` against the smoke run. Deliberately conservative:
@@ -86,6 +96,13 @@ const FLOOR_TXN_THROUGHPUT_RATIO: f64 = 0.45;
 /// same reason as the txn floor — snapshot workspaces no longer clone row
 /// data at `BEGIN`.
 const FLOOR_ISOLATION_THROUGHPUT_RATIO: f64 = 0.45;
+/// A campaign run with the full tracing stack attached (deterministic
+/// summary, flight recorder, JSONL dump) must keep at least this fraction
+/// of the untraced campaign's throughput — the observability budget is
+/// ≤5% overhead. The deterministic plane is counter bumps and bounded
+/// event pushes, so the steady-state ratio sits at ~1.0; the floor is the
+/// budget itself because min-of-3 interleaved filters scheduler noise.
+const FLOOR_TRACED_THROUGHPUT_RATIO: f64 = 0.95;
 
 fn base_config(queries_per_database: usize) -> CampaignConfig {
     let mut config = CampaignConfig::builder()
@@ -534,6 +551,213 @@ fn fault_storm_check(dialect: &str) -> ! {
     std::process::exit(0);
 }
 
+// ---------------------------------------------------------- trace gate ----
+
+/// The observability workload: the txn schedule (the heaviest per-case
+/// event stream — statements, rebuilds, retries) on one dialect.
+fn trace_campaign_config(queries_per_database: usize) -> CampaignConfig {
+    let mut config = txn_config(queries_per_database);
+    config.seed = 0x7247CE;
+    config
+}
+
+/// One untraced supervised campaign, timed.
+fn untraced_run(preset: &DialectPreset, config: &CampaignConfig) -> (f64, CampaignReport) {
+    let mut conn = preset.instantiate_for_path(ExecutionPath::Ast);
+    let mut campaign = Campaign::new(config.clone());
+    let start = Instant::now();
+    let report = campaign.run_supervised(&mut conn, &SupervisorConfig::default());
+    (start.elapsed().as_secs_f64(), report)
+}
+
+/// One supervised campaign with the full tracing stack attached
+/// (deterministic summary, 32-slot flight recorder, JSONL dump), timed.
+/// Returns the sealed tracer alongside the report.
+fn traced_run(
+    preset: &DialectPreset,
+    config: &CampaignConfig,
+    jsonl_path: &std::path::Path,
+) -> (f64, CampaignReport, Tracer) {
+    let tracer = Rc::new(RefCell::new(
+        Tracer::new()
+            .with_flight_recorder(32)
+            .with_jsonl_path(jsonl_path.to_path_buf()),
+    ));
+    let handle: TraceHandle = tracer.clone();
+    let mut conn = preset.instantiate_for_path(ExecutionPath::Ast);
+    let mut campaign = Campaign::new(config.clone());
+    campaign.set_trace(Some(handle));
+    let start = Instant::now();
+    let report = campaign.run_supervised(&mut conn, &SupervisorConfig::default());
+    let elapsed = start.elapsed().as_secs_f64();
+    drop(campaign);
+    let tracer = Rc::try_unwrap(tracer)
+        .expect("campaign released its trace handle")
+        .into_inner();
+    (elapsed, report, tracer)
+}
+
+/// The untraced-vs-traced pair, interleaved min-of-3 (the same noise
+/// filter as [`run_arms`]). Tracing must not perturb the campaign, so the
+/// reports are asserted identical before the timings are compared.
+struct TraceOverhead {
+    untraced_s: f64,
+    traced_s: f64,
+    report: CampaignReport,
+    tracer: Tracer,
+}
+
+impl TraceOverhead {
+    /// Traced throughput as a fraction of untraced (same work, so the
+    /// ratio is the inverse elapsed ratio).
+    fn ratio(&self) -> f64 {
+        self.untraced_s / self.traced_s
+    }
+}
+
+fn measure_trace_overhead(dialect: &str, queries_per_database: usize) -> TraceOverhead {
+    let preset = preset_by_name(dialect).unwrap_or_else(|| {
+        eprintln!("unknown dialect {dialect}");
+        std::process::exit(1);
+    });
+    let config = trace_campaign_config(queries_per_database);
+    let jsonl_path = std::env::temp_dir().join(format!(
+        "sqlancerpp_trace_overhead_{}_{dialect}.jsonl",
+        std::process::id()
+    ));
+    let mut untraced_s = f64::INFINITY;
+    let mut traced_s = f64::INFINITY;
+    let mut untraced_report = None;
+    let mut traced_result = None;
+    for _ in 0..3 {
+        let (elapsed, report) = untraced_run(&preset, &config);
+        untraced_s = untraced_s.min(elapsed);
+        untraced_report = Some(report);
+        let (elapsed, report, tracer) = traced_run(&preset, &config, &jsonl_path);
+        if elapsed < traced_s {
+            traced_s = elapsed;
+            traced_result = Some((report, tracer));
+        }
+    }
+    let _ = std::fs::remove_file(&jsonl_path);
+    let untraced_report = untraced_report.expect("three repetitions ran");
+    let (report, tracer) = traced_result.expect("three repetitions ran");
+    assert_eq!(
+        render_report(&untraced_report),
+        render_report(&report),
+        "attaching a tracer changed the campaign — tracing must observe, never perturb"
+    );
+    TraceOverhead {
+        untraced_s,
+        traced_s,
+        report,
+        tracer,
+    }
+}
+
+/// The CI observability gate. Asserts:
+///
+/// 1. **overhead** — the fully-traced campaign keeps at least
+///    [`FLOOR_TRACED_THROUGHPUT_RATIO`] of the untraced throughput, and
+///    the traced report is byte-identical to the untraced one;
+/// 2. **merge identity** — under a full fault storm, the partitioned
+///    runner's merged trace summary (and report) is byte-identical between
+///    one worker with a size-1 pool and multiple workers with a size-2
+///    pool;
+/// 3. **forensic completeness** — in the storm run, every detected bug
+///    case has a pinned flight-recorder history, and the JSONL dump
+///    flushed at campaign end is well-formed and matches the in-memory
+///    document.
+fn trace_check(dialect: &str) -> ! {
+    silence_infra_panics();
+
+    // 1: overhead + observe-don't-perturb, on the healthy backend.
+    let overhead = measure_trace_overhead(dialect, 120);
+    let ratio = overhead.ratio();
+    if !ratio.is_finite() || ratio < FLOOR_TRACED_THROUGHPUT_RATIO {
+        eprintln!(
+            "FAIL: tracing overhead too high: traced/untraced throughput ratio {ratio:.3} \
+             < floor {FLOOR_TRACED_THROUGHPUT_RATIO}"
+        );
+        std::process::exit(1);
+    }
+
+    // 2: merged trace summaries are pool- and worker-count-invariant,
+    // under the fault storm (the adversarial regime for the invariant:
+    // retries, recoveries and slot re-syncs all in play).
+    let mut config = trace_campaign_config(120);
+    config.databases = 3;
+    let storm = storm_preset(dialect, FaultyConfig::storm());
+    let driver = storm.driver(ExecutionPath::Ast);
+    let supervision = SupervisorConfig::default();
+    let (serial, serial_summary) =
+        run_campaign_partitioned_traced(&driver, &config, 1, 1, &supervision);
+    let workers = available_threads().max(2);
+    let (sharded, sharded_summary) =
+        run_campaign_partitioned_traced(&driver, &config, workers, 2, &supervision);
+    if render_report(&serial.report) != render_report(&sharded.report) {
+        eprintln!("FAIL: storm campaign report diverged between (1 worker, pool 1) and ({workers} workers, pool 2)");
+        std::process::exit(1);
+    }
+    if render_trace_summary(&serial_summary) != render_trace_summary(&sharded_summary) {
+        eprintln!("FAIL: merged trace summary diverged between (1 worker, pool 1) and ({workers} workers, pool 2)");
+        std::process::exit(1);
+    }
+
+    // 3: every detected bug in the storm run keeps a complete pinned
+    // history, and the JSONL flight-recorder dump self-validates.
+    let jsonl_path = std::env::temp_dir().join(format!(
+        "sqlancerpp_trace_check_{}_{dialect}.jsonl",
+        std::process::id()
+    ));
+    let (_, storm_report, storm_tracer) =
+        traced_run(&storm, &trace_campaign_config(120), &jsonl_path);
+    if storm_report.metrics.detected_bug_cases == 0 {
+        eprintln!("FAIL: the storm workload detected no bugs — the pinning check needs bug cases");
+        std::process::exit(1);
+    }
+    let recorder = storm_tracer.recorder().expect("recorder configured");
+    let pinned_bugs = recorder
+        .pinned()
+        .iter()
+        .filter(|record| record.outcome() == "bug")
+        .count() as u64;
+    if pinned_bugs != storm_report.metrics.detected_bug_cases {
+        eprintln!(
+            "FAIL: {} detected bug cases but {pinned_bugs} pinned flight-recorder histories",
+            storm_report.metrics.detected_bug_cases
+        );
+        std::process::exit(1);
+    }
+    let text = match std::fs::read_to_string(&jsonl_path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("FAIL: flight-recorder JSONL was not flushed: {err}");
+            std::process::exit(1);
+        }
+    };
+    let _ = std::fs::remove_file(&jsonl_path);
+    let jsonl_lines = match validate_jsonl(&text) {
+        Ok(lines) => lines,
+        Err(why) => {
+            eprintln!("FAIL: flight-recorder JSONL malformed: {why}");
+            std::process::exit(1);
+        }
+    };
+    if Some(text) != storm_tracer.jsonl() {
+        eprintln!("FAIL: flushed JSONL differs from the in-memory document");
+        std::process::exit(1);
+    }
+
+    println!(
+        "trace-check({dialect}): traced/untraced throughput ratio {ratio:.3} \
+         (floor {FLOOR_TRACED_THROUGHPUT_RATIO}), merged summaries byte-identical \
+         (1 worker/pool 1 == {workers} workers/pool 2), {pinned_bugs} bug case(s) pinned \
+         with complete histories, JSONL valid ({jsonl_lines} lines)"
+    );
+    std::process::exit(0);
+}
+
 // ------------------------------------------------------------ validation ----
 
 /// Extracts the number following `"key": ` (top-level or nested).
@@ -596,12 +820,17 @@ fn validate_bench_json(json: &str) -> Result<(), String> {
         "infra_failures",
         "observed_infra_kinds",
         "false_positive_logic_bugs",
+        "observability",
+        "traced_throughput_ratio",
+        "trace_statements",
+        "jsonl_lines",
         "parallel",
         "ci_floors",
         "min_speedup_ast_over_text",
         "min_speedup_compiled_over_tree",
         "min_txn_throughput_ratio",
         "min_isolation_throughput_ratio",
+        "min_traced_throughput_ratio",
     ] {
         if !json.contains(&format!("\"{key}\":")) {
             return Err(format!("missing key \"{key}\""));
@@ -609,9 +838,9 @@ fn validate_bench_json(json: &str) -> Result<(), String> {
     }
     let schema = number_after(json, "schema_version")
         .ok_or_else(|| "schema_version is not a number".to_string())?;
-    if schema < 6.0 {
+    if schema < 7.0 {
         return Err(format!(
-            "schema_version {schema} predates the fault-storm robustness gate"
+            "schema_version {schema} predates the observability gate"
         ));
     }
     match number_after(json, "false_positive_logic_bugs") {
@@ -634,6 +863,7 @@ fn validate_bench_json(json: &str) -> Result<(), String> {
         "txn_overhead",
         "txn_throughput_ratio",
         "isolation_throughput_ratio",
+        "traced_throughput_ratio",
         "begin_ns_per_table",
     ] {
         let v = number_after(json, key).ok_or_else(|| format!("\"{key}\" is not a number"))?;
@@ -774,6 +1004,9 @@ fn main() {
     if args.get(1).map(String::as_str) == Some("--fault-storm-check") {
         fault_storm_check(args.get(2).map(String::as_str).unwrap_or("sqlite"));
     }
+    if args.get(1).map(String::as_str) == Some("--trace-check") {
+        trace_check(args.get(2).map(String::as_str).unwrap_or("dolt"));
+    }
     if args.get(1).map(String::as_str) == Some("--sqlite-check") {
         sqlite_check();
     }
@@ -840,6 +1073,33 @@ fn main() {
     assert_eq!(
         storm_false_positives, 0,
         "infrastructure faults surfaced as logic bugs"
+    );
+
+    // The observability workload: the txn schedule on one dialect,
+    // untraced vs fully traced. Gated here against the committed floor via
+    // `ci.sh`; gated (much more thoroughly) by `--trace-check`.
+    let trace_overhead = measure_trace_overhead("dolt", queries);
+    let traced_ratio = trace_overhead.ratio();
+    let trace_totals = trace_overhead.tracer.summary().dialects.values().fold(
+        sqlancer_core::TraceCounters::default(),
+        |mut acc, trace| {
+            acc.merge(&trace.counters);
+            acc
+        },
+    );
+    let trace_jsonl_lines = trace_overhead
+        .tracer
+        .jsonl()
+        .map(|text| validate_jsonl(&text).expect("tracer JSONL must be well-formed"))
+        .unwrap_or(0);
+    let trace_pinned = trace_overhead
+        .tracer
+        .recorder()
+        .map(|recorder| recorder.pinned().len())
+        .unwrap_or(0);
+    assert_eq!(
+        trace_totals.cases, trace_overhead.report.metrics.test_cases,
+        "the trace summary must account for every test case"
     );
 
     let par_start = Instant::now();
@@ -941,6 +1201,16 @@ fn main() {
         storm_false_positives,
     );
     println!(
+        "observability (dolt, txn workload): untraced {:.3}s, traced {:.3}s \
+         (throughput ratio {traced_ratio:.3}), {} statements traced, {} pinned record(s), \
+         JSONL {} lines",
+        trace_overhead.untraced_s,
+        trace_overhead.traced_s,
+        trace_totals.statements,
+        trace_pinned,
+        trace_jsonl_lines,
+    );
+    println!(
         "parallel({threads} threads) {par_elapsed:>8.3}s  (x{parallel_speedup:.2} over serial AST)"
     );
     println!("AST-path speedup over text path:        x{speedup:.2}");
@@ -985,6 +1255,13 @@ fn main() {
          \"recovered_workers\": {storm_recovered}, \
          \"observed_infra_kinds\": {storm_kinds}, \
          \"false_positive_logic_bugs\": {storm_false_positives}}},\n  \
+         \"observability\": {{\"dialect\": \"dolt\", \"workload\": \"txn\", \
+         \"untraced_elapsed_s\": {trace_untraced_s:.4}, \
+         \"traced_elapsed_s\": {trace_traced_s:.4}, \
+         \"traced_throughput_ratio\": {traced_ratio:.3}, \
+         \"trace_cases\": {trace_cases}, \"trace_statements\": {trace_statements}, \
+         \"trace_case_ticks\": {trace_case_ticks}, \
+         \"pinned_records\": {trace_pinned}, \"jsonl_lines\": {trace_jsonl_lines}}},\n  \
          \"speedup_ast_over_text\": {speedup:.3},\n  \
          \"speedup_compiled_over_tree\": {compiled_speedup:.3},\n  \
          \"txn_overhead\": {txn_overhead:.3},\n  \
@@ -995,7 +1272,8 @@ fn main() {
          \"ci_floors\": {{\"min_speedup_ast_over_text\": {FLOOR_AST_OVER_TEXT}, \
          \"min_speedup_compiled_over_tree\": {FLOOR_COMPILED_OVER_TREE}, \
          \"min_txn_throughput_ratio\": {FLOOR_TXN_THROUGHPUT_RATIO}, \
-         \"min_isolation_throughput_ratio\": {FLOOR_ISOLATION_THROUGHPUT_RATIO}}}\n}}\n",
+         \"min_isolation_throughput_ratio\": {FLOOR_ISOLATION_THROUGHPUT_RATIO}, \
+         \"min_traced_throughput_ratio\": {FLOOR_TRACED_THROUGHPUT_RATIO}}}\n}}\n",
         dispatch.seed,
         fleet().len(),
         queries,
@@ -1024,6 +1302,11 @@ fn main() {
         storm_infra_failures = storm.robustness.infra_failures,
         storm_storage_errors = storm.robustness.storage_metric_errors,
         storm_recovered = storm.robustness.recovered_workers,
+        trace_untraced_s = trace_overhead.untraced_s,
+        trace_traced_s = trace_overhead.traced_s,
+        trace_cases = trace_totals.cases,
+        trace_statements = trace_totals.statements,
+        trace_case_ticks = trace_totals.case_ticks,
         cow_begins = cow.txn_begins,
         cow_snapshotted = cow.tables_snapshotted,
         cow_cloned = cow.tables_cow_cloned,

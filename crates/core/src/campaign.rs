@@ -22,6 +22,9 @@ use crate::supervisor::{
     CampaignIncident, IncidentKind, RobustnessCounters, SupervisedCase, Supervisor,
     SupervisorConfig,
 };
+use crate::trace::{
+    emit, emit_backend, FlushReason, TraceEventKind, TraceHandle, TracedConnection,
+};
 use sql_ast::{fnv1a64, splitmix64, Statement};
 
 /// Configuration of a testing campaign.
@@ -29,9 +32,7 @@ use sql_ast::{fnv1a64, splitmix64, Statement};
 /// Construct with [`CampaignConfig::builder`]: the struct is
 /// `#[non_exhaustive]`, so downstream crates cannot use struct literals
 /// (fields may be added between releases without breaking them). Existing
-/// fields remain `pub` for read/mutate access; the deprecated
-/// [`CampaignConfig::from_fields`] covers the old literal path for one
-/// release.
+/// fields remain `pub` for read/mutate access.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub struct CampaignConfig {
@@ -73,32 +74,6 @@ impl CampaignConfig {
     pub fn builder() -> CampaignConfigBuilder {
         CampaignConfigBuilder {
             config: CampaignConfig::default(),
-        }
-    }
-
-    /// Constructs a config from every field positionally — the old
-    /// struct-literal path, kept for one release.
-    #[deprecated(since = "0.1.0", note = "use CampaignConfig::builder() instead")]
-    #[allow(clippy::too_many_arguments)]
-    pub fn from_fields(
-        seed: u64,
-        generator: GeneratorConfig,
-        databases: usize,
-        ddl_per_database: usize,
-        queries_per_database: usize,
-        oracles: Vec<OracleKind>,
-        reduce_bugs: bool,
-        max_reduction_checks: usize,
-    ) -> CampaignConfig {
-        CampaignConfig {
-            seed,
-            generator,
-            databases,
-            ddl_per_database,
-            queries_per_database,
-            oracles,
-            reduce_bugs,
-            max_reduction_checks,
         }
     }
 }
@@ -347,13 +322,24 @@ struct ResumePoint {
 }
 
 /// A running testing campaign.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Campaign {
     config: CampaignConfig,
     /// The adaptive generator (exposed so experiments can inspect the
     /// learned profile after a run).
     pub generator: AdaptiveGenerator,
     prioritizer: BugPrioritizer,
+    trace: Option<TraceHandle>,
+}
+
+impl std::fmt::Debug for Campaign {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Campaign")
+            .field("config", &self.config)
+            .field("generator", &self.generator)
+            .field("prioritizer", &self.prioritizer)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Campaign {
@@ -364,6 +350,7 @@ impl Campaign {
             config,
             generator,
             prioritizer: BugPrioritizer::new(),
+            trace: None,
         }
     }
 
@@ -374,7 +361,18 @@ impl Campaign {
             config,
             generator,
             prioritizer: BugPrioritizer::new(),
+            trace: None,
         }
+    }
+
+    /// Attaches a telemetry sink (see [`crate::trace`]): subsequent runs
+    /// stream structured case-lifecycle events into it from the campaign
+    /// loop, the supervisor and every traced statement. Pass `None` to
+    /// detach. Tracing never changes a campaign's report — the
+    /// deterministic plane observes the run, the wall-clock plane lives
+    /// outside the determinism contract entirely.
+    pub fn set_trace(&mut self, trace: Option<TraceHandle>) {
+        self.trace = trace;
     }
 
     /// Applies a driver's [`Capability`](crate::driver::Capability) report
@@ -434,6 +432,7 @@ impl Campaign {
         supervision: &SupervisorConfig,
     ) -> CampaignReport {
         let mut supervisor = Supervisor::new(supervision.clone());
+        supervisor.set_trace(self.trace.clone());
         self.run_inner(conn, &mut supervisor, None)
     }
 
@@ -478,6 +477,7 @@ impl Campaign {
             checkpoint.report.incidents.clone(),
             checkpoint.consecutive_infra,
         );
+        supervisor.set_trace(self.trace.clone());
         // Rebuild the backend to the state the checkpoint describes: safe
         // mode (no fault arming), full reset, setup-log replay. The storage
         // baseline is sampled *after* this replay inside `run_inner`, so
@@ -506,6 +506,20 @@ impl Campaign {
         supervisor: &mut Supervisor,
         resume: Option<ResumePoint>,
     ) -> CampaignReport {
+        // When tracing, wrap the connection so every statement streams a
+        // deterministic-plane event stamped with its virtual-tick cost.
+        // The wrapper is transparent to the campaign: same outcomes, same
+        // clock, same quirks.
+        let trace = self.trace.clone();
+        let mut traced;
+        let conn: &mut dyn DbmsConnection = match &trace {
+            Some(sink) => {
+                sink.borrow_mut().begin_campaign(conn.name());
+                traced = TracedConnection::new(conn, sink.clone());
+                &mut traced
+            }
+            None => conn,
+        };
         let (mut report, start_db, resumed_case, mut oracle_index, mut resumed_setup, mut accum) =
             match resume {
                 Some(r) => (
@@ -538,13 +552,15 @@ impl Campaign {
             Ok(None) => StorageMetrics::default(),
             Err(message) => {
                 supervisor.counters.storage_metric_errors += 1;
-                supervisor.record(
-                    IncidentKind::StorageMetricsError,
-                    start_db,
-                    report.metrics.test_cases,
-                    0,
-                    message,
-                );
+                supervisor.record(CampaignIncident {
+                    kind: IncidentKind::StorageMetricsError,
+                    database: start_db,
+                    case_index: report.metrics.test_cases,
+                    attempt: 0,
+                    deadline_ticks: 0,
+                    observed_ticks: 0,
+                    detail: message,
+                });
                 StorageMetrics::default()
             }
         };
@@ -640,6 +656,16 @@ impl Campaign {
                 };
                 let case_seed =
                     derive_case_seed(self.config.seed, db as u64, report.metrics.test_cases);
+                emit(
+                    &trace,
+                    case_seed,
+                    0,
+                    TraceEventKind::CaseStarted {
+                        database: db,
+                        case_index: report.metrics.test_cases,
+                        oracle,
+                    },
+                );
                 let mut conflict_aborts = 0u64;
                 let verdict = supervisor.run_case(
                     conn,
@@ -720,6 +746,7 @@ impl Campaign {
                                     &setup_log,
                                     query,
                                     *oracle,
+                                    case_seed,
                                     &mut report,
                                 ),
                                 CasePayload::Txn(session) => self.handle_txn_bug(
@@ -727,6 +754,7 @@ impl Campaign {
                                     *bug,
                                     session,
                                     &setup_log,
+                                    case_seed,
                                     &mut report,
                                 ),
                                 CasePayload::Schedule(schedule) => self.handle_schedule_bug(
@@ -734,6 +762,7 @@ impl Campaign {
                                     *bug,
                                     schedule,
                                     &setup_log,
+                                    case_seed,
                                     &mut report,
                                 ),
                             }
@@ -749,12 +778,16 @@ impl Campaign {
                         }
                     }
                 }
+                // Drain wall-clock-plane backend telemetry (pool checkout
+                // counters, wire bytes) accumulated during the case.
+                emit_backend(&trace, conn);
                 if supervisor.should_quarantine() {
                     // Too many consecutive infrastructure failures: the
                     // backend is effectively down. Mark the partial report
                     // degraded and stop this dialect — the fleet keeps
                     // running the others.
                     supervisor.counters.quarantines += 1;
+                    emit(&trace, case_seed, 0, TraceEventKind::Quarantined);
                     quarantined = true;
                     break 'campaign;
                 }
@@ -788,6 +821,12 @@ impl Campaign {
                         // previous checkpoint (if any) stays valid thanks to
                         // the atomic temp-file+rename protocol.
                         let _ = save_checkpoint(&checkpoint, path);
+                        // The flight recorder flushes alongside the
+                        // checkpoint, so post-mortem forensics survive the
+                        // same crashes resume does.
+                        if let Some(sink) = &trace {
+                            sink.borrow_mut().flush(FlushReason::Checkpoint);
+                        }
                     }
                 }
                 if let Some(budget) = supervision.stop_after_cases {
@@ -820,6 +859,10 @@ impl Campaign {
         report.degraded = report.degraded || quarantined;
         report.robustness = supervisor.counters;
         report.incidents = supervisor.incidents.clone();
+        emit_backend(&trace, conn);
+        if let Some(sink) = &trace {
+            sink.borrow_mut().flush(FlushReason::CampaignEnd);
+        }
         report
     }
 
@@ -844,13 +887,15 @@ impl Campaign {
             Ok(None) => {}
             Err(message) => {
                 supervisor.counters.storage_metric_errors += 1;
-                supervisor.record(
-                    IncidentKind::StorageMetricsError,
+                supervisor.record(CampaignIncident {
+                    kind: IncidentKind::StorageMetricsError,
                     database,
                     case_index,
-                    0,
-                    message,
-                );
+                    attempt: 0,
+                    deadline_ticks: 0,
+                    observed_ticks: 0,
+                    detail: message,
+                });
             }
         }
     }
@@ -904,17 +949,32 @@ impl Campaign {
 
     /// Handles a rollback-oracle bug: prioritization, optional reduction,
     /// and state rebuild — the same treatment the single-query oracles get.
+    #[allow(clippy::too_many_arguments)]
     fn handle_txn_bug(
         &mut self,
         conn: &mut dyn DbmsConnection,
         bug: BugReport,
         session: &GeneratedTxnSession,
         setup_log: &[String],
+        case_seed: u64,
         report: &mut CampaignReport,
     ) {
         match self.prioritizer.classify(&session.features) {
-            PriorityDecision::PotentialDuplicate => {}
+            PriorityDecision::PotentialDuplicate => {
+                emit(
+                    &self.trace,
+                    case_seed,
+                    0,
+                    TraceEventKind::Prioritized { kept: false },
+                );
+            }
             PriorityDecision::New => {
+                emit(
+                    &self.trace,
+                    case_seed,
+                    0,
+                    TraceEventKind::Prioritized { kept: true },
+                );
                 let mut case = TxnCase {
                     setup: setup_log.to_vec(),
                     table: session.table.clone(),
@@ -923,11 +983,21 @@ impl Campaign {
                 };
                 let mut final_bug = bug;
                 if self.config.reduce_bugs {
+                    let statements_before = case.setup.len() + case.statements.len();
                     let (reduced, _stats) = {
                         let mut reducer = BugReducer::new(conn, self.config.max_reduction_checks);
                         reducer.reduce_txn(&case)
                     };
                     case = reduced;
+                    emit(
+                        &self.trace,
+                        case_seed,
+                        0,
+                        TraceEventKind::Reduced {
+                            statements_before,
+                            statements_after: case.setup.len() + case.statements.len(),
+                        },
+                    );
                     final_bug.setup = case.setup.clone();
                     // Re-render the reduced session with the oracle's
                     // transaction bracketing and probes, so the report stays
@@ -949,17 +1019,32 @@ impl Campaign {
     /// Handles an isolation-oracle bug: prioritization, optional reduction,
     /// and state rebuild. Conflict-aborted commits were already folded into
     /// the conflict-abort rate by the caller — they never reach this path.
+    #[allow(clippy::too_many_arguments)]
     fn handle_schedule_bug(
         &mut self,
         conn: &mut dyn DbmsConnection,
         bug: BugReport,
         schedule: &GeneratedSchedule,
         setup_log: &[String],
+        case_seed: u64,
         report: &mut CampaignReport,
     ) {
         match self.prioritizer.classify(&schedule.features) {
-            PriorityDecision::PotentialDuplicate => {}
+            PriorityDecision::PotentialDuplicate => {
+                emit(
+                    &self.trace,
+                    case_seed,
+                    0,
+                    TraceEventKind::Prioritized { kept: false },
+                );
+            }
             PriorityDecision::New => {
+                emit(
+                    &self.trace,
+                    case_seed,
+                    0,
+                    TraceEventKind::Prioritized { kept: true },
+                );
                 let mut case = ScheduleCase {
                     setup: setup_log.to_vec(),
                     schedule: schedule.schedule.clone(),
@@ -967,11 +1052,21 @@ impl Campaign {
                 };
                 let mut final_bug = bug;
                 if self.config.reduce_bugs {
+                    let statements_before = schedule_statement_count(&case);
                     let (reduced, _stats) = {
                         let mut reducer = BugReducer::new(conn, self.config.max_reduction_checks);
                         reducer.reduce_schedule(&case)
                     };
                     case = reduced;
+                    emit(
+                        &self.trace,
+                        case_seed,
+                        0,
+                        TraceEventKind::Reduced {
+                            statements_before,
+                            statements_after: schedule_statement_count(&case),
+                        },
+                    );
                     final_bug.setup = case.setup.clone();
                     final_bug.queries = case.schedule.replay_script();
                     // Reduction left the DBMS in a reduced-setup state;
@@ -996,11 +1091,25 @@ impl Campaign {
         setup_log: &[String],
         query: &crate::generator::GeneratedQuery,
         oracle: OracleKind,
+        case_seed: u64,
         report: &mut CampaignReport,
     ) {
         match self.prioritizer.classify(features) {
-            PriorityDecision::PotentialDuplicate => {}
+            PriorityDecision::PotentialDuplicate => {
+                emit(
+                    &self.trace,
+                    case_seed,
+                    0,
+                    TraceEventKind::Prioritized { kept: false },
+                );
+            }
             PriorityDecision::New => {
+                emit(
+                    &self.trace,
+                    case_seed,
+                    0,
+                    TraceEventKind::Prioritized { kept: true },
+                );
                 let mut case = ReducibleCase {
                     setup: setup_log.to_vec(),
                     query: query.select.clone(),
@@ -1010,11 +1119,21 @@ impl Campaign {
                 };
                 let mut final_bug = bug;
                 if self.config.reduce_bugs {
+                    let statements_before = case.setup.len() + 1;
                     let (reduced, _stats) = {
                         let mut reducer = BugReducer::new(conn, self.config.max_reduction_checks);
                         reducer.reduce(&case)
                     };
                     case = reduced;
+                    emit(
+                        &self.trace,
+                        case_seed,
+                        0,
+                        TraceEventKind::Reduced {
+                            statements_before,
+                            statements_after: case.setup.len() + 1,
+                        },
+                    );
                     final_bug.setup = case.setup.clone();
                     // Re-render the (possibly reduced) queries for the report.
                     final_bug.queries = vec![case.query.to_string()];
@@ -1030,6 +1149,18 @@ impl Campaign {
             }
         }
     }
+}
+
+/// Statement count of a schedule case, for reduction telemetry: the setup
+/// plus every session's body statements.
+fn schedule_statement_count(case: &ScheduleCase) -> usize {
+    case.setup.len()
+        + case
+            .schedule
+            .sessions
+            .iter()
+            .map(|session| session.statements.len())
+            .sum::<usize>()
 }
 
 /// Replays a bug-inducing test case's statements on another DBMS and returns

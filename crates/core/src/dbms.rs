@@ -256,6 +256,19 @@ pub trait DbmsConnection {
         let _ = checkpoint;
         false
     }
+
+    /// Drains accumulated **operational** backend events (wall-clock-plane
+    /// telemetry: pool slot checkouts and re-syncs, wire bytes, child
+    /// respawns). The campaign polls this when a trace sink is attached and
+    /// forwards the events to [`crate::trace::TraceSink::backend_event`].
+    ///
+    /// These events are explicitly *outside* the determinism contract —
+    /// they may vary with pool size, wire buffering and scheduling — which
+    /// is why they travel on a separate channel from the deterministic
+    /// trace events. The default returns nothing (allocation-free).
+    fn drain_backend_events(&mut self) -> Vec<crate::trace::BackendEvent> {
+        Vec::new()
+    }
 }
 
 /// An opaque committed-state snapshot produced by
@@ -325,6 +338,10 @@ impl DbmsConnection for Box<dyn DbmsConnection> {
 
     fn restore(&mut self, checkpoint: &StateCheckpoint) -> bool {
         (**self).restore(checkpoint)
+    }
+
+    fn drain_backend_events(&mut self) -> Vec<crate::trace::BackendEvent> {
+        (**self).drain_backend_events()
     }
 }
 
@@ -406,6 +423,10 @@ impl<C: DbmsConnection> DbmsConnection for TextOnlyConnection<C> {
 
     fn restore(&mut self, checkpoint: &StateCheckpoint) -> bool {
         self.inner.restore(checkpoint)
+    }
+
+    fn drain_backend_events(&mut self) -> Vec<crate::trace::BackendEvent> {
+        self.inner.drain_backend_events()
     }
 
     // `execute_ast` and `query_ast` are deliberately NOT overridden: the

@@ -217,6 +217,12 @@ struct Slot {
     epoch: u64,
     /// How many sync-log statements this slot has observed.
     synced: usize,
+    /// Wall-clock-plane telemetry: checkouts since the last drain.
+    checkouts: u64,
+    /// Wall-clock-plane telemetry: re-syncs since the last drain.
+    resyncs: u64,
+    /// Wall-clock-plane telemetry: statements replayed by those re-syncs.
+    replayed: u64,
 }
 
 /// A fixed-size, deterministic connection pool over one [`Driver`].
@@ -256,6 +262,9 @@ impl Pool {
                 conn: None,
                 epoch: 0,
                 synced: 0,
+                checkouts: 0,
+                resyncs: 0,
+                replayed: 0,
             })
             .collect();
         slots[0].conn = Some(driver.connect()?);
@@ -323,6 +332,8 @@ impl Pool {
         }
         self.slots[index].epoch = self.epoch;
         self.slots[index].synced = self.sync_log.len();
+        self.slots[index].resyncs += 1;
+        self.slots[index].replayed += log.len() as u64;
     }
 
     /// Marks the active slot as having observed the full sync log.
@@ -425,6 +436,7 @@ impl DbmsConnection for Pool {
             self.sync_slot(target);
             self.active = target;
             self.in_case = true;
+            self.slots[target].checkouts += 1;
             self.connected(target).begin_case(case_seed);
         }
     }
@@ -445,6 +457,35 @@ impl DbmsConnection for Pool {
     fn restore(&mut self, checkpoint: &StateCheckpoint) -> bool {
         let active = self.active;
         self.connected(active).restore(checkpoint)
+    }
+
+    fn drain_backend_events(&mut self) -> Vec<crate::trace::BackendEvent> {
+        // Wall-clock plane only: checkout and re-sync counts depend on the
+        // pool size by construction, so they must never feed the
+        // deterministic trace summary.
+        let mut events = Vec::new();
+        for (index, slot) in self.slots.iter_mut().enumerate() {
+            if slot.checkouts > 0 {
+                events.push(crate::trace::BackendEvent::SlotCheckouts {
+                    slot: index,
+                    count: slot.checkouts,
+                });
+                slot.checkouts = 0;
+            }
+            if slot.resyncs > 0 {
+                events.push(crate::trace::BackendEvent::SlotResyncs {
+                    slot: index,
+                    count: slot.resyncs,
+                    replayed: slot.replayed,
+                });
+                slot.resyncs = 0;
+                slot.replayed = 0;
+            }
+            if let Some(conn) = slot.conn.as_mut() {
+                events.extend(conn.drain_backend_events());
+            }
+        }
+        events
     }
 }
 

@@ -45,6 +45,7 @@ pub mod resume;
 pub mod schema;
 pub mod stats;
 pub mod supervisor;
+pub mod trace;
 
 pub use campaign::{
     derive_case_seed, replay_validity, Campaign, CampaignConfig, CampaignConfigBuilder,
@@ -78,4 +79,10 @@ pub use stats::{
 pub use supervisor::{
     classify_infra_message, silence_infra_panics, CampaignIncident, IncidentKind,
     RobustnessCounters, SupervisedCase, Supervisor, SupervisorConfig, INFRA_MARKER,
+};
+pub use trace::{
+    render_trace_summary, validate_jsonl, BackendEvent, BackendTelemetry, CaseRecord, DialectTrace,
+    FlightRecorder, FlushReason, LatencyHistogram, NoopSink, ProgressSnapshot, TraceCounters,
+    TraceEvent, TraceEventKind, TraceHandle, TraceSink, TraceSummary, TraceVerdict,
+    TracedConnection, Tracer,
 };

@@ -21,7 +21,10 @@ use sql_ast::{BeginMode, Expr, Select, SelectItem, Statement, TableWithJoins, Va
 use std::fmt;
 
 /// Which oracle produced a verdict.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// The ordering (declaration order) is only used for stable, deterministic
+/// grouping — e.g. the trace summary's per-oracle latency histograms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum OracleKind {
     /// Ternary Logic Partitioning (Rigger & Su, OOPSLA 2020).
     Tlp,
@@ -317,11 +320,23 @@ fn run_session_statement(conn: &mut dyn DbmsConnection, stmt: &Statement) -> Res
 }
 
 /// Rebuilds the database state the campaign's setup log describes.
-fn rebuild(conn: &mut dyn DbmsConnection, setup: &[String]) {
+///
+/// Ordinary replay failures are tolerated (they mirror the original
+/// outcomes), but an *infrastructure* failure mid-replay aborts the
+/// rebuild: the statement it hit was silently skipped, so the rebuilt
+/// state no longer matches the setup log and any verdict (or checkpoint)
+/// taken from it would bake the corruption in. Surfacing the marked
+/// message lets the supervisor classify the incident and retry the case.
+fn rebuild(conn: &mut dyn DbmsConnection, setup: &[String]) -> Result<(), String> {
     conn.reset();
     for sql in setup {
-        let _ = conn.execute(sql);
+        if let crate::dbms::StatementOutcome::Failure(message) = conn.execute(sql) {
+            if message.contains(crate::supervisor::INFRA_MARKER) {
+                return Err(message);
+            }
+        }
     }
+    Ok(())
 }
 
 /// The stateful oracles' reset-to-setup-state bookkeeping.
@@ -338,21 +353,27 @@ struct SetupState<'a> {
 }
 
 impl<'a> SetupState<'a> {
-    fn capture(conn: &mut dyn DbmsConnection, setup: &'a [String]) -> SetupState<'a> {
-        rebuild(conn, setup);
-        SetupState {
+    /// Errors carry the infrastructure marker: the capture rebuild ran with
+    /// the case's faults armed, and a fault that hit a replay statement must
+    /// become an incident, not a checkpointed half-built state.
+    fn capture(
+        conn: &mut dyn DbmsConnection,
+        setup: &'a [String],
+    ) -> Result<SetupState<'a>, String> {
+        rebuild(conn, setup)?;
+        Ok(SetupState {
             setup,
             checkpoint: conn.checkpoint(),
-        }
+        })
     }
 
-    fn reset_to(&self, conn: &mut dyn DbmsConnection) {
+    fn reset_to(&self, conn: &mut dyn DbmsConnection) -> Result<(), String> {
         if let Some(checkpoint) = &self.checkpoint {
             if conn.restore(checkpoint) {
-                return;
+                return Ok(());
             }
         }
-        rebuild(conn, self.setup);
+        rebuild(conn, self.setup)
     }
 }
 
@@ -381,13 +402,19 @@ pub fn check_rollback(
     // Capture the setup state once; the arms and the exit path below
     // restore it (checkpoint-restore when the backend supports it, setup
     // replay otherwise).
-    let state = SetupState::capture(conn, setup);
+    let state = match SetupState::capture(conn, setup) {
+        Ok(state) => state,
+        Err(message) => return OracleOutcome::Invalid(message),
+    };
     let outcome = check_rollback_arms(conn, table, session, features, &state);
     // The campaign's invariant is that between test cases the connection
     // reflects exactly the setup log; the arms above committed mutations,
-    // so restore before handing the connection back.
-    state.reset_to(conn);
-    outcome
+    // so restore before handing the connection back. A fault-hit restore
+    // outranks the verdict: the supervisor recovers and retries the case.
+    match state.reset_to(conn) {
+        Ok(()) => outcome,
+        Err(message) => OracleOutcome::Invalid(message),
+    }
 }
 
 fn check_rollback_arms(
@@ -422,7 +449,9 @@ fn check_rollback_arms(
     };
 
     // Arm 2: BEGIN … ROLLBACK must be a no-op.
-    state.reset_to(conn);
+    if let Err(message) = state.reset_to(conn) {
+        return OracleOutcome::Invalid(message);
+    }
     let begin = Statement::begin();
     for stmt in std::iter::once(&begin)
         .chain(session.iter())
@@ -647,11 +676,17 @@ pub fn check_isolation(
     // Capture the setup state once; the serial arms and the exit path
     // restore it (checkpoint-restore when the backend supports it, setup
     // replay otherwise).
-    let state = SetupState::capture(conn, setup);
+    let state = match SetupState::capture(conn, setup) {
+        Ok(state) => state,
+        Err(message) => return IsolationVerdict::invalid(message, 0),
+    };
     let verdict = check_isolation_arms(conn, schedule, features, &state);
     // Restore the campaign invariant: the connection reflects the setup log.
-    state.reset_to(conn);
-    verdict
+    // A fault-hit restore outranks the verdict (see [`check_rollback`]).
+    match state.reset_to(conn) {
+        Ok(()) => verdict,
+        Err(message) => IsolationVerdict::invalid(message, verdict.conflict_aborts),
+    }
 }
 
 fn check_isolation_arms(
@@ -736,7 +771,9 @@ fn check_isolation_arms(
     };
     let mut serial_fingerprints = Vec::with_capacity(orders.len());
     for order in &orders {
-        state.reset_to(conn);
+        if let Err(message) = state.reset_to(conn) {
+            return IsolationVerdict::invalid(message, conflict_aborts);
+        }
         if !order.is_empty() {
             let Some(mut serial) = conn.open_session() else {
                 return IsolationVerdict::invalid(

@@ -33,8 +33,11 @@ use sql_parser::{parse_expression, parse_statement};
 use std::fmt::Write as _;
 use std::path::Path;
 
-/// The header line every checkpoint file starts with.
-const HEADER: &str = "# sqlancer++ campaign checkpoint v1";
+/// The header line every checkpoint file starts with. v2 added the
+/// watchdog deadline/observed virtual-tick fields to incident lines; v1
+/// files are rejected (a version-mismatch load fails, and the campaign
+/// starts fresh — safe, just slower than resuming).
+const HEADER: &str = "# sqlancer++ campaign checkpoint v2";
 
 /// A complete snapshot of a running campaign: everything needed to resume
 /// it to a byte-identical final report.
@@ -199,11 +202,13 @@ fn write_counters(out: &mut String, counters: &RobustnessCounters) {
 fn write_incident(out: &mut String, incident: &CampaignIncident) {
     let _ = writeln!(
         out,
-        "incident {} {} {} {} {}",
+        "incident {} {} {} {} {} {} {}",
         incident.kind.name(),
         incident.database,
         incident.case_index,
         incident.attempt,
+        incident.deadline_ticks,
+        incident.observed_ticks,
         escape(&incident.detail),
     );
 }
@@ -796,13 +801,18 @@ pub fn checkpoint_from_string(text: &str) -> Result<CampaignCheckpoint, String> 
             "setup" => checkpoint.setup_log.push(unescape(rest)),
             "incident" => {
                 let (head, detail) = {
-                    let mut parts = rest.splitn(5, ' ');
+                    let mut parts = rest.splitn(7, ' ');
                     let kind = parts.next().unwrap_or("");
                     let database = parts.next().unwrap_or("");
                     let case_index = parts.next().unwrap_or("");
                     let attempt = parts.next().unwrap_or("");
+                    let deadline = parts.next().unwrap_or("");
+                    let observed = parts.next().unwrap_or("");
                     let detail = parts.next().unwrap_or("");
-                    ([kind, database, case_index, attempt], detail)
+                    (
+                        [kind, database, case_index, attempt, deadline, observed],
+                        detail,
+                    )
                 };
                 let kind = IncidentKind::parse(head[0])
                     .ok_or_else(|| err(line_no, format_args!("unknown incident '{}'", head[0])))?;
@@ -811,6 +821,8 @@ pub fn checkpoint_from_string(text: &str) -> Result<CampaignCheckpoint, String> 
                     database: parse_usize(line_no, head[1])?,
                     case_index: parse_u64(line_no, head[2])?,
                     attempt: parse_u64(line_no, head[3])? as u32,
+                    deadline_ticks: parse_u64(line_no, head[4])?,
+                    observed_ticks: parse_u64(line_no, head[5])?,
                     detail: unescape(detail),
                 });
             }
@@ -974,6 +986,8 @@ mod tests {
             database: 1,
             case_index: 17,
             attempt: 0,
+            deadline_ticks: 100_000,
+            observed_ticks: 312,
             detail: "infra: backend crashed (injected infra_crash)".to_string(),
         });
         report.reports.push(BugReport {

@@ -30,6 +30,7 @@
 
 use crate::dbms::DbmsConnection;
 use crate::oracle::OracleOutcome;
+use crate::trace::{emit, TraceEventKind, TraceHandle, TraceVerdict};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 
@@ -130,6 +131,15 @@ pub struct CampaignIncident {
     pub case_index: u64,
     /// Which attempt at the case failed (0 = first try).
     pub attempt: u32,
+    /// The watchdog's virtual-tick deadline that governed the attempt
+    /// ([`SupervisorConfig::deadline_ticks`]; 0 for incidents recorded
+    /// outside a supervised case attempt, e.g. storage-counter failures).
+    pub deadline_ticks: u64,
+    /// The virtual ticks the attempt was observed to consume. Together
+    /// with [`CampaignIncident::deadline_ticks`] this makes hang
+    /// incidents diagnosable from the ledger alone — "overran by how
+    /// much" survives into checkpoints and merged fleet reports.
+    pub observed_ticks: u64,
     /// The opaque backend/panic message (single line).
     pub detail: String,
 }
@@ -238,7 +248,7 @@ pub enum SupervisedCase {
 /// incidents, counters and the consecutive-failure state driving
 /// quarantine. Serialized into campaign checkpoints so a resumed campaign
 /// carries its incident history.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Supervisor {
     config: SupervisorConfig,
     /// Robustness counters accumulated so far.
@@ -246,6 +256,21 @@ pub struct Supervisor {
     /// Incidents recorded so far, in occurrence order.
     pub incidents: Vec<CampaignIncident>,
     consecutive_infra: u32,
+    trace: Option<TraceHandle>,
+    /// The seed of the case currently inside [`Supervisor::run_case`]
+    /// (0 outside), stamping ledger trace events.
+    case_seed: u64,
+}
+
+impl std::fmt::Debug for Supervisor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Supervisor")
+            .field("config", &self.config)
+            .field("counters", &self.counters)
+            .field("incidents", &self.incidents)
+            .field("consecutive_infra", &self.consecutive_infra)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Supervisor {
@@ -256,6 +281,8 @@ impl Supervisor {
             counters: RobustnessCounters::default(),
             incidents: Vec::new(),
             consecutive_infra: 0,
+            trace: None,
+            case_seed: 0,
         }
     }
 
@@ -271,7 +298,15 @@ impl Supervisor {
             counters,
             incidents,
             consecutive_infra,
+            trace: None,
+            case_seed: 0,
         }
+    }
+
+    /// Attaches a trace sink: retry, incident and verdict events stream
+    /// into it from every supervised case.
+    pub fn set_trace(&mut self, trace: Option<TraceHandle>) {
+        self.trace = trace;
     }
 
     /// The supervision policy.
@@ -291,22 +326,25 @@ impl Supervisor {
             && self.consecutive_infra >= self.config.quarantine_threshold
     }
 
-    /// Records an incident.
-    pub fn record(
-        &mut self,
-        kind: IncidentKind,
-        database: usize,
-        case_index: u64,
-        attempt: u32,
-        detail: String,
-    ) {
+    /// Records an incident in the supervision ledger (and on the trace,
+    /// stamped with the incident's `observed_ticks`). The detail text is
+    /// flattened to a single line. `deadline_ticks`/`observed_ticks` are
+    /// the watchdog budget governing the attempt and the virtual ticks it
+    /// was observed to consume (0/0 for incidents recorded outside a case
+    /// attempt).
+    pub fn record(&mut self, incident: CampaignIncident) {
         self.counters.incidents += 1;
+        emit(
+            &self.trace,
+            self.case_seed,
+            incident.observed_ticks,
+            TraceEventKind::Incident {
+                kind: incident.kind,
+            },
+        );
         self.incidents.push(CampaignIncident {
-            kind,
-            database,
-            case_index,
-            attempt,
-            detail: single_line(&detail),
+            detail: single_line(&incident.detail),
+            ..incident
         });
     }
 
@@ -324,6 +362,7 @@ impl Supervisor {
         check: &mut dyn FnMut(&mut dyn DbmsConnection) -> OracleOutcome,
     ) -> SupervisedCase {
         let mut attempt: u32 = 0;
+        self.case_seed = case_seed;
         loop {
             conn.begin_case(case_seed);
             let ticks_before = conn.virtual_ticks();
@@ -339,15 +378,18 @@ impl Supervisor {
                         // the backend state and abandon the case — retrying
                         // deterministic code cannot heal it.
                         self.counters.oracle_panics += 1;
-                        self.record(
-                            IncidentKind::OraclePanic,
+                        self.record(CampaignIncident {
+                            kind: IncidentKind::OraclePanic,
                             database,
                             case_index,
                             attempt,
+                            deadline_ticks: self.config.deadline_ticks,
+                            observed_ticks: elapsed,
                             detail,
-                        );
+                        });
                         self.consecutive_infra = 0;
                         recover(conn, setup_log);
+                        self.finish_case(TraceVerdict::Panicked, elapsed);
                         return SupervisedCase::Panicked;
                     }
                 }
@@ -374,24 +416,58 @@ impl Supervisor {
                 // replay): a fault planned for a statement index the check
                 // never reached must not fire mid-reduction.
                 conn.begin_case(0);
-                return SupervisedCase::Completed(match caught {
+                let outcome = match caught {
                     Ok(outcome) => outcome,
                     Err(_) => unreachable!("non-failure verdicts come from Ok attempts"),
-                });
+                };
+                let verdict = match &outcome {
+                    OracleOutcome::Passed => TraceVerdict::Pass,
+                    OracleOutcome::Invalid(_) => TraceVerdict::Invalid,
+                    OracleOutcome::Bug(_) => TraceVerdict::Bug,
+                };
+                self.finish_case(verdict, elapsed);
+                return SupervisedCase::Completed(outcome);
             };
-            self.record(kind, database, case_index, attempt, detail);
+            self.record(CampaignIncident {
+                kind,
+                database,
+                case_index,
+                attempt,
+                deadline_ticks: self.config.deadline_ticks,
+                observed_ticks: elapsed,
+                detail,
+            });
             recover(conn, setup_log);
             if attempt >= self.config.max_retries {
                 self.counters.infra_failures += 1;
                 self.consecutive_infra += 1;
+                self.finish_case(TraceVerdict::InfraFailed, elapsed);
                 return SupervisedCase::InfraFailed;
             }
             // Deterministic exponential backoff on the virtual clock; no
             // wall time is spent or consulted.
             self.counters.retries += 1;
-            self.counters.backoff_ticks += self.config.backoff_base_ticks << attempt.min(16);
+            let backoff = self.config.backoff_base_ticks << attempt.min(16);
+            self.counters.backoff_ticks += backoff;
+            emit(
+                &self.trace,
+                case_seed,
+                backoff,
+                TraceEventKind::Retry { attempt, kind },
+            );
             attempt += 1;
         }
+    }
+
+    /// Emits the case's verdict event and leaves case scope.
+    fn finish_case(&mut self, verdict: TraceVerdict, elapsed: u64) {
+        emit(
+            &self.trace,
+            self.case_seed,
+            elapsed,
+            TraceEventKind::Verdict { verdict },
+        );
+        self.case_seed = 0;
     }
 }
 

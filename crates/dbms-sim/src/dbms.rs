@@ -30,6 +30,12 @@ pub struct SimulatedDbms {
     /// read, so [`DbmsConnection::storage_metrics`] is cumulative for the
     /// connection's lifetime.
     retired_cow: CowStats,
+    /// Virtual clock: one tick per statement or query, charged at the
+    /// shared funnel of the text and AST paths so both execution paths cost
+    /// identically. Monotone for the connection's lifetime — `reset` and
+    /// `restore` replace the engine but never rewind the clock, exactly
+    /// like `retired_cow`.
+    ticks: u64,
 }
 
 impl Clone for SimulatedDbms {
@@ -46,6 +52,7 @@ impl Clone for SimulatedDbms {
             engine,
             session,
             retired_cow: self.retired_cow,
+            ticks: self.ticks,
         }
     }
 }
@@ -74,6 +81,7 @@ impl SimulatedDbms {
             engine,
             session,
             retired_cow: CowStats::default(),
+            ticks: 0,
         }
     }
 
@@ -150,7 +158,10 @@ impl SimulatedDbms {
     /// of the text path and the AST fast path. Mirrors what
     /// `Statement::Select` execution does in the engine (statement coverage
     /// plus the optimized pipeline) without constructing a [`Statement`].
+    /// Charges one virtual tick: text and AST queries land here after
+    /// identical gating, so both paths cost the same.
     fn run_query(&mut self, select: &Select) -> Result<QueryResult, String> {
+        self.ticks += 1;
         run_session_query(&self.session, select)
     }
 
@@ -378,7 +389,9 @@ impl DbmsConnection for SimulatedDbms {
 
     fn execute_ast(&mut self, stmt: &Statement) -> StatementOutcome {
         // AST fast path: no lexing or parsing — the statement goes straight
-        // into profile gating and the engine.
+        // into profile gating and the engine. One tick per statement: the
+        // text path funnels here after parsing, so both paths cost the same.
+        self.ticks += 1;
         if let Some(feature) = self.profile.first_unsupported(stmt) {
             return StatementOutcome::Failure(format!(
                 "{}: unsupported feature {feature}",
@@ -424,7 +437,14 @@ impl DbmsConnection for SimulatedDbms {
     }
 
     fn open_session(&mut self) -> Option<Box<dyn DbmsConnection>> {
+        // Extra sessions do not advance the primary connection's virtual
+        // clock, which keeps the supervisor's watchdog accounting
+        // single-sourced (mirrors [`crate::faulty::FaultyConnection`]).
         Some(Box::new(self.connect()))
+    }
+
+    fn virtual_ticks(&self) -> u64 {
+        self.ticks
     }
 
     fn storage_metrics(&self) -> Result<Option<StorageMetrics>, String> {

@@ -17,8 +17,8 @@
 
 use sql_ast::{fnv1a64, splitmix64};
 use sqlancer_core::{
-    DbmsConnection, DialectQuirks, QueryResult, StateCheckpoint, StatementOutcome, StorageMetrics,
-    INFRA_MARKER,
+    BackendEvent, DbmsConnection, DialectQuirks, QueryResult, StateCheckpoint, StatementOutcome,
+    StorageMetrics, INFRA_MARKER,
 };
 
 /// The four injectable infrastructure fault kinds. The ids double as the
@@ -425,6 +425,12 @@ impl<C: DbmsConnection> DbmsConnection for FaultyConnection<C> {
     fn restore(&mut self, checkpoint: &StateCheckpoint) -> bool {
         self.inner.restore(checkpoint)
     }
+
+    fn drain_backend_events(&mut self) -> Vec<BackendEvent> {
+        // Transport faults are injected *above* the wrapped connection, so
+        // the wrapper has no wall-plane events of its own to report.
+        self.inner.drain_backend_events()
+    }
 }
 
 #[cfg(test)]
@@ -588,6 +594,67 @@ mod tests {
         let failure = conn.query("SELECT 1").unwrap_err();
         assert!(failure.contains("infra_hang"));
         assert!(conn.virtual_ticks() - before > config.hang_ticks);
+    }
+
+    #[test]
+    fn fault_hitting_the_oracle_rebuild_surfaces_as_infra_not_corruption() {
+        // The rollback oracle replays the setup log *inside the case*
+        // (faults armed), so a fault whose trigger lands on a replay
+        // statement hits the rebuild, not the session. That must surface
+        // as a marked infra failure the supervisor retries — swallowing it
+        // silently would checkpoint a half-built state that leaks past the
+        // case and makes campaign reports depend on the pool size.
+        use sql_ast::Statement;
+        use sqlancer_core::{check_rollback, FeatureSet, OracleOutcome};
+
+        let config = FaultyConfig::default().arm(InfraFaultKind::Garble);
+        // Six setup statements cover the whole trigger range (1..=6): any
+        // planned garble lands inside the capture rebuild.
+        let setup: Vec<String> = std::iter::once("CREATE TABLE t0 (c0 INTEGER)".to_string())
+            .chain((0..5).map(|v| format!("INSERT INTO t0 (c0) VALUES ({v})")))
+            .collect();
+        let seed = seed_with_plan(&config, InfraFaultKind::Garble);
+        let mut conn = crate::preset_by_name("sqlite")
+            .unwrap()
+            .with_infra_faults(config.clone())
+            .instantiate_for_path(crate::runner::ExecutionPath::Ast);
+        // Campaign phase 1: build the state in safe mode.
+        conn.begin_case(0);
+        for sql in &setup {
+            assert!(conn.execute(sql).is_success());
+        }
+        let session = vec![Statement::Insert(sql_ast::Insert {
+            table: "t0".into(),
+            columns: vec!["c0".into()],
+            values: vec![vec![sql_ast::Expr::integer(7)]],
+            or_ignore: false,
+        })];
+        let features = FeatureSet::new();
+
+        conn.begin_case(seed);
+        let outcome = check_rollback(&mut *conn, "t0", &session, &features, &setup);
+        let OracleOutcome::Invalid(message) = outcome else {
+            panic!("fault-hit rebuild must not produce a verdict: {outcome:?}");
+        };
+        assert!(
+            message.contains(INFRA_MARKER),
+            "unmarked failure: {message}"
+        );
+        assert!(message.contains("infra_garble"), "misattributed: {message}");
+
+        // Supervisor-style recovery, then the retry (attempt 1, fault
+        // cleared) completes cleanly on an uncorrupted state.
+        conn.begin_case(0);
+        conn.reset();
+        for sql in &setup {
+            assert!(conn.execute(sql).is_success());
+        }
+        conn.begin_case(seed);
+        let retry = check_rollback(&mut *conn, "t0", &session, &features, &setup);
+        assert!(
+            matches!(retry, OracleOutcome::Passed),
+            "retry should pass: {retry:?}"
+        );
     }
 
     #[test]

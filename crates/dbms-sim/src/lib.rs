@@ -49,6 +49,7 @@ pub use profile::{
 pub use runner::{
     available_threads, derive_dialect_seed, derive_shard_seed, observed_infra_kinds,
     run_campaign_partitioned, run_campaign_partitioned_pooled, run_campaign_partitioned_supervised,
-    run_fleet_parallel, run_fleet_parallel_drivers, run_fleet_serial, run_fleet_serial_drivers,
-    run_one_driver, shard_checkpoint_path, ExecutionPath, FleetReport, PartitionedCampaign,
+    run_campaign_partitioned_traced, run_fleet_parallel, run_fleet_parallel_drivers,
+    run_fleet_serial, run_fleet_serial_drivers, run_one_driver, shard_checkpoint_path,
+    ExecutionPath, FleetReport, PartitionedCampaign,
 };

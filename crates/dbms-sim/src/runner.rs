@@ -17,11 +17,13 @@ use sqlancer_core::supervisor::panic_message;
 use sqlancer_core::{
     load_checkpoint, BugPrioritizer, Campaign, CampaignCheckpoint, CampaignConfig,
     CampaignIncident, CampaignMetrics, CampaignReport, IncidentKind, OracleKind, PriorityDecision,
-    RobustnessCounters, SupervisorConfig,
+    RobustnessCounters, SupervisorConfig, TraceHandle, TraceSummary, Tracer,
 };
+use std::cell::RefCell;
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
+use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
@@ -116,6 +118,8 @@ fn worker_panic_report(dialect: &str, detail: String) -> CampaignReport {
         database: 0,
         case_index: 0,
         attempt: 0,
+        deadline_ticks: 0,
+        observed_ticks: 0,
         detail,
     });
     report
@@ -341,64 +345,141 @@ pub fn run_campaign_partitioned_pooled(
     pool_size: usize,
     supervision: &SupervisorConfig,
 ) -> PartitionedCampaign {
-    let shards = base.databases;
-    let run_shard = |index: usize| -> (CampaignReport, FeatureStats) {
-        let mut config = base.clone();
-        config.databases = 1;
-        config.seed = derive_shard_seed(base.seed, index);
-        let seed = config.seed;
-        let mut shard_sup = supervision.clone();
-        if let Some(base_path) = &supervision.checkpoint_path {
-            shard_sup.checkpoint_path = Some(shard_checkpoint_path(base_path, index));
-        }
-        let mut campaign = Campaign::new(config);
-        let mut pool = Pool::new(Arc::clone(driver), pool_size)
-            .unwrap_or_else(|err| panic!("pool for {} failed to connect: {err}", driver.name()));
-        let report = match resumable_checkpoint(&shard_sup, seed) {
-            Some(checkpoint) => campaign.resume_pooled(&mut pool, &shard_sup, checkpoint),
-            None => campaign.run_pooled(&mut pool, &shard_sup),
-        };
-        (report, campaign.generator.stats.clone())
-    };
     let run_shard_guarded = |index: usize| -> (CampaignReport, FeatureStats) {
-        catch_unwind(AssertUnwindSafe(|| run_shard(index))).unwrap_or_else(|payload| {
-            let report = worker_panic_report(
-                driver.name(),
-                format!("shard worker panicked: {}", panic_message(&*payload)),
-            );
-            (report, FeatureStats::new())
+        catch_unwind(AssertUnwindSafe(|| {
+            run_one_shard(driver, base, pool_size, supervision, index, None)
+        }))
+        .unwrap_or_else(|payload| {
+            (
+                shard_panic_report(driver.name(), &*payload),
+                FeatureStats::new(),
+            )
         })
     };
-    let threads = threads.max(1).min(shards.max(1));
-    let results: Vec<(CampaignReport, FeatureStats)> = if threads <= 1 || shards <= 1 {
-        (0..shards).map(run_shard_guarded).collect()
-    } else {
-        let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<(CampaignReport, FeatureStats)>>> =
-            (0..shards).map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let index = next.fetch_add(1, Ordering::Relaxed);
-                    if index >= shards {
-                        break;
-                    }
-                    let result = run_shard_guarded(index);
-                    *slots[index].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
-                });
-            }
-        });
-        slots
-            .into_iter()
-            .enumerate()
-            .map(|(index, slot)| {
-                slot.into_inner()
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .unwrap_or_else(|| run_shard_guarded(index))
-            })
-            .collect()
-    };
+    let results = run_shards_scheduled(base.databases, threads, &run_shard_guarded);
     merge_shards(driver.name(), results)
+}
+
+/// [`run_campaign_partitioned_pooled`] with per-shard trace collection:
+/// every shard runs with its own [`Tracer`] (trace sinks are
+/// single-threaded by design — `Rc`, not `Arc`) and the shard summaries
+/// fold into one [`TraceSummary`] by summation. Because shard summaries
+/// merge commutatively and per-case tick deltas are sampled inside the
+/// case (after pool checkout and re-sync), the merged summary — and its
+/// [`sqlancer_core::render_trace_summary`] rendering — is byte-identical
+/// for any `threads` and any `pool_size`.
+///
+/// A shard whose worker panics outside the supervisor's reach contributes
+/// a degraded [`worker_panic_report`] and an empty trace summary.
+pub fn run_campaign_partitioned_traced(
+    driver: &Arc<dyn Driver>,
+    base: &CampaignConfig,
+    threads: usize,
+    pool_size: usize,
+    supervision: &SupervisorConfig,
+) -> (PartitionedCampaign, TraceSummary) {
+    let run_shard_guarded = |index: usize| -> (CampaignReport, FeatureStats, TraceSummary) {
+        catch_unwind(AssertUnwindSafe(|| {
+            let tracer = Rc::new(RefCell::new(Tracer::new()));
+            let handle: TraceHandle = tracer.clone();
+            let (report, stats) =
+                run_one_shard(driver, base, pool_size, supervision, index, Some(handle));
+            let summary = tracer.borrow().summary().clone();
+            (report, stats, summary)
+        }))
+        .unwrap_or_else(|payload| {
+            (
+                shard_panic_report(driver.name(), &*payload),
+                FeatureStats::new(),
+                TraceSummary::new(),
+            )
+        })
+    };
+    let results = run_shards_scheduled(base.databases, threads, &run_shard_guarded);
+    let mut summary = TraceSummary::new();
+    let mut shards = Vec::with_capacity(results.len());
+    for (report, stats, shard_summary) in results {
+        summary.merge(&shard_summary);
+        shards.push((report, stats));
+    }
+    (merge_shards(driver.name(), shards), summary)
+}
+
+/// One database shard of a partitioned campaign: single-database config
+/// with the shard-derived seed, per-shard checkpoint path, pooled
+/// connections, checkpoint resume, and an optional trace sink.
+fn run_one_shard(
+    driver: &Arc<dyn Driver>,
+    base: &CampaignConfig,
+    pool_size: usize,
+    supervision: &SupervisorConfig,
+    index: usize,
+    trace: Option<TraceHandle>,
+) -> (CampaignReport, FeatureStats) {
+    let mut config = base.clone();
+    config.databases = 1;
+    config.seed = derive_shard_seed(base.seed, index);
+    let seed = config.seed;
+    let mut shard_sup = supervision.clone();
+    if let Some(base_path) = &supervision.checkpoint_path {
+        shard_sup.checkpoint_path = Some(shard_checkpoint_path(base_path, index));
+    }
+    let mut campaign = Campaign::new(config);
+    campaign.set_trace(trace);
+    let mut pool = Pool::new(Arc::clone(driver), pool_size)
+        .unwrap_or_else(|err| panic!("pool for {} failed to connect: {err}", driver.name()));
+    let report = match resumable_checkpoint(&shard_sup, seed) {
+        Some(checkpoint) => campaign.resume_pooled(&mut pool, &shard_sup, checkpoint),
+        None => campaign.run_pooled(&mut pool, &shard_sup),
+    };
+    (report, campaign.generator.stats.clone())
+}
+
+/// The degraded report for a shard worker that panicked outside the
+/// supervisor's reach.
+fn shard_panic_report(dialect: &str, payload: &(dyn std::any::Any + Send)) -> CampaignReport {
+    worker_panic_report(
+        dialect,
+        format!("shard worker panicked: {}", panic_message(payload)),
+    )
+}
+
+/// Runs `shards` shard jobs across up to `threads` scoped workers claiming
+/// indices from a shared counter, writing results back by shard index.
+/// Poisoned result slots are recovered, not propagated, and a slot whose
+/// claiming worker died before writing is re-run inline.
+fn run_shards_scheduled<T: Send>(
+    shards: usize,
+    threads: usize,
+    run_shard_guarded: &(impl Fn(usize) -> T + Sync),
+) -> Vec<T> {
+    let threads = threads.max(1).min(shards.max(1));
+    if threads <= 1 || shards <= 1 {
+        return (0..shards).map(run_shard_guarded).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..shards).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= shards {
+                    break;
+                }
+                let result = run_shard_guarded(index);
+                *slots[index].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(index, slot)| {
+            slot.into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+                .unwrap_or_else(|| run_shard_guarded(index))
+        })
+        .collect()
 }
 
 /// The injected infrastructure fault ids whose incidents appear in a

@@ -33,6 +33,7 @@ use sql_ast::Value;
 use sqlancer_core::dbms::{DbmsConnection, QueryResult, StatementOutcome};
 use sqlancer_core::driver::{Capability, Driver};
 use sqlancer_core::supervisor::INFRA_MARKER;
+use sqlancer_core::BackendEvent;
 
 /// Column separator in the child's list-mode output. Printable (recent
 /// sqlite3 CLIs caret-escape control characters in output, which would
@@ -112,6 +113,27 @@ pub struct SqliteProcConnection {
     /// [`INFRA_MARKER`]-tagged crash message so the supervisor retries
     /// through its recovery path instead of observing bogus empty state.
     wire: Option<Wire>,
+    /// Wall-clock-plane wire telemetry since the last drain. Transport
+    /// accounting only (pipe bytes, sentinel frames, child respawns) —
+    /// never part of the deterministic trace summary.
+    telemetry: WireCounters,
+}
+
+/// Wire-transport counters drained via
+/// [`DbmsConnection::drain_backend_events`].
+#[derive(Default)]
+struct WireCounters {
+    /// Bytes written to the child's stdin (statement payloads, including
+    /// the sentinel framing).
+    bytes_written: u64,
+    /// Bytes read from the child's stdout (result rows, error lines and
+    /// sentinel echoes).
+    bytes_read: u64,
+    /// Statements framed with an end-of-output sentinel.
+    sentinel_frames: u64,
+    /// Child processes respawned after a death (the initial spawn is not
+    /// a respawn).
+    respawns: u64,
 }
 
 impl SqliteProcConnection {
@@ -121,6 +143,7 @@ impl SqliteProcConnection {
         let mut conn = SqliteProcConnection {
             binary: binary.to_string(),
             wire: Some(wire),
+            telemetry: WireCounters::default(),
         };
         // Probe: surfaces a missing or broken binary as a connect error
         // (the `sh` wrapper itself always spawns).
@@ -156,12 +179,14 @@ impl SqliteProcConnection {
             return Err(self.crash_error("connection is down"));
         };
         wire.sentinel += 1;
+        self.telemetry.sentinel_frames += 1;
         let marker = format!("SQLPROC_SENTINEL_{}", wire.sentinel);
         // Newlines inside the statement would shift the CLI's line-based
         // error reporting; the generator renders single-line SQL, this
         // just keeps the framing robust.
         let flat = sql.replace(['\n', '\r'], " ");
         let payload = format!("{flat}\n;\nSELECT '{marker}';\n");
+        self.telemetry.bytes_written += payload.len() as u64;
         if let Err(err) = wire
             .stdin
             .write_all(payload.as_bytes())
@@ -174,7 +199,8 @@ impl SqliteProcConnection {
             let mut line = String::new();
             match wire.stdout.read_line(&mut line) {
                 Ok(0) => return Err(self.crash_error("unexpected eof on pipe")),
-                Ok(_) => {
+                Ok(bytes) => {
+                    self.telemetry.bytes_read += bytes as u64;
                     let line = line.trim_end_matches('\n');
                     if line == marker {
                         return Ok(lines);
@@ -316,7 +342,36 @@ impl DbmsConnection for SqliteProcConnection {
             && matches!(self.run_statement(".open :memory:"), Ok(ref lines) if lines.is_empty());
         if !reopened {
             self.wire = spawn_wire(&self.binary).ok();
+            if self.wire.is_some() {
+                self.telemetry.respawns += 1;
+            }
         }
+    }
+
+    fn drain_backend_events(&mut self) -> Vec<BackendEvent> {
+        let drained = std::mem::take(&mut self.telemetry);
+        let mut events = Vec::new();
+        if drained.bytes_written > 0 {
+            events.push(BackendEvent::WireWrites {
+                bytes: drained.bytes_written,
+            });
+        }
+        if drained.bytes_read > 0 {
+            events.push(BackendEvent::WireReads {
+                bytes: drained.bytes_read,
+            });
+        }
+        if drained.sentinel_frames > 0 {
+            events.push(BackendEvent::SentinelFrames {
+                count: drained.sentinel_frames,
+            });
+        }
+        if drained.respawns > 0 {
+            events.push(BackendEvent::Respawns {
+                count: drained.respawns,
+            });
+        }
+        events
     }
 }
 
@@ -429,6 +484,36 @@ mod tests {
         assert!(cap.transactions && cap.savepoints);
         assert!(!cap.ast_statements && !cap.state_checkpoints);
         assert!(!cap.multi_session && !cap.storage_metrics);
+    }
+
+    #[test]
+    fn wire_telemetry_drains_and_resets() {
+        let Some(mut conn) = connection() else { return };
+        assert!(conn.execute("CREATE TABLE t0 (c0 INTEGER)").is_success());
+        assert!(conn.query("SELECT 1").is_ok());
+        let events = conn.drain_backend_events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, BackendEvent::WireWrites { bytes } if *bytes > 0)));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, BackendEvent::WireReads { bytes } if *bytes > 0)));
+        // Probe + CREATE + SELECT: one sentinel frame per statement.
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, BackendEvent::SentinelFrames { count } if *count >= 3)));
+        assert!(
+            conn.drain_backend_events().is_empty(),
+            "drain must reset the counters"
+        );
+        // A killed child surfaces as a respawn at the next reset.
+        conn.kill_backend();
+        let _ = conn.execute("SELECT 1");
+        conn.reset();
+        assert!(conn
+            .drain_backend_events()
+            .iter()
+            .any(|e| matches!(e, BackendEvent::Respawns { count: 1 })));
     }
 
     #[test]
