@@ -65,6 +65,17 @@ echo "==> observability (trace) gate"
 # campaign end is well-formed and matches the in-memory document.
 ./target/release/campaign_throughput --trace-check dolt
 
+echo "==> coverage-atlas gate"
+# Asserts the rendered coverage atlas is byte-identical for any worker
+# count, pool size and execution path under a full fault storm; that
+# coverage-directed scheduling reaches at least the uniform scheduler's
+# distinct-feature coverage at the same case budget; that the atlas
+# accounting keeps the committed fraction of an accounting-free
+# baseline's throughput with a byte-identical report; and that the atlas
+# line flushed through the flight-recorder JSONL path is well-formed and
+# matches the final report's atlas exactly.
+./target/release/campaign_throughput --coverage-check dolt
+
 echo "==> subprocess-sqlite wire-backend gate"
 # Runs a full mixed-oracle campaign (TLP, NoREC, rollback) against the
 # system sqlite3 binary over the subprocess driver through a size-2 pool
@@ -96,15 +107,18 @@ floor_compiled=$(json_number BENCH_campaign.json min_speedup_compiled_over_tree)
 floor_txn=$(json_number BENCH_campaign.json min_txn_throughput_ratio)
 floor_iso=$(json_number BENCH_campaign.json min_isolation_throughput_ratio)
 floor_traced=$(json_number BENCH_campaign.json min_traced_throughput_ratio)
+floor_coverage=$(json_number BENCH_campaign.json min_coverage_throughput_ratio)
 actual_ast=$(json_number "$SMOKE_JSON" speedup_ast_over_text)
 actual_compiled=$(json_number "$SMOKE_JSON" speedup_compiled_over_tree)
 actual_txn=$(json_number "$SMOKE_JSON" txn_throughput_ratio)
 actual_iso=$(json_number "$SMOKE_JSON" isolation_throughput_ratio)
 actual_traced=$(json_number "$SMOKE_JSON" traced_throughput_ratio)
+actual_coverage=$(json_number "$SMOKE_JSON" coverage_throughput_ratio)
 gate speedup_ast_over_text "$actual_ast" "$floor_ast"
 gate speedup_compiled_over_tree "$actual_compiled" "$floor_compiled"
 gate txn_throughput_ratio "$actual_txn" "$floor_txn"
 gate isolation_throughput_ratio "$actual_iso" "$floor_iso"
 gate traced_throughput_ratio "$actual_traced" "$floor_traced"
+gate coverage_throughput_ratio "$actual_coverage" "$floor_coverage"
 
 echo "CI OK"

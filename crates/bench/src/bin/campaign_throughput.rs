@@ -36,16 +36,26 @@
 //!   `min_traced_throughput_ratio` of the untraced throughput and produce
 //!   a byte-identical report (tracing observes, never perturbs);
 //!
+//! * **coverage** (atlas + directed scheduling): the txn workload run with
+//!   atlas accounting off vs on, nine interleaved repetitions gated on the
+//!   median pair ratio — the atlas-enabled campaign must keep at least
+//!   `min_coverage_throughput_ratio` of the accounting-free baseline's
+//!   throughput and produce a byte-identical report (coverage observes,
+//!   never perturbs) — plus one coverage-directed run, which must reach at
+//!   least the uniform run's distinct-feature coverage at the same case
+//!   budget;
+//!
 //! plus serial vs parallel fleet sharding on the eval workload.
 //!
-//! Writes `BENCH_campaign.json` (`schema_version` 7) with queries/sec per
-//! arm, the AST/text, compiled/tree, txn-overhead, isolation and tracing
-//! ratios, CoW effectiveness counters (tables snapshotted vs. actually
-//! cloned, conflicts avoided by row-range intent), the fault-storm
-//! `robustness` block, the `observability` block, the parallel/serial
-//! speedup, and the committed `ci_floors` that `ci.sh` gates regressions
-//! against. The written file is validated before the process exits:
-//! malformed or partial output is a non-zero exit, which CI checks.
+//! Writes `BENCH_campaign.json` (`schema_version` 8) with queries/sec per
+//! arm, the AST/text, compiled/tree, txn-overhead, isolation, tracing and
+//! coverage ratios, CoW effectiveness counters (tables snapshotted vs.
+//! actually cloned, conflicts avoided by row-range intent), the fault-storm
+//! `robustness` block, the `observability` block, the `coverage` block, the
+//! parallel/serial speedup, and the committed `ci_floors` that `ci.sh`
+//! gates regressions against. The written file is validated before the
+//! process exits: malformed or partial output is a non-zero exit, which CI
+//! checks.
 //!
 //! Usage:
 //!   `campaign_throughput [queries_per_database] [output_path]`
@@ -53,19 +63,21 @@
 //!   `campaign_throughput --partitioned-check [dialect]`
 //!   `campaign_throughput --fault-storm-check [dialect]`
 //!   `campaign_throughput --trace-check [dialect]`
+//!   `campaign_throughput --coverage-check [dialect]`
 //!   `campaign_throughput --sqlite-check`
 
 use dbms_sim::{
     available_threads, fleet, observed_infra_kinds, preset_by_name, run_campaign_partitioned,
-    run_campaign_partitioned_supervised, run_campaign_partitioned_traced, run_fleet_parallel,
-    run_fleet_serial, DialectPreset, ExecutionPath, FaultyConfig, FleetReport, InfraFaultKind,
+    run_campaign_partitioned_pooled, run_campaign_partitioned_supervised,
+    run_campaign_partitioned_traced, run_fleet_parallel, run_fleet_serial, DialectPreset,
+    ExecutionPath, FaultyConfig, FleetReport, InfraFaultKind,
 };
 use dbms_sqlite::SqliteProcDriver;
 use sqlancer_core::driver::{Driver, Pool};
 use sqlancer_core::{
-    load_checkpoint, render_report, render_trace_summary, silence_infra_panics, validate_jsonl,
-    Campaign, CampaignConfig, CampaignReport, OracleKind, SupervisorConfig, TraceHandle, Tracer,
-    INFRA_MARKER,
+    load_checkpoint, render_atlas_report, render_report, render_trace_summary,
+    silence_infra_panics, validate_jsonl, Campaign, CampaignConfig, CampaignReport, OracleKind,
+    SupervisorConfig, TraceHandle, Tracer, INFRA_MARKER,
 };
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -74,7 +86,7 @@ use std::time::Instant;
 
 /// The version of the JSON layout this binary writes. Bump when keys are
 /// added or renamed so the CI gate can evolve without breaking old files.
-const SCHEMA_VERSION: u32 = 7;
+const SCHEMA_VERSION: u32 = 8;
 
 /// Committed regression floors, written into the benchmark artifact and
 /// enforced by `ci.sh` against the smoke run. Deliberately conservative:
@@ -103,6 +115,34 @@ const FLOOR_ISOLATION_THROUGHPUT_RATIO: f64 = 0.45;
 /// event pushes, so the steady-state ratio sits at ~1.0; the floor is the
 /// budget itself because min-of-3 interleaved filters scheduler noise.
 const FLOOR_TRACED_THROUGHPUT_RATIO: f64 = 0.95;
+/// A campaign run with atlas accounting enabled (per-case feature
+/// observation, engine-plane polls, saturation windows) must keep at
+/// least this fraction of the accounting-free baseline's throughput. The
+/// accounting is set unions and counter bumps charged once per case —
+/// never per statement, never per row — so the steady-state ratio sits at
+/// ~1.0 and the floor is the observability budget itself (the same ≤5%
+/// deal the tracer gets). The coverage-*directed* scheduler is priced
+/// separately and not gated: steering changes which SQL is generated, so
+/// its elapsed ratio measures workload content, not instrumentation.
+/// Enforced at full strength by `--coverage-check`; the smoke artifact's
+/// regression floor is [`SMOKE_FLOOR_COVERAGE_THROUGHPUT_RATIO`].
+const FLOOR_COVERAGE_THROUGHPUT_RATIO: f64 = 0.95;
+/// The committed `ci_floors` value the smoke perf gate compares against.
+/// The smoke measurement runs immediately after four heavier workloads
+/// in the same process, where cgroup-quota throttling adds a few percent
+/// of one-sided noise even to the median-of-pairs estimator, so its
+/// floor only arms against gross regressions — the strict
+/// [`FLOOR_COVERAGE_THROUGHPUT_RATIO`] budget is held by the dedicated
+/// `--coverage-check` gate, which runs the same instrument cold.
+const SMOKE_FLOOR_COVERAGE_THROUGHPUT_RATIO: f64 = 0.90;
+/// Case budget of the coverage instrument (the atlas-off-vs-on timing
+/// pair runs 10x this; the uniform and directed feature-coverage arms run
+/// exactly this). Pinned — like the instrument's seed — rather than
+/// scaled with the artifact budget: the directed-vs-uniform comparison is
+/// seed-and-budget-specific, and the accounting ratio should price the
+/// same workload in the smoke gate, the CI gate and the committed
+/// artifact.
+const COVERAGE_CASE_BUDGET: usize = 120;
 
 fn base_config(queries_per_database: usize) -> CampaignConfig {
     let mut config = CampaignConfig::builder()
@@ -758,6 +798,249 @@ fn trace_check(dialect: &str) -> ! {
     std::process::exit(0);
 }
 
+// ------------------------------------------------- coverage-atlas gate ----
+
+/// The coverage workload: the txn schedule (the richest feature mix —
+/// query features plus transactional statements) with the atlas
+/// accounting and the coverage-directed scheduler toggled per arm.
+fn coverage_campaign_config(
+    queries_per_database: usize,
+    atlas: bool,
+    directed: bool,
+) -> CampaignConfig {
+    let mut config = txn_config(queries_per_database);
+    config.seed = 0x5EED1;
+    config.coverage_atlas = atlas;
+    config.coverage_directed = directed;
+    config
+}
+
+/// The atlas-off-vs-on pair, nine interleaved repetitions at a 10x case
+/// budget, gated on the median per-repetition ratio (stronger noise
+/// filtering than [`run_arms`]'s min-of-3 because this ratio holds a
+/// 0.95 floor on a shared machine where the arms run in ~200ms), plus
+/// untimed uniform and coverage-directed runs at the caller's budget.
+/// The timed arms execute the same workload byte for byte — the atlas
+/// touches no RNG — so their throughput ratio prices the accounting
+/// alone; the directed run steers generation (a different, usually
+/// heavier workload), so it is compared on distinct-feature coverage
+/// against the uniform run at the same case budget, never on elapsed.
+struct CoverageOverhead {
+    baseline_s: f64,
+    atlas_s: f64,
+    /// Per-repetition baseline/atlas elapsed ratios. The two arms of a
+    /// repetition run back to back, so a sustained load spike on a
+    /// shared machine slows both about equally and the pair's ratio
+    /// stays unbiased — unlike the global min-of-N elapsed pair, which
+    /// compares two extreme order statistics drawn seconds apart.
+    pair_ratios: Vec<f64>,
+    /// Atlas-enabled uniform-scheduling run at the case budget — the
+    /// feature-coverage yardstick `directed` is compared against.
+    uniform: CampaignReport,
+    /// Atlas-enabled coverage-directed run at the same case budget.
+    directed: CampaignReport,
+}
+
+impl CoverageOverhead {
+    /// Atlas-enabled throughput as a fraction of the accounting-free
+    /// baseline: the median of the per-repetition pair ratios, which
+    /// outlier-trims scheduler noise in either direction while a real
+    /// accounting regression (slowing every atlas arm) still moves it.
+    fn ratio(&self) -> f64 {
+        let mut sorted = self.pair_ratios.clone();
+        sorted.sort_by(f64::total_cmp);
+        sorted[sorted.len() / 2]
+    }
+}
+
+fn measure_coverage_overhead(dialect: &str, queries_per_database: usize) -> CoverageOverhead {
+    let preset = preset_by_name(dialect).unwrap_or_else(|| {
+        eprintln!("unknown dialect {dialect}");
+        std::process::exit(1);
+    });
+    // The timed pair runs a 10x case budget: at the gate's budgets one
+    // arm finishes in tens of milliseconds, where a single scheduler
+    // preemption distorts a rep by ~10% — too coarse to hold a 0.95
+    // floor against. Ten times longer arms amortise that noise; the
+    // feature-coverage arms below stay at the caller's budget so the
+    // directed-vs-uniform comparison is at equal, committed budgets.
+    let timing_budget = queries_per_database * 10;
+    let baseline_config = coverage_campaign_config(timing_budget, false, false);
+    let atlas_config = coverage_campaign_config(timing_budget, true, false);
+    let mut baseline_s = f64::INFINITY;
+    let mut atlas_s = f64::INFINITY;
+    let mut pair_ratios = Vec::new();
+    let mut baseline_report = None;
+    let mut atlas_report = None;
+    // The arm order alternates each repetition: under cgroup CPU-quota
+    // throttling the first arm of a pair tends to get the burst and the
+    // second the throttle, so a fixed order biases the ratio one way.
+    for rep in 0..9 {
+        let mut rep_baseline = f64::INFINITY;
+        let mut rep_atlas = f64::INFINITY;
+        let order = [rep % 2 == 0, rep % 2 != 0];
+        for baseline_first in order {
+            if baseline_first {
+                let (elapsed, report) = untraced_run(&preset, &baseline_config);
+                rep_baseline = elapsed;
+                baseline_report = Some(report);
+            } else {
+                let (elapsed, report) = untraced_run(&preset, &atlas_config);
+                rep_atlas = elapsed;
+                atlas_report = Some(report);
+            }
+        }
+        baseline_s = baseline_s.min(rep_baseline);
+        atlas_s = atlas_s.min(rep_atlas);
+        pair_ratios.push(rep_baseline / rep_atlas);
+    }
+    let baseline = baseline_report.expect("repetitions ran");
+    let atlas = atlas_report.expect("repetitions ran");
+    assert_eq!(
+        render_report(&baseline),
+        render_report(&atlas),
+        "enabling the atlas changed the campaign — coverage must observe, never perturb"
+    );
+    let (_, uniform) = untraced_run(
+        &preset,
+        &coverage_campaign_config(queries_per_database, true, false),
+    );
+    let (_, directed) = untraced_run(
+        &preset,
+        &coverage_campaign_config(queries_per_database, true, true),
+    );
+    CoverageOverhead {
+        baseline_s,
+        atlas_s,
+        pair_ratios,
+        uniform,
+        directed,
+    }
+}
+
+/// The CI coverage-atlas gate. Asserts:
+///
+/// 1. **merge identity** — under a full fault storm, the rendered coverage
+///    atlas is byte-identical for any worker count (1 and all available),
+///    any pool size (1, 2, 4) and both execution paths (coverage is
+///    charged at the shared text/AST funnel, so dispatch is not an
+///    observable);
+/// 2. **directed wins** — coverage-directed scheduling reaches at least
+///    the uniform scheduler's distinct-feature coverage at the same case
+///    budget;
+/// 3. **overhead** — the atlas-enabled campaign keeps at least
+///    [`FLOOR_COVERAGE_THROUGHPUT_RATIO`] of the accounting-free
+///    baseline's throughput, with a byte-identical report;
+/// 4. **self-validating flush** — the atlas line flushed through the
+///    flight-recorder JSONL path is well-formed and byte-identical to the
+///    final report's atlas.
+fn coverage_check(dialect: &str) -> ! {
+    silence_infra_panics();
+
+    // 1: atlas byte-identity across workers x pools x paths, under the
+    // full fault storm (retries, recoveries and slot re-syncs in play).
+    let mut config = coverage_campaign_config(60, true, false);
+    config.databases = 3;
+    let storm = storm_preset(dialect, FaultyConfig::storm());
+    let supervision = SupervisorConfig::default();
+    let workers = available_threads().max(2);
+    let mut rendered = Vec::new();
+    for path in [ExecutionPath::Ast, ExecutionPath::Text] {
+        let driver = storm.driver(path);
+        let reference = run_campaign_partitioned_pooled(&driver, &config, 1, 1, &supervision);
+        let baseline = render_atlas_report(&reference.report);
+        for section in ["oracle TLP", "saturation novel", "engine "] {
+            if !baseline.contains(section) {
+                eprintln!("FAIL: rendered atlas is missing its \"{section}\" section:\n{baseline}");
+                std::process::exit(1);
+            }
+        }
+        for (threads, pool_size) in [(1usize, 2usize), (workers, 1), (workers, 2), (workers, 4)] {
+            let run =
+                run_campaign_partitioned_pooled(&driver, &config, threads, pool_size, &supervision);
+            if render_atlas_report(&run.report) != baseline {
+                eprintln!(
+                    "FAIL: {path:?} atlas diverged at {threads} workers, pool size {pool_size}"
+                );
+                std::process::exit(1);
+            }
+        }
+        rendered.push(baseline);
+    }
+    if rendered[0] != rendered[1] {
+        eprintln!("FAIL: AST and text execution paths rendered different atlases");
+        std::process::exit(1);
+    }
+
+    // 2+3: the accounting keeps the committed fraction of the baseline's
+    // throughput, and directed mode reaches at least uniform coverage at
+    // the same case budget.
+    let overhead = measure_coverage_overhead(dialect, COVERAGE_CASE_BUDGET);
+    let ratio = overhead.ratio();
+    if !ratio.is_finite() || ratio < FLOOR_COVERAGE_THROUGHPUT_RATIO {
+        eprintln!(
+            "FAIL: atlas accounting too expensive: atlas/baseline throughput ratio \
+             {ratio:.3} < floor {FLOOR_COVERAGE_THROUGHPUT_RATIO}"
+        );
+        std::process::exit(1);
+    }
+    let uniform_features = overhead.uniform.coverage.distinct_features();
+    let directed_features = overhead.directed.coverage.distinct_features();
+    if directed_features < uniform_features {
+        eprintln!(
+            "FAIL: coverage-directed scheduling lost coverage: {directed_features} distinct \
+             features vs {uniform_features} uniform at the same case budget"
+        );
+        std::process::exit(1);
+    }
+
+    // 4: the atlas flushed through the flight-recorder JSONL path is
+    // well-formed and matches the final in-memory atlas exactly.
+    let preset = preset_by_name(dialect).unwrap_or_else(|| {
+        eprintln!("unknown dialect {dialect}");
+        std::process::exit(1);
+    });
+    let jsonl_path = std::env::temp_dir().join(format!(
+        "sqlancerpp_coverage_check_{}_{dialect}.jsonl",
+        std::process::id()
+    ));
+    let (_, report, _) = traced_run(
+        &preset,
+        &coverage_campaign_config(120, true, true),
+        &jsonl_path,
+    );
+    let text = match std::fs::read_to_string(&jsonl_path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("FAIL: atlas JSONL was not flushed: {err}");
+            std::process::exit(1);
+        }
+    };
+    let _ = std::fs::remove_file(&jsonl_path);
+    let jsonl_lines = match validate_jsonl(&text) {
+        Ok(lines) => lines,
+        Err(why) => {
+            eprintln!("FAIL: atlas JSONL malformed: {why}");
+            std::process::exit(1);
+        }
+    };
+    let atlas_line = report.coverage.to_json_line(&report.dbms_name);
+    // `lines()` strips the terminator `to_json_line` appends.
+    let atlas_line = atlas_line.trim_end();
+    if !text.lines().any(|line| line == atlas_line) {
+        eprintln!("FAIL: flushed JSONL is missing the final coverage-atlas line");
+        std::process::exit(1);
+    }
+
+    println!(
+        "coverage-check({dialect}): atlas byte-identical across 1/{workers} workers x \
+         1/2/4 pools x both paths, directed {directed_features} >= uniform {uniform_features} \
+         distinct features, atlas/baseline throughput ratio {ratio:.3} \
+         (floor {FLOOR_COVERAGE_THROUGHPUT_RATIO}), atlas JSONL valid ({jsonl_lines} lines)"
+    );
+    std::process::exit(0);
+}
+
 // ------------------------------------------------------------ validation ----
 
 /// Extracts the number following `"key": ` (top-level or nested).
@@ -824,6 +1107,12 @@ fn validate_bench_json(json: &str) -> Result<(), String> {
         "traced_throughput_ratio",
         "trace_statements",
         "jsonl_lines",
+        "coverage",
+        "coverage_throughput_ratio",
+        "distinct_features_uniform",
+        "distinct_features_directed",
+        "engine_points",
+        "saturation_novel",
         "parallel",
         "ci_floors",
         "min_speedup_ast_over_text",
@@ -831,6 +1120,7 @@ fn validate_bench_json(json: &str) -> Result<(), String> {
         "min_txn_throughput_ratio",
         "min_isolation_throughput_ratio",
         "min_traced_throughput_ratio",
+        "min_coverage_throughput_ratio",
     ] {
         if !json.contains(&format!("\"{key}\":")) {
             return Err(format!("missing key \"{key}\""));
@@ -838,9 +1128,9 @@ fn validate_bench_json(json: &str) -> Result<(), String> {
     }
     let schema = number_after(json, "schema_version")
         .ok_or_else(|| "schema_version is not a number".to_string())?;
-    if schema < 7.0 {
+    if schema < 8.0 {
         return Err(format!(
-            "schema_version {schema} predates the observability gate"
+            "schema_version {schema} predates the coverage-atlas gate"
         ));
     }
     match number_after(json, "false_positive_logic_bugs") {
@@ -857,6 +1147,11 @@ fn validate_bench_json(json: &str) -> Result<(), String> {
         Some(v) => return Err(format!("fault-storm campaign ran {v} cases")),
         None => return Err("storm_test_cases is not a number".to_string()),
     }
+    match number_after(json, "distinct_features_directed") {
+        Some(v) if v > 0.0 => {}
+        Some(v) => return Err(format!("coverage block reports {v} distinct features")),
+        None => return Err("distinct_features_directed is not a number".to_string()),
+    }
     for key in [
         "speedup_ast_over_text",
         "speedup_compiled_over_tree",
@@ -864,6 +1159,7 @@ fn validate_bench_json(json: &str) -> Result<(), String> {
         "txn_throughput_ratio",
         "isolation_throughput_ratio",
         "traced_throughput_ratio",
+        "coverage_throughput_ratio",
         "begin_ns_per_table",
     ] {
         let v = number_after(json, key).ok_or_else(|| format!("\"{key}\" is not a number"))?;
@@ -1007,6 +1303,9 @@ fn main() {
     if args.get(1).map(String::as_str) == Some("--trace-check") {
         trace_check(args.get(2).map(String::as_str).unwrap_or("dolt"));
     }
+    if args.get(1).map(String::as_str) == Some("--coverage-check") {
+        coverage_check(args.get(2).map(String::as_str).unwrap_or("dolt"));
+    }
     if args.get(1).map(String::as_str) == Some("--sqlite-check") {
         sqlite_check();
     }
@@ -1101,6 +1400,15 @@ fn main() {
         trace_totals.cases, trace_overhead.report.metrics.test_cases,
         "the trace summary must account for every test case"
     );
+
+    // The coverage workload: the txn schedule with atlas accounting off
+    // vs on, plus one directed run. Gated here against the committed
+    // floor via `ci.sh`; gated (much more thoroughly) by
+    // `--coverage-check`.
+    let coverage = measure_coverage_overhead("dolt", COVERAGE_CASE_BUDGET);
+    let coverage_ratio = coverage.ratio();
+    let coverage_uniform_features = coverage.uniform.coverage.distinct_features();
+    let coverage_directed_features = coverage.directed.coverage.distinct_features();
 
     let par_start = Instant::now();
     let par_report = run_fleet_parallel(&fleet(), &eval, ExecutionPath::Ast, threads);
@@ -1211,6 +1519,17 @@ fn main() {
         trace_jsonl_lines,
     );
     println!(
+        "coverage (dolt, txn workload): baseline {:.3}s, atlas {:.3}s \
+         (throughput ratio {coverage_ratio:.3}), distinct features {} uniform / {} directed, \
+         {} engine points, {} novel features",
+        coverage.baseline_s,
+        coverage.atlas_s,
+        coverage_uniform_features,
+        coverage_directed_features,
+        coverage.directed.coverage.engine.total_points(),
+        coverage.directed.coverage.saturation.novel_features,
+    );
+    println!(
         "parallel({threads} threads) {par_elapsed:>8.3}s  (x{parallel_speedup:.2} over serial AST)"
     );
     println!("AST-path speedup over text path:        x{speedup:.2}");
@@ -1262,6 +1581,16 @@ fn main() {
          \"trace_cases\": {trace_cases}, \"trace_statements\": {trace_statements}, \
          \"trace_case_ticks\": {trace_case_ticks}, \
          \"pinned_records\": {trace_pinned}, \"jsonl_lines\": {trace_jsonl_lines}}},\n  \
+         \"coverage\": {{\"dialect\": \"dolt\", \"workload\": \"txn\", \
+         \"queries_per_database\": {COVERAGE_CASE_BUDGET}, \
+         \"baseline_elapsed_s\": {coverage_baseline_s:.4}, \
+         \"atlas_elapsed_s\": {coverage_atlas_s:.4}, \
+         \"coverage_throughput_ratio\": {coverage_ratio:.3}, \
+         \"distinct_features_uniform\": {coverage_uniform_features}, \
+         \"distinct_features_directed\": {coverage_directed_features}, \
+         \"engine_points\": {coverage_engine_points}, \
+         \"saturation_novel\": {coverage_saturation_novel}, \
+         \"longest_dry_run\": {coverage_longest_dry}}},\n  \
          \"speedup_ast_over_text\": {speedup:.3},\n  \
          \"speedup_compiled_over_tree\": {compiled_speedup:.3},\n  \
          \"txn_overhead\": {txn_overhead:.3},\n  \
@@ -1273,7 +1602,8 @@ fn main() {
          \"min_speedup_compiled_over_tree\": {FLOOR_COMPILED_OVER_TREE}, \
          \"min_txn_throughput_ratio\": {FLOOR_TXN_THROUGHPUT_RATIO}, \
          \"min_isolation_throughput_ratio\": {FLOOR_ISOLATION_THROUGHPUT_RATIO}, \
-         \"min_traced_throughput_ratio\": {FLOOR_TRACED_THROUGHPUT_RATIO}}}\n}}\n",
+         \"min_traced_throughput_ratio\": {FLOOR_TRACED_THROUGHPUT_RATIO}, \
+         \"min_coverage_throughput_ratio\": {SMOKE_FLOOR_COVERAGE_THROUGHPUT_RATIO}}}\n}}\n",
         dispatch.seed,
         fleet().len(),
         queries,
@@ -1307,6 +1637,11 @@ fn main() {
         trace_cases = trace_totals.cases,
         trace_statements = trace_totals.statements,
         trace_case_ticks = trace_totals.case_ticks,
+        coverage_baseline_s = coverage.baseline_s,
+        coverage_atlas_s = coverage.atlas_s,
+        coverage_engine_points = coverage.directed.coverage.engine.total_points(),
+        coverage_saturation_novel = coverage.directed.coverage.saturation.novel_features,
+        coverage_longest_dry = coverage.directed.coverage.saturation.longest_dry_run,
         cow_begins = cow.txn_begins,
         cow_snapshotted = cow.tables_snapshotted,
         cow_cloned = cow.tables_cow_cloned,

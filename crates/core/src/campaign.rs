@@ -23,7 +23,7 @@ use crate::supervisor::{
     SupervisorConfig,
 };
 use crate::trace::{
-    emit, emit_backend, FlushReason, TraceEventKind, TraceHandle, TracedConnection,
+    emit, emit_backend, FlushReason, TraceEventKind, TraceHandle, TraceVerdict, TracedConnection,
 };
 use sql_ast::{fnv1a64, splitmix64, Statement};
 
@@ -52,6 +52,21 @@ pub struct CampaignConfig {
     pub reduce_bugs: bool,
     /// Budget of oracle re-validations per reduction.
     pub max_reduction_checks: usize,
+    /// Coverage-directed mode: features the current database's cases have
+    /// not exercised yet get a seed-stable weight boost in generation (the
+    /// boost derives from the case seed — no wall clock), re-aiming the
+    /// generator at cold regions. Off by default; the A/B knob the bench
+    /// uses to compare directed vs. uniform time-to-coverage.
+    pub coverage_directed: bool,
+    /// Coverage-atlas accounting: per-case feature observation, engine
+    /// polls and the saturation curve. On by default; the off position
+    /// exists so the bench can price the accounting itself against an
+    /// otherwise byte-identical campaign (the atlas observes, never
+    /// perturbs — it touches no RNG, so the generated workload is the
+    /// same either way). Ignored — treated as on — when
+    /// [`coverage_directed`](Self::coverage_directed) is set, which needs
+    /// the atlas to know what is cold.
+    pub coverage_atlas: bool,
 }
 
 impl Default for CampaignConfig {
@@ -65,6 +80,8 @@ impl Default for CampaignConfig {
             oracles: vec![OracleKind::Tlp, OracleKind::NoRec],
             reduce_bugs: true,
             max_reduction_checks: 64,
+            coverage_directed: false,
+            coverage_atlas: true,
         }
     }
 }
@@ -136,6 +153,22 @@ impl CampaignConfigBuilder {
     /// Budget of oracle re-validations per reduction.
     pub fn max_reduction_checks(mut self, checks: usize) -> Self {
         self.config.max_reduction_checks = checks;
+        self
+    }
+
+    /// Coverage-directed mode: boost generation of features the current
+    /// database's cases have not exercised yet (seed-stable weights, see
+    /// [`CampaignConfig::coverage_directed`]).
+    pub fn coverage_directed(mut self, directed: bool) -> Self {
+        self.config.coverage_directed = directed;
+        self
+    }
+
+    /// Coverage-atlas accounting on/off (see
+    /// [`CampaignConfig::coverage_atlas`]). The off position is a bench
+    /// instrument, not an operating mode.
+    pub fn coverage_atlas(mut self, atlas: bool) -> Self {
+        self.config.coverage_atlas = atlas;
         self
     }
 
@@ -270,6 +303,11 @@ pub struct CampaignReport {
     /// infrastructure failures and this report covers only the cases that
     /// ran before the cut-off.
     pub degraded: bool,
+    /// The coverage atlas: per-oracle feature coverage, the engine-plane
+    /// point union, and the saturation curve. Byte-identical (under
+    /// [`crate::atlas::render_atlas_report`]) for any worker count, pool
+    /// size and execution path, and across kill-and-resume.
+    pub coverage: crate::atlas::CampaignCoverage,
 }
 
 /// Derives the per-case fault/supervision seed from the campaign seed and
@@ -567,6 +605,16 @@ impl Campaign {
         let quirks = conn.quirks();
         let sample_every = 50u64;
         let mut quarantined = false;
+        // The cold-feature pool for coverage-directed generation, computed
+        // once (the universe enumeration allocates >100 features).
+        let feature_pool = if self.config.coverage_directed {
+            crate::feature::feature_universe()
+        } else {
+            Vec::new()
+        };
+        // Directed mode needs the atlas to know what is cold, so it
+        // overrides the accounting knob (see `CampaignConfig::coverage_atlas`).
+        let atlas_enabled = self.config.coverage_atlas || self.config.coverage_directed;
 
         'campaign: for db in start_db..self.config.databases {
             // Phase 1: build the database state (skipped when resuming
@@ -576,6 +624,12 @@ impl Campaign {
             let setup_log: Vec<String> = match resumed_setup.take() {
                 Some(log) => log,
                 None => {
+                    // A fresh database starts a fresh novelty stream in the
+                    // atlas (the resumed branch above restored the stream's
+                    // mid-database state from the checkpoint instead).
+                    if atlas_enabled {
+                        report.coverage.begin_database();
+                    }
                     conn.reset();
                     self.generator.reset_schema();
                     let mut setup_log: Vec<String> = Vec::new();
@@ -620,42 +674,54 @@ impl Campaign {
             for case_no in start_case..self.config.queries_per_database {
                 let mut oracle = self.config.oracles[oracle_index % self.config.oracles.len()];
                 oracle_index += 1;
+                // The case seed is a pure function of the cursor, so it is
+                // available *before* generation — coverage-directed weight
+                // boosts derive from it (seed-stable, no wall clock).
+                let case_seed =
+                    derive_case_seed(self.config.seed, db as u64, report.metrics.test_cases);
+                if self.config.coverage_directed {
+                    let cold = report.coverage.cold_features(&feature_pool);
+                    let boost = 2 + (splitmix64(case_seed) % 3) as usize;
+                    self.generator.set_coverage_direction(cold, boost);
+                }
                 // Generate the case payload once, before supervision: the
                 // generator's RNG must advance exactly once per case
                 // regardless of how many attempts the supervisor needs.
                 let payload = match oracle {
                     OracleKind::Rollback => match self.generator.generate_txn_session() {
-                        Some(session) => CasePayload::Txn(session),
+                        Some(session) => Some(CasePayload::Txn(session)),
                         // No transactional session available (no base table
                         // yet, or the learned profile says the dialect
                         // rejects transactions): fall back to a TLP-checked
                         // query so the slot is not wasted.
                         None => {
                             oracle = OracleKind::Tlp;
-                            match self.generator.generate_query() {
-                                Some(query) => CasePayload::Query(query, oracle),
-                                None => break,
-                            }
+                            self.generator
+                                .generate_query()
+                                .map(|query| CasePayload::Query(query, OracleKind::Tlp))
                         }
                     },
                     OracleKind::Isolation => match self.generator.generate_schedule() {
-                        Some(schedule) => CasePayload::Schedule(schedule),
+                        Some(schedule) => Some(CasePayload::Schedule(schedule)),
                         // Same degradation rule as the rollback oracle.
                         None => {
                             oracle = OracleKind::Tlp;
-                            match self.generator.generate_query() {
-                                Some(query) => CasePayload::Query(query, oracle),
-                                None => break,
-                            }
+                            self.generator
+                                .generate_query()
+                                .map(|query| CasePayload::Query(query, OracleKind::Tlp))
                         }
                     },
-                    OracleKind::Tlp | OracleKind::NoRec => match self.generator.generate_query() {
-                        Some(query) => CasePayload::Query(query, oracle),
-                        None => break,
-                    },
+                    OracleKind::Tlp | OracleKind::NoRec => self
+                        .generator
+                        .generate_query()
+                        .map(|query| CasePayload::Query(query, oracle)),
                 };
-                let case_seed =
-                    derive_case_seed(self.config.seed, db as u64, report.metrics.test_cases);
+                // Direction is per-case: clear it before anything else runs
+                // (DDL of the next database must stay uniform).
+                if self.config.coverage_directed {
+                    self.generator.clear_coverage_direction();
+                }
+                let Some(payload) = payload else { break };
                 emit(
                     &trace,
                     case_seed,
@@ -724,6 +790,18 @@ impl Campaign {
                         if matches!(payload, CasePayload::Schedule(_)) {
                             report.metrics.conflict_aborts += conflict_aborts;
                         }
+                        if atlas_enabled {
+                            report.coverage.observe_case(
+                                oracle,
+                                match &outcome {
+                                    OracleOutcome::Passed => TraceVerdict::Pass,
+                                    OracleOutcome::Invalid(_) => TraceVerdict::Invalid,
+                                    OracleOutcome::Bug(_) => TraceVerdict::Bug,
+                                },
+                                payload.features(),
+                                case_no as u64,
+                            );
+                        }
                         let valid = outcome.is_valid();
                         if valid {
                             report.metrics.valid_test_cases += 1;
@@ -771,8 +849,32 @@ impl Campaign {
                     // Abandoned cases: counted (the slot was spent), never
                     // valid, and never fed to the generator's learning —
                     // an infrastructure failure says nothing about dialect
-                    // feature support.
-                    SupervisedCase::InfraFailed | SupervisedCase::Panicked => {
+                    // feature support. The atlas still observes the
+                    // payload's features: they were generated, and counting
+                    // them keeps the novelty stream identical across
+                    // configurations that retry differently.
+                    SupervisedCase::InfraFailed => {
+                        if atlas_enabled {
+                            report.coverage.observe_case(
+                                oracle,
+                                TraceVerdict::InfraFailed,
+                                payload.features(),
+                                case_no as u64,
+                            );
+                        }
+                        if report.metrics.test_cases.is_multiple_of(sample_every) {
+                            report.validity_series.push(report.metrics.validity_rate());
+                        }
+                    }
+                    SupervisedCase::Panicked => {
+                        if atlas_enabled {
+                            report.coverage.observe_case(
+                                oracle,
+                                TraceVerdict::Panicked,
+                                payload.features(),
+                                case_no as u64,
+                            );
+                        }
                         if report.metrics.test_cases.is_multiple_of(sample_every) {
                             report.validity_series.push(report.metrics.validity_rate());
                         }
@@ -807,6 +909,18 @@ impl Campaign {
                             &mut storage_baseline,
                             &mut accum,
                         );
+                        // Fold the backend's engine coverage into the atlas
+                        // before snapshotting: the checkpoint must carry
+                        // every point reached so far, or a resumed run
+                        // (whose fresh connection re-reaches only the
+                        // replayed setup's points) would under-report.
+                        // Reported sets are monotone, so the union is
+                        // idempotent across polls.
+                        if atlas_enabled {
+                            if let Some(coverage) = conn.engine_coverage() {
+                                report.coverage.absorb_engine(&coverage);
+                            }
+                        }
                         let checkpoint = self.make_checkpoint(
                             &report,
                             supervisor,
@@ -823,9 +937,15 @@ impl Campaign {
                         let _ = save_checkpoint(&checkpoint, path);
                         // The flight recorder flushes alongside the
                         // checkpoint, so post-mortem forensics survive the
-                        // same crashes resume does.
+                        // same crashes resume does. The atlas travels the
+                        // same path: its JSONL snapshot lands in the flushed
+                        // file.
                         if let Some(sink) = &trace {
-                            sink.borrow_mut().flush(FlushReason::Checkpoint);
+                            let mut sink = sink.borrow_mut();
+                            if atlas_enabled {
+                                sink.coverage(&report.dbms_name, &report.coverage);
+                            }
+                            sink.flush(FlushReason::Checkpoint);
                         }
                     }
                 }
@@ -859,9 +979,22 @@ impl Campaign {
         report.degraded = report.degraded || quarantined;
         report.robustness = supervisor.counters;
         report.incidents = supervisor.incidents.clone();
+        // Final atlas accounting: the engine-point union (monotone sets, so
+        // this one poll sees everything this process reached) and the last
+        // database's trailing dry run.
+        if atlas_enabled {
+            if let Some(coverage) = conn.engine_coverage() {
+                report.coverage.absorb_engine(&coverage);
+            }
+            report.coverage.finish();
+        }
         emit_backend(&trace, conn);
         if let Some(sink) = &trace {
-            sink.borrow_mut().flush(FlushReason::CampaignEnd);
+            let mut sink = sink.borrow_mut();
+            if atlas_enabled {
+                sink.coverage(&report.dbms_name, &report.coverage);
+            }
+            sink.flush(FlushReason::CampaignEnd);
         }
         report
     }

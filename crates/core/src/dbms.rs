@@ -126,6 +126,55 @@ impl StorageMetrics {
     }
 }
 
+/// Engine-side coverage a backend may expose: named planes (plan
+/// operators, functions, operators, coercions, statements for the
+/// simulated engine; statement kinds for a wire backend) each holding the
+/// set of distinct points reached.
+///
+/// The contract that makes the coverage atlas deterministic: the sets a
+/// connection reports are **cumulative for the connection's whole
+/// lifetime** — monotone across `reset`, `restore` and database
+/// boundaries. A point once reached never disappears, so a union over
+/// pool slots, shards or polls is exactly "every point any execution
+/// reached", independent of pool size, worker count and poll cadence.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineCoverage {
+    /// Plane name → distinct points reached on that plane.
+    pub planes: std::collections::BTreeMap<String, std::collections::BTreeSet<String>>,
+}
+
+impl EngineCoverage {
+    /// Adds every point of `other` (pure set union, order-independent).
+    pub fn merge(&mut self, other: &EngineCoverage) {
+        for (plane, points) in &other.planes {
+            let mine = self.planes.entry(plane.clone()).or_default();
+            for point in points {
+                if !mine.contains(point) {
+                    mine.insert(point.clone());
+                }
+            }
+        }
+    }
+
+    /// Records a single point on a plane.
+    pub fn record(&mut self, plane: &str, point: &str) {
+        let mine = self.planes.entry(plane.to_string()).or_default();
+        if !mine.contains(point) {
+            mine.insert(point.to_string());
+        }
+    }
+
+    /// Total distinct points across all planes.
+    pub fn total_points(&self) -> usize {
+        self.planes.values().map(|points| points.len()).sum()
+    }
+
+    /// `true` when no plane holds a point.
+    pub fn is_empty(&self) -> bool {
+        self.planes.values().all(|points| points.is_empty())
+    }
+}
+
 /// A connection to a DBMS under test.
 ///
 /// The platform drives the DBMS exclusively through this trait; the
@@ -269,6 +318,16 @@ pub trait DbmsConnection {
     fn drain_backend_events(&mut self) -> Vec<crate::trace::BackendEvent> {
         Vec::new()
     }
+
+    /// The engine-side coverage points this connection's backend has
+    /// reached over its whole lifetime, or `None` for backends that cannot
+    /// observe any (the default). Implementations must keep the sets
+    /// **monotone** — cumulative across `reset` and `restore` — per the
+    /// [`EngineCoverage`] contract; the coverage atlas relies on that to
+    /// stay byte-identical across pool sizes and poll cadences.
+    fn engine_coverage(&self) -> Option<EngineCoverage> {
+        None
+    }
 }
 
 /// An opaque committed-state snapshot produced by
@@ -342,6 +401,10 @@ impl DbmsConnection for Box<dyn DbmsConnection> {
 
     fn drain_backend_events(&mut self) -> Vec<crate::trace::BackendEvent> {
         (**self).drain_backend_events()
+    }
+
+    fn engine_coverage(&self) -> Option<EngineCoverage> {
+        (**self).engine_coverage()
     }
 }
 
@@ -427,6 +490,10 @@ impl<C: DbmsConnection> DbmsConnection for TextOnlyConnection<C> {
 
     fn drain_backend_events(&mut self) -> Vec<crate::trace::BackendEvent> {
         self.inner.drain_backend_events()
+    }
+
+    fn engine_coverage(&self) -> Option<EngineCoverage> {
+        self.inner.engine_coverage()
     }
 
     // `execute_ast` and `query_ast` are deliberately NOT overridden: the

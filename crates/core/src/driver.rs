@@ -459,6 +459,26 @@ impl DbmsConnection for Pool {
         self.connected(active).restore(checkpoint)
     }
 
+    fn engine_coverage(&self) -> Option<crate::dbms::EngineCoverage> {
+        // Deterministic across pool sizes: each slot's sets are cumulative
+        // for the slot's lifetime (the EngineCoverage monotonicity
+        // contract), and the first execution to reach a point always
+        // records it on whichever slot it ran, so the union over slots is
+        // exactly "every point any execution reached".
+        let mut total: Option<crate::dbms::EngineCoverage> = None;
+        for slot in &self.slots {
+            if let Some(conn) = slot.conn.as_ref() {
+                if let Some(coverage) = conn.engine_coverage() {
+                    match total.as_mut() {
+                        Some(sum) => sum.merge(&coverage),
+                        None => total = Some(coverage),
+                    }
+                }
+            }
+        }
+        total
+    }
+
     fn drain_backend_events(&mut self) -> Vec<crate::trace::BackendEvent> {
         // Wall-clock plane only: checkout and re-sync counts depend on the
         // pool size by construction, so they must never feed the

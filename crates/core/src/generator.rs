@@ -154,6 +154,19 @@ pub struct AdaptiveGenerator {
     /// schedule generation degrades to `None` (the campaign falls back to
     /// a single-query oracle) instead of burning invalid cases.
     multi_session: bool,
+    /// Coverage direction for the next statement: `(cold features, extra
+    /// weight)`. When set, [`AdaptiveGenerator::pick`] draws weighted —
+    /// cold options count `1 + boost` — instead of uniformly. Like
+    /// capability suppression this is per-case configuration, not
+    /// checkpointed state: the campaign derives it from the atlas and the
+    /// case seed before every case and clears it after. A hash set, not a
+    /// tree: the pick path probes it once per candidate option, and only
+    /// membership is ever observed (iteration order never matters, so the
+    /// hasher cannot leak into the campaign's determinism contract).
+    coverage_direction: Option<(std::collections::HashSet<Feature>, usize)>,
+    /// Reusable weight buffer for the directed draw (pick is the
+    /// generator's hottest loop; no per-pick allocation).
+    direction_scratch: Vec<usize>,
     recorded: u64,
     current_depth: usize,
 }
@@ -170,6 +183,8 @@ impl AdaptiveGenerator {
             known_supported: None,
             capability_suppressed: BTreeSet::new(),
             multi_session: true,
+            coverage_direction: None,
+            direction_scratch: Vec::new(),
             recorded: 0,
             current_depth: 1,
             config,
@@ -210,6 +225,21 @@ impl AdaptiveGenerator {
     /// capability has been applied).
     pub fn capability_suppressed_features(&self) -> &BTreeSet<Feature> {
         &self.capability_suppressed
+    }
+
+    /// Steers the next statement toward `cold` features: every cold option
+    /// in a [`AdaptiveGenerator::pick`] draw counts `1 + boost` tickets
+    /// instead of one. The campaign sets this right before generating a
+    /// case (boost derived from the case seed, so directed runs are as
+    /// reproducible as uniform ones) and clears it right after.
+    pub fn set_coverage_direction(&mut self, cold: BTreeSet<Feature>, boost: usize) {
+        self.coverage_direction = Some((cold.into_iter().collect(), boost));
+    }
+
+    /// Returns picks to uniform draws (see
+    /// [`AdaptiveGenerator::set_coverage_direction`]).
+    pub fn clear_coverage_direction(&mut self) {
+        self.coverage_direction = None;
     }
 
     /// Current expression-depth budget (grows over time).
@@ -339,6 +369,32 @@ impl AdaptiveGenerator {
             .collect();
         if allowed.is_empty() {
             return None;
+        }
+        if let Some((cold, boost)) = &self.coverage_direction {
+            if !cold.is_empty() {
+                // Coverage-directed draw: cold features carry `1 + boost`
+                // tickets each, weighed in a single pass into the reusable
+                // scratch buffer. One gen_range call per pick keeps the
+                // RNG stream seed-stable regardless of which option wins.
+                self.direction_scratch.clear();
+                let mut total = 0usize;
+                for option in &allowed {
+                    let w = 1 + if cold.contains(&option.1) { *boost } else { 0 };
+                    total += w;
+                    self.direction_scratch.push(w);
+                }
+                let mut ticket = self.rng.gen_range(0..total);
+                for (index, w) in self.direction_scratch.iter().enumerate() {
+                    if ticket < *w {
+                        return Some(allowed[index]);
+                    }
+                    ticket -= w;
+                }
+                unreachable!("ticket within total weight");
+            }
+            // An exhausted cold set makes every weight 1, and an all-ones
+            // weighted draw is exactly the uniform draw below — same RNG
+            // consumption, same winner — so fall through to the fast path.
         }
         let idx = self.rng.gen_range(0..allowed.len());
         Some(allowed[idx])

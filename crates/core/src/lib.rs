@@ -32,11 +32,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod atlas;
 pub mod campaign;
 pub mod dbms;
 pub mod driver;
 pub mod feature;
 pub mod generator;
+pub mod hist;
 pub mod oracle;
 pub mod prioritizer;
 pub mod profile;
@@ -47,13 +49,14 @@ pub mod stats;
 pub mod supervisor;
 pub mod trace;
 
+pub use atlas::{render_atlas_report, CampaignCoverage, OracleCoverage, SaturationCurve};
 pub use campaign::{
     derive_case_seed, replay_validity, Campaign, CampaignConfig, CampaignConfigBuilder,
     CampaignMetrics, CampaignReport,
 };
 pub use dbms::{
-    DbmsConnection, DialectQuirks, QueryResult, StateCheckpoint, StatementOutcome, StorageMetrics,
-    TextOnlyConnection, SERIALIZATION_FAILURE_MARKER,
+    DbmsConnection, DialectQuirks, EngineCoverage, QueryResult, StateCheckpoint, StatementOutcome,
+    StorageMetrics, TextOnlyConnection, SERIALIZATION_FAILURE_MARKER,
 };
 pub use driver::{Capability, Driver, Pool};
 pub use feature::{feature_universe, Feature, FeatureSet};
@@ -61,6 +64,7 @@ pub use generator::{
     AdaptiveGenerator, GeneratedQuery, GeneratedSchedule, GeneratedStatement, GeneratedTxnSession,
     GeneratorConfig,
 };
+pub use hist::Log2Histogram;
 pub use oracle::{
     check_isolation, check_norec, check_rollback, check_tlp, BugReport, IsolationVerdict,
     OracleKind, OracleOutcome, Schedule, SessionScript,

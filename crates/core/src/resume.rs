@@ -33,11 +33,12 @@ use sql_parser::{parse_expression, parse_statement};
 use std::fmt::Write as _;
 use std::path::Path;
 
-/// The header line every checkpoint file starts with. v2 added the
-/// watchdog deadline/observed virtual-tick fields to incident lines; v1
-/// files are rejected (a version-mismatch load fails, and the campaign
+/// The header line every checkpoint file starts with. v3 added the
+/// coverage-atlas block (`cov*` tags); v2 added the watchdog
+/// deadline/observed virtual-tick fields to incident lines. Older
+/// versions are rejected (a version-mismatch load fails, and the campaign
 /// starts fresh — safe, just slower than resuming).
-const HEADER: &str = "# sqlancer++ campaign checkpoint v2";
+const HEADER: &str = "# sqlancer++ campaign checkpoint v3";
 
 /// A complete snapshot of a running campaign: everything needed to resume
 /// it to a byte-identical final report.
@@ -213,6 +214,59 @@ fn write_incident(out: &mut String, incident: &CampaignIncident) {
     );
 }
 
+fn write_coverage(out: &mut String, coverage: &crate::atlas::CampaignCoverage) {
+    for (oracle, per_oracle) in &coverage.oracles {
+        let _ = writeln!(out, "covo {oracle} {}", per_oracle.cases);
+        for (verdict, count) in &per_oracle.verdicts {
+            let _ = writeln!(out, "covv {oracle} {verdict} {count}");
+        }
+        write_features(out, &format!("covf {oracle}"), &per_oracle.features);
+    }
+    for (plane, points) in &coverage.engine.planes {
+        for point in points {
+            let _ = writeln!(out, "cove {plane} {}", escape(point));
+        }
+    }
+    let curve = &coverage.saturation;
+    let _ = writeln!(
+        out,
+        "covs {} {} {} {}",
+        curve.novel_features, curve.trailing_dry_cases, curve.longest_dry_run, coverage.dry_run
+    );
+    if !curve.windows.is_empty() {
+        out.push_str("covw");
+        for count in &curve.windows {
+            let _ = write!(out, " {count}");
+        }
+        out.push('\n');
+        out.push_str("covc");
+        for count in &curve.window_cases {
+            let _ = write!(out, " {count}");
+        }
+        out.push('\n');
+    }
+    if !curve.gaps.is_empty() {
+        let _ = writeln!(out, "covg {} {}", curve.gaps.sum(), curve.gaps.max());
+        for (index, _, count) in curve.gaps.nonzero_buckets() {
+            let _ = writeln!(out, "covgb {index} {count}");
+        }
+    }
+    if !coverage.seen.is_empty() {
+        // Feature names never contain whitespace or ':', so `name:mask`
+        // tokens round-trip the per-database novelty map exactly,
+        // including the oracle-membership hint bits. The map is hashed
+        // for probe speed; sorting here keeps checkpoint files
+        // byte-stable.
+        let mut seen: Vec<_> = coverage.seen.iter().collect();
+        seen.sort_by(|a, b| a.0.cmp(b.0));
+        out.push_str("covn");
+        for (feature, mask) in seen {
+            let _ = write!(out, " {}:{mask}", feature.name());
+        }
+        out.push('\n');
+    }
+}
+
 fn write_bug(out: &mut String, bug: &BugReport) {
     let _ = writeln!(out, "bug {}", oracle_name(bug.oracle));
     let _ = writeln!(out, "bd {}", escape(&bug.description));
@@ -384,6 +438,7 @@ pub fn checkpoint_to_string(checkpoint: &CampaignCheckpoint) -> String {
         checkpoint.storage_delta.conflicts_avoided
     );
     write_counters(&mut out, &checkpoint.report.robustness);
+    write_coverage(&mut out, &checkpoint.report.coverage);
     for sample in &checkpoint.report.validity_series {
         let _ = writeln!(out, "v {:016x}", sample.to_bits());
     }
@@ -440,6 +495,12 @@ fn parse_flag(line_no: usize, s: &str) -> Result<bool, String> {
         "1" => Ok(true),
         other => Err(err(line_no, format_args!("malformed flag '{other}'"))),
     }
+}
+
+fn parse_u64_list(line_no: usize, rest: &str) -> Result<Vec<u64>, String> {
+    rest.split_whitespace()
+        .map(|s| parse_u64(line_no, s))
+        .collect()
 }
 
 fn fields(line_no: usize, rest: &str, want: usize) -> Result<Vec<&str>, String> {
@@ -793,6 +854,96 @@ pub fn checkpoint_from_string(text: &str) -> Result<CampaignCheckpoint, String> 
                     recovered_workers: n(8)?,
                 };
             }
+            "covo" => {
+                let parts = fields(line_no, rest, 2)?;
+                let entry = checkpoint
+                    .report
+                    .coverage
+                    .oracles
+                    .entry(parts[0].to_string())
+                    .or_default();
+                entry.cases = parse_u64(line_no, parts[1])?;
+            }
+            "covv" => {
+                let parts = fields(line_no, rest, 3)?;
+                let entry = checkpoint
+                    .report
+                    .coverage
+                    .oracles
+                    .entry(parts[0].to_string())
+                    .or_default();
+                entry
+                    .verdicts
+                    .insert(parts[1].to_string(), parse_u64(line_no, parts[2])?);
+            }
+            "covf" => {
+                let (oracle, names) = rest.split_once(' ').unwrap_or((rest, ""));
+                if oracle.is_empty() {
+                    return Err(err(line_no, "coverage features need an oracle"));
+                }
+                checkpoint
+                    .report
+                    .coverage
+                    .oracles
+                    .entry(oracle.to_string())
+                    .or_default()
+                    .features = features_from(names);
+            }
+            "cove" => {
+                let (plane, point) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| err(line_no, "engine point needs plane and point"))?;
+                checkpoint
+                    .report
+                    .coverage
+                    .engine
+                    .record(plane, &unescape(point));
+            }
+            "covs" => {
+                let parts = fields(line_no, rest, 4)?;
+                let coverage = &mut checkpoint.report.coverage;
+                coverage.saturation.novel_features = parse_u64(line_no, parts[0])?;
+                coverage.saturation.trailing_dry_cases = parse_u64(line_no, parts[1])?;
+                coverage.saturation.longest_dry_run = parse_u64(line_no, parts[2])?;
+                coverage.dry_run = parse_u64(line_no, parts[3])?;
+            }
+            "covw" => {
+                checkpoint.report.coverage.saturation.windows = parse_u64_list(line_no, rest)?;
+            }
+            "covc" => {
+                checkpoint.report.coverage.saturation.window_cases = parse_u64_list(line_no, rest)?;
+            }
+            "covg" => {
+                let parts = fields(line_no, rest, 2)?;
+                checkpoint
+                    .report
+                    .coverage
+                    .saturation
+                    .gaps
+                    .restore_stats(parse_u64(line_no, parts[0])?, parse_u64(line_no, parts[1])?);
+            }
+            "covgb" => {
+                let parts = fields(line_no, rest, 2)?;
+                checkpoint.report.coverage.saturation.gaps.restore_bucket(
+                    parse_usize(line_no, parts[0])?,
+                    parse_u64(line_no, parts[1])?,
+                );
+            }
+            "covn" => {
+                for token in rest.split_whitespace() {
+                    let (name, mask) = token.split_once(':').ok_or_else(|| {
+                        err(line_no, format_args!("malformed seen-feature '{token}'"))
+                    })?;
+                    let mask = mask.parse::<u8>().map_err(|_| {
+                        err(line_no, format_args!("malformed seen-feature '{token}'"))
+                    })?;
+                    checkpoint
+                        .report
+                        .coverage
+                        .seen
+                        .insert(Feature::new(name), mask);
+                }
+            }
             "v" => {
                 let bits = u64::from_str_radix(rest.trim(), 16)
                     .map_err(|_| err(line_no, format_args!("malformed sample '{rest}'")))?;
@@ -1014,6 +1165,23 @@ mod tests {
             ],
             features: feature_set(&["TXN_SAVEPOINT"]),
         });
+        report.coverage.begin_database();
+        report.coverage.observe_case(
+            OracleKind::Tlp,
+            crate::trace::TraceVerdict::Pass,
+            &feature_set(&["OP_EQ", "FN_ABS"]),
+            0,
+        );
+        report.coverage.observe_case(
+            OracleKind::NoRec,
+            crate::trace::TraceVerdict::Invalid,
+            &feature_set(&["OP_EQ"]),
+            1,
+        );
+        let mut engine = crate::dbms::EngineCoverage::default();
+        engine.record("functions", "ABS");
+        engine.record("statements", "STMT_SELECT");
+        report.coverage.absorb_engine(&engine);
         report.schedule_cases.push(ScheduleCase {
             setup: vec!["CREATE TABLE t0 (c0 INTEGER)".to_string()],
             schedule: Schedule {
@@ -1091,6 +1259,9 @@ mod tests {
         assert_eq!(loaded.report.robustness, original.report.robustness);
         assert_eq!(loaded.report.incidents, original.report.incidents);
         assert_eq!(loaded.report.reports, original.report.reports);
+        // The atlas — including the per-database working state that keeps
+        // a resumed novelty stream exact — is carried verbatim.
+        assert_eq!(loaded.report.coverage, original.report.coverage);
         // f64 samples round-trip bit-exactly through the hex encoding.
         assert_eq!(
             loaded

@@ -185,6 +185,14 @@ pub trait TraceSink {
         let _ = event;
     }
 
+    /// Receives the campaign's current coverage atlas. The campaign calls
+    /// this right before every checkpoint flush and once at campaign end,
+    /// so a flushed JSONL file always carries the atlas state it was
+    /// flushed with. The default discards it.
+    fn coverage(&mut self, dialect: &str, atlas: &crate::atlas::CampaignCoverage) {
+        let _ = (dialect, atlas);
+    }
+
     /// Flushes buffered state (the flight recorder's JSONL file).
     fn flush(&mut self, reason: FlushReason) {
         let _ = reason;
@@ -230,97 +238,12 @@ pub(crate) fn emit_backend(trace: &Option<TraceHandle>, conn: &mut dyn DbmsConne
 
 // -------------------------------------------------------------- histogram ----
 
-/// A log2-bucket histogram of virtual-tick latencies. Bucket `k` (k ≥ 1)
-/// counts samples in `[2^(k-1), 2^k)`; bucket 0 counts exact zeros. All
-/// fields are integers, so merging (bucket-wise summation) is exact and
-/// order-independent — the property that makes partitioned trace
-/// summaries byte-identical to serial ones.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct LatencyHistogram {
-    buckets: [u64; 65],
-    count: u64,
-    sum: u64,
-    max: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> LatencyHistogram {
-        LatencyHistogram {
-            buckets: [0; 65],
-            count: 0,
-            sum: 0,
-            max: 0,
-        }
-    }
-}
-
-impl LatencyHistogram {
-    /// Records one sample.
-    pub fn record(&mut self, ticks: u64) {
-        self.buckets[bucket_index(ticks)] += 1;
-        self.count += 1;
-        self.sum = self.sum.saturating_add(ticks);
-        self.max = self.max.max(ticks);
-    }
-
-    /// Accumulates another histogram into this one (exact summation).
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *mine += theirs;
-        }
-        self.count += other.count;
-        self.sum = self.sum.saturating_add(other.sum);
-        self.max = self.max.max(other.max);
-    }
-
-    /// Number of samples recorded.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Sum of all samples (saturating).
-    pub fn sum(&self) -> u64 {
-        self.sum
-    }
-
-    /// Largest sample seen.
-    pub fn max(&self) -> u64 {
-        self.max
-    }
-
-    /// `true` when no sample was recorded.
-    pub fn is_empty(&self) -> bool {
-        self.count == 0
-    }
-
-    /// The non-empty buckets, as `(bucket index, lower bound, count)` in
-    /// ascending order.
-    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64, u64)> + '_ {
-        self.buckets
-            .iter()
-            .enumerate()
-            .filter(|(_, count)| **count > 0)
-            .map(|(index, count)| (index, bucket_lower_bound(index), *count))
-    }
-}
-
-/// Bucket index for a sample: its bit width (0 for an exact zero).
-fn bucket_index(ticks: u64) -> usize {
-    if ticks == 0 {
-        0
-    } else {
-        (64 - ticks.leading_zeros()) as usize
-    }
-}
-
-/// Lower bound of a bucket: 0 for bucket 0, `2^(k-1)` for bucket k.
-fn bucket_lower_bound(index: usize) -> u64 {
-    if index == 0 {
-        0
-    } else {
-        1u64 << (index - 1)
-    }
-}
+/// A log2-bucket histogram of virtual-tick latencies: the shared
+/// [`crate::hist::Log2Histogram`] implementation, which the coverage
+/// atlas's novelty-gap counters also use. Bucket-wise summation merges
+/// are exact and order-independent — the property that makes partitioned
+/// trace summaries byte-identical to serial ones.
+pub use crate::hist::Log2Histogram as LatencyHistogram;
 
 // ---------------------------------------------------------- trace summary ----
 
@@ -751,7 +674,7 @@ impl FlightRecorder {
 
 // ------------------------------------------------------------------ JSONL ----
 
-fn json_escape(out: &mut String, s: &str) {
+pub(crate) fn json_escape(out: &mut String, s: &str) {
     for ch in s.chars() {
         match ch {
             '"' => out.push_str("\\\""),
@@ -1059,6 +982,9 @@ pub struct Tracer {
     telemetry: BackendTelemetry,
     recorder: Option<FlightRecorder>,
     jsonl_path: Option<PathBuf>,
+    /// The latest coverage-atlas JSON line the campaign handed over
+    /// (updated at every checkpoint flush and at campaign end).
+    atlas_line: Option<String>,
     progress: Option<Progress>,
     started: Instant,
 }
@@ -1089,6 +1015,7 @@ impl Tracer {
             telemetry: BackendTelemetry::default(),
             recorder: None,
             jsonl_path: None,
+            atlas_line: None,
             progress: None,
             started: Instant::now(),
         }
@@ -1160,6 +1087,9 @@ impl Tracer {
         );
         for record in recorder.records() {
             write_record_json(&mut out, &self.dialect, record);
+        }
+        if let Some(atlas) = &self.atlas_line {
+            out.push_str(atlas);
         }
         let t = &self.telemetry;
         let _ = writeln!(
@@ -1311,6 +1241,10 @@ impl TraceSink for Tracer {
         self.telemetry.absorb(event);
     }
 
+    fn coverage(&mut self, dialect: &str, atlas: &crate::atlas::CampaignCoverage) {
+        self.atlas_line = Some(atlas.to_json_line(dialect));
+    }
+
     fn flush(&mut self, _reason: FlushReason) {
         if let Some(recorder) = self.recorder.as_mut() {
             recorder.seal();
@@ -1443,6 +1377,10 @@ impl DbmsConnection for TracedConnection<'_> {
 
     fn drain_backend_events(&mut self) -> Vec<BackendEvent> {
         self.inner.drain_backend_events()
+    }
+
+    fn engine_coverage(&self) -> Option<crate::dbms::EngineCoverage> {
+        self.inner.engine_coverage()
     }
 }
 

@@ -4,12 +4,13 @@ use crate::bugs::{bugs_for_faults, InjectedBug};
 use crate::profile::DialectProfile;
 use sql_ast::{Select, Statement};
 use sql_engine::{
-    CowStats, Database, Engine, EngineConfig, EngineSession, EvalStrategy, ExecutionMode,
+    CoverageTracker, CowStats, Database, Engine, EngineConfig, EngineSession, EvalStrategy,
+    ExecutionMode,
 };
 use sqlancer_core::{
     check_isolation, check_norec, check_rollback, check_tlp, DbmsConnection, DialectQuirks,
-    OracleKind, OracleOutcome, QueryResult, ReducibleCase, ScheduleCase, StateCheckpoint,
-    StatementOutcome, StorageMetrics, TxnCase,
+    EngineCoverage, OracleKind, OracleOutcome, QueryResult, ReducibleCase, ScheduleCase,
+    StateCheckpoint, StatementOutcome, StorageMetrics, TxnCase,
 };
 
 /// A simulated DBMS under test: a dialect profile layered over the
@@ -30,6 +31,12 @@ pub struct SimulatedDbms {
     /// read, so [`DbmsConnection::storage_metrics`] is cumulative for the
     /// connection's lifetime.
     retired_cow: CowStats,
+    /// Coverage points accumulated from engines already retired by `reset`
+    /// or `restore` — same lifecycle as `retired_cow`, so the coverage the
+    /// connection reports is **monotone** for its whole lifetime (the
+    /// contract [`DbmsConnection::engine_coverage`] demands: unions over
+    /// polls must be independent of poll cadence).
+    retired_coverage: CoverageTracker,
     /// Virtual clock: one tick per statement or query, charged at the
     /// shared funnel of the text and AST paths so both execution paths cost
     /// identically. Monotone for the connection's lifetime — `reset` and
@@ -52,6 +59,7 @@ impl Clone for SimulatedDbms {
             engine,
             session,
             retired_cow: self.retired_cow,
+            retired_coverage: self.retired_coverage.clone(),
             ticks: self.ticks,
         }
     }
@@ -81,6 +89,7 @@ impl SimulatedDbms {
             engine,
             session,
             retired_cow: CowStats::default(),
+            retired_coverage: CoverageTracker::new(),
             ticks: 0,
         }
     }
@@ -419,8 +428,11 @@ impl DbmsConnection for SimulatedDbms {
     fn reset(&mut self) {
         // A fresh engine core: sessions opened over the previous core keep
         // their (now detached) shared state and die with it. The retired
-        // engine's storage counters fold into the cumulative total first.
+        // engine's storage counters and coverage points fold into the
+        // cumulative totals first.
         self.retired_cow.merge(&self.engine.cow_stats());
+        self.retired_coverage
+            .merge(&self.engine.committed().coverage_snapshot());
         self.engine = Engine::new(Self::engine_config(
             &self.profile,
             &self.faults,
@@ -458,6 +470,24 @@ impl DbmsConnection for SimulatedDbms {
         }))
     }
 
+    fn engine_coverage(&self) -> Option<EngineCoverage> {
+        let mut tracker = self.retired_coverage.clone();
+        tracker.merge(&self.engine.committed().coverage_snapshot());
+        let mut coverage = EngineCoverage::default();
+        for (plane, points) in [
+            ("plan_operators", &tracker.plan_operators),
+            ("functions", &tracker.functions),
+            ("operators", &tracker.operators),
+            ("coercions", &tracker.coercions),
+            ("statements", &tracker.statements),
+        ] {
+            for point in points.iter() {
+                coverage.record(plane, point);
+            }
+        }
+        Some(coverage)
+    }
+
     fn checkpoint(&mut self) -> Option<StateCheckpoint> {
         // An O(tables) CoW engine clone with zeroed counters: restoring
         // must not re-report storage work the live engine already counted.
@@ -469,8 +499,12 @@ impl DbmsConnection for SimulatedDbms {
             return false;
         };
         // The replaced engine's counters fold into the cumulative total,
-        // exactly like `reset`; the restored clone starts from zero.
+        // exactly like `reset`; the restored clone starts from zero (its
+        // coverage rewinds to the checkpoint's, so folding the live
+        // engine's points first is what keeps the report monotone).
         self.retired_cow.merge(&self.engine.cow_stats());
+        self.retired_coverage
+            .merge(&self.engine.committed().coverage_snapshot());
         self.engine = engine.clone();
         self.session = self.engine.session();
         true

@@ -431,6 +431,12 @@ impl<C: DbmsConnection> DbmsConnection for FaultyConnection<C> {
         // the wrapper has no wall-plane events of its own to report.
         self.inner.drain_backend_events()
     }
+
+    fn engine_coverage(&self) -> Option<sqlancer_core::EngineCoverage> {
+        // Coverage is an engine-plane fact; transport faults don't redact
+        // it (and the atlas poll only happens at quiescent checkpoints).
+        self.inner.engine_coverage()
+    }
 }
 
 #[cfg(test)]

@@ -505,6 +505,7 @@ fn merge_shards(dialect: &str, shards: Vec<(CampaignReport, FeatureStats)>) -> P
         merged.metrics.merge(&shard.metrics);
         merged.validity_series.extend(shard.validity_series);
         merged.robustness.merge(&shard.robustness);
+        merged.coverage.merge(&shard.coverage);
         merged.degraded |= shard.degraded;
         // Each shard ran as database 0 of its own single-database campaign;
         // restore the fleet-level view by stamping the shard index back

@@ -26,11 +26,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+use std::collections::BTreeSet;
 use std::io::{BufRead, BufReader, Write};
 use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
 
 use sql_ast::Value;
-use sqlancer_core::dbms::{DbmsConnection, QueryResult, StatementOutcome};
+use sqlancer_core::dbms::{DbmsConnection, EngineCoverage, QueryResult, StatementOutcome};
 use sqlancer_core::driver::{Capability, Driver};
 use sqlancer_core::supervisor::INFRA_MARKER;
 use sqlancer_core::BackendEvent;
@@ -103,9 +104,9 @@ impl Drop for Wire {
     }
 }
 
-/// A connection to one `sqlite3` subprocess. Implements only the four
-/// text methods of the platform interface; everything else keeps the
-/// trait's conservative defaults.
+/// A connection to one `sqlite3` subprocess. Implements the four text
+/// methods of the platform interface plus wire-statement coverage
+/// reporting; everything else keeps the trait's conservative defaults.
 pub struct SqliteProcConnection {
     binary: String,
     /// `None` after the subprocess died; [`DbmsConnection::reset`]
@@ -117,6 +118,11 @@ pub struct SqliteProcConnection {
     /// accounting only (pipe bytes, sentinel frames, child respawns) —
     /// never part of the deterministic trace summary.
     telemetry: WireCounters,
+    /// Statement keywords shipped over the wire, cumulative for the
+    /// connection's lifetime (never cleared on reset/respawn — the
+    /// [`DbmsConnection::engine_coverage`] monotonicity contract). The
+    /// only engine-plane fact a black-box wire backend can attest.
+    statement_kinds: BTreeSet<String>,
 }
 
 /// Wire-transport counters drained via
@@ -144,6 +150,7 @@ impl SqliteProcConnection {
             binary: binary.to_string(),
             wire: Some(wire),
             telemetry: WireCounters::default(),
+            statement_kinds: BTreeSet::new(),
         };
         // Probe: surfaces a missing or broken binary as a connect error
         // (the `sh` wrapper itself always spawns).
@@ -193,6 +200,21 @@ impl SqliteProcConnection {
             .and_then(|()| wire.stdin.flush())
         {
             return Err(self.crash_error(&format!("write failed: {err}")));
+        }
+        // The statement reached the backend: record its keyword as a
+        // wire-plane coverage point. Dot-commands (`.open`) are CLI
+        // framing, not SQL, and are skipped.
+        if let Some(keyword) = flat.split_whitespace().next() {
+            if keyword
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic())
+            {
+                let keyword = keyword.to_ascii_uppercase();
+                if !self.statement_kinds.contains(&keyword) {
+                    self.statement_kinds.insert(keyword);
+                }
+            }
         }
         let mut lines = Vec::new();
         loop {
@@ -346,6 +368,17 @@ impl DbmsConnection for SqliteProcConnection {
                 self.telemetry.respawns += 1;
             }
         }
+    }
+
+    fn engine_coverage(&self) -> Option<EngineCoverage> {
+        if self.statement_kinds.is_empty() {
+            return None;
+        }
+        let mut coverage = EngineCoverage::default();
+        for keyword in &self.statement_kinds {
+            coverage.record("wire_statements", keyword);
+        }
+        Some(coverage)
     }
 
     fn drain_backend_events(&mut self) -> Vec<BackendEvent> {
