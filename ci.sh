@@ -76,6 +76,18 @@ echo "==> coverage-atlas gate"
 # matches the final report's atlas exactly.
 ./target/release/campaign_throughput --coverage-check dolt
 
+echo "==> self-healing connection-layer (flaky-backend) gate"
+# Runs a supervised pooled campaign against a backend that lies about
+# transaction support, crashes during capability probes and flaps after
+# respawns. The binary asserts: the driver is probed and downgraded, the
+# campaign completes without degrading, zero faults surface as
+# logic-bug reports, every breaker trip and recovery is in the incident
+# ledger, the rendered report is byte-identical across pool sizes 1/2/4,
+# worker counts and both execution paths while breakers trip and recover,
+# and the flaky campaign keeps the committed fraction of the healthy
+# pooled campaign's throughput.
+./target/release/campaign_throughput --flaky-check sqlite
+
 echo "==> subprocess-sqlite wire-backend gate"
 # Runs a full mixed-oracle campaign (TLP, NoREC, rollback) against the
 # system sqlite3 binary over the subprocess driver through a size-2 pool
@@ -108,17 +120,20 @@ floor_txn=$(json_number BENCH_campaign.json min_txn_throughput_ratio)
 floor_iso=$(json_number BENCH_campaign.json min_isolation_throughput_ratio)
 floor_traced=$(json_number BENCH_campaign.json min_traced_throughput_ratio)
 floor_coverage=$(json_number BENCH_campaign.json min_coverage_throughput_ratio)
+floor_probed=$(json_number BENCH_campaign.json min_probed_throughput_ratio)
 actual_ast=$(json_number "$SMOKE_JSON" speedup_ast_over_text)
 actual_compiled=$(json_number "$SMOKE_JSON" speedup_compiled_over_tree)
 actual_txn=$(json_number "$SMOKE_JSON" txn_throughput_ratio)
 actual_iso=$(json_number "$SMOKE_JSON" isolation_throughput_ratio)
 actual_traced=$(json_number "$SMOKE_JSON" traced_throughput_ratio)
 actual_coverage=$(json_number "$SMOKE_JSON" coverage_throughput_ratio)
+actual_probed=$(json_number "$SMOKE_JSON" probed_throughput_ratio)
 gate speedup_ast_over_text "$actual_ast" "$floor_ast"
 gate speedup_compiled_over_tree "$actual_compiled" "$floor_compiled"
 gate txn_throughput_ratio "$actual_txn" "$floor_txn"
 gate isolation_throughput_ratio "$actual_iso" "$floor_iso"
 gate traced_throughput_ratio "$actual_traced" "$floor_traced"
 gate coverage_throughput_ratio "$actual_coverage" "$floor_coverage"
+gate probed_throughput_ratio "$actual_probed" "$floor_probed"
 
 echo "CI OK"

@@ -45,9 +45,16 @@
 //!   least the uniform run's distinct-feature coverage at the same case
 //!   budget;
 //!
+//! * **resilience** (self-healing connection layer): the same campaign run
+//!   through a probing pool against a healthy backend and against a flaky
+//!   one (capability lie + probe-time crash + post-respawn flapping) —
+//!   the flaky campaign must be probed, downgraded and fuzzed to
+//!   completion with zero false-positive logic bugs, keeping at least
+//!   `min_probed_throughput_ratio` of the healthy run's throughput;
+//!
 //! plus serial vs parallel fleet sharding on the eval workload.
 //!
-//! Writes `BENCH_campaign.json` (`schema_version` 8) with queries/sec per
+//! Writes `BENCH_campaign.json` (`schema_version` 9) with queries/sec per
 //! arm, the AST/text, compiled/tree, txn-overhead, isolation, tracing and
 //! coverage ratios, CoW effectiveness counters (tables snapshotted vs.
 //! actually cloned, conflicts avoided by row-range intent), the fault-storm
@@ -64,6 +71,7 @@
 //!   `campaign_throughput --fault-storm-check [dialect]`
 //!   `campaign_throughput --trace-check [dialect]`
 //!   `campaign_throughput --coverage-check [dialect]`
+//!   `campaign_throughput --flaky-check [dialect]`
 //!   `campaign_throughput --sqlite-check`
 
 use dbms_sim::{
@@ -86,7 +94,7 @@ use std::time::Instant;
 
 /// The version of the JSON layout this binary writes. Bump when keys are
 /// added or renamed so the CI gate can evolve without breaking old files.
-const SCHEMA_VERSION: u32 = 8;
+const SCHEMA_VERSION: u32 = 9;
 
 /// Committed regression floors, written into the benchmark artifact and
 /// enforced by `ci.sh` against the smoke run. Deliberately conservative:
@@ -135,6 +143,16 @@ const FLOOR_COVERAGE_THROUGHPUT_RATIO: f64 = 0.95;
 /// [`FLOOR_COVERAGE_THROUGHPUT_RATIO`] budget is held by the dedicated
 /// `--coverage-check` gate, which runs the same instrument cold.
 const SMOKE_FLOOR_COVERAGE_THROUGHPUT_RATIO: f64 = 0.90;
+/// A campaign run through the probing pool against the flaky backend
+/// (capability lie, probe-time crash, post-respawn flapping — see
+/// `FaultyConfig::flaky`) must keep at least this fraction of the same
+/// campaign's throughput against the healthy backend. The flaky run pays
+/// for real recovery work — whole-case retries with setup replay after
+/// probe-time crashes, double retries while the backend flaps, and the
+/// capability downgrade reshaping the workload — so the floor only arms
+/// against the self-healing layer becoming pathologically expensive
+/// (e.g. re-probing per case instead of per connect/re-sync).
+const FLOOR_PROBED_THROUGHPUT_RATIO: f64 = 0.25;
 /// Case budget of the coverage instrument (the atlas-off-vs-on timing
 /// pair runs 10x this; the uniform and directed feature-coverage arms run
 /// exactly this). Pinned — like the instrument's seed — rather than
@@ -1041,6 +1059,212 @@ fn coverage_check(dialect: &str) -> ! {
     std::process::exit(0);
 }
 
+// ------------------------------------------------- flaky-backend gate ----
+
+/// The resilience workload: the storm schedule (TLP + NoREC + rollback,
+/// so transaction control is actually generated — the regime where a
+/// capability lie matters) over three databases, so the per-database
+/// breaker reset and drift re-announcement are exercised.
+fn flaky_campaign_config() -> CampaignConfig {
+    let mut config = base_config(120);
+    config.seed = 0xF1AC;
+    config.databases = 3;
+    config.oracles = vec![OracleKind::Tlp, OracleKind::NoRec, OracleKind::Rollback];
+    config
+}
+
+/// The healthy-vs-flaky pooled pair, interleaved min-of-3 (the same noise
+/// filter as [`run_arms`]): the same campaign through a probing
+/// 2-connection pool against the clean backend and against
+/// `FaultyConfig::flaky` (capability lie + probe-time crash +
+/// post-respawn flapping). Returns the elapsed pair and the flaky run's
+/// report.
+struct FlakyOverhead {
+    healthy_s: f64,
+    flaky_s: f64,
+    report: CampaignReport,
+}
+
+impl FlakyOverhead {
+    /// Probed (flaky) throughput as a fraction of the healthy run's.
+    fn ratio(&self) -> f64 {
+        self.healthy_s / self.flaky_s
+    }
+}
+
+fn measure_flaky(dialect: &str) -> FlakyOverhead {
+    let config = flaky_campaign_config();
+    let supervision = SupervisorConfig::default();
+    let healthy_driver = preset_by_name(dialect)
+        .unwrap_or_else(|| {
+            eprintln!("unknown dialect {dialect}");
+            std::process::exit(1);
+        })
+        .driver(ExecutionPath::Ast);
+    let flaky_driver = storm_preset(dialect, FaultyConfig::flaky()).driver(ExecutionPath::Ast);
+    let mut healthy_s = f64::INFINITY;
+    let mut flaky_s = f64::INFINITY;
+    let mut flaky_report = None;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let _ = run_campaign_partitioned_pooled(&healthy_driver, &config, 1, 2, &supervision);
+        healthy_s = healthy_s.min(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        let run = run_campaign_partitioned_pooled(&flaky_driver, &config, 1, 2, &supervision);
+        flaky_s = flaky_s.min(start.elapsed().as_secs_f64());
+        flaky_report = Some(run.report);
+    }
+    FlakyOverhead {
+        healthy_s,
+        flaky_s,
+        report: flaky_report.expect("three repetitions ran"),
+    }
+}
+
+/// The CI self-healing gate. A backend that lies about transaction
+/// support, crashes during capability probes and flaps after respawns
+/// must be probed, downgraded and fuzzed to completion:
+///
+/// 1. **clean completion** — the flaky campaign is never degraded, never
+///    quarantines, exhausts no retry budget, and reports **zero**
+///    false-positive logic bugs;
+/// 2. **full attribution** — exactly the armed flaky fault kinds (probe
+///    crash, respawn flap, capability lie) appear in the incident ledger,
+///    every breaker trip and recovery is ledgered as an incident matching
+///    its robustness counter, and both trips and recoveries actually
+///    happened;
+/// 3. **determinism** — the rendered report is byte-identical across pool
+///    sizes 1/2/4, worker counts 1/N and both execution paths while
+///    breakers trip and recover;
+/// 4. **overhead** — the flaky campaign keeps at least
+///    [`FLOOR_PROBED_THROUGHPUT_RATIO`] of the healthy pooled campaign's
+///    throughput.
+fn flaky_check(dialect: &str) -> ! {
+    silence_infra_panics();
+    let config = flaky_campaign_config();
+    let supervision = SupervisorConfig::default();
+    let workers = available_threads().max(2);
+
+    // 1+2: the reference run completes clean with full attribution.
+    let driver = storm_preset(dialect, FaultyConfig::flaky()).driver(ExecutionPath::Ast);
+    let reference = run_campaign_partitioned_pooled(&driver, &config, 1, 1, &supervision).report;
+    if reference.metrics.test_cases == 0 {
+        eprintln!("FAIL: flaky campaign ran no test cases");
+        std::process::exit(1);
+    }
+    if reference.degraded
+        || reference.robustness.quarantines > 0
+        || reference.robustness.infra_failures > 0
+    {
+        eprintln!(
+            "FAIL: flaky campaign degraded (quarantines {}, infra_failures {})",
+            reference.robustness.quarantines, reference.robustness.infra_failures
+        );
+        std::process::exit(1);
+    }
+    let false_positives = false_positive_logic_bugs(&reference);
+    if false_positives > 0 {
+        eprintln!("FAIL: {false_positives} flaky-backend faults surfaced as logic bugs");
+        std::process::exit(1);
+    }
+    let observed = observed_infra_kinds(&reference);
+    if observed != vec!["infra_probe", "infra_flap", "infra_capability_lie"] {
+        eprintln!(
+            "FAIL: flaky campaign observed {observed:?}, expected exactly \
+             [infra_probe, infra_flap, infra_capability_lie]"
+        );
+        std::process::exit(1);
+    }
+    if reference.robustness.capability_drifts == 0 {
+        eprintln!("FAIL: the lying driver produced no capability-drift incidents");
+        std::process::exit(1);
+    }
+    use sqlancer_core::supervisor::IncidentKind;
+    let ledger_trips = reference
+        .incidents
+        .iter()
+        .filter(|i| i.kind == IncidentKind::BreakerTrip)
+        .count() as u64;
+    let ledger_recoveries = reference
+        .incidents
+        .iter()
+        .filter(|i| i.kind == IncidentKind::BreakerRecovery)
+        .count() as u64;
+    if reference.robustness.breaker_trips == 0 || ledger_trips != reference.robustness.breaker_trips
+    {
+        eprintln!(
+            "FAIL: {} breaker trips counted but {ledger_trips} in the incident ledger \
+             (every trip must be ledgered, and the flaky backend must trip some)",
+            reference.robustness.breaker_trips
+        );
+        std::process::exit(1);
+    }
+    if reference.robustness.breaker_recoveries == 0
+        || ledger_recoveries != reference.robustness.breaker_recoveries
+    {
+        eprintln!(
+            "FAIL: {} breaker recoveries counted but {ledger_recoveries} in the incident ledger",
+            reference.robustness.breaker_recoveries
+        );
+        std::process::exit(1);
+    }
+
+    // 3: report byte-identity across pools x workers x paths.
+    let mut rendered = Vec::new();
+    for path in [ExecutionPath::Ast, ExecutionPath::Text] {
+        let driver = storm_preset(dialect, FaultyConfig::flaky()).driver(path);
+        let baseline = render_report(
+            &run_campaign_partitioned_pooled(&driver, &config, 1, 1, &supervision).report,
+        );
+        for (threads, pool_size) in [
+            (1usize, 2usize),
+            (1, 4),
+            (workers, 1),
+            (workers, 2),
+            (workers, 4),
+        ] {
+            let run =
+                run_campaign_partitioned_pooled(&driver, &config, threads, pool_size, &supervision);
+            if render_report(&run.report) != baseline {
+                eprintln!(
+                    "FAIL: {path:?} flaky report diverged at {threads} workers, pool size {pool_size}"
+                );
+                std::process::exit(1);
+            }
+        }
+        rendered.push(baseline);
+    }
+    if rendered[0] != rendered[1] {
+        eprintln!("FAIL: AST and text execution paths rendered different flaky reports");
+        std::process::exit(1);
+    }
+
+    // 4: the self-healing machinery keeps the committed fraction of the
+    // healthy campaign's throughput.
+    let overhead = measure_flaky(dialect);
+    let ratio = overhead.ratio();
+    if !ratio.is_finite() || ratio < FLOOR_PROBED_THROUGHPUT_RATIO {
+        eprintln!(
+            "FAIL: self-healing too expensive: probed/healthy throughput ratio {ratio:.3} \
+             < floor {FLOOR_PROBED_THROUGHPUT_RATIO}"
+        );
+        std::process::exit(1);
+    }
+
+    println!(
+        "flaky-check({dialect}): {} cases, {} capability drift(s), {} probe failure(s), \
+         {} breaker trip(s) / {} recovery(ies) all ledgered, 0 false-positive logic bugs, \
+         reports byte-identical across 1/{workers} workers x 1/2/4 pools x both paths, \
+         probed/healthy throughput ratio {ratio:.3} (floor {FLOOR_PROBED_THROUGHPUT_RATIO})",
+        reference.metrics.test_cases,
+        reference.robustness.capability_drifts,
+        reference.robustness.probe_failures,
+        reference.robustness.breaker_trips,
+        reference.robustness.breaker_recoveries,
+    );
+    std::process::exit(0);
+}
+
 // ------------------------------------------------------------ validation ----
 
 /// Extracts the number following `"key": ` (top-level or nested).
@@ -1103,6 +1327,13 @@ fn validate_bench_json(json: &str) -> Result<(), String> {
         "infra_failures",
         "observed_infra_kinds",
         "false_positive_logic_bugs",
+        "resilience",
+        "probed_throughput_ratio",
+        "capability_drifts",
+        "probe_failures",
+        "breaker_trips",
+        "breaker_recoveries",
+        "flaky_false_positives",
         "observability",
         "traced_throughput_ratio",
         "trace_statements",
@@ -1121,6 +1352,7 @@ fn validate_bench_json(json: &str) -> Result<(), String> {
         "min_isolation_throughput_ratio",
         "min_traced_throughput_ratio",
         "min_coverage_throughput_ratio",
+        "min_probed_throughput_ratio",
     ] {
         if !json.contains(&format!("\"{key}\":")) {
             return Err(format!("missing key \"{key}\""));
@@ -1128,9 +1360,9 @@ fn validate_bench_json(json: &str) -> Result<(), String> {
     }
     let schema = number_after(json, "schema_version")
         .ok_or_else(|| "schema_version is not a number".to_string())?;
-    if schema < 8.0 {
+    if schema < 9.0 {
         return Err(format!(
-            "schema_version {schema} predates the coverage-atlas gate"
+            "schema_version {schema} predates the resilience (self-healing pool) gate"
         ));
     }
     match number_after(json, "false_positive_logic_bugs") {
@@ -1141,6 +1373,15 @@ fn validate_bench_json(json: &str) -> Result<(), String> {
             ))
         }
         None => return Err("false_positive_logic_bugs is not a number".to_string()),
+    }
+    match number_after(json, "flaky_false_positives") {
+        Some(0.0) => {}
+        Some(v) => {
+            return Err(format!(
+                "resilience block reports {v} false-positive logic bugs, must be 0"
+            ))
+        }
+        None => return Err("flaky_false_positives is not a number".to_string()),
     }
     match number_after(json, "storm_test_cases") {
         Some(v) if v > 0.0 => {}
@@ -1160,6 +1401,7 @@ fn validate_bench_json(json: &str) -> Result<(), String> {
         "isolation_throughput_ratio",
         "traced_throughput_ratio",
         "coverage_throughput_ratio",
+        "probed_throughput_ratio",
         "begin_ns_per_table",
     ] {
         let v = number_after(json, key).ok_or_else(|| format!("\"{key}\" is not a number"))?;
@@ -1306,6 +1548,9 @@ fn main() {
     if args.get(1).map(String::as_str) == Some("--coverage-check") {
         coverage_check(args.get(2).map(String::as_str).unwrap_or("dolt"));
     }
+    if args.get(1).map(String::as_str) == Some("--flaky-check") {
+        flaky_check(args.get(2).map(String::as_str).unwrap_or("sqlite"));
+    }
     if args.get(1).map(String::as_str) == Some("--sqlite-check") {
         sqlite_check();
     }
@@ -1409,6 +1654,22 @@ fn main() {
     let coverage_ratio = coverage.ratio();
     let coverage_uniform_features = coverage.uniform.coverage.distinct_features();
     let coverage_directed_features = coverage.directed.coverage.distinct_features();
+
+    // The resilience workload: the storm schedule through a probing
+    // 2-connection pool, healthy vs flaky backend. Gated here against the
+    // committed floor via `ci.sh`; gated (much more thoroughly) by
+    // `--flaky-check`.
+    let flaky = measure_flaky("sqlite");
+    let probed_ratio = flaky.ratio();
+    let flaky_false_positives = false_positive_logic_bugs(&flaky.report);
+    assert_eq!(
+        flaky_false_positives, 0,
+        "flaky-backend faults surfaced as logic bugs"
+    );
+    assert!(
+        !flaky.report.degraded && flaky.report.robustness.capability_drifts > 0,
+        "the lying driver must be probed and downgraded without degrading the campaign"
+    );
 
     let par_start = Instant::now();
     let par_report = run_fleet_parallel(&fleet(), &eval, ExecutionPath::Ast, threads);
@@ -1530,6 +1791,18 @@ fn main() {
         coverage.directed.coverage.saturation.novel_features,
     );
     println!(
+        "resilience (sqlite, flaky backend through probing pool): healthy {:.3}s, \
+         flaky {:.3}s (throughput ratio {probed_ratio:.3}), {} capability drift(s), \
+         {} probe failure(s), {} breaker trip(s) / {} recovery(ies), \
+         {flaky_false_positives} false-positive logic bugs",
+        flaky.healthy_s,
+        flaky.flaky_s,
+        flaky.report.robustness.capability_drifts,
+        flaky.report.robustness.probe_failures,
+        flaky.report.robustness.breaker_trips,
+        flaky.report.robustness.breaker_recoveries,
+    );
+    println!(
         "parallel({threads} threads) {par_elapsed:>8.3}s  (x{parallel_speedup:.2} over serial AST)"
     );
     println!("AST-path speedup over text path:        x{speedup:.2}");
@@ -1540,6 +1813,14 @@ fn main() {
     let storm_kinds = format!(
         "[{}]",
         observed_infra_kinds(&storm)
+            .iter()
+            .map(|id| format!("\"{id}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let flaky_kinds = format!(
+        "[{}]",
+        observed_infra_kinds(&flaky.report)
             .iter()
             .map(|id| format!("\"{id}\""))
             .collect::<Vec<_>>()
@@ -1574,6 +1855,16 @@ fn main() {
          \"recovered_workers\": {storm_recovered}, \
          \"observed_infra_kinds\": {storm_kinds}, \
          \"false_positive_logic_bugs\": {storm_false_positives}}},\n  \
+         \"resilience\": {{\"dialect\": \"sqlite\", \"faults\": \"flaky\", \"pool_size\": 2, \
+         \"healthy_elapsed_s\": {flaky_healthy_s:.4}, \
+         \"flaky_elapsed_s\": {flaky_elapsed_s:.4}, \
+         \"probed_throughput_ratio\": {probed_ratio:.3}, \
+         \"capability_drifts\": {flaky_drifts}, \
+         \"probe_failures\": {flaky_probe_failures}, \
+         \"breaker_trips\": {flaky_trips}, \
+         \"breaker_recoveries\": {flaky_recoveries}, \
+         \"observed_infra_kinds\": {flaky_kinds}, \
+         \"flaky_false_positives\": {flaky_false_positives}}},\n  \
          \"observability\": {{\"dialect\": \"dolt\", \"workload\": \"txn\", \
          \"untraced_elapsed_s\": {trace_untraced_s:.4}, \
          \"traced_elapsed_s\": {trace_traced_s:.4}, \
@@ -1603,7 +1894,8 @@ fn main() {
          \"min_txn_throughput_ratio\": {FLOOR_TXN_THROUGHPUT_RATIO}, \
          \"min_isolation_throughput_ratio\": {FLOOR_ISOLATION_THROUGHPUT_RATIO}, \
          \"min_traced_throughput_ratio\": {FLOOR_TRACED_THROUGHPUT_RATIO}, \
-         \"min_coverage_throughput_ratio\": {SMOKE_FLOOR_COVERAGE_THROUGHPUT_RATIO}}}\n}}\n",
+         \"min_coverage_throughput_ratio\": {SMOKE_FLOOR_COVERAGE_THROUGHPUT_RATIO}, \
+         \"min_probed_throughput_ratio\": {FLOOR_PROBED_THROUGHPUT_RATIO}}}\n}}\n",
         dispatch.seed,
         fleet().len(),
         queries,
@@ -1632,6 +1924,12 @@ fn main() {
         storm_infra_failures = storm.robustness.infra_failures,
         storm_storage_errors = storm.robustness.storage_metric_errors,
         storm_recovered = storm.robustness.recovered_workers,
+        flaky_healthy_s = flaky.healthy_s,
+        flaky_elapsed_s = flaky.flaky_s,
+        flaky_drifts = flaky.report.robustness.capability_drifts,
+        flaky_probe_failures = flaky.report.robustness.probe_failures,
+        flaky_trips = flaky.report.robustness.breaker_trips,
+        flaky_recoveries = flaky.report.robustness.breaker_recoveries,
         trace_untraced_s = trace_overhead.untraced_s,
         trace_traced_s = trace_overhead.traced_s,
         trace_cases = trace_totals.cases,

@@ -368,6 +368,10 @@ pub struct Campaign {
     pub generator: AdaptiveGenerator,
     prioritizer: BugPrioritizer,
     trace: Option<TraceHandle>,
+    /// The last capability report applied via [`Campaign::apply_capability`],
+    /// re-applied at every database boundary so a probed downgrade stays
+    /// suppressed even after the generator's per-database resets.
+    applied_capability: Option<crate::driver::Capability>,
 }
 
 impl std::fmt::Debug for Campaign {
@@ -389,6 +393,7 @@ impl Campaign {
             generator,
             prioritizer: BugPrioritizer::new(),
             trace: None,
+            applied_capability: None,
         }
     }
 
@@ -400,6 +405,7 @@ impl Campaign {
             generator,
             prioritizer: BugPrioritizer::new(),
             trace: None,
+            applied_capability: None,
         }
     }
 
@@ -419,6 +425,7 @@ impl Campaign {
     /// generation is disabled for single-session backends. Idempotent —
     /// call it again with the same capability when resuming.
     pub fn apply_capability(&mut self, capability: &crate::driver::Capability) {
+        self.applied_capability = Some(capability.clone());
         self.generator.apply_capability(capability);
     }
 
@@ -526,6 +533,14 @@ impl Campaign {
         for sql in &checkpoint.setup_log {
             let _ = conn.execute(sql);
         }
+        // Restore the connection layer's breaker/backoff ledger so the
+        // resumed run routes checkouts exactly like the uninterrupted one
+        // would have. A connection without resilience state (unpooled)
+        // ignores it — breaker routing is verdict-neutral, so the report
+        // stays byte-identical either way.
+        if let Some(data) = &checkpoint.resilience {
+            let _ = conn.restore_resilience(data);
+        }
         let resume_point = ResumePoint {
             database: checkpoint.database,
             next_case: checkpoint.next_case,
@@ -629,6 +644,18 @@ impl Campaign {
                     // mid-database state from the checkpoint instead).
                     if atlas_enabled {
                         report.coverage.begin_database();
+                    }
+                    // Database boundary: the connection layer resets its
+                    // breaker ledger (so breaker state is a pure function of
+                    // this database's case schedule, not of pool history) and
+                    // re-announces any static-vs-probed capability drift.
+                    // Re-applying the stored capability keeps probed
+                    // downgrades suppressed across the generator's
+                    // per-database resets — graceful degradation, not an
+                    // invalid-case storm.
+                    conn.note_database_boundary();
+                    if let Some(capability) = self.applied_capability.clone() {
+                        self.generator.apply_capability(&capability);
                     }
                     conn.reset();
                     self.generator.reset_schema();
@@ -929,6 +956,7 @@ impl Campaign {
                             oracle_index,
                             &setup_log,
                             accum,
+                            conn.resilience_checkpoint(),
                         );
                         // A failed checkpoint write costs resumability, not
                         // correctness: the campaign continues and the
@@ -1045,6 +1073,7 @@ impl Campaign {
         oracle_index: usize,
         setup_log: &[String],
         storage_accum: StorageMetrics,
+        resilience: Option<String>,
     ) -> CampaignCheckpoint {
         let mut snapshot = report.clone();
         snapshot.robustness = supervisor.counters;
@@ -1076,6 +1105,7 @@ impl Campaign {
             setup_log: setup_log.to_vec(),
             storage_delta: storage_accum,
             consecutive_infra: supervisor.consecutive_infra(),
+            resilience,
             report: snapshot,
         }
     }

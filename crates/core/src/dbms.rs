@@ -328,6 +328,53 @@ pub trait DbmsConnection {
     fn engine_coverage(&self) -> Option<EngineCoverage> {
         None
     }
+
+    /// Drains accumulated **deterministic** resilience events: capability
+    /// drift detected by the runtime probe, circuit-breaker trips and
+    /// recoveries. Unlike [`DbmsConnection::drain_backend_events`], these
+    /// travel on the deterministic plane — the campaign records each one as
+    /// a supervision incident, so implementations must only emit events
+    /// whose occurrence and order are invariant across pool sizes and
+    /// worker counts. The default returns nothing.
+    fn drain_resilience_events(&mut self) -> Vec<crate::driver::ResilienceEvent> {
+        Vec::new()
+    }
+
+    /// Reports the final supervised outcome of a test case back to the
+    /// connection layer: `infra_failed` is `true` when every attempt of the
+    /// case was lost to infrastructure faults. The pool's circuit breakers
+    /// consume this to settle their consecutive-failure accounting *eagerly*
+    /// at the case boundary (a checkpoint taken between cases must capture
+    /// fully resolved breaker state). The default is a no-op.
+    fn note_case_outcome(&mut self, case_seed: u64, infra_failed: bool) {
+        let _ = (case_seed, infra_failed);
+    }
+
+    /// Serializes the connection layer's resilience state (circuit-breaker
+    /// counters, backoff clock) as an opaque single-line string for the
+    /// campaign checkpoint, or `None` when the layer carries none (the
+    /// default). Must only be called between cases, when breaker state is
+    /// settled.
+    fn resilience_checkpoint(&self) -> Option<String> {
+        None
+    }
+
+    /// Restores resilience state previously captured by
+    /// [`DbmsConnection::resilience_checkpoint`]. Returns `false` when the
+    /// payload is foreign or the layer carries no such state (the default).
+    fn restore_resilience(&mut self, data: &str) -> bool {
+        let _ = data;
+        false
+    }
+
+    /// Marks a database boundary in the campaign loop. The pool resets its
+    /// circuit-breaker ledger here (each database state starts with healthy
+    /// slots, which keeps breaker incidents invariant between a multi-database
+    /// campaign and its per-database partitioned shards) and enqueues one
+    /// [`crate::driver::ResilienceEvent::CapabilityDrift`] per probed
+    /// downgrade, so drift lands in the incident ledger once per database.
+    /// The default is a no-op.
+    fn note_database_boundary(&mut self) {}
 }
 
 /// An opaque committed-state snapshot produced by
@@ -405,6 +452,26 @@ impl DbmsConnection for Box<dyn DbmsConnection> {
 
     fn engine_coverage(&self) -> Option<EngineCoverage> {
         (**self).engine_coverage()
+    }
+
+    fn drain_resilience_events(&mut self) -> Vec<crate::driver::ResilienceEvent> {
+        (**self).drain_resilience_events()
+    }
+
+    fn note_case_outcome(&mut self, case_seed: u64, infra_failed: bool) {
+        (**self).note_case_outcome(case_seed, infra_failed);
+    }
+
+    fn resilience_checkpoint(&self) -> Option<String> {
+        (**self).resilience_checkpoint()
+    }
+
+    fn restore_resilience(&mut self, data: &str) -> bool {
+        (**self).restore_resilience(data)
+    }
+
+    fn note_database_boundary(&mut self) {
+        (**self).note_database_boundary();
     }
 }
 
@@ -494,6 +561,26 @@ impl<C: DbmsConnection> DbmsConnection for TextOnlyConnection<C> {
 
     fn engine_coverage(&self) -> Option<EngineCoverage> {
         self.inner.engine_coverage()
+    }
+
+    fn drain_resilience_events(&mut self) -> Vec<crate::driver::ResilienceEvent> {
+        self.inner.drain_resilience_events()
+    }
+
+    fn note_case_outcome(&mut self, case_seed: u64, infra_failed: bool) {
+        self.inner.note_case_outcome(case_seed, infra_failed);
+    }
+
+    fn resilience_checkpoint(&self) -> Option<String> {
+        self.inner.resilience_checkpoint()
+    }
+
+    fn restore_resilience(&mut self, data: &str) -> bool {
+        self.inner.restore_resilience(data)
+    }
+
+    fn note_database_boundary(&mut self) {
+        self.inner.note_database_boundary();
     }
 
     // `execute_ast` and `query_ast` are deliberately NOT overridden: the

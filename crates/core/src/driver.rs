@@ -210,6 +210,206 @@ pub trait Driver: Send + Sync {
     fn connect(&self) -> Result<Box<dyn DbmsConnection>, String>;
 }
 
+/// A deterministic-plane resilience event produced by the pool's
+/// self-healing layer and drained by the supervisor at every case boundary
+/// ([`DbmsConnection::drain_resilience_events`]). Each event becomes a
+/// supervision incident, so everything here must be invariant across pool
+/// sizes and worker counts: capability drift derives from the probe (same
+/// backend, same script), breaker accounting is keyed to *virtual* slots
+/// and a checkout-counting clock, never to physical connections.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResilienceEvent {
+    /// The runtime probe contradicted the driver's static capability claim
+    /// for one feature family. Enqueued once per database boundary.
+    CapabilityDrift {
+        /// Family plus the backend's rejection message.
+        detail: String,
+    },
+    /// A virtual slot accumulated [`BREAKER_THRESHOLD`] consecutive
+    /// infrastructure-classified case failures and opened its breaker.
+    BreakerTripped {
+        /// The virtual slot (case seed modulo [`BREAKER_SLOTS`]).
+        vslot: usize,
+        /// The resilience clock (checkouts this database) at the trip.
+        clock: u64,
+        /// The clock value at which the breaker half-opens for a probe.
+        until: u64,
+    },
+    /// A half-open breaker's probe case completed and the slot was
+    /// readmitted.
+    BreakerRecovered {
+        /// The virtual slot.
+        vslot: usize,
+        /// The resilience clock at readmission.
+        clock: u64,
+    },
+}
+
+/// Number of virtual breaker slots. Breakers guard *virtual* slots
+/// (`case_seed % BREAKER_SLOTS`) rather than physical connections so that
+/// trip/recovery sequences — which become incidents — are identical for
+/// every pool size. Physical routing folds the virtual slot onto the pool
+/// (`vslot % size`), which coincides with the historical `seed % size`
+/// checkout for the pool sizes the determinism gates exercise (divisors of
+/// `BREAKER_SLOTS`).
+pub const BREAKER_SLOTS: usize = 4;
+
+/// Consecutive infra-classified case failures that open a virtual slot's
+/// breaker. Two is deliberately aggressive: the injected persistent faults
+/// (crash-persist, post-respawn flap) lose exactly two attempts, so the
+/// chaos gates exercise both the trip and the recovery path.
+pub const BREAKER_THRESHOLD: u32 = 2;
+
+/// Base backoff, in resilience-clock ticks (checkouts), before an open
+/// breaker half-opens. Doubles per consecutive re-trip.
+pub const BREAKER_BACKOFF_BASE: u64 = 8;
+
+/// Cap on the backoff doubling exponent.
+pub const BREAKER_MAX_BACKOFF_LEVEL: u32 = 6;
+
+/// Circuit-breaker state of one virtual slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    /// Healthy: cases route to the slot normally.
+    Closed,
+    /// Tripped: checkout detours around the slot until the clock reaches
+    /// `until`.
+    Open { until: u64 },
+    /// Backoff expired: the next case on this virtual slot is the
+    /// readmission probe.
+    HalfOpen,
+}
+
+/// One virtual slot's breaker.
+#[derive(Debug, Clone)]
+struct Breaker {
+    state: BreakerState,
+    /// Consecutive infra-classified case failures while closed.
+    consecutive: u32,
+    /// Backoff doubling exponent (grows on half-open re-trips).
+    backoff_level: u32,
+    /// Wall-clock-plane telemetry: trips since the last drain.
+    trips: u64,
+    /// Wall-clock-plane telemetry: recoveries since the last drain.
+    recoveries: u64,
+}
+
+impl Breaker {
+    fn new() -> Breaker {
+        Breaker {
+            state: BreakerState::Closed,
+            consecutive: 0,
+            backoff_level: 0,
+            trips: 0,
+            recoveries: 0,
+        }
+    }
+
+    /// Resets the deterministic fields at a database boundary, keeping the
+    /// wall-plane telemetry counters for the next drain.
+    fn reset_deterministic(&mut self) {
+        self.state = BreakerState::Closed;
+        self.consecutive = 0;
+        self.backoff_level = 0;
+    }
+}
+
+/// The in-flight case the pool is tracking for breaker accounting.
+#[derive(Debug, Clone, Copy)]
+struct PendingCase {
+    seed: u64,
+    /// The physical slot the case's first attempt was routed to. Retries
+    /// stay on it: backends meter injected-fault persistence by
+    /// per-connection attempt counts, so hopping a retry to a sibling slot
+    /// would reset that meter and let the verdict vary with the pool size.
+    physical: usize,
+    /// Whether the current attempt's failure was already counted (an
+    /// infra-marked statement outcome was observed inline). Attempts that
+    /// die by panic are counted at the retry checkout or the final
+    /// [`DbmsConnection::note_case_outcome`] instead.
+    noted: bool,
+}
+
+/// Runs the deterministic capability probe script against a connection and
+/// returns the downgraded capability plus one drift detail per family the
+/// backend rejected at runtime. Statements run directly on the slot
+/// connection (never through the pool), in safe mode, and only *claimed*
+/// families are probed — the probe downgrades, it never upgrades.
+///
+/// # Errors
+///
+/// An [`INFRA_MARKER`] statement outcome is a transport failure, not a
+/// family rejection: the probe aborts with the backend's message.
+fn run_probe(
+    conn: &mut dyn DbmsConnection,
+    claimed: &Capability,
+) -> Result<(Capability, Vec<String>), String> {
+    fn exec(conn: &mut dyn DbmsConnection, sql: &str) -> Result<Result<(), String>, String> {
+        match conn.execute(sql) {
+            StatementOutcome::Success => Ok(Ok(())),
+            StatementOutcome::Failure(msg) if msg.contains(INFRA_MARKER) => Err(msg),
+            StatementOutcome::Failure(msg) => Ok(Err(msg)),
+        }
+    }
+    let mut probed = claimed.clone();
+    let mut drift: Vec<String> = Vec::new();
+    if claimed.transactions {
+        match exec(conn, "BEGIN")? {
+            Ok(()) => {
+                if let Err(msg) = exec(conn, "ROLLBACK")? {
+                    probed.transactions = false;
+                    drift.push(format!(
+                        "transactions: static capability claims support but the probe's ROLLBACK was rejected: {msg}"
+                    ));
+                }
+            }
+            Err(msg) => {
+                probed.transactions = false;
+                drift.push(format!(
+                    "transactions: static capability claims support but the probe's BEGIN was rejected: {msg}"
+                ));
+            }
+        }
+    }
+    // Savepoints are probed inside a transaction, exactly as the oracles
+    // use them; without transaction support there is no portable probe, so
+    // the claim stands and validity feedback handles the rest.
+    if claimed.savepoints && probed.transactions && exec(conn, "BEGIN")?.is_ok() {
+        match exec(conn, "SAVEPOINT pool_probe")? {
+            Ok(()) => {
+                if let Err(msg) = exec(conn, "RELEASE SAVEPOINT pool_probe")? {
+                    probed.savepoints = false;
+                    drift.push(format!(
+                        "savepoints: static capability claims support but the probe's RELEASE SAVEPOINT was rejected: {msg}"
+                    ));
+                }
+            }
+            Err(msg) => {
+                probed.savepoints = false;
+                drift.push(format!(
+                    "savepoints: static capability claims support but the probe's SAVEPOINT was rejected: {msg}"
+                ));
+            }
+        }
+        let _ = exec(conn, "ROLLBACK")?;
+    }
+    if claimed.state_checkpoints && conn.checkpoint().is_none() {
+        probed.state_checkpoints = false;
+        drift.push(
+            "state_checkpoints: static capability claims support but the checkpoint probe returned no snapshot"
+                .to_string(),
+        );
+    }
+    if claimed.multi_session && conn.open_session().is_none() {
+        probed.multi_session = false;
+        drift.push(
+            "multi_session: static capability claims support but the probe could not open a second session"
+                .to_string(),
+        );
+    }
+    Ok((probed, drift))
+}
+
 /// One pooled connection slot.
 struct Slot {
     conn: Option<Box<dyn DbmsConnection>>,
@@ -223,6 +423,26 @@ struct Slot {
     resyncs: u64,
     /// Wall-clock-plane telemetry: statements replayed by those re-syncs.
     replayed: u64,
+    /// Storage-counter deltas caused by capability probes on this slot.
+    /// Probes run real statements (`BEGIN`/`ROLLBACK` bump engine
+    /// counters), and how often a slot is probed depends on the pool size,
+    /// so [`Pool::storage_metrics`] subtracts this accumulator to keep the
+    /// reported sum invariant.
+    probe_overhead: StorageMetrics,
+}
+
+impl Slot {
+    fn empty() -> Slot {
+        Slot {
+            conn: None,
+            epoch: 0,
+            synced: 0,
+            checkouts: 0,
+            resyncs: 0,
+            replayed: 0,
+            probe_overhead: StorageMetrics::default(),
+        }
+    }
 }
 
 /// A fixed-size, deterministic connection pool over one [`Driver`].
@@ -249,27 +469,53 @@ pub struct Pool {
     /// next `begin_case(0)`). In-case statements are oracle-internal and
     /// are not recorded: stateful oracles restore setup state on exit.
     in_case: bool,
+    /// Per-virtual-slot circuit breakers (see [`BREAKER_SLOTS`]).
+    breakers: Vec<Breaker>,
+    /// The resilience clock: non-zero checkouts since the last database
+    /// boundary. Drives breaker backoff — virtual time, never wall clock.
+    resilience_clock: u64,
+    /// The case currently being tracked for breaker accounting.
+    pending_case: Option<PendingCase>,
+    /// Deterministic-plane events awaiting a drain.
+    resilience_events: Vec<ResilienceEvent>,
+    /// Drift details from the connect-time probe: one per capability family
+    /// the backend rejected despite the driver's static claim. Re-announced
+    /// as [`ResilienceEvent::CapabilityDrift`] at every database boundary.
+    drift_details: Vec<String>,
+    /// Wall-clock-plane telemetry: probes run since the last drain.
+    probes_run: u64,
+    /// Wall-clock-plane telemetry: family downgrades observed by those
+    /// probes.
+    probe_downgrades: u64,
 }
 
 impl Pool {
     /// Creates a pool of `size` connections over `driver`. The first slot
-    /// connects eagerly so configuration errors surface here; the rest
-    /// connect lazily on first checkout.
+    /// connects eagerly and runs the capability probe, so configuration
+    /// errors and transport-dead backends surface here; the remaining
+    /// slots connect (and are probed) lazily on first checkout.
     pub fn new(driver: Arc<dyn Driver>, size: usize) -> Result<Pool, String> {
         let size = size.max(1);
-        let mut slots: Vec<Slot> = (0..size)
-            .map(|_| Slot {
-                conn: None,
-                epoch: 0,
-                synced: 0,
-                checkouts: 0,
-                resyncs: 0,
-                replayed: 0,
-            })
-            .collect();
-        slots[0].conn = Some(driver.connect()?);
+        let mut slots: Vec<Slot> = (0..size).map(|_| Slot::empty()).collect();
+        let mut conn = driver.connect()?;
+        // Runtime capability probing: trust the backend's observed behavior
+        // over the driver's static claim. The probed (downgraded-only)
+        // capability is what `Campaign::apply_capability` sees, so a lying
+        // driver degrades gracefully instead of spraying invalid cases.
+        let claimed = driver.capability();
+        conn.begin_case(0);
+        let before = conn.storage_metrics().ok().flatten();
+        let (capability, drift_details) = run_probe(conn.as_mut(), &claimed)
+            .map_err(|msg| format!("capability probe failed: {msg}"))?;
+        let after = conn.storage_metrics().ok().flatten();
+        if let (Some(b), Some(a)) = (before, after) {
+            slots[0].probe_overhead.merge(&a.since(&b));
+        }
+        conn.reset();
+        slots[0].conn = Some(conn);
         Ok(Pool {
-            capability: driver.capability(),
+            probe_downgrades: drift_details.len() as u64,
+            capability,
             name: driver.name().to_string(),
             driver,
             slots,
@@ -277,6 +523,12 @@ impl Pool {
             sync_log: Vec::new(),
             epoch: 0,
             in_case: false,
+            breakers: (0..BREAKER_SLOTS).map(|_| Breaker::new()).collect(),
+            resilience_clock: 0,
+            pending_case: None,
+            resilience_events: Vec::new(),
+            drift_details,
+            probes_run: 1,
         })
     }
 
@@ -285,9 +537,16 @@ impl Pool {
         self.slots.len()
     }
 
-    /// The backend's capability report.
+    /// The backend's capability report: the driver's static claim minus
+    /// every family the connect-time probe saw the backend reject.
     pub fn capability(&self) -> &Capability {
         &self.capability
+    }
+
+    /// Drift details from the connect-time probe (empty for a backend that
+    /// honors its static claim).
+    pub fn drift_details(&self) -> &[String] {
+        &self.drift_details
     }
 
     /// The slot index the last checkout selected.
@@ -312,8 +571,15 @@ impl Pool {
             .expect("slot connected above")
     }
 
-    /// Brings slot `index` up to date with the sync log: reset, then
-    /// replay the recorded setup SQL (the checkpoint fallback path).
+    /// Brings slot `index` up to date with the sync log: re-probe the
+    /// connection's capabilities, then reset and replay the recorded setup
+    /// SQL (the checkpoint fallback path).
+    ///
+    /// The sync stamp is only written after a fully successful replay: a
+    /// replay statement failing with an [`INFRA_MARKER`] outcome panics
+    /// (marked, so the supervisor classifies and retries) *without*
+    /// marking the slot synced — a half-built slot must never masquerade
+    /// as current.
     fn sync_slot(&mut self, index: usize) {
         let stale = self.slots[index].epoch != self.epoch
             || self.slots[index].synced != self.sync_log.len();
@@ -322,18 +588,149 @@ impl Pool {
             return;
         }
         let log: Vec<String> = self.sync_log.clone();
-        let conn = self.connected(index);
-        conn.begin_case(0);
-        conn.reset();
-        for sql in &log {
-            // Replay outcomes mirror the original safe-mode outcomes;
-            // failures were recorded too and fail identically here.
-            let _ = conn.execute(sql);
+        let claimed = self.capability.clone();
+        self.connected(index);
+        // Re-probe after every (re-)connect and re-sync: probe results here
+        // feed the wall-clock telemetry plane only — the *applied*
+        // capability is fixed at construction, because how often slots are
+        // probed depends on the pool size. A transport failure inside the
+        // probe is still a marked panic (deterministically absent for the
+        // in-process backends, whose faults stay dormant in safe mode).
+        let (probe_result, overhead) = {
+            let conn = self.slots[index].conn.as_mut().expect("connected above");
+            conn.begin_case(0);
+            let before = conn.storage_metrics().ok().flatten();
+            let result = run_probe(conn.as_mut(), &claimed);
+            let after = conn.storage_metrics().ok().flatten();
+            let overhead = match (before, after) {
+                (Some(b), Some(a)) => Some(a.since(&b)),
+                _ => None,
+            };
+            (result, overhead)
+        };
+        if let Some(delta) = overhead {
+            self.slots[index].probe_overhead.merge(&delta);
+        }
+        self.probes_run += 1;
+        match probe_result {
+            Ok((_probed, drift)) => self.probe_downgrades += drift.len() as u64,
+            Err(msg) => panic!("{INFRA_MARKER} capability probe failed on re-sync: {msg}"),
+        }
+        let replay_failure = {
+            let conn = self.slots[index].conn.as_mut().expect("connected above");
+            conn.reset();
+            let mut failure = None;
+            for sql in &log {
+                // Replay outcomes mirror the original safe-mode outcomes;
+                // ordinary failures were recorded too and fail identically
+                // here. A *marked* outcome is a garbled/dropped frame
+                // inside the replay itself — infrastructure, not history.
+                if let StatementOutcome::Failure(msg) = conn.execute(sql) {
+                    if msg.contains(INFRA_MARKER) {
+                        failure = Some(msg);
+                        break;
+                    }
+                }
+            }
+            failure
+        };
+        if let Some(msg) = replay_failure {
+            panic!("{INFRA_MARKER} pool re-sync replay failed: {msg}");
         }
         self.slots[index].epoch = self.epoch;
         self.slots[index].synced = self.sync_log.len();
         self.slots[index].resyncs += 1;
         self.slots[index].replayed += log.len() as u64;
+    }
+
+    /// The virtual breaker slot guarding a case.
+    fn vslot(case_seed: u64) -> usize {
+        (case_seed % BREAKER_SLOTS as u64) as usize
+    }
+
+    /// Checkout-time routing query: returns `true` when the virtual slot's
+    /// breaker is open (detour), transitioning expired breakers to
+    /// half-open first.
+    fn breaker_is_open(&mut self, vslot: usize) -> bool {
+        let clock = self.resilience_clock;
+        let breaker = &mut self.breakers[vslot];
+        if let BreakerState::Open { until } = breaker.state {
+            if clock >= until {
+                breaker.state = BreakerState::HalfOpen;
+                return false;
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Counts one infra-classified case failure against a virtual slot.
+    fn breaker_note_failure(&mut self, vslot: usize) {
+        let clock = self.resilience_clock;
+        let breaker = &mut self.breakers[vslot];
+        match breaker.state {
+            BreakerState::Closed => {
+                breaker.consecutive += 1;
+                if breaker.consecutive >= BREAKER_THRESHOLD {
+                    let until = clock + (BREAKER_BACKOFF_BASE << breaker.backoff_level);
+                    breaker.state = BreakerState::Open { until };
+                    breaker.consecutive = 0;
+                    breaker.trips += 1;
+                    self.resilience_events
+                        .push(ResilienceEvent::BreakerTripped {
+                            vslot,
+                            clock,
+                            until,
+                        });
+                }
+            }
+            BreakerState::HalfOpen => {
+                // The readmission probe failed: reopen with doubled backoff.
+                breaker.backoff_level = (breaker.backoff_level + 1).min(BREAKER_MAX_BACKOFF_LEVEL);
+                let until = clock + (BREAKER_BACKOFF_BASE << breaker.backoff_level);
+                breaker.state = BreakerState::Open { until };
+                breaker.trips += 1;
+                self.resilience_events
+                    .push(ResilienceEvent::BreakerTripped {
+                        vslot,
+                        clock,
+                        until,
+                    });
+            }
+            BreakerState::Open { .. } => {}
+        }
+    }
+
+    /// Counts one successfully completed case on a virtual slot.
+    fn breaker_note_success(&mut self, vslot: usize) {
+        let clock = self.resilience_clock;
+        let breaker = &mut self.breakers[vslot];
+        breaker.consecutive = 0;
+        if breaker.state == BreakerState::HalfOpen {
+            breaker.state = BreakerState::Closed;
+            breaker.backoff_level = 0;
+            breaker.recoveries += 1;
+            self.resilience_events
+                .push(ResilienceEvent::BreakerRecovered { vslot, clock });
+        }
+    }
+
+    /// Records an infra-marked statement outcome observed mid-case: the
+    /// current attempt has failed, count it once.
+    fn note_infra_outcome(&mut self, message: &str) {
+        if !self.in_case || !message.contains(INFRA_MARKER) {
+            return;
+        }
+        let Some(pending) = self.pending_case else {
+            return;
+        };
+        if pending.noted {
+            return;
+        }
+        if let Some(pending) = self.pending_case.as_mut() {
+            pending.noted = true;
+        }
+        self.breaker_note_failure(Self::vslot(pending.seed));
     }
 
     /// Marks the active slot as having observed the full sync log.
@@ -356,12 +753,19 @@ impl DbmsConnection for Pool {
             self.sync_log.push(sql.to_string());
             self.mark_active_synced();
         }
+        if let StatementOutcome::Failure(msg) = &outcome {
+            self.note_infra_outcome(msg);
+        }
         outcome
     }
 
     fn query(&mut self, sql: &str) -> Result<QueryResult, String> {
         let active = self.active;
-        self.connected(active).query(sql)
+        let result = self.connected(active).query(sql);
+        if let Err(msg) = &result {
+            self.note_infra_outcome(msg);
+        }
+        result
     }
 
     fn execute_ast(&mut self, stmt: &Statement) -> StatementOutcome {
@@ -371,12 +775,19 @@ impl DbmsConnection for Pool {
             self.sync_log.push(stmt.to_string());
             self.mark_active_synced();
         }
+        if let StatementOutcome::Failure(msg) = &outcome {
+            self.note_infra_outcome(msg);
+        }
         outcome
     }
 
     fn query_ast(&mut self, select: &sql_ast::Select) -> Result<QueryResult, String> {
         let active = self.active;
-        self.connected(active).query_ast(select)
+        let result = self.connected(active).query_ast(select);
+        if let Err(msg) = &result {
+            self.note_infra_outcome(msg);
+        }
+        result
     }
 
     fn reset(&mut self) {
@@ -405,12 +816,14 @@ impl DbmsConnection for Pool {
 
     fn storage_metrics(&self) -> Result<Option<StorageMetrics>, String> {
         // Deterministic across pool sizes: per-case contributions land on
-        // seed-chosen slots, and re-syncs (reset + replay onto a fresh
-        // engine) contribute zero, so the sum is invariant.
+        // seed-chosen slots, re-syncs (reset + replay onto a fresh engine)
+        // contribute zero, and probe-caused counter bumps — whose count
+        // *does* depend on the pool size — are subtracted per slot.
         let mut total: Option<StorageMetrics> = None;
         for slot in &self.slots {
             if let Some(conn) = slot.conn.as_ref() {
                 if let Some(metrics) = conn.storage_metrics()? {
+                    let metrics = metrics.since(&slot.probe_overhead);
                     match total.as_mut() {
                         Some(sum) => sum.merge(&metrics),
                         None => total = Some(metrics),
@@ -429,10 +842,43 @@ impl DbmsConnection for Pool {
                 self.connected(active).begin_case(0);
             }
         } else {
-            // Seed-ordered checkout: the slot is a pure function of the
-            // case seed, so retries of a case land on the same connection
-            // and reports are identical for any pool size.
-            let target = (case_seed % self.slots.len() as u64) as usize;
+            // The resilience clock ticks once per checkout (retries
+            // included) — pure virtual time, identical for every pool size
+            // and worker count.
+            self.resilience_clock += 1;
+            // A repeated seed is a supervisor retry: the previous attempt
+            // died without an observable statement outcome (a panic or a
+            // watchdog overrun). Settle it against the breaker before
+            // routing the retry, and pin the retry to the slot the first
+            // attempt ran on (see [`PendingCase::physical`]).
+            let retry_slot = match self.pending_case.take() {
+                Some(pending) if pending.seed == case_seed => {
+                    if !pending.noted {
+                        self.breaker_note_failure(Self::vslot(case_seed));
+                    }
+                    Some(pending.physical.min(self.slots.len() - 1))
+                }
+                _ => None,
+            };
+            // Seed-ordered checkout through the virtual breaker slot: the
+            // physical slot is a pure function of the seed and the breaker
+            // state (itself seed-planned under injected faults), so retries
+            // land deterministically and reports are identical for any pool
+            // size. An open breaker detours fresh cases to the next slot;
+            // detours are verdict-neutral because every synced slot serves
+            // identical state.
+            let vslot = Self::vslot(case_seed);
+            let base = vslot % self.slots.len();
+            let target = match retry_slot {
+                Some(slot) => slot,
+                None if self.breaker_is_open(vslot) => (base + 1) % self.slots.len(),
+                None => base,
+            };
+            self.pending_case = Some(PendingCase {
+                seed: case_seed,
+                physical: target,
+                noted: false,
+            });
             self.sync_slot(target);
             self.active = target;
             self.in_case = true;
@@ -480,10 +926,36 @@ impl DbmsConnection for Pool {
     }
 
     fn drain_backend_events(&mut self) -> Vec<crate::trace::BackendEvent> {
-        // Wall-clock plane only: checkout and re-sync counts depend on the
-        // pool size by construction, so they must never feed the
-        // deterministic trace summary.
+        // Wall-clock plane only: checkout, re-sync and probe counts depend
+        // on the pool size by construction, so they must never feed the
+        // deterministic trace summary. (Breaker trips/recoveries *are*
+        // deterministic — their authoritative record is the incident
+        // ledger; the copies here are telemetry convenience.)
         let mut events = Vec::new();
+        if self.probes_run > 0 {
+            events.push(crate::trace::BackendEvent::CapabilityProbes {
+                count: self.probes_run,
+                downgrades: self.probe_downgrades,
+            });
+            self.probes_run = 0;
+            self.probe_downgrades = 0;
+        }
+        for (vslot, breaker) in self.breakers.iter_mut().enumerate() {
+            if breaker.trips > 0 {
+                events.push(crate::trace::BackendEvent::BreakerTrips {
+                    slot: vslot,
+                    count: breaker.trips,
+                });
+                breaker.trips = 0;
+            }
+            if breaker.recoveries > 0 {
+                events.push(crate::trace::BackendEvent::BreakerRecoveries {
+                    slot: vslot,
+                    count: breaker.recoveries,
+                });
+                breaker.recoveries = 0;
+            }
+        }
         for (index, slot) in self.slots.iter_mut().enumerate() {
             if slot.checkouts > 0 {
                 events.push(crate::trace::BackendEvent::SlotCheckouts {
@@ -506,6 +978,118 @@ impl DbmsConnection for Pool {
             }
         }
         events
+    }
+
+    fn drain_resilience_events(&mut self) -> Vec<ResilienceEvent> {
+        std::mem::take(&mut self.resilience_events)
+    }
+
+    fn note_case_outcome(&mut self, case_seed: u64, infra_failed: bool) {
+        let Some(pending) = self.pending_case.take() else {
+            return;
+        };
+        if pending.seed != case_seed {
+            // Foreign settlement (a runner that skipped checkout): put the
+            // tracked case back and ignore.
+            self.pending_case = Some(pending);
+            return;
+        }
+        let vslot = Self::vslot(case_seed);
+        if infra_failed {
+            if !pending.noted {
+                self.breaker_note_failure(vslot);
+            }
+        } else {
+            self.breaker_note_success(vslot);
+        }
+    }
+
+    fn resilience_checkpoint(&self) -> Option<String> {
+        use std::fmt::Write as _;
+        let mut out = format!("v1 clock {}", self.resilience_clock);
+        for breaker in &self.breakers {
+            let (state, until) = match breaker.state {
+                BreakerState::Closed => ("closed", 0),
+                BreakerState::HalfOpen => ("half", 0),
+                BreakerState::Open { until } => ("open", until),
+            };
+            let _ = write!(
+                out,
+                " | {} {state} {until} {}",
+                breaker.consecutive, breaker.backoff_level
+            );
+        }
+        Some(out)
+    }
+
+    fn restore_resilience(&mut self, data: &str) -> bool {
+        let mut parts = data.split(" | ");
+        let Some(head) = parts.next() else {
+            return false;
+        };
+        let head: Vec<&str> = head.split_whitespace().collect();
+        let [version, tag, clock] = head.as_slice() else {
+            return false;
+        };
+        if *version != "v1" || *tag != "clock" {
+            return false;
+        }
+        let Ok(clock) = clock.parse::<u64>() else {
+            return false;
+        };
+        let mut breakers = Vec::with_capacity(BREAKER_SLOTS);
+        for part in parts {
+            let fields: Vec<&str> = part.split_whitespace().collect();
+            let [consecutive, state, until, backoff_level] = fields.as_slice() else {
+                return false;
+            };
+            let (Ok(consecutive), Ok(until), Ok(backoff_level)) = (
+                consecutive.parse::<u32>(),
+                until.parse::<u64>(),
+                backoff_level.parse::<u32>(),
+            ) else {
+                return false;
+            };
+            let state = match *state {
+                "closed" => BreakerState::Closed,
+                "half" => BreakerState::HalfOpen,
+                "open" => BreakerState::Open { until },
+                _ => return false,
+            };
+            breakers.push(Breaker {
+                state,
+                consecutive,
+                backoff_level,
+                trips: 0,
+                recoveries: 0,
+            });
+        }
+        if breakers.len() != BREAKER_SLOTS {
+            return false;
+        }
+        self.resilience_clock = clock;
+        self.breakers = breakers;
+        self.pending_case = None;
+        true
+    }
+
+    fn note_database_boundary(&mut self) {
+        // Each database state starts with healthy slots and a zeroed
+        // backoff clock: this keeps breaker incidents invariant between a
+        // multi-database campaign and its per-database partitioned shards.
+        self.resilience_clock = 0;
+        self.pending_case = None;
+        for breaker in &mut self.breakers {
+            breaker.reset_deterministic();
+        }
+        // Re-announce capability drift once per database, so the incident
+        // ledger carries the lie for every database state it affected.
+        for detail in &self.drift_details {
+            self.resilience_events
+                .push(ResilienceEvent::CapabilityDrift {
+                    detail: detail.clone(),
+                });
+        }
     }
 }
 
@@ -561,5 +1145,243 @@ mod tests {
         };
         let quirks = cap.quirks();
         assert!(quirks.requires_refresh && quirks.requires_commit);
+    }
+
+    /// A scriptable backend for pool tests: accepts everything, except that
+    /// the lying variant rejects transaction control at runtime while its
+    /// driver still claims support.
+    struct ProbeConn {
+        lie_transactions: bool,
+    }
+
+    impl DbmsConnection for ProbeConn {
+        fn name(&self) -> &str {
+            "probe-toy"
+        }
+        fn execute(&mut self, sql: &str) -> StatementOutcome {
+            let upper = sql.trim().to_ascii_uppercase();
+            if self.lie_transactions
+                && (upper.starts_with("BEGIN")
+                    || upper.starts_with("COMMIT")
+                    || upper.starts_with("ROLLBACK"))
+            {
+                return StatementOutcome::Failure("transaction control rejected by backend".into());
+            }
+            StatementOutcome::Success
+        }
+        fn query(&mut self, _sql: &str) -> Result<QueryResult, String> {
+            Ok(QueryResult {
+                columns: vec!["c0".into()],
+                rows: vec![],
+            })
+        }
+        fn reset(&mut self) {}
+        fn quirks(&self) -> DialectQuirks {
+            DialectQuirks::default()
+        }
+    }
+
+    struct ProbeDriver {
+        lie_transactions: bool,
+    }
+
+    impl Driver for ProbeDriver {
+        fn name(&self) -> &str {
+            "probe-toy"
+        }
+        fn capability(&self) -> Capability {
+            // Claims transactions and savepoints; the engine-internal
+            // families are off so the probe exercises the wire families.
+            Capability::text_only().with_ast_statements(false)
+        }
+        fn connect(&self) -> Result<Box<dyn DbmsConnection>, String> {
+            Ok(Box::new(ProbeConn {
+                lie_transactions: self.lie_transactions,
+            }))
+        }
+    }
+
+    fn honest_pool(size: usize) -> Pool {
+        Pool::new(
+            Arc::new(ProbeDriver {
+                lie_transactions: false,
+            }),
+            size,
+        )
+        .expect("pool connects")
+    }
+
+    #[test]
+    fn probe_confirms_honest_capability_claim() {
+        let pool = honest_pool(2);
+        assert!(pool.capability().transactions);
+        assert!(pool.capability().savepoints);
+        assert!(pool.drift_details().is_empty());
+    }
+
+    #[test]
+    fn probe_downgrades_lying_driver_and_reports_drift() {
+        let pool = Pool::new(
+            Arc::new(ProbeDriver {
+                lie_transactions: true,
+            }),
+            2,
+        )
+        .expect("pool connects");
+        assert!(!pool.capability().transactions, "lie must be probed away");
+        assert_eq!(pool.drift_details().len(), 1);
+        assert!(pool.drift_details()[0].contains("BEGIN"));
+    }
+
+    #[test]
+    fn database_boundary_reannounces_drift_as_events() {
+        let mut pool = Pool::new(
+            Arc::new(ProbeDriver {
+                lie_transactions: true,
+            }),
+            1,
+        )
+        .expect("pool connects");
+        assert!(pool.drain_resilience_events().is_empty());
+        pool.note_database_boundary();
+        let events = pool.drain_resilience_events();
+        assert_eq!(events.len(), 1);
+        assert!(matches!(
+            &events[0],
+            ResilienceEvent::CapabilityDrift { detail } if detail.contains("transactions")
+        ));
+    }
+
+    /// A seed in virtual slot 1 (any seed ≡ 1 mod `BREAKER_SLOTS`).
+    fn vslot1_seed(i: u64) -> u64 {
+        1 + i * BREAKER_SLOTS as u64
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_and_detours_checkout() {
+        let mut pool = honest_pool(2);
+        // Two consecutive infra-failed cases on virtual slot 1.
+        for i in 0..u64::from(BREAKER_THRESHOLD) {
+            let seed = vslot1_seed(i);
+            pool.begin_case(seed);
+            pool.begin_case(0);
+            pool.note_case_outcome(seed, true);
+        }
+        let events = pool.drain_resilience_events();
+        assert!(
+            matches!(
+                events.as_slice(),
+                [ResilienceEvent::BreakerTripped { vslot: 1, .. }]
+            ),
+            "expected exactly one trip, got {events:?}"
+        );
+        // While open, a vslot-1 case detours from physical slot 1 to 0.
+        pool.begin_case(vslot1_seed(9));
+        assert_eq!(pool.active_slot(), 0);
+        pool.begin_case(0);
+        pool.note_case_outcome(vslot1_seed(9), false);
+        // vslot-2 cases are unaffected.
+        pool.begin_case(2);
+        assert_eq!(pool.active_slot(), 0);
+        pool.begin_case(0);
+        pool.note_case_outcome(2, false);
+    }
+
+    #[test]
+    fn breaker_half_open_probe_recovers_slot() {
+        let mut pool = honest_pool(2);
+        for i in 0..u64::from(BREAKER_THRESHOLD) {
+            let seed = vslot1_seed(i);
+            pool.begin_case(seed);
+            pool.begin_case(0);
+            pool.note_case_outcome(seed, true);
+        }
+        assert_eq!(pool.drain_resilience_events().len(), 1);
+        // Burn checkouts until the backoff window passes.
+        for i in 0..BREAKER_BACKOFF_BASE {
+            let seed = 2 + i * BREAKER_SLOTS as u64;
+            pool.begin_case(seed);
+            pool.begin_case(0);
+            pool.note_case_outcome(seed, false);
+        }
+        // The next vslot-1 case is the half-open probe: it routes to the
+        // slot's own base again and, succeeding, closes the breaker.
+        let probe_seed = vslot1_seed(40);
+        pool.begin_case(probe_seed);
+        assert_eq!(pool.active_slot(), 1);
+        pool.begin_case(0);
+        pool.note_case_outcome(probe_seed, false);
+        let events = pool.drain_resilience_events();
+        assert!(
+            matches!(
+                events.as_slice(),
+                [ResilienceEvent::BreakerRecovered { vslot: 1, .. }]
+            ),
+            "expected a recovery, got {events:?}"
+        );
+    }
+
+    #[test]
+    fn retry_checkout_settles_unobserved_panic_attempt() {
+        let mut pool = honest_pool(1);
+        let seed = vslot1_seed(0);
+        // Two checkouts of the same seed with no outcome in between model
+        // a panicked attempt plus its supervisor retry; the second failure
+        // is settled through note_case_outcome.
+        pool.begin_case(seed);
+        pool.begin_case(seed);
+        pool.begin_case(0);
+        pool.note_case_outcome(seed, true);
+        let events = pool.drain_resilience_events();
+        assert!(
+            matches!(
+                events.as_slice(),
+                [ResilienceEvent::BreakerTripped { vslot: 1, .. }]
+            ),
+            "panic retry + final failure must trip at threshold 2, got {events:?}"
+        );
+    }
+
+    #[test]
+    fn resilience_checkpoint_round_trips_through_restore() {
+        let mut pool = honest_pool(2);
+        for i in 0..u64::from(BREAKER_THRESHOLD) {
+            let seed = vslot1_seed(i);
+            pool.begin_case(seed);
+            pool.begin_case(0);
+            pool.note_case_outcome(seed, true);
+        }
+        pool.drain_resilience_events();
+        let snapshot = pool.resilience_checkpoint().expect("pool snapshots");
+        let mut fresh = honest_pool(2);
+        assert!(fresh.restore_resilience(&snapshot));
+        assert_eq!(fresh.resilience_checkpoint().as_deref(), Some(&*snapshot));
+        // The restored pool detours exactly like the original.
+        fresh.begin_case(vslot1_seed(9));
+        assert_eq!(fresh.active_slot(), 0);
+        assert!(!fresh.restore_resilience("garbage"));
+        assert!(!fresh.restore_resilience("v1 clock x | nope"));
+    }
+
+    #[test]
+    fn database_boundary_resets_breaker_state() {
+        let mut pool = honest_pool(2);
+        for i in 0..u64::from(BREAKER_THRESHOLD) {
+            let seed = vslot1_seed(i);
+            pool.begin_case(seed);
+            pool.begin_case(0);
+            pool.note_case_outcome(seed, true);
+        }
+        pool.drain_resilience_events();
+        pool.note_database_boundary();
+        pool.drain_resilience_events();
+        // Breaker closed again: vslot-1 cases route to their base slot.
+        pool.begin_case(vslot1_seed(3));
+        assert_eq!(pool.active_slot(), 1);
+        let snapshot = pool.resilience_checkpoint().expect("pool snapshots");
+        assert!(
+            snapshot.contains("clock 1"),
+            "boundary resets the clock: {snapshot}"
+        );
     }
 }

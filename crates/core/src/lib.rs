@@ -58,7 +58,10 @@ pub use dbms::{
     DbmsConnection, DialectQuirks, EngineCoverage, QueryResult, StateCheckpoint, StatementOutcome,
     StorageMetrics, TextOnlyConnection, SERIALIZATION_FAILURE_MARKER,
 };
-pub use driver::{Capability, Driver, Pool};
+pub use driver::{
+    Capability, Driver, Pool, ResilienceEvent, BREAKER_BACKOFF_BASE, BREAKER_SLOTS,
+    BREAKER_THRESHOLD,
+};
 pub use feature::{feature_universe, Feature, FeatureSet};
 pub use generator::{
     AdaptiveGenerator, GeneratedQuery, GeneratedSchedule, GeneratedStatement, GeneratedTxnSession,

@@ -33,12 +33,14 @@ use sql_parser::{parse_expression, parse_statement};
 use std::fmt::Write as _;
 use std::path::Path;
 
-/// The header line every checkpoint file starts with. v3 added the
-/// coverage-atlas block (`cov*` tags); v2 added the watchdog
-/// deadline/observed virtual-tick fields to incident lines. Older
-/// versions are rejected (a version-mismatch load fails, and the campaign
-/// starts fresh — safe, just slower than resuming).
-const HEADER: &str = "# sqlancer++ campaign checkpoint v3";
+/// The header line every checkpoint file starts with. v4 added the
+/// connection-layer resilience ledger (`resil` tag) and the
+/// breaker/probe robustness counters; v3 added the coverage-atlas block
+/// (`cov*` tags); v2 added the watchdog deadline/observed virtual-tick
+/// fields to incident lines. Older versions are rejected (a
+/// version-mismatch load fails, and the campaign starts fresh — safe,
+/// just slower than resuming).
+const HEADER: &str = "# sqlancer++ campaign checkpoint v4";
 
 /// A complete snapshot of a running campaign: everything needed to resume
 /// it to a byte-identical final report.
@@ -80,6 +82,11 @@ pub struct CampaignCheckpoint {
     pub storage_delta: StorageMetrics,
     /// The supervisor's consecutive-infrastructure-failure count.
     pub consecutive_infra: u32,
+    /// The connection layer's opaque resilience ledger (per-slot breaker
+    /// and backoff state plus the resilience clock), as produced by
+    /// [`crate::DbmsConnection::resilience_checkpoint`]. `None` for
+    /// connections without one (unpooled backends).
+    pub resilience: Option<String>,
     /// The partial report: metrics, bug reports, replayable cases,
     /// validity series, incidents, robustness counters, degraded flag.
     pub report: CampaignReport,
@@ -187,7 +194,7 @@ fn write_metrics(out: &mut String, metrics: &CampaignMetrics) {
 fn write_counters(out: &mut String, counters: &RobustnessCounters) {
     let _ = writeln!(
         out,
-        "counters {} {} {} {} {} {} {} {} {}",
+        "counters {} {} {} {} {} {} {} {} {} {} {} {} {}",
         counters.incidents,
         counters.retries,
         counters.watchdog_trips,
@@ -197,6 +204,10 @@ fn write_counters(out: &mut String, counters: &RobustnessCounters) {
         counters.infra_failures,
         counters.storage_metric_errors,
         counters.recovered_workers,
+        counters.breaker_trips,
+        counters.breaker_recoveries,
+        counters.probe_failures,
+        counters.capability_drifts,
     );
 }
 
@@ -438,6 +449,9 @@ pub fn checkpoint_to_string(checkpoint: &CampaignCheckpoint) -> String {
         checkpoint.storage_delta.conflicts_avoided
     );
     write_counters(&mut out, &checkpoint.report.robustness);
+    if let Some(resilience) = &checkpoint.resilience {
+        let _ = writeln!(out, "resil {}", escape(resilience));
+    }
     write_coverage(&mut out, &checkpoint.report.coverage);
     for sample in &checkpoint.report.validity_series {
         let _ = writeln!(out, "v {:016x}", sample.to_bits());
@@ -542,6 +556,7 @@ pub fn checkpoint_from_string(text: &str) -> Result<CampaignCheckpoint, String> 
         setup_log: Vec::new(),
         storage_delta: StorageMetrics::default(),
         consecutive_infra: 0,
+        resilience: None,
         report: CampaignReport::default(),
     };
     let mut saw_header = false;
@@ -840,7 +855,7 @@ pub fn checkpoint_from_string(text: &str) -> Result<CampaignCheckpoint, String> 
                 };
             }
             "counters" => {
-                let parts = fields(line_no, rest, 9)?;
+                let parts = fields(line_no, rest, 13)?;
                 let n = |i: usize| parse_u64(line_no, parts[i]);
                 checkpoint.report.robustness = RobustnessCounters {
                     incidents: n(0)?,
@@ -852,7 +867,14 @@ pub fn checkpoint_from_string(text: &str) -> Result<CampaignCheckpoint, String> 
                     infra_failures: n(6)?,
                     storage_metric_errors: n(7)?,
                     recovered_workers: n(8)?,
+                    breaker_trips: n(9)?,
+                    breaker_recoveries: n(10)?,
+                    probe_failures: n(11)?,
+                    capability_drifts: n(12)?,
                 };
+            }
+            "resil" => {
+                checkpoint.resilience = Some(unescape(rest));
             }
             "covo" => {
                 let parts = fields(line_no, rest, 2)?;
@@ -1234,6 +1256,9 @@ mod tests {
                 conflicts_avoided: 1,
             },
             consecutive_infra: 2,
+            resilience: Some(
+                "v1 clock 42 | 1 closed 0 0 | 0 open 50 2 | 0 half 0 1 | 0 closed 0 0".to_string(),
+            ),
             report,
         }
     }
@@ -1254,6 +1279,7 @@ mod tests {
         assert_eq!(loaded.kept_sets, original.kept_sets);
         assert_eq!(loaded.prioritizer_stats, original.prioritizer_stats);
         assert_eq!(loaded.consecutive_infra, original.consecutive_infra);
+        assert_eq!(loaded.resilience, original.resilience);
         assert_eq!(loaded.report.degraded, original.report.degraded);
         assert_eq!(loaded.report.metrics, original.report.metrics);
         assert_eq!(loaded.report.robustness, original.report.robustness);

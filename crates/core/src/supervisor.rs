@@ -29,8 +29,10 @@
 //! surface as false-positive logic bugs.
 
 use crate::dbms::DbmsConnection;
+use crate::driver::ResilienceEvent;
 use crate::oracle::OracleOutcome;
 use crate::trace::{emit, TraceEventKind, TraceHandle, TraceVerdict};
+use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 
@@ -62,6 +64,20 @@ pub enum IncidentKind {
     /// A fleet/shard worker thread died and its work was re-run or
     /// abandoned by the runner.
     WorkerPanic,
+    /// The runtime capability probe itself failed on a transport error
+    /// (backend died mid-probe) — distinct from [`IncidentKind::BackendCrash`]
+    /// because a probe-time death points at connect/respawn handling, not
+    /// at the case workload.
+    ProbeFailure,
+    /// The runtime probe contradicted the driver's static capability claim:
+    /// the affected feature families were downgraded and re-suppressed.
+    CapabilityDrift,
+    /// A pool virtual slot opened its circuit breaker after consecutive
+    /// infrastructure-classified case failures.
+    BreakerTrip,
+    /// A half-open breaker's probe case succeeded and the slot was
+    /// readmitted.
+    BreakerRecovery,
 }
 
 impl IncidentKind {
@@ -75,6 +91,10 @@ impl IncidentKind {
             IncidentKind::OraclePanic => "oracle_panic",
             IncidentKind::StorageMetricsError => "storage_metrics_error",
             IncidentKind::WorkerPanic => "worker_panic",
+            IncidentKind::ProbeFailure => "probe_failure",
+            IncidentKind::CapabilityDrift => "capability_drift",
+            IncidentKind::BreakerTrip => "breaker_trip",
+            IncidentKind::BreakerRecovery => "breaker_recovery",
         }
     }
 
@@ -88,6 +108,10 @@ impl IncidentKind {
             "oracle_panic" => IncidentKind::OraclePanic,
             "storage_metrics_error" => IncidentKind::StorageMetricsError,
             "worker_panic" => IncidentKind::WorkerPanic,
+            "probe_failure" => IncidentKind::ProbeFailure,
+            "capability_drift" => IncidentKind::CapabilityDrift,
+            "breaker_trip" => IncidentKind::BreakerTrip,
+            "breaker_recovery" => IncidentKind::BreakerRecovery,
             _ => return None,
         })
     }
@@ -101,6 +125,20 @@ impl IncidentKind {
 /// generic transient failure.
 pub fn classify_infra_message(message: &str) -> IncidentKind {
     let lower = message.to_ascii_lowercase();
+    // Probe/capability attribution runs first: a backend that dies *during
+    // the capability probe* is a connect/respawn problem, not a case-workload
+    // crash, and a capability lie is a contract violation rather than a
+    // transient fault — folding either into `BackendCrash` would hide the
+    // self-healing layer's own failure modes from the ledger.
+    if message.contains("infra_capability_lie") || lower.contains("capability drift") {
+        return IncidentKind::CapabilityDrift;
+    }
+    if message.contains("infra_probe")
+        || lower.contains("capability probe")
+        || lower.contains("connect probe")
+    {
+        return IncidentKind::ProbeFailure;
+    }
     if message.contains("infra_crash")
         // Wire backends: a dead subprocess surfaces as an exited child or a
         // broken stdin/stdout pipe. Always a backend crash, never a logic
@@ -168,6 +206,15 @@ pub struct RobustnessCounters {
     /// Worker threads whose shard was recovered after a panic or a
     /// poisoned result lock.
     pub recovered_workers: u64,
+    /// Pool circuit breakers opened after consecutive infra failures.
+    pub breaker_trips: u64,
+    /// Half-open breaker probes that readmitted their slot.
+    pub breaker_recoveries: u64,
+    /// Capability probes that failed on a transport error.
+    pub probe_failures: u64,
+    /// Static-vs-probed capability disagreements (one per database the
+    /// downgrade was re-announced for).
+    pub capability_drifts: u64,
 }
 
 impl RobustnessCounters {
@@ -182,6 +229,10 @@ impl RobustnessCounters {
         self.infra_failures += other.infra_failures;
         self.storage_metric_errors += other.storage_metric_errors;
         self.recovered_workers += other.recovered_workers;
+        self.breaker_trips += other.breaker_trips;
+        self.breaker_recoveries += other.breaker_recoveries;
+        self.probe_failures += other.probe_failures;
+        self.capability_drifts += other.capability_drifts;
     }
 }
 
@@ -364,10 +415,23 @@ impl Supervisor {
         let mut attempt: u32 = 0;
         self.case_seed = case_seed;
         loop {
-            conn.begin_case(case_seed);
-            let ticks_before = conn.virtual_ticks();
-            let caught = catch_unwind(AssertUnwindSafe(|| check(conn)));
-            let elapsed = conn.virtual_ticks().saturating_sub(ticks_before);
+            // `begin_case` runs inside the unwind guard: for a pooled
+            // connection it performs slot checkout, lazy re-sync and (after a
+            // respawn) the capability re-probe, any of which can legitimately
+            // panic with an `infra:` message. Outside the guard such a panic
+            // would kill the whole campaign instead of becoming an incident.
+            let ticks_before: Cell<Option<u64>> = Cell::new(None);
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                conn.begin_case(case_seed);
+                ticks_before.set(Some(conn.virtual_ticks()));
+                check(conn)
+            }));
+            // `None` means the attempt died inside `begin_case` itself —
+            // before any case work — so it consumed no case ticks.
+            let elapsed = match ticks_before.get() {
+                Some(before) => conn.virtual_ticks().saturating_sub(before),
+                None => 0,
+            };
             let failure: Option<(IncidentKind, String)> = match &caught {
                 Err(payload) => {
                     let detail = panic_message(payload.as_ref());
@@ -389,6 +453,7 @@ impl Supervisor {
                         });
                         self.consecutive_infra = 0;
                         recover(conn, setup_log);
+                        self.settle_case(conn, case_seed, database, case_index, false);
                         self.finish_case(TraceVerdict::Panicked, elapsed);
                         return SupervisedCase::Panicked;
                     }
@@ -416,6 +481,7 @@ impl Supervisor {
                 // replay): a fault planned for a statement index the check
                 // never reached must not fire mid-reduction.
                 conn.begin_case(0);
+                self.settle_case(conn, case_seed, database, case_index, false);
                 let outcome = match caught {
                     Ok(outcome) => outcome,
                     Err(_) => unreachable!("non-failure verdicts come from Ok attempts"),
@@ -428,6 +494,11 @@ impl Supervisor {
                 self.finish_case(verdict, elapsed);
                 return SupervisedCase::Completed(outcome);
             };
+            match kind {
+                IncidentKind::ProbeFailure => self.counters.probe_failures += 1,
+                IncidentKind::CapabilityDrift => self.counters.capability_drifts += 1,
+                _ => {}
+            }
             self.record(CampaignIncident {
                 kind,
                 database,
@@ -441,6 +512,7 @@ impl Supervisor {
             if attempt >= self.config.max_retries {
                 self.counters.infra_failures += 1;
                 self.consecutive_infra += 1;
+                self.settle_case(conn, case_seed, database, case_index, true);
                 self.finish_case(TraceVerdict::InfraFailed, elapsed);
                 return SupervisedCase::InfraFailed;
             }
@@ -456,6 +528,64 @@ impl Supervisor {
                 TraceEventKind::Retry { attempt, kind },
             );
             attempt += 1;
+        }
+    }
+
+    /// Settles the case's final attempt with the connection layer and
+    /// drains its resilience events (breaker trips/recoveries, capability
+    /// drift re-announcements) into the incident ledger. Called exactly
+    /// once per case, on every `run_case` return path, so the breaker
+    /// ledger advances in case order — a pure function of the seed
+    /// schedule, independent of pool size and worker count.
+    fn settle_case(
+        &mut self,
+        conn: &mut dyn DbmsConnection,
+        case_seed: u64,
+        database: usize,
+        case_index: u64,
+        infra_failed: bool,
+    ) {
+        conn.note_case_outcome(case_seed, infra_failed);
+        for event in conn.drain_resilience_events() {
+            let (kind, detail) = match event {
+                ResilienceEvent::CapabilityDrift { detail } => {
+                    self.counters.capability_drifts += 1;
+                    (IncidentKind::CapabilityDrift, detail)
+                }
+                ResilienceEvent::BreakerTripped {
+                    vslot,
+                    clock,
+                    until,
+                } => {
+                    self.counters.breaker_trips += 1;
+                    (
+                        IncidentKind::BreakerTrip,
+                        format!(
+                            "slot breaker opened: virtual slot {vslot} tripped at \
+                             resilience clock {clock}, detouring checkouts until clock {until}"
+                        ),
+                    )
+                }
+                ResilienceEvent::BreakerRecovered { vslot, clock } => {
+                    self.counters.breaker_recoveries += 1;
+                    (
+                        IncidentKind::BreakerRecovery,
+                        format!(
+                            "slot breaker closed: virtual slot {vslot} readmitted at \
+                             resilience clock {clock}"
+                        ),
+                    )
+                }
+            };
+            self.record(CampaignIncident {
+                kind,
+                database,
+                case_index,
+                attempt: 0,
+                deadline_ticks: 0,
+                observed_ticks: 0,
+                detail,
+            });
         }
     }
 
@@ -749,9 +879,40 @@ mod tests {
             IncidentKind::OraclePanic,
             IncidentKind::StorageMetricsError,
             IncidentKind::WorkerPanic,
+            IncidentKind::ProbeFailure,
+            IncidentKind::CapabilityDrift,
+            IncidentKind::BreakerTrip,
+            IncidentKind::BreakerRecovery,
         ] {
             assert_eq!(IncidentKind::parse(kind.name()), Some(kind));
         }
         assert_eq!(IncidentKind::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn classify_routes_probe_and_drift_messages() {
+        assert_eq!(
+            classify_infra_message(
+                "infra: backend crashed during capability probe (injected infra_probe)"
+            ),
+            IncidentKind::ProbeFailure
+        );
+        assert_eq!(
+            classify_infra_message("infra: capability probe failed on re-sync: boom"),
+            IncidentKind::ProbeFailure
+        );
+        assert_eq!(
+            classify_infra_message(
+                "infra: capability drift: transactions claimed but BEGIN rejected \
+                 (injected infra_capability_lie)"
+            ),
+            IncidentKind::CapabilityDrift
+        );
+        // Flap messages carry no dedicated classification hook — they look
+        // like a generic transient drop to the platform, by design.
+        assert_eq!(
+            classify_infra_message("infra: backend flapping after respawn (injected infra_flap)"),
+            IncidentKind::ConnectionDrop
+        );
     }
 }

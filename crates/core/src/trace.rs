@@ -477,6 +477,27 @@ pub enum BackendEvent {
         /// Respawns since the last drain.
         count: u64,
     },
+    /// Runtime capability probes executed against pool slots.
+    CapabilityProbes {
+        /// Probes run since the last drain.
+        count: u64,
+        /// Probes that downgraded at least one statically claimed family.
+        downgrades: u64,
+    },
+    /// Circuit-breaker trips on a physical pool slot.
+    BreakerTrips {
+        /// The physical slot index the tripped virtual slot maps to.
+        slot: usize,
+        /// Trips since the last drain.
+        count: u64,
+    },
+    /// Circuit-breaker recoveries (half-open probe succeeded).
+    BreakerRecoveries {
+        /// The physical slot index the recovered virtual slot maps to.
+        slot: usize,
+        /// Recoveries since the last drain.
+        count: u64,
+    },
 }
 
 /// Accumulated wall-clock-plane backend telemetry.
@@ -496,6 +517,14 @@ pub struct BackendTelemetry {
     pub sentinel_frames: u64,
     /// Backend child respawns.
     pub respawns: u64,
+    /// Runtime capability probes executed.
+    pub capability_probes: u64,
+    /// Capability probes that downgraded a static claim.
+    pub capability_downgrades: u64,
+    /// Circuit-breaker trips.
+    pub breaker_trips: u64,
+    /// Circuit-breaker recoveries.
+    pub breaker_recoveries: u64,
 }
 
 impl BackendTelemetry {
@@ -513,6 +542,12 @@ impl BackendTelemetry {
             BackendEvent::WireReads { bytes } => self.wire_bytes_read += bytes,
             BackendEvent::SentinelFrames { count } => self.sentinel_frames += count,
             BackendEvent::Respawns { count } => self.respawns += count,
+            BackendEvent::CapabilityProbes { count, downgrades } => {
+                self.capability_probes += count;
+                self.capability_downgrades += downgrades;
+            }
+            BackendEvent::BreakerTrips { count, .. } => self.breaker_trips += count,
+            BackendEvent::BreakerRecoveries { count, .. } => self.breaker_recoveries += count,
         }
     }
 }
@@ -1381,6 +1416,26 @@ impl DbmsConnection for TracedConnection<'_> {
 
     fn engine_coverage(&self) -> Option<crate::dbms::EngineCoverage> {
         self.inner.engine_coverage()
+    }
+
+    fn drain_resilience_events(&mut self) -> Vec<crate::driver::ResilienceEvent> {
+        self.inner.drain_resilience_events()
+    }
+
+    fn note_case_outcome(&mut self, case_seed: u64, infra_failed: bool) {
+        self.inner.note_case_outcome(case_seed, infra_failed);
+    }
+
+    fn resilience_checkpoint(&self) -> Option<String> {
+        self.inner.resilience_checkpoint()
+    }
+
+    fn restore_resilience(&mut self, data: &str) -> bool {
+        self.inner.restore_resilience(data)
+    }
+
+    fn note_database_boundary(&mut self) {
+        self.inner.note_database_boundary();
     }
 }
 

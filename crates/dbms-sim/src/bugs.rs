@@ -326,6 +326,32 @@ pub fn infra_catalog() -> Vec<InjectedBug> {
             description: "result set is truncated/garbled in transit and flagged by the \
                           wire-protocol checksum",
         },
+        InjectedBug {
+            id: "INFRA-PROBE-CRASH",
+            fault: "infra_probe",
+            is_logic: false,
+            features: &[],
+            description: "backend dies during the runtime capability probe; the next \
+                          connection attempt succeeds",
+        },
+        InjectedBug {
+            id: "INFRA-RESPAWN-FLAP",
+            fault: "infra_flap",
+            is_logic: false,
+            features: &[],
+            description: "backend flaps after a respawn: two consecutive attempts fail \
+                          before it stabilises — enough to open a pool slot's circuit \
+                          breaker",
+        },
+        InjectedBug {
+            id: "INFRA-CAPABILITY-LIE",
+            fault: "infra_capability_lie",
+            is_logic: false,
+            features: &[],
+            description: "driver statically claims transaction support but the backend \
+                          rejects BEGIN/COMMIT/ROLLBACK at runtime; the capability probe \
+                          downgrades the claim and records the drift",
+        },
     ]
 }
 

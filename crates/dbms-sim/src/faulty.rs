@@ -21,7 +21,7 @@ use sqlancer_core::{
     StorageMetrics, INFRA_MARKER,
 };
 
-/// The four injectable infrastructure fault kinds. The ids double as the
+/// The injectable infrastructure fault kinds. The ids double as the
 /// `fault` names of [`crate::bugs::infra_catalog`] and as the substrings
 /// [`sqlancer_core::classify_infra_message`] keys on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,6 +36,14 @@ pub enum InfraFaultKind {
     Drop,
     /// Garbled/truncated result detected by the wire-protocol checksum.
     Garble,
+    /// Probe-time crash: the backend dies with a capability-probe
+    /// attribution, exercising the `ProbeFailure` classification path.
+    Probe,
+    /// Post-respawn flapping: the backend bounces between healthy and
+    /// broken for two consecutive attempts before stabilising — long
+    /// enough to open a slot's circuit breaker, short enough to clear
+    /// within the default retry budget.
+    Flap,
 }
 
 impl InfraFaultKind {
@@ -46,16 +54,20 @@ impl InfraFaultKind {
             InfraFaultKind::Hang => "infra_hang",
             InfraFaultKind::Drop => "infra_drop",
             InfraFaultKind::Garble => "infra_garble",
+            InfraFaultKind::Probe => "infra_probe",
+            InfraFaultKind::Flap => "infra_flap",
         }
     }
 
     /// All kinds, in planning-priority order.
-    pub fn all() -> [InfraFaultKind; 4] {
+    pub fn all() -> [InfraFaultKind; 6] {
         [
             InfraFaultKind::Crash,
             InfraFaultKind::Hang,
             InfraFaultKind::Drop,
             InfraFaultKind::Garble,
+            InfraFaultKind::Probe,
+            InfraFaultKind::Flap,
         ]
     }
 }
@@ -71,6 +83,16 @@ pub struct FaultyConfig {
     pub drop: bool,
     /// Arm garbled-result faults.
     pub garble: bool,
+    /// Arm probe-time crash faults.
+    pub probe: bool,
+    /// Arm post-respawn flapping faults.
+    pub flap: bool,
+    /// Capability lie: the connection rejects every `BEGIN`/`COMMIT`/
+    /// `ROLLBACK` (text and AST, even in safe mode) while the driver's
+    /// static [`sqlancer_core::Capability`] keeps claiming transactions.
+    /// Not a planned per-case fault — it models a *permanently* lying
+    /// backend, the input the runtime capability probe exists to catch.
+    pub lie_transactions: bool,
     /// Roughly one in `period` cases is hit per armed fault kind.
     pub period: u64,
     /// A planned crash keeps recurring for this many attempts at the same
@@ -89,6 +111,9 @@ impl Default for FaultyConfig {
             hang: false,
             drop: false,
             garble: false,
+            probe: false,
+            flap: false,
+            lie_transactions: false,
             period: 5,
             crash_persist_attempts: 2,
             hang_ticks: 1_000_000,
@@ -107,6 +132,22 @@ impl FaultyConfig {
             hang: true,
             drop: true,
             garble: true,
+            probe: true,
+            flap: true,
+            ..FaultyConfig::default()
+        }
+    }
+
+    /// The flaky-backend storm used by the `--flaky-check` gate: a
+    /// capability lie on top of probe-time crashes and post-respawn
+    /// flapping — everything the self-healing connection layer exists to
+    /// absorb, and nothing else (no hangs/garbles, so every incident in
+    /// the ledger is attributable to the resilience layer under test).
+    pub fn flaky() -> FaultyConfig {
+        FaultyConfig {
+            probe: true,
+            flap: true,
+            lie_transactions: true,
             ..FaultyConfig::default()
         }
     }
@@ -122,6 +163,8 @@ impl FaultyConfig {
             InfraFaultKind::Hang => config.hang = false,
             InfraFaultKind::Drop => config.drop = false,
             InfraFaultKind::Garble => config.garble = false,
+            InfraFaultKind::Probe => config.probe = false,
+            InfraFaultKind::Flap => config.flap = false,
         }
         config
     }
@@ -134,6 +177,8 @@ impl FaultyConfig {
             InfraFaultKind::Hang => config.hang = true,
             InfraFaultKind::Drop => config.drop = true,
             InfraFaultKind::Garble => config.garble = true,
+            InfraFaultKind::Probe => config.probe = true,
+            InfraFaultKind::Flap => config.flap = true,
         }
         config
     }
@@ -146,6 +191,8 @@ impl FaultyConfig {
             hang: false,
             drop: false,
             garble: false,
+            probe: false,
+            flap: false,
             ..self.clone()
         };
         match kind {
@@ -153,6 +200,8 @@ impl FaultyConfig {
             InfraFaultKind::Hang => config.hang = true,
             InfraFaultKind::Drop => config.drop = true,
             InfraFaultKind::Garble => config.garble = true,
+            InfraFaultKind::Probe => config.probe = true,
+            InfraFaultKind::Flap => config.flap = true,
         }
         config
     }
@@ -164,12 +213,15 @@ impl FaultyConfig {
             InfraFaultKind::Hang => self.hang,
             InfraFaultKind::Drop => self.drop,
             InfraFaultKind::Garble => self.garble,
+            InfraFaultKind::Probe => self.probe,
+            InfraFaultKind::Flap => self.flap,
         }
     }
 
-    /// Whether any kind is armed.
+    /// Whether any planned per-case kind is armed (the capability lie is a
+    /// standing condition, not a planned fault).
     pub fn any_armed(&self) -> bool {
-        self.crash || self.hang || self.drop || self.garble
+        self.crash || self.hang || self.drop || self.garble || self.probe || self.flap
     }
 
     /// The fault planned for a case seed, if any: the first armed kind (in
@@ -331,8 +383,59 @@ impl<C: DbmsConnection> FaultyConnection<C> {
                 }
                 Ok(())
             }
+            InfraFaultKind::Probe => {
+                if self.attempt == 0 {
+                    panic!(
+                        "{INFRA_MARKER} backend crashed during capability probe \
+                         (injected infra_probe)"
+                    );
+                }
+                Ok(())
+            }
+            InfraFaultKind::Flap => {
+                // Two broken attempts in a row: enough consecutive
+                // infra-classified failures to open a slot's circuit
+                // breaker (threshold 2), while still clearing inside the
+                // default retry budget of 3.
+                if self.attempt < 2 {
+                    return Err(format!(
+                        "{INFRA_MARKER} backend flapping after respawn (injected infra_flap)"
+                    ));
+                }
+                Ok(())
+            }
         }
     }
+
+    /// The capability lie: reject transaction control outright, before any
+    /// fault planning and even in safe mode — a lying backend lies to the
+    /// probe too, which is exactly how the probe catches it. The message
+    /// carries no [`INFRA_MARKER`]: to the platform this is an ordinary
+    /// statement rejection, indistinguishable from a dialect that simply
+    /// has no transactions.
+    fn lie_rejection(&mut self, is_txn_control: bool) -> Option<String> {
+        if !self.config.lie_transactions || !is_txn_control {
+            return None;
+        }
+        self.ticks += 1;
+        Some("transaction control rejected by backend (injected infra_capability_lie)".to_string())
+    }
+}
+
+/// Whether a text statement is bare transaction control (`BEGIN`/`COMMIT`/
+/// `ROLLBACK`, including `ROLLBACK TO`). Savepoint management is not
+/// transaction control for the lie's purposes: the lie models a backend
+/// whose *transaction* family claim is false.
+fn is_txn_control_text(sql: &str) -> bool {
+    let head = sql.trim_start();
+    ["BEGIN", "COMMIT", "ROLLBACK"].iter().any(|kw| {
+        head.len() >= kw.len()
+            && head[..kw.len()].eq_ignore_ascii_case(kw)
+            && head[kw.len()..]
+                .chars()
+                .next()
+                .is_none_or(|ch| !ch.is_ascii_alphanumeric() && ch != '_')
+    })
 }
 
 impl<C: DbmsConnection> DbmsConnection for FaultyConnection<C> {
@@ -341,6 +444,9 @@ impl<C: DbmsConnection> DbmsConnection for FaultyConnection<C> {
     }
 
     fn execute(&mut self, sql: &str) -> StatementOutcome {
+        if let Some(message) = self.lie_rejection(is_txn_control_text(sql)) {
+            return StatementOutcome::Failure(message);
+        }
         match self.on_statement() {
             Ok(()) => self.inner.execute(sql),
             Err(message) => StatementOutcome::Failure(message),
@@ -353,6 +459,20 @@ impl<C: DbmsConnection> DbmsConnection for FaultyConnection<C> {
     }
 
     fn execute_ast(&mut self, stmt: &sql_ast::Statement) -> StatementOutcome {
+        // Mirrors `is_txn_control_text` exactly (text `ROLLBACK TO` matches
+        // the `ROLLBACK` prefix, so `RollbackTo` is included): the lie must
+        // behave identically on both execution paths or text and AST
+        // campaign reports would diverge.
+        let is_txn_control = matches!(
+            stmt,
+            sql_ast::Statement::Begin(_)
+                | sql_ast::Statement::Commit
+                | sql_ast::Statement::Rollback
+                | sql_ast::Statement::RollbackTo(_)
+        );
+        if let Some(message) = self.lie_rejection(is_txn_control) {
+            return StatementOutcome::Failure(message);
+        }
         match self.on_statement() {
             Ok(()) => self.inner.execute_ast(stmt),
             Err(message) => StatementOutcome::Failure(message),
@@ -661,6 +781,103 @@ mod tests {
             matches!(retry, OracleOutcome::Passed),
             "retry should pass: {retry:?}"
         );
+    }
+
+    #[test]
+    fn probe_fault_panics_once_with_probe_attribution() {
+        let config = FaultyConfig::default().arm(InfraFaultKind::Probe);
+        let seed = seed_with_plan(&config, InfraFaultKind::Probe);
+        let trigger = config.plan(seed).unwrap().trigger;
+        let mut conn = FaultyConnection::new(EchoConn, config);
+        conn.begin_case(seed);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            for _ in 0..trigger {
+                let _ = conn.execute("SELECT 1");
+            }
+        }));
+        let payload = caught.expect_err("attempt 0 should die at the trigger");
+        let message = payload
+            .downcast_ref::<String>()
+            .expect("panic carries a message");
+        assert!(message.contains(INFRA_MARKER));
+        assert!(message.contains("infra_probe"));
+        // The retry (attempt 1) is clean: a probe-time crash is transient.
+        conn.begin_case(0);
+        conn.reset();
+        conn.begin_case(seed);
+        for _ in 0..16 {
+            assert!(conn.query("SELECT 1").is_ok());
+        }
+    }
+
+    #[test]
+    fn flap_fault_breaks_two_attempts_then_stabilises() {
+        let config = FaultyConfig::default().arm(InfraFaultKind::Flap);
+        let seed = seed_with_plan(&config, InfraFaultKind::Flap);
+        let trigger = config.plan(seed).unwrap().trigger;
+        let mut conn = FaultyConnection::new(EchoConn, config);
+        for attempt in 0..3u32 {
+            conn.begin_case(seed);
+            let mut failed = None;
+            for _ in 0..trigger {
+                if let Err(message) = conn.query("SELECT 1") {
+                    failed = Some(message);
+                    break;
+                }
+            }
+            match attempt {
+                0 | 1 => {
+                    let message = failed.expect("flapping attempts fail at the trigger");
+                    assert!(message.contains("infra_flap"), "misattributed: {message}");
+                }
+                _ => assert!(failed.is_none(), "the backend stabilises on attempt 2"),
+            }
+            conn.begin_case(0);
+            conn.reset();
+        }
+    }
+
+    #[test]
+    fn capability_lie_rejects_txn_control_on_both_paths_even_in_safe_mode() {
+        let config = FaultyConfig::flaky();
+        assert!(config.lie_transactions);
+        let mut conn = FaultyConnection::new(EchoConn, config);
+        conn.begin_case(0); // safe mode — the probe runs here
+        for sql in [
+            "BEGIN",
+            "begin immediate",
+            "COMMIT",
+            "ROLLBACK",
+            "ROLLBACK TO sp1",
+        ] {
+            let outcome = conn.execute(sql);
+            let StatementOutcome::Failure(message) = outcome else {
+                panic!("lying backend accepted {sql:?}");
+            };
+            assert!(message.contains("infra_capability_lie"));
+            assert!(
+                !message.contains(INFRA_MARKER),
+                "a lie is a rejection, not a transport failure: {message}"
+            );
+        }
+        for stmt in [
+            sql_ast::Statement::Begin(sql_ast::BeginMode::Plain),
+            sql_ast::Statement::Commit,
+            sql_ast::Statement::Rollback,
+            sql_ast::Statement::RollbackTo("sp1".into()),
+        ] {
+            assert!(
+                !conn.execute_ast(&stmt).is_success(),
+                "lying backend accepted AST txn control"
+            );
+        }
+        // Everything else passes through untouched — the lie is surgical.
+        assert!(conn.execute("SELECT 1").is_success());
+        assert!(conn.execute("SAVEPOINT sp1").is_success());
+        assert!(conn.execute("RELEASE SAVEPOINT sp1").is_success());
+        assert!(conn
+            .execute("CREATE TABLE rollbacks (c0 INTEGER)")
+            .is_success());
     }
 
     #[test]

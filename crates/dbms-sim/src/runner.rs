@@ -487,10 +487,18 @@ fn run_shards_scheduled<T: Send>(
 /// campaigns: arm a fault kind, run, and its id must appear here; disarm
 /// it (bisection) and it must vanish.
 pub fn observed_infra_kinds(report: &CampaignReport) -> Vec<&'static str> {
-    ["infra_crash", "infra_hang", "infra_drop", "infra_garble"]
-        .into_iter()
-        .filter(|id| report.incidents.iter().any(|i| i.detail.contains(id)))
-        .collect()
+    [
+        "infra_crash",
+        "infra_hang",
+        "infra_drop",
+        "infra_garble",
+        "infra_probe",
+        "infra_flap",
+        "infra_capability_lie",
+    ]
+    .into_iter()
+    .filter(|id| report.incidents.iter().any(|i| i.detail.contains(id)))
+    .collect()
 }
 
 /// Folds per-database shard results together in database order.

@@ -152,14 +152,43 @@ impl SqliteProcConnection {
             telemetry: WireCounters::default(),
             statement_kinds: BTreeSet::new(),
         };
-        // Probe: surfaces a missing or broken binary as a connect error
-        // (the `sh` wrapper itself always spawns).
+        // Connect-time probe, three stages, each surfacing a structured
+        // `infra:` connect error instead of a confusing first-statement
+        // failure mid-campaign (the `sh` wrapper itself always spawns, so
+        // a missing binary lands here too, as a dead pipe):
+        //
+        // 1. version banner — an ancient or impostor binary is rejected
+        //    before it can mis-execute generated SQL;
+        // 2. `.open :memory:` sanity — the reset/re-open path must work at
+        //    connect time, or every later `reset()` would silently leak
+        //    state between databases;
+        // 3. `SELECT 1` — the wire framing round-trips a result row.
+        //
+        // `run_statement` errors are already `infra:`-tagged and pass
+        // through untouched.
+        let version = conn.run_statement("SELECT sqlite_version()")?;
+        let banner = version.first().map(String::as_str).unwrap_or("");
+        if find_error(&version).is_some() || !banner.starts_with("3.") {
+            return Err(format!(
+                "{INFRA_MARKER} sqlite3 connect probe: broken or unsupported binary \
+                 (version banner {version:?}, need 3.x)"
+            ));
+        }
+        match conn.run_statement(".open :memory:") {
+            Ok(lines) if lines.is_empty() => {}
+            Ok(lines) => {
+                return Err(format!(
+                    "{INFRA_MARKER} sqlite3 connect probe: `.open :memory:` rejected: {lines:?}"
+                ))
+            }
+            Err(err) => return Err(err),
+        }
         match conn.run_statement("SELECT 1") {
             Ok(lines) if lines == vec!["1".to_string()] => Ok(conn),
             Ok(lines) => Err(format!(
-                "sqlite3 probe returned unexpected output: {lines:?}"
+                "{INFRA_MARKER} sqlite3 connect probe returned unexpected output: {lines:?}"
             )),
-            Err(err) => Err(format!("sqlite3 probe failed: {err}")),
+            Err(err) => Err(err),
         }
     }
 
@@ -547,6 +576,63 @@ mod tests {
             .drain_backend_events()
             .iter()
             .any(|e| matches!(e, BackendEvent::Respawns { count: 1 })));
+    }
+
+    /// A binary that dies immediately (here `true`) must surface as a
+    /// structured `infra:` connect error, not a success followed by a
+    /// confusing first-statement failure. The absent-binary self-skip in
+    /// [`connection`] rides the same path.
+    #[test]
+    fn connect_probe_flags_dead_binary_as_infra() {
+        let Err(err) = SqliteProcConnection::spawn("true") else {
+            panic!("dead binary passed the connect probe")
+        };
+        assert!(err.contains(INFRA_MARKER), "not infra-tagged: {err}");
+    }
+
+    /// An impostor that answers the wire protocol but reports an ancient
+    /// version banner is rejected at connect time with a probe-attributed
+    /// `infra:` error.
+    #[cfg(unix)]
+    #[test]
+    fn connect_probe_rejects_impostor_version_banner() {
+        use std::io::Write as _;
+        use std::os::unix::fs::PermissionsExt;
+
+        // A fake sqlite3: echoes sentinel frames so the wire protocol
+        // round-trips, but claims to be SQLite 2.x.
+        let path = std::env::temp_dir().join(format!("impostor-sqlite3-{}", std::process::id()));
+        let script = concat!(
+            "#!/bin/sh\n",
+            "while IFS= read -r line; do\n",
+            "  case \"$line\" in\n",
+            "    \"SELECT 'SQLPROC_SENTINEL_\"*)\n",
+            "      m=${line#SELECT \\'}\n",
+            "      printf '%s\\n' \"${m%\\';}\"\n",
+            "      ;;\n",
+            "    *sqlite_version*)\n",
+            "      printf '2.5.0\\n'\n",
+            "      ;;\n",
+            "  esac\n",
+            "done\n",
+        );
+        let mut file = std::fs::File::create(&path).unwrap();
+        file.write_all(script.as_bytes()).unwrap();
+        file.set_permissions(std::fs::Permissions::from_mode(0o755))
+            .unwrap();
+        drop(file);
+
+        let spawned = SqliteProcConnection::spawn(path.to_str().unwrap());
+        let _ = std::fs::remove_file(&path);
+        let Err(err) = spawned else {
+            panic!("impostor binary passed the connect probe")
+        };
+        assert!(err.contains(INFRA_MARKER), "not infra-tagged: {err}");
+        assert!(err.contains("version banner"), "wrong attribution: {err}");
+        assert_eq!(
+            sqlancer_core::supervisor::classify_infra_message(&err),
+            sqlancer_core::supervisor::IncidentKind::ProbeFailure,
+        );
     }
 
     #[test]

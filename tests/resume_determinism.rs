@@ -11,8 +11,9 @@ use sqlancerpp::core::{
     SupervisorConfig,
 };
 use sqlancerpp::sim::{
-    preset_by_name, run_campaign_partitioned, run_campaign_partitioned_supervised,
-    shard_checkpoint_path, DialectPreset, ExecutionPath, FaultyConfig,
+    preset_by_name, run_campaign_partitioned, run_campaign_partitioned_pooled,
+    run_campaign_partitioned_supervised, shard_checkpoint_path, DialectPreset, ExecutionPath,
+    FaultyConfig,
 };
 use std::path::PathBuf;
 
@@ -244,4 +245,60 @@ fn setup_replay_fallback_reaches_the_same_verdicts_as_snapshot_restore() {
         without_snapshots.metrics.conflict_aborts
     );
     assert!(with_snapshots.metrics.test_cases > 0);
+}
+
+#[test]
+fn killed_pooled_flaky_campaign_resumes_with_breaker_state() {
+    let mut config = resume_config(0xB4EA);
+    config.databases = 3;
+    let preset = preset_by_name("sqlite")
+        .unwrap()
+        .with_infra_faults(FaultyConfig::flaky());
+    let driver = preset.driver(ExecutionPath::Ast);
+
+    // The uninterrupted reference must actually exercise the breakers:
+    // probe crashes and post-respawn flapping trip them and the backoff
+    // schedule recovers them.
+    let reference =
+        run_campaign_partitioned_pooled(&driver, &config, 1, 2, &SupervisorConfig::default());
+    let reference_text = render_report(&reference.report);
+    assert!(
+        reference.report.robustness.breaker_trips > 0,
+        "the flaky storm should trip at least one breaker in this campaign"
+    );
+
+    for threads in [1usize, 3usize] {
+        let path = scratch(&format!("pooled_flaky_{threads}"));
+        cleanup(&path, config.databases);
+        let checkpointing = SupervisorConfig {
+            checkpoint_every: 4,
+            checkpoint_path: Some(path.clone()),
+            ..SupervisorConfig::default()
+        };
+        let killed = SupervisorConfig {
+            stop_after_cases: Some(9),
+            ..checkpointing.clone()
+        };
+        let partial = run_campaign_partitioned_pooled(&driver, &config, threads, 2, &killed);
+        assert!(partial.report.metrics.test_cases < reference.report.metrics.test_cases);
+
+        // The checkpoint files written mid-storm carry the pool's breaker
+        // and backoff state, so the resumed pool re-opens mid-backoff
+        // instead of forgetting the slot was misbehaving.
+        let carried = (0..config.databases)
+            .filter_map(|index| load_checkpoint(&shard_checkpoint_path(&path, index)).ok())
+            .any(|checkpoint| checkpoint.resilience.is_some());
+        assert!(
+            carried,
+            "at least one shard checkpoint must carry the breaker ledger"
+        );
+
+        let resumed = run_campaign_partitioned_pooled(&driver, &config, threads, 2, &checkpointing);
+        assert_eq!(
+            render_report(&resumed.report),
+            reference_text,
+            "{threads}-thread pooled flaky resume diverged from the uninterrupted run"
+        );
+        cleanup(&path, config.databases);
+    }
 }
